@@ -1,0 +1,66 @@
+// Shared helpers for the figure benches: every binary regenerates one table
+// or figure of the paper and prints the same rows/series it reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/rig.h"
+#include "common/table.h"
+
+namespace oaf::bench {
+
+/// Paper workload defaults (§5.1): queue depth 128 unless a figure varies
+/// it; the virtual run time is shortened from the paper's 20 s to keep the
+/// deterministic simulation quick — throughputs are rate-stable well before
+/// that (see EXPERIMENTS.md).
+inline WorkloadSpec paper_defaults() {
+  WorkloadSpec spec;
+  spec.queue_depth = 128;
+  spec.duration = 400 * 1000 * 1000;  // 400 ms virtual
+  spec.warmup = 50 * 1000 * 1000;
+  spec.working_set_bytes = 1 * kGiB;
+  return spec;
+}
+
+/// Run `streams` identical workloads (distinct seeds) over `transport`.
+inline std::vector<RunStats> run_streams(Transport transport, int streams,
+                                         const WorkloadSpec& spec,
+                                         const RigOptions& opts = RigOptions{}) {
+  sim::Scheduler sched;
+  std::vector<StreamSpec> specs;
+  specs.reserve(static_cast<size_t>(streams));
+  for (int i = 0; i < streams; ++i) {
+    WorkloadSpec s = spec;
+    s.seed = spec.seed + static_cast<u64>(i) * 7919;
+    specs.push_back({transport, s, std::nullopt});
+  }
+  Rig rig(sched, opts, std::move(specs));
+  return rig.run();
+}
+
+inline RigOptions opts_with_tcp(const net::TcpFabricParams& tcp) {
+  RigOptions opts;
+  opts.tcp = tcp;
+  return opts;
+}
+
+/// Merge per-stream latency histograms.
+inline Histogram merged_latency(const std::vector<RunStats>& stats) {
+  Histogram h;
+  for (const auto& s : stats) h.merge(s.latency);
+  return h;
+}
+
+/// Merge per-stream breakdown accounting.
+inline BreakdownStats merged_breakdown(const std::vector<RunStats>& stats) {
+  BreakdownStats b;
+  for (const auto& s : stats) b.merge(s.breakdown);
+  return b;
+}
+
+inline std::string mib(double v) { return Table::num(v, 1); }
+inline std::string usec(double v) { return Table::num(v, 1); }
+
+}  // namespace oaf::bench

@@ -1,0 +1,56 @@
+// Figure 2: performance of existing NVMe-oF transports — four applications
+// issuing sequential reads/writes to four SSDs (one-to-one) over the same
+// fabric; aggregate bandwidth and average latency for 4 KiB and 128 KiB.
+// NVMe/RoCE is reported for a single stream/SSD only (the paper had one
+// real SSD on the physical testbed).
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  Transport transport;
+  int streams;
+  RigOptions opts;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows = {
+      {"NVMe/TCP-10G", Transport::kTcpStock, 4, opts_with_tcp(tcp_10g())},
+      {"NVMe/TCP-25G", Transport::kTcpStock, 4, opts_with_tcp(tcp_25g())},
+      {"NVMe/TCP-100G", Transport::kTcpStock, 4, opts_with_tcp(tcp_100g())},
+      {"NVMe/RDMA-56G", Transport::kRdma, 4, RigOptions{}},
+      {"NVMe/RoCE-100G (1 SSD)", Transport::kRoce, 1, RigOptions{}},
+  };
+
+  for (const bool is_read : {true, false}) {
+    Table bw(std::string("Fig 2(") + (is_read ? "a" : "b") + "): sequential " +
+             (is_read ? "read" : "write") +
+             ", 4 apps <-> 4 SSDs: aggregate bandwidth (MiB/s) / avg latency (us)");
+    bw.header({"Transport", "4KiB BW", "4KiB lat", "128KiB BW", "128KiB lat"});
+    for (const auto& row : rows) {
+      std::vector<std::string> cells{row.name};
+      for (const u64 io : {u64{4} * kKiB, u64{128} * kKiB}) {
+        WorkloadSpec spec = paper_defaults().with_io(io).with_mix(
+            is_read ? 1.0 : 0.0, /*seq=*/true);
+        const auto stats = run_streams(row.transport, row.streams, spec, row.opts);
+        cells.push_back(mib(Rig::aggregate_mib_s(stats)));
+        cells.push_back(usec(ns_to_us(static_cast<DurNs>(
+            merged_latency(stats).mean()))));
+      }
+      bw.row(cells);
+    }
+    bw.print();
+  }
+
+  std::printf(
+      "\nPaper shape check: RDMA leads every TCP generation; TCP-100G over\n"
+      "TCP-25G is a modest gain (stack-bound, not wire-bound); latency grows\n"
+      "with I/O size and RDMA stays lowest.\n");
+  return 0;
+}

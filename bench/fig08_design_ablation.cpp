@@ -1,0 +1,57 @@
+// Figure 8: contribution of each NVMe-oSHM design optimization — 512 KiB
+// sequential reads, single stream, cumulative designs:
+//   NVMe/TCP-25G -> SHM-baseline (locked, conservative flow)
+//                -> SHM-lock-free (+ lock-free double buffer)
+//                -> SHM-flow-ctl (+ shared-memory flow control)
+//                -> SHM-0-copy  (+ zero-copy transport)
+// Reports bandwidth and p99.99 tail latency, with step-over-step deltas.
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+int main() {
+  WorkloadSpec spec = paper_defaults().with_io(512 * kKiB);
+  spec.working_set_bytes = 2 * kGiB;
+  const RigOptions opts = opts_with_tcp(tcp_25g());
+
+  struct Step {
+    const char* name;
+    Transport transport;
+  };
+  const std::vector<Step> steps = {
+      {"NVMe/TCP-25G", Transport::kTcpStock},
+      {"SHM-baseline", Transport::kAfShmBaselineLocked},
+      {"SHM-lock-free", Transport::kAfShmLockFree},
+      {"SHM-flow-ctl", Transport::kAfShmFlowCtl},
+      {"SHM-0-copy", Transport::kAfShm},
+  };
+
+  Table t("Fig 8: design ablation, 512 KiB sequential read (1 stream)");
+  t.header({"Design", "BW (MiB/s)", "BW vs prev", "p99.99 (us)",
+            "tail vs prev"});
+  double prev_bw = 0;
+  double prev_tail = 0;
+  for (const auto& step : steps) {
+    const auto stats = run_streams(step.transport, 1, spec, opts);
+    const double bw = Rig::aggregate_mib_s(stats);
+    const double tail = ns_to_us(merged_latency(stats).p9999());
+    std::string bw_delta = "-";
+    std::string tail_delta = "-";
+    if (prev_bw > 0) {
+      bw_delta = Table::num(bw / prev_bw, 2) + "x";
+      tail_delta = Table::num(100.0 * (tail - prev_tail) / prev_tail, 0) + "%";
+    }
+    t.row({step.name, mib(bw), bw_delta, usec(tail), tail_delta});
+    prev_bw = bw;
+    prev_tail = tail;
+  }
+  t.print();
+
+  std::printf(
+      "\nPaper shape check: SHM-baseline well above TCP-25G (paper: 1.83x);\n"
+      "lock-free leaves bandwidth ~unchanged but cuts p99.99 (paper: -38%%);\n"
+      "flow control buys bandwidth again (paper: 1.83x); zero-copy trims the\n"
+      "tail further (paper: -22%%).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 10: throughput of NVMe/TCP-10G under different busy-polling
+// budgets, 128 KiB I/O, single client at queue depth 128 (a saturated but
+// not wire-bound stream on this testbed — the regime where the rx path is
+// on the critical resource).
+//
+// Reproduced: busy polling beats the interrupt path (the paper's core
+// §4.5 claim), reads peak at the short 25-50 us budgets and degrade toward
+// 100 us, and the adaptive governor matches or beats the best static
+// setting on both workloads. Deviation from the paper: the static-budget
+// *ordering for writes* (paper: 25 us below interrupts, 100 us best) is
+// not reproduced — our virtualized-interrupt cost model rewards short
+// budgets for both directions; see EXPERIMENTS.md for the hypothesis.
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+namespace {
+
+double run_one(bool is_read, af::BusyPollPolicy policy, DurNs budget) {
+  WorkloadSpec spec = paper_defaults().with_io(128 * kKiB).with_mix(
+      is_read ? 1.0 : 0.0, true);
+
+  RigOptions opts = opts_with_tcp(tcp_10g());
+  // Both endpoints of every connection poll with the same budget (the
+  // kernel knob is per socket, set on client and target alike).
+  opts.tcp.initial_poll_budget_ns =
+      policy == af::BusyPollPolicy::kStatic ? budget : 0;
+
+  sim::Scheduler sched;
+  af::AfConfig cfg = af::AfConfig::stock_tcp();
+  cfg.busy_poll = policy;
+  cfg.static_poll_ns = budget;
+  Rig rig(sched, opts, {StreamSpec{Transport::kTcpStock, spec, cfg}});
+  return Rig::aggregate_mib_s(rig.run());
+}
+
+}  // namespace
+
+int main() {
+  struct Mode {
+    const char* name;
+    af::BusyPollPolicy policy;
+    DurNs budget;
+  };
+  const std::vector<Mode> modes = {
+      {"interrupt (stock)", af::BusyPollPolicy::kInterrupt, 0},
+      {"poll 25us", af::BusyPollPolicy::kStatic, 25'000},
+      {"poll 50us", af::BusyPollPolicy::kStatic, 50'000},
+      {"poll 100us", af::BusyPollPolicy::kStatic, 100'000},
+      {"adaptive (AF)", af::BusyPollPolicy::kAdaptive, 0},
+  };
+
+  Table t("Fig 10: TCP-10G 128 KiB throughput (MiB/s), 1 client, QD 128");
+  t.header({"Mode", "seq write", "seq read"});
+  for (const auto& mode : modes) {
+    t.row({mode.name, mib(run_one(false, mode.policy, mode.budget)),
+           mib(run_one(true, mode.policy, mode.budget))});
+  }
+  t.print();
+
+  std::printf(
+      "\nPaper shape check: polling beats interrupts; reads peak at 25-50 us\n"
+      "and sag at 100 us; the adaptive governor (workload-type base +\n"
+      "miss-rate feedback) matches or beats every static budget. Known\n"
+      "deviation: the paper's static-write ordering (25 us worst, 100 us\n"
+      "best) is not reproduced — see EXPERIMENTS.md.\n");
+  return 0;
+}

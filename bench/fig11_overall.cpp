@@ -1,0 +1,62 @@
+// Figure 11: overall benefit of NVMe-oAF — four applications to four SSDs,
+// aggregate bandwidth and average latency, 4 KiB and 128 KiB, sequential
+// read and write; NVMe-oAF vs every TCP generation and NVMe/RDMA.
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+int main() {
+  struct Row {
+    const char* name;
+    Transport transport;
+    RigOptions opts;
+  };
+  const std::vector<Row> rows = {
+      {"NVMe/TCP-10G", Transport::kTcpStock, opts_with_tcp(tcp_10g())},
+      {"NVMe/TCP-25G", Transport::kTcpStock, opts_with_tcp(tcp_25g())},
+      {"NVMe/TCP-100G", Transport::kTcpStock, opts_with_tcp(tcp_100g())},
+      {"NVMe/RDMA-56G", Transport::kRdma, RigOptions{}},
+      {"NVMe-oAF", Transport::kAfShm, opts_with_tcp(tcp_25g())},
+  };
+
+  double af_read_bw_128 = 0;
+  double tcp10_read_bw_128 = 0;
+  double rdma_read_bw_128 = 0;
+
+  for (const bool is_read : {true, false}) {
+    Table t(std::string("Fig 11: 4 apps <-> 4 SSDs, sequential ") +
+            (is_read ? "read" : "write") +
+            ": aggregate BW (MiB/s) / avg latency (us)");
+    t.header({"Transport", "4KiB BW", "4KiB lat", "128KiB BW", "128KiB lat"});
+    for (const auto& row : rows) {
+      std::vector<std::string> cells{row.name};
+      for (const u64 io : {u64{4} * kKiB, u64{128} * kKiB}) {
+        WorkloadSpec spec = paper_defaults().with_io(io).with_mix(
+            is_read ? 1.0 : 0.0, true);
+        const auto stats = run_streams(row.transport, 4, spec, row.opts);
+        const double bw = Rig::aggregate_mib_s(stats);
+        cells.push_back(mib(bw));
+        cells.push_back(
+            usec(ns_to_us(static_cast<DurNs>(merged_latency(stats).mean()))));
+        if (is_read && io == 128 * kKiB) {
+          if (row.transport == Transport::kAfShm) af_read_bw_128 = bw;
+          if (row.transport == Transport::kTcpStock &&
+              row.opts.tcp.link_gbps == 10.0) {
+            tcp10_read_bw_128 = bw;
+          }
+          if (row.transport == Transport::kRdma) rdma_read_bw_128 = bw;
+        }
+      }
+      t.row(cells);
+    }
+    t.print();
+  }
+
+  std::printf("\nHeadline ratios (paper: oAF/TCP-10G = 7.1x, oAF/RDMA = 1.78x):\n");
+  std::printf("  measured oAF/TCP-10G 128KiB read = %.2fx\n",
+              af_read_bw_128 / tcp10_read_bw_128);
+  std::printf("  measured oAF/RDMA-56G 128KiB read = %.2fx\n",
+              af_read_bw_128 / rdma_read_bw_128);
+  return 0;
+}

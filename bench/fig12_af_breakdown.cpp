@@ -1,0 +1,59 @@
+// Figure 12: latency breakdown of NVMe-oAF next to the TCP generations and
+// NVMe/RDMA for the four-SSD workload — the communication component AF's
+// zero-copy + shm flow control removes.
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+int main() {
+  struct Row {
+    const char* name;
+    Transport transport;
+    RigOptions opts;
+  };
+  const std::vector<Row> rows = {
+      {"NVMe/TCP-10G", Transport::kTcpStock, opts_with_tcp(tcp_10g())},
+      {"NVMe/TCP-25G", Transport::kTcpStock, opts_with_tcp(tcp_25g())},
+      {"NVMe/TCP-100G", Transport::kTcpStock, opts_with_tcp(tcp_100g())},
+      {"NVMe/RDMA-56G", Transport::kRdma, RigOptions{}},
+      {"NVMe-oAF", Transport::kAfShm, opts_with_tcp(tcp_25g())},
+  };
+
+  double af_total_read128 = 0;
+  std::vector<std::pair<std::string, double>> tcp_totals_read128;
+
+  for (const bool is_read : {true, false}) {
+    for (const u64 io : {u64{4} * kKiB, u64{128} * kKiB}) {
+      Table t("Fig 12: " + std::string(is_read ? "read" : "write") + " " +
+              std::to_string(io / kKiB) + " KiB breakdown, 4 SSDs (us)");
+      t.header({"Transport", "I/O time", "comm time", "other", "total"});
+      for (const auto& row : rows) {
+        WorkloadSpec spec = paper_defaults().with_io(io).with_mix(
+            is_read ? 1.0 : 0.0, true);
+        const auto stats = run_streams(row.transport, 4, spec, row.opts);
+        const LatencyParts mean = merged_breakdown(stats).mean();
+        t.row({row.name, usec(ns_to_us(mean.io)), usec(ns_to_us(mean.comm)),
+               usec(ns_to_us(mean.other)), usec(ns_to_us(mean.total()))});
+        if (is_read && io == 128 * kKiB) {
+          const double total = ns_to_us(mean.total());
+          if (row.transport == Transport::kAfShm) {
+            af_total_read128 = total;
+          } else if (row.transport == Transport::kTcpStock) {
+            tcp_totals_read128.emplace_back(row.name, total);
+          }
+        }
+      }
+      t.print();
+    }
+  }
+
+  std::printf(
+      "\n128 KiB read average-latency reduction of NVMe-oAF (paper: 50%%/43%%/33%%"
+      " vs TCP-10/25/100G):\n");
+  for (const auto& [name, total] : tcp_totals_read128) {
+    std::printf("  vs %s: %.0f%%\n", name.c_str(),
+                100.0 * (total - af_total_read128) / total);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 15: throughput for random mixed workloads at 512 KiB — read-heavy
+// (95:5), balanced (50:50), and write-heavy (5:95), single stream/SSD.
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+int main() {
+  struct Row {
+    const char* name;
+    Transport transport;
+    RigOptions opts;
+  };
+  const std::vector<Row> rows = {
+      {"NVMe/TCP-10G", Transport::kTcpStock, opts_with_tcp(tcp_10g())},
+      {"NVMe/TCP-25G", Transport::kTcpStock, opts_with_tcp(tcp_25g())},
+      {"NVMe/TCP-100G", Transport::kTcpStock, opts_with_tcp(tcp_100g())},
+      {"NVMe/RDMA-56G", Transport::kRdma, RigOptions{}},
+      {"NVMe/RoCE-100G", Transport::kRoce, RigOptions{}},
+      {"NVMe-oAF", Transport::kAfShm, opts_with_tcp(tcp_25g())},
+  };
+  const std::vector<std::pair<const char*, double>> mixes = {
+      {"95:5 (read-heavy)", 0.95}, {"50:50", 0.5}, {"5:95 (write-heavy)", 0.05}};
+
+  Table t("Fig 15: random 512 KiB mixed workloads, 1 stream: throughput (MiB/s)");
+  std::vector<std::string> header{"Transport"};
+  for (const auto& [name, frac] : mixes) header.emplace_back(name);
+  t.header(header);
+
+  double af_avg = 0;
+  double tcp100_avg = 0;
+  double rdma_avg = 0;
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.name};
+    double sum = 0;
+    for (const auto& [name, frac] : mixes) {
+      WorkloadSpec spec = paper_defaults().with_io(512 * kKiB).with_mix(frac, false);
+      spec.working_set_bytes = 4 * kGiB;
+      const auto stats = run_streams(row.transport, 1, spec, row.opts);
+      const double bw = Rig::aggregate_mib_s(stats);
+      sum += bw;
+      cells.push_back(mib(bw));
+    }
+    t.row(cells);
+    const double avg = sum / static_cast<double>(mixes.size());
+    if (row.transport == Transport::kAfShm) af_avg = avg;
+    if (row.transport == Transport::kRdma) rdma_avg = avg;
+    if (row.transport == Transport::kTcpStock && row.opts.tcp.link_gbps == 100.0) {
+      tcp100_avg = avg;
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nAverages across mixes (paper: oAF = 2.33x TCP-100G; oAF within\n"
+      "5-13.5%% of RDMA-56G):\n");
+  std::printf("  measured oAF/TCP-100G = %.2fx\n", af_avg / tcp100_avg);
+  std::printf("  measured oAF vs RDMA-56G = %+.1f%%\n",
+              100.0 * (af_avg - rdma_avg) / rdma_avg);
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Shared harness for the h5bench figures (16/17/18/19): runs the write and
+// read kernels against a storage backend on the sim scheduler and reports
+// both bandwidths.
+#pragma once
+
+#include <memory>
+
+#include "bench_util.h"
+#include "h5/coalescing_backend.h"
+#include "h5/nfs_backend.h"
+#include "h5/nvmf_backend.h"
+#include "h5bench/kernels.h"
+
+namespace oaf::bench {
+
+struct H5KernelResult {
+  double write_mib_s = 0;
+  double read_mib_s = 0;
+};
+
+/// Run write kernel then read kernel on `file` (which must be created).
+/// Drives `sched` to completion for each phase.
+inline H5KernelResult run_h5bench(sim::Scheduler& sched, h5::H5File& file,
+                                  const h5bench::BenchConfig& cfg) {
+  H5KernelResult out;
+  bool done = false;
+  h5bench::run_write_kernel(sched, file, cfg,
+                            [&](Result<h5bench::KernelStats> r) {
+                              if (r.is_ok()) {
+                                out.write_mib_s = r.value().bandwidth_mib_s();
+                              } else {
+                                std::fprintf(stderr, "write kernel failed: %s\n",
+                                             r.status().to_string().c_str());
+                              }
+                              done = true;
+                            });
+  sched.run();
+  if (!done) std::fprintf(stderr, "write kernel did not finish\n");
+
+  done = false;
+  h5bench::run_read_kernel(sched, file, cfg, /*verify=*/false,
+                           [&](Result<h5bench::KernelStats> r) {
+                             if (r.is_ok()) {
+                               out.read_mib_s = r.value().bandwidth_mib_s();
+                             } else {
+                               std::fprintf(stderr, "read kernel failed: %s\n",
+                                            r.status().to_string().c_str());
+                             }
+                             done = true;
+                           });
+  sched.run();
+  if (!done) std::fprintf(stderr, "read kernel did not finish\n");
+  return out;
+}
+
+/// NFS baseline: h5bench over an async-mounted NFS file.
+inline H5KernelResult run_h5bench_nfs(const h5bench::BenchConfig& cfg,
+                                      const nfs::NfsParams& params = nfs_25g()) {
+  sim::Scheduler sched;
+  nfs::NfsClient client(sched, params);
+  h5::NfsBackend backend(client, "bench.h5", cfg.total_bytes() + (4ull << 20));
+  h5::NativeVol vol;
+  h5::H5File file(backend, vol);
+  bool created = false;
+  file.create([&](Status st) { created = st.is_ok(); });
+  sched.run();
+  if (!created) std::fprintf(stderr, "NFS h5 create failed\n");
+  return run_h5bench(sched, file, cfg);
+}
+
+/// NVMe-oAF (or NVMe/TCP) co-design: h5bench over an NvmfBackend, optionally
+/// wrapped in the I/O coalescer.
+inline H5KernelResult run_h5bench_fabric(Transport transport,
+                                         const h5bench::BenchConfig& cfg,
+                                         bool coalesce,
+                                         const RigOptions& opts = RigOptions{}) {
+  sim::Scheduler sched;
+  WorkloadSpec unused;  // kernels drive I/O themselves
+  Rig rig(sched, opts, {StreamSpec{transport, unused, std::nullopt}});
+  rig.connect_all();
+
+  h5::NvmfBackend base(rig.initiator(0), 1, opts.max_io_bytes);
+  base.set_capacity(rig.device(0).num_blocks() *
+                    static_cast<u64>(rig.device(0).block_size()));
+  std::unique_ptr<h5::CoalescingBackend> co;
+  h5::StorageBackend* backend = &base;
+  if (coalesce) {
+    co = std::make_unique<h5::CoalescingBackend>(base, 4 * kMiB, 4 * kMiB);
+    backend = co.get();
+  }
+
+  h5::NativeVol vol;
+  h5::H5File file(*backend, vol);
+  bool created = false;
+  file.create([&](Status st) { created = st.is_ok(); });
+  sched.run();
+  if (!created) std::fprintf(stderr, "fabric h5 create failed\n");
+  return run_h5bench(sched, file, cfg);
+}
+
+/// Aggregate h5bench result across several concurrent clients.
+struct H5AggregateResult {
+  double write_mib_s = 0;
+  double read_mib_s = 0;
+};
+
+/// The scale-out topology of Figs 18/19: four h5bench clients (config-1
+/// each), `shm_clients` of them co-located with their storage service (shm
+/// channel), the rest on stock NVMe/TCP. `shared_link` distinguishes case-2
+/// (all pairs on one node / one NIC) from case-1 (one node pair per client).
+inline H5AggregateResult run_scaleout_clients(int shm_clients, bool shared_link,
+                                              int total_clients = 4) {
+  const h5bench::BenchConfig cfg = h5bench::BenchConfig::config1();
+  RigOptions opts = opts_with_tcp(tcp_25g());
+  opts.shared_tcp_link = shared_link;
+
+  sim::Scheduler sched;
+  std::vector<StreamSpec> specs;
+  for (int i = 0; i < total_clients; ++i) {
+    specs.push_back({i < shm_clients ? Transport::kAfShm : Transport::kTcpStock,
+                     WorkloadSpec{}, std::nullopt});
+  }
+  Rig rig(sched, opts, specs);
+  rig.connect_all();
+
+  std::vector<std::unique_ptr<h5::NvmfBackend>> backends;
+  std::vector<std::unique_ptr<h5::NativeVol>> vols;
+  std::vector<std::unique_ptr<h5::H5File>> files;
+  for (int i = 0; i < total_clients; ++i) {
+    backends.push_back(std::make_unique<h5::NvmfBackend>(
+        rig.initiator(static_cast<size_t>(i)), 1, opts.max_io_bytes));
+    backends.back()->set_capacity(cfg.total_bytes() + (4ull << 20));
+    vols.push_back(std::make_unique<h5::NativeVol>());
+    files.push_back(std::make_unique<h5::H5File>(*backends.back(), *vols.back()));
+    files.back()->create([](Status st) {
+      if (!st) std::fprintf(stderr, "create failed\n");
+    });
+  }
+  sched.run();
+
+  H5AggregateResult out;
+  int done = 0;
+  for (int i = 0; i < total_clients; ++i) {
+    h5bench::BenchConfig c = cfg;
+    c.seed = 1 + static_cast<u64>(i);
+    h5bench::run_write_kernel(sched, *files[static_cast<size_t>(i)], c,
+                              [&out, &done](Result<h5bench::KernelStats> r) {
+                                if (r.is_ok()) {
+                                  out.write_mib_s += r.value().bandwidth_mib_s();
+                                }
+                                done++;
+                              });
+  }
+  sched.run();
+  if (done != total_clients) std::fprintf(stderr, "write kernels incomplete\n");
+
+  done = 0;
+  for (int i = 0; i < total_clients; ++i) {
+    h5bench::BenchConfig c = cfg;
+    c.seed = 1 + static_cast<u64>(i);
+    h5bench::run_read_kernel(sched, *files[static_cast<size_t>(i)], c, false,
+                             [&out, &done](Result<h5bench::KernelStats> r) {
+                               if (r.is_ok()) {
+                                 out.read_mib_s += r.value().bandwidth_mib_s();
+                               }
+                               done++;
+                             });
+  }
+  sched.run();
+  if (done != total_clients) std::fprintf(stderr, "read kernels incomplete\n");
+  return out;
+}
+
+}  // namespace oaf::bench

@@ -1,0 +1,70 @@
+// Fabric explorer: the timing plane as a library. Runs a user-configurable
+// workload over every transport the paper evaluates and prints a comparison
+// table — a starting point for exploring the calibrated models beyond the
+// paper's figures.
+//
+//   build/examples/fabric_explorer [io_kib] [queue_depth] [read_fraction]
+//   e.g. build/examples/fabric_explorer 256 32 0.7
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/rig.h"
+#include "common/table.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+int main(int argc, char** argv) {
+  const u64 io_kib = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  const u32 qd = argc > 2 ? static_cast<u32>(std::atoi(argv[2])) : 32;
+  const double read_frac = argc > 3 ? std::atof(argv[3]) : 1.0;
+
+  WorkloadSpec spec;
+  spec.io_bytes = io_kib * kKiB;
+  spec.queue_depth = qd;
+  spec.read_fraction = read_frac;
+  spec.sequential = true;
+  spec.duration = 300 * 1000 * 1000;
+  spec.warmup = 40 * 1000 * 1000;
+  spec.working_set_bytes = 1 * kGiB;
+
+  struct Row {
+    const char* name;
+    Transport transport;
+    RigOptions opts;
+  };
+  RigOptions o10;
+  o10.tcp = tcp_10g();
+  RigOptions o25;
+  o25.tcp = tcp_25g();
+  RigOptions o100;
+  o100.tcp = tcp_100g();
+  const std::vector<Row> rows = {
+      {"NVMe/TCP-10G", Transport::kTcpStock, o10},
+      {"NVMe/TCP-25G", Transport::kTcpStock, o25},
+      {"NVMe/TCP-100G", Transport::kTcpStock, o100},
+      {"AF TCP-only mode", Transport::kAfTcpOnly, o25},
+      {"NVMe/RDMA-56G", Transport::kRdma, RigOptions{}},
+      {"NVMe/RoCE-100G", Transport::kRoce, RigOptions{}},
+      {"NVMe-oAF", Transport::kAfShm, o25},
+  };
+
+  std::printf("workload: %llu KiB, QD %u, %.0f%% reads, sequential\n",
+              static_cast<unsigned long long>(io_kib), qd, 100 * read_frac);
+
+  Table t("Fabric comparison (timing plane)");
+  t.header({"Transport", "BW (MiB/s)", "avg lat (us)", "p99 (us)",
+            "p99.99 (us)"});
+  for (const auto& row : rows) {
+    sim::Scheduler sched;
+    Rig rig(sched, row.opts, {StreamSpec{row.transport, spec, std::nullopt}});
+    auto stats = rig.run();
+    const auto& s = stats[0];
+    t.row({row.name, Table::num(s.bandwidth_mib_s(), 1),
+           Table::num(s.avg_latency_us(), 1),
+           Table::num(ns_to_us(s.latency.p99()), 1),
+           Table::num(ns_to_us(s.latency.p9999()), 1)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "af/buffer_manager.h"
+
+#include <cassert>
+
+namespace oaf::af {
+
+BufferPool::BufferPool(u64 buffer_bytes, u32 count, u64 alignment)
+    : buffer_bytes_(align_up(buffer_bytes, 64)), count_(count) {
+  assert(is_pow2(alignment));
+  const u64 slab = align_up(buffer_bytes_ * count_, alignment);
+  slab_ = static_cast<u8*>(std::aligned_alloc(alignment, slab));
+  free_list_.reserve(count_);
+  // Reverse order so alloc() hands out low addresses first (cache-friendly,
+  // and deterministic for tests).
+  for (u32 i = count_; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() { std::free(slab_); }
+
+std::span<u8> BufferPool::alloc() {
+  if (free_list_.empty() || slab_ == nullptr) return {};
+  const u32 idx = free_list_.back();
+  free_list_.pop_back();
+  in_use_++;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  return {slab_ + static_cast<u64>(idx) * buffer_bytes_, buffer_bytes_};
+}
+
+Status BufferPool::free(std::span<u8> buffer) {
+  if (buffer.data() == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "null buffer");
+  }
+  if (!owns(buffer.data())) {
+    return make_error(StatusCode::kInvalidArgument, "buffer not from this pool");
+  }
+  const u64 off = static_cast<u64>(buffer.data() - slab_);
+  if (off % buffer_bytes_ != 0) {
+    return make_error(StatusCode::kInvalidArgument, "misaligned buffer pointer");
+  }
+  const u32 idx = static_cast<u32>(off / buffer_bytes_);
+  for (const u32 f : free_list_) {
+    if (f == idx) {
+      return make_error(StatusCode::kFailedPrecondition, "double free");
+    }
+  }
+  free_list_.push_back(idx);
+  in_use_--;
+  return Status::ok();
+}
+
+bool BufferPool::owns(const u8* p) const {
+  return slab_ != nullptr && p >= slab_ && p < slab_ + buffer_bytes_ * count_;
+}
+
+}  // namespace oaf::af

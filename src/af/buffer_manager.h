@@ -1,0 +1,82 @@
+// Buffer Manager (paper §4.1, §4.4.3).
+//
+// Two allocation domains:
+//   * a DPDK-style pool — fixed-size, cache-line-aligned buffers carved from
+//     one slab, used by the target for DMA-able staging buffers and by the
+//     client when no shm channel exists. Buffer size follows the configured
+//     chunk size, which is why the chunk knob also moves target memory
+//     utilization (Fig 9);
+//   * shared-memory slots — owned by the DoubleBufferRing; under the
+//     zero-copy design the Buffer Manager hands the application a buffer
+//     that *is* a ring slot, eliminating the client->shm copy.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::af {
+
+/// Fixed-size aligned buffer pool with an intrusive free list. Not
+/// thread-safe by design: each connection's pool lives on one reactor.
+class BufferPool {
+ public:
+  /// `buffer_bytes` per buffer, `count` buffers, aligned to `alignment`.
+  BufferPool(u64 buffer_bytes, u32 count, u64 alignment = 4096);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Borrow one buffer; returns empty span when exhausted.
+  [[nodiscard]] std::span<u8> alloc();
+
+  /// Return a buffer previously obtained from alloc().
+  Status free(std::span<u8> buffer);
+
+  [[nodiscard]] u64 buffer_bytes() const { return buffer_bytes_; }
+  [[nodiscard]] u32 capacity() const { return count_; }
+  [[nodiscard]] u32 in_use() const { return in_use_; }
+  [[nodiscard]] u32 peak_in_use() const { return peak_in_use_; }
+  [[nodiscard]] u64 slab_bytes() const { return buffer_bytes_ * count_; }
+  /// True if `p` points into this pool's slab (ownership check).
+  [[nodiscard]] bool owns(const u8* p) const;
+
+ private:
+  u64 buffer_bytes_;
+  u32 count_;
+  u8* slab_ = nullptr;
+  std::vector<u32> free_list_;
+  u32 in_use_ = 0;
+  u32 peak_in_use_ = 0;
+};
+
+/// Per-connection buffer manager: routes allocations to shm slots or the
+/// DPDK pool based on channel availability and the zero-copy setting.
+/// The shm side is wired in by the AfEndpoint after the handshake.
+class BufferManager {
+ public:
+  BufferManager(u64 pool_buffer_bytes, u32 pool_count)
+      : pool_(pool_buffer_bytes, pool_count) {}
+
+  [[nodiscard]] BufferPool& pool() { return pool_; }
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+
+  /// Staging buffer for one chunk (target side / TCP fallback).
+  [[nodiscard]] std::span<u8> alloc_staging() { return pool_.alloc(); }
+  Status free_staging(std::span<u8> b) { return pool_.free(b); }
+
+  /// Memory footprint the pool pins for this connection — the "memory
+  /// utilization" series of Fig 9.
+  [[nodiscard]] u64 pinned_bytes() const { return pool_.slab_bytes(); }
+
+ private:
+  BufferPool pool_;
+};
+
+}  // namespace oaf::af

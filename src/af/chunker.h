@@ -1,0 +1,45 @@
+// Application-level chunking (paper §4.5).
+//
+// NVMe/TCP splits each I/O into ceil(io_size / chunk_size) data PDUs; the
+// chunk size also dictates the target's staging-buffer size, so small chunks
+// cost per-PDU overhead and huge chunks waste pool memory. The Fig 9 bench
+// sweeps this knob.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::af {
+
+struct Chunk {
+  u64 offset = 0;
+  u64 length = 0;
+  bool last = false;
+};
+
+/// Split [0, total) into chunks of at most `chunk_bytes`.
+inline std::vector<Chunk> make_chunks(u64 total, u64 chunk_bytes) {
+  std::vector<Chunk> out;
+  if (total == 0) {
+    out.push_back({0, 0, true});
+    return out;
+  }
+  if (chunk_bytes == 0) chunk_bytes = total;
+  out.reserve(ceil_div(total, chunk_bytes));
+  for (u64 off = 0; off < total; off += chunk_bytes) {
+    const u64 len = std::min(chunk_bytes, total - off);
+    out.push_back({off, len, off + len == total});
+  }
+  return out;
+}
+
+/// Number of chunks an I/O of `total` bytes produces.
+inline u64 chunk_count(u64 total, u64 chunk_bytes) {
+  if (total == 0) return 1;
+  if (chunk_bytes == 0) return 1;
+  return ceil_div(total, chunk_bytes);
+}
+
+}  // namespace oaf::af

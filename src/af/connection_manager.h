@@ -1,0 +1,56 @@
+// Connection Manager (paper §4.1, Fig 5).
+//
+// Runs the adaptive-fabric leg of connection establishment on top of the
+// NVMe/TCP ICReq/ICResp exchange:
+//   1. client CM builds an ICReq carrying its host-identity token and shm
+//      request;
+//   2. target CM checks locality (token == its broker's token); if
+//      co-located it asks the broker (helper process) to provision an
+//      isolated region, formats the double-buffer ring in it, wires its
+//      endpoint, and grants the channel in ICResp;
+//   3. client CM verifies the helper's announcement on the locality page,
+//      maps the region, attaches the ring, and wires its endpoint.
+// After step 3 both AF endpoint objects are connected and data can flow
+// through shm; otherwise both sides keep the optimized-TCP-only mode.
+#pragma once
+
+#include <string>
+
+#include "af/endpoint.h"
+#include "af/locality.h"
+#include "pdu/pdu.h"
+
+namespace oaf::af {
+
+class ConnectionManager {
+ public:
+  /// `broker` is this side's host helper ("hypervisor agent").
+  explicit ConnectionManager(ShmBroker& broker) : broker_(broker) {}
+
+  // --- client role -------------------------------------------------------
+
+  /// ICReq advertising this host's token and the endpoint's shm wish.
+  [[nodiscard]] pdu::ICReq make_icreq(const AfConfig& cfg) const;
+
+  /// Process the target's ICResp; on a grant, maps the region and attaches
+  /// the ring to `ep`. Returns error if the grant cannot be honoured (the
+  /// connection should then fall back to TCP-only).
+  Status complete_client(const pdu::ICResp& resp, AfEndpoint& ep);
+
+  // --- target role ---------------------------------------------------------
+
+  /// Process a client's ICReq for connection `conn_name`; provisions and
+  /// attaches shm when co-located, and returns the ICResp to send.
+  Result<pdu::ICResp> accept_target(const pdu::ICReq& req,
+                                    const std::string& conn_name, AfEndpoint& ep);
+
+  /// Release the region backing `conn_name` (connection teardown).
+  Status release(const std::string& conn_name) { return broker_.revoke(conn_name); }
+
+  [[nodiscard]] ShmBroker& broker() { return broker_; }
+
+ private:
+  ShmBroker& broker_;
+};
+
+}  // namespace oaf::af

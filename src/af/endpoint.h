@@ -1,0 +1,130 @@
+// AF endpoint: one side's view of an adaptive-fabric connection (paper §4.6).
+//
+// The endpoint owns the shared-memory data-path state for a connection —
+// the double-buffer ring mapping, the access mode (lock-free vs the locked
+// ablation baseline), and the zero-copy buffer API — and exposes the payload
+// primitives the NVMe-oF engines compose:
+//   producer side:  stage_payload (copy into a slot and publish) or
+//                   acquire_app_buffer + publish_app_buffer (zero-copy);
+//   consumer side:  consume_payload (copy out and release) or
+//                   consume_view + release_slot (zero-copy read).
+// Control PDUs never pass through here; they ride the TCP channel owned by
+// the NVMe-oF engine. When no shm channel was negotiated the engines fall
+// back to inline TCP data PDUs and the endpoint is idle — that *is* the
+// adaptive selection (paper §4.2).
+#pragma once
+
+#include <memory>
+
+#include "af/config.h"
+#include "af/locality.h"
+#include "common/executor.h"
+#include "net/copier.h"
+#include "shm/double_buffer.h"
+
+namespace oaf::af {
+
+enum class Role { kClient, kTarget };
+
+class AfEndpoint {
+ public:
+  using Done = std::function<void()>;
+
+  /// Lock hold time per slot access in the locked ablation mode (spinlock
+  /// acquire + slot bookkeeping under contention).
+  static constexpr DurNs kLockHoldNs = 1'500;
+
+  AfEndpoint(Role role, Executor& exec, net::Copier& copier, AfConfig cfg)
+      : role_(role), exec_(exec), copier_(copier), cfg_(std::move(cfg)) {
+    // Encryption requires both sides to transform payloads, which the
+    // zero-copy path bypasses by construction.
+    if (cfg_.encrypt_shm) cfg_.zero_copy = false;
+  }
+
+  AfEndpoint(const AfEndpoint&) = delete;
+  AfEndpoint& operator=(const AfEndpoint&) = delete;
+
+  /// Wire up the shm channel after the Connection Manager handshake.
+  /// `lock` is non-null only in the locked-access ablation mode, where it
+  /// must be the same AsyncMutex on both sides of the connection.
+  void enable_shm(RegionHandle handle, shm::DoubleBufferRing ring,
+                  std::shared_ptr<sim::AsyncMutex> lock = nullptr);
+
+  [[nodiscard]] bool shm_ready() const { return ring_.valid(); }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] const AfConfig& config() const { return cfg_; }
+  [[nodiscard]] Executor& executor() { return exec_; }
+  [[nodiscard]] net::Copier& copier() { return copier_; }
+
+  /// Round-robin slot for command sequence `seq` (paper §4.4.1).
+  [[nodiscard]] u32 slot_for(u64 seq) const { return ring_.slot_for(seq); }
+  [[nodiscard]] u64 slot_bytes() const { return ring_.slot_size(); }
+  [[nodiscard]] u32 slot_count() const { return ring_.slot_count(); }
+
+  // --- producer side -----------------------------------------------------
+
+  /// Copy `data` into slot `slot` and publish it. `done` fires when the
+  /// payload is visible to the peer (copy complete on this plane's clock).
+  Status stage_payload(u32 slot, std::span<const u8> data, Done done);
+
+  /// Like stage_payload, but if the slot is still owned by the previous
+  /// transfer, poll until it frees. Used by the conservative (chunked) flow,
+  /// where one command's chunks reuse a single slot sequentially — the
+  /// serialization the shm flow control optimization removes (§4.4.2).
+  void stage_payload_when_free(u32 slot, std::span<const u8> data, Done done);
+
+  /// Zero-copy: claim slot `slot` and return its buffer for the application
+  /// to fill in place (the Buffer Manager "creates the app buffer on shm").
+  Result<std::span<u8>> acquire_app_buffer(u32 slot);
+
+  /// Zero-copy: publish `len` bytes already written via acquire_app_buffer.
+  /// No copy is charged — that is the entire point (§4.4.3).
+  Status publish_app_buffer(u32 slot, u64 len, Done done);
+
+  // --- consumer side -----------------------------------------------------
+
+  /// Copy the published payload of `slot` into `dst` and release the slot.
+  /// `done` receives the payload length, or an error status.
+  void consume_payload(u32 slot, std::span<u8> dst,
+                       std::function<void(Result<u64>)> done);
+
+  /// Zero-copy read: borrow the slot contents. Caller must release_slot()
+  /// when the application is done with the data.
+  Result<std::span<const u8>> consume_view(u32 slot);
+
+  Status release_slot(u32 slot);
+
+  // --- stats ---------------------------------------------------------------
+  [[nodiscard]] u64 shm_payload_bytes() const { return shm_payload_bytes_; }
+  [[nodiscard]] u64 zero_copy_publishes() const { return zero_copy_publishes_; }
+  [[nodiscard]] u64 staged_copies() const { return staged_copies_; }
+
+ private:
+  [[nodiscard]] shm::Direction produce_dir() const {
+    return role_ == Role::kClient ? shm::Direction::kClientToTarget
+                                  : shm::Direction::kTargetToClient;
+  }
+  [[nodiscard]] shm::Direction consume_dir() const {
+    return role_ == Role::kClient ? shm::Direction::kTargetToClient
+                                  : shm::Direction::kClientToTarget;
+  }
+
+  /// Run `op` under the region lock in locked mode, or directly otherwise.
+  /// `op` receives an unlock callback it must invoke when the critical
+  /// section ends.
+  void with_access(std::function<void(Done unlock)> op);
+
+  Role role_;
+  Executor& exec_;
+  net::Copier& copier_;
+  AfConfig cfg_;
+  RegionHandle handle_;
+  shm::DoubleBufferRing ring_;
+  std::shared_ptr<sim::AsyncMutex> lock_;
+
+  u64 shm_payload_bytes_ = 0;
+  u64 zero_copy_publishes_ = 0;
+  u64 staged_copies_ = 0;
+};
+
+}  // namespace oaf::af

@@ -1,0 +1,117 @@
+#include "af/locality.h"
+
+#include <sys/mman.h>
+
+namespace oaf::af {
+
+namespace {
+std::string posix_name(const std::string& name) { return "/oaf_" + name; }
+}  // namespace
+
+Result<RegionHandle> ShmBroker::provision(const std::string& name, u64 bytes) {
+  if (name.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "empty region name");
+  }
+  if (entries_.contains(name)) {
+    return make_error(StatusCode::kAlreadyExists,
+                      "region already provisioned: " + name);
+  }
+  const u64 total = RegionHandle::kRingOffset + bytes;
+
+  auto region_res = backing_ == Backing::kPosixShm
+                        ? shm::ShmRegion::create(posix_name(name), total)
+                        : shm::ShmRegion::anonymous(total);
+  if (!region_res && region_res.status().code() == StatusCode::kAlreadyExists) {
+    // A previous process died without unlinking its region. The broker owns
+    // this name space (entries_ already guarantees no live connection uses
+    // it), so garbage-collect the stale object and retry.
+    ::shm_unlink(posix_name(name).c_str());
+    region_res = shm::ShmRegion::create(posix_name(name), total);
+  }
+  if (!region_res) return region_res.status();
+  auto region = std::make_shared<shm::ShmRegion>(std::move(region_res).take());
+
+  RegionHandle handle;
+  handle.name = name;
+  handle.base = region->bytes();
+  handle.bytes = total;
+  handle.keepalive = region;
+
+  // Initialize and announce on the pre-reserved page — the flag the client's
+  // Connection Manager polls for during establishment.
+  shm::LocalityPage page(handle.base, /*init=*/true);
+  page.announce(node_token_, name);
+
+  entries_[name] = Entry{region, nullptr};
+  return handle;
+}
+
+Result<RegionHandle> ShmBroker::open(const std::string& name) {
+  auto it = entries_.find(name);
+  RegionHandle handle;
+  handle.name = name;
+
+  if (it == entries_.end()) {
+    // Not provisioned by *this* broker object. With POSIX backing the
+    // region may have been provisioned by the target's broker in another
+    // process — attach by name (the helper's announcement and the claim
+    // flag below still gate access).
+    if (backing_ != Backing::kPosixShm) {
+      return make_error(StatusCode::kNotFound, "region not provisioned: " + name);
+    }
+    auto mapped = shm::ShmRegion::attach(posix_name(name));
+    if (!mapped) return mapped.status();
+    auto region = std::make_shared<shm::ShmRegion>(std::move(mapped).take());
+    handle.base = region->bytes();
+    handle.bytes = region->size();
+    handle.keepalive = region;
+  } else if (backing_ == Backing::kPosixShm) {
+    auto mapped = shm::ShmRegion::attach(posix_name(name));
+    if (!mapped) return mapped.status();
+    auto region = std::make_shared<shm::ShmRegion>(std::move(mapped).take());
+    handle.base = region->bytes();
+    handle.bytes = region->size();
+    handle.keepalive = region;
+  } else {
+    handle.base = it->second.region->bytes();
+    handle.bytes = it->second.region->size();
+    handle.keepalive = it->second.region;
+  }
+
+  // The helper must have announced the hotplug before the client maps.
+  if (handle.locality_page().generation() == 0) {
+    return make_error(StatusCode::kFailedPrecondition,
+                      "region not announced by helper: " + name);
+  }
+  // Isolation: one client per region (paper §6). The claim flag lives in
+  // the shared page, so it holds across processes too.
+  if (!handle.locality_page().try_claim()) {
+    return make_error(StatusCode::kFailedPrecondition,
+                      "region already opened by another client: " + name);
+  }
+  return handle;
+}
+
+Status ShmBroker::revoke(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return make_error(StatusCode::kNotFound, "region not provisioned: " + name);
+  }
+  if (backing_ == Backing::kPosixShm) {
+    it->second.region->unlink();
+  }
+  entries_.erase(it);
+  return Status::ok();
+}
+
+std::shared_ptr<sim::AsyncMutex> ShmBroker::mutex_for(const std::string& name,
+                                                      Executor& exec) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  if (!it->second.mutex) {
+    it->second.mutex = std::make_shared<sim::AsyncMutex>(exec);
+  }
+  return it->second.mutex;
+}
+
+}  // namespace oaf::af

@@ -1,0 +1,27 @@
+#include "af/shm_cipher.h"
+
+namespace oaf::af {
+
+namespace {
+
+/// SplitMix64 step — cheap, seekable block keystream.
+inline u64 block_key(u64 key, u64 block_index) {
+  u64 z = key + 0x9e3779b97f4a7c15ULL * (block_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void xor_keystream(std::span<u8> data, u64 key, u64 stream_offset) {
+  u64 pos = stream_offset;
+  for (u8& byte : data) {
+    const u64 block = pos / 8;
+    const u64 within = pos % 8;
+    byte ^= static_cast<u8>(block_key(key, block) >> (8 * within));
+    pos++;
+  }
+}
+
+}  // namespace oaf::af

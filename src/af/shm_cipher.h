@@ -1,0 +1,24 @@
+// Shared-memory channel cipher hook (paper §6).
+//
+// The paper proposes hardening the shm channel by encrypting it with the
+// client's key so that a co-resident snooper who somehow maps the region
+// reads ciphertext. This module provides the hook with a keystream cipher
+// whose interface matches what a real implementation (AES-CTR) would need:
+// seekable, so any slot offset can be en/decrypted independently. The
+// keystream itself is xoshiro-based — NOT cryptographically secure, a
+// stand-in documenting the integration point and its performance cost (one
+// extra pass over the payload on each side, measured by the ablation
+// bench).
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace oaf::af {
+
+/// XOR `data` in place with the keystream for (key, stream_offset).
+/// Encryption and decryption are the same operation.
+void xor_keystream(std::span<u8> data, u64 key, u64 stream_offset);
+
+}  // namespace oaf::af

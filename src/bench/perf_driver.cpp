@@ -1,0 +1,122 @@
+#include "bench/perf_driver.h"
+
+namespace oaf::bench {
+
+PerfDriver::PerfDriver(Executor& exec, nvmf::NvmfInitiator& initiator,
+                       WorkloadSpec spec, u32 nsid)
+    : exec_(exec),
+      initiator_(initiator),
+      spec_(spec),
+      nsid_(nsid),
+      stream_(spec),
+      fill_core_(exec, 1) {
+  buffers_.resize(spec_.queue_depth);
+  for (auto& b : buffers_) b.resize(spec_.io_bytes);
+}
+
+void PerfDriver::run(DoneCb done) {
+  done_ = std::move(done);
+  t0_ = exec_.now();
+  warmup_end_ = t0_ + spec_.warmup;
+  stop_at_ = t0_ + spec_.duration;
+  for (u32 i = 0; i < spec_.queue_depth; ++i) issue();
+}
+
+void PerfDriver::issue() {
+  if (exec_.now() >= stop_at_) {
+    stopped_issuing_ = true;
+    maybe_finish();
+    return;
+  }
+  const bool is_read = stream_.next_is_read();
+  const u64 offset = stream_.next_offset();
+  outstanding_++;
+  if (is_read) {
+    submit_read(offset);
+  } else {
+    submit_write(offset);
+  }
+}
+
+void PerfDriver::submit_read(u64 offset) {
+  const TimeNs op_start = exec_.now();
+  const u64 slba = offset / nvmf::NvmfInitiator::kBlockSize;
+
+  if (initiator_.supports_zero_copy()) {
+    initiator_.zero_copy_read(
+        nsid_, slba, spec_.io_bytes,
+        [this, op_start](Result<nvmf::NvmfInitiator::ReadView> view,
+                         nvmf::NvmfInitiator::IoResult r) {
+          // The application consumes the payload in place, then releases
+          // the slot; perf does not inspect the data.
+          if (view.is_ok()) view.value().release();
+          on_complete(op_start, 0, view.is_ok() && r.ok(), r);
+        });
+    return;
+  }
+
+  auto& buf = buffers_[next_buffer_++ % buffers_.size()];
+  initiator_.read(nsid_, slba, buf,
+                  [this, op_start](nvmf::NvmfInitiator::IoResult r) {
+                    on_complete(op_start, 0, r.ok(), r);
+                  });
+}
+
+void PerfDriver::submit_write(u64 offset) {
+  const TimeNs op_start = exec_.now();
+  const u64 slba = offset / nvmf::NvmfInitiator::kBlockSize;
+  const DurNs fill_ns =
+      transfer_time_ns(spec_.io_bytes, spec_.app_fill_bytes_per_sec);
+
+  // The application first produces the payload (one core), then submits.
+  fill_core_.submit(fill_ns, [this, op_start, slba, fill_ns] {
+    if (initiator_.supports_zero_copy()) {
+      auto ticket = initiator_.zero_copy_write_begin(spec_.io_bytes);
+      if (ticket.is_ok()) {
+        initiator_.zero_copy_write(
+            ticket.value(), nsid_, slba, spec_.io_bytes,
+            [this, op_start, fill_ns](nvmf::NvmfInitiator::IoResult r) {
+              on_complete(op_start, fill_ns, r.ok(), r);
+            });
+        return;
+      }
+      // Slot pressure: fall through to the staged path.
+    }
+    auto& buf = buffers_[next_buffer_++ % buffers_.size()];
+    initiator_.write(nsid_, slba, buf,
+                     [this, op_start, fill_ns](nvmf::NvmfInitiator::IoResult r) {
+                       on_complete(op_start, fill_ns, r.ok(), r);
+                     });
+  });
+}
+
+void PerfDriver::on_complete(TimeNs op_start, DurNs fill_ns, bool ok,
+                             const nvmf::NvmfInitiator::IoResult& r) {
+  outstanding_--;
+  const TimeNs now = exec_.now();
+  last_completion_ = now;
+  if (ok && now >= warmup_end_) {
+    const DurNs total = now - op_start;
+    stats_.ios_completed++;
+    stats_.bytes_moved += spec_.io_bytes;
+    stats_.latency.record(total);
+    LatencyParts parts;
+    parts.io = static_cast<DurNs>(r.io_time_ns);
+    parts.other = static_cast<DurNs>(r.target_time_ns) + fill_ns;
+    parts.comm = total - parts.io - parts.other;
+    if (parts.comm < 0) parts.comm = 0;
+    stats_.breakdown.record(parts);
+  }
+  issue();
+}
+
+void PerfDriver::maybe_finish() {
+  if (outstanding_ > 0 || !stopped_issuing_ || done_ == nullptr) return;
+  stats_.elapsed = last_completion_ - warmup_end_;
+  if (stats_.elapsed <= 0) stats_.elapsed = 1;
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(std::move(stats_));
+}
+
+}  // namespace oaf::bench

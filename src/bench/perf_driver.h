@@ -1,0 +1,65 @@
+// Perf-style workload driver — the repo's equivalent of SPDK's `perf`
+// client (paper §5.1): keeps `queue_depth` I/Os outstanding against one
+// initiator for a fixed (virtual) duration and reports bandwidth, IOPS,
+// latency percentiles, and the io/comm/other breakdown.
+//
+// Like the paper's co-designed perf, the driver uses the zero-copy buffer
+// API whenever the connection offers it: write payloads are produced
+// directly into shm slots and read payloads are consumed from them. Payload
+// production time ("fill") is charged against a single app core and counted
+// in the "other" latency component.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/stats.h"
+#include "nvmf/initiator.h"
+#include "sim/resource.h"
+
+namespace oaf::bench {
+
+class PerfDriver {
+ public:
+  using DoneCb = std::function<void(RunStats)>;
+
+  PerfDriver(Executor& exec, nvmf::NvmfInitiator& initiator, WorkloadSpec spec,
+             u32 nsid = 1);
+
+  /// Begin issuing; `done` fires once the run drains after `spec.duration`.
+  void run(DoneCb done);
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  void issue();
+  void submit_read(u64 offset);
+  void submit_write(u64 offset);
+  void on_complete(TimeNs op_start, DurNs fill_ns, bool ok,
+                   const nvmf::NvmfInitiator::IoResult& r);
+  void maybe_finish();
+
+  Executor& exec_;
+  nvmf::NvmfInitiator& initiator_;
+  WorkloadSpec spec_;
+  u32 nsid_;
+
+  OffsetStream stream_;
+  sim::Resource fill_core_;
+  std::vector<std::vector<u8>> buffers_;  ///< staged-path payload buffers
+  u32 next_buffer_ = 0;
+
+  TimeNs t0_ = 0;
+  TimeNs warmup_end_ = 0;
+  TimeNs stop_at_ = 0;
+  TimeNs last_completion_ = 0;
+  u32 outstanding_ = 0;
+  bool stopped_issuing_ = false;
+
+  RunStats stats_;
+  DoneCb done_;
+};
+
+}  // namespace oaf::bench

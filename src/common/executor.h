@@ -1,0 +1,34 @@
+// Execution-context abstraction shared by the functional (threaded) and
+// timing (discrete-event) planes.
+//
+// Protocol engines (Connection Manager, NVMe-oF target/initiator, AF
+// endpoint) are written as single-threaded state machines driven by an
+// Executor: they post continuations, arm timers, and read the clock, never
+// touching std::thread or the simulation scheduler directly. The same engine
+// object therefore runs unchanged on a real reactor thread in tests and on
+// the virtual-time scheduler in the figure benches.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace oaf {
+
+class Executor {
+ public:
+  using Fn = std::function<void()>;
+
+  virtual ~Executor() = default;
+
+  /// Run `fn` as soon as possible, after the current event completes.
+  virtual void post(Fn fn) = 0;
+
+  /// Run `fn` after `delay` nanoseconds of (virtual or real) time.
+  virtual void schedule_after(DurNs delay, Fn fn) = 0;
+
+  /// Current time on this executor's clock (ns since its epoch).
+  [[nodiscard]] virtual TimeNs now() const = 0;
+};
+
+}  // namespace oaf

@@ -1,0 +1,49 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+namespace oaf {
+
+size_t Histogram::bucket_index(u64 v) {
+  // Tier 0 holds [0, kSubBuckets) linearly; tier t >= 1 holds
+  // [kSubBuckets*2^(t-1), kSubBuckets*2^t) with kSubBuckets linear buckets.
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  int tier = msb - 5;  // log2(kSubBuckets) == 6, first scaled tier starts at 2^6
+  if (tier >= kTiers) tier = kTiers - 1;
+  const u64 tier_base = u64{kSubBuckets} << (tier - 1);
+  const u64 scale = tier_base / kSubBuckets;  // width of one sub-bucket
+  u64 sub = (v - tier_base) / scale;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return static_cast<size_t>(tier) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+u64 Histogram::bucket_upper_bound(size_t index) {
+  const size_t tier = index / kSubBuckets;
+  const size_t sub = index % kSubBuckets;
+  if (tier == 0) return sub;  // exact for tier 0
+  const u64 tier_base = u64{kSubBuckets} << (tier - 1);
+  const u64 scale = tier_base / kSubBuckets;
+  return tier_base + (sub + 1) * scale - 1;
+}
+
+i64 Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based, ceil to match "q of samples <= x").
+  u64 target = static_cast<u64>(q * static_cast<double>(count_));
+  if (target == 0) target = 1;
+  if (target > count_) target = count_;
+  u64 running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (running >= target) {
+      const u64 rep = bucket_upper_bound(i);
+      return rep > static_cast<u64>(max_) ? max_ : static_cast<i64>(rep);
+    }
+  }
+  return max_;
+}
+
+}  // namespace oaf

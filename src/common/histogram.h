@@ -1,0 +1,76 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// HDR-style layout: values are grouped into power-of-two "tiers", each tier
+// split into a fixed number of linear sub-buckets, giving a bounded relative
+// error (~1/kSubBuckets) at every magnitude. Recording is O(1), lock-free not
+// required (each worker owns a histogram; merge at the end).
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oaf {
+
+class Histogram {
+ public:
+  static constexpr int kTiers = 40;        // covers [0, 2^40) ns ≈ 18 minutes
+  static constexpr int kSubBuckets = 64;   // ~1.6% relative error
+
+  Histogram() { counts_.fill(0); }
+
+  void record(i64 value) {
+    if (value < 0) value = 0;
+    counts_[bucket_index(static_cast<u64>(value))]++;
+    count_++;
+    sum_ += value;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const Histogram& other) {
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  void reset() {
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = INT64_MAX;
+    max_ = INT64_MIN;
+  }
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] i64 min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] i64 max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]; returns the representative (upper bound)
+  /// of the containing bucket, clamped to the observed max.
+  [[nodiscard]] i64 percentile(double q) const;
+
+  [[nodiscard]] i64 p50() const { return percentile(0.50); }
+  [[nodiscard]] i64 p99() const { return percentile(0.99); }
+  [[nodiscard]] i64 p999() const { return percentile(0.999); }
+  [[nodiscard]] i64 p9999() const { return percentile(0.9999); }
+
+ private:
+  static size_t bucket_index(u64 v);
+  static u64 bucket_upper_bound(size_t index);
+
+  std::array<u64, static_cast<size_t>(kTiers) * kSubBuckets> counts_{};
+  u64 count_ = 0;
+  i64 sum_ = 0;
+  i64 min_ = INT64_MAX;
+  i64 max_ = INT64_MIN;
+};
+
+}  // namespace oaf

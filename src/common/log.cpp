@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <atomic>
+
+namespace oaf {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip directories for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s] %s:%d %s\n", level_tag(level), base, line, msg.c_str());
+}
+
+namespace detail {
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+}  // namespace detail
+
+}  // namespace oaf

@@ -1,0 +1,35 @@
+// Minimal leveled logger. The data path never logs; logging exists for
+// connection lifecycle events and bench harness diagnostics, so a simple
+// stderr sink behind a global level is sufficient and dependency-free.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace oaf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+std::string format_log(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define OAF_LOG(level, ...)                                                \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::oaf::log_level())) { \
+      ::oaf::log_message(level, __FILE__, __LINE__,                        \
+                         ::oaf::detail::format_log(__VA_ARGS__));          \
+    }                                                                      \
+  } while (0)
+
+#define OAF_DEBUG(...) OAF_LOG(::oaf::LogLevel::kDebug, __VA_ARGS__)
+#define OAF_INFO(...) OAF_LOG(::oaf::LogLevel::kInfo, __VA_ARGS__)
+#define OAF_WARN(...) OAF_LOG(::oaf::LogLevel::kWarn, __VA_ARGS__)
+#define OAF_ERROR(...) OAF_LOG(::oaf::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace oaf

@@ -1,0 +1,105 @@
+// Deterministic random number generation for workloads and timing models.
+//
+// Every experiment seeds its own Rng so runs are reproducible bit-for-bit;
+// std::mt19937 is avoided because its state is large and its distributions
+// are not portable across standard library implementations.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace oaf {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64. Fast, small
+/// state, and fully deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // SplitMix64 to spread a small seed over the 256-bit state.
+    u64 x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) {
+    // Rejection sampling to avoid modulo bias; bias is negligible for the
+    // bounds we use, but rejection keeps property tests exact.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+      const u64 r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponential variate with the given mean (used for service-time jitter).
+  double next_exponential(double mean) {
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Lognormal variate; mu/sigma are of the underlying normal. Heavy tails
+  /// for the RDMA registration-miss model (paper Fig 13 discussion).
+  double next_lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * next_gaussian());
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0;
+    double v = 0;
+    double s = 0;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace oaf

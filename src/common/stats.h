@@ -1,0 +1,118 @@
+// Aggregate statistics used by the benchmark harness and latency-breakdown
+// accounting (paper Figures 3 and 12 split end-to-end latency into
+// "I/O time" on the SSD, "communication time" on the fabric, and "other"
+// client/target preparation & processing time).
+#pragma once
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf {
+
+/// Per-request latency decomposition (all nanoseconds).
+struct LatencyParts {
+  DurNs io = 0;     ///< time the request spent executing on the NVMe device
+  DurNs comm = 0;   ///< time in transit on the fabric (wire + stack + notify)
+  DurNs other = 0;  ///< preparation/processing at client and target
+
+  [[nodiscard]] DurNs total() const { return io + comm + other; }
+
+  LatencyParts& operator+=(const LatencyParts& o) {
+    io += o.io;
+    comm += o.comm;
+    other += o.other;
+    return *this;
+  }
+};
+
+/// Accumulates latency decompositions over many requests.
+class BreakdownStats {
+ public:
+  void record(const LatencyParts& parts) {
+    sum_ += parts;
+    count_++;
+  }
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] LatencyParts mean() const {
+    if (count_ == 0) return {};
+    return {sum_.io / static_cast<i64>(count_),
+            sum_.comm / static_cast<i64>(count_),
+            sum_.other / static_cast<i64>(count_)};
+  }
+
+  void merge(const BreakdownStats& o) {
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
+
+  void reset() {
+    sum_ = {};
+    count_ = 0;
+  }
+
+ private:
+  LatencyParts sum_;
+  u64 count_ = 0;
+};
+
+/// Throughput + latency summary for one workload run.
+struct RunStats {
+  u64 ios_completed = 0;
+  u64 bytes_moved = 0;
+  DurNs elapsed = 0;
+  Histogram latency;            ///< end-to-end per-I/O latency, ns
+  BreakdownStats breakdown;     ///< io/comm/other decomposition
+
+  [[nodiscard]] double bandwidth_mib_s() const {
+    return mib_per_sec(bytes_moved, elapsed);
+  }
+  [[nodiscard]] double iops() const {
+    if (elapsed <= 0) return 0.0;
+    return static_cast<double>(ios_completed) /
+           (static_cast<double>(elapsed) / 1e9);
+  }
+  [[nodiscard]] double avg_latency_us() const {
+    return ns_to_us(static_cast<DurNs>(latency.mean()));
+  }
+
+  void merge(const RunStats& o) {
+    ios_completed += o.ios_completed;
+    bytes_moved += o.bytes_moved;
+    if (o.elapsed > elapsed) elapsed = o.elapsed;
+    latency.merge(o.latency);
+    breakdown.merge(o.breakdown);
+  }
+};
+
+/// Running scalar statistics (Welford) for property tests and calibration.
+class RunningStat {
+ public:
+  void add(double x) {
+    n_++;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+  [[nodiscard]] u64 count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace oaf

@@ -1,0 +1,102 @@
+// Lightweight status / result types.
+//
+// Error handling in the data path must be allocation-free and branch-cheap,
+// so we use a small enum-based Status plus a Result<T> that carries either a
+// value or a Status. Exceptions are reserved for unrecoverable setup errors
+// (e.g. shm mapping failures during construction).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace oaf {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kDataLoss,
+  kProtocolError,
+  kTimeout,
+  kInternal,
+  kUnimplemented,
+};
+
+std::string_view to_string(StatusCode code);
+
+/// A status code plus an optional human-readable message. Cheap to copy when
+/// OK (no allocation on the success path).
+class Status {
+ public:
+  Status() = default;
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(StatusCode code, std::string msg = {}) {
+  return Status(code, std::move(msg));
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).is_ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(payload_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace oaf

@@ -1,0 +1,70 @@
+// ASCII table printer for the benchmark harness. Each figure bench prints
+// one or more of these tables with the same rows/series the paper reports.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace oaf {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols) {
+    header_ = std::move(cols);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Format helper: fixed-point double with `prec` digits.
+  static std::string num(double v, int prec = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    os << "\n== " << title_ << " ==\n";
+    print_row(os, header_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& r : rows_) print_row(os, r, widths);
+    os.flush();
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& cells,
+                        const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << " " << std::setw(static_cast<int>(widths[c])) << std::left << cell << " ";
+      if (c + 1 < widths.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oaf

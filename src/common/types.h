@@ -1,0 +1,30 @@
+// Fundamental integer/byte/time aliases used across the NVMe-oAF codebase.
+//
+// The timing plane runs on a virtual clock; the functional plane runs on the
+// steady clock. Both use the same representation: signed nanoseconds since an
+// arbitrary epoch, which keeps arithmetic on durations trivial and avoids
+// mixing chrono types across the simulation boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oaf {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Virtual or real time point, in nanoseconds since an arbitrary epoch.
+using TimeNs = i64;
+/// Duration in nanoseconds.
+using DurNs = i64;
+
+inline constexpr TimeNs kTimeNever = INT64_MAX;
+
+}  // namespace oaf

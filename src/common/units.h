@@ -1,0 +1,57 @@
+// Unit helpers: sizes (KiB/MiB/GiB), link rates (Gbps), and time literals.
+//
+// Link rates in the paper are quoted in Gb/s (decimal) while I/O sizes are
+// binary (KiB). Conversions here are explicit so the calibration tables in
+// src/bench/calibration.* read exactly like the paper's configuration.
+#pragma once
+
+#include "common/types.h"
+
+namespace oaf {
+
+inline constexpr u64 kKiB = 1024;
+inline constexpr u64 kMiB = 1024 * kKiB;
+inline constexpr u64 kGiB = 1024 * kMiB;
+
+constexpr u64 operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr u64 operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr u64 operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+constexpr DurNs operator""_ns(unsigned long long v) { return static_cast<DurNs>(v); }
+constexpr DurNs operator""_us(unsigned long long v) { return static_cast<DurNs>(v) * 1000; }
+constexpr DurNs operator""_ms(unsigned long long v) { return static_cast<DurNs>(v) * 1000000; }
+constexpr DurNs operator""_s(unsigned long long v) { return static_cast<DurNs>(v) * 1000000000; }
+
+/// Bytes per second for a decimal gigabit-per-second link rate.
+constexpr double gbps_to_bytes_per_sec(double gbps) { return gbps * 1e9 / 8.0; }
+
+/// Serialization time for `bytes` on a link of `gbps`, in nanoseconds.
+constexpr DurNs wire_time_ns(u64 bytes, double gbps) {
+  return static_cast<DurNs>(static_cast<double>(bytes) /
+                            gbps_to_bytes_per_sec(gbps) * 1e9);
+}
+
+/// Time to move `bytes` at a byte-rate of `bytes_per_sec`.
+constexpr DurNs transfer_time_ns(u64 bytes, double bytes_per_sec) {
+  return static_cast<DurNs>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+/// Throughput in MiB/s given bytes moved over a duration.
+constexpr double mib_per_sec(u64 bytes, DurNs elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(kMiB) /
+         (static_cast<double>(elapsed) / 1e9);
+}
+
+constexpr double ns_to_us(DurNs ns) { return static_cast<double>(ns) / 1e3; }
+constexpr double ns_to_ms(DurNs ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Ceiling division, used for chunk counts: ceil(io_size / chunk_size).
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// Round `v` up to a multiple of `align` (align must be a power of two).
+constexpr u64 align_up(u64 v, u64 align) { return (v + align - 1) & ~(align - 1); }
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace oaf

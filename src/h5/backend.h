@@ -1,0 +1,72 @@
+// Storage backends for the mini-HDF5 runtime.
+//
+// The HDF5 file is a flat byte address space; a StorageBackend maps it onto
+// some storage service. Implementations: in-memory (tests), NVMe-oAF (the
+// paper's co-design — file bytes on a remote namespace through the
+// initiator, optionally zero-copy), NFS (baseline), and a coalescing
+// decorator that merges adjacent small I/Os into large ones (the
+// application-agnostic optimization behind Fig 17).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oaf::h5 {
+
+class StorageBackend {
+ public:
+  using IoCb = std::function<void(Status)>;
+
+  virtual ~StorageBackend() = default;
+
+  virtual void write(u64 offset, std::span<const u8> data, IoCb cb) = 0;
+  virtual void read(u64 offset, std::span<u8> out, IoCb cb) = 0;
+
+  /// Persist all buffered state (coalescers drain, NFS commits, fabrics
+  /// flush the device write cache).
+  virtual void flush(IoCb cb) = 0;
+
+  [[nodiscard]] virtual u64 capacity_bytes() const = 0;
+};
+
+/// In-memory backend for unit tests and examples.
+class MemoryBackend final : public StorageBackend {
+ public:
+  explicit MemoryBackend(u64 capacity) : data_(capacity, 0) {}
+
+  void write(u64 offset, std::span<const u8> data, IoCb cb) override {
+    if (offset + data.size() > data_.size()) {
+      cb(make_error(StatusCode::kOutOfRange, "write past capacity"));
+      return;
+    }
+    std::copy(data.begin(), data.end(), data_.begin() + static_cast<long>(offset));
+    writes_++;
+    cb(Status::ok());
+  }
+
+  void read(u64 offset, std::span<u8> out, IoCb cb) override {
+    if (offset + out.size() > data_.size()) {
+      cb(make_error(StatusCode::kOutOfRange, "read past capacity"));
+      return;
+    }
+    std::copy_n(data_.begin() + static_cast<long>(offset), out.size(), out.begin());
+    reads_++;
+    cb(Status::ok());
+  }
+
+  void flush(IoCb cb) override { cb(Status::ok()); }
+
+  [[nodiscard]] u64 capacity_bytes() const override { return data_.size(); }
+  [[nodiscard]] u64 writes() const { return writes_; }
+  [[nodiscard]] u64 reads() const { return reads_; }
+
+ private:
+  std::vector<u8> data_;
+  u64 writes_ = 0;
+  u64 reads_ = 0;
+};
+
+}  // namespace oaf::h5

@@ -1,0 +1,196 @@
+#include "h5/coalescing_backend.h"
+
+#include <cstring>
+
+namespace oaf::h5 {
+
+u64 CoalescingBackend::pending_bytes() const {
+  u64 sum = 0;
+  for (const auto& run : runs_) sum += run->data.size();
+  return sum;
+}
+
+bool CoalescingBackend::overlaps_any_run(u64 offset, u64 length) const {
+  for (const auto& run : runs_) {
+    if (offset < run->end() && offset + length > run->offset) return true;
+  }
+  return false;
+}
+
+void CoalescingBackend::invalidate_windows(u64 offset, u64 length) {
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (offset < (*it)->end() && offset + length > (*it)->offset) {
+      it = windows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CoalescingBackend::drain_run(std::unique_ptr<Run> run, IoCb then) {
+  coalesced_flushes_++;
+  // std::function requires copyable captures; promote the run to shared
+  // ownership for the duration of the inner write.
+  std::shared_ptr<Run> shared = std::move(run);
+  inner_.write(shared->offset, shared->data,
+               [shared, then = std::move(then)](Status st) { then(st); });
+}
+
+void CoalescingBackend::drain_all(IoCb then) {
+  if (runs_.empty()) {
+    then(Status::ok());
+    return;
+  }
+  auto pending = std::make_shared<int>(static_cast<int>(runs_.size()));
+  auto first_error = std::make_shared<Status>();
+  auto done = std::make_shared<IoCb>(std::move(then));
+  while (!runs_.empty()) {
+    auto run = std::move(runs_.front());
+    runs_.pop_front();
+    drain_run(std::move(run), [pending, first_error, done](Status st) {
+      if (!st && first_error->is_ok()) *first_error = st;
+      if (--*pending == 0) (*done)(*first_error);
+    });
+  }
+}
+
+void CoalescingBackend::write(u64 offset, std::span<const u8> data, IoCb cb) {
+  invalidate_windows(offset, data.size());
+
+  // Extend an open run?
+  for (auto it = runs_.begin(); it != runs_.end(); ++it) {
+    Run& run = **it;
+    if (offset == run.end() && run.data.size() + data.size() <= run_bytes_) {
+      run.data.insert(run.data.end(), data.begin(), data.end());
+      writes_absorbed_++;
+      // Move to LRU back (most recently used).
+      auto node = std::move(*it);
+      runs_.erase(it);
+      const bool full = node->data.size() >= run_bytes_;
+      if (full) {
+        drain_run(std::move(node), std::move(cb));
+      } else {
+        runs_.push_back(std::move(node));
+        cb(Status::ok());
+      }
+      return;
+    }
+  }
+
+  // Overlapping rewrite of pending data: keep it simple and correct — drain
+  // everything, then write through.
+  if (overlaps_any_run(offset, data.size())) {
+    auto owned = std::make_shared<std::vector<u8>>(data.begin(), data.end());
+    drain_all([this, offset, owned, cb = std::move(cb)](Status st) mutable {
+      if (!st) {
+        cb(st);
+        return;
+      }
+      inner_.write(offset, *owned, [owned, cb = std::move(cb)](Status st2) {
+        cb(st2);
+      });
+    });
+    return;
+  }
+
+  // Open a new run, evicting the least-recently-used one if at capacity.
+  if (runs_.size() >= max_runs_) {
+    auto evict = std::move(runs_.front());
+    runs_.pop_front();
+    auto node = std::make_unique<Run>();
+    node->offset = offset;
+    node->data.assign(data.begin(), data.end());
+    writes_absorbed_++;
+    runs_.push_back(std::move(node));
+    // The caller's completion rides the eviction drain: backpressure
+    // propagates once the stream count exceeds the coalescer's capacity.
+    drain_run(std::move(evict), std::move(cb));
+    return;
+  }
+  auto node = std::make_unique<Run>();
+  node->offset = offset;
+  node->data.assign(data.begin(), data.end());
+  node->data.reserve(run_bytes_);
+  writes_absorbed_++;
+  runs_.push_back(std::move(node));
+  cb(Status::ok());
+}
+
+void CoalescingBackend::read(u64 offset, std::span<u8> out, IoCb cb) {
+  // Read-your-writes: serve from a pending run when fully covered.
+  for (const auto& run : runs_) {
+    if (offset >= run->offset && offset + out.size() <= run->end()) {
+      std::memcpy(out.data(), run->data.data() + (offset - run->offset),
+                  out.size());
+      cb(Status::ok());
+      return;
+    }
+  }
+  // Partially overlapping dirty data: drain for consistency, then re-read.
+  if (overlaps_any_run(offset, out.size())) {
+    drain_all([this, offset, out, cb = std::move(cb)](Status st) mutable {
+      if (!st) {
+        cb(st);
+        return;
+      }
+      read(offset, out, std::move(cb));
+    });
+    return;
+  }
+
+  // Readahead window hit?
+  for (auto it = windows_.begin(); it != windows_.end(); ++it) {
+    Window& w = **it;
+    if (offset >= w.offset && offset + out.size() <= w.end()) {
+      std::memcpy(out.data(), w.data.data() + (offset - w.offset), out.size());
+      // LRU touch.
+      auto node = std::move(*it);
+      windows_.erase(it);
+      windows_.push_back(std::move(node));
+      cb(Status::ok());
+      return;
+    }
+  }
+
+  if (readahead_bytes_ <= out.size()) {
+    inner_.read(offset, out, std::move(cb));
+    return;
+  }
+
+  // Fetch a per-stream window and serve this read from it.
+  u64 window = readahead_bytes_;
+  if (capacity_bytes() != 0 && offset + window > capacity_bytes()) {
+    window = capacity_bytes() - offset;
+  }
+  if (window < out.size()) {
+    inner_.read(offset, out, std::move(cb));
+    return;
+  }
+  auto node = std::make_shared<Window>();
+  node->offset = offset;
+  node->data.resize(window);
+  inner_.read(offset, node->data,
+              [this, node, out, cb = std::move(cb)](Status st) mutable {
+                if (!st) {
+                  cb(st);
+                  return;
+                }
+                std::memcpy(out.data(), node->data.data(), out.size());
+                if (windows_.size() >= max_windows_) windows_.pop_front();
+                auto owned = std::make_unique<Window>(std::move(*node));
+                windows_.push_back(std::move(owned));
+                cb(Status::ok());
+              });
+}
+
+void CoalescingBackend::flush(IoCb cb) {
+  drain_all([this, cb = std::move(cb)](Status st) mutable {
+    if (!st) {
+      cb(st);
+      return;
+    }
+    inner_.flush(std::move(cb));
+  });
+}
+
+}  // namespace oaf::h5

@@ -1,0 +1,207 @@
+#include "h5/file.h"
+
+#include "common/units.h"
+
+#include <cstring>
+#include <memory>
+
+namespace oaf::h5 {
+
+namespace {
+
+constexpr u64 kMagic = 0x4f41464844463500ULL;  // "OAFHDF5\0"
+constexpr u32 kVersion = 1;
+constexpr u64 kEntryBytes = 240;  // fixed-size object table entry
+
+void put_u32(u8* p, u32 v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+void put_u64(u8* p, u64 v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+u32 get_u32(const u8* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(p[i]) << (8 * i);
+  return v;
+}
+u64 get_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<u8> H5File::encode_metadata() const {
+  std::vector<u8> buf(kSuperblockBytes + kObjectTableBytes, 0);
+  put_u64(buf.data(), kMagic);
+  put_u32(buf.data() + 8, kVersion);
+  put_u32(buf.data() + 12, static_cast<u32>(datasets_.size()));
+  put_u64(buf.data() + 16, eof_);
+
+  u8* table = buf.data() + kSuperblockBytes;
+  for (size_t i = 0; i < datasets_.size(); ++i) {
+    const DatasetInfo& ds = datasets_[i];
+    u8* e = table + i * kEntryBytes;
+    put_u32(e, static_cast<u32>(ds.name.size()));
+    std::memcpy(e + 4, ds.name.data(), ds.name.size());
+    put_u32(e + 4 + kMaxNameBytes, ds.elem_size);
+    put_u64(e + 8 + kMaxNameBytes, ds.num_elems);
+    put_u64(e + 16 + kMaxNameBytes, ds.data_offset);
+  }
+  return buf;
+}
+
+Status H5File::decode_metadata(std::span<const u8> super,
+                               std::span<const u8> table) {
+  if (super.size() < 24 || get_u64(super.data()) != kMagic) {
+    return make_error(StatusCode::kDataLoss, "not an OAF-HDF5 file");
+  }
+  if (get_u32(super.data() + 8) != kVersion) {
+    return make_error(StatusCode::kFailedPrecondition, "unsupported version");
+  }
+  const u32 count = get_u32(super.data() + 12);
+  if (count > kMaxDatasets) {
+    return make_error(StatusCode::kDataLoss, "corrupt dataset count");
+  }
+  eof_ = get_u64(super.data() + 16);
+
+  datasets_.clear();
+  datasets_.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const u8* e = table.data() + i * kEntryBytes;
+    DatasetInfo ds;
+    const u32 name_len = get_u32(e);
+    if (name_len > kMaxNameBytes) {
+      return make_error(StatusCode::kDataLoss, "corrupt dataset name");
+    }
+    ds.name.assign(reinterpret_cast<const char*>(e + 4), name_len);
+    ds.elem_size = get_u32(e + 4 + kMaxNameBytes);
+    ds.num_elems = get_u64(e + 8 + kMaxNameBytes);
+    ds.data_offset = get_u64(e + 16 + kMaxNameBytes);
+    if (ds.elem_size == 0 || ds.data_offset < kDataStart ||
+        ds.data_offset + ds.data_bytes() > eof_) {
+      return make_error(StatusCode::kDataLoss, "corrupt dataset extent");
+    }
+    datasets_.push_back(std::move(ds));
+  }
+  return Status::ok();
+}
+
+void H5File::create(Cb cb) {
+  datasets_.clear();
+  eof_ = kDataStart;
+  open_ = true;
+  sync(std::move(cb));
+}
+
+void H5File::open(Cb cb) {
+  auto buf = std::make_shared<std::vector<u8>>(kSuperblockBytes + kObjectTableBytes);
+  backend_.read(0, *buf, [this, buf, cb = std::move(cb)](Status st) {
+    if (!st) {
+      cb(st);
+      return;
+    }
+    const std::span<const u8> all(*buf);
+    const Status decoded = decode_metadata(all.subspan(0, kSuperblockBytes),
+                                           all.subspan(kSuperblockBytes));
+    open_ = decoded.is_ok();
+    cb(decoded);
+  });
+}
+
+Result<H5File::DatasetId> H5File::create_dataset(const std::string& name,
+                                                 u32 elem_size, u64 num_elems) {
+  if (!open_) {
+    return make_error(StatusCode::kFailedPrecondition, "file not open");
+  }
+  if (name.empty() || name.size() > kMaxNameBytes) {
+    return make_error(StatusCode::kInvalidArgument, "bad dataset name");
+  }
+  if (elem_size == 0 || num_elems == 0) {
+    return make_error(StatusCode::kInvalidArgument, "empty dataset");
+  }
+  if (datasets_.size() >= kMaxDatasets) {
+    return make_error(StatusCode::kResourceExhausted, "too many datasets");
+  }
+  if (find_dataset(name).is_ok()) {
+    return make_error(StatusCode::kAlreadyExists, "dataset exists: " + name);
+  }
+  DatasetInfo ds;
+  ds.name = name;
+  ds.elem_size = elem_size;
+  ds.num_elems = num_elems;
+  ds.data_offset = align_up(eof_, kDataAlign);
+  const u64 new_eof = ds.data_offset + ds.data_bytes();
+  if (backend_.capacity_bytes() != 0 && new_eof > backend_.capacity_bytes()) {
+    return make_error(StatusCode::kResourceExhausted, "backend capacity exceeded");
+  }
+  eof_ = new_eof;
+  datasets_.push_back(std::move(ds));
+  return static_cast<DatasetId>(datasets_.size() - 1);
+}
+
+Result<H5File::DatasetId> H5File::find_dataset(const std::string& name) const {
+  for (size_t i = 0; i < datasets_.size(); ++i) {
+    if (datasets_[i].name == name) return static_cast<DatasetId>(i);
+  }
+  return make_error(StatusCode::kNotFound, "no such dataset: " + name);
+}
+
+Status H5File::check_io(DatasetId id, u64 elem_off, u64 bytes) const {
+  if (!open_) {
+    return make_error(StatusCode::kFailedPrecondition, "file not open");
+  }
+  if (id < 0 || static_cast<size_t>(id) >= datasets_.size()) {
+    return make_error(StatusCode::kNotFound, "bad dataset id");
+  }
+  const DatasetInfo& ds = datasets_[static_cast<size_t>(id)];
+  if (bytes % ds.elem_size != 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "transfer not a multiple of element size");
+  }
+  const u64 elems = bytes / ds.elem_size;
+  if (elem_off > ds.num_elems || elems > ds.num_elems - elem_off) {
+    return make_error(StatusCode::kOutOfRange, "transfer exceeds dataset");
+  }
+  return Status::ok();
+}
+
+void H5File::write(DatasetId id, u64 elem_off, std::span<const u8> data, Cb cb) {
+  if (auto st = check_io(id, elem_off, data.size()); !st) {
+    cb(st);
+    return;
+  }
+  const DatasetInfo& ds = datasets_[static_cast<size_t>(id)];
+  vol_.dataset_write(backend_, ds, elem_off * ds.elem_size, data, std::move(cb));
+}
+
+void H5File::read(DatasetId id, u64 elem_off, std::span<u8> out, Cb cb) {
+  if (auto st = check_io(id, elem_off, out.size()); !st) {
+    cb(st);
+    return;
+  }
+  const DatasetInfo& ds = datasets_[static_cast<size_t>(id)];
+  vol_.dataset_read(backend_, ds, elem_off * ds.elem_size, out, std::move(cb));
+}
+
+void H5File::sync(Cb cb) {
+  if (!open_) {
+    cb(make_error(StatusCode::kFailedPrecondition, "file not open"));
+    return;
+  }
+  auto buf = std::make_shared<std::vector<u8>>(encode_metadata());
+  backend_.write(0, *buf, [buf, cb = std::move(cb)](Status st) { cb(st); });
+}
+
+void H5File::close(Cb cb) {
+  sync([this, cb = std::move(cb)](Status st) mutable {
+    if (!st) {
+      cb(st);
+      return;
+    }
+    backend_.flush(std::move(cb));
+  });
+}
+
+}  // namespace oaf::h5

@@ -1,0 +1,79 @@
+// Mini-HDF5 file runtime.
+//
+// A deliberately small but real re-implementation of the HDF5 pieces
+// h5bench exercises: a superblock, a flat object table of named 1-D
+// datasets with fixed element size, and contiguous data layout. All data
+// transfers go through a VOL connector (vol.h); all bytes go through a
+// StorageBackend, so the same file logic runs on memory, NVMe-oAF, or NFS.
+//
+// On-disk layout (little-endian):
+//   [0, 4096)        superblock: magic, version, dataset count, eof
+//   [4096, 65536)    object table: kMaxDatasets fixed-size entries
+//   [65536, ...)     dataset data, each dataset 4 KiB-aligned, contiguous
+#pragma once
+
+#include <vector>
+
+#include "h5/backend.h"
+#include "h5/vol.h"
+
+namespace oaf::h5 {
+
+class H5File {
+ public:
+  using Cb = StorageBackend::IoCb;
+  using DatasetId = int;
+
+  static constexpr u64 kSuperblockBytes = 4096;
+  static constexpr u64 kObjectTableBytes = 60 * 1024;
+  static constexpr u64 kDataStart = kSuperblockBytes + kObjectTableBytes;
+  static constexpr u32 kMaxDatasets = 256;
+  static constexpr u32 kMaxNameBytes = 200;
+  static constexpr u64 kDataAlign = 4096;
+
+  H5File(StorageBackend& backend, VolConnector& vol)
+      : backend_(backend), vol_(vol) {}
+
+  /// Format a fresh (empty) file and persist the superblock.
+  void create(Cb cb);
+
+  /// Load and validate an existing file's metadata.
+  void open(Cb cb);
+
+  /// Define a new dataset (metadata only; persisted by close()/sync()).
+  Result<DatasetId> create_dataset(const std::string& name, u32 elem_size,
+                                   u64 num_elems);
+
+  Result<DatasetId> find_dataset(const std::string& name) const;
+  [[nodiscard]] const DatasetInfo& dataset(DatasetId id) const {
+    return datasets_[static_cast<size_t>(id)];
+  }
+  [[nodiscard]] size_t dataset_count() const { return datasets_.size(); }
+  [[nodiscard]] bool is_open() const { return open_; }
+  [[nodiscard]] u64 eof() const { return eof_; }
+
+  /// Write `data` starting at element `elem_off` of dataset `id`.
+  void write(DatasetId id, u64 elem_off, std::span<const u8> data, Cb cb);
+
+  /// Read into `out` starting at element `elem_off`.
+  void read(DatasetId id, u64 elem_off, std::span<u8> out, Cb cb);
+
+  /// Persist metadata without closing.
+  void sync(Cb cb);
+
+  /// Persist metadata and flush the backend. The file stays usable.
+  void close(Cb cb);
+
+ private:
+  [[nodiscard]] std::vector<u8> encode_metadata() const;
+  Status decode_metadata(std::span<const u8> super, std::span<const u8> table);
+  Status check_io(DatasetId id, u64 elem_off, u64 bytes) const;
+
+  StorageBackend& backend_;
+  VolConnector& vol_;
+  std::vector<DatasetInfo> datasets_;
+  u64 eof_ = kDataStart;
+  bool open_ = false;
+};
+
+}  // namespace oaf::h5

@@ -1,0 +1,43 @@
+// HDF5-over-NFS backend (the paper's baseline in Figs 16/17): the file is a
+// single NFS file; reads and writes map directly to NFS client operations.
+#pragma once
+
+#include <string>
+
+#include "h5/backend.h"
+#include "nfs/nfs.h"
+
+namespace oaf::h5 {
+
+class NfsBackend final : public StorageBackend {
+ public:
+  NfsBackend(nfs::NfsClient& client, std::string file, u64 capacity)
+      : client_(client), file_(std::move(file)), capacity_(capacity) {}
+
+  void write(u64 offset, std::span<const u8> data, IoCb cb) override {
+    if (offset + data.size() > capacity_) {
+      cb(make_error(StatusCode::kOutOfRange, "write past capacity"));
+      return;
+    }
+    client_.write(file_, offset, data, std::move(cb));
+  }
+
+  void read(u64 offset, std::span<u8> out, IoCb cb) override {
+    if (offset + out.size() > capacity_) {
+      cb(make_error(StatusCode::kOutOfRange, "read past capacity"));
+      return;
+    }
+    client_.read(file_, offset, out, std::move(cb));
+  }
+
+  void flush(IoCb cb) override { client_.commit(std::move(cb)); }
+
+  [[nodiscard]] u64 capacity_bytes() const override { return capacity_; }
+
+ private:
+  nfs::NfsClient& client_;
+  std::string file_;
+  u64 capacity_;
+};
+
+}  // namespace oaf::h5

@@ -1,0 +1,183 @@
+#include "h5/nvmf_backend.h"
+
+#include <cstring>
+
+namespace oaf::h5 {
+
+void NvmfBackend::finish_one(std::shared_ptr<IoCb> done,
+                             std::shared_ptr<int> pending,
+                             std::shared_ptr<Status> first_error, Status st) {
+  if (!st && first_error->is_ok()) *first_error = st;
+  if (--*pending == 0) (*done)(*first_error);
+}
+
+void NvmfBackend::write(u64 offset, std::span<const u8> data, IoCb cb) {
+  if (capacity_ != 0 && offset + data.size() > capacity_) {
+    cb(make_error(StatusCode::kOutOfRange, "write past namespace capacity"));
+    return;
+  }
+  auto done = std::make_shared<IoCb>(std::move(cb));
+  auto pending = std::make_shared<int>(1);  // sentinel
+  auto first_error = std::make_shared<Status>();
+
+  u64 off = offset;
+  u64 remaining = data.size();
+  const u8* src = data.data();
+
+  // Leading unaligned edge.
+  const u64 lead = off % block_size_;
+  if (lead != 0 && remaining > 0) {
+    const u64 n = std::min<u64>(block_size_ - lead, remaining);
+    ++*pending;
+    rmw_edge(off, std::span<const u8>(src, n), done, pending, first_error);
+    off += n;
+    src += n;
+    remaining -= n;
+  }
+
+  // Aligned body in max_io-sized commands.
+  while (remaining >= block_size_) {
+    const u64 body = std::min(remaining - remaining % block_size_, max_io_bytes_);
+    ++*pending;
+    write_aligned(off, std::span<const u8>(src, body), done, pending, first_error);
+    off += body;
+    src += body;
+    remaining -= body;
+  }
+
+  // Trailing unaligned edge.
+  if (remaining > 0) {
+    ++*pending;
+    rmw_edge(off, std::span<const u8>(src, remaining), done, pending, first_error);
+  }
+
+  finish_one(done, pending, first_error, Status::ok());  // drop sentinel
+}
+
+void NvmfBackend::write_aligned(u64 offset, std::span<const u8> data,
+                                std::shared_ptr<IoCb> done,
+                                std::shared_ptr<int> pending,
+                                std::shared_ptr<Status> first_error) {
+  commands_issued_++;
+  const u64 slba = offset / block_size_;
+
+  if (initiator_.supports_zero_copy() &&
+      data.size() <= initiator_.endpoint().slot_bytes()) {
+    auto ticket = initiator_.zero_copy_write_begin(data.size());
+    if (ticket.is_ok()) {
+      zero_copy_writes_++;
+      // The Buffer Manager created this buffer in shm; filling it here is
+      // the only data movement the client performs.
+      std::memcpy(ticket.value().buffer.data(), data.data(), data.size());
+      initiator_.zero_copy_write(
+          ticket.value(), nsid_, slba, data.size(),
+          [done, pending, first_error](nvmf::NvmfInitiator::IoResult r) {
+            finish_one(done, pending, first_error,
+                       r.ok() ? Status::ok()
+                              : make_error(StatusCode::kDataLoss, "write failed"));
+          });
+      return;
+    }
+    // All slots busy: fall through to the staged path.
+  }
+
+  initiator_.write(nsid_, slba, data,
+                   [done, pending, first_error](nvmf::NvmfInitiator::IoResult r) {
+                     finish_one(done, pending, first_error,
+                                r.ok() ? Status::ok()
+                                       : make_error(StatusCode::kDataLoss,
+                                                    "write failed"));
+                   });
+}
+
+void NvmfBackend::rmw_edge(u64 offset, std::span<const u8> data,
+                           std::shared_ptr<IoCb> done,
+                           std::shared_ptr<int> pending,
+                           std::shared_ptr<Status> first_error) {
+  // Read the containing block, merge, write back.
+  const u64 slba = offset / block_size_;
+  const u64 within = offset % block_size_;
+  auto block = std::make_shared<std::vector<u8>>(block_size_);
+  commands_issued_ += 2;
+  initiator_.read(
+      nsid_, slba, *block,
+      [this, slba, within, data, block, done, pending,
+       first_error](nvmf::NvmfInitiator::IoResult r) {
+        if (!r.ok()) {
+          finish_one(done, pending, first_error,
+                     make_error(StatusCode::kDataLoss, "rmw read failed"));
+          return;
+        }
+        std::memcpy(block->data() + within, data.data(), data.size());
+        initiator_.write(nsid_, slba, *block,
+                         [block, done, pending,
+                          first_error](nvmf::NvmfInitiator::IoResult r2) {
+                           finish_one(done, pending, first_error,
+                                      r2.ok() ? Status::ok()
+                                              : make_error(StatusCode::kDataLoss,
+                                                           "rmw write failed"));
+                         });
+      });
+}
+
+void NvmfBackend::read(u64 offset, std::span<u8> out, IoCb cb) {
+  if (capacity_ != 0 && offset + out.size() > capacity_) {
+    cb(make_error(StatusCode::kOutOfRange, "read past namespace capacity"));
+    return;
+  }
+  auto done = std::make_shared<IoCb>(std::move(cb));
+  auto pending = std::make_shared<int>(1);
+  auto first_error = std::make_shared<Status>();
+
+  u64 off = offset;
+  u64 remaining = out.size();
+  u8* dst = out.data();
+
+  while (remaining > 0) {
+    const u64 lead = off % block_size_;
+    const u64 slba = off / block_size_;
+    if (lead != 0 || remaining < block_size_) {
+      // Unaligned or short: read the whole block and copy the piece out.
+      const u64 n = std::min<u64>(block_size_ - lead, remaining);
+      auto block = std::make_shared<std::vector<u8>>(block_size_);
+      commands_issued_++;
+      ++*pending;
+      initiator_.read(nsid_, slba, *block,
+                      [block, dst, lead, n, done, pending,
+                       first_error](nvmf::NvmfInitiator::IoResult r) {
+                        if (r.ok()) std::memcpy(dst, block->data() + lead, n);
+                        finish_one(done, pending, first_error,
+                                   r.ok() ? Status::ok()
+                                          : make_error(StatusCode::kDataLoss,
+                                                       "read failed"));
+                      });
+      off += n;
+      dst += n;
+      remaining -= n;
+      continue;
+    }
+    const u64 body = std::min(remaining - remaining % block_size_, max_io_bytes_);
+    commands_issued_++;
+    ++*pending;
+    initiator_.read(nsid_, slba, std::span<u8>(dst, body),
+                    [done, pending, first_error](nvmf::NvmfInitiator::IoResult r) {
+                      finish_one(done, pending, first_error,
+                                 r.ok() ? Status::ok()
+                                        : make_error(StatusCode::kDataLoss,
+                                                     "read failed"));
+                    });
+    off += body;
+    dst += body;
+    remaining -= body;
+  }
+
+  finish_one(done, pending, first_error, Status::ok());
+}
+
+void NvmfBackend::flush(IoCb cb) {
+  initiator_.flush(nsid_, [cb = std::move(cb)](nvmf::NvmfInitiator::IoResult r) {
+    cb(r.ok() ? Status::ok() : make_error(StatusCode::kDataLoss, "flush failed"));
+  });
+}
+
+}  // namespace oaf::h5

@@ -1,0 +1,57 @@
+// NVMe-oAF storage backend: the paper's SPDK+HDF5 co-design (§4.6, §5.7).
+//
+// File offsets map 1:1 onto namespace LBAs. I/Os are split into
+// slot-size-bounded, block-aligned commands; unaligned edges use
+// read-modify-write. When the initiator's zero-copy API is available the
+// backend requests shm-resident buffers so dataset payloads never take the
+// extra client copy — this is what "co-designing the upper-layer runtime
+// with NVMe-oAF" means concretely.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "h5/backend.h"
+#include "nvmf/initiator.h"
+
+namespace oaf::h5 {
+
+class NvmfBackend final : public StorageBackend {
+ public:
+  NvmfBackend(nvmf::NvmfInitiator& initiator, u32 nsid, u64 max_io_bytes)
+      : initiator_(initiator),
+        nsid_(nsid),
+        max_io_bytes_(max_io_bytes),
+        block_size_(nvmf::NvmfInitiator::kBlockSize) {}
+
+  void write(u64 offset, std::span<const u8> data, IoCb cb) override;
+  void read(u64 offset, std::span<u8> out, IoCb cb) override;
+  void flush(IoCb cb) override;
+
+  [[nodiscard]] u64 capacity_bytes() const override { return capacity_; }
+  void set_capacity(u64 bytes) { capacity_ = bytes; }
+
+  [[nodiscard]] u64 commands_issued() const { return commands_issued_; }
+  [[nodiscard]] u64 zero_copy_writes() const { return zero_copy_writes_; }
+
+ private:
+  /// One block-aligned sub-I/O of a larger request.
+  void write_aligned(u64 offset, std::span<const u8> data,
+                     std::shared_ptr<IoCb> done, std::shared_ptr<int> pending,
+                     std::shared_ptr<Status> first_error);
+  void rmw_edge(u64 offset, std::span<const u8> data, std::shared_ptr<IoCb> done,
+                std::shared_ptr<int> pending, std::shared_ptr<Status> first_error);
+
+  static void finish_one(std::shared_ptr<IoCb> done, std::shared_ptr<int> pending,
+                         std::shared_ptr<Status> first_error, Status st);
+
+  nvmf::NvmfInitiator& initiator_;
+  u32 nsid_;
+  u64 max_io_bytes_;
+  u32 block_size_;
+  u64 capacity_ = 0;
+  u64 commands_issued_ = 0;
+  u64 zero_copy_writes_ = 0;
+};
+
+}  // namespace oaf::h5

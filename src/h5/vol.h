@@ -1,0 +1,81 @@
+// HDF5 Virtual Object Layer (VOL) seam.
+//
+// The paper intercepts HDF5 dataset operations through a VOL connector to
+// route application I/O onto NVMe-oAF (§5.7.1). Our mini-HDF5 runtime keeps
+// the same seam: every dataset data transfer the H5File performs goes
+// through a VolConnector, so alternative connectors can redirect, observe,
+// or transform I/O without the application changing a line — which is the
+// property the paper's co-design relies on.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "h5/backend.h"
+
+namespace oaf::h5 {
+
+struct DatasetInfo {
+  std::string name;
+  u32 elem_size = 0;
+  u64 num_elems = 0;
+  u64 data_offset = 0;  ///< absolute file offset of element 0
+
+  [[nodiscard]] u64 data_bytes() const { return elem_size * num_elems; }
+};
+
+class VolConnector {
+ public:
+  using IoCb = StorageBackend::IoCb;
+
+  virtual ~VolConnector() = default;
+
+  /// Transfer `data` into dataset bytes [byte_off, byte_off + size).
+  virtual void dataset_write(StorageBackend& backend, const DatasetInfo& info,
+                             u64 byte_off, std::span<const u8> data, IoCb cb) {
+    backend.write(info.data_offset + byte_off, data, std::move(cb));
+  }
+
+  virtual void dataset_read(StorageBackend& backend, const DatasetInfo& info,
+                            u64 byte_off, std::span<u8> out, IoCb cb) {
+    backend.read(info.data_offset + byte_off, out, std::move(cb));
+  }
+};
+
+/// Default connector: contiguous layout straight onto the backend.
+class NativeVol final : public VolConnector {};
+
+/// Pass-through connector that counts operations and bytes — used in tests
+/// and as the template for building custom interception connectors.
+class CountingVol final : public VolConnector {
+ public:
+  explicit CountingVol(VolConnector& inner) : inner_(inner) {}
+
+  void dataset_write(StorageBackend& backend, const DatasetInfo& info,
+                     u64 byte_off, std::span<const u8> data, IoCb cb) override {
+    writes_++;
+    bytes_written_ += data.size();
+    inner_.dataset_write(backend, info, byte_off, data, std::move(cb));
+  }
+
+  void dataset_read(StorageBackend& backend, const DatasetInfo& info,
+                    u64 byte_off, std::span<u8> out, IoCb cb) override {
+    reads_++;
+    bytes_read_ += out.size();
+    inner_.dataset_read(backend, info, byte_off, out, std::move(cb));
+  }
+
+  [[nodiscard]] u64 writes() const { return writes_; }
+  [[nodiscard]] u64 reads() const { return reads_; }
+  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
+  [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
+
+ private:
+  VolConnector& inner_;
+  u64 writes_ = 0;
+  u64 reads_ = 0;
+  u64 bytes_written_ = 0;
+  u64 bytes_read_ = 0;
+};
+
+}  // namespace oaf::h5

@@ -1,0 +1,74 @@
+// h5bench-style I/O kernels (paper §5.7, h5bench CUG'21).
+//
+// The write kernel stores 1-D particle arrays of fixed-size elements as
+// HDF5 datasets with a contiguous memory and file pattern; the read kernel
+// performs a full read of what the write kernel stored. Two configurations
+// mirror the paper:
+//   config-1: 16M particles, one dataset — a single large contiguous
+//             stream, issued in large transfer chunks;
+//   config-2: 8M particles in each of 8 datasets — the multi-variable
+//             particle layout interleaves variables in memory, so each
+//             H5Dwrite call moves a small strided chunk per dataset.
+// Transfers are synchronous per call (h5bench sync mode): call n+1 starts
+// when call n completes; whether the final close/commit is timed is a
+// config knob (it is, by default, as in h5bench sync mode).
+#pragma once
+
+#include <functional>
+
+#include "common/executor.h"
+#include "common/stats.h"
+#include "h5/file.h"
+
+namespace oaf::h5bench {
+
+struct BenchConfig {
+  u32 num_datasets = 1;
+  u64 particles_per_dataset = 16ull * 1024 * 1024;
+  u32 elem_size = 4;          ///< float32 per particle per variable
+  u64 chunk_elems = 512 * 1024;  ///< elements per H5Dwrite/H5Dread call
+  bool time_close = true;     ///< include H5Fclose (flush/commit) in timing
+  u64 seed = 1;
+
+  [[nodiscard]] u64 dataset_bytes() const {
+    return particles_per_dataset * elem_size;
+  }
+  [[nodiscard]] u64 total_bytes() const {
+    return dataset_bytes() * num_datasets;
+  }
+
+  /// Paper config-1: 16M particles, one dataset, large transfers.
+  static BenchConfig config1() { return BenchConfig{}; }
+
+  /// Paper config-2: 8 datasets x 8M particles, small interleaved transfers.
+  static BenchConfig config2() {
+    BenchConfig cfg;
+    cfg.num_datasets = 8;
+    cfg.particles_per_dataset = 8ull * 1024 * 1024;
+    cfg.chunk_elems = 8 * 1024;  // 32 KiB per call — interleaved variables
+    return cfg;
+  }
+};
+
+struct KernelStats {
+  u64 bytes = 0;
+  DurNs elapsed = 0;
+  [[nodiscard]] double bandwidth_mib_s() const { return mib_per_sec(bytes, elapsed); }
+};
+
+using KernelCb = std::function<void(Result<KernelStats>)>;
+
+/// Deterministic particle value for dataset `ds`, element `idx` (verify).
+u8 particle_byte(u64 seed, u32 ds, u64 byte_idx);
+
+/// Create the datasets and write all particles; reports write bandwidth.
+/// The file must already be create()d.
+void run_write_kernel(Executor& exec, h5::H5File& file, const BenchConfig& cfg,
+                      KernelCb cb);
+
+/// Full read of the datasets written by run_write_kernel; when `verify`,
+/// every byte is checked against the generator.
+void run_read_kernel(Executor& exec, h5::H5File& file, const BenchConfig& cfg,
+                     bool verify, KernelCb cb);
+
+}  // namespace oaf::h5bench

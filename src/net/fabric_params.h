@@ -1,0 +1,79 @@
+// Cost-model parameters for the simulated fabrics.
+//
+// Each struct captures the performance-relevant characteristics of one
+// transport from the paper's testbed (Table 1 + §3's characterization):
+//   * TCP over 10/25/100 GbE through SR-IOV VFs — link serialization plus a
+//     per-connection kernel/SPDK stack cost that becomes the bottleneck
+//     before the wire does at 25/100 G (the paper's "network bandwidth is
+//     not fully utilized" observation), and an interrupt-driven rx path
+//     unless busy polling is enabled (§4.5);
+//   * RDMA (IB-FDR 56 G / RoCE 100 G) — NIC-offloaded, microsecond latency,
+//     no per-byte host CPU cost, but memory-registration misses with a
+//     heavy-tailed cost (the Fig 13 tail-latency culprit);
+//   * shared memory — host memcpy bandwidth shared by all co-located
+//     channels, nanosecond-scale notification pickup.
+// Calibrated presets for the paper's testbeds live in bench/calibration.h.
+#pragma once
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::net {
+
+struct TcpFabricParams {
+  double link_gbps = 25.0;
+  DurNs propagation_ns = 20'000;       ///< one-way base latency (VM exit + kernel)
+  DurNs interrupt_delay_ns = 30'000;   ///< rx interrupt path when not polling
+  /// CPU consumed by the interrupt path per delivery (VM-exit + interrupt
+  /// injection + softirq). Busy-poll hits avoid it — the CPU half of the
+  /// §4.5 trade-off.
+  DurNs interrupt_cpu_ns = 28'000;
+  DurNs poll_pickup_ns = 2'000;        ///< rx cost when a busy poll hits
+  DurNs per_pdu_overhead_ns = 3'000;   ///< per-message syscall + PDU processing
+  double stack_bytes_per_sec = 2.8e9;  ///< per-connection single-core stack rate
+  /// Aggregate TCP processing rate of one VM across all its connections
+  /// (vhost/softirq serialization); this is why the paper's NVMe/TCP cannot
+  /// fill a 25/100 G wire no matter how many clients run (Figs 2, 11).
+  double node_stack_bytes_per_sec = 1e12;
+  /// Extra per-byte cost when the *target* side ingests write data: the
+  /// SPDK NVMe/TCP target stages received payloads into DPDK buffers (the
+  /// copy the paper's §4.4.3 discusses), so write-direction data is more
+  /// expensive than read-direction data — the reason NVMe/TCP write
+  /// bandwidth trails read bandwidth in Figs 2 and 11.
+  double target_rx_data_multiplier = 1.4;
+  DurNs initial_poll_budget_ns = 0;    ///< 0 = interrupt mode (stock NVMe/TCP)
+  /// Interrupt-path latency spikes (softirq contention, interrupt
+  /// coalescing, vCPU scheduling): with probability `tail_spike_prob` an
+  /// interrupt-mode delivery pays a heavy-tailed extra delay. Busy-polled
+  /// deliveries skip the interrupt path and therefore the spikes — a large
+  /// part of why NVMe-oAF's p99.99 beats NVMe/TCP (Fig 13).
+  double tail_spike_prob = 0.004;
+  DurNs tail_spike_mean_ns = 250'000;
+  double tail_spike_sigma = 0.8;
+  u64 rng_seed = 17;
+};
+
+struct RdmaFabricParams {
+  double link_gbps = 56.0;
+  double link_efficiency = 0.75;      ///< goodput fraction (headers, pacing, ECN)
+  DurNs propagation_ns = 2'000;
+  DurNs per_msg_overhead_ns = 600;
+  u32 reg_cache_slots = 128;          ///< distinct buffers before all are registered
+  DurNs reg_cost_mean_ns = 150'000;   ///< registration cost on a cache miss
+  double reg_cost_sigma = 1.0;        ///< lognormal sigma (heavy tail)
+  /// Memory-registration cache churn: probability that a data transfer hits
+  /// an unregistered buffer even in steady state (pool recycling under
+  /// queue-depth pressure). This keeps the paper's Fig 13 observation alive
+  /// beyond warmup: NVMe/RDMA's p99.99 is dominated by registration stalls
+  /// on short runs.
+  double reg_churn_prob = 0.0;
+  u64 rng_seed = 42;
+};
+
+struct ShmFabricParams {
+  double memcpy_bytes_per_sec = 12e9;       ///< single-stream copy bandwidth
+  double node_mem_bytes_per_sec = 36e9;     ///< aggregate copy cap for the host
+  DurNs notify_pickup_ns = 800;             ///< consumer poll pickup of a slot
+};
+
+}  // namespace oaf::net

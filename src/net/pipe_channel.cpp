@@ -1,0 +1,84 @@
+#include "net/pipe_channel.h"
+
+#include "common/log.h"
+
+namespace oaf::net {
+
+namespace {
+
+/// Connection state shared by both endpoints. Endpoints are thin handles;
+/// in-flight deliveries capture only this shared state, so an endpoint may
+/// be destroyed while messages are still in transit — they are dropped once
+/// `open` clears or the side's handler is removed.
+struct PipeShared {
+  explicit PipeShared(Executor& a, Executor& b) : exec{&a, &b} {}
+
+  std::atomic<bool> open{true};
+  pdu::CodecOptions opts;
+  Executor* exec[2];
+  MsgChannel::Handler handler[2];  // only touched from the owning executor
+  std::atomic<bool> handler_set[2] = {false, false};
+};
+
+class PipeEndpoint final : public MsgChannel {
+ public:
+  PipeEndpoint(int side, std::shared_ptr<PipeShared> shared)
+      : side_(side), shared_(std::move(shared)) {}
+
+  ~PipeEndpoint() override {
+    shared_->handler_set[side_].store(false, std::memory_order_release);
+  }
+
+  void send(pdu::Pdu pdu) override {
+    if (!shared_->open.load(std::memory_order_acquire)) return;
+    std::vector<u8> encoded = pdu::encode(pdu, shared_->opts);
+    bytes_sent_ += encoded.size();
+    pdus_sent_++;
+    const int peer = 1 - side_;
+    shared_->exec[peer]->post([shared = shared_, peer, data = std::move(encoded)] {
+      if (!shared->open.load(std::memory_order_acquire)) return;
+      if (!shared->handler_set[peer].load(std::memory_order_acquire)) return;
+      auto decoded = pdu::decode(data, shared->opts);
+      if (!decoded) {
+        OAF_ERROR("pipe channel decode failed: %s",
+                  decoded.status().to_string().c_str());
+        return;
+      }
+      shared->handler[peer](std::move(decoded).take());
+    });
+  }
+
+  void set_handler(Handler handler) override {
+    shared_->handler[side_] = std::move(handler);
+    shared_->handler_set[side_].store(shared_->handler[side_] != nullptr,
+                                      std::memory_order_release);
+  }
+
+  void close() override { shared_->open.store(false, std::memory_order_release); }
+
+  [[nodiscard]] bool is_open() const override {
+    return shared_->open.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Executor& executor() override { return *shared_->exec[side_]; }
+  [[nodiscard]] u64 bytes_sent() const override { return bytes_sent_; }
+  [[nodiscard]] u64 pdus_sent() const override { return pdus_sent_; }
+
+ private:
+  const int side_;
+  std::shared_ptr<PipeShared> shared_;
+  u64 bytes_sent_ = 0;
+  u64 pdus_sent_ = 0;
+};
+
+}  // namespace
+
+ChannelPair make_pipe_channel_pair(Executor& a, Executor& b,
+                                   const pdu::CodecOptions& opts) {
+  auto shared = std::make_shared<PipeShared>(a, b);
+  shared->opts = opts;
+  return {std::make_unique<PipeEndpoint>(0, shared),
+          std::make_unique<PipeEndpoint>(1, shared)};
+}
+
+}  // namespace oaf::net

@@ -1,0 +1,22 @@
+// In-memory channel pair for the functional plane.
+//
+// send() encodes the PDU with the production codec, then posts the encoded
+// bytes to the peer executor where they are decoded and handed to the
+// handler — so every test that uses PipeChannel also round-trips the wire
+// format, including header digests when enabled.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "net/channel.h"
+#include "pdu/codec.h"
+
+namespace oaf::net {
+
+/// Create a connected pair; endpoint .first delivers into `a`'s executor's
+/// context, .second into `b`'s.
+ChannelPair make_pipe_channel_pair(Executor& a, Executor& b,
+                                   const pdu::CodecOptions& opts = {});
+
+}  // namespace oaf::net

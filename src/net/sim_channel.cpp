@@ -1,0 +1,432 @@
+#include "net/sim_channel.h"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+#include "pdu/codec.h"
+
+namespace oaf::net {
+
+namespace {
+
+/// Common machinery: endpoints share connection state; delivery runs on the
+/// single sim scheduler. Payload bytes are moved by value (the sim plane
+/// still transports real data so integrity is checkable end to end).
+struct ConnState {
+  std::atomic<bool> open{true};
+  MsgChannel::Handler handler[2];
+  bool handler_set[2] = {false, false};
+};
+
+class SimEndpointBase : public MsgChannel {
+ public:
+  SimEndpointBase(int side, sim::Scheduler& sched, std::shared_ptr<ConnState> conn)
+      : side_(side), sched_(sched), conn_(std::move(conn)) {}
+
+  void set_handler(Handler handler) override {
+    conn_->handler_set[side_] = handler != nullptr;
+    conn_->handler[side_] = std::move(handler);
+  }
+
+  void close() override { conn_->open.store(false, std::memory_order_release); }
+
+  [[nodiscard]] bool is_open() const override {
+    return conn_->open.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Executor& executor() override { return sched_; }
+  [[nodiscard]] u64 bytes_sent() const override { return bytes_sent_; }
+  [[nodiscard]] u64 pdus_sent() const override { return pdus_sent_; }
+
+ protected:
+  void deliver_to_peer(pdu::Pdu pdu) {
+    const int peer = 1 - side_;
+    if (!conn_->open.load(std::memory_order_acquire)) return;
+    if (!conn_->handler_set[peer]) return;
+    conn_->handler[peer](std::move(pdu));
+  }
+
+  const int side_;
+  sim::Scheduler& sched_;
+  std::shared_ptr<ConnState> conn_;
+  u64 bytes_sent_ = 0;
+  u64 pdus_sent_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// Per-endpoint receive-side state for the busy-poll model (paper §4.5).
+///
+/// When a PDU lands and the endpoint busy-polls with budget B:
+///   * hit (inter-arrival gap <= B): the poll loop is still spinning and
+///     picks the message up almost immediately; larger budgets use coarser
+///     loop granularity, adding B/16 of batching delay — this is why very
+///     long polls degrade read-heavy workloads (Fig 10);
+///   * miss (gap > B): on average half the budget was spun before the
+///     socket gave up and slept, and the wake-up then takes the interrupt
+///     path plus a reschedule penalty — this is why short polls make write
+///     workloads *slower than interrupts* (Fig 10).
+/// B == 0 models stock interrupt-driven NVMe/TCP.
+struct TcpRxState {
+  TimeNs last_arrival = -1;
+  TimeNs fifo_watermark = 0;  ///< TCP in-order delivery: rx entry clamp
+  DurNs poll_budget = 0;
+  u64 poll_hits = 0;
+  u64 poll_misses = 0;
+  DurNs gap_ewma = 0;  ///< exponentially weighted mean inter-arrival gap
+};
+
+}  // namespace
+
+struct SimTcpLink::Impl {
+  Impl(sim::Scheduler& s, const TcpFabricParams& p)
+      : sched(s),
+        wire_c2t(s, gbps_to_bytes_per_sec(p.link_gbps)),
+        wire_t2c(s, gbps_to_bytes_per_sec(p.link_gbps)),
+        node_stack_client(s, p.node_stack_bytes_per_sec),
+        node_stack_target(s, p.node_stack_bytes_per_sec),
+        rng(p.rng_seed) {}
+
+  /// Heavy-tailed extra delay on interrupt-path deliveries (0 most often).
+  DurNs interrupt_spike(const TcpFabricParams& p) {
+    if (!rng.next_bool(p.tail_spike_prob)) return 0;
+    const double mu = std::log(static_cast<double>(p.tail_spike_mean_ns)) -
+                      p.tail_spike_sigma * p.tail_spike_sigma / 2.0;
+    return static_cast<DurNs>(rng.next_lognormal(mu, p.tail_spike_sigma));
+  }
+
+  sim::Scheduler& sched;
+  sim::Throttle wire_c2t;
+  sim::Throttle wire_t2c;
+  // Aggregate per-VM TCP stack capacity, shared by every connection ending
+  // on that side of the link (see TcpFabricParams::node_stack_bytes_per_sec).
+  sim::Throttle node_stack_client;
+  sim::Throttle node_stack_target;
+  Rng rng;
+};
+
+namespace {
+
+class SimTcpEndpoint final : public SimEndpointBase, public BusyPollTunable {
+ public:
+  /// Scheduler round trip after a failed poll put the task to sleep.
+  static constexpr DurNs kReschedNs = 5'000;
+
+  SimTcpEndpoint(int side, sim::Scheduler& sched, std::shared_ptr<ConnState> conn,
+                 SimTcpLink::Impl& link, const TcpFabricParams& params,
+                 std::shared_ptr<sim::Resource> self_cpu,
+                 std::shared_ptr<sim::Resource> peer_cpu,
+                 std::shared_ptr<TcpRxState> self_rx,
+                 std::shared_ptr<TcpRxState> peer_rx)
+      : SimEndpointBase(side, sched, std::move(conn)),
+        link_(link),
+        params_(params),
+        self_cpu_(std::move(self_cpu)),
+        peer_cpu_(std::move(peer_cpu)),
+        self_rx_(std::move(self_rx)),
+        peer_rx_(std::move(peer_rx)) {
+    self_rx_->poll_budget = params_.initial_poll_budget_ns;
+  }
+
+  void send(pdu::Pdu pdu) override {
+    if (!is_open()) return;
+    const u64 bytes = pdu::wire_size(pdu);
+    bytes_sent_ += bytes;
+    pdus_sent_++;
+
+    // 1. Sender stack: per-PDU overhead + per-byte processing on this
+    //    connection's core.
+    const DurNs tx_cpu =
+        params_.per_pdu_overhead_ns +
+        transfer_time_ns(bytes, params_.stack_bytes_per_sec);
+    auto shared_pdu = std::make_shared<pdu::Pdu>(std::move(pdu));
+    self_cpu_->submit(tx_cpu, [this, bytes, shared_pdu] {
+      // 2. Wire serialization + propagation.
+      auto& wire = side_ == 0 ? link_.wire_c2t : link_.wire_t2c;
+      wire.transmit(bytes, params_.propagation_ns, [this, bytes, shared_pdu] {
+        // 3. Receive path: busy-poll hit/miss or interrupt.
+        const TimeNs arrival = sched_.now();
+        DurNs rx_extra = 0;
+        const DurNs budget = peer_rx_->poll_budget;
+        // CPU charged to the receiving core for this delivery, beyond the
+        // per-byte stack work: either the virtualized interrupt path
+        // (VM-exit + injection + softirq) or the busy-poll spin
+        // (min(inter-arrival gap, budget) of burned cycles). This is the
+        // §4.5 trade-off: polls convert interrupt latency+CPU into spin
+        // CPU, which pays off exactly when arrivals land inside the budget.
+        DurNs rx_cpu_extra = 0;
+        const DurNs gap = peer_rx_->last_arrival >= 0
+                              ? arrival - peer_rx_->last_arrival
+                              : kTimeNever;
+        if (budget <= 0) {
+          rx_extra = params_.interrupt_delay_ns + link_.interrupt_spike(params_);
+          rx_cpu_extra = params_.interrupt_cpu_ns;
+        } else if (gap <= budget) {
+          // The poll loop was still spinning: near-immediate pickup, plus a
+          // batching delay that grows with the loop granularity. Most of
+          // the spin overlaps the reactor's useful work (SPDK-style
+          // polling), so only a fraction of it is charged as lost CPU.
+          rx_extra = params_.poll_pickup_ns + budget / 16;
+          rx_cpu_extra = gap / 8;
+          peer_rx_->poll_hits++;
+        } else {
+          // The poll expired before this arrival: the full budget was spun
+          // for nothing, and the message takes the interrupt path (plus a
+          // reschedule after the failed spin). This is why short polls make
+          // workloads with long completion gaps slower than interrupts
+          // (paper Fig 10, writes at 25 us).
+          rx_extra = params_.interrupt_delay_ns + kReschedNs +
+                     link_.interrupt_spike(params_);
+          // The failed spin burned the budget, but most of it overlaps the
+          // reactor's other work; the interrupt path cost is paid in full.
+          rx_cpu_extra = budget / 8 + params_.interrupt_cpu_ns;
+          peer_rx_->poll_misses++;
+        }
+        if (gap != kTimeNever) {
+          peer_rx_->gap_ewma = peer_rx_->gap_ewma == 0
+                                   ? gap
+                                   : (peer_rx_->gap_ewma * 7 + gap) / 8;
+        }
+        peer_rx_->last_arrival = arrival;
+        // TCP is a byte stream: a later PDU can never overtake an earlier
+        // one, so clamp each PDU's stack-entry time to the previous one's.
+        TimeNs rx_ready = arrival + rx_extra;
+        if (rx_ready < peer_rx_->fifo_watermark) {
+          rx_ready = peer_rx_->fifo_watermark;
+        }
+        peer_rx_->fifo_watermark = rx_ready;
+        rx_extra = rx_ready - arrival;
+        // 4. Receiver stack processing (per-connection core, then the
+        //    receiving VM's aggregate stack), then delivery.
+        const DurNs rx_cpu =
+            params_.per_pdu_overhead_ns +
+            transfer_time_ns(bytes, params_.stack_bytes_per_sec);
+        // Write-direction payloads (client -> target) cost extra on the
+        // target's stack: the staging copy into DPDK buffers.
+        u64 node_bytes = bytes;
+        if (side_ == 0 && !shared_pdu->payload.empty()) {
+          node_bytes = static_cast<u64>(static_cast<double>(bytes) *
+                                        params_.target_rx_data_multiplier);
+        }
+        sched_.schedule_after(rx_extra, [this, node_bytes, rx_cpu, shared_pdu] {
+          peer_cpu_->submit(rx_cpu, [this, node_bytes, shared_pdu] {
+            auto& node_stack =
+                side_ == 0 ? link_.node_stack_target : link_.node_stack_client;
+            node_stack.transmit(node_bytes, 0, [this, shared_pdu] {
+              deliver_to_peer(std::move(*shared_pdu));
+            });
+          });
+        });
+        if (rx_cpu_extra > 0) {
+          // Interrupt/spin cost displaces future work on the receiving
+          // core (it cannot delay the message that ended it).
+          sched_.schedule_after(rx_extra, [this, rx_cpu_extra] {
+            peer_cpu_->submit(rx_cpu_extra, [] {});
+          });
+        }
+      });
+    });
+  }
+
+  // BusyPollTunable -----------------------------------------------------
+  void set_rx_poll_budget(DurNs budget_ns) override {
+    self_rx_->poll_budget = budget_ns;
+  }
+  [[nodiscard]] DurNs rx_poll_budget() const override {
+    return self_rx_->poll_budget;
+  }
+  [[nodiscard]] u64 rx_poll_hits() const override { return self_rx_->poll_hits; }
+  [[nodiscard]] u64 rx_poll_misses() const override {
+    return self_rx_->poll_misses;
+  }
+  [[nodiscard]] DurNs rx_mean_gap_ns() const override {
+    return self_rx_->gap_ewma;
+  }
+
+ private:
+  SimTcpLink::Impl& link_;
+  const TcpFabricParams params_;
+  std::shared_ptr<sim::Resource> self_cpu_;
+  std::shared_ptr<sim::Resource> peer_cpu_;
+  std::shared_ptr<TcpRxState> self_rx_;
+  std::shared_ptr<TcpRxState> peer_rx_;
+};
+
+}  // namespace
+
+SimTcpLink::SimTcpLink(sim::Scheduler& sched, const TcpFabricParams& params)
+    : impl_(std::make_unique<Impl>(sched, params)), params_(params) {}
+
+SimTcpLink::~SimTcpLink() = default;
+
+ChannelPair SimTcpLink::connect() {
+  auto conn = std::make_shared<ConnState>();
+  auto cpu_client = std::make_shared<sim::Resource>(impl_->sched, 1);
+  auto cpu_target = std::make_shared<sim::Resource>(impl_->sched, 1);
+  auto rx_client = std::make_shared<TcpRxState>();
+  auto rx_target = std::make_shared<TcpRxState>();
+  auto client = std::make_unique<SimTcpEndpoint>(0, impl_->sched, conn, *impl_,
+                                                 params_, cpu_client, cpu_target,
+                                                 rx_client, rx_target);
+  auto target = std::make_unique<SimTcpEndpoint>(1, impl_->sched, conn, *impl_,
+                                                 params_, cpu_target, cpu_client,
+                                                 rx_target, rx_client);
+  return {std::move(client), std::move(target)};
+}
+
+u64 SimTcpLink::wire_bytes() const {
+  return impl_->wire_c2t.bytes_sent() + impl_->wire_t2c.bytes_sent();
+}
+
+double SimTcpLink::utilization_c2t() const {
+  const TimeNs t = impl_->sched.now();
+  return t > 0 ? static_cast<double>(impl_->wire_c2t.busy_time()) /
+                     static_cast<double>(t)
+               : 0.0;
+}
+
+double SimTcpLink::utilization_t2c() const {
+  const TimeNs t = impl_->sched.now();
+  return t > 0 ? static_cast<double>(impl_->wire_t2c.busy_time()) /
+                     static_cast<double>(t)
+               : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// RDMA
+// ---------------------------------------------------------------------------
+
+struct SimRdmaLink::Impl {
+  Impl(sim::Scheduler& s, const RdmaFabricParams& p)
+      : sched(s),
+        wire_c2t(s, gbps_to_bytes_per_sec(p.link_gbps) * p.link_efficiency),
+        wire_t2c(s, gbps_to_bytes_per_sec(p.link_gbps) * p.link_efficiency),
+        rng(p.rng_seed) {}
+
+  sim::Scheduler& sched;
+  sim::Throttle wire_c2t;
+  sim::Throttle wire_t2c;
+  Rng rng;
+  u64 reg_misses = 0;
+};
+
+namespace {
+
+/// RDMA endpoint: NIC-offloaded transfer (no per-byte host CPU), ~µs
+/// latency, but data-bearing messages draw from a pool of transfer buffers
+/// that must be registered with the NIC on first use. Registration is slow
+/// and heavy-tailed, which is why the paper observes higher p99.99 for
+/// NVMe/RDMA than NVMe-oAF on short runs (Fig 13) — after warmup the cache
+/// hits and the tail collapses, matching their longer-run counter-check.
+class SimRdmaEndpoint final : public SimEndpointBase {
+ public:
+  SimRdmaEndpoint(int side, sim::Scheduler& sched, std::shared_ptr<ConnState> conn,
+                  SimRdmaLink::Impl& link, const RdmaFabricParams& params)
+      : SimEndpointBase(side, sched, std::move(conn)), link_(link), params_(params) {}
+
+  void send(pdu::Pdu pdu) override {
+    if (!is_open()) return;
+    const u64 bytes = pdu::wire_size(pdu);
+    bytes_sent_ += bytes;
+    pdus_sent_++;
+
+    DurNs reg_cost = 0;
+    if (!pdu.payload.empty()) {
+      // Round-robin over the buffer pool; first use of each slot pays a
+      // registration, and steady-state pool churn occasionally evicts an
+      // entry. The pool is per connection endpoint.
+      const u32 slot = next_buffer_++ % params_.reg_cache_slots;
+      bool miss = !registered_[slot % kMaxSlots];
+      if (!miss && link_.rng.next_bool(params_.reg_churn_prob)) miss = true;
+      if (miss) {
+        registered_[slot % kMaxSlots] = true;
+        link_.reg_misses++;
+        const double mu = std::log(static_cast<double>(params_.reg_cost_mean_ns)) -
+                          params_.reg_cost_sigma * params_.reg_cost_sigma / 2.0;
+        reg_cost = static_cast<DurNs>(
+            link_.rng.next_lognormal(mu, params_.reg_cost_sigma));
+      }
+    }
+
+    auto shared_pdu = std::make_shared<pdu::Pdu>(std::move(pdu));
+    // RC queue pairs are FIFO: a registration stall delays everything queued
+    // behind it on this endpoint rather than letting later sends overtake.
+    TimeNs enter_wire =
+        sched_.now() + reg_cost + params_.per_msg_overhead_ns;
+    if (enter_wire < send_watermark_) enter_wire = send_watermark_;
+    send_watermark_ = enter_wire;
+    sched_.schedule_after(enter_wire - sched_.now(), [this, bytes, shared_pdu] {
+      auto& wire = side_ == 0 ? link_.wire_c2t : link_.wire_t2c;
+      wire.transmit(bytes, params_.propagation_ns, [this, shared_pdu] {
+        // Polled CQ on the receive side: sub-µs pickup, folded into
+        // per_msg_overhead.
+        deliver_to_peer(std::move(*shared_pdu));
+      });
+    });
+  }
+
+ private:
+  static constexpr u32 kMaxSlots = 4096;
+
+  SimRdmaLink::Impl& link_;
+  const RdmaFabricParams params_;
+  TimeNs send_watermark_ = 0;
+  u32 next_buffer_ = 0;
+  std::array<bool, kMaxSlots> registered_{};
+};
+
+}  // namespace
+
+SimRdmaLink::SimRdmaLink(sim::Scheduler& sched, const RdmaFabricParams& params)
+    : impl_(std::make_unique<Impl>(sched, params)), params_(params) {}
+
+SimRdmaLink::~SimRdmaLink() = default;
+
+ChannelPair SimRdmaLink::connect() {
+  auto conn = std::make_shared<ConnState>();
+  auto client =
+      std::make_unique<SimRdmaEndpoint>(0, impl_->sched, conn, *impl_, params_);
+  auto target =
+      std::make_unique<SimRdmaEndpoint>(1, impl_->sched, conn, *impl_, params_);
+  return {std::move(client), std::move(target)};
+}
+
+u64 SimRdmaLink::wire_bytes() const {
+  return impl_->wire_c2t.bytes_sent() + impl_->wire_t2c.bytes_sent();
+}
+
+u64 SimRdmaLink::registration_misses() const { return impl_->reg_misses; }
+
+// ---------------------------------------------------------------------------
+// Instant channel (control glue for sim-plane unit tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class InstantEndpoint final : public SimEndpointBase {
+ public:
+  using SimEndpointBase::SimEndpointBase;
+
+  void send(pdu::Pdu pdu) override {
+    if (!is_open()) return;
+    bytes_sent_ += pdu::wire_size(pdu);
+    pdus_sent_++;
+    auto shared_pdu = std::make_shared<pdu::Pdu>(std::move(pdu));
+    sched_.post([this, shared_pdu] { deliver_to_peer(std::move(*shared_pdu)); });
+  }
+};
+
+}  // namespace
+
+ChannelPair make_instant_channel_pair(sim::Scheduler& sched) {
+  auto conn = std::make_shared<ConnState>();
+  return {std::make_unique<InstantEndpoint>(0, sched, conn),
+          std::make_unique<InstantEndpoint>(1, sched, conn)};
+}
+
+}  // namespace oaf::net

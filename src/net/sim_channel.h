@@ -1,0 +1,81 @@
+// Timing-plane channels: PDUs delivered on the virtual clock per the fabric
+// cost models in fabric_params.h.
+//
+// A Sim*Link represents one full-duplex NIC/link between a client VM and a
+// target VM (both directions have independent wire throttles). connect()
+// creates a connection: a channel pair whose endpoints share the link but
+// own their per-connection stack resources — mirroring SPDK's
+// one-connection-per-core pinning. Multiple connections over one link model
+// the paper's four-clients-one-NIC contention (Figs 2, 11).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "net/channel.h"
+#include "net/fabric_params.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace oaf::net {
+
+/// Optional tuning interface implemented by sim TCP endpoints; the AF's
+/// adaptive busy-poll governor (paper §4.5) discovers it via dynamic_cast.
+class BusyPollTunable {
+ public:
+  virtual ~BusyPollTunable() = default;
+  virtual void set_rx_poll_budget(DurNs budget_ns) = 0;
+  [[nodiscard]] virtual DurNs rx_poll_budget() const = 0;
+  /// Poll outcome counters: the governor uses the miss rate as feedback to
+  /// escalate the budget when arrivals keep landing outside the window.
+  [[nodiscard]] virtual u64 rx_poll_hits() const = 0;
+  [[nodiscard]] virtual u64 rx_poll_misses() const = 0;
+  /// Mean inter-arrival gap observed on this endpoint (ns; 0 if unknown).
+  [[nodiscard]] virtual DurNs rx_mean_gap_ns() const = 0;
+};
+
+class SimTcpLink {
+ public:
+  SimTcpLink(sim::Scheduler& sched, const TcpFabricParams& params);
+  ~SimTcpLink();
+
+  /// New connection over this link. first = client side, second = target.
+  ChannelPair connect();
+
+  [[nodiscard]] const TcpFabricParams& params() const { return params_; }
+  [[nodiscard]] u64 wire_bytes() const;
+
+  /// Link utilization over [0, now] in each direction (0..1).
+  [[nodiscard]] double utilization_c2t() const;
+  [[nodiscard]] double utilization_t2c() const;
+
+  struct Impl;  // public so sim endpoints in the .cpp can use it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+  TcpFabricParams params_;
+};
+
+class SimRdmaLink {
+ public:
+  SimRdmaLink(sim::Scheduler& sched, const RdmaFabricParams& params);
+  ~SimRdmaLink();
+
+  ChannelPair connect();
+
+  [[nodiscard]] const RdmaFabricParams& params() const { return params_; }
+  [[nodiscard]] u64 wire_bytes() const;
+  [[nodiscard]] u64 registration_misses() const;
+
+  struct Impl;  // public so sim endpoints in the .cpp can use it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+  RdmaFabricParams params_;
+};
+
+/// Zero-cost channel pair on the scheduler (control-plane glue in unit
+/// tests of the sim plane; delivery next event, no modelled cost).
+ChannelPair make_instant_channel_pair(sim::Scheduler& sched);
+
+}  // namespace oaf::net

@@ -1,0 +1,169 @@
+#include "net/socket_channel.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/log.h"
+
+namespace oaf::net {
+
+namespace {
+
+bool write_all(int fd, const u8* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, u8* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer closed or error
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Handler slot shared with posted deliveries, so a delivery that is still
+/// queued on the executor when the endpoint is destroyed finds an empty slot
+/// instead of a dangling endpoint.
+struct HandlerBox {
+  std::mutex mu;
+  MsgChannel::Handler handler;
+};
+
+class SocketEndpoint final : public MsgChannel {
+ public:
+  SocketEndpoint(int fd, Executor& exec, pdu::CodecOptions opts)
+      : fd_(fd), exec_(exec), opts_(opts), box_(std::make_shared<HandlerBox>()) {}
+
+  ~SocketEndpoint() override {
+    close();
+    if (reader_.joinable()) reader_.join();
+    ::close(fd_);
+    std::lock_guard<std::mutex> lk(box_->mu);
+    box_->handler = nullptr;
+  }
+
+  void start() {
+    reader_ = std::thread([this] { read_loop(); });
+  }
+
+  void send(pdu::Pdu pdu) override {
+    if (!open_.load(std::memory_order_acquire)) return;
+    const std::vector<u8> encoded = pdu::encode(pdu, opts_);
+    std::lock_guard<std::mutex> lk(write_mu_);
+    if (!write_all(fd_, encoded.data(), encoded.size())) {
+      open_.store(false, std::memory_order_release);
+      return;
+    }
+    bytes_sent_ += encoded.size();
+    pdus_sent_++;
+  }
+
+  void set_handler(Handler handler) override {
+    std::lock_guard<std::mutex> lk(box_->mu);
+    box_->handler = std::move(handler);
+  }
+
+  void close() override {
+    if (open_.exchange(false, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  [[nodiscard]] bool is_open() const override {
+    return open_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] Executor& executor() override { return exec_; }
+  [[nodiscard]] u64 bytes_sent() const override { return bytes_sent_; }
+  [[nodiscard]] u64 pdus_sent() const override { return pdus_sent_; }
+
+ private:
+  void read_loop() {
+    std::vector<u8> frame;
+    for (;;) {
+      u8 prefix[8];
+      if (!read_all(fd_, prefix, sizeof(prefix))) break;
+      auto len = pdu::frame_length(std::span<const u8>(prefix, sizeof(prefix)));
+      if (!len) {
+        OAF_ERROR("socket channel: bad frame: %s", len.status().to_string().c_str());
+        break;
+      }
+      frame.resize(len.value());
+      std::memcpy(frame.data(), prefix, sizeof(prefix));
+      if (len.value() > sizeof(prefix) &&
+          !read_all(fd_, frame.data() + sizeof(prefix),
+                    len.value() - sizeof(prefix))) {
+        break;
+      }
+      auto decoded = pdu::decode(frame, opts_);
+      if (!decoded) {
+        OAF_ERROR("socket channel decode failed: %s",
+                  decoded.status().to_string().c_str());
+        break;
+      }
+      exec_.post([box = box_, p = std::make_shared<pdu::Pdu>(std::move(decoded).take())] {
+        Handler h;
+        {
+          std::lock_guard<std::mutex> lk(box->mu);
+          h = box->handler;
+        }
+        if (h) h(std::move(*p));
+      });
+    }
+    open_.store(false, std::memory_order_release);
+  }
+
+  const int fd_;
+  Executor& exec_;
+  const pdu::CodecOptions opts_;
+  std::thread reader_;
+  std::mutex write_mu_;
+  std::shared_ptr<HandlerBox> box_;
+  std::atomic<bool> open_{true};
+  std::atomic<u64> bytes_sent_{0};
+  std::atomic<u64> pdus_sent_{0};
+};
+
+}  // namespace
+
+Result<ChannelPair> make_socket_channel_pair(Executor& a, Executor& b,
+                                             const pdu::CodecOptions& opts) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return make_error(StatusCode::kInternal,
+                      std::string("socketpair: ") + std::strerror(errno));
+  }
+  auto ea = std::make_unique<SocketEndpoint>(fds[0], a, opts);
+  auto eb = std::make_unique<SocketEndpoint>(fds[1], b, opts);
+  ea->start();
+  eb->start();
+  return ChannelPair{std::move(ea), std::move(eb)};
+}
+
+std::unique_ptr<MsgChannel> wrap_stream_fd(int fd, Executor& exec,
+                                           const pdu::CodecOptions& opts) {
+  auto ch = std::make_unique<SocketEndpoint>(fd, exec, opts);
+  ch->start();
+  return ch;
+}
+
+}  // namespace oaf::net

@@ -1,0 +1,24 @@
+// Functional-plane channel over a real AF_UNIX socketpair.
+//
+// This is the stand-in for the kernel TCP control path: PDUs are framed by
+// their length field, written with full-write semantics, and a per-endpoint
+// reader thread decodes frames and posts them to the endpoint's executor.
+// Used by integration tests and examples that want the OS in the loop.
+#pragma once
+
+#include "common/status.h"
+#include "net/channel.h"
+#include "pdu/codec.h"
+
+namespace oaf::net {
+
+Result<ChannelPair> make_socket_channel_pair(Executor& a, Executor& b,
+                                             const pdu::CodecOptions& opts = {});
+
+/// Wrap an already-connected stream socket (socketpair end, accepted TCP
+/// connection, ...) as a framed PDU channel delivering into `exec`. Takes
+/// ownership of `fd`.
+std::unique_ptr<MsgChannel> wrap_stream_fd(int fd, Executor& exec,
+                                           const pdu::CodecOptions& opts = {});
+
+}  // namespace oaf::net

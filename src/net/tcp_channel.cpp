@@ -1,0 +1,93 @@
+#include "net/tcp_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket_channel.h"
+
+namespace oaf::net {
+
+namespace {
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+Result<TcpListener> TcpListener::listen(u16 port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error(StatusCode::kInternal, errno_message("socket"));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const auto err = errno_message("bind");
+    ::close(fd);
+    return make_error(StatusCode::kUnavailable, err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const auto err = errno_message("listen");
+    ::close(fd);
+    return make_error(StatusCode::kInternal, err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const auto err = errno_message("getsockname");
+    ::close(fd);
+    return make_error(StatusCode::kInternal, err);
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+Result<std::unique_ptr<MsgChannel>> TcpListener::accept(
+    Executor& exec, const pdu::CodecOptions& opts) {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return make_error(StatusCode::kUnavailable, errno_message("accept"));
+  }
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return wrap_stream_fd(client, exec, opts);
+}
+
+Result<std::unique_ptr<MsgChannel>> tcp_connect(const std::string& host,
+                                                u16 port, Executor& exec,
+                                                const pdu::CodecOptions& opts) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error(StatusCode::kInternal, errno_message("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(StatusCode::kInvalidArgument, "bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const auto err = errno_message("connect");
+    ::close(fd);
+    return make_error(StatusCode::kUnavailable, err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return wrap_stream_fd(fd, exec, opts);
+}
+
+}  // namespace oaf::net

@@ -1,0 +1,229 @@
+#include "nfs/nfs.h"
+
+#include <cstring>
+
+namespace oaf::nfs {
+
+namespace {
+constexpr std::span<const u8> kEmpty;
+}
+
+NfsClient::NfsClient(sim::Scheduler& sched, const NfsParams& params)
+    : sched_(sched),
+      params_(params),
+      wire_(sched, params.link_bytes_per_sec),
+      server_disk_(sched, 4) {}
+
+DurNs NfsClient::rpc_time(u64 bytes) const {
+  return params_.rpc_overhead_ns +
+         transfer_time_ns(bytes, params_.link_bytes_per_sec) +
+         params_.server_disk_latency_ns +
+         transfer_time_ns(bytes, params_.server_disk_bytes_per_sec);
+}
+
+DurNs NfsClient::pipelined_transfer_ns(u64 bytes, u64 chunk) const {
+  // `rpc_pipeline` RPCs overlap: wire serialization is the hard floor, the
+  // per-RPC overhead and disk stage amortize across the in-flight window.
+  const u64 rpcs = ceil_div(bytes, chunk);
+  const DurNs wire = transfer_time_ns(bytes, params_.link_bytes_per_sec);
+  const DurNs per_rpc = params_.rpc_overhead_ns + params_.server_disk_latency_ns +
+                        transfer_time_ns(chunk, params_.server_disk_bytes_per_sec);
+  const u32 pipe = params_.rpc_pipeline == 0 ? 1 : params_.rpc_pipeline;
+  return wire + static_cast<DurNs>(rpcs) * per_rpc / pipe + per_rpc;
+}
+
+u64 NfsClient::server_file_size(const std::string& file) const {
+  const auto it = server_files_.find(file);
+  return it == server_files_.end() ? 0 : it->second.size();
+}
+
+std::span<const u8> NfsClient::server_file(const std::string& file) const {
+  const auto it = server_files_.find(file);
+  return it == server_files_.end() ? kEmpty : std::span<const u8>(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-range tracking (merged intervals per file, like page-cache pages)
+// ---------------------------------------------------------------------------
+
+void NfsClient::add_dirty(const std::string& file, u64 offset, u64 length) {
+  if (length == 0) return;
+  auto& ranges = dirty_[file];
+  u64 start = offset;
+  u64 end = offset + length;
+
+  // Merge every interval overlapping or adjacent to [start, end).
+  auto it = ranges.upper_bound(start);
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  while (it != ranges.end() && it->first <= end) {
+    // Overlapping bytes were already dirty; do not double-count them.
+    const u64 overlap_start = std::max(start, it->first);
+    const u64 overlap_end = std::min(end, it->second);
+    if (overlap_end > overlap_start) {
+      dirty_bytes_ -= overlap_end - overlap_start;
+    }
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    it = ranges.erase(it);
+  }
+  ranges[start] = end;
+  dirty_bytes_ += length;
+}
+
+u64 NfsClient::pop_dirty_chunk() {
+  if (dirty_.empty()) return 0;
+  auto file_it = dirty_.begin();
+  while (file_it != dirty_.end() && file_it->second.empty()) {
+    file_it = dirty_.erase(file_it);
+  }
+  if (file_it == dirty_.end()) return 0;
+  auto& ranges = file_it->second;
+  auto range = ranges.begin();
+  const u64 take = std::min(params_.wsize, range->second - range->first);
+  const u64 new_start = range->first + take;
+  const u64 end = range->second;
+  ranges.erase(range);
+  if (new_start < end) ranges[new_start] = end;
+  if (ranges.empty()) dirty_.erase(file_it);
+  return take;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+void NfsClient::write(const std::string& file, u64 offset,
+                      std::span<const u8> data, IoCb cb) {
+  // Land the bytes in the server image immediately (functional model — the
+  // timing below decides when the application sees completion).
+  auto& contents = server_files_[file];
+  if (contents.size() < offset + data.size()) {
+    contents.resize(offset + data.size());
+  }
+  std::memcpy(contents.data() + offset, data.data(), data.size());
+
+  if (!params_.async_mount) {
+    rpcs_sent_ += ceil_div(data.size(), params_.wsize);
+    sched_.schedule_after(pipelined_transfer_ns(data.size(), params_.wsize),
+                          [cb = std::move(cb)] { cb(Status::ok()); });
+    return;
+  }
+
+  // Async mount: absorb into the page cache at memcpy speed, then kick the
+  // background flusher. Block only when the dirty limit is exceeded.
+  add_dirty(file, offset, data.size());
+  if (!flusher_active_) {
+    flusher_active_ = true;
+    sched_.post([this] { flush_chunk(); });
+  }
+
+  const DurNs cache_copy =
+      transfer_time_ns(data.size(), params_.page_cache_bytes_per_sec);
+  if (dirty_bytes_ <= params_.dirty_limit_bytes) {
+    sched_.schedule_after(cache_copy, [cb = std::move(cb)] { cb(Status::ok()); });
+  } else {
+    // Over the limit: the writer throttles until the flusher drains back
+    // under the threshold (Linux balance_dirty_pages behaviour).
+    dirty_waiters_.emplace_back(params_.dirty_limit_bytes, std::move(cb));
+  }
+}
+
+void NfsClient::flush_chunk() {
+  const u64 chunk = pop_dirty_chunk();
+  if (chunk == 0) {
+    flusher_active_ = false;
+    for (auto& cb : commit_waiters_) cb(Status::ok());
+    commit_waiters_.clear();
+    return;
+  }
+  rpcs_sent_++;
+  // One WRITE RPC: wire serialization plus per-RPC overhead, then the
+  // server disk stage. The flusher keeps `rpc_pipeline` RPCs outstanding by
+  // issuing the next chunk as soon as this one is on the wire.
+  const DurNs amortized_tail =
+      (params_.rpc_overhead_ns + params_.server_disk_latency_ns) /
+      (params_.rpc_pipeline == 0 ? 1 : params_.rpc_pipeline);
+  wire_.transmit(chunk, amortized_tail, [this, chunk] {
+    server_disk_.submit(
+        transfer_time_ns(chunk, params_.server_disk_bytes_per_sec),
+        [this, chunk] {
+          dirty_bytes_ -= chunk;
+          drain_waiters();
+          flush_chunk();
+        });
+  });
+}
+
+void NfsClient::drain_waiters() {
+  std::vector<std::pair<u64, IoCb>> still_waiting;
+  for (auto& [threshold, cb] : dirty_waiters_) {
+    if (dirty_bytes_ <= threshold) {
+      cb(Status::ok());
+    } else {
+      still_waiting.emplace_back(threshold, std::move(cb));
+    }
+  }
+  dirty_waiters_ = std::move(still_waiting);
+}
+
+void NfsClient::commit(IoCb cb) {
+  if (!flusher_active_ && dirty_.empty()) {
+    sched_.post([cb = std::move(cb)] { cb(Status::ok()); });
+    return;
+  }
+  commit_waiters_.push_back(std::move(cb));
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+void NfsClient::read(const std::string& file, u64 offset, std::span<u8> out,
+                     IoCb cb) {
+  const auto it = server_files_.find(file);
+  if (it == server_files_.end() || offset + out.size() > it->second.size()) {
+    sched_.post([cb = std::move(cb)] {
+      cb(make_error(StatusCode::kOutOfRange, "NFS short read"));
+    });
+    return;
+  }
+  std::memcpy(out.data(), it->second.data() + offset, out.size());
+
+  // Cache hit: some stream's readahead window already fetched this range.
+  for (size_t i = 0; i < ra_windows_.size(); ++i) {
+    const RaWindow& w = ra_windows_[i];
+    if (w.file == file && offset >= w.start && offset + out.size() <= w.end) {
+      // LRU touch.
+      RaWindow touched = w;
+      ra_windows_.erase(ra_windows_.begin() + static_cast<long>(i));
+      ra_windows_.push_back(touched);
+      const DurNs cache_copy =
+          transfer_time_ns(out.size(), params_.page_cache_bytes_per_sec);
+      sched_.schedule_after(cache_copy,
+                            [cb = std::move(cb)] { cb(Status::ok()); });
+      return;
+    }
+  }
+
+  // Fetch the requested bytes plus the readahead window through the
+  // pipelined RPC engine; completion when the requested bytes land.
+  const u64 window =
+      out.size() + static_cast<u64>(params_.readahead_chunks) * params_.rsize;
+  const u64 fetch =
+      std::min<u64>(window, it->second.size() > offset
+                                ? it->second.size() - offset
+                                : out.size());
+  rpcs_sent_ += ceil_div(fetch, params_.rsize);
+  wire_.transmit(fetch, 0, [] {});  // the window occupies the shared wire
+  if (ra_windows_.size() >= kMaxRaWindows) {
+    ra_windows_.erase(ra_windows_.begin());
+  }
+  ra_windows_.push_back(RaWindow{file, offset, offset + fetch});
+  sched_.schedule_after(pipelined_transfer_ns(out.size(), params_.rsize),
+                        [cb = std::move(cb)] { cb(Status::ok()); });
+}
+
+}  // namespace oaf::nfs

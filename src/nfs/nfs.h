@@ -1,0 +1,110 @@
+// NFS baseline (paper §5.7, Figs 16–19 comparisons).
+//
+// Models an NFSv3-style client with an *async* mount — the configuration
+// the paper names as the reason NFS can beat a storage fabric on bursty
+// multi-dataset writes: dirty pages are absorbed by the client page cache at
+// memory speed and flushed in the background, so the application observes
+// buffered-write bandwidth until the dirty limit is hit. The writeback
+// flusher walks each file's dirty ranges in file order (like the kernel's
+// page-cache radix tree), so interleaved small writes still leave the client
+// as wsize-sized WRITE RPCs. Reads go over rsize-chunked, pipelined RPCs
+// with a sequential readahead window. The server keeps file contents in
+// memory (correctness) and charges a disk-rate model (timing).
+//
+// This is a timing-plane component; it runs on the sim scheduler.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace oaf::nfs {
+
+struct NfsParams {
+  u64 wsize = 128 * kKiB;            ///< write RPC transfer size
+  u64 rsize = 128 * kKiB;            ///< read RPC transfer size
+  DurNs rpc_overhead_ns = 380'000;   ///< per-RPC client+server+net overhead (VM)
+  u32 rpc_pipeline = 2;              ///< concurrent RPC slots (amortizes overhead)
+  double link_bytes_per_sec = gbps_to_bytes_per_sec(25.0);
+  double server_disk_bytes_per_sec = 0.6e9;
+  DurNs server_disk_latency_ns = 80'000;
+  bool async_mount = true;           ///< client-side write-behind
+  u64 dirty_limit_bytes = 512 * kMiB;///< page cache absorbs up to this
+  double page_cache_bytes_per_sec = 8e9;  ///< memcpy into the page cache
+  u32 readahead_chunks = 2;          ///< sequential readahead window (rsize units)
+};
+
+class NfsClient {
+ public:
+  using IoCb = std::function<void(Status)>;
+
+  NfsClient(sim::Scheduler& sched, const NfsParams& params);
+
+  /// Write `data` at `offset` of `file`. With an async mount this completes
+  /// at page-cache speed while dirty bytes remain under the limit;
+  /// otherwise it waits for RPC round trips.
+  void write(const std::string& file, u64 offset, std::span<const u8> data,
+             IoCb cb);
+
+  /// Read into `out` from `offset`. Sequential access hits the readahead
+  /// window; other access pays pipelined rsize-chunked RPCs.
+  void read(const std::string& file, u64 offset, std::span<u8> out, IoCb cb);
+
+  /// COMMIT: block until all dirty bytes are on the server.
+  void commit(IoCb cb);
+
+  // --- introspection ---------------------------------------------------
+  [[nodiscard]] u64 dirty_bytes() const { return dirty_bytes_; }
+  [[nodiscard]] u64 rpcs_sent() const { return rpcs_sent_; }
+  [[nodiscard]] u64 server_file_size(const std::string& file) const;
+  [[nodiscard]] std::span<const u8> server_file(const std::string& file) const;
+
+ private:
+  /// Time one RPC of `bytes` occupies end to end (overhead + wire + disk).
+  [[nodiscard]] DurNs rpc_time(u64 bytes) const;
+  /// Completion time for a pipelined transfer of `bytes` in `chunk` RPCs.
+  [[nodiscard]] DurNs pipelined_transfer_ns(u64 bytes, u64 chunk) const;
+
+  void add_dirty(const std::string& file, u64 offset, u64 length);
+  /// Pop up to wsize of contiguous dirty bytes (file order). Returns 0 when
+  /// clean.
+  u64 pop_dirty_chunk();
+  void flush_chunk();
+  void drain_waiters();
+
+  sim::Scheduler& sched_;
+  NfsParams params_;
+  sim::Throttle wire_;
+  sim::Resource server_disk_;
+
+  std::map<std::string, std::vector<u8>> server_files_;
+
+  // Write-behind state: per-file merged dirty intervals (offset -> end).
+  std::map<std::string, std::map<u64, u64>> dirty_;
+  u64 dirty_bytes_ = 0;
+  bool flusher_active_ = false;
+  std::vector<std::pair<u64, IoCb>> dirty_waiters_;  // (threshold, cb)
+  std::vector<IoCb> commit_waiters_;
+
+  // Readahead state: one window per detected stream (the kernel keeps
+  // per-stream readahead state, which is what lets NFS serve h5bench's
+  // interleaved multi-dataset reads from the page cache).
+  struct RaWindow {
+    std::string file;
+    u64 start = 0;
+    u64 end = 0;  ///< exclusive
+  };
+  static constexpr size_t kMaxRaWindows = 8;
+  std::vector<RaWindow> ra_windows_;  // back = most recently used
+
+  u64 rpcs_sent_ = 0;
+};
+
+}  // namespace oaf::nfs

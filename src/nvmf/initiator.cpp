@@ -1,0 +1,555 @@
+#include "nvmf/initiator.h"
+
+#include <cstring>
+
+#include "af/chunker.h"
+#include "af/flow_control.h"
+#include "common/log.h"
+
+namespace oaf::nvmf {
+
+using pdu::DataPlacement;
+using pdu::NvmeOpcode;
+using pdu::Pdu;
+
+NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
+                             net::Copier& copier, af::ShmBroker& broker,
+                             InitiatorOptions opts)
+    : exec_(exec),
+      control_(control),
+      cm_(broker),
+      ep_(af::Role::kClient, exec, copier, opts.af),
+      governor_(opts.af.busy_poll, opts.af.static_poll_ns),
+      opts_(std::move(opts)) {
+  // Queue depth cannot exceed the cid space / slot count.
+  if (opts_.queue_depth == 0) opts_.queue_depth = 1;
+  if (opts_.queue_depth > opts_.af.shm_slots) {
+    opts_.queue_depth = opts_.af.shm_slots;
+  }
+  inflight_.resize(opts_.queue_depth);
+  slot_busy_.assign(opts_.queue_depth, false);
+  control_.set_handler([this](Pdu p) { on_pdu(std::move(p)); });
+}
+
+void NvmfInitiator::connect(std::function<void(Status)> cb) {
+  connect_cb_ = std::move(cb);
+  governor_.attach(&control_);
+  Pdu pdu;
+  pdu.header = cm_.make_icreq(opts_.af);
+  control_.send(std::move(pdu));
+}
+
+void NvmfInitiator::on_pdu(Pdu pdu) {
+  switch (pdu.type()) {
+    case pdu::PduType::kICResp:
+      on_icresp(*pdu.as<pdu::ICResp>());
+      break;
+    case pdu::PduType::kR2T:
+      on_r2t(*pdu.as<pdu::R2T>());
+      break;
+    case pdu::PduType::kC2HData:
+      on_c2h(std::move(pdu));
+      break;
+    case pdu::PduType::kCapsuleResp: {
+      const auto& resp = *pdu.as<pdu::CapsuleResp>();
+      if (resp.cpl.cid < inflight_.size() && slot_busy_[resp.cpl.cid]) {
+        Pending& p = inflight_[resp.cpl.cid];
+        if (p.cmd.opcode == NvmeOpcode::kIdentify && p.identify_cb) {
+          // Identify carries (block_size, num_blocks) in the payload.
+          if (pdu.payload.size() >= 12 && resp.cpl.ok()) {
+            u32 bs = 0;
+            u64 nb = 0;
+            for (int i = 0; i < 4; ++i) bs |= static_cast<u32>(pdu.payload[i]) << (8 * i);
+            for (int i = 0; i < 8; ++i) {
+              nb |= static_cast<u64>(pdu.payload[4 + i]) << (8 * i);
+            }
+            p.identify_result = {bs, nb};
+          }
+        }
+      }
+      on_resp(resp);
+      break;
+    }
+    case pdu::PduType::kC2HTermReq:
+      OAF_WARN("initiator received TermReq: %s",
+               pdu.as<pdu::TermReq>()->reason.c_str());
+      control_.close();
+      break;
+    default:
+      OAF_WARN("initiator: unexpected PDU type %s", pdu::to_string(pdu.type()));
+      break;
+  }
+}
+
+void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
+  maxh2cdata_ = resp.maxh2cdata != 0 ? resp.maxh2cdata
+                                     : static_cast<u32>(opts_.af.chunk_bytes);
+  if (resp.shm_granted) {
+    if (auto st = cm_.complete_client(resp, ep_); !st) {
+      OAF_WARN("shm grant could not be honoured, falling back to TCP: %s",
+               st.to_string().c_str());
+    }
+  }
+  connected_ = true;
+  if (connect_cb_) {
+    auto cb = std::move(connect_cb_);
+    connect_cb_ = nullptr;
+    cb(Status::ok());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Submission
+// --------------------------------------------------------------------------
+
+void NvmfInitiator::arm_timeout(u16 cid) {
+  if (opts_.command_timeout_ns <= 0) return;
+  const u64 generation = inflight_[cid].generation;
+  exec_.schedule_after(opts_.command_timeout_ns, [this, cid, generation] {
+    if (dead_ || !slot_busy_[cid]) return;
+    if (inflight_[cid].generation != generation) return;  // cid was reused
+    timeouts_++;
+    abort_connection("command timeout");
+  });
+}
+
+void NvmfInitiator::abort_connection(const char* reason) {
+  if (dead_) return;
+  dead_ = true;
+  OAF_WARN("initiator: aborting connection (%s)", reason);
+  // NVMe-oF error recovery is controller-scoped: terminate the association
+  // and fail everything in flight. A late response for a failed cid must
+  // not be matched against a new command, so the queue stops here.
+  pdu::TermReq term;
+  term.from_host = true;
+  term.fes = 2;
+  term.reason = reason;
+  Pdu pdu;
+  pdu.header = term;
+  control_.send(std::move(pdu));
+  control_.close();
+
+  for (u16 cid = 0; cid < inflight_.size(); ++cid) {
+    if (!slot_busy_[cid]) continue;
+    complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
+  }
+  while (!waiting_.empty()) {
+    Pending p = std::move(waiting_.front());
+    waiting_.pop_front();
+    IoResult res;
+    res.cpl.status = pdu::NvmeStatus::kDataTransferError;
+    if (p.cb) p.cb(res);
+    if (p.view_cb) {
+      p.view_cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
+                                            "connection aborted")),
+                res);
+    }
+    if (p.identify_cb) {
+      p.identify_cb(make_error(StatusCode::kUnavailable, "connection aborted"));
+    }
+  }
+}
+
+void NvmfInitiator::submit_or_queue(Pending pending) {
+  if (dead_) {
+    IoResult res;
+    res.cpl.status = pdu::NvmeStatus::kDataTransferError;
+    if (pending.cb) pending.cb(res);
+    if (pending.view_cb) {
+      pending.view_cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
+                                                  "connection aborted")),
+                      res);
+    }
+    if (pending.identify_cb) {
+      pending.identify_cb(
+          make_error(StatusCode::kUnavailable, "connection aborted"));
+    }
+    return;
+  }
+  // Find a free cid round-robin (paper: slots chosen round-robin w.r.t. the
+  // application I/O depth).
+  for (u32 i = 0; i < opts_.queue_depth; ++i) {
+    const u16 cid = static_cast<u16>((next_cid_ + i) % opts_.queue_depth);
+    if (!slot_busy_[cid]) {
+      next_cid_ = static_cast<u16>((cid + 1) % opts_.queue_depth);
+      slot_busy_[cid] = true;
+      pending.cmd.cid = cid;
+      inflight_[cid] = std::move(pending);
+      start_command(cid);
+      return;
+    }
+  }
+  waiting_.push_back(std::move(pending));
+}
+
+void NvmfInitiator::drain_queue() {
+  while (!waiting_.empty()) {
+    // Re-check a cid is actually free before popping.
+    bool any_free = false;
+    for (u32 i = 0; i < opts_.queue_depth; ++i) {
+      if (!slot_busy_[i]) {
+        any_free = true;
+        break;
+      }
+    }
+    if (!any_free) return;
+    Pending next = std::move(waiting_.front());
+    waiting_.pop_front();
+    submit_or_queue(std::move(next));
+  }
+}
+
+void NvmfInitiator::start_command(u16 cid) {
+  Pending& p = inflight_[cid];
+  p.submit_time = exec_.now();
+  p.generation = next_generation_++;
+  governor_.record_op(p.cmd.is_write());
+  arm_timeout(cid);
+  switch (p.cmd.opcode) {
+    case NvmeOpcode::kWrite:
+      start_write(cid);
+      break;
+    case NvmeOpcode::kRead:
+      start_read(cid);
+      break;
+    default:
+      send_capsule(cid, /*in_capsule=*/false, DataPlacement::kInline, {});
+      break;
+  }
+}
+
+void NvmfInitiator::send_capsule(u16 cid, bool in_capsule,
+                                 DataPlacement placement,
+                                 std::vector<u8> inline_payload) {
+  Pending& p = inflight_[cid];
+  pdu::CapsuleCmd capsule;
+  capsule.cmd = p.cmd;
+  capsule.in_capsule_data = in_capsule;
+  capsule.placement = placement;
+  capsule.shm_slot = cid;
+  capsule.data_len = p.data_len;
+  Pdu pdu;
+  pdu.header = capsule;
+  pdu.payload = std::move(inline_payload);
+  control_.send(std::move(pdu));
+}
+
+void NvmfInitiator::start_write(u16 cid) {
+  Pending& p = inflight_[cid];
+  const bool shm = ep_.shm_ready();
+  const bool in_capsule = af::write_in_capsule(opts_.af, shm, p.data_len);
+
+  if (p.zero_copy) {
+    // Payload already lives in the slot (acquired at zero_copy_write_begin);
+    // publish it and notify the target in-capsule.
+    const Status st = ep_.publish_app_buffer(cid, p.data_len, [this, cid] {
+      send_capsule(cid, /*in_capsule=*/true, DataPlacement::kShmSlot, {});
+    });
+    if (!st) complete(cid, {cid, pdu::NvmeStatus::kInternalError, 0}, 0, 0);
+    return;
+  }
+
+  if (shm) {
+    if (in_capsule) {
+      const Status st = ep_.stage_payload(cid, p.wdata, [this, cid] {
+        send_capsule(cid, /*in_capsule=*/true, DataPlacement::kShmSlot, {});
+      });
+      if (!st) complete(cid, {cid, pdu::NvmeStatus::kInternalError, 0}, 0, 0);
+    } else {
+      // Conservative flow on shm (ablation baseline): command first, data
+      // staged only after the target's R2T arrives.
+      send_capsule(cid, /*in_capsule=*/false, DataPlacement::kShmSlot, {});
+    }
+    return;
+  }
+
+  // TCP-only path.
+  if (in_capsule) {
+    std::vector<u8> payload(p.wdata.begin(), p.wdata.end());
+    send_capsule(cid, /*in_capsule=*/true, DataPlacement::kInline,
+                 std::move(payload));
+  } else {
+    send_capsule(cid, /*in_capsule=*/false, DataPlacement::kInline, {});
+  }
+}
+
+void NvmfInitiator::start_read(u16 cid) {
+  send_capsule(cid, /*in_capsule=*/false,
+               ep_.shm_ready() ? DataPlacement::kShmSlot : DataPlacement::kInline,
+               {});
+}
+
+void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
+  const u16 cid = r2t.cid;
+  if (cid >= inflight_.size() || !slot_busy_[cid]) {
+    OAF_WARN("R2T for unknown cid %u", cid);
+    return;
+  }
+  if (ep_.shm_ready()) {
+    // Conservative flow on shm (pre-optimization design): the granted
+    // window moves through the slot one maxh2cdata chunk at a time, each
+    // chunk with its own out-of-band notification (Fig 6/7 steps 3 and 4,
+    // repeated per chunk) — the serialization §4.4.2's in-capsule flow
+    // eliminates.
+    shm_write_chunk(cid, r2t.ttag, r2t.offset, r2t.offset + r2t.length);
+    return;
+  }
+  Pending& p = inflight_[cid];
+  // TCP: stream the granted window as inline chunks of maxh2cdata.
+  const auto chunks =
+      af::make_chunks(r2t.length, maxh2cdata_);
+  for (const auto& c : chunks) {
+    pdu::H2CData h2c;
+    h2c.cid = cid;
+    h2c.ttag = r2t.ttag;
+    h2c.offset = r2t.offset + c.offset;
+    h2c.length = c.length;
+    h2c.last = c.last;
+    h2c.placement = DataPlacement::kInline;
+    Pdu pdu;
+    pdu.header = h2c;
+    const auto slice = p.wdata.subspan(r2t.offset + c.offset, c.length);
+    pdu.payload.assign(slice.begin(), slice.end());
+    control_.send(std::move(pdu));
+  }
+}
+
+void NvmfInitiator::shm_write_chunk(u16 cid, u16 ttag, u64 offset, u64 end) {
+  if (cid >= inflight_.size() || !slot_busy_[cid]) return;
+  Pending& p = inflight_[cid];
+  const u64 chunk = std::min<u64>(maxh2cdata_, end - offset);
+  const bool last = offset + chunk >= end;
+  ep_.stage_payload_when_free(
+      cid, p.wdata.subspan(offset, chunk),
+      [this, cid, ttag, offset, chunk, last, end] {
+        pdu::H2CData h2c;
+        h2c.cid = cid;
+        h2c.ttag = ttag;
+        h2c.offset = offset;
+        h2c.length = chunk;
+        h2c.last = last;
+        h2c.placement = DataPlacement::kShmSlot;
+        h2c.shm_slot = cid;
+        Pdu pdu;
+        pdu.header = h2c;
+        control_.send(std::move(pdu));
+        if (!last) shm_write_chunk(cid, ttag, offset + chunk, end);
+      });
+}
+
+// --------------------------------------------------------------------------
+// Completion paths
+// --------------------------------------------------------------------------
+
+void NvmfInitiator::on_c2h(Pdu pdu) {
+  const auto& c2h = *pdu.as<pdu::C2HData>();
+  const u16 cid = c2h.cid;
+  if (cid >= inflight_.size() || !slot_busy_[cid]) {
+    OAF_WARN("C2HData for unknown cid %u", cid);
+    return;
+  }
+  Pending& p = inflight_[cid];
+
+  if (c2h.placement == DataPlacement::kShmSlot) {
+    if (p.zero_copy && p.view_cb) {
+      // Zero-copy read: hand the application a view of the slot; the slot
+      // (and the cid) are reclaimed when the application releases it.
+      auto view = ep_.consume_view(c2h.shm_slot);
+      IoResult res;
+      res.cpl = {cid, pdu::NvmeStatus::kSuccess, 0};
+      res.total_ns = exec_.now() - p.submit_time;
+      res.io_time_ns = c2h.io_time_ns;
+      res.target_time_ns = c2h.target_time_ns;
+      auto cb = std::move(p.view_cb);
+      if (!view) {
+        release_cid(cid);
+        cb(view.status(), res);
+        return;
+      }
+      ReadView rv;
+      rv.data = view.value();
+      rv.release = [this, cid, slot = c2h.shm_slot] {
+        (void)ep_.release_slot(slot);
+        release_cid(cid);
+      };
+      ios_completed_++;
+      cb(std::move(rv), res);
+      return;
+    }
+    // Staged shm read: copy the published chunk into the application
+    // buffer at its offset; the SUCCESS flag (optimized flow) folds the
+    // completion into the last data PDU, otherwise CapsuleResp closes it.
+    if (c2h.offset + c2h.length > p.rdata.size()) {
+      complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
+      return;
+    }
+    ep_.consume_payload(
+        c2h.shm_slot, p.rdata.subspan(c2h.offset, c2h.length),
+        [this, cid, last = c2h.last, success = c2h.success,
+         io_ns = c2h.io_time_ns, tgt_ns = c2h.target_time_ns](Result<u64> got) {
+          if (!got) {
+            complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
+            return;
+          }
+          if (last && success) {
+            complete(cid, {cid, pdu::NvmeStatus::kSuccess, 0}, io_ns, tgt_ns);
+          }
+        });
+    return;
+  }
+
+  // Inline TCP chunk: land it in the application buffer.
+  if (c2h.offset + c2h.length > p.rdata.size() ||
+      pdu.payload.size() != c2h.length) {
+    complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
+    return;
+  }
+  std::memcpy(p.rdata.data() + c2h.offset, pdu.payload.data(), c2h.length);
+  p.bytes_received += c2h.length;
+  if (c2h.last && c2h.success) {
+    complete(cid, {cid, pdu::NvmeStatus::kSuccess, 0}, c2h.io_time_ns,
+             c2h.target_time_ns);
+  }
+  // Otherwise the CapsuleResp closes the command.
+}
+
+void NvmfInitiator::on_resp(const pdu::CapsuleResp& resp) {
+  const u16 cid = resp.cpl.cid;
+  if (cid >= inflight_.size() || !slot_busy_[cid]) {
+    OAF_WARN("CapsuleResp for unknown cid %u", cid);
+    return;
+  }
+  complete(cid, resp.cpl, resp.io_time_ns, resp.target_time_ns);
+}
+
+void NvmfInitiator::release_cid(u16 cid) {
+  slot_busy_[cid] = false;
+  inflight_[cid] = Pending{};
+  drain_queue();
+}
+
+void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
+                             u64 target_ns) {
+  Pending& p = inflight_[cid];
+  IoResult res;
+  res.cpl = cpl;
+  res.total_ns = exec_.now() - p.submit_time;
+  res.io_time_ns = io_ns;
+  res.target_time_ns = target_ns;
+
+  IoCb cb = std::move(p.cb);
+  auto identify_cb = std::move(p.identify_cb);
+  auto identify_result = p.identify_result;
+  ios_completed_++;
+  release_cid(cid);
+
+  if (identify_cb) {
+    if (cpl.ok() && identify_result.first != 0) {
+      identify_cb(identify_result);
+    } else {
+      identify_cb(make_error(StatusCode::kUnavailable, "identify failed"));
+    }
+    return;
+  }
+  if (cb) cb(res);
+}
+
+// --------------------------------------------------------------------------
+// Public API
+// --------------------------------------------------------------------------
+
+namespace {
+pdu::NvmeCmd make_cmd(pdu::NvmeOpcode op, u32 nsid, u64 slba, u64 bytes,
+                      u32 block_size) {
+  pdu::NvmeCmd cmd;
+  cmd.opcode = op;
+  cmd.nsid = nsid;
+  cmd.slba = slba;
+  cmd.nlb = bytes == 0 ? 0 : static_cast<u32>(bytes / block_size - 1);
+  return cmd;
+}
+}  // namespace
+
+void NvmfInitiator::write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb) {
+  Pending p;
+  p.cmd = make_cmd(NvmeOpcode::kWrite, nsid, slba, data.size(), kBlockSize);
+  p.data_len = data.size();
+  p.wdata = data;
+  p.cb = std::move(cb);
+  submit_or_queue(std::move(p));
+}
+
+void NvmfInitiator::read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb) {
+  Pending p;
+  p.cmd = make_cmd(NvmeOpcode::kRead, nsid, slba, out.size(), kBlockSize);
+  p.data_len = out.size();
+  p.rdata = out;
+  p.cb = std::move(cb);
+  submit_or_queue(std::move(p));
+}
+
+void NvmfInitiator::flush(u32 nsid, IoCb cb) {
+  Pending p;
+  p.cmd = make_cmd(NvmeOpcode::kFlush, nsid, 0, 0, kBlockSize);
+  p.cb = std::move(cb);
+  submit_or_queue(std::move(p));
+}
+
+void NvmfInitiator::identify(u32 nsid,
+                             std::function<void(Result<std::pair<u32, u64>>)> cb) {
+  Pending p;
+  p.cmd = make_cmd(NvmeOpcode::kIdentify, nsid, 0, 0, kBlockSize);
+  p.identify_cb = std::move(cb);
+  submit_or_queue(std::move(p));
+}
+
+Result<NvmfInitiator::WriteTicket> NvmfInitiator::zero_copy_write_begin(u64 len) {
+  if (!supports_zero_copy()) {
+    return make_error(StatusCode::kUnavailable, "zero-copy requires shm");
+  }
+  if (len > ep_.slot_bytes()) {
+    return make_error(StatusCode::kOutOfRange, "length exceeds slot size");
+  }
+  for (u32 i = 0; i < opts_.queue_depth; ++i) {
+    const u16 cid = static_cast<u16>((next_cid_ + i) % opts_.queue_depth);
+    if (!slot_busy_[cid]) {
+      auto buf = ep_.acquire_app_buffer(cid);
+      if (!buf) return buf.status();
+      next_cid_ = static_cast<u16>((cid + 1) % opts_.queue_depth);
+      slot_busy_[cid] = true;
+      return WriteTicket{cid, buf.value()};
+    }
+  }
+  return make_error(StatusCode::kResourceExhausted, "queue depth exceeded");
+}
+
+void NvmfInitiator::zero_copy_write(const WriteTicket& ticket, u32 nsid,
+                                    u64 slba, u64 len, IoCb cb) {
+  Pending p;
+  p.cmd = make_cmd(NvmeOpcode::kWrite, nsid, slba, len, kBlockSize);
+  p.cmd.cid = ticket.cid;
+  p.data_len = len;
+  p.zero_copy = true;
+  p.cb = std::move(cb);
+  inflight_[ticket.cid] = std::move(p);
+  start_command(ticket.cid);
+}
+
+void NvmfInitiator::zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) {
+  if (!supports_zero_copy()) {
+    IoResult res;
+    res.cpl.status = pdu::NvmeStatus::kInternalError;
+    cb(Result<ReadView>(
+           make_error(StatusCode::kUnavailable, "zero-copy requires shm")),
+       res);
+    return;
+  }
+  Pending p;
+  p.cmd = make_cmd(NvmeOpcode::kRead, nsid, slba, len, kBlockSize);
+  p.data_len = len;
+  p.zero_copy = true;
+  p.view_cb = std::move(cb);
+  submit_or_queue(std::move(p));
+}
+
+}  // namespace oaf::nvmf

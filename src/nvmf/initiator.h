@@ -1,0 +1,187 @@
+// NVMe-oF initiator (the SPDK "perf client" side, paper §4.6).
+//
+// One initiator drives one queue pair over one control channel. After the
+// Connection Manager handshake the initiator adaptively routes each I/O:
+// payloads ride the shared-memory double-buffer ring when the AF endpoint is
+// connected, inline TCP data PDUs otherwise — the application never sees the
+// difference. Command identifiers double as ring-slot indices (cid in
+// [0, queue_depth), assigned round-robin), which realizes the paper's
+// round-robin slot selection and guarantees a free slot whenever a cid is
+// free. Requests beyond the queue depth are queued internally.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "af/busy_poll.h"
+#include "af/config.h"
+#include "af/connection_manager.h"
+#include "af/endpoint.h"
+#include "common/stats.h"
+#include "net/channel.h"
+
+namespace oaf::nvmf {
+
+struct InitiatorOptions {
+  af::AfConfig af;
+  u32 queue_depth = 128;
+  std::string connection_name = "conn0";
+  /// Per-command timeout; 0 disables. On expiry the connection is torn
+  /// down and every outstanding command completes with kDataTransferError
+  /// (mirroring NVMe-oF's controller-level error recovery — a lost PDU
+  /// cannot be retried safely at this layer).
+  DurNs command_timeout_ns = 0;
+};
+
+class NvmfInitiator {
+ public:
+  /// Logical block size all harness namespaces use.
+  static constexpr u32 kBlockSize = 512;
+
+  /// Outcome of one I/O as observed by the application.
+  struct IoResult {
+    pdu::NvmeCpl cpl;
+    DurNs total_ns = 0;        ///< submit -> completion
+    DurNs io_time_ns = 0;      ///< device residency (target-reported)
+    DurNs target_time_ns = 0;  ///< target processing (target-reported)
+
+    [[nodiscard]] bool ok() const { return cpl.ok(); }
+    /// Communication component for the paper's breakdown figures.
+    [[nodiscard]] DurNs comm_ns() const {
+      const DurNs c = total_ns - static_cast<DurNs>(io_time_ns) -
+                      static_cast<DurNs>(target_time_ns);
+      return c > 0 ? c : 0;
+    }
+  };
+  using IoCb = std::function<void(IoResult)>;
+
+  /// Zero-copy read view: payload lives in the shm slot; call release()
+  /// exactly once when done with the data.
+  struct ReadView {
+    std::span<const u8> data;
+    std::function<void()> release;
+  };
+  using ReadViewCb = std::function<void(Result<ReadView>, IoResult)>;
+
+  NvmfInitiator(Executor& exec, net::MsgChannel& control, net::Copier& copier,
+                af::ShmBroker& broker, InitiatorOptions opts);
+
+  /// Run the ICReq/ICResp handshake; cb(ok) once the fabric is established
+  /// (shm granted or TCP-only fallback — both are success).
+  void connect(std::function<void(Status)> cb);
+
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] bool shm_active() const { return ep_.shm_ready(); }
+  [[nodiscard]] const af::AfConfig& config() const { return opts_.af; }
+  [[nodiscard]] af::AfEndpoint& endpoint() { return ep_; }
+  [[nodiscard]] af::BusyPollGovernor& governor() { return governor_; }
+  [[nodiscard]] Executor& executor() { return exec_; }
+
+  // --- data-path API -------------------------------------------------------
+
+  /// Staged write: `data` is copied to the fabric (shm slot or inline PDU).
+  /// Must stay alive until the callback fires.
+  void write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb);
+
+  /// Staged read into `out` (sized to the full transfer length).
+  void read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb);
+
+  void flush(u32 nsid, IoCb cb);
+
+  /// Identify namespace: cb receives (block_size, num_blocks) on success.
+  void identify(u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb);
+
+  // --- zero-copy API (paper §4.4.3; requires shm) ---------------------------
+
+  /// True when zero-copy buffers are available on this connection. Consults
+  /// the endpoint's *effective* config (encryption demotes zero-copy).
+  [[nodiscard]] bool supports_zero_copy() const {
+    return ep_.shm_ready() && ep_.config().zero_copy;
+  }
+
+  /// Borrow a write buffer created directly in shared memory. Fill it, then
+  /// call zero_copy_write(). The buffer belongs to the connection; at most
+  /// queue_depth tickets may be outstanding.
+  struct WriteTicket {
+    u16 cid = 0;
+    std::span<u8> buffer;
+  };
+  Result<WriteTicket> zero_copy_write_begin(u64 len);
+
+  /// Submit the write for a ticket from zero_copy_write_begin. `len` bytes
+  /// of the ticket buffer are sent with no client-side copy.
+  void zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba, u64 len,
+                       IoCb cb);
+
+  /// Zero-copy read: the completion hands back a view of the shm slot.
+  void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb);
+
+  // --- stats ---------------------------------------------------------------
+  [[nodiscard]] u64 ios_completed() const { return ios_completed_; }
+  [[nodiscard]] u64 control_pdus_sent() const { return control_.pdus_sent(); }
+  [[nodiscard]] u64 timeouts() const { return timeouts_; }
+  [[nodiscard]] bool dead() const { return dead_; }
+
+ private:
+  struct Pending {
+    pdu::NvmeCmd cmd;
+    u64 data_len = 0;
+    // staged paths
+    std::span<const u8> wdata;  // write source
+    std::span<u8> rdata;        // read sink
+    bool zero_copy = false;
+    IoCb cb;
+    ReadViewCb view_cb;
+    std::function<void(Result<std::pair<u32, u64>>)> identify_cb;
+    std::pair<u32, u64> identify_result{0, 0};
+    TimeNs submit_time = 0;
+    u64 bytes_received = 0;  // TCP read reassembly progress
+    u64 generation = 0;      // guards timeout callbacks against cid reuse
+  };
+
+  void on_pdu(pdu::Pdu pdu);
+  void on_icresp(const pdu::ICResp& resp);
+  void on_r2t(const pdu::R2T& r2t);
+  void on_c2h(pdu::Pdu pdu);
+  void on_resp(const pdu::CapsuleResp& resp);
+
+  void submit_or_queue(Pending pending);
+  void start_command(u16 cid);
+  void start_write(u16 cid);
+  void start_read(u16 cid);
+  void send_capsule(u16 cid, bool in_capsule, pdu::DataPlacement placement,
+                    std::vector<u8> inline_payload);
+  void shm_write_chunk(u16 cid, u16 ttag, u64 offset, u64 end);
+  void complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns, u64 target_ns);
+  void release_cid(u16 cid);
+  void drain_queue();
+  void arm_timeout(u16 cid);
+  void abort_connection(const char* reason);
+
+  [[nodiscard]] bool cid_free(u16 cid) const { return !slot_busy_[cid]; }
+
+  Executor& exec_;
+  net::MsgChannel& control_;
+  af::ConnectionManager cm_;
+  af::AfEndpoint ep_;
+  af::BusyPollGovernor governor_;
+  InitiatorOptions opts_;
+
+  bool connected_ = false;
+  std::function<void(Status)> connect_cb_;
+  u32 maxh2cdata_ = 128 * 1024;
+
+  std::vector<Pending> inflight_;   // indexed by cid
+  std::vector<bool> slot_busy_;     // cid allocation map
+  u16 next_cid_ = 0;                // round-robin cursor
+  std::deque<Pending> waiting_;     // beyond queue depth
+  u64 next_generation_ = 1;
+  bool dead_ = false;               // connection torn down
+
+  u64 ios_completed_ = 0;
+  u64 timeouts_ = 0;
+};
+
+}  // namespace oaf::nvmf

@@ -1,0 +1,423 @@
+#include "nvmf/target.h"
+
+#include <cstring>
+
+#include "af/chunker.h"
+#include "af/flow_control.h"
+#include "common/log.h"
+
+namespace oaf::nvmf {
+
+using pdu::DataPlacement;
+using pdu::NvmeOpcode;
+using pdu::NvmeStatus;
+using pdu::Pdu;
+
+NvmfTargetConnection::NvmfTargetConnection(Executor& exec,
+                                           net::MsgChannel& control,
+                                           net::Copier& copier,
+                                           af::ShmBroker& broker,
+                                           ssd::Subsystem& subsystem,
+                                           TargetOptions opts)
+    : exec_(exec),
+      control_(control),
+      cm_(broker),
+      ep_(af::Role::kTarget, exec, copier, opts.af),
+      governor_(opts.af.busy_poll, opts.af.static_poll_ns),
+      subsystem_(subsystem),
+      opts_(std::move(opts)) {
+  control_.set_handler([this](Pdu p) { on_pdu(std::move(p)); });
+  governor_.attach(&control_);
+}
+
+NvmfTargetConnection::~NvmfTargetConnection() {
+  if (ep_.shm_ready()) {
+    (void)cm_.release(opts_.connection_name);
+  }
+}
+
+void NvmfTargetConnection::on_pdu(Pdu pdu) {
+  switch (pdu.type()) {
+    case pdu::PduType::kICReq:
+      on_icreq(*pdu.as<pdu::ICReq>());
+      break;
+    case pdu::PduType::kCapsuleCmd:
+      on_capsule(std::move(pdu));
+      break;
+    case pdu::PduType::kH2CData:
+      on_h2c(std::move(pdu));
+      break;
+    case pdu::PduType::kH2CTermReq:
+      OAF_WARN("target received TermReq: %s", pdu.as<pdu::TermReq>()->reason.c_str());
+      control_.close();
+      break;
+    default:
+      OAF_WARN("target: unexpected PDU type %s", pdu::to_string(pdu.type()));
+      break;
+  }
+}
+
+void NvmfTargetConnection::on_icreq(const pdu::ICReq& req) {
+  auto resp = cm_.accept_target(req, opts_.connection_name, ep_);
+  Pdu out;
+  if (!resp) {
+    OAF_WARN("handshake failed: %s", resp.status().to_string().c_str());
+    pdu::ICResp fallback;
+    fallback.pfv = req.pfv;
+    fallback.maxh2cdata = static_cast<u32>(opts_.af.chunk_bytes);
+    fallback.shm_granted = false;
+    out.header = fallback;
+  } else {
+    out.header = resp.value();
+  }
+  control_.send(std::move(out));
+}
+
+DurNs NvmfTargetConnection::target_time(u16 cid, DurNs io_time) const {
+  const auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return 0;
+  // Processing time at the target: end-to-end residency minus device time
+  // and minus data-path copy residency (which belongs to the breakdown's
+  // communication component, Figs 3/12).
+  const DurNs spent =
+      exec_.now() - it->second.arrival - io_time - it->second.copy_wait;
+  return spent > 0 ? spent : 0;
+}
+
+void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
+                                     DurNs io_time, std::vector<u8> payload) {
+  pdu::CapsuleResp resp;
+  resp.cpl = cpl;
+  resp.io_time_ns = static_cast<u64>(io_time);
+  resp.target_time_ns = static_cast<u64>(target_time(cid, io_time));
+  Pdu pdu;
+  pdu.header = resp;
+  pdu.payload = std::move(payload);
+  inflight_.erase(cid);
+  commands_served_++;
+  control_.send(std::move(pdu));
+}
+
+void NvmfTargetConnection::send_term(const std::string& reason) {
+  pdu::TermReq term;
+  term.from_host = false;
+  term.fes = 1;
+  term.reason = reason;
+  Pdu pdu;
+  pdu.header = term;
+  control_.send(std::move(pdu));
+}
+
+// --------------------------------------------------------------------------
+// Command capsules
+// --------------------------------------------------------------------------
+
+void NvmfTargetConnection::on_capsule(Pdu pdu) {
+  const auto& capsule = *pdu.as<pdu::CapsuleCmd>();
+  const u16 cid = capsule.cmd.cid;
+  if (inflight_.contains(cid)) {
+    OAF_ERROR("duplicate cid %u: old opcode %d, new opcode %d, inflight=%zu",
+              cid, static_cast<int>(inflight_[cid].cmd.opcode),
+              static_cast<int>(capsule.cmd.opcode), inflight_.size());
+    send_term("duplicate cid");
+    return;
+  }
+  IoCtx& ctx = inflight_[cid];
+  ctx.cmd = capsule.cmd;
+  ctx.arrival = exec_.now();
+  governor_.record_op(capsule.cmd.is_write());
+
+  ssd::Device* device = subsystem_.find(capsule.cmd.nsid);
+  if (device == nullptr &&
+      (capsule.cmd.is_read() || capsule.cmd.is_write() ||
+       capsule.cmd.opcode == NvmeOpcode::kFlush)) {
+    send_resp(cid, {cid, NvmeStatus::kInvalidNamespace, 0}, 0);
+    return;
+  }
+
+  switch (capsule.cmd.opcode) {
+    case NvmeOpcode::kWrite: {
+      const u64 len = capsule.cmd.data_bytes(device->block_size());
+      if (capsule.data_len != len) {
+        send_resp(cid, {cid, NvmeStatus::kInvalidField, 0}, 0);
+        return;
+      }
+      // The DPDK-managed staging buffer the device DMA-copies from; the
+      // copy from shm into this buffer is the one the paper says cannot be
+      // avoided (§4.4.3).
+      ctx.buffer.resize(len);
+
+      if (capsule.in_capsule_data) {
+        if (capsule.placement == DataPlacement::kShmSlot) {
+          if (!ep_.shm_ready()) {
+            send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+            return;
+          }
+          const TimeNs copy_start = exec_.now();
+          ep_.consume_payload(
+              capsule.shm_slot, ctx.buffer,
+              [this, cid, len, copy_start](Result<u64> got) {
+                if (!got || got.value() != len) {
+                  send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+                  return;
+                }
+                if (auto it2 = inflight_.find(cid); it2 != inflight_.end()) {
+                  it2->second.copy_wait += exec_.now() - copy_start;
+                }
+                start_device_write(cid);
+              });
+        } else {
+          if (pdu.payload.size() != len) {
+            send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+            return;
+          }
+          std::memcpy(ctx.buffer.data(), pdu.payload.data(), len);
+          start_device_write(cid);
+        }
+        return;
+      }
+
+      // Conservative flow: grant the transfer window (Fig 7 step 2).
+      pdu::R2T r2t;
+      r2t.cid = cid;
+      r2t.ttag = cid;
+      r2t.offset = 0;
+      r2t.length = len;
+      r2ts_sent_++;
+      Pdu out;
+      out.header = r2t;
+      control_.send(std::move(out));
+      return;
+    }
+    case NvmeOpcode::kRead:
+      handle_read(cid);
+      return;
+    default:
+      handle_admin(cid);
+      return;
+  }
+}
+
+void NvmfTargetConnection::on_h2c(Pdu pdu) {
+  const auto& h2c = *pdu.as<pdu::H2CData>();
+  const u16 cid = h2c.cid;
+  const auto it = inflight_.find(cid);
+  if (it == inflight_.end()) {
+    send_term("H2CData for unknown cid");
+    return;
+  }
+  IoCtx& ctx = it->second;
+  if (h2c.offset + h2c.length > ctx.buffer.size()) {
+    send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+    return;
+  }
+
+  if (h2c.placement == DataPlacement::kShmSlot) {
+    if (!ep_.shm_ready()) {
+      send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+      return;
+    }
+    ep_.consume_payload(
+        h2c.shm_slot,
+        std::span<u8>(ctx.buffer.data() + h2c.offset, h2c.length),
+        [this, cid, len = h2c.length](Result<u64> got) {
+          if (!got || got.value() != len) {
+            send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+            return;
+          }
+          auto it2 = inflight_.find(cid);
+          if (it2 == inflight_.end()) return;
+          it2->second.bytes_received += len;
+          if (it2->second.bytes_received >= it2->second.buffer.size()) {
+            start_device_write(cid);
+          }
+        });
+    return;
+  }
+
+  if (pdu.payload.size() != h2c.length) {
+    send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
+    return;
+  }
+  std::memcpy(ctx.buffer.data() + h2c.offset, pdu.payload.data(), h2c.length);
+  ctx.bytes_received += h2c.length;
+  if (ctx.bytes_received >= ctx.buffer.size()) {
+    start_device_write(cid);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Device execution
+// --------------------------------------------------------------------------
+
+void NvmfTargetConnection::start_device_write(u16 cid) {
+  auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  IoCtx& ctx = it->second;
+  ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
+  bytes_written_ += ctx.buffer.size();
+  device->submit_write(ctx.cmd, ctx.buffer,
+                       [this, cid](pdu::NvmeCpl cpl, DurNs io_time) {
+                         send_resp(cid, cpl, io_time);
+                       });
+}
+
+void NvmfTargetConnection::handle_read(u16 cid) {
+  auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  IoCtx& ctx = it->second;
+  ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
+  const u64 len = ctx.cmd.data_bytes(device->block_size());
+  ctx.buffer.resize(len);
+  device->submit_read(ctx.cmd, ctx.buffer,
+                      [this, cid](pdu::NvmeCpl cpl, DurNs io_time) {
+                        finish_read(cid, cpl, io_time);
+                      });
+}
+
+void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time) {
+  auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  IoCtx& ctx = it->second;
+  if (!cpl.ok()) {
+    send_resp(cid, cpl, io_time);
+    return;
+  }
+  bytes_read_ += ctx.buffer.size();
+
+  const bool fold_completion = af::read_success_flag(opts_.af, ep_.shm_ready());
+
+  if (ep_.shm_ready()) {
+    if (fold_completion) {
+      // Optimized shm flow: the whole payload parks in its slot, one
+      // notification with the SUCCESS flag closes the command (§4.4.2).
+      const TimeNs copy_start = exec_.now();
+      const Status st = ep_.stage_payload(
+          cid, ctx.buffer, [this, cid, io_time, copy_start] {
+            if (auto it2 = inflight_.find(cid); it2 != inflight_.end()) {
+              it2->second.copy_wait += exec_.now() - copy_start;
+            }
+            pdu::C2HData c2h;
+            c2h.cid = cid;
+            c2h.offset = 0;
+            const auto it2 = inflight_.find(cid);
+            c2h.length = it2 != inflight_.end() ? it2->second.buffer.size() : 0;
+            c2h.last = true;
+            c2h.success = true;
+            c2h.placement = DataPlacement::kShmSlot;
+            c2h.shm_slot = cid;
+            c2h.io_time_ns = static_cast<u64>(io_time);
+            c2h.target_time_ns = static_cast<u64>(target_time(cid, io_time));
+            Pdu pdu;
+            pdu.header = c2h;
+            inflight_.erase(cid);
+            commands_served_++;
+            control_.send(std::move(pdu));
+          });
+      if (!st) {
+        send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, io_time);
+      }
+      return;
+    }
+    // Conservative flow on shm (pre-optimization design): the payload moves
+    // through the slot one maxh2cdata-sized chunk at a time — each chunk
+    // waits for the client to drain the previous one, and every chunk costs
+    // an out-of-band notification. This chunk serialization plus the extra
+    // messages is precisely what the shm flow control removes.
+    shm_read_chunk(cid, 0, cpl, io_time);
+    return;
+  }
+
+  // TCP: stream inline chunks of the configured chunk size (§4.5).
+  const auto chunks = af::make_chunks(ctx.buffer.size(), opts_.af.chunk_bytes);
+  for (const auto& c : chunks) {
+    pdu::C2HData c2h;
+    c2h.cid = cid;
+    c2h.offset = c.offset;
+    c2h.length = c.length;
+    c2h.last = c.last;
+    c2h.success = c.last && fold_completion;
+    c2h.placement = DataPlacement::kInline;
+    if (c.last) {
+      c2h.io_time_ns = static_cast<u64>(io_time);
+      c2h.target_time_ns = static_cast<u64>(target_time(cid, io_time));
+    }
+    Pdu pdu;
+    pdu.header = c2h;
+    pdu.payload.assign(ctx.buffer.begin() + static_cast<std::ptrdiff_t>(c.offset),
+                       ctx.buffer.begin() +
+                           static_cast<std::ptrdiff_t>(c.offset + c.length));
+    control_.send(std::move(pdu));
+  }
+  if (!fold_completion) {
+    send_resp(cid, cpl, io_time);
+  } else {
+    inflight_.erase(cid);
+    commands_served_++;
+  }
+}
+
+void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
+                                          pdu::NvmeCpl cpl, DurNs io_time) {
+  const auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  IoCtx& ctx = it->second;
+  const u64 total = ctx.buffer.size();
+  const u64 chunk = std::min<u64>(opts_.af.chunk_bytes, total - offset);
+  const bool last = offset + chunk >= total;
+  ep_.stage_payload_when_free(
+      cid, std::span<const u8>(ctx.buffer.data() + offset, chunk),
+      [this, cid, offset, chunk, last, cpl, io_time] {
+        pdu::C2HData c2h;
+        c2h.cid = cid;
+        c2h.offset = offset;
+        c2h.length = chunk;
+        c2h.last = last;
+        c2h.success = false;
+        c2h.placement = DataPlacement::kShmSlot;
+        c2h.shm_slot = cid;
+        Pdu pdu;
+        pdu.header = c2h;
+        control_.send(std::move(pdu));
+        if (last) {
+          send_resp(cid, cpl, io_time);
+        } else {
+          shm_read_chunk(cid, offset + chunk, cpl, io_time);
+        }
+      });
+}
+
+void NvmfTargetConnection::handle_admin(u16 cid) {
+  auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  IoCtx& ctx = it->second;
+
+  if (ctx.cmd.opcode == NvmeOpcode::kIdentify) {
+    ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
+    pdu::NvmeCpl cpl{cid, NvmeStatus::kSuccess, 0};
+    std::vector<u8> payload;
+    if (device == nullptr) {
+      cpl.status = NvmeStatus::kInvalidNamespace;
+    } else {
+      payload.resize(12);
+      const u32 bs = device->block_size();
+      const u64 nb = device->num_blocks();
+      for (int i = 0; i < 4; ++i) payload[i] = static_cast<u8>(bs >> (8 * i));
+      for (int i = 0; i < 8; ++i) payload[4 + i] = static_cast<u8>(nb >> (8 * i));
+    }
+    send_resp(cid, cpl, 0, std::move(payload));
+    return;
+  }
+
+  if (ctx.cmd.opcode == NvmeOpcode::kFlush) {
+    ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
+    device->submit_other(ctx.cmd, [this, cid](pdu::NvmeCpl cpl, DurNs io_time) {
+      send_resp(cid, cpl, io_time);
+    });
+    return;
+  }
+
+  send_resp(cid, {cid, NvmeStatus::kInvalidOpcode, 0}, 0);
+}
+
+}  // namespace oaf::nvmf

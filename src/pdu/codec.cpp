@@ -1,0 +1,407 @@
+#include "pdu/codec.h"
+
+#include <cstring>
+
+#include "pdu/crc32.h"
+
+namespace oaf::pdu {
+
+namespace {
+
+constexpr u64 kCommonHeaderBytes = 8;
+constexpr u8 kFlagHeaderDigest = 0x01;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<u8>& out) : out_(out) {}
+
+  void u8_(u8 v) { out_.push_back(v); }
+  void u16_(u16 v) {
+    out_.push_back(static_cast<u8>(v));
+    out_.push_back(static_cast<u8>(v >> 8));
+  }
+  void u32_(u32 v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void u64_(u64 v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void bool_(bool v) { u8_(v ? 1 : 0); }
+  void str_(const std::string& s) {
+    u32_(static_cast<u32>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<u8>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> in) : in_(in) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] u64 consumed() const { return pos_; }
+
+  u8 u8_() {
+    if (!need(1)) return 0;
+    return in_[pos_++];
+  }
+  u16 u16_() {
+    if (!need(2)) return 0;
+    u16 v = static_cast<u16>(in_[pos_] | (in_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  u32 u32_() {
+    if (!need(4)) return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(in_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  u64 u64_() {
+    if (!need(8)) return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  bool bool_() { return u8_() != 0; }
+  std::string str_() {
+    const u32 len = u32_();
+    if (!ok_ || !need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  bool need(u64 n) {
+    if (pos_ + n > in_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const u8> in_;
+  u64 pos_ = 0;
+  bool ok_ = true;
+};
+
+void encode_cmd(Writer& w, const NvmeCmd& cmd) {
+  w.u8_(static_cast<u8>(cmd.opcode));
+  w.u16_(cmd.cid);
+  w.u32_(cmd.nsid);
+  w.u64_(cmd.slba);
+  w.u32_(cmd.nlb);
+}
+
+NvmeCmd decode_cmd(Reader& r) {
+  NvmeCmd cmd;
+  cmd.opcode = static_cast<NvmeOpcode>(r.u8_());
+  cmd.cid = r.u16_();
+  cmd.nsid = r.u32_();
+  cmd.slba = r.u64_();
+  cmd.nlb = r.u32_();
+  return cmd;
+}
+
+void encode_header(Writer& w, const PduHeader& header) {
+  std::visit(
+      [&w](const auto& h) {
+        using T = std::decay_t<decltype(h)>;
+        if constexpr (std::is_same_v<T, ICReq>) {
+          w.u16_(h.pfv);
+          w.u8_(h.hpda);
+          w.bool_(h.header_digest);
+          w.u32_(h.maxr2t);
+          w.u64_(h.node_token);
+          w.bool_(h.want_shm);
+        } else if constexpr (std::is_same_v<T, ICResp>) {
+          w.u16_(h.pfv);
+          w.bool_(h.header_digest);
+          w.u32_(h.maxh2cdata);
+          w.bool_(h.shm_granted);
+          w.u64_(h.shm_bytes);
+          w.u32_(h.shm_slots);
+          w.str_(h.shm_name);
+        } else if constexpr (std::is_same_v<T, CapsuleCmd>) {
+          encode_cmd(w, h.cmd);
+          w.u8_(static_cast<u8>(h.placement));
+          w.bool_(h.in_capsule_data);
+          w.u32_(h.shm_slot);
+          w.u64_(h.data_len);
+        } else if constexpr (std::is_same_v<T, CapsuleResp>) {
+          w.u16_(h.cpl.cid);
+          w.u16_(static_cast<u16>(h.cpl.status));
+          w.u64_(h.cpl.result);
+          w.u64_(h.io_time_ns);
+          w.u64_(h.target_time_ns);
+        } else if constexpr (std::is_same_v<T, R2T>) {
+          w.u16_(h.cid);
+          w.u16_(h.ttag);
+          w.u64_(h.offset);
+          w.u64_(h.length);
+        } else if constexpr (std::is_same_v<T, H2CData>) {
+          w.u16_(h.cid);
+          w.u16_(h.ttag);
+          w.u64_(h.offset);
+          w.u64_(h.length);
+          w.bool_(h.last);
+          w.u8_(static_cast<u8>(h.placement));
+          w.u32_(h.shm_slot);
+        } else if constexpr (std::is_same_v<T, C2HData>) {
+          w.u16_(h.cid);
+          w.u64_(h.offset);
+          w.u64_(h.length);
+          w.bool_(h.last);
+          w.bool_(h.success);
+          w.u8_(static_cast<u8>(h.placement));
+          w.u32_(h.shm_slot);
+          w.u64_(h.io_time_ns);
+          w.u64_(h.target_time_ns);
+        } else if constexpr (std::is_same_v<T, TermReq>) {
+          w.bool_(h.from_host);
+          w.u16_(h.fes);
+          w.str_(h.reason);
+        }
+      },
+      header);
+}
+
+Result<PduHeader> decode_header(PduType type, Reader& r) {
+  switch (type) {
+    case PduType::kICReq: {
+      ICReq h;
+      h.pfv = r.u16_();
+      h.hpda = r.u8_();
+      h.header_digest = r.bool_();
+      h.maxr2t = r.u32_();
+      h.node_token = r.u64_();
+      h.want_shm = r.bool_();
+      return PduHeader{h};
+    }
+    case PduType::kICResp: {
+      ICResp h;
+      h.pfv = r.u16_();
+      h.header_digest = r.bool_();
+      h.maxh2cdata = r.u32_();
+      h.shm_granted = r.bool_();
+      h.shm_bytes = r.u64_();
+      h.shm_slots = r.u32_();
+      h.shm_name = r.str_();
+      return PduHeader{h};
+    }
+    case PduType::kCapsuleCmd: {
+      CapsuleCmd h;
+      h.cmd = decode_cmd(r);
+      h.placement = static_cast<DataPlacement>(r.u8_());
+      h.in_capsule_data = r.bool_();
+      h.shm_slot = r.u32_();
+      h.data_len = r.u64_();
+      return PduHeader{h};
+    }
+    case PduType::kCapsuleResp: {
+      CapsuleResp h;
+      h.cpl.cid = r.u16_();
+      h.cpl.status = static_cast<NvmeStatus>(r.u16_());
+      h.cpl.result = r.u64_();
+      h.io_time_ns = r.u64_();
+      h.target_time_ns = r.u64_();
+      return PduHeader{h};
+    }
+    case PduType::kR2T: {
+      R2T h;
+      h.cid = r.u16_();
+      h.ttag = r.u16_();
+      h.offset = r.u64_();
+      h.length = r.u64_();
+      return PduHeader{h};
+    }
+    case PduType::kH2CData: {
+      H2CData h;
+      h.cid = r.u16_();
+      h.ttag = r.u16_();
+      h.offset = r.u64_();
+      h.length = r.u64_();
+      h.last = r.bool_();
+      h.placement = static_cast<DataPlacement>(r.u8_());
+      h.shm_slot = r.u32_();
+      return PduHeader{h};
+    }
+    case PduType::kC2HData: {
+      C2HData h;
+      h.cid = r.u16_();
+      h.offset = r.u64_();
+      h.length = r.u64_();
+      h.last = r.bool_();
+      h.success = r.bool_();
+      h.placement = static_cast<DataPlacement>(r.u8_());
+      h.shm_slot = r.u32_();
+      h.io_time_ns = r.u64_();
+      h.target_time_ns = r.u64_();
+      return PduHeader{h};
+    }
+    case PduType::kH2CTermReq:
+    case PduType::kC2HTermReq: {
+      TermReq h;
+      h.from_host = r.bool_();
+      h.fes = r.u16_();
+      h.reason = r.str_();
+      return PduHeader{h};
+    }
+  }
+  return make_error(StatusCode::kProtocolError, "unknown PDU type");
+}
+
+}  // namespace
+
+PduType Pdu::type() const {
+  return std::visit(
+      [this](const auto& h) -> PduType {
+        using T = std::decay_t<decltype(h)>;
+        if constexpr (std::is_same_v<T, ICReq>) return PduType::kICReq;
+        if constexpr (std::is_same_v<T, ICResp>) return PduType::kICResp;
+        if constexpr (std::is_same_v<T, CapsuleCmd>) return PduType::kCapsuleCmd;
+        if constexpr (std::is_same_v<T, CapsuleResp>) return PduType::kCapsuleResp;
+        if constexpr (std::is_same_v<T, R2T>) return PduType::kR2T;
+        if constexpr (std::is_same_v<T, H2CData>) return PduType::kH2CData;
+        if constexpr (std::is_same_v<T, C2HData>) return PduType::kC2HData;
+        if constexpr (std::is_same_v<T, TermReq>) {
+          return h.from_host ? PduType::kH2CTermReq : PduType::kC2HTermReq;
+        }
+      },
+      header);
+}
+
+const char* to_string(PduType t) {
+  switch (t) {
+    case PduType::kICReq:
+      return "ICReq";
+    case PduType::kICResp:
+      return "ICResp";
+    case PduType::kH2CTermReq:
+      return "H2CTermReq";
+    case PduType::kC2HTermReq:
+      return "C2HTermReq";
+    case PduType::kCapsuleCmd:
+      return "CapsuleCmd";
+    case PduType::kCapsuleResp:
+      return "CapsuleResp";
+    case PduType::kH2CData:
+      return "H2CData";
+    case PduType::kC2HData:
+      return "C2HData";
+    case PduType::kR2T:
+      return "R2T";
+  }
+  return "?";
+}
+
+std::vector<u8> encode(const Pdu& pdu, const CodecOptions& opts) {
+  std::vector<u8> out;
+  out.reserve(kCommonHeaderBytes + 64 + pdu.payload.size());
+  Writer w(out);
+  w.u8_(static_cast<u8>(pdu.type()));
+  w.u8_(opts.header_digest ? kFlagHeaderDigest : 0);
+  w.u16_(0);  // hlen placeholder
+  w.u32_(0);  // plen placeholder
+  encode_header(w, pdu.header);
+
+  const u64 hlen = out.size();
+  if (hlen > UINT16_MAX) {
+    // Typed headers are tiny; this would be a programming error.
+    out.clear();
+    return out;
+  }
+  out[2] = static_cast<u8>(hlen);
+  out[3] = static_cast<u8>(hlen >> 8);
+
+  // plen must be final before the digest is computed — the digest covers
+  // the common header including the length field.
+  const u64 plen =
+      hlen + (opts.header_digest ? 4 : 0) + pdu.payload.size();
+  for (int i = 0; i < 4; ++i) out[4 + i] = static_cast<u8>(plen >> (8 * i));
+
+  if (opts.header_digest) {
+    const u32 digest = crc32c(std::span<const u8>(out.data(), out.size()));
+    w.u32_(digest);
+  }
+  out.insert(out.end(), pdu.payload.begin(), pdu.payload.end());
+  return out;
+}
+
+Result<u64> frame_length(std::span<const u8> prefix) {
+  if (prefix.size() < kCommonHeaderBytes) {
+    return make_error(StatusCode::kOutOfRange, "short PDU prefix");
+  }
+  u64 plen = 0;
+  for (int i = 0; i < 4; ++i) plen |= static_cast<u64>(prefix[4 + i]) << (8 * i);
+  if (plen < kCommonHeaderBytes || plen > kMaxPduBytes) {
+    return make_error(StatusCode::kProtocolError, "bad PDU length");
+  }
+  return plen;
+}
+
+Result<Pdu> decode(std::span<const u8> bytes, const CodecOptions& opts) {
+  if (bytes.size() < kCommonHeaderBytes) {
+    return make_error(StatusCode::kProtocolError, "PDU shorter than header");
+  }
+  const auto type_raw = bytes[0];
+  const u8 flags = bytes[1];
+  const u16 hlen = static_cast<u16>(bytes[2] | (bytes[3] << 8));
+  auto plen_res = frame_length(bytes);
+  if (!plen_res) return plen_res.status();
+  const u64 plen = plen_res.value();
+  if (plen != bytes.size()) {
+    return make_error(StatusCode::kProtocolError, "PDU length mismatch");
+  }
+  if (hlen < kCommonHeaderBytes || hlen > plen) {
+    return make_error(StatusCode::kProtocolError, "bad header length");
+  }
+
+  const bool has_digest = (flags & kFlagHeaderDigest) != 0;
+  if (opts.header_digest != has_digest) {
+    return make_error(StatusCode::kProtocolError, "digest flag mismatch");
+  }
+  u64 payload_start = hlen;
+  if (has_digest) {
+    if (static_cast<u64>(hlen) + 4 > plen) {
+      return make_error(StatusCode::kProtocolError, "truncated digest");
+    }
+    u32 stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<u32>(bytes[hlen + static_cast<u64>(i)]) << (8 * i);
+    }
+    const u32 computed = crc32c(bytes.subspan(0, hlen));
+    if (stored != computed) {
+      return make_error(StatusCode::kDataLoss, "header digest mismatch");
+    }
+    payload_start += 4;
+  }
+
+  Reader r(bytes.subspan(kCommonHeaderBytes, hlen - kCommonHeaderBytes));
+  auto header = decode_header(static_cast<PduType>(type_raw), r);
+  if (!header) return header.status();
+  if (!r.ok()) {
+    return make_error(StatusCode::kProtocolError, "truncated typed header");
+  }
+
+  Pdu pdu;
+  pdu.header = std::move(header).take();
+  pdu.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(payload_start),
+                     bytes.end());
+  return pdu;
+}
+
+u64 wire_size(const Pdu& pdu) {
+  // Cheap exact computation: encode header-only. Headers are tiny (< 100 B)
+  // so this is fine off the data path; the timing plane caches sizes.
+  Pdu header_only;
+  header_only.header = pdu.header;
+  return encode(header_only).size() + pdu.payload.size();
+}
+
+}  // namespace oaf::pdu

@@ -1,0 +1,41 @@
+// Binary PDU codec.
+//
+// Wire layout (little-endian):
+//   common header: [type:1][flags:1][hlen:2][plen:4]
+//   typed fields (hlen - 8 bytes)
+//   optional header digest (CRC32C over common header + typed fields)
+//   payload (plen - header - digest bytes)
+//
+// Decoding is fully bounds-checked and never trusts length fields beyond the
+// buffer; malformed input yields a Status, not UB — this is the surface a
+// remote peer controls.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "pdu/pdu.h"
+
+namespace oaf::pdu {
+
+struct CodecOptions {
+  bool header_digest = false;
+};
+
+/// Encode `pdu` to a fresh byte vector.
+std::vector<u8> encode(const Pdu& pdu, const CodecOptions& opts = {});
+
+/// Decode a single complete PDU from `bytes`. `bytes` must contain exactly
+/// one encoded PDU (framing is the channel's job).
+Result<Pdu> decode(std::span<const u8> bytes, const CodecOptions& opts = {});
+
+/// Number of bytes the full PDU occupies given at least the 8-byte common
+/// header; used by stream channels to frame. Returns error if the prefix is
+/// too short or the length field is insane.
+Result<u64> frame_length(std::span<const u8> prefix);
+
+/// Upper bound accepted for a single PDU (header + payload).
+inline constexpr u64 kMaxPduBytes = 64 * 1024 * 1024;
+
+}  // namespace oaf::pdu

@@ -1,0 +1,39 @@
+#include "pdu/crc32.h"
+
+#include <array>
+
+namespace oaf::pdu {
+
+namespace {
+
+constexpr u32 kPoly = 0x82f63b78;  // reflected CRC32C polynomial
+
+std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<u32, 256>& table() {
+  static const std::array<u32, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> data, u32 seed) {
+  const auto& t = table();
+  u32 crc = ~seed;
+  for (const u8 byte : data) {
+    crc = t[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace oaf::pdu

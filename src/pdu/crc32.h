@@ -1,0 +1,14 @@
+// CRC32C (Castagnoli) — the header/data digest algorithm NVMe/TCP mandates.
+// Table-driven software implementation; the functional plane verifies
+// digests on every decoded PDU when digests are negotiated.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace oaf::pdu {
+
+u32 crc32c(std::span<const u8> data, u32 seed = 0);
+
+}  // namespace oaf::pdu

@@ -1,0 +1,72 @@
+// Simplified NVMe command set shared by the initiator, target, and device
+// model. Field names follow the NVMe base specification (CID, NSID, SLBA,
+// NLB); only the subset NVMe-oF I/O queues exercise is modelled.
+#pragma once
+
+#include "common/types.h"
+
+namespace oaf::pdu {
+
+enum class NvmeOpcode : u8 {
+  kFlush = 0x00,
+  kWrite = 0x01,
+  kRead = 0x02,
+  kIdentify = 0x06,  // carried on the admin queue in real NVMe; simplified here
+};
+
+inline const char* to_string(NvmeOpcode op) {
+  switch (op) {
+    case NvmeOpcode::kFlush:
+      return "FLUSH";
+    case NvmeOpcode::kWrite:
+      return "WRITE";
+    case NvmeOpcode::kRead:
+      return "READ";
+    case NvmeOpcode::kIdentify:
+      return "IDENTIFY";
+  }
+  return "?";
+}
+
+/// NVMe completion status codes (generic command set, abbreviated).
+enum class NvmeStatus : u16 {
+  kSuccess = 0x0,
+  kInvalidOpcode = 0x1,
+  kInvalidField = 0x2,
+  kDataTransferError = 0x4,
+  kInternalError = 0x6,
+  kInvalidNamespace = 0xB,
+  kLbaOutOfRange = 0x80,
+  kCapacityExceeded = 0x81,
+};
+
+/// Submission queue entry (64 bytes on the wire in real NVMe; we keep the
+/// semantically relevant fields).
+struct NvmeCmd {
+  NvmeOpcode opcode = NvmeOpcode::kFlush;
+  u16 cid = 0;    ///< command identifier, unique per queue pair
+  u32 nsid = 0;   ///< namespace id (1-based)
+  u64 slba = 0;   ///< starting logical block address
+  u32 nlb = 0;    ///< number of logical blocks, 0's-based per spec (nlb+1 blocks)
+
+  [[nodiscard]] u64 blocks() const { return static_cast<u64>(nlb) + 1; }
+  [[nodiscard]] u64 data_bytes(u32 block_size) const {
+    if (opcode == NvmeOpcode::kRead || opcode == NvmeOpcode::kWrite) {
+      return blocks() * block_size;
+    }
+    return 0;
+  }
+  [[nodiscard]] bool is_write() const { return opcode == NvmeOpcode::kWrite; }
+  [[nodiscard]] bool is_read() const { return opcode == NvmeOpcode::kRead; }
+};
+
+/// Completion queue entry.
+struct NvmeCpl {
+  u16 cid = 0;
+  NvmeStatus status = NvmeStatus::kSuccess;
+  u64 result = 0;
+
+  [[nodiscard]] bool ok() const { return status == NvmeStatus::kSuccess; }
+};
+
+}  // namespace oaf::pdu

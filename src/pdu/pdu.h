@@ -1,0 +1,156 @@
+// NVMe/TCP-style Protocol Data Units with the NVMe-oAF extensions.
+//
+// Types and flow follow the NVMe-oF 1.1 TCP transport binding: connections
+// are initialized with ICReq/ICResp, commands travel as capsules, large
+// writes use R2T + H2CData, reads return C2HData, and completions arrive as
+// CapsuleResp. The oAF extension (paper §4.1–4.4) adds:
+//   * AF capability negotiation piggybacked on ICReq/ICResp (locality token,
+//     shared-memory region grant: name/bytes/slots);
+//   * data PDUs that may reference a shared-memory slot instead of carrying
+//     an inline payload — the out-of-band notification of Figure 6.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "pdu/nvme_cmd.h"
+
+namespace oaf::pdu {
+
+enum class PduType : u8 {
+  kICReq = 0x00,
+  kICResp = 0x01,
+  kH2CTermReq = 0x02,
+  kC2HTermReq = 0x03,
+  kCapsuleCmd = 0x04,
+  kCapsuleResp = 0x05,
+  kH2CData = 0x06,
+  kC2HData = 0x07,
+  kR2T = 0x09,
+};
+
+const char* to_string(PduType t);
+
+/// Where a data PDU's payload lives.
+enum class DataPlacement : u8 {
+  kInline = 0,  ///< payload bytes follow the header on the TCP stream
+  kShmSlot = 1, ///< payload parked in a shared-memory slot (oAF extension)
+};
+
+/// Initialize Connection Request. `node_token` identifies the physical host
+/// the client runs on (supplied by the locality helper); `want_shm` asks the
+/// target to grant a shared-memory channel if co-located.
+struct ICReq {
+  u16 pfv = 0;              ///< PDU format version
+  u8 hpda = 0;              ///< host PDU data alignment (shift)
+  bool header_digest = false;
+  u32 maxr2t = 1;           ///< max outstanding R2Ts per command
+  u64 node_token = 0;       ///< oAF: opaque host-identity token
+  bool want_shm = false;    ///< oAF: request shared-memory channel
+};
+
+/// Initialize Connection Response. When `shm_granted`, the client maps the
+/// named region and the double-buffer geometry (bytes/slots) is fixed for
+/// the connection lifetime.
+struct ICResp {
+  u16 pfv = 0;
+  bool header_digest = false;
+  u32 maxh2cdata = 0;       ///< largest H2CData payload target accepts
+  bool shm_granted = false; ///< oAF: shared-memory channel established
+  u64 shm_bytes = 0;        ///< oAF: total region size
+  u32 shm_slots = 0;        ///< oAF: slots per direction (== queue depth)
+  std::string shm_name;     ///< oAF: region name to shm_open/map
+};
+
+/// Command capsule. For writes, data may be in-capsule (inline payload or a
+/// shm slot reference under shared-memory flow control) or deferred until an
+/// R2T arrives (conservative flow control).
+struct CapsuleCmd {
+  NvmeCmd cmd;
+  DataPlacement placement = DataPlacement::kInline;
+  bool in_capsule_data = false;  ///< write payload accompanies the capsule
+  u32 shm_slot = 0;              ///< valid when placement == kShmSlot
+  u64 data_len = 0;              ///< total data length for this command
+};
+
+/// Response capsule (completion). The two *_ns fields are oAF reproduction
+/// instrumentation: the target reports how long the command spent on the
+/// NVMe device and in target-side processing, which the client uses to
+/// produce the paper's I/O-time / comm-time / other latency breakdowns
+/// (Figs 3 and 12) without clock synchronization games.
+struct CapsuleResp {
+  NvmeCpl cpl;
+  u64 io_time_ns = 0;
+  u64 target_time_ns = 0;
+};
+
+/// Ready-to-Transfer: target grants the client permission to send `length`
+/// bytes starting at `offset` for command `cid` (conservative flow control).
+struct R2T {
+  u16 cid = 0;
+  u16 ttag = 0;   ///< transfer tag to echo in H2CData
+  u64 offset = 0;
+  u64 length = 0;
+};
+
+/// Host-to-Controller data (write payload), inline or a shm slot reference.
+struct H2CData {
+  u16 cid = 0;
+  u16 ttag = 0;
+  u64 offset = 0;
+  u64 length = 0;
+  bool last = true;
+  DataPlacement placement = DataPlacement::kInline;
+  u32 shm_slot = 0;
+};
+
+/// Controller-to-Host data (read payload), inline or a shm slot reference.
+/// `success` mirrors NVMe/TCP's C2HData SUCCESS flag: when set on the last
+/// data PDU the host treats the command as completed and no CapsuleResp
+/// follows — the shm flow control uses it to cut one control message per
+/// read (paper §4.4.2).
+struct C2HData {
+  u16 cid = 0;
+  u64 offset = 0;
+  u64 length = 0;
+  bool last = true;
+  bool success = false;
+  DataPlacement placement = DataPlacement::kInline;
+  u32 shm_slot = 0;
+  u64 io_time_ns = 0;      ///< instrumentation (valid when success is set)
+  u64 target_time_ns = 0;  ///< instrumentation (valid when success is set)
+};
+
+/// Terminate request (either direction); `fes` = fatal error status.
+struct TermReq {
+  bool from_host = true;
+  u16 fes = 0;
+  std::string reason;
+};
+
+using PduHeader = std::variant<ICReq, ICResp, CapsuleCmd, CapsuleResp, R2T,
+                               H2CData, C2HData, TermReq>;
+
+/// A full PDU: typed header plus (possibly empty) inline payload bytes.
+struct Pdu {
+  PduHeader header;
+  std::vector<u8> payload;
+
+  [[nodiscard]] PduType type() const;
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return std::get_if<T>(&header);
+  }
+  template <typename T>
+  [[nodiscard]] T* as() {
+    return std::get_if<T>(&header);
+  }
+};
+
+/// Wire size of an encoded PDU (common header + typed fields + payload),
+/// used by the timing plane to charge serialization costs without encoding.
+u64 wire_size(const Pdu& pdu);
+
+}  // namespace oaf::pdu

@@ -1,0 +1,143 @@
+#include "shm/double_buffer.h"
+
+#include <cstring>
+#include <new>
+
+namespace oaf::shm {
+
+namespace {
+constexpr u64 kHeaderBytes = 64;  // Header padded to one cache line
+}
+
+u64 DoubleBufferRing::required_bytes(u64 slot_size, u32 slot_count) {
+  const u64 ctl_bytes = sizeof(SlotCtl) * 2ULL * slot_count;
+  const u64 data_bytes = 2ULL * slot_size * slot_count;
+  return kHeaderBytes + ctl_bytes + data_bytes;
+}
+
+Result<DoubleBufferRing> DoubleBufferRing::create(void* mem, u64 bytes,
+                                                  u64 slot_size, u32 slot_count) {
+  if (mem == nullptr || slot_size == 0 || slot_count == 0) {
+    return make_error(StatusCode::kInvalidArgument, "bad ring geometry");
+  }
+  if (reinterpret_cast<uintptr_t>(mem) % 64 != 0) {
+    return make_error(StatusCode::kInvalidArgument, "ring memory must be 64B aligned");
+  }
+  const u64 need = required_bytes(slot_size, slot_count);
+  if (bytes < need) {
+    return make_error(StatusCode::kOutOfRange, "region too small for ring");
+  }
+
+  auto* header = new (mem) Header{kMagic, kVersion, slot_count, slot_size, need};
+  auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
+  auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
+  for (u64 i = 0; i < 2ULL * slot_count; ++i) {
+    new (&ctl[i]) SlotCtl{};
+    ctl[i].state.store(kFree, std::memory_order_relaxed);
+    ctl[i].len = 0;
+  }
+  auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * slot_count;
+  std::atomic_thread_fence(std::memory_order_release);
+  return DoubleBufferRing(header, ctl, data);
+}
+
+Result<DoubleBufferRing> DoubleBufferRing::attach(void* mem, u64 bytes) {
+  if (mem == nullptr || bytes < kHeaderBytes) {
+    return make_error(StatusCode::kInvalidArgument, "region too small");
+  }
+  auto* header = static_cast<Header*>(mem);
+  if (header->magic != kMagic) {
+    return make_error(StatusCode::kFailedPrecondition, "ring magic mismatch");
+  }
+  if (header->version != kVersion) {
+    return make_error(StatusCode::kFailedPrecondition, "ring version mismatch");
+  }
+  if (header->total_bytes > bytes ||
+      required_bytes(header->slot_size, header->slot_count) != header->total_bytes) {
+    return make_error(StatusCode::kDataLoss, "ring geometry corrupt");
+  }
+  auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
+  auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
+  auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * header->slot_count;
+  return DoubleBufferRing(header, ctl, data);
+}
+
+Status DoubleBufferRing::acquire(Direction dir, u32 slot) {
+  if (!slot_in_range(slot)) {
+    return make_error(StatusCode::kOutOfRange, "slot out of range");
+  }
+  u32 expected = kFree;
+  if (!slot_ctl(dir, slot).state.compare_exchange_strong(
+          expected, kWriting, std::memory_order_acquire,
+          std::memory_order_relaxed)) {
+    return make_error(StatusCode::kResourceExhausted, "slot busy");
+  }
+  return Status::ok();
+}
+
+std::span<u8> DoubleBufferRing::slot_data(Direction dir, u32 slot) {
+  if (!slot_in_range(slot)) return {};
+  return {slot_base(dir, slot), header_->slot_size};
+}
+
+Status DoubleBufferRing::publish(Direction dir, u32 slot, u64 len) {
+  if (!slot_in_range(slot) || len > header_->slot_size) {
+    return make_error(StatusCode::kOutOfRange, "publish length exceeds slot");
+  }
+  SlotCtl& ctl = slot_ctl(dir, slot);
+  if (ctl.state.load(std::memory_order_relaxed) != kWriting) {
+    return make_error(StatusCode::kFailedPrecondition, "publish without acquire");
+  }
+  ctl.len = len;
+  ctl.state.store(kReady, std::memory_order_release);
+  return Status::ok();
+}
+
+bool DoubleBufferRing::ready(Direction dir, u32 slot) const {
+  if (!slot_in_range(slot)) return false;
+  return slot_ctl(dir, slot).state.load(std::memory_order_acquire) == kReady;
+}
+
+Result<std::span<const u8>> DoubleBufferRing::consume(Direction dir, u32 slot) {
+  if (!slot_in_range(slot)) {
+    return make_error(StatusCode::kOutOfRange, "slot out of range");
+  }
+  SlotCtl& ctl = slot_ctl(dir, slot);
+  u32 expected = kReady;
+  if (!ctl.state.compare_exchange_strong(expected, kDraining,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+    return make_error(StatusCode::kUnavailable, "slot not ready");
+  }
+  return std::span<const u8>(slot_base(dir, slot), ctl.len);
+}
+
+Status DoubleBufferRing::release(Direction dir, u32 slot) {
+  if (!slot_in_range(slot)) {
+    return make_error(StatusCode::kOutOfRange, "slot out of range");
+  }
+  SlotCtl& ctl = slot_ctl(dir, slot);
+  if (ctl.state.load(std::memory_order_relaxed) != kDraining) {
+    return make_error(StatusCode::kFailedPrecondition, "release without consume");
+  }
+  ctl.len = 0;
+  ctl.state.store(kFree, std::memory_order_release);
+  return Status::ok();
+}
+
+DoubleBufferRing::SlotState DoubleBufferRing::state(Direction dir, u32 slot) const {
+  if (!slot_in_range(slot)) return kFree;
+  return static_cast<SlotState>(
+      slot_ctl(dir, slot).state.load(std::memory_order_acquire));
+}
+
+u32 DoubleBufferRing::in_flight(Direction dir) const {
+  if (header_ == nullptr) return 0;
+  u32 n = 0;
+  for (u32 s = 0; s < header_->slot_count; ++s) {
+    if (state(dir, s) != kFree) n++;
+  }
+  return n;
+}
+
+}  // namespace oaf::shm

@@ -1,0 +1,134 @@
+// Lock-free double-buffer ring over a shared-memory region (paper §4.4.1).
+//
+// The region is logically split into two independent buffers — one the
+// client writes and the target reads (C2T, write payloads) and one the
+// target writes and the client reads (T2C, read payloads) — giving
+// bi-directional transfer with no shared cursor. Each buffer is divided into
+// `slot_count` slots of `slot_size` bytes, where slot_count equals the queue
+// depth and slot_size the maximum I/O size, exactly as the paper prescribes.
+// A producer picks the slot for sequence number n round-robin (n % slots);
+// because at most `queue_depth` commands are in flight and completion frees
+// the slot, the round-robin choice is contention-free in steady state, and a
+// single CAS per slot transition makes overlap detectable rather than UB.
+//
+// Slot lifecycle: kFree -CAS-> kWriting -store(release)-> kReady
+//                 kReady -CAS-> kDraining -store(release)-> kFree
+// The payload length is written to the slot header before the releasing
+// store, so a consumer that observes kReady (acquire) also observes the
+// length and the payload bytes.
+#pragma once
+
+#include <atomic>
+#include <span>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::shm {
+
+enum class Direction : u32 {
+  kClientToTarget = 0,
+  kTargetToClient = 1,
+};
+
+class DoubleBufferRing {
+ public:
+  enum SlotState : u32 {
+    kFree = 0,
+    kWriting = 1,
+    kReady = 2,
+    kDraining = 3,
+  };
+
+  DoubleBufferRing() = default;
+
+  /// Bytes a region must have for the given geometry.
+  static u64 required_bytes(u64 slot_size, u32 slot_count);
+
+  /// Format `mem` (size `bytes`) as a fresh ring. Returns error if the
+  /// buffer is too small or the geometry is invalid.
+  static Result<DoubleBufferRing> create(void* mem, u64 bytes, u64 slot_size,
+                                         u32 slot_count);
+
+  /// Attach to a region already formatted by create() (the peer side).
+  static Result<DoubleBufferRing> attach(void* mem, u64 bytes);
+
+  [[nodiscard]] u64 slot_size() const { return header_->slot_size; }
+  [[nodiscard]] u32 slot_count() const { return header_->slot_count; }
+  [[nodiscard]] bool valid() const { return header_ != nullptr; }
+
+  /// Round-robin slot for sequence number `seq` (paper: offset chosen
+  /// round-robin with respect to the application I/O depth).
+  [[nodiscard]] u32 slot_for(u64 seq) const {
+    return static_cast<u32>(seq % header_->slot_count);
+  }
+
+  /// Producer: claim `slot` for writing. Fails with kResourceExhausted if
+  /// the slot is still owned by a previous in-flight I/O (QD overflow).
+  Status acquire(Direction dir, u32 slot);
+
+  /// Producer: payload area of a claimed slot.
+  [[nodiscard]] std::span<u8> slot_data(Direction dir, u32 slot);
+
+  /// Producer: make `len` bytes visible to the consumer (release store).
+  Status publish(Direction dir, u32 slot, u64 len);
+
+  /// Consumer: true if the slot has a published payload.
+  [[nodiscard]] bool ready(Direction dir, u32 slot) const;
+
+  /// Consumer: claim a published slot for draining; returns its payload.
+  Result<std::span<const u8>> consume(Direction dir, u32 slot);
+
+  /// Consumer: return a drained slot to the free pool.
+  Status release(Direction dir, u32 slot);
+
+  /// Observed state (for tests and invariant checks).
+  [[nodiscard]] SlotState state(Direction dir, u32 slot) const;
+
+  /// Count of slots currently not kFree in a direction.
+  [[nodiscard]] u32 in_flight(Direction dir) const;
+
+ private:
+  // Per-slot control word, padded to a cache line so producer/consumer pairs
+  // on adjacent slots never false-share.
+  struct alignas(64) SlotCtl {
+    std::atomic<u32> state;
+    u64 len;  // placed at offset 8 after implicit padding
+    u8 pad[48];
+  };
+  static_assert(sizeof(SlotCtl) == 64);
+
+  struct Header {
+    u64 magic;
+    u32 version;
+    u32 slot_count;
+    u64 slot_size;
+    u64 total_bytes;
+  };
+
+  static constexpr u64 kMagic = 0x4f41465f52494e47ULL;  // "OAF_RING"
+  static constexpr u32 kVersion = 1;
+
+  DoubleBufferRing(Header* header, SlotCtl* ctl, u8* data)
+      : header_(header), ctl_(ctl), data_(data) {}
+
+  [[nodiscard]] SlotCtl& slot_ctl(Direction dir, u32 slot) const {
+    const u64 base = dir == Direction::kClientToTarget ? 0 : header_->slot_count;
+    return ctl_[base + slot];
+  }
+  [[nodiscard]] u8* slot_base(Direction dir, u32 slot) const {
+    const u64 half = static_cast<u64>(header_->slot_count) * header_->slot_size;
+    const u64 base = dir == Direction::kClientToTarget ? 0 : half;
+    return data_ + base + static_cast<u64>(slot) * header_->slot_size;
+  }
+  [[nodiscard]] bool slot_in_range(u32 slot) const {
+    return header_ != nullptr && slot < header_->slot_count;
+  }
+
+  Header* header_ = nullptr;
+  SlotCtl* ctl_ = nullptr;
+  u8* data_ = nullptr;
+};
+
+}  // namespace oaf::shm

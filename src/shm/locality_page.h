@@ -1,0 +1,85 @@
+// Pre-reserved shared-memory page used by the locality helper (paper §4.2).
+//
+// In a real deployment a helper process (Kubernetes / OpenStack / SLURM
+// agent) hotplugs an IVSHMEM/ICSHMEM region into the VM/container and then
+// signals readiness by setting a flag in a page both sides pre-map. The
+// Connection Manager polls this flag. Here the page is a small struct at a
+// fixed offset: a generation counter (incremented per hotplug event), the
+// host-identity token used for locality checks, and the name of the granted
+// data region.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include "common/types.h"
+
+namespace oaf::shm {
+
+class LocalityPage {
+ public:
+  static constexpr u64 kBytes = 256;
+  static constexpr u64 kNameCapacity = 128;
+
+  /// Interpret `mem` (>= kBytes) as a locality page; `init` clears it.
+  explicit LocalityPage(void* mem, bool init = false)
+      : ctl_(static_cast<Ctl*>(mem)) {
+    if (init) {
+      ctl_->generation.store(0, std::memory_order_relaxed);
+      ctl_->opened.store(0, std::memory_order_relaxed);
+      ctl_->node_token = 0;
+      std::memset(ctl_->region_name, 0, sizeof(ctl_->region_name));
+    }
+  }
+
+  /// Helper side: announce that `region_name` has been hotplugged on the
+  /// host identified by `node_token`. The generation bump is the release
+  /// point the poller synchronizes with.
+  void announce(u64 node_token, const std::string& region_name) {
+    ctl_->node_token = node_token;
+    const size_t n = std::min<size_t>(region_name.size(), kNameCapacity - 1);
+    std::memcpy(ctl_->region_name, region_name.data(), n);
+    ctl_->region_name[n] = '\0';
+    ctl_->generation.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Poller side: current generation (0 = nothing announced yet).
+  [[nodiscard]] u64 generation() const {
+    return ctl_->generation.load(std::memory_order_acquire);
+  }
+
+  /// Claim the region for this client. Exactly one claim ever succeeds —
+  /// the cross-process form of the paper's one-region-per-connection
+  /// isolation rule (§6); works between processes because the flag lives
+  /// in the shared page itself.
+  bool try_claim() {
+    u32 expected = 0;
+    return ctl_->opened.compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool claimed() const {
+    return ctl_->opened.load(std::memory_order_acquire) != 0;
+  }
+
+  [[nodiscard]] u64 node_token() const { return ctl_->node_token; }
+
+  [[nodiscard]] std::string region_name() const {
+    return std::string(ctl_->region_name);
+  }
+
+ private:
+  struct Ctl {
+    std::atomic<u64> generation;
+    std::atomic<u32> opened;
+    u64 node_token;
+    char region_name[kNameCapacity];
+  };
+  static_assert(sizeof(Ctl) <= kBytes);
+
+  Ctl* ctl_;
+};
+
+}  // namespace oaf::shm

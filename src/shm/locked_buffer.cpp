@@ -1,0 +1,80 @@
+#include "shm/locked_buffer.h"
+
+#include <cstring>
+#include <new>
+
+namespace oaf::shm {
+
+Result<LockedSharedBuffer> LockedSharedBuffer::create(void* mem, u64 bytes,
+                                                      u64 capacity) {
+  if (mem == nullptr || capacity == 0) {
+    return make_error(StatusCode::kInvalidArgument, "bad buffer geometry");
+  }
+  if (bytes < required_bytes(capacity)) {
+    return make_error(StatusCode::kOutOfRange, "region too small");
+  }
+  auto* ctl = new (mem) Ctl{};
+  ctl->lock.store(0, std::memory_order_relaxed);
+  ctl->full.store(0, std::memory_order_relaxed);
+  ctl->len = 0;
+  ctl->contentions.store(0, std::memory_order_relaxed);
+  auto* data = static_cast<u8*>(mem) + kHeaderBytes;
+  return LockedSharedBuffer(ctl, data, capacity);
+}
+
+void LockedSharedBuffer::lock() {
+  u32 expected = 0;
+  while (!ctl_->lock.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+    ctl_->contentions.fetch_add(1, std::memory_order_relaxed);
+    expected = 0;
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void LockedSharedBuffer::unlock() { ctl_->lock.store(0, std::memory_order_release); }
+
+Status LockedSharedBuffer::put(std::span<const u8> data) {
+  if (data.size() > capacity_) {
+    return make_error(StatusCode::kOutOfRange, "payload exceeds capacity");
+  }
+  // Wait for the consumer to drain the previous payload.
+  for (;;) {
+    lock();
+    if (ctl_->full.load(std::memory_order_relaxed) == 0) break;
+    unlock();
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+  std::memcpy(data_, data.data(), data.size());
+  ctl_->len = data.size();
+  ctl_->full.store(1, std::memory_order_release);
+  unlock();
+  return Status::ok();
+}
+
+bool LockedSharedBuffer::has_payload() const {
+  return ctl_->full.load(std::memory_order_acquire) != 0;
+}
+
+Result<u64> LockedSharedBuffer::take(std::span<u8> out) {
+  lock();
+  if (ctl_->full.load(std::memory_order_relaxed) == 0) {
+    unlock();
+    return make_error(StatusCode::kUnavailable, "no payload staged");
+  }
+  const u64 len = ctl_->len;
+  if (out.size() < len) {
+    unlock();
+    return make_error(StatusCode::kOutOfRange, "output buffer too small");
+  }
+  std::memcpy(out.data(), data_, len);
+  ctl_->full.store(0, std::memory_order_release);
+  unlock();
+  return len;
+}
+
+}  // namespace oaf::shm

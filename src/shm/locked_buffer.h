@@ -1,0 +1,60 @@
+// The "SHM-baseline" of the paper's ablation (Fig 8): a naive shared-memory
+// transfer buffer guarded by a spinlock. Every producer/consumer access takes
+// the lock, and there is a single staging area per direction, so concurrent
+// I/Os serialize. Exists to quantify what the lock-free double-buffer design
+// buys; never used by the optimized NVMe-oAF path.
+#pragma once
+
+#include <atomic>
+#include <span>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oaf::shm {
+
+class LockedSharedBuffer {
+ public:
+  /// Bytes required in the backing region for a buffer of `capacity`.
+  static u64 required_bytes(u64 capacity) { return kHeaderBytes + capacity; }
+
+  static Result<LockedSharedBuffer> create(void* mem, u64 bytes, u64 capacity);
+
+  /// Producer: copy `data` into the staging area. Spins while the previous
+  /// payload has not been drained (the serialization the ablation measures).
+  Status put(std::span<const u8> data);
+
+  /// Consumer: true if a payload is staged.
+  [[nodiscard]] bool has_payload() const;
+
+  /// Consumer: copy the staged payload out into `out` (must be large
+  /// enough); returns the payload size and frees the staging area.
+  Result<u64> take(std::span<u8> out);
+
+  [[nodiscard]] u64 capacity() const { return capacity_; }
+  [[nodiscard]] u64 lock_contentions() const {
+    return ctl_->contentions.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr u64 kHeaderBytes = 128;
+
+  struct Ctl {
+    std::atomic<u32> lock;      ///< 0 = unlocked
+    std::atomic<u32> full;      ///< 1 = payload staged
+    u64 len;
+    std::atomic<u64> contentions;
+  };
+
+  LockedSharedBuffer(Ctl* ctl, u8* data, u64 capacity)
+      : ctl_(ctl), data_(data), capacity_(capacity) {}
+
+  void lock();
+  void unlock();
+
+  Ctl* ctl_ = nullptr;
+  u8* data_ = nullptr;
+  u64 capacity_ = 0;
+};
+
+}  // namespace oaf::shm

@@ -1,0 +1,120 @@
+#include "shm/region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace oaf::shm {
+
+namespace {
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+ShmRegion::~ShmRegion() { reset(); }
+
+ShmRegion::ShmRegion(ShmRegion&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      name_(std::move(other.name_)),
+      owner_(std::exchange(other.owner_, false)) {
+  other.name_.clear();
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
+  if (this != &other) {
+    reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    name_ = std::move(other.name_);
+    other.name_.clear();
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+void ShmRegion::reset() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+  }
+  if (owner_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+  }
+  size_ = 0;
+  name_.clear();
+  owner_ = false;
+}
+
+Result<ShmRegion> ShmRegion::create(const std::string& name, u64 bytes) {
+  if (name.empty() || name[0] != '/' || bytes == 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "shm name must start with '/' and size must be > 0");
+  }
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    if (errno == EEXIST) {
+      return make_error(StatusCode::kAlreadyExists, "shm region exists: " + name);
+    }
+    return make_error(StatusCode::kInternal, errno_message("shm_open"));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const auto err = errno_message("ftruncate");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return make_error(StatusCode::kResourceExhausted, err);
+  }
+  void* addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    return make_error(StatusCode::kResourceExhausted, errno_message("mmap"));
+  }
+  return ShmRegion(addr, bytes, name, /*owner=*/true);
+}
+
+Result<ShmRegion> ShmRegion::attach(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    return make_error(StatusCode::kNotFound, errno_message("shm_open"));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return make_error(StatusCode::kInternal, errno_message("fstat"));
+  }
+  const u64 bytes = static_cast<u64>(st.st_size);
+  void* addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return make_error(StatusCode::kResourceExhausted, errno_message("mmap"));
+  }
+  return ShmRegion(addr, bytes, name, /*owner=*/false);
+}
+
+Result<ShmRegion> ShmRegion::anonymous(u64 bytes) {
+  if (bytes == 0) {
+    return make_error(StatusCode::kInvalidArgument, "size must be > 0");
+  }
+  void* addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) {
+    return make_error(StatusCode::kResourceExhausted, errno_message("mmap"));
+  }
+  return ShmRegion(addr, bytes, std::string(), /*owner=*/false);
+}
+
+void ShmRegion::unlink() {
+  if (!name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owner_ = false;
+  }
+}
+
+}  // namespace oaf::shm

@@ -1,0 +1,62 @@
+// RAII POSIX shared-memory region.
+//
+// This is the substitute for QEMU IVSHMEM / ICSHMEM (paper §2.3): IVSHMEM
+// exposes a host shm region to guests as a PCI BAR, ICSHMEM shares the IPC
+// namespace between containers — in both cases the substrate is a named
+// POSIX shm object mapped by two parties, which is exactly what this class
+// provides. Creator and attacher both get the same physical pages, so the
+// lock-free ring built on top exercises real cross-thread (or cross-process)
+// memory ordering.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oaf::shm {
+
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+  ~ShmRegion();
+
+  ShmRegion(ShmRegion&& other) noexcept;
+  ShmRegion& operator=(ShmRegion&& other) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  /// Create a new named region of `bytes` (zero-filled). Fails if the name
+  /// already exists — one region per (client, target) pair is a security
+  /// invariant (paper §6), so silent reuse is forbidden.
+  static Result<ShmRegion> create(const std::string& name, u64 bytes);
+
+  /// Attach to an existing named region.
+  static Result<ShmRegion> attach(const std::string& name);
+
+  /// Anonymous shared mapping (no name) — used by single-process tests that
+  /// don't need the shm_open path but want MAP_SHARED semantics.
+  static Result<ShmRegion> anonymous(u64 bytes);
+
+  [[nodiscard]] void* data() const { return addr_; }
+  [[nodiscard]] u8* bytes() const { return static_cast<u8*>(addr_); }
+  [[nodiscard]] u64 size() const { return size_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool valid() const { return addr_ != nullptr; }
+
+  /// Unlink the name from the filesystem (mapping stays valid until unmap).
+  void unlink();
+
+ private:
+  ShmRegion(void* addr, u64 size, std::string name, bool owner)
+      : addr_(addr), size_(size), name_(std::move(name)), owner_(owner) {}
+
+  void reset();
+
+  void* addr_ = nullptr;
+  u64 size_ = 0;
+  std::string name_;
+  bool owner_ = false;  ///< creator unlinks on destruction
+};
+
+}  // namespace oaf::shm

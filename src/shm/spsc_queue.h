@@ -1,0 +1,83 @@
+// Single-producer single-consumer lock-free ring for fixed-size POD records.
+//
+// Used as the in-memory notification queue between reactor threads on the
+// functional plane (an alternative to socket notifications for co-located
+// endpoints) and stress-tested as part of the lock-free property suite.
+// Classic Lamport queue with cached cursors to halve coherence traffic.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::shm {
+
+template <typename T>
+class SpscQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscQueue requires trivially copyable records");
+
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity - 1.
+  explicit SpscQueue(u32 capacity_hint = 1024) {
+    u64 cap = 2;
+    while (cap < capacity_hint) cap <<= 1;
+    mask_ = cap - 1;
+    buffer_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer: returns false when full.
+  bool push(const T& item) {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    const u64 next = head + 1;
+    if (next - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (next - cached_tail_ > mask_) return false;
+    }
+    buffer_[head & mask_] = item;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: returns false when empty.
+  bool pop(T& out) {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = buffer_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] u64 size_approx() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] u64 capacity() const { return mask_; }
+
+ private:
+  std::vector<T> buffer_;
+  u64 mask_ = 0;
+
+  alignas(64) std::atomic<u64> head_{0};
+  alignas(64) u64 cached_tail_ = 0;   // producer-local
+  alignas(64) std::atomic<u64> tail_{0};
+  alignas(64) u64 cached_head_ = 0;   // consumer-local
+};
+
+}  // namespace oaf::shm

@@ -1,0 +1,115 @@
+// Real-time executor: a reactor thread driving the functional plane.
+//
+// Each protocol endpoint (client, target) owns one RealExecutor in tests and
+// examples; channels hand messages across executors with post(), which is the
+// only cross-thread entry point (guarded by a mutex + condition variable).
+// Timers use the same steady clock that now() reports.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/executor.h"
+
+namespace oaf::sim {
+
+class RealExecutor final : public Executor {
+ public:
+  RealExecutor() : start_(std::chrono::steady_clock::now()) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~RealExecutor() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  RealExecutor(const RealExecutor&) = delete;
+  RealExecutor& operator=(const RealExecutor&) = delete;
+
+  void post(Fn fn) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.push_back(std::move(fn));
+    }
+    cv_.notify_all();
+  }
+
+  void schedule_after(DurNs delay, Fn fn) override {
+    if (delay < 0) delay = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      timers_.emplace(clock_now() + delay, std::move(fn));
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] TimeNs now() const override { return clock_now(); }
+
+  /// Block the *calling* thread until the executor has no ready work and no
+  /// due timers (used by tests to quiesce).
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    drained_cv_.wait(lk, [this] {
+      return ready_.empty() && !running_ &&
+             (timers_.empty() || timers_.begin()->first > clock_now());
+    });
+  }
+
+ private:
+  [[nodiscard]] TimeNs clock_now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      // Move due timers into the ready queue.
+      const TimeNs t = clock_now();
+      while (!timers_.empty() && timers_.begin()->first <= t) {
+        ready_.push_back(std::move(timers_.begin()->second));
+        timers_.erase(timers_.begin());
+      }
+      if (!ready_.empty()) {
+        Fn fn = std::move(ready_.front());
+        ready_.erase(ready_.begin());
+        running_ = true;
+        lk.unlock();
+        fn();
+        lk.lock();
+        running_ = false;
+        drained_cv_.notify_all();
+        continue;
+      }
+      drained_cv_.notify_all();
+      if (timers_.empty()) {
+        cv_.wait(lk);
+      } else {
+        const auto wake = start_ + std::chrono::nanoseconds(timers_.begin()->first);
+        cv_.wait_until(lk, wake);
+      }
+    }
+  }
+
+  const std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::vector<Fn> ready_;
+  std::multimap<TimeNs, Fn> timers_;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+}  // namespace oaf::sim

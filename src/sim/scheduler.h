@@ -1,0 +1,85 @@
+// Discrete-event scheduler: the heart of the timing plane.
+//
+// A binary-heap event queue ordered by (time, insertion sequence) gives a
+// deterministic total order: two events at the same virtual instant run in
+// the order they were scheduled. The scheduler implements the Executor
+// interface so protocol engines run on it unmodified.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/types.h"
+
+namespace oaf::sim {
+
+class Scheduler final : public Executor {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Executor interface -------------------------------------------------
+  void post(Fn fn) override { schedule_at(now_, std::move(fn)); }
+  void schedule_after(DurNs delay, Fn fn) override {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+  [[nodiscard]] TimeNs now() const override { return now_; }
+
+  // Simulation control -------------------------------------------------
+  void schedule_at(TimeNs at, Fn fn) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, seq_++, std::move(fn)});
+  }
+
+  /// Run the next event; returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Moving out of the priority queue requires a const_cast because
+    // std::priority_queue::top() is const; the pop immediately follows.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    executed_++;
+    return true;
+  }
+
+  /// Run all events with time <= `deadline`. Clock ends at min(deadline,
+  /// last event time); events beyond the deadline stay queued.
+  void run_until(TimeNs deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Drain the queue completely.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] size_t pending() const { return queue_.size(); }
+  [[nodiscard]] u64 executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs at;
+    u64 seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeNs now_ = 0;
+  u64 seq_ = 0;
+  u64 executed_ = 0;
+};
+
+}  // namespace oaf::sim

@@ -1,0 +1,63 @@
+#include "ssd/block_store.h"
+
+#include <cstring>
+
+namespace oaf::ssd {
+
+Status BlockStore::check_range(u64 slba, u64 bytes) const {
+  if (block_size_ == 0 || bytes % block_size_ != 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "length not a multiple of block size");
+  }
+  const u64 blocks = bytes / block_size_;
+  if (slba >= num_blocks_ || blocks > num_blocks_ - slba) {
+    return make_error(StatusCode::kOutOfRange, "LBA range exceeds namespace");
+  }
+  return Status::ok();
+}
+
+Status BlockStore::write(u64 slba, std::span<const u8> data) {
+  if (auto st = check_range(slba, data.size()); !st) return st;
+  u64 offset = slba * block_size_;
+  const u8* src = data.data();
+  u64 remaining = data.size();
+  while (remaining > 0) {
+    const u64 extent_idx = offset / kExtentBytes;
+    const u64 within = offset % kExtentBytes;
+    const u64 n = std::min(remaining, kExtentBytes - within);
+    auto& extent = extents_[extent_idx];
+    if (!extent) {
+      extent = std::make_unique<u8[]>(kExtentBytes);
+      std::memset(extent.get(), 0, kExtentBytes);
+    }
+    std::memcpy(extent.get() + within, src, n);
+    src += n;
+    offset += n;
+    remaining -= n;
+  }
+  return Status::ok();
+}
+
+Status BlockStore::read(u64 slba, std::span<u8> out) const {
+  if (auto st = check_range(slba, out.size()); !st) return st;
+  u64 offset = slba * block_size_;
+  u8* dst = out.data();
+  u64 remaining = out.size();
+  while (remaining > 0) {
+    const u64 extent_idx = offset / kExtentBytes;
+    const u64 within = offset % kExtentBytes;
+    const u64 n = std::min(remaining, kExtentBytes - within);
+    const auto it = extents_.find(extent_idx);
+    if (it == extents_.end()) {
+      std::memset(dst, 0, n);  // unwritten blocks read as zeros
+    } else {
+      std::memcpy(dst, it->second.get() + within, n);
+    }
+    dst += n;
+    offset += n;
+    remaining -= n;
+  }
+  return Status::ok();
+}
+
+}  // namespace oaf::ssd

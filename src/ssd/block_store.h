@@ -1,0 +1,51 @@
+// Sparse in-memory block store backing an emulated NVMe namespace.
+//
+// The paper's SSDs are QEMU-emulated devices whose contents live in host
+// DRAM; ours are the same minus QEMU. Storage is allocated lazily in
+// fixed-size extents so a multi-GiB namespace costs memory only where it
+// has been written; reads of never-written blocks return zeros, as a fresh
+// (deallocated/TRIMmed) SSD does.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::ssd {
+
+class BlockStore {
+ public:
+  static constexpr u64 kExtentBytes = 256 * kKiB;
+
+  BlockStore(u32 block_size, u64 num_blocks)
+      : block_size_(block_size), num_blocks_(num_blocks) {}
+
+  [[nodiscard]] u32 block_size() const { return block_size_; }
+  [[nodiscard]] u64 num_blocks() const { return num_blocks_; }
+  [[nodiscard]] u64 capacity_bytes() const { return block_size_ * num_blocks_; }
+
+  /// Write `data` starting at logical block `slba`. `data.size()` must be a
+  /// multiple of the block size and the range must fit the namespace.
+  Status write(u64 slba, std::span<const u8> data);
+
+  /// Read into `out` starting at logical block `slba` (same constraints).
+  Status read(u64 slba, std::span<u8> out) const;
+
+  /// Number of extents materialized (for memory-accounting tests).
+  [[nodiscard]] size_t extents_allocated() const { return extents_.size(); }
+
+ private:
+  Status check_range(u64 slba, u64 bytes) const;
+
+  u32 block_size_;
+  u64 num_blocks_;
+  // extent index -> lazily allocated extent buffer
+  std::unordered_map<u64, std::unique_ptr<u8[]>> extents_;
+};
+
+}  // namespace oaf::ssd

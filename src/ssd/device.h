@@ -1,0 +1,46 @@
+// NVMe device abstraction shared by both planes.
+//
+// The NVMe-oF target submits commands against this interface. The
+// functional-plane device executes immediately on the block store; the
+// timing-plane device adds an emulated-SSD service-time model: a fixed
+// per-command latency (QEMU emulation + flash access) plus a per-byte
+// streaming cost, executed on a station with limited internal parallelism
+// and an aggregate bandwidth cap. Completions report the device residency
+// time so the target can return the "I/O time" component of the paper's
+// latency breakdowns (Figs 3, 12).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/types.h"
+#include "pdu/nvme_cmd.h"
+#include "ssd/block_store.h"
+
+namespace oaf::ssd {
+
+class Device {
+ public:
+  /// cpl: NVMe completion; io_time: wall (virtual) time the command spent in
+  /// the device from submission to completion.
+  using Completion = std::function<void(pdu::NvmeCpl cpl, DurNs io_time)>;
+
+  virtual ~Device() = default;
+
+  /// Write `data` (multiple of block size) at cmd.slba.
+  virtual void submit_write(const pdu::NvmeCmd& cmd, std::span<const u8> data,
+                            Completion done) = 0;
+
+  /// Read into `out`; `out` must cover cmd's full transfer length. The
+  /// buffer must stay alive until `done` fires.
+  virtual void submit_read(const pdu::NvmeCmd& cmd, std::span<u8> out,
+                           Completion done) = 0;
+
+  /// Flush / other data-less commands.
+  virtual void submit_other(const pdu::NvmeCmd& cmd, Completion done) = 0;
+
+  [[nodiscard]] virtual u32 block_size() const = 0;
+  [[nodiscard]] virtual u64 num_blocks() const = 0;
+};
+
+}  // namespace oaf::ssd

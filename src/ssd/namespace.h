@@ -1,0 +1,64 @@
+// NVM subsystem structure: namespaces map NSIDs to devices, mirroring the
+// controller/namespace hierarchy the NVMe-oF target exposes (paper §2.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ssd/device.h"
+
+namespace oaf::ssd {
+
+struct NamespaceInfo {
+  u32 nsid = 0;
+  u32 block_size = 0;
+  u64 num_blocks = 0;
+  [[nodiscard]] u64 capacity_bytes() const {
+    return static_cast<u64>(block_size) * num_blocks;
+  }
+};
+
+/// A collection of namespaces behind one NVM subsystem NQN.
+class Subsystem {
+ public:
+  explicit Subsystem(std::string nqn) : nqn_(std::move(nqn)) {}
+
+  [[nodiscard]] const std::string& nqn() const { return nqn_; }
+
+  /// Register a device as namespace `nsid`. The subsystem does not own the
+  /// device (devices may be shared with other harness components).
+  Status add_namespace(u32 nsid, Device* device) {
+    if (nsid == 0 || device == nullptr) {
+      return make_error(StatusCode::kInvalidArgument, "nsid must be >= 1");
+    }
+    if (namespaces_.contains(nsid)) {
+      return make_error(StatusCode::kAlreadyExists, "namespace exists");
+    }
+    namespaces_[nsid] = device;
+    return Status::ok();
+  }
+
+  [[nodiscard]] Device* find(u32 nsid) const {
+    const auto it = namespaces_.find(nsid);
+    return it == namespaces_.end() ? nullptr : it->second;
+  }
+
+  [[nodiscard]] std::vector<NamespaceInfo> list() const {
+    std::vector<NamespaceInfo> out;
+    out.reserve(namespaces_.size());
+    for (const auto& [nsid, dev] : namespaces_) {
+      out.push_back({nsid, dev->block_size(), dev->num_blocks()});
+    }
+    return out;
+  }
+
+  [[nodiscard]] size_t namespace_count() const { return namespaces_.size(); }
+
+ private:
+  std::string nqn_;
+  std::map<u32, Device*> namespaces_;
+};
+
+}  // namespace oaf::ssd

@@ -1,0 +1,73 @@
+// Functional-plane device: executes synchronously on the block store and
+// completes through the owning executor (keeping the async contract so
+// protocol engines never see re-entrant completions).
+#pragma once
+
+#include "common/executor.h"
+#include "ssd/device.h"
+
+namespace oaf::ssd {
+
+class RealDevice final : public Device {
+ public:
+  RealDevice(Executor& exec, u32 block_size, u64 num_blocks)
+      : exec_(exec), store_(block_size, num_blocks) {}
+
+  void submit_write(const pdu::NvmeCmd& cmd, std::span<const u8> data,
+                    Completion done) override {
+    const TimeNs start = exec_.now();
+    pdu::NvmeCpl cpl;
+    cpl.cid = cmd.cid;
+    if (data.size() != cmd.data_bytes(store_.block_size())) {
+      cpl.status = pdu::NvmeStatus::kInvalidField;
+    } else if (auto st = store_.write(cmd.slba, data); !st) {
+      cpl.status = st.code() == StatusCode::kOutOfRange
+                       ? pdu::NvmeStatus::kLbaOutOfRange
+                       : pdu::NvmeStatus::kInternalError;
+    }
+    finish(cpl, start, std::move(done));
+  }
+
+  void submit_read(const pdu::NvmeCmd& cmd, std::span<u8> out,
+                   Completion done) override {
+    const TimeNs start = exec_.now();
+    pdu::NvmeCpl cpl;
+    cpl.cid = cmd.cid;
+    if (out.size() != cmd.data_bytes(store_.block_size())) {
+      cpl.status = pdu::NvmeStatus::kInvalidField;
+    } else if (auto st = store_.read(cmd.slba, out); !st) {
+      cpl.status = st.code() == StatusCode::kOutOfRange
+                       ? pdu::NvmeStatus::kLbaOutOfRange
+                       : pdu::NvmeStatus::kInternalError;
+    }
+    finish(cpl, start, std::move(done));
+  }
+
+  void submit_other(const pdu::NvmeCmd& cmd, Completion done) override {
+    const TimeNs start = exec_.now();
+    pdu::NvmeCpl cpl;
+    cpl.cid = cmd.cid;
+    if (cmd.opcode != pdu::NvmeOpcode::kFlush &&
+        cmd.opcode != pdu::NvmeOpcode::kIdentify) {
+      cpl.status = pdu::NvmeStatus::kInvalidOpcode;
+    }
+    finish(cpl, start, std::move(done));
+  }
+
+  [[nodiscard]] u32 block_size() const override { return store_.block_size(); }
+  [[nodiscard]] u64 num_blocks() const override { return store_.num_blocks(); }
+
+  [[nodiscard]] BlockStore& store() { return store_; }
+
+ private:
+  void finish(pdu::NvmeCpl cpl, TimeNs start, Completion done) {
+    exec_.post([cpl, start, &exec = exec_, done = std::move(done)] {
+      done(cpl, exec.now() - start);
+    });
+  }
+
+  Executor& exec_;
+  BlockStore store_;
+};
+
+}  // namespace oaf::ssd

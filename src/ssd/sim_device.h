@@ -1,0 +1,142 @@
+// Timing-plane device: the emulated-SSD service model.
+//
+// Service time for a command = fixed base latency (flash access + QEMU
+// emulation overhead; reads pay more than writes because writes land in the
+// device write cache) + bytes / per-op streaming rate, with optional
+// exponential jitter. Commands run on a station with `parallelism` servers
+// (internal channel/die concurrency) and all data additionally serializes
+// through a device-level bandwidth throttle (the aggregate flash/emulation
+// throughput cap). This produces the paper's Fig 14 concurrency curve:
+// bandwidth grows with queue depth until either the station or the throttle
+// saturates. Data still moves through the block store for integrity.
+#pragma once
+
+#include "common/rng.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+#include "ssd/device.h"
+
+namespace oaf::ssd {
+
+struct SimDeviceParams {
+  u32 block_size = 512;
+  u64 num_blocks = 8ULL * 1024 * 1024 * 1024 / 512;  // 8 GiB namespace
+  DurNs read_base_ns = 220'000;    ///< per-read fixed latency
+  DurNs write_base_ns = 60'000;    ///< per-write fixed latency (write cache)
+  double read_bytes_per_sec = 3.2e9;   ///< per-op streaming rate, reads
+  double write_bytes_per_sec = 3.0e9;  ///< per-op streaming rate, writes
+  double max_read_bytes_per_sec = 6.0e9;   ///< device aggregate read cap
+  double max_write_bytes_per_sec = 4.2e9;  ///< device aggregate write cap
+  int parallelism = 16;            ///< internal command concurrency
+  double jitter_frac = 0.05;       ///< exponential jitter, fraction of base
+  u64 rng_seed = 7;
+};
+
+class SimDevice final : public Device {
+ public:
+  SimDevice(sim::Scheduler& sched, const SimDeviceParams& params)
+      : sched_(sched),
+        params_(params),
+        store_(params.block_size, params.num_blocks),
+        station_(sched, params.parallelism),
+        read_bw_(sched, params.max_read_bytes_per_sec),
+        write_bw_(sched, params.max_write_bytes_per_sec),
+        rng_(params.rng_seed) {}
+
+  void submit_write(const pdu::NvmeCmd& cmd, std::span<const u8> data,
+                    Completion done) override {
+    const TimeNs start = sched_.now();
+    pdu::NvmeCpl cpl;
+    cpl.cid = cmd.cid;
+    if (data.size() != cmd.data_bytes(params_.block_size)) {
+      cpl.status = pdu::NvmeStatus::kInvalidField;
+      complete_now(cpl, start, std::move(done));
+      return;
+    }
+    if (auto st = store_.write(cmd.slba, data); !st) {
+      cpl.status = pdu::NvmeStatus::kLbaOutOfRange;
+      complete_now(cpl, start, std::move(done));
+      return;
+    }
+    run(data.size(), /*is_write=*/true, cpl, start, std::move(done));
+  }
+
+  void submit_read(const pdu::NvmeCmd& cmd, std::span<u8> out,
+                   Completion done) override {
+    const TimeNs start = sched_.now();
+    pdu::NvmeCpl cpl;
+    cpl.cid = cmd.cid;
+    if (out.size() != cmd.data_bytes(params_.block_size)) {
+      cpl.status = pdu::NvmeStatus::kInvalidField;
+      complete_now(cpl, start, std::move(done));
+      return;
+    }
+    if (auto st = store_.read(cmd.slba, out); !st) {
+      cpl.status = pdu::NvmeStatus::kLbaOutOfRange;
+      complete_now(cpl, start, std::move(done));
+      return;
+    }
+    run(out.size(), /*is_write=*/false, cpl, start, std::move(done));
+  }
+
+  void submit_other(const pdu::NvmeCmd& cmd, Completion done) override {
+    const TimeNs start = sched_.now();
+    pdu::NvmeCpl cpl;
+    cpl.cid = cmd.cid;
+    if (cmd.opcode != pdu::NvmeOpcode::kFlush &&
+        cmd.opcode != pdu::NvmeOpcode::kIdentify) {
+      cpl.status = pdu::NvmeStatus::kInvalidOpcode;
+      complete_now(cpl, start, std::move(done));
+      return;
+    }
+    // Flush drains the write cache: model as one base write latency.
+    station_.submit(params_.write_base_ns,
+                    [this, cpl, start, done = std::move(done)]() mutable {
+                      done(cpl, sched_.now() - start);
+                    });
+  }
+
+  [[nodiscard]] u32 block_size() const override { return params_.block_size; }
+  [[nodiscard]] u64 num_blocks() const override { return params_.num_blocks; }
+
+  [[nodiscard]] BlockStore& store() { return store_; }
+  [[nodiscard]] const SimDeviceParams& params() const { return params_; }
+  [[nodiscard]] u64 commands_completed() const { return station_.jobs_completed(); }
+
+ private:
+  void complete_now(pdu::NvmeCpl cpl, TimeNs start, Completion done) {
+    sched_.post([this, cpl, start, done = std::move(done)] {
+      done(cpl, sched_.now() - start);
+    });
+  }
+
+  void run(u64 bytes, bool is_write, pdu::NvmeCpl cpl, TimeNs start,
+           Completion done) {
+    const DurNs base = is_write ? params_.write_base_ns : params_.read_base_ns;
+    const double rate =
+        is_write ? params_.write_bytes_per_sec : params_.read_bytes_per_sec;
+    DurNs service = base + transfer_time_ns(bytes, rate);
+    if (params_.jitter_frac > 0) {
+      service += static_cast<DurNs>(
+          rng_.next_exponential(params_.jitter_frac * static_cast<double>(base)));
+    }
+    auto& bw = is_write ? write_bw_ : read_bw_;
+    // The command first streams its data through the device's aggregate
+    // bandwidth stage, then occupies an internal execution slot.
+    bw.transmit(bytes, 0, [this, service, cpl, start, done = std::move(done)]() mutable {
+      station_.submit(service, [this, cpl, start, done = std::move(done)]() mutable {
+        done(cpl, sched_.now() - start);
+      });
+    });
+  }
+
+  sim::Scheduler& sched_;
+  SimDeviceParams params_;
+  BlockStore store_;
+  sim::Resource station_;
+  sim::Throttle read_bw_;
+  sim::Throttle write_bw_;
+  Rng rng_;
+};
+
+}  // namespace oaf::ssd

@@ -1,0 +1,100 @@
+#include "af/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oaf::af {
+namespace {
+
+TEST(BufferPoolTest, AllocUpToCapacity) {
+  BufferPool pool(4096, 4);
+  std::vector<std::span<u8>> bufs;
+  for (int i = 0; i < 4; ++i) {
+    auto b = pool.alloc();
+    ASSERT_FALSE(b.empty());
+    EXPECT_GE(b.size(), 4096u);
+    bufs.push_back(b);
+  }
+  EXPECT_TRUE(pool.alloc().empty());  // exhausted
+  EXPECT_EQ(pool.in_use(), 4u);
+  EXPECT_EQ(pool.peak_in_use(), 4u);
+  for (auto& b : bufs) ASSERT_TRUE(pool.free(b));
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(BufferPoolTest, BuffersAreDisjointAndAligned) {
+  BufferPool pool(1000, 8, 4096);
+  std::set<const u8*> starts;
+  std::vector<std::span<u8>> bufs;
+  for (int i = 0; i < 8; ++i) {
+    auto b = pool.alloc();
+    ASSERT_FALSE(b.empty());
+    starts.insert(b.data());
+    bufs.push_back(b);
+  }
+  EXPECT_EQ(starts.size(), 8u);
+  // Buffer size rounds to 64B multiple; first buffer is page-aligned.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(*starts.begin()) % 4096, 0u);
+  // Spans do not overlap.
+  std::vector<std::pair<const u8*, const u8*>> ranges;
+  ranges.reserve(bufs.size());
+  for (auto& b : bufs) ranges.emplace_back(b.data(), b.data() + b.size());
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+  }
+}
+
+TEST(BufferPoolTest, FreeValidation) {
+  BufferPool pool(4096, 2);
+  auto b = pool.alloc();
+  ASSERT_FALSE(b.empty());
+
+  std::vector<u8> foreign(4096);
+  EXPECT_FALSE(pool.free(foreign));                     // not from this pool
+  EXPECT_FALSE(pool.free(std::span<u8>{}));             // null
+  EXPECT_FALSE(pool.free(b.subspan(1)));                // misaligned interior
+  ASSERT_TRUE(pool.free(b));
+  EXPECT_FALSE(pool.free(b));                           // double free
+}
+
+TEST(BufferPoolTest, ReuseAfterFree) {
+  BufferPool pool(4096, 1);
+  auto a = pool.alloc();
+  ASSERT_FALSE(a.empty());
+  const u8* addr = a.data();
+  ASSERT_TRUE(pool.free(a));
+  auto b = pool.alloc();
+  EXPECT_EQ(b.data(), addr);  // buffer reuse (paper: Buffer Manager re-uses)
+}
+
+TEST(BufferPoolTest, OwnsChecksBounds) {
+  BufferPool pool(4096, 2);
+  auto b = pool.alloc();
+  EXPECT_TRUE(pool.owns(b.data()));
+  EXPECT_TRUE(pool.owns(b.data() + 100));
+  std::vector<u8> other(16);
+  EXPECT_FALSE(pool.owns(other.data()));
+}
+
+TEST(BufferManagerTest, PinnedBytesTracksChunkGeometry) {
+  // Fig 9's memory-utilization series: the pool pins chunk_bytes * count.
+  BufferManager small(128 * 1024, 16);
+  BufferManager large(2 * 1024 * 1024, 16);
+  EXPECT_EQ(small.pinned_bytes(), 128u * 1024 * 16);
+  EXPECT_EQ(large.pinned_bytes(), 2u * 1024 * 1024 * 16);
+  EXPECT_GT(large.pinned_bytes(), small.pinned_bytes());
+}
+
+TEST(BufferManagerTest, StagingAllocRoundtrip) {
+  BufferManager mgr(4096, 4);
+  auto b = mgr.alloc_staging();
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(mgr.pool().in_use(), 1u);
+  ASSERT_TRUE(mgr.free_staging(b));
+  EXPECT_EQ(mgr.pool().in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace oaf::af

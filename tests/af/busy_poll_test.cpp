@@ -1,0 +1,82 @@
+#include "af/busy_poll.h"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_channel.h"
+#include "sim/scheduler.h"
+
+namespace oaf::af {
+namespace {
+
+TEST(BusyPollGovernorTest, InterruptPolicyBudgetZero) {
+  BusyPollGovernor gov(BusyPollPolicy::kInterrupt, 0);
+  gov.attach(nullptr);
+  EXPECT_EQ(gov.current_budget(), 0);
+  for (int i = 0; i < 200; ++i) gov.record_op(false);
+  EXPECT_EQ(gov.current_budget(), 0);  // never re-tunes
+}
+
+TEST(BusyPollGovernorTest, StaticPolicyKeepsBudget) {
+  BusyPollGovernor gov(BusyPollPolicy::kStatic, 25'000);
+  gov.attach(nullptr);
+  EXPECT_EQ(gov.current_budget(), 25'000);
+  for (int i = 0; i < 200; ++i) gov.record_op(true);
+  EXPECT_EQ(gov.current_budget(), 25'000);
+}
+
+TEST(BusyPollGovernorTest, AdaptiveReadHeavyPicksShortBudget) {
+  BusyPollGovernor gov(BusyPollPolicy::kAdaptive, 0);
+  gov.attach(nullptr);
+  for (u32 i = 0; i < BusyPollGovernor::kWindowOps; ++i) gov.record_op(false);
+  EXPECT_EQ(gov.current_budget(), BusyPollGovernor::kReadBudgetNs);
+}
+
+TEST(BusyPollGovernorTest, AdaptiveWriteHeavyPicksLongBudget) {
+  BusyPollGovernor gov(BusyPollPolicy::kAdaptive, 0);
+  gov.attach(nullptr);
+  for (u32 i = 0; i < BusyPollGovernor::kWindowOps; ++i) gov.record_op(true);
+  EXPECT_EQ(gov.current_budget(), BusyPollGovernor::kWriteBudgetNs);
+}
+
+TEST(BusyPollGovernorTest, AdaptiveMixedPicksMiddle) {
+  BusyPollGovernor gov(BusyPollPolicy::kAdaptive, 0);
+  gov.attach(nullptr);
+  for (u32 i = 0; i < BusyPollGovernor::kWindowOps; ++i) gov.record_op(i % 2 == 0);
+  EXPECT_EQ(gov.current_budget(), BusyPollGovernor::kMixedBudgetNs);
+}
+
+TEST(BusyPollGovernorTest, RetunesWhenWorkloadShifts) {
+  BusyPollGovernor gov(BusyPollPolicy::kAdaptive, 0);
+  gov.attach(nullptr);
+  for (u32 i = 0; i < BusyPollGovernor::kWindowOps; ++i) gov.record_op(false);
+  EXPECT_EQ(gov.current_budget(), BusyPollGovernor::kReadBudgetNs);
+  for (u32 i = 0; i < BusyPollGovernor::kWindowOps; ++i) gov.record_op(true);
+  EXPECT_EQ(gov.current_budget(), BusyPollGovernor::kWriteBudgetNs);
+}
+
+TEST(BusyPollGovernorTest, AppliesBudgetToTunableChannel) {
+  sim::Scheduler sched;
+  net::TcpFabricParams params;
+  net::SimTcpLink link(sched, params);
+  auto [client, target] = link.connect();
+  auto* tunable = dynamic_cast<net::BusyPollTunable*>(client.get());
+  ASSERT_NE(tunable, nullptr);
+
+  BusyPollGovernor gov(BusyPollPolicy::kAdaptive, 0);
+  gov.attach(client.get());
+  EXPECT_EQ(tunable->rx_poll_budget(), BusyPollGovernor::kMixedBudgetNs);
+  for (u32 i = 0; i < BusyPollGovernor::kWindowOps; ++i) gov.record_op(true);
+  EXPECT_EQ(tunable->rx_poll_budget(), BusyPollGovernor::kWriteBudgetNs);
+}
+
+TEST(BusyPollGovernorTest, NonTunableChannelIsNoOp) {
+  sim::Scheduler sched;
+  auto [a, b] = net::make_instant_channel_pair(sched);
+  BusyPollGovernor gov(BusyPollPolicy::kAdaptive, 0);
+  gov.attach(a.get());  // InstantEndpoint is not tunable; must not crash
+  for (u32 i = 0; i < 2 * BusyPollGovernor::kWindowOps; ++i) gov.record_op(true);
+  EXPECT_EQ(gov.current_budget(), BusyPollGovernor::kWriteBudgetNs);
+}
+
+}  // namespace
+}  // namespace oaf::af

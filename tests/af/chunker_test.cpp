@@ -1,0 +1,73 @@
+#include "af/chunker.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf::af {
+namespace {
+
+TEST(ChunkerTest, ExactMultiple) {
+  const auto chunks = make_chunks(512 * 1024, 128 * 1024);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunks[i].offset, i * 128 * 1024);
+    EXPECT_EQ(chunks[i].length, 128u * 1024);
+    EXPECT_EQ(chunks[i].last, i == 3);
+  }
+}
+
+TEST(ChunkerTest, RemainderChunk) {
+  const auto chunks = make_chunks(300 * 1024, 128 * 1024);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].length, 44u * 1024);
+  EXPECT_TRUE(chunks[2].last);
+}
+
+TEST(ChunkerTest, SmallIoSingleChunk) {
+  const auto chunks = make_chunks(4096, 128 * 1024);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 4096u);
+  EXPECT_TRUE(chunks[0].last);
+}
+
+TEST(ChunkerTest, ZeroTotalYieldsSentinel) {
+  const auto chunks = make_chunks(0, 128 * 1024);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 0u);
+  EXPECT_TRUE(chunks[0].last);
+}
+
+TEST(ChunkerTest, ZeroChunkSizeMeansNoSplit) {
+  const auto chunks = make_chunks(1 << 20, 0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 1u << 20);
+}
+
+TEST(ChunkerTest, CoverageIsExactAndOrdered) {
+  // Property: chunks tile [0, total) exactly, in order, no overlap.
+  for (u64 total : {1ull, 1000ull, 128ull * 1024, 999'999ull, 2ull << 20}) {
+    for (u64 chunk : {512ull, 4096ull, 128ull * 1024, 2ull << 20}) {
+      const auto chunks = make_chunks(total, chunk);
+      EXPECT_EQ(chunks.size(), chunk_count(total, chunk));
+      u64 expect_off = 0;
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        EXPECT_EQ(chunks[i].offset, expect_off);
+        EXPECT_GT(chunks[i].length, 0u);
+        EXPECT_LE(chunks[i].length, chunk);
+        EXPECT_EQ(chunks[i].last, i + 1 == chunks.size());
+        expect_off += chunks[i].length;
+      }
+      EXPECT_EQ(expect_off, total);
+    }
+  }
+}
+
+TEST(ChunkerTest, PaperChunkCounts) {
+  // §4.5: I/O broken into ceil(io_size / chunk_size) requests.
+  EXPECT_EQ(chunk_count(512 * 1024, 128 * 1024), 4u);
+  EXPECT_EQ(chunk_count(512 * 1024, 512 * 1024), 1u);
+  EXPECT_EQ(chunk_count(512 * 1024, 2 * 1024 * 1024), 1u);
+  EXPECT_EQ(chunk_count(2 * 1024 * 1024, 512 * 1024), 4u);
+}
+
+}  // namespace
+}  // namespace oaf::af

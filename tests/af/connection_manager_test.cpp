@@ -1,0 +1,139 @@
+#include "af/connection_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "net/copier.h"
+#include "sim/scheduler.h"
+
+namespace oaf::af {
+namespace {
+
+class CmTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched_;
+  net::InlineCopier copier_;
+};
+
+TEST_F(CmTest, ICReqCarriesTokenAndWish) {
+  ShmBroker broker(0xFEED);
+  ConnectionManager cm(broker);
+  const auto req = cm.make_icreq(AfConfig::oaf());
+  EXPECT_EQ(req.node_token, 0xFEEDu);
+  EXPECT_TRUE(req.want_shm);
+  const auto req2 = cm.make_icreq(AfConfig::stock_tcp());
+  EXPECT_FALSE(req2.want_shm);
+}
+
+TEST_F(CmTest, CoLocatedGrantsShm) {
+  ShmBroker broker(7);
+  ConnectionManager client_cm(broker);
+  ConnectionManager target_cm(broker);
+  AfConfig cfg = AfConfig::oaf();
+  cfg.shm_slot_bytes = 4096;
+  cfg.shm_slots = 16;
+
+  AfEndpoint client(Role::kClient, sched_, copier_, cfg);
+  AfEndpoint target(Role::kTarget, sched_, copier_, cfg);
+
+  const auto req = client_cm.make_icreq(cfg);
+  auto resp = target_cm.accept_target(req, "c1", target);
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_TRUE(resp.value().shm_granted);
+  EXPECT_EQ(resp.value().shm_slots, 16u);
+  EXPECT_EQ(resp.value().shm_name, "c1");
+  EXPECT_TRUE(target.shm_ready());
+
+  ASSERT_TRUE(client_cm.complete_client(resp.value(), client));
+  EXPECT_TRUE(client.shm_ready());
+  EXPECT_EQ(client.slot_bytes(), 4096u);
+  EXPECT_EQ(client.slot_count(), 16u);
+
+  // Data actually flows through the established channel.
+  std::vector<u8> data(100, 0x77);
+  ASSERT_TRUE(client.stage_payload(0, data, [] {}));
+  sched_.run();
+  std::vector<u8> out(100);
+  Result<u64> got = make_error(StatusCode::kUnavailable);
+  target.consume_payload(0, out, [&](Result<u64> r) { got = r; });
+  sched_.run();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(out[0], 0x77);
+}
+
+TEST_F(CmTest, RemoteClientDeniedShm) {
+  ShmBroker client_broker(1);
+  ShmBroker target_broker(2);  // different physical host
+  ConnectionManager client_cm(client_broker);
+  ConnectionManager target_cm(target_broker);
+  const AfConfig cfg = AfConfig::oaf();
+
+  AfEndpoint target(Role::kTarget, sched_, copier_, cfg);
+  const auto req = client_cm.make_icreq(cfg);
+  auto resp = target_cm.accept_target(req, "c1", target);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_FALSE(resp.value().shm_granted);
+  EXPECT_FALSE(target.shm_ready());
+}
+
+TEST_F(CmTest, ShmNotWantedNotGranted) {
+  ShmBroker broker(1);
+  ConnectionManager cm(broker);
+  const AfConfig stock = AfConfig::stock_tcp();
+  AfEndpoint target(Role::kTarget, sched_, copier_, stock);
+  auto resp = cm.accept_target(cm.make_icreq(stock), "c1", target);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_FALSE(resp.value().shm_granted);
+}
+
+TEST_F(CmTest, SecondConnectionGetsOwnRegion) {
+  // Paper §6: per-connection isolation.
+  ShmBroker broker(1);
+  ConnectionManager cm(broker);
+  const AfConfig cfg = AfConfig::oaf();
+  AfEndpoint t1(Role::kTarget, sched_, copier_, cfg);
+  AfEndpoint t2(Role::kTarget, sched_, copier_, cfg);
+  auto r1 = cm.accept_target(cm.make_icreq(cfg), "tenantA", t1);
+  auto r2 = cm.accept_target(cm.make_icreq(cfg), "tenantB", t2);
+  ASSERT_TRUE(r1.is_ok());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_TRUE(r1.value().shm_granted);
+  EXPECT_TRUE(r2.value().shm_granted);
+  EXPECT_NE(r1.value().shm_name, r2.value().shm_name);
+  EXPECT_EQ(broker.active_regions(), 2u);
+}
+
+TEST_F(CmTest, DuplicateConnectionNameFallsBackToTcp) {
+  ShmBroker broker(1);
+  ConnectionManager cm(broker);
+  const AfConfig cfg = AfConfig::oaf();
+  AfEndpoint t1(Role::kTarget, sched_, copier_, cfg);
+  AfEndpoint t2(Role::kTarget, sched_, copier_, cfg);
+  ASSERT_TRUE(cm.accept_target(cm.make_icreq(cfg), "same", t1).is_ok());
+  auto r2 = cm.accept_target(cm.make_icreq(cfg), "same", t2);
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_FALSE(r2.value().shm_granted);  // graceful TCP fallback
+}
+
+TEST_F(CmTest, CompleteClientRejectsUngrantedResp) {
+  ShmBroker broker(1);
+  ConnectionManager cm(broker);
+  AfEndpoint client(Role::kClient, sched_, copier_, AfConfig::oaf());
+  pdu::ICResp resp;
+  resp.shm_granted = false;
+  EXPECT_FALSE(cm.complete_client(resp, client));
+  EXPECT_FALSE(client.shm_ready());
+}
+
+TEST_F(CmTest, ReleaseRevokesRegion) {
+  ShmBroker broker(1);
+  ConnectionManager cm(broker);
+  const AfConfig cfg = AfConfig::oaf();
+  AfEndpoint target(Role::kTarget, sched_, copier_, cfg);
+  ASSERT_TRUE(cm.accept_target(cm.make_icreq(cfg), "c", target).is_ok());
+  EXPECT_EQ(broker.active_regions(), 1u);
+  ASSERT_TRUE(cm.release("c"));
+  EXPECT_EQ(broker.active_regions(), 0u);
+}
+
+}  // namespace
+}  // namespace oaf::af

@@ -1,0 +1,160 @@
+#include "af/shm_cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "af/locality.h"
+#include "af/endpoint.h"
+#include "net/copier.h"
+#include "sim/scheduler.h"
+
+namespace oaf::af {
+namespace {
+
+TEST(XorKeystreamTest, RoundtripRestoresPlaintext) {
+  std::vector<u8> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  const auto original = data;
+  xor_keystream(data, 0xABCDEF, 0);
+  EXPECT_NE(data, original);
+  xor_keystream(data, 0xABCDEF, 0);
+  EXPECT_EQ(data, original);
+}
+
+TEST(XorKeystreamTest, SeekableAtAnyOffset) {
+  // Encrypting a buffer in one pass must equal encrypting it piecewise at
+  // the right stream offsets (slots decrypt independently).
+  std::vector<u8> whole(4096, 0x5A);
+  std::vector<u8> pieces = whole;
+  xor_keystream(whole, 7, 1000);
+  xor_keystream(std::span<u8>(pieces.data(), 1500), 7, 1000);
+  xor_keystream(std::span<u8>(pieces.data() + 1500, 4096 - 1500), 7, 2500);
+  EXPECT_EQ(whole, pieces);
+}
+
+TEST(XorKeystreamTest, DifferentKeysDiffer) {
+  std::vector<u8> a(256, 0);
+  std::vector<u8> b(256, 0);
+  xor_keystream(a, 1, 0);
+  xor_keystream(b, 2, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(XorKeystreamTest, KeystreamLooksBalanced) {
+  // Not a security claim — just that the stand-in is not degenerate.
+  std::vector<u8> zeros(1 << 16, 0);
+  xor_keystream(zeros, 0x1234, 0);
+  size_t ones = 0;
+  for (u8 b : zeros) ones += static_cast<size_t>(__builtin_popcount(b));
+  const double frac = static_cast<double>(ones) / (8.0 * zeros.size());
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+class EncryptedEndpointTest : public ::testing::Test {
+ protected:
+  EncryptedEndpointTest() : broker_(1) {
+    AfConfig cfg = AfConfig::oaf();
+    cfg.encrypt_shm = true;
+    cfg.shm_key = 0xDEADBEEF;
+    cfg.shm_slot_bytes = 4096;
+    cfg.shm_slots = 4;
+    client_ = std::make_unique<AfEndpoint>(Role::kClient, sched_, copier_, cfg);
+    target_ = std::make_unique<AfEndpoint>(Role::kTarget, sched_, copier_, cfg);
+
+    const u64 ring_bytes = shm::DoubleBufferRing::required_bytes(4096, 4);
+    auto handle = broker_.provision("enc", ring_bytes).take();
+    region_base_ = handle.ring_area();
+    auto ring =
+        shm::DoubleBufferRing::create(handle.ring_area(), handle.ring_bytes(),
+                                      4096, 4)
+            .take();
+    auto client_handle = broker_.open("enc").take();
+    auto client_ring = shm::DoubleBufferRing::attach(client_handle.ring_area(),
+                                                     client_handle.ring_bytes())
+                           .take();
+    client_->enable_shm(std::move(client_handle), client_ring);
+    target_->enable_shm(std::move(handle), ring);
+  }
+
+  sim::Scheduler sched_;
+  net::InlineCopier copier_;
+  af::ShmBroker broker_;
+  std::unique_ptr<AfEndpoint> client_;
+  std::unique_ptr<AfEndpoint> target_;
+  u8* region_base_ = nullptr;
+};
+
+TEST_F(EncryptedEndpointTest, StagedRoundtripDecrypts) {
+  std::vector<u8> data(512);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 3);
+  ASSERT_TRUE(client_->stage_payload(1, data, [] {}));
+  sched_.run();
+
+  std::vector<u8> out(512);
+  Result<u64> got = make_error(StatusCode::kUnavailable);
+  target_->consume_payload(1, out, [&](Result<u64> r) { got = r; });
+  sched_.run();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(EncryptedEndpointTest, SnooperSeesOnlyCiphertext) {
+  std::vector<u8> secret(256, 0x41);  // "AAAA..." — highly recognizable
+  ASSERT_TRUE(client_->stage_payload(0, secret, [] {}));
+  sched_.run();
+
+  // A snooper maps the raw region. The slot bytes must not contain the
+  // plaintext pattern.
+  // Slot 0 of the C2T half starts right after the control arrays.
+  bool any_plain_run = false;
+  const u8* base = region_base_;
+  const u64 scan = shm::DoubleBufferRing::required_bytes(4096, 4) - 8;
+  for (u64 off = 0; off + 8 < scan; ++off) {
+    int run = 0;
+    while (run < 8 && base[off + static_cast<u64>(run)] == 0x41) run++;
+    if (run == 8) {
+      any_plain_run = true;
+      break;
+    }
+  }
+  EXPECT_FALSE(any_plain_run);
+
+  // The legitimate consumer still decrypts it.
+  std::vector<u8> out(256);
+  Result<u64> got = make_error(StatusCode::kUnavailable);
+  target_->consume_payload(0, out, [&](Result<u64> r) { got = r; });
+  sched_.run();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(out, secret);
+}
+
+TEST_F(EncryptedEndpointTest, ZeroCopyDisabledByEncryption) {
+  // The constructor demotes zero-copy when encryption is on.
+  EXPECT_FALSE(client_->config().zero_copy);
+  // And views that would expose ciphertext are refused.
+  std::vector<u8> data(64);
+  ASSERT_TRUE(client_->stage_payload(2, data, [] {}));
+  sched_.run();
+  auto view = target_->consume_view(2);
+  EXPECT_FALSE(view.is_ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EncryptedEndpointTest, WrongKeyYieldsGarbage) {
+  AfConfig wrong = client_->config();
+  wrong.shm_key = 0xBAD;
+  AfEndpoint eavesdropper(Role::kTarget, sched_, copier_, wrong);
+  auto handle = broker_.open("enc");
+  // Single-open isolation already blocks this mapping; simulate a
+  // hypothetical bypass by checking the cipher directly instead.
+  EXPECT_FALSE(handle.is_ok());
+
+  std::vector<u8> data(128, 0x77);
+  auto enc = data;
+  xor_keystream(enc, client_->config().shm_key, 0);
+  auto dec_wrong = enc;
+  xor_keystream(dec_wrong, 0xBAD, 0);
+  EXPECT_NE(dec_wrong, data);
+}
+
+}  // namespace
+}  // namespace oaf::af

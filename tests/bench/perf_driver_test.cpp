@@ -1,0 +1,82 @@
+#include "bench/perf_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/rig.h"
+
+namespace oaf::bench {
+namespace {
+
+WorkloadSpec quick_spec() {
+  WorkloadSpec spec;
+  spec.duration = 100 * 1000 * 1000;  // 100 ms virtual
+  spec.warmup = 10 * 1000 * 1000;
+  spec.queue_depth = 16;
+  spec.working_set_bytes = 64 << 20;
+  return spec;
+}
+
+TEST(PerfDriverTest, SeqReadProducesStats) {
+  sim::Scheduler sched;
+  Rig rig(sched, RigOptions{},
+          {StreamSpec{Transport::kAfShm, quick_spec().with_io(128 * 1024)}});
+  auto stats = rig.run();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GT(stats[0].ios_completed, 100u);
+  EXPECT_GT(stats[0].bandwidth_mib_s(), 0.0);
+  EXPECT_GT(stats[0].latency.p50(), 0);
+  EXPECT_GE(stats[0].latency.p9999(), stats[0].latency.p50());
+}
+
+TEST(PerfDriverTest, BreakdownComponentsSum) {
+  sim::Scheduler sched;
+  Rig rig(sched, RigOptions{},
+          {StreamSpec{Transport::kTcpStock,
+                      quick_spec().with_io(128 * 1024).with_mix(0.0, true)}});
+  auto stats = rig.run();
+  const LatencyParts mean = stats[0].breakdown.mean();
+  EXPECT_GT(mean.io, 0);
+  EXPECT_GT(mean.comm, 0);
+  EXPECT_GT(mean.other, 0);  // write fill time lands in "other"
+  // Mean of components ~ mean end-to-end latency.
+  EXPECT_NEAR(static_cast<double>(mean.total()), stats[0].latency.mean(),
+              stats[0].latency.mean() * 0.2);
+}
+
+TEST(PerfDriverTest, MixedWorkloadRespectsReadFraction) {
+  sim::Scheduler sched;
+  WorkloadSpec spec = quick_spec().with_io(16 * 1024).with_mix(0.7, false);
+  Rig rig(sched, RigOptions{}, {StreamSpec{Transport::kAfShm, spec}});
+  auto stats = rig.run();
+  // Read/write mix only affects internals; here we just confirm healthy
+  // completion volume and sane accounting under a mixed random load.
+  EXPECT_GT(stats[0].ios_completed, 200u);
+  EXPECT_EQ(stats[0].bytes_moved, stats[0].ios_completed * 16 * 1024);
+}
+
+TEST(PerfDriverTest, QueueDepthRaisesThroughputUntilSaturation) {
+  auto bw_at = [](u32 qd) {
+    sim::Scheduler sched;
+    WorkloadSpec spec = quick_spec().with_io(128 * 1024).with_qd(qd);
+    Rig rig(sched, RigOptions{}, {StreamSpec{Transport::kAfShm, spec}});
+    return Rig::aggregate_mib_s(rig.run());
+  };
+  const double bw1 = bw_at(1);
+  const double bw8 = bw_at(8);
+  const double bw64 = bw_at(64);
+  EXPECT_GT(bw8, bw1 * 2.5);   // concurrency scales
+  EXPECT_GE(bw64, bw8 * 0.9);  // and never collapses at depth
+}
+
+TEST(PerfDriverTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Scheduler sched;
+    Rig rig(sched, RigOptions{},
+            {StreamSpec{Transport::kAfShm, quick_spec().with_io(64 * 1024)}});
+    return rig.run()[0].ios_completed;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace oaf::bench

@@ -1,0 +1,80 @@
+#include "bench/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf::bench {
+namespace {
+
+TEST(WorkloadSpecTest, BuildersCompose) {
+  const WorkloadSpec spec =
+      WorkloadSpec::rand_mix(512 * kKiB, 0.95).with_qd(64);
+  EXPECT_EQ(spec.io_bytes, 512u * kKiB);
+  EXPECT_FALSE(spec.sequential);
+  EXPECT_DOUBLE_EQ(spec.read_fraction, 0.95);
+  EXPECT_EQ(spec.queue_depth, 64u);
+
+  const WorkloadSpec wr = WorkloadSpec::seq_write(4 * kKiB);
+  EXPECT_TRUE(wr.sequential);
+  EXPECT_DOUBLE_EQ(wr.read_fraction, 0.0);
+}
+
+TEST(OffsetStreamTest, SequentialWrapsWithinWorkingSet) {
+  WorkloadSpec spec;
+  spec.io_bytes = 128 * kKiB;
+  spec.sequential = true;
+  spec.working_set_bytes = 512 * kKiB;  // 4 slots
+  OffsetStream stream(spec);
+  std::vector<u64> offsets;
+  for (int i = 0; i < 8; ++i) offsets.push_back(stream.next_offset());
+  const std::vector<u64> expect = {0,       131072, 262144, 393216,
+                                   0,       131072, 262144, 393216};
+  EXPECT_EQ(offsets, expect);
+}
+
+TEST(OffsetStreamTest, RandomOffsetsAlignedAndBounded) {
+  WorkloadSpec spec;
+  spec.io_bytes = 4 * kKiB;
+  spec.sequential = false;
+  spec.working_set_bytes = 64 * kMiB;
+  OffsetStream stream(spec);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 off = stream.next_offset();
+    EXPECT_EQ(off % spec.io_bytes, 0u);
+    EXPECT_LT(off + spec.io_bytes, spec.working_set_bytes + spec.io_bytes);
+  }
+}
+
+TEST(OffsetStreamTest, ReadFractionConverges) {
+  WorkloadSpec spec;
+  spec.read_fraction = 0.7;
+  OffsetStream stream(spec);
+  int reads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) reads += stream.next_is_read();
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.7, 0.01);
+}
+
+TEST(OffsetStreamTest, SeedSaltDecorrelatesStreams) {
+  WorkloadSpec spec;
+  spec.sequential = false;
+  spec.working_set_bytes = 1 * kGiB;
+  OffsetStream a(spec, 0);
+  OffsetStream b(spec, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_offset() == b.next_offset()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(OffsetStreamTest, TinyWorkingSetStillValid) {
+  WorkloadSpec spec;
+  spec.io_bytes = 1 * kMiB;
+  spec.working_set_bytes = 512 * kKiB;  // smaller than one I/O
+  OffsetStream stream(spec);
+  EXPECT_EQ(stream.next_offset(), 0u);  // clamps to one slot
+  EXPECT_EQ(stream.next_offset(), 0u);
+}
+
+}  // namespace
+}  // namespace oaf::bench

@@ -1,0 +1,140 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace oaf {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234.0);
+  // Representative within bucket relative error.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 1234.0, 1234.0 * 0.02 + 1);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  // Tier 0 (< 64) is exact.
+  Histogram h;
+  for (int v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(1.0), 63);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-50);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    h.record(static_cast<i64>(rng.next_below(10'000'000)));
+  }
+  i64 prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1.0}) {
+    const i64 v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileAccuracyUniform) {
+  Histogram h;
+  Rng rng(9);
+  constexpr i64 kMax = 1'000'000;
+  for (int i = 0; i < 200000; ++i) {
+    h.record(static_cast<i64>(rng.next_below(kMax)));
+  }
+  // Uniform distribution: percentile q should be ~ q * kMax within a few %.
+  for (double q : {0.25, 0.5, 0.75, 0.9}) {
+    const double expect = q * kMax;
+    EXPECT_NEAR(static_cast<double>(h.percentile(q)), expect, expect * 0.05)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, PercentileBoundedByMax) {
+  Histogram h;
+  h.record(100);
+  h.record(1'000'000'000);
+  EXPECT_LE(h.percentile(1.0), 1'000'000'000);
+  EXPECT_EQ(h.max(), 1'000'000'000);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 1e-9);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, TailPercentileFindsOutliers) {
+  // 99.99% of samples at ~100, a few at 1e8: p9999 should see the outliers
+  // once they exceed 1/10000 of the population.
+  Histogram h;
+  for (int i = 0; i < 9990; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(100'000'000);
+  EXPECT_GT(h.p9999(), 1'000'000);
+  EXPECT_LT(h.p50(), 200);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(INT64_MAX / 2);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(1.0), 0);
+}
+
+class HistogramRelativeError : public ::testing::TestWithParam<i64> {};
+
+TEST_P(HistogramRelativeError, RepresentativeWithinTwoPercent) {
+  Histogram h;
+  const i64 v = GetParam();
+  h.record(v);
+  const double rep = static_cast<double>(h.percentile(0.5));
+  EXPECT_NEAR(rep, static_cast<double>(v), static_cast<double>(v) * 0.02 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramRelativeError,
+                         ::testing::Values<i64>(1, 63, 64, 100, 1000, 4096,
+                                                65535, 1'000'000, 50'000'000,
+                                                1'000'000'000, 30'000'000'000));
+
+}  // namespace
+}  // namespace oaf

@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oaf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 1.0);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.next_exponential(10.0), 0.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, LognormalPositiveAndHeavyTailed) {
+  Rng rng(29);
+  double max = 0;
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_lognormal(0.0, 1.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    max = std::max(max, v);
+  }
+  // Mean of LN(0,1) is exp(0.5) ~ 1.6487; the max should be far above it.
+  EXPECT_NEAR(sum / kN, 1.6487, 0.1);
+  EXPECT_GT(max, 10.0);
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng rng(31);
+  int trues = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.next_bool(0.3)) trues++;
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ReseedResetsSequence) {
+  Rng rng(41);
+  const u64 first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(41);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace oaf

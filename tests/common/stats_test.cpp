@@ -1,0 +1,105 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf {
+namespace {
+
+TEST(LatencyPartsTest, TotalSumsComponents) {
+  LatencyParts p{100, 200, 50};
+  EXPECT_EQ(p.total(), 350);
+}
+
+TEST(LatencyPartsTest, PlusEqualsAccumulates) {
+  LatencyParts a{1, 2, 3};
+  LatencyParts b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a.io, 11);
+  EXPECT_EQ(a.comm, 22);
+  EXPECT_EQ(a.other, 33);
+}
+
+TEST(BreakdownStatsTest, MeanOverRequests) {
+  BreakdownStats s;
+  s.record({100, 200, 300});
+  s.record({300, 400, 500});
+  EXPECT_EQ(s.count(), 2u);
+  const LatencyParts m = s.mean();
+  EXPECT_EQ(m.io, 200);
+  EXPECT_EQ(m.comm, 300);
+  EXPECT_EQ(m.other, 400);
+}
+
+TEST(BreakdownStatsTest, EmptyMeanIsZero) {
+  BreakdownStats s;
+  const LatencyParts m = s.mean();
+  EXPECT_EQ(m.io, 0);
+  EXPECT_EQ(m.comm, 0);
+  EXPECT_EQ(m.other, 0);
+}
+
+TEST(BreakdownStatsTest, MergeAndReset) {
+  BreakdownStats a;
+  BreakdownStats b;
+  a.record({10, 10, 10});
+  b.record({30, 30, 30});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean().io, 20);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(RunStatsTest, BandwidthAndIops) {
+  RunStats s;
+  s.ios_completed = 1000;
+  s.bytes_moved = 1000 * 128 * 1024;   // 1000 x 128 KiB
+  s.elapsed = 1'000'000'000;           // 1 s
+  EXPECT_NEAR(s.bandwidth_mib_s(), 125.0, 1e-6);
+  EXPECT_NEAR(s.iops(), 1000.0, 1e-6);
+}
+
+TEST(RunStatsTest, ZeroElapsedSafe) {
+  RunStats s;
+  EXPECT_EQ(s.bandwidth_mib_s(), 0.0);
+  EXPECT_EQ(s.iops(), 0.0);
+}
+
+TEST(RunStatsTest, MergeKeepsMaxElapsedAndSums) {
+  RunStats a;
+  RunStats b;
+  a.ios_completed = 10;
+  a.bytes_moved = 100;
+  a.elapsed = 500;
+  b.ios_completed = 20;
+  b.bytes_moved = 200;
+  b.elapsed = 900;
+  a.latency.record(10);
+  b.latency.record(20);
+  a.merge(b);
+  EXPECT_EQ(a.ios_completed, 30u);
+  EXPECT_EQ(a.bytes_moved, 300u);
+  EXPECT_EQ(a.elapsed, 900);
+  EXPECT_EQ(a.latency.count(), 2u);
+}
+
+TEST(RunningStatTest, WelfordMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleValueVarianceZero) {
+  RunningStat s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace oaf

@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_TRUE(static_cast<bool>(st));
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = make_error(StatusCode::kNotFound, "missing thing");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(make_error(StatusCode::kTimeout, "a"),
+            make_error(StatusCode::kTimeout, "b"));
+  EXPECT_FALSE(make_error(StatusCode::kTimeout) == Status::ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(make_error(StatusCode::kOutOfRange, "too big"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).take();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace oaf

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oaf {
+namespace {
+
+TEST(TableTest, RendersHeaderRowsAndSeparator) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsWidenToFitCells) {
+  Table t("w");
+  t.header({"c"});
+  t.row({"a-very-long-cell-value"});
+  std::ostringstream os;
+  t.print(os);
+  // Header line must be padded at least as wide as the longest cell.
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);          // blank
+  std::getline(in, line);          // title
+  std::getline(in, line);          // header
+  EXPECT_GE(line.size(), std::string("a-very-long-cell-value").size());
+}
+
+TEST(TableTest, ShortRowsPadMissingCells) {
+  Table t("p");
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  std::ostringstream os;
+  t.print(os);  // must not crash or misalign
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsFixedPoint) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(1000.0, 0), "1000");
+  EXPECT_EQ(Table::num(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace oaf

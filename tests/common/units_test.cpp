@@ -1,0 +1,75 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf {
+namespace {
+
+TEST(UnitsTest, SizeLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, TimeLiterals) {
+  EXPECT_EQ(1_us, 1000);
+  EXPECT_EQ(3_ms, 3'000'000);
+  EXPECT_EQ(2_s, 2'000'000'000);
+}
+
+TEST(UnitsTest, GbpsConversion) {
+  // 10 Gbps == 1.25e9 bytes/sec.
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(10.0), 1.25e9);
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(100.0), 12.5e9);
+}
+
+TEST(UnitsTest, WireTime) {
+  // 1.25 GB at 10 Gbps takes 1 second.
+  EXPECT_EQ(wire_time_ns(1'250'000'000ull, 10.0), 1'000'000'000);
+  // 125 bytes at 10 Gbps takes 100 ns.
+  EXPECT_EQ(wire_time_ns(125, 10.0), 100);
+}
+
+TEST(UnitsTest, TransferTime) {
+  EXPECT_EQ(transfer_time_ns(1'000'000, 1e9), 1'000'000);  // 1 MB @ 1 GB/s = 1 ms
+  EXPECT_EQ(transfer_time_ns(0, 1e9), 0);
+}
+
+TEST(UnitsTest, MibPerSec) {
+  // 1 MiB moved in 1 ms = 1000 MiB/s (within fp tolerance).
+  EXPECT_NEAR(mib_per_sec(1_MiB, 1_ms), 1000.0, 1e-9);
+  EXPECT_EQ(mib_per_sec(123, 0), 0.0);
+  EXPECT_EQ(mib_per_sec(123, -5), 0.0);
+}
+
+TEST(UnitsTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 8), 0u);
+  EXPECT_EQ(ceil_div(1, 8), 1u);
+  EXPECT_EQ(ceil_div(8, 8), 1u);
+  EXPECT_EQ(ceil_div(9, 8), 2u);
+  EXPECT_EQ(ceil_div(512_KiB, 128_KiB), 4u);
+}
+
+TEST(UnitsTest, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(UnitsTest, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(4095));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(UnitsTest, NsConversions) {
+  EXPECT_DOUBLE_EQ(ns_to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ns_to_ms(2'500'000), 2.5);
+}
+
+}  // namespace
+}  // namespace oaf

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "af/locality.h"
+#include "bench/calibration.h"
+#include "h5/coalescing_backend.h"
+#include "h5/nfs_backend.h"
+#include "h5/nvmf_backend.h"
+#include "net/pipe_channel.h"
+#include "nvmf/target.h"
+#include "sim/scheduler.h"
+#include "ssd/real_device.h"
+
+namespace oaf::h5 {
+namespace {
+
+std::vector<u8> pattern(u64 n, u8 seed) {
+  std::vector<u8> v(n);
+  for (u64 i = 0; i < n; ++i) v[i] = static_cast<u8>(seed + i * 13);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// NvmfBackend over a real functional-plane NVMe-oF connection
+// ---------------------------------------------------------------------------
+
+struct NvmfFixture {
+  explicit NvmfFixture(af::AfConfig cfg = af::AfConfig::oaf())
+      : broker(1), device(sched, 512, 1 << 18), subsystem("nqn") {
+    (void)subsystem.add_namespace(1, &device);
+    auto pair = net::make_pipe_channel_pair(sched, sched);
+    client_ch = std::move(pair.first);
+    target_ch = std::move(pair.second);
+    target = std::make_unique<nvmf::NvmfTargetConnection>(
+        sched, *target_ch, copier, broker, subsystem,
+        nvmf::TargetOptions{cfg, "h5be"});
+    initiator = std::make_unique<nvmf::NvmfInitiator>(
+        sched, *client_ch, copier, broker,
+        nvmf::InitiatorOptions{cfg, 32, "h5be"});
+    initiator->connect([](Status) {});
+    sched.run();
+    backend = std::make_unique<NvmfBackend>(*initiator, 1, 128 * 1024);
+    backend->set_capacity(device.num_blocks() * 512);
+  }
+
+  sim::Scheduler sched;
+  net::InlineCopier copier;
+  af::ShmBroker broker;
+  ssd::RealDevice device;
+  ssd::Subsystem subsystem;
+  std::unique_ptr<net::MsgChannel> client_ch;
+  std::unique_ptr<net::MsgChannel> target_ch;
+  std::unique_ptr<nvmf::NvmfTargetConnection> target;
+  std::unique_ptr<nvmf::NvmfInitiator> initiator;
+  std::unique_ptr<NvmfBackend> backend;
+};
+
+TEST(NvmfBackendTest, AlignedRoundtrip) {
+  NvmfFixture f;
+  const auto data = pattern(512 * 1024, 1);  // spans multiple max_io commands
+  bool wrote = false;
+  f.backend->write(4096, data, [&](Status st) { wrote = st.is_ok(); });
+  f.sched.run();
+  ASSERT_TRUE(wrote);
+  EXPECT_GE(f.backend->commands_issued(), 4u);
+
+  std::vector<u8> out(data.size());
+  bool read = false;
+  f.backend->read(4096, out, [&](Status st) { read = st.is_ok(); });
+  f.sched.run();
+  ASSERT_TRUE(read);
+  EXPECT_EQ(out, data);
+}
+
+TEST(NvmfBackendTest, UnalignedEdgesReadModifyWrite) {
+  NvmfFixture f;
+  // Seed surrounding bytes, then write an unaligned range and check both
+  // the new data and the preserved neighbours.
+  const auto base = pattern(4096, 7);
+  f.backend->write(0, base, [](Status st) { ASSERT_TRUE(st.is_ok()); });
+  f.sched.run();
+
+  const auto patch = pattern(1000, 99);
+  bool wrote = false;
+  f.backend->write(123, patch, [&](Status st) { wrote = st.is_ok(); });
+  f.sched.run();
+  ASSERT_TRUE(wrote);
+
+  std::vector<u8> out(4096);
+  f.backend->read(0, out, [](Status st) { ASSERT_TRUE(st.is_ok()); });
+  f.sched.run();
+  EXPECT_EQ(std::memcmp(out.data(), base.data(), 123), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 123, patch.data(), 1000), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 1123, base.data() + 1123, 4096 - 1123), 0);
+}
+
+TEST(NvmfBackendTest, ZeroCopyUsedWhenAvailable) {
+  NvmfFixture f(af::AfConfig::oaf());
+  ASSERT_TRUE(f.initiator->supports_zero_copy());
+  const auto data = pattern(64 * 1024, 3);
+  f.backend->write(0, data, [](Status st) { ASSERT_TRUE(st.is_ok()); });
+  f.sched.run();
+  EXPECT_GT(f.backend->zero_copy_writes(), 0u);
+}
+
+TEST(NvmfBackendTest, TcpFallbackCorrect) {
+  NvmfFixture f(af::AfConfig::stock_tcp());
+  ASSERT_FALSE(f.initiator->supports_zero_copy());
+  const auto data = pattern(300 * 1024, 4);
+  std::vector<u8> out(data.size());
+  int ok = 0;
+  f.backend->write(8192, data, [&](Status st) { ok += st.is_ok(); });
+  f.sched.run();
+  f.backend->read(8192, out, [&](Status st) { ok += st.is_ok(); });
+  f.sched.run();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(f.backend->zero_copy_writes(), 0u);
+}
+
+TEST(NvmfBackendTest, CapacityEnforced) {
+  NvmfFixture f;
+  std::vector<u8> data(4096);
+  Status st1;
+  f.backend->write(f.backend->capacity_bytes() - 100, data,
+                   [&](Status st) { st1 = st; });
+  f.sched.run();
+  EXPECT_FALSE(st1.is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// CoalescingBackend
+// ---------------------------------------------------------------------------
+
+TEST(CoalescingBackendTest, MergesSequentialWrites) {
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 64 * 1024);
+  const auto data = pattern(4096, 5);
+  int acks = 0;
+  for (int i = 0; i < 8; ++i) {
+    co.write(static_cast<u64>(i) * 4096, data, [&](Status st) {
+      EXPECT_TRUE(st.is_ok());
+      acks++;
+    });
+  }
+  EXPECT_EQ(acks, 8);
+  EXPECT_EQ(inner.writes(), 0u);  // all absorbed, nothing submitted yet
+  bool flushed = false;
+  co.flush([&](Status st) { flushed = st.is_ok(); });
+  ASSERT_TRUE(flushed);
+  EXPECT_EQ(inner.writes(), 1u);  // one coalesced run
+  EXPECT_EQ(co.coalesced_flushes(), 1u);
+}
+
+TEST(CoalescingBackendTest, GapOpensSecondRun) {
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 64 * 1024);
+  const auto data = pattern(4096, 6);
+  co.write(0, data, [](Status) {});
+  co.write(4096, data, [](Status) {});
+  co.write(100 * 4096, data, [](Status) {});  // gap: second stream
+  EXPECT_EQ(inner.writes(), 0u);  // both runs still open
+  EXPECT_EQ(co.open_runs(), 2u);
+  co.flush([](Status st) { EXPECT_TRUE(st.is_ok()); });
+  EXPECT_EQ(inner.writes(), 2u);  // one coalesced I/O per run
+  EXPECT_EQ(co.open_runs(), 0u);
+}
+
+TEST(CoalescingBackendTest, RunCapEvictsLru) {
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 64 * 1024, 0, /*max_runs=*/2);
+  const auto data = pattern(4096, 6);
+  co.write(0, data, [](Status) {});           // run A
+  co.write(100 * 4096, data, [](Status) {});  // run B
+  co.write(200 * 4096, data, [](Status) {});  // run C: evicts A
+  EXPECT_EQ(inner.writes(), 1u);
+  EXPECT_EQ(co.open_runs(), 2u);
+}
+
+TEST(CoalescingBackendTest, FullRunDrainsImmediately) {
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 8 * 1024);
+  const auto data = pattern(4096, 6);
+  co.write(0, data, [](Status) {});
+  EXPECT_EQ(inner.writes(), 0u);
+  co.write(4096, data, [](Status) {});  // run reaches 8 KiB: drains
+  EXPECT_EQ(inner.writes(), 1u);
+}
+
+TEST(CoalescingBackendTest, InterleavedStreamsCoalescePerStream) {
+  // The Fig 17 config-2 pattern: two dataset extents written in
+  // alternating small chunks; each stream coalesces independently.
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 64 * 1024);
+  const auto data = pattern(4096, 8);
+  const u64 extent_b = 512 * 1024;
+  for (int i = 0; i < 8; ++i) {
+    co.write(static_cast<u64>(i) * 4096, data, [](Status) {});
+    co.write(extent_b + static_cast<u64>(i) * 4096, data, [](Status) {});
+  }
+  EXPECT_EQ(inner.writes(), 0u);  // all 16 absorbed into 2 runs
+  EXPECT_EQ(co.open_runs(), 2u);
+  co.flush([](Status st) { EXPECT_TRUE(st.is_ok()); });
+  EXPECT_EQ(inner.writes(), 2u);
+  // Verify both extents hold the right bytes.
+  std::vector<u8> out(8 * 4096);
+  inner.read(extent_b, out, [](Status st) { EXPECT_TRUE(st.is_ok()); });
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(std::memcmp(out.data() + i * 4096, data.data(), 4096), 0);
+  }
+}
+
+TEST(CoalescingBackendTest, ReadYourWrites) {
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 64 * 1024);
+  const auto data = pattern(8192, 9);
+  co.write(4096, data, [](Status) {});
+  std::vector<u8> out(1000);
+  bool read = false;
+  co.read(5000, out, [&](Status st) { read = st.is_ok(); });
+  ASSERT_TRUE(read);
+  EXPECT_EQ(std::memcmp(out.data(), data.data() + (5000 - 4096), 1000), 0);
+  EXPECT_EQ(inner.reads(), 0u);  // served from the pending buffer
+}
+
+TEST(CoalescingBackendTest, PartialOverlapDrainsFirst) {
+  MemoryBackend inner(1 << 20);
+  CoalescingBackend co(inner, 64 * 1024);
+  const auto data = pattern(4096, 9);
+  co.write(4096, data, [](Status) {});
+  std::vector<u8> out(8192);  // overlaps dirty run + clean area
+  bool read = false;
+  co.read(0, out, [&](Status st) { read = st.is_ok(); });
+  ASSERT_TRUE(read);
+  EXPECT_EQ(inner.writes(), 1u);  // drained for consistency
+  EXPECT_EQ(std::memcmp(out.data() + 4096, data.data(), 4096), 0);
+}
+
+TEST(CoalescingBackendTest, ReadaheadServesSequentialReads) {
+  MemoryBackend inner(1 << 20);
+  {
+    const auto data = pattern(256 * 1024, 11);
+    inner.write(0, data, [](Status) {});
+  }
+  CoalescingBackend co(inner, 64 * 1024, /*readahead=*/128 * 1024);
+  const u64 before = inner.reads();
+  std::vector<u8> out(16 * 1024);
+  for (int i = 0; i < 8; ++i) {
+    bool ok = false;
+    co.read(static_cast<u64>(i) * out.size(), out,
+            [&](Status st) { ok = st.is_ok(); });
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(std::memcmp(out.data(),
+                          pattern(256 * 1024, 11).data() +
+                              static_cast<u64>(i) * out.size(),
+                          out.size()),
+              0);
+  }
+  // 128 KiB window covers 8 x 16 KiB reads in one inner read.
+  EXPECT_EQ(inner.reads() - before, 1u);
+}
+
+TEST(CoalescingBackendTest, WriteInvalidatesReadahead) {
+  MemoryBackend inner(1 << 20);
+  inner.write(0, pattern(128 * 1024, 1), [](Status) {});
+  CoalescingBackend co(inner, 64 * 1024, 64 * 1024);
+  std::vector<u8> out(4096);
+  co.read(0, out, [](Status) {});  // populates readahead
+  const auto patch = pattern(4096, 2);
+  co.write(0, patch, [](Status) {});
+  co.flush([](Status) {});
+  bool ok = false;
+  co.read(0, out, [&](Status st) { ok = st.is_ok(); });
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(out, patch);
+}
+
+// ---------------------------------------------------------------------------
+// NfsBackend
+// ---------------------------------------------------------------------------
+
+TEST(NfsBackendTest, RoundtripThroughNfsClient) {
+  sim::Scheduler sched;
+  nfs::NfsClient client(sched, oaf::bench::nfs_25g());
+  NfsBackend backend(client, "file.h5", 16 << 20);
+
+  const auto data = pattern(1 << 20, 13);
+  bool wrote = false;
+  backend.write(0, data, [&](Status st) { wrote = st.is_ok(); });
+  sched.run();
+  ASSERT_TRUE(wrote);
+
+  bool flushed = false;
+  backend.flush([&](Status st) { flushed = st.is_ok(); });
+  sched.run();
+  ASSERT_TRUE(flushed);
+  EXPECT_EQ(client.dirty_bytes(), 0u);
+
+  std::vector<u8> out(data.size());
+  bool read = false;
+  backend.read(0, out, [&](Status st) { read = st.is_ok(); });
+  sched.run();
+  ASSERT_TRUE(read);
+  EXPECT_EQ(out, data);
+}
+
+TEST(NfsBackendTest, CapacityBounds) {
+  sim::Scheduler sched;
+  nfs::NfsClient client(sched, oaf::bench::nfs_25g());
+  NfsBackend backend(client, "f", 4096);
+  std::vector<u8> data(8192);
+  Status st1;
+  backend.write(0, data, [&](Status st) { st1 = st; });
+  sched.run();
+  EXPECT_FALSE(st1.is_ok());
+}
+
+}  // namespace
+}  // namespace oaf::h5

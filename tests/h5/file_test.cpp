@@ -1,0 +1,161 @@
+#include "h5/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace oaf::h5 {
+namespace {
+
+class H5FileTest : public ::testing::Test {
+ protected:
+  H5FileTest() : backend_(64 << 20), file_(backend_, vol_) {}
+
+  void create() {
+    bool ok = false;
+    file_.create([&](Status st) { ok = st.is_ok(); });
+    ASSERT_TRUE(ok);
+  }
+
+  MemoryBackend backend_;
+  NativeVol vol_;
+  H5File file_;
+};
+
+TEST_F(H5FileTest, CreateFormatsSuperblock) {
+  create();
+  EXPECT_TRUE(file_.is_open());
+  EXPECT_EQ(file_.dataset_count(), 0u);
+  EXPECT_EQ(file_.eof(), H5File::kDataStart);
+}
+
+TEST_F(H5FileTest, CreateDatasetAllocatesAligned) {
+  create();
+  auto id = file_.create_dataset("particles", 4, 1000);
+  ASSERT_TRUE(id.is_ok());
+  const DatasetInfo& ds = file_.dataset(id.value());
+  EXPECT_EQ(ds.name, "particles");
+  EXPECT_EQ(ds.elem_size, 4u);
+  EXPECT_EQ(ds.num_elems, 1000u);
+  EXPECT_EQ(ds.data_offset % H5File::kDataAlign, 0u);
+  EXPECT_GE(ds.data_offset, H5File::kDataStart);
+}
+
+TEST_F(H5FileTest, WriteReadElements) {
+  create();
+  auto id = file_.create_dataset("d", 8, 100).take();
+  std::vector<u8> data(800);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  bool wrote = false;
+  file_.write(id, 0, data, [&](Status st) { wrote = st.is_ok(); });
+  ASSERT_TRUE(wrote);
+
+  std::vector<u8> out(400);
+  bool read = false;
+  file_.read(id, 50, out, [&](Status st) { read = st.is_ok(); });  // elems 50..99
+  ASSERT_TRUE(read);
+  EXPECT_EQ(std::memcmp(out.data(), data.data() + 400, 400), 0);
+}
+
+TEST_F(H5FileTest, PersistAndReopen) {
+  create();
+  auto id1 = file_.create_dataset("alpha", 4, 256).take();
+  auto id2 = file_.create_dataset("beta", 8, 128).take();
+  std::vector<u8> data(1024, 0x5A);
+  file_.write(id1, 0, data, [](Status st) { ASSERT_TRUE(st.is_ok()); });
+  bool closed = false;
+  file_.close([&](Status st) { closed = st.is_ok(); });
+  ASSERT_TRUE(closed);
+
+  H5File reopened(backend_, vol_);
+  bool opened = false;
+  reopened.open([&](Status st) { opened = st.is_ok(); });
+  ASSERT_TRUE(opened);
+  EXPECT_EQ(reopened.dataset_count(), 2u);
+  auto found = reopened.find_dataset("beta");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ(reopened.dataset(found.value()).num_elems, 128u);
+  EXPECT_EQ(reopened.dataset(found.value()).elem_size, 8u);
+
+  std::vector<u8> out(1024);
+  bool read = false;
+  reopened.read(id2 - 1, 0, out, [&](Status st) { read = st.is_ok(); });
+  ASSERT_TRUE(read);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(H5FileTest, OpenGarbageRejected) {
+  // Backend never formatted.
+  H5File fresh(backend_, vol_);
+  Status result;
+  fresh.open([&](Status st) { result = st; });
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_FALSE(fresh.is_open());
+}
+
+TEST_F(H5FileTest, ValidationErrors) {
+  create();
+  EXPECT_FALSE(file_.create_dataset("", 4, 10).is_ok());
+  EXPECT_FALSE(file_.create_dataset("x", 0, 10).is_ok());
+  EXPECT_FALSE(file_.create_dataset("x", 4, 0).is_ok());
+  ASSERT_TRUE(file_.create_dataset("x", 4, 10).is_ok());
+  EXPECT_FALSE(file_.create_dataset("x", 4, 10).is_ok());  // duplicate
+
+  auto id = file_.find_dataset("x").take();
+  std::vector<u8> odd(3);  // not elem-size multiple
+  Status st1;
+  file_.write(id, 0, odd, [&](Status st) { st1 = st; });
+  EXPECT_FALSE(st1.is_ok());
+
+  std::vector<u8> too_much(11 * 4);
+  Status st2;
+  file_.write(id, 0, too_much, [&](Status st) { st2 = st; });
+  EXPECT_FALSE(st2.is_ok());
+
+  Status st3;
+  file_.read(99, 0, odd, [&](Status st) { st3 = st; });
+  EXPECT_FALSE(st3.is_ok());
+}
+
+TEST_F(H5FileTest, CapacityEnforced) {
+  create();
+  // 64 MiB backend: a 100 MiB dataset must be refused.
+  auto too_big = file_.create_dataset("big", 4, 25ull << 20);
+  EXPECT_FALSE(too_big.is_ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(H5FileTest, ManyDatasetsDisjointExtents) {
+  create();
+  std::vector<H5File::DatasetId> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto id = file_.create_dataset("ds" + std::to_string(i), 4, 4096);
+    ASSERT_TRUE(id.is_ok());
+    ids.push_back(id.value());
+  }
+  for (size_t i = 1; i < ids.size(); ++i) {
+    const auto& prev = file_.dataset(ids[i - 1]);
+    const auto& cur = file_.dataset(ids[i]);
+    EXPECT_GE(cur.data_offset, prev.data_offset + prev.data_bytes());
+  }
+}
+
+TEST_F(H5FileTest, VolInterceptsTransfers) {
+  create();
+  CountingVol counting(vol_);
+  H5File file2(backend_, counting);
+  bool ok = false;
+  file2.create([&](Status st) { ok = st.is_ok(); });
+  ASSERT_TRUE(ok);
+  auto id = file2.create_dataset("d", 4, 100).take();
+  std::vector<u8> data(400);
+  file2.write(id, 0, data, [](Status) {});
+  file2.read(id, 0, data, [](Status) {});
+  EXPECT_EQ(counting.writes(), 1u);
+  EXPECT_EQ(counting.reads(), 1u);
+  EXPECT_EQ(counting.bytes_written(), 400u);
+  EXPECT_EQ(counting.bytes_read(), 400u);
+}
+
+}  // namespace
+}  // namespace oaf::h5

@@ -1,0 +1,143 @@
+#include "h5bench/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+namespace oaf::h5bench {
+namespace {
+
+BenchConfig tiny(u32 datasets, u64 particles, u64 chunk_elems) {
+  BenchConfig cfg;
+  cfg.num_datasets = datasets;
+  cfg.particles_per_dataset = particles;
+  cfg.chunk_elems = chunk_elems;
+  cfg.elem_size = 4;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(u64 capacity = 64 << 20)
+      : backend(capacity), file(backend, vol) {
+    bool ok = false;
+    file.create([&](Status st) { ok = st.is_ok(); });
+    EXPECT_TRUE(ok);
+  }
+  sim::Scheduler sched;
+  h5::MemoryBackend backend;
+  h5::NativeVol vol;
+  h5::H5File file;
+};
+
+TEST(H5BenchKernelsTest, WriteThenReadVerifies) {
+  Fixture f;
+  const BenchConfig cfg = tiny(2, 10000, 1024);
+
+  Result<KernelStats> write_result = make_error(StatusCode::kUnavailable);
+  run_write_kernel(f.sched, f.file, cfg, [&](Result<KernelStats> r) {
+    write_result = std::move(r);
+  });
+  f.sched.run();
+  ASSERT_TRUE(write_result.is_ok()) << write_result.status().to_string();
+  EXPECT_EQ(write_result.value().bytes, cfg.total_bytes());
+
+  Result<KernelStats> read_result = make_error(StatusCode::kUnavailable);
+  run_read_kernel(f.sched, f.file, cfg, /*verify=*/true,
+                  [&](Result<KernelStats> r) { read_result = std::move(r); });
+  f.sched.run();
+  ASSERT_TRUE(read_result.is_ok()) << read_result.status().to_string();
+  EXPECT_EQ(read_result.value().bytes, cfg.total_bytes());
+}
+
+TEST(H5BenchKernelsTest, VerifyCatchesCorruption) {
+  Fixture f;
+  const BenchConfig cfg = tiny(1, 4096, 512);
+  run_write_kernel(f.sched, f.file, cfg,
+                   [](Result<KernelStats> r) { ASSERT_TRUE(r.is_ok()); });
+  f.sched.run();
+
+  // Corrupt one byte of the dataset through the backend directly.
+  const auto& ds = f.file.dataset(0);
+  std::vector<u8> evil(1, 0xFF);
+  f.backend.write(ds.data_offset + 100, evil, [](Status) {});
+
+  Result<KernelStats> read_result = Result<KernelStats>(KernelStats{});
+  run_read_kernel(f.sched, f.file, cfg, /*verify=*/true,
+                  [&](Result<KernelStats> r) { read_result = std::move(r); });
+  f.sched.run();
+  EXPECT_FALSE(read_result.is_ok());
+  EXPECT_EQ(read_result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(H5BenchKernelsTest, Config1And2Shapes) {
+  const BenchConfig c1 = BenchConfig::config1();
+  EXPECT_EQ(c1.num_datasets, 1u);
+  EXPECT_EQ(c1.particles_per_dataset, 16ull * 1024 * 1024);
+  EXPECT_EQ(c1.total_bytes(), 64ull << 20);
+
+  const BenchConfig c2 = BenchConfig::config2();
+  EXPECT_EQ(c2.num_datasets, 8u);
+  EXPECT_EQ(c2.particles_per_dataset, 8ull * 1024 * 1024);
+  EXPECT_EQ(c2.total_bytes(), 256ull << 20);
+  EXPECT_LT(c2.chunk_elems, c1.chunk_elems);  // interleaved small transfers
+}
+
+TEST(H5BenchKernelsTest, ChunkingCoversOddSizes) {
+  Fixture f;
+  // particles not a multiple of chunk_elems: last chunk is short.
+  const BenchConfig cfg = tiny(3, 1000, 384);
+  Result<KernelStats> wr = make_error(StatusCode::kUnavailable);
+  run_write_kernel(f.sched, f.file, cfg,
+                   [&](Result<KernelStats> r) { wr = std::move(r); });
+  f.sched.run();
+  ASSERT_TRUE(wr.is_ok());
+  EXPECT_EQ(wr.value().bytes, 3u * 1000 * 4);
+
+  Result<KernelStats> rd = make_error(StatusCode::kUnavailable);
+  run_read_kernel(f.sched, f.file, cfg, true,
+                  [&](Result<KernelStats> r) { rd = std::move(r); });
+  f.sched.run();
+  ASSERT_TRUE(rd.is_ok());
+}
+
+TEST(H5BenchKernelsTest, ReadKernelFailsWithoutDatasets) {
+  Fixture f;
+  Result<KernelStats> rd = Result<KernelStats>(KernelStats{});
+  run_read_kernel(f.sched, f.file, tiny(1, 100, 10), false,
+                  [&](Result<KernelStats> r) { rd = std::move(r); });
+  f.sched.run();
+  EXPECT_FALSE(rd.is_ok());
+}
+
+TEST(H5BenchKernelsTest, ParticleBytesDeterministicAndDistinct) {
+  EXPECT_EQ(particle_byte(1, 0, 42), particle_byte(1, 0, 42));
+  int same = 0;
+  for (u64 i = 0; i < 256; ++i) {
+    if (particle_byte(1, 0, i) == particle_byte(1, 1, i)) same++;
+    if (particle_byte(1, 0, i) == particle_byte(2, 0, i)) same++;
+  }
+  EXPECT_LT(same, 40);  // different datasets/seeds produce different bytes
+}
+
+TEST(H5BenchKernelsTest, TimingIncludesCloseWhenConfigured) {
+  // With a MemoryBackend time never advances, so instead check that close
+  // is reflected in file state: after the write kernel with time_close the
+  // metadata is persisted and the file reopens.
+  Fixture f;
+  BenchConfig cfg = tiny(1, 1024, 256);
+  cfg.time_close = true;
+  run_write_kernel(f.sched, f.file, cfg,
+                   [](Result<KernelStats> r) { ASSERT_TRUE(r.is_ok()); });
+  f.sched.run();
+
+  h5::NativeVol vol2;
+  h5::H5File reopened(f.backend, vol2);
+  bool opened = false;
+  reopened.open([&](Status st) { opened = st.is_ok(); });
+  f.sched.run();
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(reopened.dataset_count(), 1u);
+}
+
+}  // namespace
+}  // namespace oaf::h5bench

@@ -1,0 +1,118 @@
+#include "net/pipe_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+namespace oaf::net {
+namespace {
+
+pdu::Pdu make_r2t(u16 cid) {
+  pdu::Pdu p;
+  pdu::R2T r;
+  r.cid = cid;
+  p.header = r;
+  return p;
+}
+
+TEST(PipeChannelTest, DeliversInOrder) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  std::vector<u16> got;
+  b->set_handler([&](pdu::Pdu p) { got.push_back(p.as<pdu::R2T>()->cid); });
+  for (u16 i = 0; i < 10; ++i) a->send(make_r2t(i));
+  sched.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (u16 i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(PipeChannelTest, BothDirections) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  int a_got = 0;
+  int b_got = 0;
+  a->set_handler([&](pdu::Pdu) { a_got++; });
+  b->set_handler([&](pdu::Pdu) { b_got++; });
+  a->send(make_r2t(1));
+  b->send(make_r2t(2));
+  sched.run();
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(PipeChannelTest, PayloadSurvivesCodecRoundtrip) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  std::vector<u8> payload(10000);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<u8>(i);
+  std::vector<u8> received;
+  b->set_handler([&](pdu::Pdu p) { received = p.payload; });
+  pdu::Pdu out;
+  pdu::C2HData c;
+  c.length = payload.size();
+  out.header = c;
+  out.payload = payload;
+  a->send(std::move(out));
+  sched.run();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(PipeChannelTest, CloseStopsDelivery) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  int got = 0;
+  b->set_handler([&](pdu::Pdu) { got++; });
+  a->send(make_r2t(1));
+  a->close();
+  a->send(make_r2t(2));
+  sched.run();
+  EXPECT_EQ(got, 0);  // close() flips the shared flag before delivery runs
+  EXPECT_FALSE(a->is_open());
+  EXPECT_FALSE(b->is_open());
+}
+
+TEST(PipeChannelTest, CountsBytesAndPdus) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  b->set_handler([](pdu::Pdu) {});
+  a->send(make_r2t(1));
+  a->send(make_r2t(2));
+  sched.run();
+  EXPECT_EQ(a->pdus_sent(), 2u);
+  EXPECT_GT(a->bytes_sent(), 0u);
+  EXPECT_EQ(b->pdus_sent(), 0u);
+}
+
+TEST(PipeChannelTest, NoHandlerDropsSilently) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  a->send(make_r2t(1));
+  sched.run();  // no crash, message dropped
+  SUCCEED();
+}
+
+TEST(PipeChannelTest, DestroyedEndpointDropsInFlight) {
+  sim::Scheduler sched;
+  auto [a, b] = make_pipe_channel_pair(sched, sched);
+  int got = 0;
+  b->set_handler([&](pdu::Pdu) { got++; });
+  a->send(make_r2t(1));
+  b.reset();   // destroy receiver while message is queued
+  sched.run(); // must not crash or touch freed memory
+  EXPECT_EQ(got, 0);
+}
+
+TEST(PipeChannelTest, HeaderDigestOptionEnforced) {
+  sim::Scheduler sched;
+  pdu::CodecOptions opts;
+  opts.header_digest = true;
+  auto [a, b] = make_pipe_channel_pair(sched, sched, opts);
+  int got = 0;
+  b->set_handler([&](pdu::Pdu) { got++; });
+  a->send(make_r2t(9));
+  sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace oaf::net

@@ -1,0 +1,213 @@
+#include "net/sim_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "pdu/codec.h"
+
+namespace oaf::net {
+namespace {
+
+pdu::Pdu data_pdu(u64 payload_bytes) {
+  pdu::Pdu p;
+  pdu::C2HData c;
+  c.length = payload_bytes;
+  p.header = c;
+  p.payload.resize(payload_bytes, 0xEE);
+  return p;
+}
+
+pdu::Pdu control_pdu() {
+  pdu::Pdu p;
+  p.header = pdu::R2T{};
+  return p;
+}
+
+TEST(SimTcpChannelTest, DeliveryTimeHasAllComponents) {
+  sim::Scheduler sched;
+  TcpFabricParams params;
+  params.link_gbps = 10.0;
+  params.propagation_ns = 20'000;
+  params.interrupt_delay_ns = 30'000;
+  params.per_pdu_overhead_ns = 3'000;
+  params.stack_bytes_per_sec = 2.8e9;
+  SimTcpLink link(sched, params);
+  auto [client, target] = link.connect();
+
+  TimeNs delivered = -1;
+  target->set_handler([&](pdu::Pdu) { delivered = sched.now(); });
+  auto p = data_pdu(125'000);  // 100 us serialization at 10 Gbps
+  const u64 wire = pdu::wire_size(p);
+  client->send(std::move(p));
+  sched.run();
+
+  // tx stack + wire + propagation + interrupt + rx stack.
+  const DurNs stack = 3'000 + transfer_time_ns(wire, 2.8e9);
+  const DurNs expect = stack + wire_time_ns(wire, 10.0) + 20'000 + 30'000 + stack;
+  EXPECT_NEAR(static_cast<double>(delivered), static_cast<double>(expect),
+              static_cast<double>(expect) * 0.01);
+}
+
+TEST(SimTcpChannelTest, LinkSharedAcrossConnections) {
+  sim::Scheduler sched;
+  TcpFabricParams params;
+  params.link_gbps = 10.0;
+  params.propagation_ns = 0;
+  params.interrupt_delay_ns = 0;
+  params.per_pdu_overhead_ns = 0;
+  params.stack_bytes_per_sec = 1e13;  // make the wire the only bottleneck
+  SimTcpLink link(sched, params);
+
+  auto conn1 = link.connect();
+  auto conn2 = link.connect();
+  std::vector<TimeNs> deliveries;
+  conn1.second->set_handler([&](pdu::Pdu) { deliveries.push_back(sched.now()); });
+  conn2.second->set_handler([&](pdu::Pdu) { deliveries.push_back(sched.now()); });
+
+  // Two 1.25 MB messages at 10 Gbps: 1 ms each, serialized on the shared
+  // wire -> second finishes at ~2 ms even though connections are distinct.
+  conn1.first->send(data_pdu(1'250'000));
+  conn2.first->send(data_pdu(1'250'000));
+  sched.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(deliveries[1]), 2e6, 2e4);
+}
+
+TEST(SimTcpChannelTest, DirectionsDoNotContend) {
+  sim::Scheduler sched;
+  TcpFabricParams params;
+  params.link_gbps = 10.0;
+  params.propagation_ns = 0;
+  params.interrupt_delay_ns = 0;
+  params.per_pdu_overhead_ns = 0;
+  params.stack_bytes_per_sec = 1e13;
+  SimTcpLink link(sched, params);
+  auto [client, target] = link.connect();
+  std::vector<TimeNs> deliveries;
+  client->set_handler([&](pdu::Pdu) { deliveries.push_back(sched.now()); });
+  target->set_handler([&](pdu::Pdu) { deliveries.push_back(sched.now()); });
+  client->send(data_pdu(1'250'000));
+  target->send(data_pdu(1'250'000));
+  sched.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Full duplex: both at ~1 ms.
+  EXPECT_NEAR(static_cast<double>(deliveries[0]), 1e6, 2e4);
+  EXPECT_NEAR(static_cast<double>(deliveries[1]), 1e6, 2e4);
+}
+
+TEST(SimTcpChannelTest, BusyPollHitBeatsInterrupt) {
+  sim::Scheduler sched;
+  TcpFabricParams params;
+  params.link_gbps = 100.0;
+  params.propagation_ns = 1'000;
+  params.interrupt_delay_ns = 30'000;
+  params.poll_pickup_ns = 2'000;
+  params.per_pdu_overhead_ns = 0;
+  params.stack_bytes_per_sec = 1e13;
+  SimTcpLink link(sched, params);
+
+  // Interrupt mode: every delivery pays interrupt latency.
+  auto conn_int = link.connect();
+  std::vector<TimeNs> int_deliveries;
+  conn_int.second->set_handler(
+      [&](pdu::Pdu) { int_deliveries.push_back(sched.now()); });
+  conn_int.first->send(control_pdu());
+  conn_int.first->send(control_pdu());
+  sched.run();
+
+  // Polled mode with a budget larger than the inter-arrival gap: the second
+  // message is picked up by the still-spinning poll loop.
+  auto conn_poll = link.connect();
+  auto* tunable = dynamic_cast<BusyPollTunable*>(conn_poll.second.get());
+  ASSERT_NE(tunable, nullptr);
+  tunable->set_rx_poll_budget(100'000);
+  std::vector<TimeNs> poll_deliveries;
+  conn_poll.second->set_handler(
+      [&](pdu::Pdu) { poll_deliveries.push_back(sched.now()); });
+  const TimeNs base = sched.now();
+  conn_poll.first->send(control_pdu());
+  conn_poll.first->send(control_pdu());
+  sched.run();
+
+  ASSERT_EQ(int_deliveries.size(), 2u);
+  ASSERT_EQ(poll_deliveries.size(), 2u);
+  // First polled message misses (no prior arrival): interrupt path plus a
+  // reschedule penalty — strictly worse than pure interrupts, part of the
+  // paper's "short polls hurt writes" effect (the other part is the wasted
+  // spin + interrupt CPU charged to the receiving core).
+  const DurNs poll_first_extra = poll_deliveries[0] - base;
+  EXPECT_GT(poll_first_extra, int_deliveries[0]);
+  // Second message arrives within the budget: the spinning poll picks it
+  // up (hit), avoiding the interrupt *latency* path.
+  auto* counters = dynamic_cast<BusyPollTunable*>(conn_poll.second.get());
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->rx_poll_misses(), 1u);
+  EXPECT_EQ(counters->rx_poll_hits(), 1u);
+  EXPECT_GT(counters->rx_mean_gap_ns(), 0);
+  EXPECT_LT(poll_deliveries[0], poll_deliveries[1]);  // FIFO preserved
+}
+
+TEST(SimTcpChannelTest, UtilizationTracksTraffic) {
+  sim::Scheduler sched;
+  TcpFabricParams params;
+  params.link_gbps = 10.0;
+  SimTcpLink link(sched, params);
+  auto [client, target] = link.connect();
+  target->set_handler([](pdu::Pdu) {});
+  client->send(data_pdu(1'250'000));
+  sched.run();
+  EXPECT_GT(link.wire_bytes(), 1'250'000u);
+  EXPECT_GT(link.utilization_c2t(), 0.0);
+  EXPECT_EQ(link.utilization_t2c(), 0.0);
+}
+
+TEST(SimRdmaChannelTest, LowerLatencyThanTcp) {
+  sim::Scheduler sched;
+  RdmaFabricParams rparams;
+  SimRdmaLink rlink(sched, rparams);
+  auto [rc, rt] = rlink.connect();
+  TimeNs rdma_time = -1;
+  rt->set_handler([&](pdu::Pdu) { rdma_time = sched.now(); });
+  rc->send(control_pdu());
+  sched.run();
+  // Control message on RDMA lands in a handful of microseconds.
+  EXPECT_LT(rdma_time, 10'000);
+}
+
+TEST(SimRdmaChannelTest, RegistrationMissesOnlyOnFirstUse) {
+  sim::Scheduler sched;
+  RdmaFabricParams params;
+  params.reg_cache_slots = 4;
+  SimRdmaLink link(sched, params);
+  auto [client, target] = link.connect();
+  int got = 0;
+  target->set_handler([&](pdu::Pdu) { got++; });
+  // 16 data messages over a 4-slot buffer pool: only 4 registrations.
+  for (int i = 0; i < 16; ++i) client->send(data_pdu(4096));
+  sched.run();
+  EXPECT_EQ(got, 16);
+  EXPECT_EQ(link.registration_misses(), 4u);
+}
+
+TEST(SimRdmaChannelTest, ControlMessagesNeverRegister) {
+  sim::Scheduler sched;
+  RdmaFabricParams params;
+  SimRdmaLink link(sched, params);
+  auto [client, target] = link.connect();
+  target->set_handler([](pdu::Pdu) {});
+  for (int i = 0; i < 100; ++i) client->send(control_pdu());
+  sched.run();
+  EXPECT_EQ(link.registration_misses(), 0u);
+}
+
+TEST(InstantChannelTest, NextEventDelivery) {
+  sim::Scheduler sched;
+  auto [a, b] = make_instant_channel_pair(sched);
+  TimeNs at = -1;
+  b->set_handler([&](pdu::Pdu) { at = sched.now(); });
+  a->send(control_pdu());
+  sched.run();
+  EXPECT_EQ(at, 0);
+}
+
+}  // namespace
+}  // namespace oaf::net

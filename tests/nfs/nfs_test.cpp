@@ -1,0 +1,168 @@
+#include "nfs/nfs.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/calibration.h"
+
+namespace oaf::nfs {
+namespace {
+
+NfsParams fast_params() {
+  NfsParams p;
+  p.rpc_overhead_ns = 100'000;
+  p.link_bytes_per_sec = 1e9;
+  p.server_disk_bytes_per_sec = 1e9;
+  p.server_disk_latency_ns = 50'000;
+  p.dirty_limit_bytes = 1 << 20;
+  p.page_cache_bytes_per_sec = 8e9;
+  return p;
+}
+
+TEST(NfsTest, WriteReadRoundtrip) {
+  sim::Scheduler sched;
+  NfsClient client(sched, fast_params());
+  std::vector<u8> data(100'000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 7);
+
+  bool wrote = false;
+  client.write("f", 0, data, [&](Status st) { wrote = st.is_ok(); });
+  sched.run();
+  ASSERT_TRUE(wrote);
+  EXPECT_EQ(client.server_file_size("f"), data.size());
+
+  std::vector<u8> out(data.size());
+  bool read = false;
+  client.read("f", 0, out, [&](Status st) { read = st.is_ok(); });
+  sched.run();
+  ASSERT_TRUE(read);
+  EXPECT_EQ(out, data);
+}
+
+TEST(NfsTest, AsyncWriteCompletesAtCacheSpeed) {
+  sim::Scheduler sched;
+  NfsParams p = fast_params();
+  p.dirty_limit_bytes = 10 << 20;
+  NfsClient client(sched, p);
+  std::vector<u8> data(1 << 20);
+
+  TimeNs completed_at = -1;
+  client.write("f", 0, data, [&](Status) { completed_at = sched.now(); });
+  sched.run_until(sched.now() + 1'000'000);
+  // 1 MiB at 8 GB/s page cache = 131 us; far below the >1.3 ms wire time.
+  EXPECT_GE(completed_at, 0);
+  EXPECT_LT(completed_at, 300'000);
+}
+
+TEST(NfsTest, SyncWritePaysRpcCost) {
+  sim::Scheduler sched;
+  NfsParams p = fast_params();
+  p.async_mount = false;
+  NfsClient client(sched, p);
+  std::vector<u8> data(1 << 20);
+  TimeNs completed_at = -1;
+  client.write("f", 0, data, [&](Status) { completed_at = sched.now(); });
+  sched.run();
+  // Pipelined RPCs: wire time plus amortized per-RPC overhead — orders of
+  // magnitude beyond the page-cache path.
+  EXPECT_GT(completed_at, 1'500'000);
+}
+
+TEST(NfsTest, DirtyLimitThrottlesWriter) {
+  sim::Scheduler sched;
+  NfsParams p = fast_params();
+  p.dirty_limit_bytes = 256 * 1024;
+  NfsClient client(sched, p);
+  std::vector<u8> big(2 << 20);  // 8x the dirty limit
+  TimeNs completed_at = -1;
+  client.write("f", 0, big, [&](Status) { completed_at = sched.now(); });
+  sched.run();
+  // Must wait for most of the data to reach the server.
+  EXPECT_GT(completed_at, 2'000'000);
+  EXPECT_LE(client.dirty_bytes(), p.dirty_limit_bytes);
+}
+
+TEST(NfsTest, CommitWaitsForFlush) {
+  sim::Scheduler sched;
+  NfsClient client(sched, fast_params());
+  std::vector<u8> data(512 * 1024);
+  client.write("f", 0, data, [](Status) {});
+  TimeNs committed_at = -1;
+  client.commit([&](Status st) {
+    EXPECT_TRUE(st.is_ok());
+    committed_at = sched.now();
+  });
+  sched.run();
+  EXPECT_EQ(client.dirty_bytes(), 0u);
+  // Commit time covers the full RPC stream of 512 KiB.
+  EXPECT_GT(committed_at, 500'000);
+}
+
+TEST(NfsTest, SequentialReadsBenefitFromReadahead) {
+  sim::Scheduler sched;
+  NfsParams p = fast_params();
+  p.readahead_chunks = 8;
+  NfsClient client(sched, p);
+  std::vector<u8> data(4 << 20);
+  client.write("f", 0, data, [](Status) {});
+  bool committed = false;
+  client.commit([&](Status) { committed = true; });
+  sched.run();
+  ASSERT_TRUE(committed);
+
+  // First read pays the RPC; the following ones inside the window are
+  // page-cache hits.
+  std::vector<u8> buf(64 * 1024);
+  TimeNs t0 = sched.now();
+  TimeNs first = 0;
+  client.read("f", 0, buf, [&](Status) { first = sched.now() - t0; });
+  sched.run();
+  TimeNs t1 = sched.now();
+  TimeNs second = 0;
+  client.read("f", 64 * 1024, buf, [&](Status) { second = sched.now() - t1; });
+  sched.run();
+  EXPECT_LT(second, first / 3);
+}
+
+TEST(NfsTest, ShortReadRejected) {
+  sim::Scheduler sched;
+  NfsClient client(sched, fast_params());
+  std::vector<u8> buf(100);
+  Status result;
+  client.read("ghost", 0, buf, [&](Status st) { result = st; });
+  sched.run();
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(NfsTest, OverlappingWritesLastWins) {
+  sim::Scheduler sched;
+  NfsClient client(sched, fast_params());
+  std::vector<u8> a(1000, 1);
+  std::vector<u8> b(500, 2);
+  client.write("f", 0, a, [](Status) {});
+  client.write("f", 250, b, [](Status) {});
+  sched.run();
+  auto view = client.server_file("f");
+  ASSERT_EQ(view.size(), 1000u);
+  EXPECT_EQ(view[100], 1);
+  EXPECT_EQ(view[400], 2);
+  EXPECT_EQ(view[800], 1);
+}
+
+TEST(NfsTest, CalibratedPresetStreamsSlowerThanMemory) {
+  // Sanity on the Fig 16 regime: committed NFS write bandwidth over the
+  // 25 G preset lands in the low hundreds of MiB/s.
+  sim::Scheduler sched;
+  NfsClient client(sched, oaf::bench::nfs_25g());
+  std::vector<u8> data(64 << 20);
+  const TimeNs t0 = sched.now();
+  client.write("f", 0, data, [](Status) {});
+  TimeNs done = -1;
+  client.commit([&](Status) { done = sched.now(); });
+  sched.run();
+  const double mib_s = mib_per_sec(data.size(), done - t0);
+  EXPECT_GT(mib_s, 80.0);
+  EXPECT_LT(mib_s, 400.0);
+}
+
+}  // namespace
+}  // namespace oaf::nfs

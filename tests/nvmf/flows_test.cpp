@@ -1,0 +1,168 @@
+// Message-count verification of the protocol flows — the mechanics behind
+// the paper's flow-control optimization (Fig 7: shm in-capsule flow
+// eliminates the R2T and H2CData messages; the SUCCESS flag folds the read
+// completion into the data PDU).
+#include <gtest/gtest.h>
+
+#include "af/locality.h"
+#include "net/pipe_channel.h"
+#include "nvmf/initiator.h"
+#include "nvmf/target.h"
+#include "sim/scheduler.h"
+#include "ssd/real_device.h"
+
+namespace oaf::nvmf {
+namespace {
+
+struct CountingHarness {
+  explicit CountingHarness(af::AfConfig cfg)
+      : broker(1), device(sched, 512, 1 << 18), subsystem("nqn") {
+    (void)subsystem.add_namespace(1, &device);
+    auto pair = net::make_pipe_channel_pair(sched, sched);
+    client_ch = std::move(pair.first);
+    target_ch = std::move(pair.second);
+    TargetOptions topts{cfg, "flows"};
+    target = std::make_unique<NvmfTargetConnection>(sched, *target_ch, copier,
+                                                    broker, subsystem, topts);
+    InitiatorOptions iopts{cfg, 16, "flows"};
+    initiator =
+        std::make_unique<NvmfInitiator>(sched, *client_ch, copier, broker, iopts);
+    initiator->connect([](Status) {});
+    sched.run();
+  }
+
+  /// PDUs exchanged (both directions) by `fn`, excluding the handshake.
+  u64 pdus_for(const std::function<void()>& fn) {
+    const u64 before = client_ch->pdus_sent() + target_ch->pdus_sent();
+    fn();
+    sched.run();
+    return client_ch->pdus_sent() + target_ch->pdus_sent() - before;
+  }
+
+  sim::Scheduler sched;
+  net::InlineCopier copier;
+  af::ShmBroker broker;
+  ssd::RealDevice device;
+  ssd::Subsystem subsystem;
+  std::unique_ptr<net::MsgChannel> client_ch;
+  std::unique_ptr<net::MsgChannel> target_ch;
+  std::unique_ptr<NvmfTargetConnection> target;
+  std::unique_ptr<NvmfInitiator> initiator;
+};
+
+TEST(FlowsTest, ShmWriteInCapsuleUsesTwoMessages) {
+  CountingHarness h(af::AfConfig::oaf());
+  std::vector<u8> data(128 * 1024);
+  const u64 pdus = h.pdus_for([&] {
+    h.initiator->write(1, 0, data, [](auto r) { EXPECT_TRUE(r.ok()); });
+  });
+  // CapsuleCmd + CapsuleResp.
+  EXPECT_EQ(pdus, 2u);
+}
+
+TEST(FlowsTest, ShmConservativeWriteUsesFourMessages) {
+  af::AfConfig cfg = af::AfConfig::oaf();
+  cfg.flow_control = af::FlowControlMode::kConservative;
+  cfg.zero_copy = false;
+  CountingHarness h(cfg);
+  std::vector<u8> data(128 * 1024);
+  const u64 pdus = h.pdus_for([&] {
+    h.initiator->write(1, 0, data, [](auto r) { EXPECT_TRUE(r.ok()); });
+  });
+  // CapsuleCmd + R2T + H2CData(notify) + CapsuleResp — Fig 7's four steps.
+  EXPECT_EQ(pdus, 4u);
+}
+
+TEST(FlowsTest, ShmReadUsesTwoMessagesWithSuccessFlag) {
+  CountingHarness h(af::AfConfig::oaf());
+  std::vector<u8> data(64 * 1024);
+  h.initiator->write(1, 0, data, [](auto) {});
+  h.sched.run();
+  std::vector<u8> out(64 * 1024);
+  const u64 pdus = h.pdus_for([&] {
+    h.initiator->read(1, 0, out, [](auto r) { EXPECT_TRUE(r.ok()); });
+  });
+  // CapsuleCmd + C2HData(success).
+  EXPECT_EQ(pdus, 2u);
+}
+
+TEST(FlowsTest, ShmConservativeReadUsesThreeMessages) {
+  af::AfConfig cfg = af::AfConfig::oaf();
+  cfg.flow_control = af::FlowControlMode::kConservative;
+  cfg.zero_copy = false;
+  CountingHarness h(cfg);
+  std::vector<u8> data(64 * 1024);
+  h.initiator->write(1, 0, data, [](auto) {});
+  h.sched.run();
+  std::vector<u8> out(64 * 1024);
+  const u64 pdus = h.pdus_for([&] {
+    h.initiator->read(1, 0, out, [](auto r) { EXPECT_TRUE(r.ok()); });
+  });
+  // CapsuleCmd + C2HData(notify) + CapsuleResp.
+  EXPECT_EQ(pdus, 3u);
+}
+
+TEST(FlowsTest, TcpSmallWriteInCapsule) {
+  CountingHarness h(af::AfConfig::stock_tcp());
+  std::vector<u8> data(4 * 1024);
+  const u64 pdus = h.pdus_for([&] {
+    h.initiator->write(1, 0, data, [](auto r) { EXPECT_TRUE(r.ok()); });
+  });
+  EXPECT_EQ(pdus, 2u);  // capsule carries the payload inline
+}
+
+TEST(FlowsTest, TcpLargeWriteR2TPlusChunks) {
+  af::AfConfig cfg = af::AfConfig::stock_tcp();
+  cfg.chunk_bytes = 128 * 1024;
+  CountingHarness h(cfg);
+  std::vector<u8> data(512 * 1024);
+  const u64 pdus = h.pdus_for([&] {
+    h.initiator->write(1, 0, data, [](auto r) { EXPECT_TRUE(r.ok()); });
+  });
+  // CapsuleCmd + R2T + 4 H2CData chunks + CapsuleResp.
+  EXPECT_EQ(pdus, 7u);
+}
+
+TEST(FlowsTest, TcpReadChunkCountFollowsChunkSize) {
+  for (const u64 chunk : {128ull * 1024, 512ull * 1024}) {
+    af::AfConfig cfg = af::AfConfig::stock_tcp();
+    cfg.chunk_bytes = chunk;
+    CountingHarness h(cfg);
+    std::vector<u8> data(512 * 1024);
+    h.initiator->write(1, 0, data, [](auto) {});
+    h.sched.run();
+    std::vector<u8> out(512 * 1024);
+    const u64 pdus = h.pdus_for([&] {
+      h.initiator->read(1, 0, out, [](auto r) { EXPECT_TRUE(r.ok()); });
+    });
+    // CapsuleCmd + ceil(512K/chunk) C2HData + CapsuleResp (stock keeps the
+    // separate completion).
+    const u64 expect = 1 + (512 * 1024 + chunk - 1) / chunk + 1;
+    EXPECT_EQ(pdus, expect) << "chunk=" << chunk;
+  }
+}
+
+TEST(FlowsTest, ShmControlBytesTiny) {
+  // The control messages for a shm transfer must not scale with I/O size.
+  CountingHarness h(af::AfConfig::oaf());
+  std::vector<u8> data(512 * 1024);
+  const u64 before = h.client_ch->bytes_sent() + h.target_ch->bytes_sent();
+  h.initiator->write(1, 0, data, [](auto) {});
+  h.sched.run();
+  const u64 wire = h.client_ch->bytes_sent() + h.target_ch->bytes_sent() - before;
+  EXPECT_LT(wire, 300u);  // two small headers, half a MiB of payload in shm
+}
+
+TEST(FlowsTest, GovernorAdaptsDuringWorkload) {
+  CountingHarness h(af::AfConfig::oaf());
+  std::vector<u8> data(4096);
+  for (u32 i = 0; i < af::BusyPollGovernor::kWindowOps; ++i) {
+    h.initiator->write(1, 0, data, [](auto) {});
+    h.sched.run();
+  }
+  EXPECT_EQ(h.initiator->governor().current_budget(),
+            af::BusyPollGovernor::kWriteBudgetNs);
+}
+
+}  // namespace
+}  // namespace oaf::nvmf

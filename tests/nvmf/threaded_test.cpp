@@ -1,0 +1,140 @@
+// Full-stack functional-plane test with the OS in the loop: client and
+// target run on separate reactor threads, the control path is a real
+// socketpair, and the shared-memory channel is a real POSIX shm region
+// (distinct mappings) — the closest this repo gets to the paper's
+// two-VM + IVSHMEM deployment on one machine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "af/locality.h"
+#include "net/socket_channel.h"
+#include "nvmf/initiator.h"
+#include "nvmf/target.h"
+#include "sim/real_executor.h"
+#include "ssd/real_device.h"
+
+namespace oaf::nvmf {
+namespace {
+
+struct ThreadedHarness {
+  explicit ThreadedHarness(af::AfConfig cfg)
+      : broker(1, af::ShmBroker::Backing::kPosixShm),
+        device(target_exec, 512, 1 << 18),
+        subsystem("nqn.threaded") {
+    (void)subsystem.add_namespace(1, &device);
+    auto pair = net::make_socket_channel_pair(client_exec, target_exec).take();
+    client_ch = std::move(pair.first);
+    target_ch = std::move(pair.second);
+
+    const std::string conn =
+        "threaded_" + std::to_string(getpid()) + "_" + std::to_string(counter++);
+    TargetOptions topts{cfg, conn};
+    target = std::make_unique<NvmfTargetConnection>(
+        target_exec, *target_ch, copier, broker, subsystem, topts);
+    InitiatorOptions iopts{cfg, 16, conn};
+    initiator = std::make_unique<NvmfInitiator>(client_exec, *client_ch, copier,
+                                                broker, iopts);
+
+    std::atomic<bool> connected{false};
+    client_exec.post([this, &connected] {
+      initiator->connect([&connected](Status st) {
+        EXPECT_TRUE(st.is_ok());
+        connected = true;
+      });
+    });
+    while (!connected.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  static inline std::atomic<int> counter{0};
+
+  sim::RealExecutor client_exec;
+  sim::RealExecutor target_exec;
+  net::InlineCopier copier;
+  af::ShmBroker broker;
+  ssd::RealDevice device;
+  ssd::Subsystem subsystem;
+  std::unique_ptr<net::MsgChannel> client_ch;
+  std::unique_ptr<net::MsgChannel> target_ch;
+  std::unique_ptr<NvmfTargetConnection> target;
+  std::unique_ptr<NvmfInitiator> initiator;
+};
+
+TEST(ThreadedNvmfTest, ShmPathOverRealSocketsAndPosixShm) {
+  ThreadedHarness h(af::AfConfig::oaf());
+  EXPECT_TRUE(h.initiator->shm_active());
+
+  std::vector<u8> data(128 * 1024);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 11);
+
+  std::atomic<bool> wrote{false};
+  h.client_exec.post([&] {
+    h.initiator->write(1, 0, data, [&](NvmfInitiator::IoResult r) {
+      EXPECT_TRUE(r.ok());
+      wrote = true;
+    });
+  });
+  while (!wrote.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  auto out = std::make_shared<std::vector<u8>>(data.size());
+  std::atomic<bool> read{false};
+  h.client_exec.post([&] {
+    h.initiator->read(1, 0, *out, [&](NvmfInitiator::IoResult r) {
+      EXPECT_TRUE(r.ok());
+      read = true;
+    });
+  });
+  while (!read.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(*out, data);
+}
+
+TEST(ThreadedNvmfTest, TcpOnlyPathOverRealSockets) {
+  ThreadedHarness h(af::AfConfig::stock_tcp());
+  EXPECT_FALSE(h.initiator->shm_active());
+
+  std::vector<u8> data(512 * 1024);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 3 + 1);
+  auto out = std::make_shared<std::vector<u8>>(data.size());
+
+  std::atomic<int> done{0};
+  h.client_exec.post([&] {
+    h.initiator->write(1, 16, data, [&](NvmfInitiator::IoResult r) {
+      EXPECT_TRUE(r.ok());
+      h.initiator->read(1, 16, *out, [&](NvmfInitiator::IoResult r2) {
+        EXPECT_TRUE(r2.ok());
+        done = 1;
+      });
+    });
+  });
+  while (done.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(*out, data);
+}
+
+TEST(ThreadedNvmfTest, PipelinedBurstUnderRealConcurrency) {
+  ThreadedHarness h(af::AfConfig::oaf());
+  constexpr int kIos = 200;
+  std::vector<u8> data(16 * 1024, 0x5C);
+  std::atomic<int> completed{0};
+  h.client_exec.post([&] {
+    for (int i = 0; i < kIos; ++i) {
+      h.initiator->write(1, static_cast<u64>(i) * 32, data,
+                         [&](NvmfInitiator::IoResult r) {
+                           EXPECT_TRUE(r.ok());
+                           completed.fetch_add(1);
+                         });
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (completed.load() < kIos &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(completed.load(), kIos);
+  EXPECT_EQ(h.target->commands_served(), static_cast<u64>(kIos));
+}
+
+}  // namespace
+}  // namespace oaf::nvmf

@@ -1,0 +1,268 @@
+#include "pdu/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf::pdu {
+namespace {
+
+template <typename T>
+Pdu roundtrip(const T& header, std::vector<u8> payload = {},
+              const CodecOptions& opts = {}) {
+  Pdu in;
+  in.header = header;
+  in.payload = std::move(payload);
+  const auto encoded = encode(in, opts);
+  auto decoded = decode(encoded, opts);
+  EXPECT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  return decoded.is_ok() ? std::move(decoded).take() : Pdu{};
+}
+
+TEST(CodecTest, ICReqRoundtrip) {
+  ICReq req;
+  req.pfv = 1;
+  req.hpda = 3;
+  req.header_digest = true;
+  req.maxr2t = 16;
+  req.node_token = 0xDEADBEEFCAFEF00DULL;
+  req.want_shm = true;
+  const Pdu out = roundtrip(req);
+  const auto* h = out.as<ICReq>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->pfv, 1);
+  EXPECT_EQ(h->hpda, 3);
+  EXPECT_TRUE(h->header_digest);
+  EXPECT_EQ(h->maxr2t, 16u);
+  EXPECT_EQ(h->node_token, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_TRUE(h->want_shm);
+}
+
+TEST(CodecTest, ICRespRoundtripWithName) {
+  ICResp resp;
+  resp.pfv = 1;
+  resp.maxh2cdata = 512 * 1024;
+  resp.shm_granted = true;
+  resp.shm_bytes = 64ull << 20;
+  resp.shm_slots = 128;
+  resp.shm_name = "tenant3/conn-17";
+  const Pdu out = roundtrip(resp);
+  const auto* h = out.as<ICResp>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->shm_granted);
+  EXPECT_EQ(h->shm_bytes, 64ull << 20);
+  EXPECT_EQ(h->shm_slots, 128u);
+  EXPECT_EQ(h->shm_name, "tenant3/conn-17");
+}
+
+TEST(CodecTest, CapsuleCmdRoundtripWithPayload) {
+  CapsuleCmd c;
+  c.cmd.opcode = NvmeOpcode::kWrite;
+  c.cmd.cid = 77;
+  c.cmd.nsid = 2;
+  c.cmd.slba = 123456789;
+  c.cmd.nlb = 255;
+  c.in_capsule_data = true;
+  c.placement = DataPlacement::kInline;
+  c.data_len = 4096;
+  std::vector<u8> payload(4096);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<u8>(i * 7);
+  const Pdu out = roundtrip(c, payload);
+  const auto* h = out.as<CapsuleCmd>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cmd.opcode, NvmeOpcode::kWrite);
+  EXPECT_EQ(h->cmd.cid, 77);
+  EXPECT_EQ(h->cmd.slba, 123456789u);
+  EXPECT_EQ(h->cmd.blocks(), 256u);
+  EXPECT_TRUE(h->in_capsule_data);
+  EXPECT_EQ(out.payload, payload);
+}
+
+TEST(CodecTest, CapsuleCmdShmSlotRoundtrip) {
+  CapsuleCmd c;
+  c.cmd.opcode = NvmeOpcode::kWrite;
+  c.placement = DataPlacement::kShmSlot;
+  c.in_capsule_data = true;
+  c.shm_slot = 93;
+  c.data_len = 128 * 1024;
+  const Pdu out = roundtrip(c);
+  const auto* h = out.as<CapsuleCmd>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->placement, DataPlacement::kShmSlot);
+  EXPECT_EQ(h->shm_slot, 93u);
+  EXPECT_EQ(h->data_len, 128u * 1024);
+  EXPECT_TRUE(out.payload.empty());  // shm reference carries no inline bytes
+}
+
+TEST(CodecTest, CapsuleRespRoundtrip) {
+  CapsuleResp r;
+  r.cpl.cid = 3;
+  r.cpl.status = NvmeStatus::kLbaOutOfRange;
+  r.cpl.result = 42;
+  r.io_time_ns = 123456;
+  r.target_time_ns = 789;
+  const Pdu out = roundtrip(r);
+  const auto* h = out.as<CapsuleResp>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cpl.cid, 3);
+  EXPECT_EQ(h->cpl.status, NvmeStatus::kLbaOutOfRange);
+  EXPECT_FALSE(h->cpl.ok());
+  EXPECT_EQ(h->io_time_ns, 123456u);
+  EXPECT_EQ(h->target_time_ns, 789u);
+}
+
+TEST(CodecTest, R2TRoundtrip) {
+  R2T r;
+  r.cid = 9;
+  r.ttag = 12;
+  r.offset = 1 << 20;
+  r.length = 512 * 1024;
+  const Pdu out = roundtrip(r);
+  const auto* h = out.as<R2T>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cid, 9);
+  EXPECT_EQ(h->ttag, 12);
+  EXPECT_EQ(h->offset, 1u << 20);
+  EXPECT_EQ(h->length, 512u * 1024);
+}
+
+TEST(CodecTest, H2CDataRoundtrip) {
+  H2CData h2c;
+  h2c.cid = 4;
+  h2c.ttag = 4;
+  h2c.offset = 128 * 1024;
+  h2c.length = 64 * 1024;
+  h2c.last = false;
+  h2c.placement = DataPlacement::kShmSlot;
+  h2c.shm_slot = 17;
+  const Pdu out = roundtrip(h2c);
+  const auto* h = out.as<H2CData>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_FALSE(h->last);
+  EXPECT_EQ(h->placement, DataPlacement::kShmSlot);
+  EXPECT_EQ(h->shm_slot, 17u);
+}
+
+TEST(CodecTest, C2HDataSuccessFlagRoundtrip) {
+  C2HData c2h;
+  c2h.cid = 21;
+  c2h.length = 4096;
+  c2h.last = true;
+  c2h.success = true;
+  c2h.io_time_ns = 55'000;
+  c2h.target_time_ns = 2'000;
+  const Pdu out = roundtrip(c2h);
+  const auto* h = out.as<C2HData>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->success);
+  EXPECT_EQ(h->io_time_ns, 55'000u);
+}
+
+TEST(CodecTest, TermReqRoundtripBothDirections) {
+  for (bool from_host : {true, false}) {
+    TermReq t;
+    t.from_host = from_host;
+    t.fes = 2;
+    t.reason = "protocol violation";
+    const Pdu out = roundtrip(t);
+    const auto* h = out.as<TermReq>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->from_host, from_host);
+    EXPECT_EQ(h->reason, "protocol violation");
+    EXPECT_EQ(out.type(),
+              from_host ? PduType::kH2CTermReq : PduType::kC2HTermReq);
+  }
+}
+
+TEST(CodecTest, HeaderDigestRoundtrip) {
+  CodecOptions opts;
+  opts.header_digest = true;
+  R2T r;
+  r.cid = 1;
+  const Pdu out = roundtrip(r, {}, opts);
+  EXPECT_NE(out.as<R2T>(), nullptr);
+}
+
+TEST(CodecTest, HeaderDigestDetectsCorruption) {
+  CodecOptions opts;
+  opts.header_digest = true;
+  Pdu in;
+  R2T r;
+  r.cid = 1;
+  r.offset = 999;
+  in.header = r;
+  auto encoded = encode(in, opts);
+  encoded[9] ^= 0xFF;  // corrupt a typed-header byte
+  auto decoded = decode(encoded, opts);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CodecTest, DigestFlagMismatchRejected) {
+  Pdu in;
+  in.header = R2T{};
+  const auto plain = encode(in, {});
+  CodecOptions with_digest;
+  with_digest.header_digest = true;
+  EXPECT_FALSE(decode(plain, with_digest).is_ok());
+}
+
+TEST(CodecTest, FrameLengthMatchesEncodedSize) {
+  Pdu in;
+  CapsuleCmd c;
+  c.cmd.opcode = NvmeOpcode::kRead;
+  in.header = c;
+  in.payload.resize(1000, 0xAB);
+  const auto encoded = encode(in);
+  auto len = frame_length(encoded);
+  ASSERT_TRUE(len.is_ok());
+  EXPECT_EQ(len.value(), encoded.size());
+}
+
+TEST(CodecTest, FrameLengthShortPrefixRejected) {
+  std::vector<u8> short_buf(4, 0);
+  EXPECT_FALSE(frame_length(short_buf).is_ok());
+}
+
+TEST(CodecTest, TruncatedPduRejected) {
+  Pdu in;
+  in.header = R2T{};
+  auto encoded = encode(in);
+  encoded.pop_back();
+  EXPECT_FALSE(decode(encoded, {}).is_ok());
+}
+
+TEST(CodecTest, OversizeLengthFieldRejected) {
+  Pdu in;
+  in.header = R2T{};
+  auto encoded = encode(in);
+  // Claim a gigantic plen.
+  encoded[4] = 0xFF;
+  encoded[5] = 0xFF;
+  encoded[6] = 0xFF;
+  encoded[7] = 0x7F;
+  EXPECT_FALSE(decode(encoded, {}).is_ok());
+  EXPECT_FALSE(frame_length(encoded).is_ok());
+}
+
+TEST(CodecTest, WireSizeMatchesEncodedBytes) {
+  Pdu in;
+  C2HData c;
+  c.length = 4096;
+  in.header = c;
+  in.payload.resize(4096, 1);
+  EXPECT_EQ(wire_size(in), encode(in).size());
+}
+
+TEST(CodecTest, ShmReferencePduIsSmall) {
+  // The whole point of the oAF notification: a 128 KiB payload reference
+  // costs well under 100 wire bytes.
+  Pdu in;
+  C2HData c;
+  c.length = 128 * 1024;
+  c.placement = DataPlacement::kShmSlot;
+  c.shm_slot = 5;
+  in.header = c;
+  EXPECT_LT(wire_size(in), 100u);
+}
+
+}  // namespace
+}  // namespace oaf::pdu

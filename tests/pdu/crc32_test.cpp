@@ -1,0 +1,54 @@
+#include "pdu/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace oaf::pdu {
+namespace {
+
+std::vector<u8> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32cTest, EmptyIsZero) {
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / community-standard CRC32C test vectors.
+  const auto v1 = bytes_of("123456789");
+  EXPECT_EQ(crc32c(v1), 0xE3069283u);
+
+  std::vector<u8> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+
+  std::vector<u8> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const auto all = bytes_of("the quick brown fox jumps over the lazy dog");
+  const u32 one_shot = crc32c(all);
+  const std::span<const u8> s(all);
+  u32 inc = crc32c(s.subspan(0, 10));
+  inc = crc32c(s.subspan(10), inc);
+  EXPECT_EQ(inc, one_shot);
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  auto data = bytes_of("payload payload payload");
+  const u32 before = crc32c(data);
+  data[7] ^= 0x01;
+  EXPECT_NE(crc32c(data), before);
+}
+
+TEST(Crc32cTest, OrderSensitive) {
+  const auto ab = bytes_of("ab");
+  const auto ba = bytes_of("ba");
+  EXPECT_NE(crc32c(ab), crc32c(ba));
+}
+
+}  // namespace
+}  // namespace oaf::pdu

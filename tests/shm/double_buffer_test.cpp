@@ -1,0 +1,231 @@
+#include "shm/double_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "shm/region.h"
+
+namespace oaf::shm {
+namespace {
+
+class DoubleBufferTest : public ::testing::Test {
+ protected:
+  static constexpr u64 kSlotBytes = 4096;
+  static constexpr u32 kSlots = 8;
+
+  void SetUp() override {
+    const u64 need = DoubleBufferRing::required_bytes(kSlotBytes, kSlots);
+    region_ = ShmRegion::anonymous(need).take();
+    ring_ = DoubleBufferRing::create(region_.data(), region_.size(), kSlotBytes,
+                                     kSlots)
+                .take();
+  }
+
+  ShmRegion region_;
+  DoubleBufferRing ring_;
+};
+
+TEST_F(DoubleBufferTest, GeometryExposed) {
+  EXPECT_EQ(ring_.slot_size(), kSlotBytes);
+  EXPECT_EQ(ring_.slot_count(), kSlots);
+  EXPECT_TRUE(ring_.valid());
+}
+
+TEST_F(DoubleBufferTest, RoundRobinSlotSelection) {
+  for (u64 seq = 0; seq < 100; ++seq) {
+    EXPECT_EQ(ring_.slot_for(seq), seq % kSlots);
+  }
+}
+
+TEST_F(DoubleBufferTest, ProducerConsumerLifecycle) {
+  const auto dir = Direction::kClientToTarget;
+  ASSERT_TRUE(ring_.acquire(dir, 0));
+  EXPECT_EQ(ring_.state(dir, 0), DoubleBufferRing::kWriting);
+
+  auto buf = ring_.slot_data(dir, 0);
+  ASSERT_EQ(buf.size(), kSlotBytes);
+  std::memset(buf.data(), 0x42, 100);
+  ASSERT_TRUE(ring_.publish(dir, 0, 100));
+  EXPECT_TRUE(ring_.ready(dir, 0));
+
+  auto view = ring_.consume(dir, 0);
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(view.value().size(), 100u);
+  EXPECT_EQ(view.value()[0], 0x42);
+  EXPECT_EQ(ring_.state(dir, 0), DoubleBufferRing::kDraining);
+
+  ASSERT_TRUE(ring_.release(dir, 0));
+  EXPECT_EQ(ring_.state(dir, 0), DoubleBufferRing::kFree);
+}
+
+TEST_F(DoubleBufferTest, DirectionsAreIndependent) {
+  // Same slot index in both directions must not alias: this is the "double
+  // buffer" property that lets reads and writes proceed concurrently.
+  ASSERT_TRUE(ring_.acquire(Direction::kClientToTarget, 3));
+  ASSERT_TRUE(ring_.acquire(Direction::kTargetToClient, 3));
+  auto c2t = ring_.slot_data(Direction::kClientToTarget, 3);
+  auto t2c = ring_.slot_data(Direction::kTargetToClient, 3);
+  EXPECT_NE(c2t.data(), t2c.data());
+  std::memset(c2t.data(), 0x11, kSlotBytes);
+  std::memset(t2c.data(), 0x22, kSlotBytes);
+  EXPECT_EQ(c2t[0], 0x11);
+  EXPECT_EQ(t2c[0], 0x22);
+  ASSERT_TRUE(ring_.publish(Direction::kClientToTarget, 3, 10));
+  ASSERT_TRUE(ring_.publish(Direction::kTargetToClient, 3, 20));
+  EXPECT_EQ(ring_.consume(Direction::kClientToTarget, 3).value().size(), 10u);
+  EXPECT_EQ(ring_.consume(Direction::kTargetToClient, 3).value().size(), 20u);
+}
+
+TEST_F(DoubleBufferTest, SlotsDoNotOverlap) {
+  const auto dir = Direction::kClientToTarget;
+  for (u32 s = 0; s < kSlots; ++s) ASSERT_TRUE(ring_.acquire(dir, s));
+  for (u32 s = 0; s < kSlots; ++s) {
+    auto buf = ring_.slot_data(dir, s);
+    std::memset(buf.data(), static_cast<int>(s + 1), kSlotBytes);
+  }
+  for (u32 s = 0; s < kSlots; ++s) {
+    auto buf = ring_.slot_data(dir, s);
+    EXPECT_EQ(buf[0], s + 1);
+    EXPECT_EQ(buf[kSlotBytes - 1], s + 1);
+  }
+}
+
+TEST_F(DoubleBufferTest, DoubleAcquireFails) {
+  const auto dir = Direction::kClientToTarget;
+  ASSERT_TRUE(ring_.acquire(dir, 1));
+  auto second = ring_.acquire(dir, 1);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(second.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DoubleBufferTest, ConsumeBeforePublishFails) {
+  const auto dir = Direction::kClientToTarget;
+  EXPECT_FALSE(ring_.consume(dir, 0).is_ok());
+  ASSERT_TRUE(ring_.acquire(dir, 0));
+  EXPECT_FALSE(ring_.consume(dir, 0).is_ok());  // kWriting, not kReady
+}
+
+TEST_F(DoubleBufferTest, PublishWithoutAcquireFails) {
+  EXPECT_FALSE(ring_.publish(Direction::kClientToTarget, 0, 10));
+}
+
+TEST_F(DoubleBufferTest, ReleaseWithoutConsumeFails) {
+  const auto dir = Direction::kClientToTarget;
+  ASSERT_TRUE(ring_.acquire(dir, 0));
+  ASSERT_TRUE(ring_.publish(dir, 0, 10));
+  EXPECT_FALSE(ring_.release(dir, 0));  // still kReady
+}
+
+TEST_F(DoubleBufferTest, PublishLengthBounded) {
+  const auto dir = Direction::kClientToTarget;
+  ASSERT_TRUE(ring_.acquire(dir, 0));
+  EXPECT_FALSE(ring_.publish(dir, 0, kSlotBytes + 1));
+  EXPECT_TRUE(ring_.publish(dir, 0, kSlotBytes));
+}
+
+TEST_F(DoubleBufferTest, OutOfRangeSlotRejected) {
+  const auto dir = Direction::kClientToTarget;
+  EXPECT_FALSE(ring_.acquire(dir, kSlots));
+  EXPECT_FALSE(ring_.consume(dir, kSlots).is_ok());
+  EXPECT_FALSE(ring_.release(dir, kSlots));
+  EXPECT_TRUE(ring_.slot_data(dir, kSlots).empty());
+}
+
+TEST_F(DoubleBufferTest, InFlightCounting) {
+  const auto dir = Direction::kClientToTarget;
+  EXPECT_EQ(ring_.in_flight(dir), 0u);
+  ASSERT_TRUE(ring_.acquire(dir, 0));
+  ASSERT_TRUE(ring_.acquire(dir, 1));
+  EXPECT_EQ(ring_.in_flight(dir), 2u);
+  ASSERT_TRUE(ring_.publish(dir, 0, 1));
+  (void)ring_.consume(dir, 0);
+  ASSERT_TRUE(ring_.release(dir, 0));
+  EXPECT_EQ(ring_.in_flight(dir), 1u);
+}
+
+TEST_F(DoubleBufferTest, AttachSeesSameRing) {
+  auto attached = DoubleBufferRing::attach(region_.data(), region_.size());
+  ASSERT_TRUE(attached.is_ok());
+  auto& peer = attached.value();
+  EXPECT_EQ(peer.slot_size(), kSlotBytes);
+  EXPECT_EQ(peer.slot_count(), kSlots);
+
+  // Producer via original, consumer via attached view.
+  const auto dir = Direction::kClientToTarget;
+  ASSERT_TRUE(ring_.acquire(dir, 2));
+  auto buf = ring_.slot_data(dir, 2);
+  std::memcpy(buf.data(), "hello ring", 10);
+  ASSERT_TRUE(ring_.publish(dir, 2, 10));
+
+  ASSERT_TRUE(peer.ready(dir, 2));
+  auto view = peer.consume(dir, 2);
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(std::memcmp(view.value().data(), "hello ring", 10), 0);
+  ASSERT_TRUE(peer.release(dir, 2));
+  EXPECT_EQ(ring_.state(dir, 2), DoubleBufferRing::kFree);
+}
+
+TEST_F(DoubleBufferTest, AttachRejectsGarbage) {
+  auto junk = ShmRegion::anonymous(1 << 16).take();
+  std::memset(junk.data(), 0x7F, 1 << 16);
+  EXPECT_FALSE(DoubleBufferRing::attach(junk.data(), junk.size()).is_ok());
+}
+
+TEST(DoubleBufferGeometryTest, CreateRejectsBadInputs) {
+  auto region = ShmRegion::anonymous(1 << 16).take();
+  EXPECT_FALSE(
+      DoubleBufferRing::create(region.data(), region.size(), 0, 8).is_ok());
+  EXPECT_FALSE(
+      DoubleBufferRing::create(region.data(), region.size(), 4096, 0).is_ok());
+  EXPECT_FALSE(
+      DoubleBufferRing::create(region.data(), 64, 4096, 8).is_ok());  // too small
+  EXPECT_FALSE(DoubleBufferRing::create(nullptr, 1 << 16, 4096, 8).is_ok());
+  EXPECT_FALSE(DoubleBufferRing::create(region.bytes() + 1, region.size() - 1,
+                                        4096, 8)
+                   .is_ok());  // misaligned
+}
+
+TEST(DoubleBufferGeometryTest, RequiredBytesCoversBothHalves) {
+  // Header + 2 ctl arrays + 2 data halves.
+  const u64 need = DoubleBufferRing::required_bytes(4096, 8);
+  EXPECT_GE(need, 2u * 8 * 4096);
+  EXPECT_LT(need, 2u * 8 * 4096 + 64 * 32 + 4096);
+}
+
+class RingGeometrySweep
+    : public ::testing::TestWithParam<std::pair<u64, u32>> {};
+
+TEST_P(RingGeometrySweep, FullCycleAtEveryGeometry) {
+  const auto [slot_bytes, slots] = GetParam();
+  auto region =
+      ShmRegion::anonymous(DoubleBufferRing::required_bytes(slot_bytes, slots))
+          .take();
+  auto ring =
+      DoubleBufferRing::create(region.data(), region.size(), slot_bytes, slots)
+          .take();
+  const auto dir = Direction::kTargetToClient;
+  // Two full laps over every slot.
+  for (u64 seq = 0; seq < 2ull * slots; ++seq) {
+    const u32 slot = ring.slot_for(seq);
+    ASSERT_TRUE(ring.acquire(dir, slot)) << "seq " << seq;
+    auto buf = ring.slot_data(dir, slot);
+    buf[0] = static_cast<u8>(seq);
+    ASSERT_TRUE(ring.publish(dir, slot, 1));
+    auto view = ring.consume(dir, slot);
+    ASSERT_TRUE(view.is_ok());
+    EXPECT_EQ(view.value()[0], static_cast<u8>(seq));
+    ASSERT_TRUE(ring.release(dir, slot));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RingGeometrySweep,
+    ::testing::Values(std::pair<u64, u32>{512, 1}, std::pair<u64, u32>{512, 2},
+                      std::pair<u64, u32>{4096, 16},
+                      std::pair<u64, u32>{128 * 1024, 4},
+                      std::pair<u64, u32>{512 * 1024, 128},
+                      std::pair<u64, u32>{1, 3}));
+
+}  // namespace
+}  // namespace oaf::shm

@@ -1,0 +1,68 @@
+#include "shm/locality_page.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "shm/region.h"
+
+namespace oaf::shm {
+namespace {
+
+TEST(LocalityPageTest, FreshPageHasGenerationZero) {
+  auto region = ShmRegion::anonymous(LocalityPage::kBytes).take();
+  LocalityPage page(region.data(), /*init=*/true);
+  EXPECT_EQ(page.generation(), 0u);
+  EXPECT_EQ(page.region_name(), "");
+}
+
+TEST(LocalityPageTest, AnnouncePublishesTokenAndName) {
+  auto region = ShmRegion::anonymous(LocalityPage::kBytes).take();
+  LocalityPage helper(region.data(), /*init=*/true);
+  LocalityPage poller(region.data());
+
+  helper.announce(0xABCD, "conn-42");
+  EXPECT_EQ(poller.generation(), 1u);
+  EXPECT_EQ(poller.node_token(), 0xABCDu);
+  EXPECT_EQ(poller.region_name(), "conn-42");
+}
+
+TEST(LocalityPageTest, GenerationIncrementsPerHotplug) {
+  auto region = ShmRegion::anonymous(LocalityPage::kBytes).take();
+  LocalityPage page(region.data(), /*init=*/true);
+  for (u64 i = 1; i <= 5; ++i) {
+    page.announce(i, "r" + std::to_string(i));
+    EXPECT_EQ(page.generation(), i);
+  }
+  EXPECT_EQ(page.region_name(), "r5");
+}
+
+TEST(LocalityPageTest, LongNamesTruncateSafely) {
+  auto region = ShmRegion::anonymous(LocalityPage::kBytes).take();
+  LocalityPage page(region.data(), /*init=*/true);
+  const std::string longname(500, 'x');
+  page.announce(1, longname);
+  const auto got = page.region_name();
+  EXPECT_EQ(got.size(), LocalityPage::kNameCapacity - 1);
+  EXPECT_EQ(got, std::string(LocalityPage::kNameCapacity - 1, 'x'));
+}
+
+TEST(LocalityPageTest, PollerThreadObservesAnnouncement) {
+  // The paper's CM polls the flag periodically; emulate with a real thread.
+  auto region = ShmRegion::anonymous(LocalityPage::kBytes).take();
+  LocalityPage helper(region.data(), /*init=*/true);
+
+  std::atomic<bool> seen{false};
+  std::thread poller([&] {
+    LocalityPage page(region.data());
+    while (page.generation() == 0) std::this_thread::yield();
+    seen = page.region_name() == "hotplugged";
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  helper.announce(7, "hotplugged");
+  poller.join();
+  EXPECT_TRUE(seen.load());
+}
+
+}  // namespace
+}  // namespace oaf::shm

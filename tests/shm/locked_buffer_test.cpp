@@ -1,0 +1,103 @@
+#include "shm/locked_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "shm/region.h"
+
+namespace oaf::shm {
+namespace {
+
+TEST(LockedBufferTest, PutTakeRoundtrip) {
+  auto region =
+      ShmRegion::anonymous(LockedSharedBuffer::required_bytes(4096)).take();
+  auto buf = LockedSharedBuffer::create(region.data(), region.size(), 4096).take();
+
+  std::vector<u8> data(100, 0x3C);
+  ASSERT_TRUE(buf.put(data));
+  EXPECT_TRUE(buf.has_payload());
+
+  std::vector<u8> out(4096);
+  auto got = buf.take(out);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), 100u);
+  EXPECT_EQ(out[0], 0x3C);
+  EXPECT_FALSE(buf.has_payload());
+}
+
+TEST(LockedBufferTest, TakeEmptyFails) {
+  auto region =
+      ShmRegion::anonymous(LockedSharedBuffer::required_bytes(1024)).take();
+  auto buf = LockedSharedBuffer::create(region.data(), region.size(), 1024).take();
+  std::vector<u8> out(1024);
+  EXPECT_FALSE(buf.take(out).is_ok());
+}
+
+TEST(LockedBufferTest, OversizePayloadRejected) {
+  auto region =
+      ShmRegion::anonymous(LockedSharedBuffer::required_bytes(64)).take();
+  auto buf = LockedSharedBuffer::create(region.data(), region.size(), 64).take();
+  std::vector<u8> big(65);
+  EXPECT_FALSE(buf.put(big));
+}
+
+TEST(LockedBufferTest, SmallOutputBufferRejected) {
+  auto region =
+      ShmRegion::anonymous(LockedSharedBuffer::required_bytes(1024)).take();
+  auto buf = LockedSharedBuffer::create(region.data(), region.size(), 1024).take();
+  std::vector<u8> data(100);
+  ASSERT_TRUE(buf.put(data));
+  std::vector<u8> tiny(50);
+  EXPECT_FALSE(buf.take(tiny).is_ok());
+  // Payload still staged after the failed take.
+  EXPECT_TRUE(buf.has_payload());
+}
+
+TEST(LockedBufferTest, CreateValidation) {
+  auto region = ShmRegion::anonymous(4096).take();
+  EXPECT_FALSE(
+      LockedSharedBuffer::create(nullptr, 4096, 1024).is_ok());
+  EXPECT_FALSE(LockedSharedBuffer::create(region.data(), 100, 1024).is_ok());
+  EXPECT_FALSE(LockedSharedBuffer::create(region.data(), 4096, 0).is_ok());
+}
+
+TEST(LockedBufferTest, ConcurrentProducerConsumerIntegrity) {
+  // The naive design serializes: producer spins while the consumer drains.
+  // Verify sequence integrity under real threads (what the paper's
+  // SHM-baseline actually guaranteed, at the cost of concurrency).
+  auto region =
+      ShmRegion::anonymous(LockedSharedBuffer::required_bytes(256)).take();
+  auto producer_view =
+      LockedSharedBuffer::create(region.data(), region.size(), 256).take();
+  auto consumer_view = producer_view;  // same control block via copy of handles
+
+  constexpr u64 kCount = 5000;
+  std::atomic<u64> errors{0};
+  std::thread producer([&] {
+    for (u64 i = 0; i < kCount; ++i) {
+      u8 msg[8];
+      for (int b = 0; b < 8; ++b) msg[b] = static_cast<u8>(i >> (8 * b));
+      ASSERT_TRUE(producer_view.put(std::span<const u8>(msg, 8)));
+    }
+  });
+  std::thread consumer([&] {
+    for (u64 i = 0; i < kCount; ++i) {
+      std::vector<u8> out(256);
+      Result<u64> got = make_error(StatusCode::kUnavailable);
+      do {
+        got = consumer_view.take(out);
+        if (!got.is_ok()) std::this_thread::yield();
+      } while (!got.is_ok());
+      u64 val = 0;
+      for (int b = 0; b < 8; ++b) val |= static_cast<u64>(out[b]) << (8 * b);
+      if (val != i) errors.fetch_add(1);
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+}  // namespace
+}  // namespace oaf::shm

@@ -1,0 +1,103 @@
+#include "shm/region.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace oaf::shm {
+namespace {
+
+std::string unique_name(const char* tag) {
+  static int counter = 0;
+  return std::string("/oaf_test_") + tag + "_" + std::to_string(getpid()) + "_" +
+         std::to_string(counter++);
+}
+
+TEST(ShmRegionTest, CreateMapAndWrite) {
+  const auto name = unique_name("basic");
+  auto r = ShmRegion::create(name, 4096);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  auto region = std::move(r).take();
+  EXPECT_TRUE(region.valid());
+  EXPECT_EQ(region.size(), 4096u);
+  std::memset(region.data(), 0xAB, 4096);
+  EXPECT_EQ(region.bytes()[100], 0xAB);
+}
+
+TEST(ShmRegionTest, CreatedRegionIsZeroFilled) {
+  const auto name = unique_name("zero");
+  auto region = ShmRegion::create(name, 8192).take();
+  for (u64 i = 0; i < 8192; i += 512) {
+    EXPECT_EQ(region.bytes()[i], 0) << "offset " << i;
+  }
+}
+
+TEST(ShmRegionTest, AttachSeesCreatorWrites) {
+  const auto name = unique_name("attach");
+  auto creator = ShmRegion::create(name, 4096).take();
+  creator.bytes()[7] = 0x5A;
+
+  auto attached_res = ShmRegion::attach(name);
+  ASSERT_TRUE(attached_res.is_ok());
+  auto attached = std::move(attached_res).take();
+  EXPECT_EQ(attached.size(), 4096u);
+  EXPECT_EQ(attached.bytes()[7], 0x5A);
+
+  // Writes propagate both ways — same physical pages.
+  attached.bytes()[9] = 0x77;
+  EXPECT_EQ(creator.bytes()[9], 0x77);
+}
+
+TEST(ShmRegionTest, CreateDuplicateFails) {
+  const auto name = unique_name("dup");
+  auto first = ShmRegion::create(name, 4096).take();
+  auto second = ShmRegion::create(name, 4096);
+  EXPECT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ShmRegionTest, AttachMissingFails) {
+  auto r = ShmRegion::attach(unique_name("missing"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShmRegionTest, CreatorUnlinksOnDestruction) {
+  const auto name = unique_name("unlink");
+  {
+    auto region = ShmRegion::create(name, 4096).take();
+    EXPECT_TRUE(region.valid());
+  }
+  EXPECT_FALSE(ShmRegion::attach(name).is_ok());
+}
+
+TEST(ShmRegionTest, InvalidArgumentsRejected) {
+  EXPECT_FALSE(ShmRegion::create("", 4096).is_ok());
+  EXPECT_FALSE(ShmRegion::create("no-leading-slash", 4096).is_ok());
+  EXPECT_FALSE(ShmRegion::create(unique_name("zero_size"), 0).is_ok());
+  EXPECT_FALSE(ShmRegion::anonymous(0).is_ok());
+}
+
+TEST(ShmRegionTest, AnonymousRegionUsable) {
+  auto r = ShmRegion::anonymous(1 << 20);
+  ASSERT_TRUE(r.is_ok());
+  auto region = std::move(r).take();
+  EXPECT_EQ(region.size(), 1u << 20);
+  region.bytes()[123] = 9;
+  EXPECT_EQ(region.bytes()[123], 9);
+  EXPECT_TRUE(region.name().empty());
+}
+
+TEST(ShmRegionTest, MoveTransfersOwnership) {
+  const auto name = unique_name("move");
+  auto a = ShmRegion::create(name, 4096).take();
+  u8* addr = a.bytes();
+  ShmRegion b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.bytes(), addr);
+  EXPECT_EQ(b.name(), name);
+}
+
+}  // namespace
+}  // namespace oaf::shm

@@ -1,0 +1,86 @@
+#include "shm/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace oaf::shm {
+namespace {
+
+TEST(SpscQueueTest, PushPopSingleThread) {
+  SpscQueue<u64> q(8);
+  EXPECT_TRUE(q.empty());
+  for (u64 i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size_approx(), 5u);
+  u64 v = 0;
+  for (u64 i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(SpscQueueTest, FillsToCapacity) {
+  SpscQueue<u32> q(8);  // usable = capacity - 1 = 7
+  u32 pushed = 0;
+  while (q.push(pushed)) pushed++;
+  EXPECT_EQ(pushed, q.capacity());
+  u32 v;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(q.push(999));  // slot freed
+}
+
+TEST(SpscQueueTest, CapacityRoundsUpToPow2) {
+  SpscQueue<u32> q(100);
+  EXPECT_EQ(q.capacity(), 127u);  // 128 - 1 usable
+}
+
+TEST(SpscQueueTest, WrapAroundManyTimes) {
+  SpscQueue<u64> q(4);
+  u64 v = 0;
+  for (u64 i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.push(i));
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscQueueTest, StructRecords) {
+  struct Rec {
+    u32 slot;
+    u64 len;
+  };
+  SpscQueue<Rec> q(16);
+  ASSERT_TRUE(q.push({3, 4096}));
+  Rec r{};
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.slot, 3u);
+  EXPECT_EQ(r.len, 4096u);
+}
+
+TEST(SpscQueueTest, TwoThreadStress) {
+  SpscQueue<u64> q(256);
+  constexpr u64 kCount = 2'000'000;
+  std::atomic<u64> errors{0};
+  std::thread producer([&] {
+    for (u64 i = 0; i < kCount; ++i) {
+      while (!q.push(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    u64 v = 0;
+    for (u64 i = 0; i < kCount; ++i) {
+      while (!q.pop(v)) std::this_thread::yield();
+      if (v != i) errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace oaf::shm

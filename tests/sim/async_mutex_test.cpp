@@ -1,0 +1,74 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf::sim {
+namespace {
+
+TEST(AsyncMutexTest, ImmediateGrantWhenFree) {
+  Scheduler s;
+  AsyncMutex m(s);
+  bool granted = false;
+  m.acquire([&] { granted = true; });
+  s.run();
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(m.held());
+  m.release();
+  EXPECT_FALSE(m.held());
+}
+
+TEST(AsyncMutexTest, WaitersQueueFifo) {
+  Scheduler s;
+  AsyncMutex m(s);
+  std::vector<int> order;
+  m.acquire([&] { order.push_back(0); });
+  m.acquire([&] { order.push_back(1); });
+  m.acquire([&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(m.waiters(), 2u);
+  m.release();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  m.release();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  m.release();
+  EXPECT_FALSE(m.held());
+}
+
+TEST(AsyncMutexTest, CriticalSectionsSerialize) {
+  Scheduler s;
+  AsyncMutex m(s);
+  std::vector<TimeNs> section_start;
+  for (int i = 0; i < 3; ++i) {
+    m.acquire([&, i] {
+      section_start.push_back(s.now());
+      s.schedule_after(100, [&] { m.release(); });
+    });
+  }
+  s.run();
+  ASSERT_EQ(section_start.size(), 3u);
+  EXPECT_EQ(section_start[0], 0);
+  EXPECT_EQ(section_start[1], 100);
+  EXPECT_EQ(section_start[2], 200);
+  EXPECT_EQ(m.contentions(), 2u);
+}
+
+TEST(AsyncMutexTest, OwnershipTransfersOnRelease) {
+  Scheduler s;
+  AsyncMutex m(s);
+  m.acquire([] {});
+  bool second = false;
+  m.acquire([&] { second = true; });
+  s.run();
+  m.release();  // transfers to waiter; still held
+  EXPECT_TRUE(m.held());
+  s.run();
+  EXPECT_TRUE(second);
+  m.release();
+  EXPECT_FALSE(m.held());
+}
+
+}  // namespace
+}  // namespace oaf::sim

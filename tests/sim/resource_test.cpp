@@ -1,0 +1,93 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf::sim {
+namespace {
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Scheduler s;
+  Resource r(s, 1);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    r.submit(100, [&] { done.push_back(s.now()); });
+  }
+  s.run();
+  EXPECT_EQ(done, (std::vector<TimeNs>{100, 200, 300}));
+}
+
+TEST(ResourceTest, ParallelServersOverlap) {
+  Scheduler s;
+  Resource r(s, 3);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    r.submit(100, [&] { done.push_back(s.now()); });
+  }
+  s.run();
+  EXPECT_EQ(done, (std::vector<TimeNs>{100, 100, 100}));
+}
+
+TEST(ResourceTest, QueueDrainsInFifoOrder) {
+  Scheduler s;
+  Resource r(s, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    r.submit(10, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, ThroughputMatchesServers) {
+  // m servers with service time T complete m jobs per T.
+  Scheduler s;
+  Resource r(s, 4);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    r.submit(1000, [&] { completed++; });
+  }
+  s.run();
+  EXPECT_EQ(completed, 100);
+  // 100 jobs / 4 servers * 1000 ns = 25000 ns makespan.
+  EXPECT_EQ(s.now(), 25000);
+}
+
+TEST(ResourceTest, StatsTrackQueueAndBusy) {
+  Scheduler s;
+  Resource r(s, 1);
+  for (int i = 0; i < 10; ++i) r.submit(50, [] {});
+  EXPECT_EQ(r.jobs_submitted(), 10u);
+  EXPECT_EQ(r.queue_length(), 9u);  // one started immediately
+  s.run();
+  EXPECT_EQ(r.jobs_completed(), 10u);
+  EXPECT_EQ(r.queue_length(), 0u);
+  EXPECT_EQ(r.busy_time(), 500);
+  EXPECT_EQ(r.max_queue_length(), 9u);
+}
+
+TEST(ResourceTest, LateSubmissionAfterIdle) {
+  Scheduler s;
+  Resource r(s, 1);
+  TimeNs second_done = 0;
+  r.submit(100, [] {});
+  s.schedule_at(1000, [&] {
+    r.submit(100, [&] { second_done = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(second_done, 1100);
+}
+
+TEST(ResourceTest, FreeServersAccounting) {
+  Scheduler s;
+  Resource r(s, 2);
+  EXPECT_EQ(r.free_servers(), 2);
+  r.submit(100, [] {});
+  EXPECT_EQ(r.free_servers(), 1);
+  r.submit(100, [] {});
+  EXPECT_EQ(r.free_servers(), 0);
+  s.run();
+  EXPECT_EQ(r.free_servers(), 2);
+}
+
+}  // namespace
+}  // namespace oaf::sim

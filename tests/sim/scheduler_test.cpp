@@ -1,0 +1,119 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oaf::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, EventsRunInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(300, [&] { order.push_back(3); });
+  s.schedule_at(100, [&] { order.push_back(1); });
+  s.schedule_at(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(SchedulerTest, SameTimeFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, PostRunsAtCurrentTime) {
+  Scheduler s;
+  TimeNs seen = -1;
+  s.schedule_at(500, [&] {
+    s.post([&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 500);
+}
+
+TEST(SchedulerTest, ScheduleAfterAddsDelay) {
+  Scheduler s;
+  TimeNs seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SchedulerTest, NegativeDelayClampsToNow) {
+  Scheduler s;
+  TimeNs seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(-20, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SchedulerTest, PastTimeClampsToNow) {
+  Scheduler s;
+  TimeNs seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_at(100, [&] { ran++; });
+  s.schedule_at(200, [&] { ran++; });
+  s.schedule_at(300, [&] { ran++; });
+  s.run_until(250);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.now(), 250);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(12345);
+  EXPECT_EQ(s.now(), 12345);
+}
+
+TEST(SchedulerTest, CascadedEventsCount) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 100) s.schedule_after(10, recur);
+  };
+  s.schedule_after(0, recur);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 990);
+  EXPECT_EQ(s.executed(), 100u);
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.post([] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+}  // namespace
+}  // namespace oaf::sim

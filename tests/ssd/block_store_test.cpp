@@ -1,0 +1,97 @@
+#include "ssd/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace oaf::ssd {
+namespace {
+
+TEST(BlockStoreTest, UnwrittenBlocksReadZero) {
+  BlockStore store(512, 1000);
+  std::vector<u8> out(512, 0xFF);
+  ASSERT_TRUE(store.read(10, out));
+  for (u8 b : out) EXPECT_EQ(b, 0);
+  EXPECT_EQ(store.extents_allocated(), 0u);
+}
+
+TEST(BlockStoreTest, WriteReadRoundtrip) {
+  BlockStore store(512, 1000);
+  std::vector<u8> data(512 * 4);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 3);
+  ASSERT_TRUE(store.write(100, data));
+  std::vector<u8> out(data.size());
+  ASSERT_TRUE(store.read(100, out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlockStoreTest, OverwriteReplaces) {
+  BlockStore store(512, 100);
+  std::vector<u8> a(512, 1);
+  std::vector<u8> b(512, 2);
+  ASSERT_TRUE(store.write(5, a));
+  ASSERT_TRUE(store.write(5, b));
+  std::vector<u8> out(512);
+  ASSERT_TRUE(store.read(5, out));
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST(BlockStoreTest, RangeValidation) {
+  BlockStore store(512, 100);
+  std::vector<u8> buf(512);
+  EXPECT_FALSE(store.write(100, buf));                 // slba == num_blocks
+  EXPECT_FALSE(store.write(99, std::vector<u8>(1024)));  // runs past the end
+  EXPECT_TRUE(store.write(99, buf));                   // last block OK
+  std::vector<u8> odd(100);
+  EXPECT_FALSE(store.write(0, odd));  // not a block multiple
+  EXPECT_FALSE(store.read(0, odd));
+}
+
+TEST(BlockStoreTest, CrossExtentWrites) {
+  // Extent is 256 KiB = 512 blocks; write a range straddling the boundary.
+  BlockStore store(512, 10000);
+  std::vector<u8> data(512 * 600);
+  Rng rng(3);
+  for (auto& b : data) b = static_cast<u8>(rng.next_u64());
+  ASSERT_TRUE(store.write(200, data));
+  std::vector<u8> out(data.size());
+  ASSERT_TRUE(store.read(200, out));
+  EXPECT_EQ(out, data);
+  EXPECT_GE(store.extents_allocated(), 2u);
+}
+
+TEST(BlockStoreTest, SparseAllocation) {
+  BlockStore store(512, 1u << 24);  // 8 GiB namespace
+  std::vector<u8> buf(512, 7);
+  ASSERT_TRUE(store.write(0, buf));
+  ASSERT_TRUE(store.write((1u << 24) - 1, buf));
+  EXPECT_EQ(store.extents_allocated(), 2u);  // only the touched extents
+  EXPECT_EQ(store.capacity_bytes(), 512ull << 24);
+}
+
+TEST(BlockStoreTest, RandomizedReadBackProperty) {
+  // Property: after any sequence of writes, reading returns the last write
+  // for each block (or zeros if never written). Shadow model with a map.
+  BlockStore store(512, 4096);
+  std::unordered_map<u64, std::vector<u8>> shadow;
+  Rng rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    const u64 slba = rng.next_below(4000);
+    const u64 blocks = 1 + rng.next_below(8);
+    std::vector<u8> data(512 * blocks);
+    for (auto& b : data) b = static_cast<u8>(rng.next_u64());
+    ASSERT_TRUE(store.write(slba, data));
+    for (u64 b = 0; b < blocks; ++b) {
+      shadow[slba + b] = std::vector<u8>(data.begin() + static_cast<long>(b * 512),
+                                         data.begin() + static_cast<long>((b + 1) * 512));
+    }
+  }
+  for (const auto& [lba, expect] : shadow) {
+    std::vector<u8> out(512);
+    ASSERT_TRUE(store.read(lba, out));
+    EXPECT_EQ(out, expect) << "lba " << lba;
+  }
+}
+
+}  // namespace
+}  // namespace oaf::ssd

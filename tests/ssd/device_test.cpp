@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+#include "ssd/real_device.h"
+#include "ssd/sim_device.h"
+
+namespace oaf::ssd {
+namespace {
+
+pdu::NvmeCmd io_cmd(pdu::NvmeOpcode op, u64 slba, u64 bytes) {
+  pdu::NvmeCmd cmd;
+  cmd.opcode = op;
+  cmd.cid = 1;
+  cmd.nsid = 1;
+  cmd.slba = slba;
+  cmd.nlb = static_cast<u32>(bytes / 512 - 1);
+  return cmd;
+}
+
+TEST(RealDeviceTest, WriteThenReadRoundtrip) {
+  sim::Scheduler sched;
+  RealDevice dev(sched, 512, 10000);
+  std::vector<u8> data(4096, 0xA1);
+  bool write_ok = false;
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 8, 4096), data,
+                   [&](pdu::NvmeCpl cpl, DurNs) { write_ok = cpl.ok(); });
+  sched.run();
+  EXPECT_TRUE(write_ok);
+
+  std::vector<u8> out(4096);
+  bool read_ok = false;
+  dev.submit_read(io_cmd(pdu::NvmeOpcode::kRead, 8, 4096), out,
+                  [&](pdu::NvmeCpl cpl, DurNs) { read_ok = cpl.ok(); });
+  sched.run();
+  EXPECT_TRUE(read_ok);
+  EXPECT_EQ(out, data);
+}
+
+TEST(RealDeviceTest, CompletionIsAsynchronous) {
+  sim::Scheduler sched;
+  RealDevice dev(sched, 512, 100);
+  std::vector<u8> data(512);
+  bool done = false;
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 0, 512), data,
+                   [&](pdu::NvmeCpl, DurNs) { done = true; });
+  EXPECT_FALSE(done);  // posted, not inline
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RealDeviceTest, OutOfRangeLba) {
+  sim::Scheduler sched;
+  RealDevice dev(sched, 512, 100);
+  std::vector<u8> data(512);
+  pdu::NvmeStatus status = pdu::NvmeStatus::kSuccess;
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 100, 512), data,
+                   [&](pdu::NvmeCpl cpl, DurNs) { status = cpl.status; });
+  sched.run();
+  EXPECT_EQ(status, pdu::NvmeStatus::kLbaOutOfRange);
+}
+
+TEST(RealDeviceTest, BufferSizeMismatchRejected) {
+  sim::Scheduler sched;
+  RealDevice dev(sched, 512, 100);
+  std::vector<u8> data(1024);  // cmd says 512
+  pdu::NvmeStatus status = pdu::NvmeStatus::kSuccess;
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 0, 512), data,
+                   [&](pdu::NvmeCpl cpl, DurNs) { status = cpl.status; });
+  sched.run();
+  EXPECT_EQ(status, pdu::NvmeStatus::kInvalidField);
+}
+
+TEST(RealDeviceTest, FlushAndIdentifySucceed) {
+  sim::Scheduler sched;
+  RealDevice dev(sched, 512, 100);
+  int ok = 0;
+  pdu::NvmeCmd flush;
+  flush.opcode = pdu::NvmeOpcode::kFlush;
+  dev.submit_other(flush, [&](pdu::NvmeCpl cpl, DurNs) { ok += cpl.ok(); });
+  pdu::NvmeCmd ident;
+  ident.opcode = pdu::NvmeOpcode::kIdentify;
+  dev.submit_other(ident, [&](pdu::NvmeCpl cpl, DurNs) { ok += cpl.ok(); });
+  sched.run();
+  EXPECT_EQ(ok, 2);
+}
+
+TEST(SimDeviceTest, ServiceTimeModel) {
+  sim::Scheduler sched;
+  SimDeviceParams params;
+  params.read_base_ns = 100'000;
+  params.read_bytes_per_sec = 1e9;
+  params.jitter_frac = 0.0;
+  params.parallelism = 1;
+  params.max_read_bytes_per_sec = 1e12;
+  SimDevice dev(sched, params);
+
+  // Populate.
+  std::vector<u8> data(131072, 0x11);
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 0, 131072), data,
+                   [](pdu::NvmeCpl, DurNs) {});
+  sched.run();
+
+  std::vector<u8> out(131072);
+  DurNs io_time = 0;
+  dev.submit_read(io_cmd(pdu::NvmeOpcode::kRead, 0, 131072), out,
+                  [&](pdu::NvmeCpl cpl, DurNs t) {
+                    EXPECT_TRUE(cpl.ok());
+                    io_time = t;
+                  });
+  sched.run();
+  // 100 us base + 128 KiB at 1 GB/s = ~131 us -> ~231 us total.
+  EXPECT_NEAR(static_cast<double>(io_time), 231'072.0, 5'000.0);
+  EXPECT_EQ(out, data);
+}
+
+TEST(SimDeviceTest, ParallelismBoundsThroughput) {
+  sim::Scheduler sched;
+  SimDeviceParams params;
+  params.read_base_ns = 100'000;
+  params.read_bytes_per_sec = 1e12;  // base-dominated
+  params.jitter_frac = 0.0;
+  params.parallelism = 4;
+  params.max_read_bytes_per_sec = 1e12;
+  SimDevice dev(sched, params);
+
+  std::vector<std::vector<u8>> bufs(16, std::vector<u8>(512));
+  int done = 0;
+  for (int i = 0; i < 16; ++i) {
+    dev.submit_read(io_cmd(pdu::NvmeOpcode::kRead, static_cast<u64>(i), 512),
+                    bufs[static_cast<size_t>(i)],
+                    [&](pdu::NvmeCpl, DurNs) { done++; });
+  }
+  sched.run();
+  EXPECT_EQ(done, 16);
+  // 16 commands / 4 channels * 100 us = 400 us (+ small serialization).
+  EXPECT_NEAR(static_cast<double>(sched.now()), 400'000.0, 10'000.0);
+}
+
+TEST(SimDeviceTest, BandwidthCapEnforced) {
+  sim::Scheduler sched;
+  SimDeviceParams params;
+  params.read_base_ns = 1'000;
+  params.read_bytes_per_sec = 1e12;
+  params.max_read_bytes_per_sec = 1e9;  // 1 GB/s cap
+  params.parallelism = 64;
+  params.jitter_frac = 0.0;
+  SimDevice dev(sched, params);
+
+  constexpr int kIos = 32;
+  constexpr u64 kBytes = 1 << 20;
+  std::vector<std::vector<u8>> bufs(kIos, std::vector<u8>(kBytes));
+  int done = 0;
+  for (int i = 0; i < kIos; ++i) {
+    dev.submit_read(
+        io_cmd(pdu::NvmeOpcode::kRead, static_cast<u64>(i) * (kBytes / 512), kBytes),
+        bufs[static_cast<size_t>(i)], [&](pdu::NvmeCpl, DurNs) { done++; });
+  }
+  sched.run();
+  EXPECT_EQ(done, kIos);
+  // 32 MiB at 1 GB/s >= ~33.5 ms.
+  EXPECT_GE(sched.now(), 33'000'000);
+}
+
+TEST(SimDeviceTest, WritesFasterThanReads) {
+  sim::Scheduler sched;
+  SimDeviceParams params;  // defaults: write base < read base
+  params.jitter_frac = 0.0;
+  SimDevice dev(sched, params);
+  std::vector<u8> buf(4096);
+
+  DurNs write_time = 0;
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 0, 4096), buf,
+                   [&](pdu::NvmeCpl, DurNs t) { write_time = t; });
+  sched.run();
+  DurNs read_time = 0;
+  dev.submit_read(io_cmd(pdu::NvmeOpcode::kRead, 0, 4096), buf,
+                  [&](pdu::NvmeCpl, DurNs t) { read_time = t; });
+  sched.run();
+  EXPECT_LT(write_time, read_time);
+}
+
+TEST(SimDeviceTest, DataIntegrityThroughModel) {
+  sim::Scheduler sched;
+  SimDeviceParams params;
+  SimDevice dev(sched, params);
+  std::vector<u8> data(65536);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 13);
+  dev.submit_write(io_cmd(pdu::NvmeOpcode::kWrite, 1000, 65536), data,
+                   [](pdu::NvmeCpl cpl, DurNs) { EXPECT_TRUE(cpl.ok()); });
+  sched.run();
+  std::vector<u8> out(65536);
+  dev.submit_read(io_cmd(pdu::NvmeOpcode::kRead, 1000, 65536), out,
+                  [](pdu::NvmeCpl cpl, DurNs) { EXPECT_TRUE(cpl.ok()); });
+  sched.run();
+  EXPECT_EQ(out, data);
+}
+
+TEST(SimDeviceTest, JitterIsDeterministicPerSeed) {
+  auto run_once = [](u64 seed) {
+    sim::Scheduler sched;
+    SimDeviceParams params;
+    params.rng_seed = seed;
+    params.jitter_frac = 0.2;
+    SimDevice dev(sched, params);
+    std::vector<u8> buf(4096);
+    DurNs t = 0;
+    dev.submit_read(io_cmd(pdu::NvmeOpcode::kRead, 0, 4096), buf,
+                    [&](pdu::NvmeCpl, DurNs io) { t = io; });
+    sched.run();
+    return t;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace oaf::ssd

@@ -1,0 +1,53 @@
+#include "ssd/namespace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+#include "ssd/real_device.h"
+
+namespace oaf::ssd {
+namespace {
+
+TEST(SubsystemTest, AddAndFindNamespaces) {
+  sim::Scheduler sched;
+  RealDevice d1(sched, 512, 100);
+  RealDevice d2(sched, 4096, 50);
+  Subsystem subsys("nqn.2026-07.io.oaf:testsubsys");
+  ASSERT_TRUE(subsys.add_namespace(1, &d1));
+  ASSERT_TRUE(subsys.add_namespace(2, &d2));
+  EXPECT_EQ(subsys.find(1), &d1);
+  EXPECT_EQ(subsys.find(2), &d2);
+  EXPECT_EQ(subsys.find(3), nullptr);
+  EXPECT_EQ(subsys.namespace_count(), 2u);
+  EXPECT_EQ(subsys.nqn(), "nqn.2026-07.io.oaf:testsubsys");
+}
+
+TEST(SubsystemTest, RejectsInvalidNamespaces) {
+  sim::Scheduler sched;
+  RealDevice dev(sched, 512, 100);
+  Subsystem subsys("nqn");
+  EXPECT_FALSE(subsys.add_namespace(0, &dev));      // nsid 0 reserved
+  EXPECT_FALSE(subsys.add_namespace(1, nullptr));   // null device
+  ASSERT_TRUE(subsys.add_namespace(1, &dev));
+  EXPECT_FALSE(subsys.add_namespace(1, &dev));      // duplicate
+}
+
+TEST(SubsystemTest, ListReportsGeometry) {
+  sim::Scheduler sched;
+  RealDevice d1(sched, 512, 1000);
+  RealDevice d2(sched, 4096, 500);
+  Subsystem subsys("nqn");
+  ASSERT_TRUE(subsys.add_namespace(1, &d1));
+  ASSERT_TRUE(subsys.add_namespace(2, &d2));
+  const auto list = subsys.list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].nsid, 1u);
+  EXPECT_EQ(list[0].block_size, 512u);
+  EXPECT_EQ(list[0].num_blocks, 1000u);
+  EXPECT_EQ(list[0].capacity_bytes(), 512'000u);
+  EXPECT_EQ(list[1].nsid, 2u);
+  EXPECT_EQ(list[1].capacity_bytes(), 4096u * 500);
+}
+
+}  // namespace
+}  // namespace oaf::ssd

@@ -1,0 +1,162 @@
+// oaf_perf — standalone workload client (the SPDK `perf` role).
+//
+// Connects to a running oaf_target over TCP, negotiates the adaptive fabric
+// (shared memory when the --token matches the target's host token), runs a
+// timed workload at a fixed queue depth, and prints bandwidth, IOPS, and
+// latency percentiles with the I/O-time/comm/other breakdown.
+//
+//   oaf_perf --port 4420 --token 42 --io-size-kib 128 --qd 32 \
+//            --rw 1.0 --seconds 2
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "af/locality.h"
+#include "bench/perf_driver.h"
+#include "common/table.h"
+#include "net/tcp_channel.h"
+#include "nvmf/initiator.h"
+#include "sim/real_executor.h"
+
+using namespace oaf;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  u16 port = 4420;
+  u64 token = 42;
+  std::string conn = "oafconn0";
+  u64 io_size_kib = 128;
+  u32 qd = 32;
+  double read_fraction = 1.0;  // --rw: 1.0 read, 0.0 write, else mix
+  double seconds = 2.0;
+  u64 working_set_mb = 128;
+  bool sequential = true;
+};
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      o.host = v;
+    } else if (arg == "--port" && (v = next())) {
+      o.port = static_cast<u16>(std::atoi(v));
+    } else if (arg == "--token" && (v = next())) {
+      o.token = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--conn" && (v = next())) {
+      o.conn = v;
+    } else if (arg == "--io-size-kib" && (v = next())) {
+      o.io_size_kib = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--qd" && (v = next())) {
+      o.qd = static_cast<u32>(std::atoi(v));
+    } else if (arg == "--rw" && (v = next())) {
+      if (std::strcmp(v, "read") == 0) {
+        o.read_fraction = 1.0;
+      } else if (std::strcmp(v, "write") == 0) {
+        o.read_fraction = 0.0;
+      } else {
+        o.read_fraction = std::atof(v);
+      }
+    } else if (arg == "--seconds" && (v = next())) {
+      o.seconds = std::atof(v);
+    } else if (arg == "--working-set-mb" && (v = next())) {
+      o.working_set_mb = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--random") {
+      o.sequential = false;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: oaf_perf [--host H] [--port N] [--token T] [--conn NAME]\n"
+          "                [--io-size-kib S] [--qd D] [--rw read|write|FRAC]\n"
+          "                [--seconds SEC] [--working-set-mb M] [--random]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  sim::RealExecutor exec;
+  net::InlineCopier copier;
+  af::ShmBroker broker(opts.token, af::ShmBroker::Backing::kPosixShm);
+
+  auto channel_res = net::tcp_connect(opts.host, opts.port, exec);
+  if (!channel_res) {
+    std::fprintf(stderr, "connect: %s\n", channel_res.status().to_string().c_str());
+    return 1;
+  }
+  auto channel = std::move(channel_res).take();
+
+  af::AfConfig cfg = af::AfConfig::oaf();
+  cfg.shm_slot_bytes = std::max<u64>(opts.io_size_kib * kKiB, 4 * kKiB);
+  cfg.shm_slots = std::max<u32>(opts.qd, 1);
+  nvmf::NvmfInitiator client(exec, *channel, copier, broker,
+                             {cfg, opts.qd, opts.conn});
+
+  std::atomic<bool> connected{false};
+  exec.post([&] {
+    client.connect([&](Status st) {
+      if (!st) std::fprintf(stderr, "handshake: %s\n", st.to_string().c_str());
+      connected = true;
+    });
+  });
+  while (!connected.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::printf("oaf_perf: connected to %s:%u — data path: %s%s\n",
+              opts.host.c_str(), opts.port,
+              client.shm_active() ? "shared memory" : "TCP",
+              client.supports_zero_copy() ? " (zero-copy)" : "");
+
+  bench::WorkloadSpec spec;
+  spec.io_bytes = opts.io_size_kib * kKiB;
+  spec.queue_depth = opts.qd;
+  spec.read_fraction = opts.read_fraction;
+  spec.sequential = opts.sequential;
+  spec.duration = static_cast<DurNs>(opts.seconds * 1e9);
+  spec.warmup = spec.duration / 10;
+  spec.working_set_bytes = opts.working_set_mb * kMiB;
+
+  bench::PerfDriver driver(exec, client, spec);
+  std::atomic<bool> done{false};
+  RunStats stats;
+  exec.post([&] {
+    driver.run([&](RunStats s) {
+      stats = std::move(s);
+      done = true;
+    });
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  Table t("oaf_perf results");
+  t.header({"metric", "value"});
+  t.row({"bandwidth (MiB/s)", Table::num(stats.bandwidth_mib_s(), 1)});
+  t.row({"IOPS", Table::num(stats.iops(), 0)});
+  t.row({"I/Os completed", std::to_string(stats.ios_completed)});
+  t.row({"avg latency (us)", Table::num(stats.avg_latency_us(), 1)});
+  t.row({"p50 (us)", Table::num(ns_to_us(stats.latency.p50()), 1)});
+  t.row({"p99 (us)", Table::num(ns_to_us(stats.latency.p99()), 1)});
+  t.row({"p99.99 (us)", Table::num(ns_to_us(stats.latency.p9999()), 1)});
+  const LatencyParts mean = stats.breakdown.mean();
+  t.row({"I/O time (us)", Table::num(ns_to_us(mean.io), 1)});
+  t.row({"comm time (us)", Table::num(ns_to_us(mean.comm), 1)});
+  t.row({"other (us)", Table::num(ns_to_us(mean.other), 1)});
+  t.print();
+
+  channel->close();
+  return 0;
+}

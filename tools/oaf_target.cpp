@@ -1,0 +1,150 @@
+// oaf_target — standalone NVMe-oAF storage service.
+//
+// Listens for NVMe-oAF clients on TCP (control path) and serves an
+// in-memory NVMe namespace. Clients whose --token matches this target's
+// token are treated as co-located and get a POSIX shared-memory data
+// channel (the IVSHMEM stand-in); others transparently use TCP.
+//
+//   oaf_target --port 4420 --token 42 --capacity-mb 256 --conns 1
+//   oaf_perf   --port 4420 --token 42 --io-size-kib 128 --qd 32 --seconds 2
+//
+// The process exits once every accepted connection has closed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "af/locality.h"
+#include "net/tcp_channel.h"
+#include "nvmf/target.h"
+#include "sim/real_executor.h"
+#include "ssd/real_device.h"
+
+using namespace oaf;
+
+namespace {
+
+struct Options {
+  u16 port = 4420;
+  u64 token = 42;
+  u64 capacity_mb = 256;
+  int conns = 1;
+  std::string conn_prefix = "oafconn";
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      opts.port = static_cast<u16>(std::atoi(v));
+    } else if (arg == "--token") {
+      const char* v = next();
+      if (!v) return false;
+      opts.token = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--capacity-mb") {
+      const char* v = next();
+      if (!v) return false;
+      opts.capacity_mb = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--conns") {
+      const char* v = next();
+      if (!v) return false;
+      opts.conns = std::atoi(v);
+    } else if (arg == "--conn-prefix") {
+      const char* v = next();
+      if (!v) return false;
+      opts.conn_prefix = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: oaf_target [--port N] [--token T] [--capacity-mb M]\n"
+      "                  [--conns K] [--conn-prefix P]\n"
+      "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
+      "connections have closed.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage();
+    return 2;
+  }
+
+  sim::RealExecutor exec;
+  net::InlineCopier copier;
+  af::ShmBroker broker(opts.token, af::ShmBroker::Backing::kPosixShm);
+
+  ssd::RealDevice device(exec, 512, opts.capacity_mb * kMiB / 512);
+  ssd::Subsystem subsystem("nqn.2026-07.io.oaf:target");
+  if (auto st = subsystem.add_namespace(1, &device); !st) {
+    std::fprintf(stderr, "namespace: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  auto listener_res = net::TcpListener::listen(opts.port);
+  if (!listener_res) {
+    std::fprintf(stderr, "listen: %s\n", listener_res.status().to_string().c_str());
+    return 1;
+  }
+  auto listener = std::move(listener_res).take();
+  std::printf("oaf_target: listening on 127.0.0.1:%u (token %llu, %llu MiB, "
+              "%d connection%s)\n",
+              listener.port(), static_cast<unsigned long long>(opts.token),
+              static_cast<unsigned long long>(opts.capacity_mb), opts.conns,
+              opts.conns == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  struct Served {
+    std::unique_ptr<net::MsgChannel> channel;
+    std::unique_ptr<nvmf::NvmfTargetConnection> conn;
+  };
+  std::vector<Served> served;
+  for (int i = 0; i < opts.conns; ++i) {
+    auto accepted = listener.accept(exec);
+    if (!accepted) {
+      std::fprintf(stderr, "accept: %s\n", accepted.status().to_string().c_str());
+      return 1;
+    }
+    Served s;
+    s.channel = std::move(accepted).take();
+    const std::string conn_name = opts.conn_prefix + std::to_string(i);
+    s.conn = std::make_unique<nvmf::NvmfTargetConnection>(
+        exec, *s.channel, copier, broker, subsystem,
+        nvmf::TargetOptions{af::AfConfig::oaf(), conn_name});
+    std::printf("oaf_target: accepted connection %d (%s)\n", i, conn_name.c_str());
+    std::fflush(stdout);
+    served.push_back(std::move(s));
+  }
+
+  // Serve until every client hangs up.
+  for (;;) {
+    bool any_open = false;
+    for (const auto& s : served) any_open |= s.channel->is_open();
+    if (!any_open) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  u64 commands = 0;
+  for (const auto& s : served) commands += s.conn->commands_served();
+  std::printf("oaf_target: all connections closed; served %llu commands\n",
+              static_cast<unsigned long long>(commands));
+  return 0;
+}
