@@ -45,6 +45,11 @@ struct AfConfig {
   bool encrypt_shm = false;
   u64 shm_key = 0;                   ///< tenant key (out-of-band provisioned)
 
+  /// Resilience: CRC32C data digest over inline H2CData/C2HData payloads,
+  /// negotiated in ICReq/ICResp (both sides must enable it). A mismatch is
+  /// a retryable transport error, not a device error.
+  bool data_digest = false;
+
   // --- TCP channel ---
   u64 in_capsule_threshold = 8 * kKiB;  ///< stock NVMe/TCP in-capsule limit
   u64 chunk_bytes = 128 * kKiB;         ///< application-level chunk size (§4.5)

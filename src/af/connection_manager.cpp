@@ -10,6 +10,7 @@ pdu::ICReq ConnectionManager::make_icreq(const AfConfig& cfg) const {
   req.maxr2t = 1;
   req.node_token = broker_.node_token();
   req.want_shm = cfg.want_shm;
+  req.data_digest = cfg.data_digest;
   return req;
 }
 
@@ -19,6 +20,7 @@ Result<pdu::ICResp> ConnectionManager::accept_target(const pdu::ICReq& req,
   pdu::ICResp resp;
   resp.pfv = req.pfv;
   resp.maxh2cdata = static_cast<u32>(ep.config().chunk_bytes);
+  resp.data_digest = req.data_digest && ep.config().data_digest;
 
   const bool co_located = req.node_token == broker_.node_token();
   if (!req.want_shm || !ep.config().want_shm || !co_located) {

@@ -9,6 +9,27 @@ void AfEndpoint::enable_shm(RegionHandle handle, shm::DoubleBufferRing ring,
   handle_ = std::move(handle);
   ring_ = ring;
   lock_ = std::move(lock);
+  demoted_ = false;
+}
+
+bool AfEndpoint::demote_shm() {
+  if (!ring_.valid() || demoted_) return false;
+  demoted_ = true;
+  shm_demotions_++;
+  return true;
+}
+
+void AfEndpoint::detach_shm() {
+  handle_ = RegionHandle{};
+  ring_ = shm::DoubleBufferRing{};
+  lock_.reset();
+  demoted_ = false;
+}
+
+bool AfEndpoint::shm_healthy() const {
+  if (!ring_.valid() || !handle_.valid()) return false;
+  const auto page = handle_.locality_page();
+  return page.generation() > 0 && page.region_name() == handle_.name;
 }
 
 void AfEndpoint::with_access(std::function<void(Done unlock)> op) {
@@ -20,8 +41,10 @@ void AfEndpoint::with_access(std::function<void(Done unlock)> op) {
     // the paper's Fig 8 observation that going lock-free cut p99.99 by
     // ~38% while leaving bandwidth unchanged.
     auto lock = lock_;
-    lock->acquire([this, lock, op = std::move(op)] {
-      exec_.schedule_after(kLockHoldNs, [lock, op = std::move(op)] {
+    lock->acquire([this, lock, alive = alive_, op = std::move(op)] {
+      if (!*alive) return;
+      exec_.schedule_after(kLockHoldNs, [lock, alive, op = std::move(op)] {
+        if (!*alive) return;
         op([lock] { lock->release(); });
       });
     });
@@ -42,17 +65,20 @@ Status AfEndpoint::stage_payload(u32 slot, std::span<const u8> data, Done done) 
   staged_copies_++;
   with_access([this, slot, data, done = std::move(done)](Done unlock) mutable {
     auto dst = ring_.slot_data(produce_dir(), slot);
-    copier_.copy(data, dst, [this, slot, len = data.size(),
+    copier_.copy(data, dst, [this, alive = alive_, slot, len = data.size(),
                              done = std::move(done),
                              unlock = std::move(unlock)]() mutable {
+      if (!*alive) return;
       if (cfg_.encrypt_shm) {
         // Only ciphertext ever lands in the shared region (§6).
         auto buf = ring_.slot_data(produce_dir(), slot);
         xor_keystream(buf.subspan(0, len), cfg_.shm_key,
                       static_cast<u64>(slot) * ring_.slot_size());
         // One extra pass over the payload, charged like a copy.
-        copier_.charge(len, [this, slot, len, done = std::move(done),
+        copier_.charge(len, [this, alive = std::move(alive), slot, len,
+                             done = std::move(done),
                              unlock = std::move(unlock)]() mutable {
+          if (!*alive) return;
           (void)ring_.publish(produce_dir(), slot, len);
           unlock();
           done();
@@ -80,9 +106,11 @@ void AfEndpoint::stage_payload_when_free(u32 slot, std::span<const u8> data,
   }
   // Slot still draining on the peer: poll, as the consumer-side CM does
   // for the locality flag. The granularity mirrors the notify pickup cost.
-  exec_.schedule_after(1'000, [this, slot, data, done = std::move(done)]() mutable {
-    stage_payload_when_free(slot, data, std::move(done));
-  });
+  exec_.schedule_after(
+      1'000, [this, alive = alive_, slot, data, done = std::move(done)]() mutable {
+        if (!*alive) return;
+        stage_payload_when_free(slot, data, std::move(done));
+      });
 }
 
 Result<std::span<u8>> AfEndpoint::acquire_app_buffer(u32 slot) {
@@ -126,8 +154,9 @@ void AfEndpoint::consume_payload(u32 slot, std::span<u8> dst,
       return;
     }
     copier_.copy(src, dst.subspan(0, src.size()),
-                 [this, slot, dst, len = src.size(), done = std::move(done),
-                  unlock = std::move(unlock)]() mutable {
+                 [this, alive = alive_, slot, dst, len = src.size(),
+                  done = std::move(done), unlock = std::move(unlock)]() mutable {
+                   if (!*alive) return;
                    if (cfg_.encrypt_shm) {
                      // Decrypt the private copy; the shared region keeps
                      // only ciphertext.

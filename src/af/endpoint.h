@@ -44,13 +44,36 @@ class AfEndpoint {
   AfEndpoint(const AfEndpoint&) = delete;
   AfEndpoint& operator=(const AfEndpoint&) = delete;
 
+  ~AfEndpoint() { *alive_ = false; }
+
   /// Wire up the shm channel after the Connection Manager handshake.
   /// `lock` is non-null only in the locked-access ablation mode, where it
   /// must be the same AsyncMutex on both sides of the connection.
   void enable_shm(RegionHandle handle, shm::DoubleBufferRing ring,
                   std::shared_ptr<sim::AsyncMutex> lock = nullptr);
 
-  [[nodiscard]] bool shm_ready() const { return ring_.valid(); }
+  /// True when new payloads should ride the shm ring. Demotion turns this
+  /// off while leaving the ring attached so in-flight transfers drain.
+  [[nodiscard]] bool shm_ready() const { return ring_.valid() && !demoted_; }
+
+  /// True while the ring is mapped at all — consume paths use this so a
+  /// payload already parked in a slot survives a runtime demotion.
+  [[nodiscard]] bool shm_attached() const { return ring_.valid(); }
+
+  /// Runtime shm -> TCP demotion (paper's adaptivity extended to run-time):
+  /// stop producing into the ring; in-flight slot transfers still complete.
+  /// Idempotent. Returns true if this call performed the demotion.
+  bool demote_shm();
+  [[nodiscard]] bool demoted() const { return demoted_; }
+
+  /// Drop the ring mapping entirely (reconnect teardown). Pending slot
+  /// consumers fail; callers must have drained or failed in-flight I/O.
+  void detach_shm();
+
+  /// Cheap data-path health probe: the helper's locality page must still
+  /// announce exactly the region this endpoint mapped. A revoked or
+  /// re-provisioned page fails the check and should trigger demotion.
+  [[nodiscard]] bool shm_healthy() const;
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] const AfConfig& config() const { return cfg_; }
   [[nodiscard]] Executor& executor() { return exec_; }
@@ -98,6 +121,7 @@ class AfEndpoint {
   [[nodiscard]] u64 shm_payload_bytes() const { return shm_payload_bytes_; }
   [[nodiscard]] u64 zero_copy_publishes() const { return zero_copy_publishes_; }
   [[nodiscard]] u64 staged_copies() const { return staged_copies_; }
+  [[nodiscard]] u64 shm_demotions() const { return shm_demotions_; }
 
  private:
   [[nodiscard]] shm::Direction produce_dir() const {
@@ -121,10 +145,16 @@ class AfEndpoint {
   RegionHandle handle_;
   shm::DoubleBufferRing ring_;
   std::shared_ptr<sim::AsyncMutex> lock_;
+  bool demoted_ = false;
+  /// Guards deferred work (slot polls, lock acquires, copier completions)
+  /// against the endpoint being destroyed mid-run — the association reaper
+  /// tears connections down while the executor still holds their lambdas.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   u64 shm_payload_bytes_ = 0;
   u64 zero_copy_publishes_ = 0;
   u64 staged_copies_ = 0;
+  u64 shm_demotions_ = 0;
 };
 
 }  // namespace oaf::af

@@ -1,0 +1,69 @@
+#include "net/fault_channel.h"
+
+namespace oaf::net {
+
+FaultChannel::FaultChannel(std::unique_ptr<MsgChannel> inner,
+                           FaultPolicy policy)
+    : inner_(std::move(inner)), policy_(policy), rng_(policy.seed) {}
+
+void FaultChannel::set_policy(FaultPolicy policy) {
+  policy_ = policy;
+  rng_ = Rng(policy.seed);
+}
+
+void FaultChannel::send(pdu::Pdu pdu) {
+  if (fault_ && !fault_(pdu)) {
+    dropped_++;
+    return;
+  }
+  if (partitioned_) {
+    dropped_++;
+    return;
+  }
+  if (policy_.drop_prob > 0.0 && rng_.next_bool(policy_.drop_prob)) {
+    dropped_++;
+    return;
+  }
+  if (policy_.corrupt_prob > 0.0 && !pdu.payload.empty() &&
+      rng_.next_bool(policy_.corrupt_prob)) {
+    pdu.payload[rng_.next_below(pdu.payload.size())] ^= 0xFF;
+    corrupted_++;
+  }
+  const bool duplicate =
+      policy_.duplicate_prob > 0.0 && rng_.next_bool(policy_.duplicate_prob);
+  if (duplicate) {
+    duplicated_++;
+    forward(pdu);
+  }
+  forward(std::move(pdu));
+}
+
+void FaultChannel::forward(pdu::Pdu pdu) {
+  DurNs delay = policy_.delay_ns;
+  if (policy_.delay_jitter_ns > 0) {
+    delay += static_cast<DurNs>(
+        rng_.next_below(static_cast<u64>(policy_.delay_jitter_ns)));
+  }
+  if (delay <= 0) {
+    inner_->send(std::move(pdu));
+    return;
+  }
+  delayed_++;
+  // inner_ outlives scheduled work in every harness (channels are torn down
+  // only after the executor drains), so capturing the raw pointer is safe.
+  auto* inner = inner_.get();
+  inner_->executor().schedule_after(
+      delay, [inner, p = std::move(pdu)]() mutable {
+        if (inner->is_open()) inner->send(std::move(p));
+      });
+}
+
+std::pair<std::unique_ptr<FaultChannel>, std::unique_ptr<FaultChannel>>
+wrap_fault_pair(ChannelPair pair, FaultPolicy policy) {
+  FaultPolicy second = policy;
+  second.seed = policy.seed * 0x9E3779B97F4A7C15ULL + 1;
+  return {std::make_unique<FaultChannel>(std::move(pair.first), policy),
+          std::make_unique<FaultChannel>(std::move(pair.second), second)};
+}
+
+}  // namespace oaf::net

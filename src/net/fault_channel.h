@@ -1,0 +1,96 @@
+// Fault-injection channel wrapper.
+//
+// FaultChannel decorates any MsgChannel endpoint with deterministic,
+// seeded misbehaviour: probabilistic drop / payload corruption /
+// duplication, fixed-plus-jittered delivery delay, and an explicit
+// partition switch (drop everything until healed). A free-form FaultFn
+// hook supports surgical faults ("drop the next CapsuleResp", "point this
+// capsule at a bogus slot") on top of the stochastic policy, and inject()
+// forges PDUs as if the local endpoint had sent them.
+//
+// Because corruption and timing all derive from a caller-supplied seed,
+// fault scenarios replay bit-identically on the timing plane and are used
+// by the resilience tests to assert the protocol *recovers* — not merely
+// fails safely — under loss.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "net/channel.h"
+
+namespace oaf::net {
+
+/// Stochastic misbehaviour knobs. All probabilities are per-PDU and
+/// evaluated from a deterministic seeded stream.
+struct FaultPolicy {
+  u64 seed = 1;
+  double drop_prob = 0.0;       ///< silently discard the PDU
+  double corrupt_prob = 0.0;    ///< flip one payload byte (inline data only)
+  double duplicate_prob = 0.0;  ///< deliver the PDU twice
+  DurNs delay_ns = 0;           ///< fixed extra latency per forwarded PDU
+  DurNs delay_jitter_ns = 0;    ///< extra uniform latency in [0, jitter)
+};
+
+class FaultChannel final : public MsgChannel {
+ public:
+  /// Returns false to drop the PDU; may mutate it in place. Runs before
+  /// the stochastic policy.
+  using FaultFn = std::function<bool(pdu::Pdu&)>;
+
+  explicit FaultChannel(std::unique_ptr<MsgChannel> inner,
+                        FaultPolicy policy = {});
+
+  /// Replaces the policy and reseeds the deterministic stream.
+  void set_policy(FaultPolicy policy);
+  void set_fault(FaultFn fn) { fault_ = std::move(fn); }
+
+  /// Drop every PDU (both directions are typically partitioned by
+  /// wrapping each endpoint) until heal() is called.
+  void partition() { partitioned_ = true; }
+  void heal() { partitioned_ = false; }
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+  /// Forge a PDU as if the local endpoint had sent it: bypasses the
+  /// fault policy entirely.
+  void inject(pdu::Pdu pdu) { inner_->send(std::move(pdu)); }
+
+  // MsgChannel
+  void send(pdu::Pdu pdu) override;
+  void set_handler(Handler handler) override {
+    inner_->set_handler(std::move(handler));
+  }
+  void close() override { inner_->close(); }
+  [[nodiscard]] bool is_open() const override { return inner_->is_open(); }
+  [[nodiscard]] Executor& executor() override { return inner_->executor(); }
+  [[nodiscard]] u64 bytes_sent() const override { return inner_->bytes_sent(); }
+  [[nodiscard]] u64 pdus_sent() const override { return inner_->pdus_sent(); }
+
+  // Fault counters.
+  [[nodiscard]] u64 dropped() const { return dropped_; }
+  [[nodiscard]] u64 corrupted() const { return corrupted_; }
+  [[nodiscard]] u64 duplicated() const { return duplicated_; }
+  [[nodiscard]] u64 delayed() const { return delayed_; }
+
+ private:
+  void forward(pdu::Pdu pdu);
+
+  std::unique_ptr<MsgChannel> inner_;
+  FaultPolicy policy_;
+  Rng rng_;
+  FaultFn fault_;
+  bool partitioned_ = false;
+  u64 dropped_ = 0;
+  u64 corrupted_ = 0;
+  u64 duplicated_ = 0;
+  u64 delayed_ = 0;
+};
+
+/// Wraps both endpoints of an existing pair in FaultChannels sharing the
+/// same policy (seeds are split so the two directions draw independent
+/// streams).
+std::pair<std::unique_ptr<FaultChannel>, std::unique_ptr<FaultChannel>>
+wrap_fault_pair(ChannelPair pair, FaultPolicy policy = {});
+
+}  // namespace oaf::net

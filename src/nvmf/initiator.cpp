@@ -5,6 +5,7 @@
 #include "af/chunker.h"
 #include "af/flow_control.h"
 #include "common/log.h"
+#include "pdu/crc32.h"
 
 namespace oaf::nvmf {
 
@@ -16,11 +17,14 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
                              net::Copier& copier, af::ShmBroker& broker,
                              InitiatorOptions opts)
     : exec_(exec),
-      control_(control),
+      owned_control_(nullptr),
+      control_(&control),
+      copier_(copier),
       cm_(broker),
       ep_(af::Role::kClient, exec, copier, opts.af),
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
-      opts_(std::move(opts)) {
+      opts_(std::move(opts)),
+      jitter_rng_(opts_.reconnect.jitter_seed) {
   // Queue depth cannot exceed the cid space / slot count.
   if (opts_.queue_depth == 0) opts_.queue_depth = 1;
   if (opts_.queue_depth > opts_.af.shm_slots) {
@@ -28,18 +32,54 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
   }
   inflight_.resize(opts_.queue_depth);
   slot_busy_.assign(opts_.queue_depth, false);
-  control_.set_handler([this](Pdu p) { on_pdu(std::move(p)); });
+  control_->set_handler(
+      [this, alive = alive_](Pdu p) {
+        if (*alive) on_pdu(std::move(p));
+      });
+}
+
+NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
+                             net::Copier& copier, af::ShmBroker& broker,
+                             InitiatorOptions opts)
+    : exec_(exec),
+      owned_control_(factory()),
+      control_(owned_control_.get()),
+      factory_(std::move(factory)),
+      copier_(copier),
+      cm_(broker),
+      ep_(af::Role::kClient, exec, copier, opts.af),
+      governor_(opts.af.busy_poll, opts.af.static_poll_ns),
+      opts_(std::move(opts)),
+      jitter_rng_(opts_.reconnect.jitter_seed) {
+  if (opts_.queue_depth == 0) opts_.queue_depth = 1;
+  if (opts_.queue_depth > opts_.af.shm_slots) {
+    opts_.queue_depth = opts_.af.shm_slots;
+  }
+  inflight_.resize(opts_.queue_depth);
+  slot_busy_.assign(opts_.queue_depth, false);
+  control_->set_handler(
+      [this, alive = alive_](Pdu p) {
+        if (*alive) on_pdu(std::move(p));
+      });
+}
+
+void NvmfInitiator::send_icreq() {
+  pdu::ICReq req = cm_.make_icreq(opts_.af);
+  req.kato_ns = opts_.reconnect.kato_ns;
+  Pdu pdu;
+  pdu.header = req;
+  control_->send(std::move(pdu));
 }
 
 void NvmfInitiator::connect(std::function<void(Status)> cb) {
   connect_cb_ = std::move(cb);
-  governor_.attach(&control_);
-  Pdu pdu;
-  pdu.header = cm_.make_icreq(opts_.af);
-  control_.send(std::move(pdu));
+  governor_.attach(control_);
+  send_icreq();
+  schedule_keepalive();
 }
 
 void NvmfInitiator::on_pdu(Pdu pdu) {
+  ka_outstanding_ = false;  // any traffic proves the peer is alive
   switch (pdu.type()) {
     case pdu::PduType::kICResp:
       on_icresp(*pdu.as<pdu::ICResp>());
@@ -54,7 +94,8 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
       const auto& resp = *pdu.as<pdu::CapsuleResp>();
       if (resp.cpl.cid < inflight_.size() && slot_busy_[resp.cpl.cid]) {
         Pending& p = inflight_[resp.cpl.cid];
-        if (p.cmd.opcode == NvmeOpcode::kIdentify && p.identify_cb) {
+        if (p.cmd.opcode == NvmeOpcode::kIdentify && p.identify_cb &&
+            !stale(resp.gen, p)) {
           // Identify carries (block_size, num_blocks) in the payload.
           if (pdu.payload.size() >= 12 && resp.cpl.ok()) {
             u32 bs = 0;
@@ -70,10 +111,15 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
       on_resp(resp);
       break;
     }
+    case pdu::PduType::kKeepAlive:
+      // Controller echo; the blanket ka_outstanding_ reset above already
+      // recorded the liveness proof.
+      break;
     case pdu::PduType::kC2HTermReq:
       OAF_WARN("initiator received TermReq: %s",
                pdu.as<pdu::TermReq>()->reason.c_str());
-      control_.close();
+      control_->close();
+      recover("target terminated association");
       break;
     default:
       OAF_WARN("initiator: unexpected PDU type %s", pdu::to_string(pdu.type()));
@@ -82,8 +128,10 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
 }
 
 void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
+  handshake_epoch_++;  // cancels any pending handshake timeout
   maxh2cdata_ = resp.maxh2cdata != 0 ? resp.maxh2cdata
                                      : static_cast<u32>(opts_.af.chunk_bytes);
+  data_digest_ = resp.data_digest && opts_.af.data_digest;
   if (resp.shm_granted) {
     if (auto st = cm_.complete_client(resp, ep_); !st) {
       OAF_WARN("shm grant could not be honoured, falling back to TCP: %s",
@@ -91,11 +139,201 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
     }
   }
   connected_ = true;
+  const bool was_reconnect = reconnecting_;
+  reconnecting_ = false;
+  if (was_reconnect) {
+    counters_.reconnects++;
+    // Replay harvested in-flight commands first so they re-enter the queue
+    // ahead of commands that were still waiting — the original submission
+    // order is preserved.
+    std::deque<Pending> replay;
+    replay.swap(replay_);
+    for (auto& p : replay) {
+      counters_.commands_retried++;
+      submit_or_queue(std::move(p));
+    }
+    drain_queue();
+  }
   if (connect_cb_) {
     auto cb = std::move(connect_cb_);
     connect_cb_ = nullptr;
     cb(Status::ok());
   }
+}
+
+// --------------------------------------------------------------------------
+// Recovery
+// --------------------------------------------------------------------------
+
+bool NvmfInitiator::retryable(const Pending& p) const {
+  // Zero-copy commands are bound to slot contents that do not survive a
+  // reconnect (the region is renegotiated), and view callbacks may already
+  // have leaked a borrowed span. Staged reads, un-acked staged writes,
+  // flush, and identify all replay safely: the API contract keeps wdata
+  // alive until the completion callback fires.
+  return !p.zero_copy && !p.view_cb;
+}
+
+void NvmfInitiator::fail_pending(Pending& p) {
+  IoResult res;
+  res.cpl.status = pdu::NvmeStatus::kDataTransferError;
+  if (p.cb) p.cb(res);
+  if (p.view_cb) {
+    p.view_cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
+                                          "connection aborted")),
+              res);
+  }
+  if (p.identify_cb) {
+    p.identify_cb(make_error(StatusCode::kUnavailable, "connection aborted"));
+  }
+}
+
+void NvmfInitiator::recover(const char* reason) {
+  if (dead_ || reconnecting_) return;
+  if (!opts_.reconnect.enabled() || !factory_) {
+    abort_connection(reason);
+    return;
+  }
+  OAF_WARN("initiator: recovering connection (%s)", reason);
+  reconnecting_ = true;
+  connected_ = false;
+  handshake_epoch_++;
+  ka_outstanding_ = false;
+  ka_misses_ = 0;
+  control_->close();
+  // Harvest in-flight commands into the replay queue; anything unsafe to
+  // replay (or out of budget) fails now, exactly once.
+  for (u16 cid = 0; cid < inflight_.size(); ++cid) {
+    if (!slot_busy_[cid]) continue;
+    Pending p = std::move(inflight_[cid]);
+    slot_busy_[cid] = false;
+    inflight_[cid] = Pending{};
+    if (retryable(p) && p.attempts < opts_.reconnect.max_command_retries) {
+      p.attempts++;
+      p.bytes_received = 0;
+      replay_.push_back(std::move(p));
+    } else {
+      fail_pending(p);
+    }
+  }
+  // The shm region dies with the association; the reconnect handshake
+  // negotiates a fresh one (or falls back to TCP).
+  ep_.detach_shm();
+  schedule_reconnect(1);
+}
+
+void NvmfInitiator::schedule_reconnect(u32 attempt) {
+  if (attempt > opts_.reconnect.max_attempts) {
+    abort_connection("reconnect attempts exhausted");
+    return;
+  }
+  DurNs backoff = opts_.reconnect.initial_backoff_ns;
+  for (u32 i = 1; i < attempt; ++i) {
+    backoff = static_cast<DurNs>(static_cast<double>(backoff) *
+                                 opts_.reconnect.backoff_multiplier);
+    if (backoff >= opts_.reconnect.max_backoff_ns) break;
+  }
+  if (backoff > opts_.reconnect.max_backoff_ns) {
+    backoff = opts_.reconnect.max_backoff_ns;
+  }
+  if (opts_.reconnect.jitter_frac > 0.0) {
+    const double j =
+        opts_.reconnect.jitter_frac * (2.0 * jitter_rng_.next_double() - 1.0);
+    backoff += static_cast<DurNs>(static_cast<double>(backoff) * j);
+  }
+  if (backoff < 0) backoff = 0;
+  exec_.schedule_after(backoff, [this, alive = alive_, attempt] {
+    if (!*alive || dead_ || !reconnecting_) return;
+    do_reconnect(attempt);
+  });
+}
+
+void NvmfInitiator::do_reconnect(u32 attempt) {
+  auto fresh = factory_();
+  if (!fresh) {
+    // Dial failed (e.g. the target is still down); burn the attempt and
+    // back off again. The previous channel stays in place so control_
+    // remains valid.
+    counters_.reconnect_failures++;
+    schedule_reconnect(attempt + 1);
+    return;
+  }
+  owned_control_ = std::move(fresh);
+  control_ = owned_control_.get();
+  control_->set_handler(
+      [this, alive = alive_](Pdu p) {
+        if (*alive) on_pdu(std::move(p));
+      });
+  governor_.attach(control_);
+  send_icreq();
+  if (opts_.reconnect.handshake_timeout_ns <= 0) return;
+  const u64 epoch = handshake_epoch_;
+  exec_.schedule_after(
+      opts_.reconnect.handshake_timeout_ns,
+      [this, alive = alive_, attempt, epoch] {
+        if (!*alive || dead_ || !reconnecting_) return;
+        if (epoch != handshake_epoch_) return;  // ICResp arrived in time
+        counters_.reconnect_failures++;
+        control_->close();
+        schedule_reconnect(attempt + 1);
+      });
+}
+
+void NvmfInitiator::demote_shm(const std::string& reason) {
+  if (!ep_.demote_shm()) return;
+  counters_.shm_demotions++;
+  OAF_WARN("initiator: demoting shm data path (%s)", reason.c_str());
+  pdu::ShmDemote demote;
+  demote.reason = reason;
+  Pdu pdu;
+  pdu.header = demote;
+  control_->send(std::move(pdu));
+}
+
+// --------------------------------------------------------------------------
+// Keep-alive
+// --------------------------------------------------------------------------
+
+void NvmfInitiator::schedule_keepalive() {
+  if (opts_.reconnect.keepalive_interval_ns <= 0) return;
+  const u64 epoch = ka_epoch_;
+  exec_.schedule_after(opts_.reconnect.keepalive_interval_ns,
+                       [this, alive = alive_, epoch] {
+                         if (!*alive || dead_ || epoch != ka_epoch_) return;
+                         keepalive_tick();
+                       });
+}
+
+void NvmfInitiator::keepalive_tick() {
+  // The data-path health probe rides the keep-alive cadence: a revoked or
+  // re-provisioned locality page demotes the connection to TCP.
+  if (ep_.shm_ready() && !ep_.shm_healthy()) {
+    demote_shm("locality page health check failed");
+  }
+  if (connected_ && !reconnecting_) {
+    if (ka_outstanding_) {
+      counters_.keepalive_misses++;
+      ka_misses_++;
+      if (ka_misses_ >= opts_.reconnect.keepalive_miss_limit) {
+        ka_misses_ = 0;
+        ka_outstanding_ = false;
+        schedule_keepalive();
+        recover("keep-alive miss limit reached");
+        return;
+      }
+    } else {
+      ka_misses_ = 0;
+    }
+    pdu::KeepAlive ka;
+    ka.from_host = true;
+    ka.seq = ++ka_seq_;
+    Pdu pdu;
+    pdu.header = ka;
+    control_->send(std::move(pdu));
+    counters_.keepalive_sent++;
+    ka_outstanding_ = true;
+  }
+  schedule_keepalive();
 }
 
 // --------------------------------------------------------------------------
@@ -105,65 +343,59 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
 void NvmfInitiator::arm_timeout(u16 cid) {
   if (opts_.command_timeout_ns <= 0) return;
   const u64 generation = inflight_[cid].generation;
-  exec_.schedule_after(opts_.command_timeout_ns, [this, cid, generation] {
-    if (dead_ || !slot_busy_[cid]) return;
-    if (inflight_[cid].generation != generation) return;  // cid was reused
-    timeouts_++;
-    abort_connection("command timeout");
-  });
+  exec_.schedule_after(opts_.command_timeout_ns,
+                       [this, alive = alive_, cid, generation] {
+                         if (!*alive || dead_ || !slot_busy_[cid]) return;
+                         if (inflight_[cid].generation != generation) return;
+                         timeouts_++;
+                         recover("command timeout");
+                       });
 }
 
 void NvmfInitiator::abort_connection(const char* reason) {
   if (dead_) return;
   dead_ = true;
+  reconnecting_ = false;
+  ka_epoch_++;  // stop the keep-alive loop
   OAF_WARN("initiator: aborting connection (%s)", reason);
-  // NVMe-oF error recovery is controller-scoped: terminate the association
-  // and fail everything in flight. A late response for a failed cid must
-  // not be matched against a new command, so the queue stops here.
+  // NVMe-oF error recovery past the reconnect budget is controller-scoped:
+  // terminate the association and fail everything in flight. A late
+  // response for a failed cid must not be matched against a new command,
+  // so the queue stops here.
   pdu::TermReq term;
   term.from_host = true;
   term.fes = 2;
   term.reason = reason;
   Pdu pdu;
   pdu.header = term;
-  control_.send(std::move(pdu));
-  control_.close();
+  control_->send(std::move(pdu));
+  control_->close();
 
   for (u16 cid = 0; cid < inflight_.size(); ++cid) {
     if (!slot_busy_[cid]) continue;
     complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
   }
+  while (!replay_.empty()) {
+    Pending p = std::move(replay_.front());
+    replay_.pop_front();
+    fail_pending(p);
+  }
   while (!waiting_.empty()) {
     Pending p = std::move(waiting_.front());
     waiting_.pop_front();
-    IoResult res;
-    res.cpl.status = pdu::NvmeStatus::kDataTransferError;
-    if (p.cb) p.cb(res);
-    if (p.view_cb) {
-      p.view_cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
-                                            "connection aborted")),
-                res);
-    }
-    if (p.identify_cb) {
-      p.identify_cb(make_error(StatusCode::kUnavailable, "connection aborted"));
-    }
+    fail_pending(p);
   }
 }
 
 void NvmfInitiator::submit_or_queue(Pending pending) {
   if (dead_) {
-    IoResult res;
-    res.cpl.status = pdu::NvmeStatus::kDataTransferError;
-    if (pending.cb) pending.cb(res);
-    if (pending.view_cb) {
-      pending.view_cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
-                                                  "connection aborted")),
-                      res);
-    }
-    if (pending.identify_cb) {
-      pending.identify_cb(
-          make_error(StatusCode::kUnavailable, "connection aborted"));
-    }
+    fail_pending(pending);
+    return;
+  }
+  if (reconnecting_) {
+    // Hold everything until the association is re-established; the replay
+    // flush resubmits in order.
+    waiting_.push_back(std::move(pending));
     return;
   }
   // Find a free cid round-robin (paper: slots chosen round-robin w.r.t. the
@@ -184,6 +416,7 @@ void NvmfInitiator::submit_or_queue(Pending pending) {
 
 void NvmfInitiator::drain_queue() {
   while (!waiting_.empty()) {
+    if (reconnecting_ || dead_) return;
     // Re-check a cid is actually free before popping.
     bool any_free = false;
     for (u32 i = 0; i < opts_.queue_depth; ++i) {
@@ -202,7 +435,10 @@ void NvmfInitiator::drain_queue() {
 void NvmfInitiator::start_command(u16 cid) {
   Pending& p = inflight_[cid];
   p.submit_time = exec_.now();
+  if (p.first_submit < 0) p.first_submit = p.submit_time;
   p.generation = next_generation_++;
+  p.gen = next_gen_++;
+  if (next_gen_ == 0) next_gen_ = 1;  // 0 is the wildcard tag
   governor_.record_op(p.cmd.is_write());
   arm_timeout(cid);
   switch (p.cmd.opcode) {
@@ -228,10 +464,11 @@ void NvmfInitiator::send_capsule(u16 cid, bool in_capsule,
   capsule.placement = placement;
   capsule.shm_slot = cid;
   capsule.data_len = p.data_len;
+  capsule.gen = p.gen;
   Pdu pdu;
   pdu.header = capsule;
   pdu.payload = std::move(inline_payload);
-  control_.send(std::move(pdu));
+  control_->send(std::move(pdu));
 }
 
 void NvmfInitiator::start_write(u16 cid) {
@@ -285,6 +522,11 @@ void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
     OAF_WARN("R2T for unknown cid %u", cid);
     return;
   }
+  Pending& p = inflight_[cid];
+  if (stale(r2t.gen, p)) {
+    OAF_WARN("stale R2T for cid %u (gen %u != %u)", cid, r2t.gen, p.gen);
+    return;
+  }
   if (ep_.shm_ready()) {
     // Conservative flow on shm (pre-optimization design): the granted
     // window moves through the slot one maxh2cdata chunk at a time, each
@@ -294,7 +536,6 @@ void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
     shm_write_chunk(cid, r2t.ttag, r2t.offset, r2t.offset + r2t.length);
     return;
   }
-  Pending& p = inflight_[cid];
   // TCP: stream the granted window as inline chunks of maxh2cdata.
   const auto chunks =
       af::make_chunks(r2t.length, maxh2cdata_);
@@ -306,11 +547,17 @@ void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
     h2c.length = c.length;
     h2c.last = c.last;
     h2c.placement = DataPlacement::kInline;
+    h2c.gen = p.gen;
     Pdu pdu;
     pdu.header = h2c;
     const auto slice = p.wdata.subspan(r2t.offset + c.offset, c.length);
     pdu.payload.assign(slice.begin(), slice.end());
-    control_.send(std::move(pdu));
+    if (data_digest_) {
+      h2c.data_digest = pdu::crc32c(
+          std::span<const u8>(pdu.payload.data(), pdu.payload.size()));
+      pdu.header = h2c;
+    }
+    control_->send(std::move(pdu));
   }
 }
 
@@ -321,7 +568,9 @@ void NvmfInitiator::shm_write_chunk(u16 cid, u16 ttag, u64 offset, u64 end) {
   const bool last = offset + chunk >= end;
   ep_.stage_payload_when_free(
       cid, p.wdata.subspan(offset, chunk),
-      [this, cid, ttag, offset, chunk, last, end] {
+      [this, cid, ttag, offset, chunk, last, end, gen = p.gen] {
+        if (cid >= inflight_.size() || !slot_busy_[cid]) return;
+        if (inflight_[cid].gen != gen) return;  // replaced by a replay
         pdu::H2CData h2c;
         h2c.cid = cid;
         h2c.ttag = ttag;
@@ -330,9 +579,10 @@ void NvmfInitiator::shm_write_chunk(u16 cid, u16 ttag, u64 offset, u64 end) {
         h2c.last = last;
         h2c.placement = DataPlacement::kShmSlot;
         h2c.shm_slot = cid;
+        h2c.gen = gen;
         Pdu pdu;
         pdu.header = h2c;
-        control_.send(std::move(pdu));
+        control_->send(std::move(pdu));
         if (!last) shm_write_chunk(cid, ttag, offset + chunk, end);
       });
 }
@@ -349,6 +599,10 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
     return;
   }
   Pending& p = inflight_[cid];
+  if (stale(c2h.gen, p)) {
+    OAF_WARN("stale C2HData for cid %u (gen %u != %u)", cid, c2h.gen, p.gen);
+    return;
+  }
 
   if (c2h.placement == DataPlacement::kShmSlot) {
     if (p.zero_copy && p.view_cb) {
@@ -385,8 +639,11 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
     }
     ep_.consume_payload(
         c2h.shm_slot, p.rdata.subspan(c2h.offset, c2h.length),
-        [this, cid, last = c2h.last, success = c2h.success,
-         io_ns = c2h.io_time_ns, tgt_ns = c2h.target_time_ns](Result<u64> got) {
+        [this, alive = alive_, cid, gen = p.gen, last = c2h.last,
+         success = c2h.success, io_ns = c2h.io_time_ns,
+         tgt_ns = c2h.target_time_ns](Result<u64> got) {
+          if (!*alive || cid >= inflight_.size() || !slot_busy_[cid]) return;
+          if (inflight_[cid].gen != gen) return;  // replaced by a replay
           if (!got) {
             complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
             return;
@@ -404,6 +661,16 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
     complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
     return;
   }
+  if (data_digest_ && c2h.data_digest != 0) {
+    const u32 computed = pdu::crc32c(
+        std::span<const u8>(pdu.payload.data(), pdu.payload.size()));
+    if (computed != c2h.data_digest) {
+      counters_.digest_errors++;
+      OAF_WARN("C2HData digest mismatch for cid %u", cid);
+      complete(cid, {cid, pdu::NvmeStatus::kTransientTransportError, 0}, 0, 0);
+      return;
+    }
+  }
   std::memcpy(p.rdata.data() + c2h.offset, pdu.payload.data(), c2h.length);
   p.bytes_received += c2h.length;
   if (c2h.last && c2h.success) {
@@ -419,6 +686,11 @@ void NvmfInitiator::on_resp(const pdu::CapsuleResp& resp) {
     OAF_WARN("CapsuleResp for unknown cid %u", cid);
     return;
   }
+  if (stale(resp.gen, inflight_[cid])) {
+    OAF_WARN("stale CapsuleResp for cid %u (gen %u != %u)", cid, resp.gen,
+             inflight_[cid].gen);
+    return;
+  }
   complete(cid, resp.cpl, resp.io_time_ns, resp.target_time_ns);
 }
 
@@ -431,9 +703,25 @@ void NvmfInitiator::release_cid(u16 cid) {
 void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
                              u64 target_ns) {
   Pending& p = inflight_[cid];
+  if (cpl.status == pdu::NvmeStatus::kTransientTransportError && !dead_ &&
+      retryable(p) && p.attempts < opts_.reconnect.max_command_retries) {
+    // Transport-level fault on an otherwise healthy association (e.g. a
+    // data-digest mismatch): replay in place on the same cid. A fresh gen
+    // tag fences any PDU still in flight from the failed attempt.
+    p.attempts++;
+    p.bytes_received = 0;
+    counters_.commands_retried++;
+    start_command(cid);
+    return;
+  }
   IoResult res;
   res.cpl = cpl;
-  res.total_ns = exec_.now() - p.submit_time;
+  // total_ns spans the FIRST submission to the final completion so retried
+  // commands report their true application-visible latency; io/target time
+  // come from the completing attempt only, so device residency of earlier
+  // (abandoned) attempts is never double-counted in the Fig 3/12 breakdown.
+  res.total_ns =
+      exec_.now() - (p.first_submit >= 0 ? p.first_submit : p.submit_time);
   res.io_time_ns = io_ns;
   res.target_time_ns = target_ns;
 

@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -19,8 +20,10 @@
 #include "af/config.h"
 #include "af/connection_manager.h"
 #include "af/endpoint.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "net/channel.h"
+#include "nvmf/resilience.h"
 
 namespace oaf::nvmf {
 
@@ -29,10 +32,12 @@ struct InitiatorOptions {
   u32 queue_depth = 128;
   std::string connection_name = "conn0";
   /// Per-command timeout; 0 disables. On expiry the connection is torn
-  /// down and every outstanding command completes with kDataTransferError
-  /// (mirroring NVMe-oF's controller-level error recovery — a lost PDU
-  /// cannot be retried safely at this layer).
+  /// down (or, with a ReconnectPolicy, recovered) and commands that cannot
+  /// be replayed complete with kDataTransferError.
   DurNs command_timeout_ns = 0;
+  /// Recovery behaviour; disabled by default (legacy teardown semantics).
+  /// Reconnection additionally requires the ChannelFactory constructor.
+  ReconnectPolicy reconnect;
 };
 
 class NvmfInitiator {
@@ -65,8 +70,22 @@ class NvmfInitiator {
   };
   using ReadViewCb = std::function<void(Result<ReadView>, IoResult)>;
 
+  /// Produces a fresh control channel to the target; called once per
+  /// connection attempt (initial connect and every reconnect).
+  using ChannelFactory = std::function<std::unique_ptr<net::MsgChannel>()>;
+
+  /// Legacy constructor: the caller owns the channel. Reconnection is
+  /// unavailable — a transport fault tears the association down.
   NvmfInitiator(Executor& exec, net::MsgChannel& control, net::Copier& copier,
                 af::ShmBroker& broker, InitiatorOptions opts);
+
+  /// Resilient constructor: the initiator dials through `factory` and can
+  /// re-dial after a fault, replaying queued and safely-retryable in-flight
+  /// commands under opts.reconnect.
+  NvmfInitiator(Executor& exec, ChannelFactory factory, net::Copier& copier,
+                af::ShmBroker& broker, InitiatorOptions opts);
+
+  ~NvmfInitiator() { *alive_ = false; }
 
   /// Run the ICReq/ICResp handshake; cb(ok) once the fabric is established
   /// (shm granted or TCP-only fallback — both are success).
@@ -118,9 +137,27 @@ class NvmfInitiator {
   /// Zero-copy read: the completion hands back a view of the shm slot.
   void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb);
 
+  // --- resilience ----------------------------------------------------------
+
+  /// Demote the data path from shm to optimized TCP at run time without
+  /// aborting in-flight I/O. The target is notified via a ShmDemote PDU and
+  /// stops staging new payloads in slots; transfers already parked in slots
+  /// drain normally. No-op when shm is not active.
+  void demote_shm(const std::string& reason);
+
+  /// Force recovery as if a transport fault had been detected (testing and
+  /// external health monitors). With reconnection disabled this tears the
+  /// association down.
+  void force_recover(const char* reason) { recover(reason); }
+
+  [[nodiscard]] bool reconnecting() const { return reconnecting_; }
+  [[nodiscard]] const ResilienceCounters& resilience() const {
+    return counters_;
+  }
+
   // --- stats ---------------------------------------------------------------
   [[nodiscard]] u64 ios_completed() const { return ios_completed_; }
-  [[nodiscard]] u64 control_pdus_sent() const { return control_.pdus_sent(); }
+  [[nodiscard]] u64 control_pdus_sent() const { return control_->pdus_sent(); }
   [[nodiscard]] u64 timeouts() const { return timeouts_; }
   [[nodiscard]] bool dead() const { return dead_; }
 
@@ -136,9 +173,13 @@ class NvmfInitiator {
     ReadViewCb view_cb;
     std::function<void(Result<std::pair<u32, u64>>)> identify_cb;
     std::pair<u32, u64> identify_result{0, 0};
-    TimeNs submit_time = 0;
-    u64 bytes_received = 0;  // TCP read reassembly progress
-    u64 generation = 0;      // guards timeout callbacks against cid reuse
+    TimeNs submit_time = 0;    // current attempt's submit time
+    TimeNs first_submit = -1;  // first attempt's submit time (spans retries;
+                               // -1 = not yet submitted, 0 is a valid time)
+    u64 bytes_received = 0;   // TCP read reassembly progress
+    u64 generation = 0;       // guards timeout callbacks against cid reuse
+    u16 gen = 0;              // wire attempt tag (echoed by the target)
+    u32 attempts = 0;         // replays consumed from the retry budget
   };
 
   void on_pdu(pdu::Pdu pdu);
@@ -159,26 +200,57 @@ class NvmfInitiator {
   void drain_queue();
   void arm_timeout(u16 cid);
   void abort_connection(const char* reason);
+  void fail_pending(Pending& p);
+
+  // Reconnect state machine.
+  void recover(const char* reason);
+  void schedule_reconnect(u32 attempt);
+  void do_reconnect(u32 attempt);
+  void send_icreq();
+  [[nodiscard]] bool retryable(const Pending& p) const;
+  [[nodiscard]] bool stale(u16 pdu_gen, const Pending& p) const {
+    return pdu_gen != 0 && p.gen != 0 && pdu_gen != p.gen;
+  }
+
+  // Keep-alive.
+  void schedule_keepalive();
+  void keepalive_tick();
 
   [[nodiscard]] bool cid_free(u16 cid) const { return !slot_busy_[cid]; }
 
   Executor& exec_;
-  net::MsgChannel& control_;
+  std::unique_ptr<net::MsgChannel> owned_control_;  // factory-dialed channel
+  net::MsgChannel* control_;                        // never null after ctor
+  ChannelFactory factory_;
+  net::Copier& copier_;
   af::ConnectionManager cm_;
   af::AfEndpoint ep_;
   af::BusyPollGovernor governor_;
   InitiatorOptions opts_;
+  Rng jitter_rng_;
 
   bool connected_ = false;
   std::function<void(Status)> connect_cb_;
   u32 maxh2cdata_ = 128 * 1024;
+  bool data_digest_ = false;  // negotiated for this association
 
   std::vector<Pending> inflight_;   // indexed by cid
   std::vector<bool> slot_busy_;     // cid allocation map
   u16 next_cid_ = 0;                // round-robin cursor
   std::deque<Pending> waiting_;     // beyond queue depth
+  std::deque<Pending> replay_;      // harvested in-flight, awaiting reconnect
   u64 next_generation_ = 1;
-  bool dead_ = false;               // connection torn down
+  u16 next_gen_ = 1;                // wire attempt tags (0 reserved)
+  bool dead_ = false;               // connection torn down for good
+
+  bool reconnecting_ = false;
+  u64 handshake_epoch_ = 0;  // invalidates stale handshake timeouts
+  u64 ka_epoch_ = 0;         // invalidates keep-alive ticks on teardown
+  u64 ka_seq_ = 0;
+  bool ka_outstanding_ = false;
+  u32 ka_misses_ = 0;
+  ResilienceCounters counters_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   u64 ios_completed_ = 0;
   u64 timeouts_ = 0;

@@ -1,0 +1,59 @@
+// Connection-resilience policy and counters.
+//
+// The paper's adaptive fabric assumes a healthy channel; production NVMe-oF
+// does not get that luxury. ReconnectPolicy bounds how hard an initiator
+// fights to keep an association alive (reconnect attempts, exponential
+// backoff with deterministic jitter, per-command replay budget, keep-alive
+// cadence), and ResilienceCounters makes every recovery action observable
+// so benches and tests can assert "recovered" rather than "didn't crash".
+#pragma once
+
+#include "common/types.h"
+
+namespace oaf::nvmf {
+
+/// Governs initiator-side recovery. The default (max_attempts == 0) keeps
+/// the legacy behaviour: any transport fault tears the association down and
+/// fails everything outstanding.
+struct ReconnectPolicy {
+  /// Reconnect attempts per outage; 0 disables recovery entirely.
+  u32 max_attempts = 0;
+  DurNs initial_backoff_ns = 1'000'000;    ///< 1 ms before the first retry
+  DurNs max_backoff_ns = 1'000'000'000;    ///< backoff ceiling (1 s)
+  double backoff_multiplier = 2.0;
+  /// Jitter as a fraction of the backoff, drawn from a deterministic
+  /// seeded stream so recovery schedules replay bit-identically.
+  double jitter_frac = 0.1;
+  u64 jitter_seed = 1;
+  /// Replay budget per command across the connection lifetime. A command
+  /// that out-lives this many attempts fails with kDataTransferError.
+  u32 max_command_retries = 3;
+  /// How long a reconnect handshake may wait for ICResp before the attempt
+  /// is counted as failed and the next backoff starts.
+  DurNs handshake_timeout_ns = 50'000'000;
+  /// Keep-alive ping cadence; 0 disables pings (and therefore host-side
+  /// dead-peer detection). Timing-plane tests must drive the clock with
+  /// run_until() when this is non-zero — the tick re-arms itself.
+  DurNs keepalive_interval_ns = 0;
+  /// Consecutive unanswered keep-alives before the host declares the peer
+  /// dead and starts a reconnect.
+  u32 keepalive_miss_limit = 3;
+  /// KATO advertised to the target in ICReq; 0 = use the target default.
+  u64 kato_ns = 0;
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 0; }
+};
+
+/// Recovery activity, exported by initiator and target stats and printed by
+/// tools/oaf_perf.
+struct ResilienceCounters {
+  u64 reconnects = 0;          ///< successful re-handshakes
+  u64 reconnect_failures = 0;  ///< attempts that never saw ICResp
+  u64 commands_retried = 0;    ///< in-flight commands replayed after recovery
+  u64 keepalive_sent = 0;
+  u64 keepalive_misses = 0;    ///< ticks with the previous ping unanswered
+  u64 shm_demotions = 0;       ///< runtime shm -> TCP data-path demotions
+  u64 digest_errors = 0;       ///< CRC32C payload mismatches detected
+};
+
+}  // namespace oaf::nvmf

@@ -5,6 +5,7 @@
 #include "af/chunker.h"
 #include "af/flow_control.h"
 #include "common/log.h"
+#include "pdu/crc32.h"
 
 namespace oaf::nvmf {
 
@@ -26,17 +27,23 @@ NvmfTargetConnection::NvmfTargetConnection(Executor& exec,
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
       subsystem_(subsystem),
       opts_(std::move(opts)) {
-  control_.set_handler([this](Pdu p) { on_pdu(std::move(p)); });
+  last_heard_ = exec_.now();
+  kato_ns_ = opts_.default_kato_ns;
+  control_.set_handler([this, alive = alive_](Pdu p) {
+    if (*alive) on_pdu(std::move(p));
+  });
   governor_.attach(&control_);
 }
 
 NvmfTargetConnection::~NvmfTargetConnection() {
-  if (ep_.shm_ready()) {
+  *alive_ = false;
+  if (ep_.shm_attached()) {
     (void)cm_.release(opts_.connection_name);
   }
 }
 
 void NvmfTargetConnection::on_pdu(Pdu pdu) {
+  last_heard_ = exec_.now();
   switch (pdu.type()) {
     case pdu::PduType::kICReq:
       on_icreq(*pdu.as<pdu::ICReq>());
@@ -46,6 +53,27 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
       break;
     case pdu::PduType::kH2CData:
       on_h2c(std::move(pdu));
+      break;
+    case pdu::PduType::kKeepAlive: {
+      // Echo the ping so the host's dead-peer detection stays quiet.
+      const auto& ka = *pdu.as<pdu::KeepAlive>();
+      if (ka.from_host) {
+        pdu::KeepAlive echo;
+        echo.from_host = false;
+        echo.seq = ka.seq;
+        Pdu out;
+        out.header = echo;
+        keepalives_answered_++;
+        control_.send(std::move(out));
+      }
+      break;
+    }
+    case pdu::PduType::kShmDemote:
+      // Host demoted the data path at run time: stop staging new payloads
+      // in slots; whatever is already parked drains via shm_attached().
+      OAF_WARN("target: client demoted shm (%s)",
+               pdu.as<pdu::ShmDemote>()->reason.c_str());
+      (void)ep_.demote_shm();
       break;
     case pdu::PduType::kH2CTermReq:
       OAF_WARN("target received TermReq: %s", pdu.as<pdu::TermReq>()->reason.c_str());
@@ -58,6 +86,8 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
 }
 
 void NvmfTargetConnection::on_icreq(const pdu::ICReq& req) {
+  if (req.kato_ns > 0) kato_ns_ = static_cast<DurNs>(req.kato_ns);
+  data_digest_ = req.data_digest && opts_.af.data_digest;
   auto resp = cm_.accept_target(req, opts_.connection_name, ep_);
   Pdu out;
   if (!resp) {
@@ -66,6 +96,7 @@ void NvmfTargetConnection::on_icreq(const pdu::ICReq& req) {
     fallback.pfv = req.pfv;
     fallback.maxh2cdata = static_cast<u32>(opts_.af.chunk_bytes);
     fallback.shm_granted = false;
+    fallback.data_digest = data_digest_;
     out.header = fallback;
   } else {
     out.header = resp.value();
@@ -90,6 +121,7 @@ void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
   resp.cpl = cpl;
   resp.io_time_ns = static_cast<u64>(io_time);
   resp.target_time_ns = static_cast<u64>(target_time(cid, io_time));
+  resp.gen = gen_of(cid);
   Pdu pdu;
   pdu.header = resp;
   pdu.payload = std::move(payload);
@@ -125,6 +157,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
   IoCtx& ctx = inflight_[cid];
   ctx.cmd = capsule.cmd;
   ctx.arrival = exec_.now();
+  ctx.gen = capsule.gen;
   governor_.record_op(capsule.cmd.is_write());
 
   ssd::Device* device = subsystem_.find(capsule.cmd.nsid);
@@ -149,14 +182,17 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
 
       if (capsule.in_capsule_data) {
         if (capsule.placement == DataPlacement::kShmSlot) {
-          if (!ep_.shm_ready()) {
+          // shm_attached (not shm_ready): a payload parked before a runtime
+          // demotion must still drain from its slot.
+          if (!ep_.shm_attached()) {
             send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
             return;
           }
           const TimeNs copy_start = exec_.now();
           ep_.consume_payload(
               capsule.shm_slot, ctx.buffer,
-              [this, cid, len, copy_start](Result<u64> got) {
+              [this, alive = alive_, cid, len, copy_start](Result<u64> got) {
+                if (!*alive) return;
                 if (!got || got.value() != len) {
                   send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
                   return;
@@ -183,6 +219,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
       r2t.ttag = cid;
       r2t.offset = 0;
       r2t.length = len;
+      r2t.gen = ctx.gen;
       r2ts_sent_++;
       Pdu out;
       out.header = r2t;
@@ -207,20 +244,25 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
     return;
   }
   IoCtx& ctx = it->second;
+  if (h2c.gen != 0 && ctx.gen != 0 && h2c.gen != ctx.gen) {
+    OAF_WARN("stale H2CData for cid %u (gen %u != %u)", cid, h2c.gen, ctx.gen);
+    return;
+  }
   if (h2c.offset + h2c.length > ctx.buffer.size()) {
     send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
     return;
   }
 
   if (h2c.placement == DataPlacement::kShmSlot) {
-    if (!ep_.shm_ready()) {
+    if (!ep_.shm_attached()) {
       send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
       return;
     }
     ep_.consume_payload(
         h2c.shm_slot,
         std::span<u8>(ctx.buffer.data() + h2c.offset, h2c.length),
-        [this, cid, len = h2c.length](Result<u64> got) {
+        [this, alive = alive_, cid, len = h2c.length](Result<u64> got) {
+          if (!*alive) return;
           if (!got || got.value() != len) {
             send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
             return;
@@ -238,6 +280,18 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
   if (pdu.payload.size() != h2c.length) {
     send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
     return;
+  }
+  if (data_digest_ && h2c.data_digest != 0) {
+    const u32 computed = pdu::crc32c(
+        std::span<const u8>(pdu.payload.data(), pdu.payload.size()));
+    if (computed != h2c.data_digest) {
+      digest_errors_++;
+      OAF_WARN("H2CData digest mismatch for cid %u", cid);
+      // Retryable at the host: the command replays on a fresh gen rather
+      // than landing corrupt bytes on the device.
+      send_resp(cid, {cid, NvmeStatus::kTransientTransportError, 0}, 0);
+      return;
+    }
   }
   std::memcpy(ctx.buffer.data() + h2c.offset, pdu.payload.data(), h2c.length);
   ctx.bytes_received += h2c.length;
@@ -257,7 +311,9 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
   ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
   bytes_written_ += ctx.buffer.size();
   device->submit_write(ctx.cmd, ctx.buffer,
-                       [this, cid](pdu::NvmeCpl cpl, DurNs io_time) {
+                       [this, alive = alive_, cid](pdu::NvmeCpl cpl,
+                                                   DurNs io_time) {
+                         if (!*alive) return;
                          send_resp(cid, cpl, io_time);
                        });
 }
@@ -270,7 +326,9 @@ void NvmfTargetConnection::handle_read(u16 cid) {
   const u64 len = ctx.cmd.data_bytes(device->block_size());
   ctx.buffer.resize(len);
   device->submit_read(ctx.cmd, ctx.buffer,
-                      [this, cid](pdu::NvmeCpl cpl, DurNs io_time) {
+                      [this, alive = alive_, cid](pdu::NvmeCpl cpl,
+                                                  DurNs io_time) {
+                        if (!*alive) return;
                         finish_read(cid, cpl, io_time);
                       });
 }
@@ -293,7 +351,9 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
       // notification with the SUCCESS flag closes the command (§4.4.2).
       const TimeNs copy_start = exec_.now();
       const Status st = ep_.stage_payload(
-          cid, ctx.buffer, [this, cid, io_time, copy_start] {
+          cid, ctx.buffer,
+          [this, alive = alive_, cid, io_time, copy_start] {
+            if (!*alive) return;
             if (auto it2 = inflight_.find(cid); it2 != inflight_.end()) {
               it2->second.copy_wait += exec_.now() - copy_start;
             }
@@ -308,6 +368,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
             c2h.shm_slot = cid;
             c2h.io_time_ns = static_cast<u64>(io_time);
             c2h.target_time_ns = static_cast<u64>(target_time(cid, io_time));
+            c2h.gen = gen_of(cid);
             Pdu pdu;
             pdu.header = c2h;
             inflight_.erase(cid);
@@ -338,15 +399,20 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
     c2h.last = c.last;
     c2h.success = c.last && fold_completion;
     c2h.placement = DataPlacement::kInline;
+    c2h.gen = ctx.gen;
     if (c.last) {
       c2h.io_time_ns = static_cast<u64>(io_time);
       c2h.target_time_ns = static_cast<u64>(target_time(cid, io_time));
     }
     Pdu pdu;
-    pdu.header = c2h;
     pdu.payload.assign(ctx.buffer.begin() + static_cast<std::ptrdiff_t>(c.offset),
                        ctx.buffer.begin() +
                            static_cast<std::ptrdiff_t>(c.offset + c.length));
+    if (data_digest_) {
+      c2h.data_digest = pdu::crc32c(
+          std::span<const u8>(pdu.payload.data(), pdu.payload.size()));
+    }
+    pdu.header = c2h;
     control_.send(std::move(pdu));
   }
   if (!fold_completion) {
@@ -367,7 +433,9 @@ void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
   const bool last = offset + chunk >= total;
   ep_.stage_payload_when_free(
       cid, std::span<const u8>(ctx.buffer.data() + offset, chunk),
-      [this, cid, offset, chunk, last, cpl, io_time] {
+      [this, alive = alive_, cid, offset, chunk, last, cpl, io_time,
+       gen = ctx.gen] {
+        if (!*alive) return;
         pdu::C2HData c2h;
         c2h.cid = cid;
         c2h.offset = offset;
@@ -376,6 +444,7 @@ void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
         c2h.success = false;
         c2h.placement = DataPlacement::kShmSlot;
         c2h.shm_slot = cid;
+        c2h.gen = gen;
         Pdu pdu;
         pdu.header = c2h;
         control_.send(std::move(pdu));
@@ -411,7 +480,9 @@ void NvmfTargetConnection::handle_admin(u16 cid) {
 
   if (ctx.cmd.opcode == NvmeOpcode::kFlush) {
     ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
-    device->submit_other(ctx.cmd, [this, cid](pdu::NvmeCpl cpl, DurNs io_time) {
+    device->submit_other(ctx.cmd, [this, alive = alive_, cid](pdu::NvmeCpl cpl,
+                                                              DurNs io_time) {
+      if (!*alive) return;
       send_resp(cid, cpl, io_time);
     });
     return;

@@ -7,6 +7,13 @@
 // (C2HData chunks inline, or a shm slot + out-of-band notification), and
 // reports device/processing times in completions for the paper's latency
 // breakdowns. A Subsystem shared across connections maps NSIDs to devices.
+//
+// Resilience extensions: the connection tracks when it last heard from the
+// host against a negotiated KATO (so NvmfTargetService can reap dead
+// associations), echoes KeepAlive pings, honours runtime ShmDemote notices
+// (in-flight slot transfers drain, new data goes inline), verifies the
+// optional CRC32C data digest on inline write payloads, and echoes the
+// per-attempt gen tag so replayed commands never match stale PDUs.
 #pragma once
 
 #include <memory>
@@ -24,6 +31,9 @@ namespace oaf::nvmf {
 struct TargetOptions {
   af::AfConfig af;
   std::string connection_name = "conn0";
+  /// KATO applied when the client's ICReq does not advertise one;
+  /// 0 = the association never expires from silence.
+  DurNs default_kato_ns = 0;
 };
 
 class NvmfTargetConnection {
@@ -38,12 +48,29 @@ class NvmfTargetConnection {
 
   [[nodiscard]] bool shm_active() const { return ep_.shm_ready(); }
   [[nodiscard]] af::AfEndpoint& endpoint() { return ep_; }
+  [[nodiscard]] const std::string& connection_name() const {
+    return opts_.connection_name;
+  }
+
+  // --- liveness (association reaping) --------------------------------------
+  [[nodiscard]] TimeNs last_heard() const { return last_heard_; }
+  [[nodiscard]] DurNs kato_ns() const { return kato_ns_; }
+  /// KATO expired: the host has been silent longer than the association's
+  /// keep-alive timeout allows.
+  [[nodiscard]] bool expired(TimeNs now) const {
+    return kato_ns_ > 0 && now - last_heard_ > kato_ns_;
+  }
+  /// The control channel is gone (client closed or crashed).
+  [[nodiscard]] bool closed() const { return !control_.is_open(); }
 
   // --- stats ---------------------------------------------------------------
   [[nodiscard]] u64 commands_served() const { return commands_served_; }
   [[nodiscard]] u64 r2ts_sent() const { return r2ts_sent_; }
   [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
   [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
+  [[nodiscard]] u64 keepalives_answered() const { return keepalives_answered_; }
+  [[nodiscard]] u64 digest_errors() const { return digest_errors_; }
+  [[nodiscard]] u64 shm_demotions() const { return ep_.shm_demotions(); }
 
  private:
   /// Per-command transfer context (conservative-flow writes and reads).
@@ -54,6 +81,7 @@ class NvmfTargetConnection {
     TimeNs arrival = 0;       ///< capsule arrival time (target_time base)
     DurNs copy_wait = 0;      ///< data-path (shm copy) residency — reported
                               ///< as communication time, not processing
+    u16 gen = 0;              ///< client attempt tag, echoed in every reply
   };
 
   void on_pdu(pdu::Pdu pdu);
@@ -72,6 +100,10 @@ class NvmfTargetConnection {
   void send_term(const std::string& reason);
 
   [[nodiscard]] DurNs target_time(u16 cid, DurNs io_time) const;
+  [[nodiscard]] u16 gen_of(u16 cid) const {
+    const auto it = inflight_.find(cid);
+    return it != inflight_.end() ? it->second.gen : 0;
+  }
 
   Executor& exec_;
   net::MsgChannel& control_;
@@ -82,11 +114,19 @@ class NvmfTargetConnection {
   TargetOptions opts_;
 
   std::unordered_map<u16, IoCtx> inflight_;
+  TimeNs last_heard_ = 0;
+  DurNs kato_ns_ = 0;
+  bool data_digest_ = false;
+  /// Guards device completions and shm-copy continuations against the
+  /// association reaper destroying this connection while they are queued.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   u64 commands_served_ = 0;
   u64 r2ts_sent_ = 0;
   u64 bytes_read_ = 0;
   u64 bytes_written_ = 0;
+  u64 keepalives_answered_ = 0;
+  u64 digest_errors_ = 0;
 };
 
 }  // namespace oaf::nvmf

@@ -1,0 +1,99 @@
+#include "nvmf/target_service.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace oaf::nvmf {
+
+NvmfTargetService::NvmfTargetService(Executor& exec, net::Copier& copier,
+                                     af::ShmBroker& broker,
+                                     ssd::Subsystem& subsystem,
+                                     TargetServiceOptions opts)
+    : exec_(exec),
+      copier_(copier),
+      broker_(broker),
+      subsystem_(subsystem),
+      opts_(std::move(opts)) {}
+
+NvmfTargetService::~NvmfTargetService() {
+  *alive_ = false;
+  reaper_epoch_++;
+}
+
+NvmfTargetConnection* NvmfTargetService::accept(
+    std::unique_ptr<net::MsgChannel> channel, std::string conn_name) {
+  // Clear out corpses first: a client reconnecting under its old name needs
+  // the stale association gone or the shm provision will collide.
+  reap_expired();
+  const auto same_name = std::find_if(
+      assocs_.begin(), assocs_.end(), [&conn_name](const Assoc& a) {
+        return a.conn->connection_name() == conn_name;
+      });
+  if (same_name != assocs_.end()) {
+    OAF_WARN("target service: replacing stale association %s",
+             conn_name.c_str());
+    reaped_++;
+    retired_commands_ += same_name->conn->commands_served();
+    assocs_.erase(same_name);
+  }
+
+  Assoc assoc;
+  assoc.channel = std::move(channel);
+  TargetOptions topts;
+  topts.af = opts_.af;
+  topts.connection_name = std::move(conn_name);
+  topts.default_kato_ns = opts_.default_kato_ns;
+  assoc.conn = std::make_unique<NvmfTargetConnection>(
+      exec_, *assoc.channel, copier_, broker_, subsystem_, std::move(topts));
+  assocs_.push_back(std::move(assoc));
+  return assocs_.back().conn.get();
+}
+
+std::size_t NvmfTargetService::reap_expired() {
+  const TimeNs now = exec_.now();
+  std::size_t reaped = 0;
+  for (auto it = assocs_.begin(); it != assocs_.end();) {
+    if (it->conn->closed() || it->conn->expired(now)) {
+      OAF_INFO("target service: reaping association %s (%s)",
+               it->conn->connection_name().c_str(),
+               it->conn->closed() ? "closed" : "keep-alive expired");
+      retired_commands_ += it->conn->commands_served();
+      it = assocs_.erase(it);  // ~NvmfTargetConnection revokes its shm
+      reaped++;
+    } else {
+      ++it;
+    }
+  }
+  reaped_ += reaped;
+  return reaped;
+}
+
+void NvmfTargetService::start_reaper() {
+  if (opts_.reaper_interval_ns <= 0) return;
+  const u64 epoch = ++reaper_epoch_;
+  exec_.schedule_after(opts_.reaper_interval_ns,
+                       [this, alive = alive_, epoch] {
+                         if (!*alive || epoch != reaper_epoch_) return;
+                         reaper_tick();
+                       });
+}
+
+void NvmfTargetService::reaper_tick() {
+  reap_expired();
+  const u64 epoch = reaper_epoch_;
+  exec_.schedule_after(opts_.reaper_interval_ns,
+                       [this, alive = alive_, epoch] {
+                         if (!*alive || epoch != reaper_epoch_) return;
+                         reaper_tick();
+                       });
+}
+
+NvmfTargetConnection* NvmfTargetService::find(const std::string& conn_name) {
+  for (auto& a : assocs_) {
+    if (a.conn->connection_name() == conn_name) return a.conn.get();
+  }
+  return nullptr;
+}
+
+}  // namespace oaf::nvmf

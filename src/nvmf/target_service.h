@@ -1,0 +1,86 @@
+// NVMe-oF target service: association lifecycle for one listening target.
+//
+// Owns the per-client (channel, NvmfTargetConnection) pairs and implements
+// the keep-alive side of the resilience layer: an association whose control
+// channel closed, or whose host has been silent past its negotiated KATO, is
+// garbage-collected — its shm region is revoked and its name becomes free
+// again, so the same client can reconnect under the same connection name and
+// get a fresh shm grant. Reaping runs on accept() (so a reconnecting client
+// never races its own corpse), on explicit reap_expired() calls, and
+// optionally on a periodic timer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvmf/target.h"
+
+namespace oaf::nvmf {
+
+struct TargetServiceOptions {
+  af::AfConfig af;
+  /// KATO for clients that do not advertise one; 0 = never expire on silence.
+  DurNs default_kato_ns = 0;
+  /// Periodic reaper interval; 0 disables the timer (reaping still happens
+  /// on accept and on explicit reap_expired calls). The timer re-arms
+  /// itself, so with the sim scheduler drive it with run_until, not run().
+  DurNs reaper_interval_ns = 0;
+};
+
+class NvmfTargetService {
+ public:
+  NvmfTargetService(Executor& exec, net::Copier& copier, af::ShmBroker& broker,
+                    ssd::Subsystem& subsystem, TargetServiceOptions opts);
+  ~NvmfTargetService();
+
+  NvmfTargetService(const NvmfTargetService&) = delete;
+  NvmfTargetService& operator=(const NvmfTargetService&) = delete;
+
+  /// Take ownership of a freshly-accepted control channel and serve it as
+  /// association `conn_name`. Dead associations (closed or KATO-expired) are
+  /// reaped first — including a stale one under the same name, which would
+  /// otherwise hold the shm region the new handshake needs.
+  NvmfTargetConnection* accept(std::unique_ptr<net::MsgChannel> channel,
+                               std::string conn_name);
+
+  /// Destroy every association that is closed or KATO-expired; returns how
+  /// many were reaped.
+  std::size_t reap_expired();
+
+  /// Arm the periodic reaper (no-op when reaper_interval_ns == 0).
+  void start_reaper();
+
+  [[nodiscard]] std::size_t active() const { return assocs_.size(); }
+  [[nodiscard]] u64 reaped() const { return reaped_; }
+  /// Commands served across the service's lifetime, including by
+  /// associations that have since been reaped.
+  [[nodiscard]] u64 commands_served() const {
+    u64 total = retired_commands_;
+    for (const auto& a : assocs_) total += a.conn->commands_served();
+    return total;
+  }
+  [[nodiscard]] NvmfTargetConnection* find(const std::string& conn_name);
+
+ private:
+  struct Assoc {
+    std::unique_ptr<net::MsgChannel> channel;
+    std::unique_ptr<NvmfTargetConnection> conn;
+  };
+
+  void reaper_tick();
+
+  Executor& exec_;
+  net::Copier& copier_;
+  af::ShmBroker& broker_;
+  ssd::Subsystem& subsystem_;
+  TargetServiceOptions opts_;
+
+  std::vector<Assoc> assocs_;
+  u64 reaped_ = 0;
+  u64 retired_commands_ = 0;  // served by since-reaped associations
+  u64 reaper_epoch_ = 0;  // invalidates queued ticks on shutdown
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace oaf::nvmf

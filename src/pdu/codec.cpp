@@ -119,6 +119,8 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u32_(h.maxr2t);
           w.u64_(h.node_token);
           w.bool_(h.want_shm);
+          w.bool_(h.data_digest);
+          w.u64_(h.kato_ns);
         } else if constexpr (std::is_same_v<T, ICResp>) {
           w.u16_(h.pfv);
           w.bool_(h.header_digest);
@@ -127,23 +129,27 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u64_(h.shm_bytes);
           w.u32_(h.shm_slots);
           w.str_(h.shm_name);
+          w.bool_(h.data_digest);
         } else if constexpr (std::is_same_v<T, CapsuleCmd>) {
           encode_cmd(w, h.cmd);
           w.u8_(static_cast<u8>(h.placement));
           w.bool_(h.in_capsule_data);
           w.u32_(h.shm_slot);
           w.u64_(h.data_len);
+          w.u16_(h.gen);
         } else if constexpr (std::is_same_v<T, CapsuleResp>) {
           w.u16_(h.cpl.cid);
           w.u16_(static_cast<u16>(h.cpl.status));
           w.u64_(h.cpl.result);
           w.u64_(h.io_time_ns);
           w.u64_(h.target_time_ns);
+          w.u16_(h.gen);
         } else if constexpr (std::is_same_v<T, R2T>) {
           w.u16_(h.cid);
           w.u16_(h.ttag);
           w.u64_(h.offset);
           w.u64_(h.length);
+          w.u16_(h.gen);
         } else if constexpr (std::is_same_v<T, H2CData>) {
           w.u16_(h.cid);
           w.u16_(h.ttag);
@@ -152,6 +158,8 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.bool_(h.last);
           w.u8_(static_cast<u8>(h.placement));
           w.u32_(h.shm_slot);
+          w.u16_(h.gen);
+          w.u32_(h.data_digest);
         } else if constexpr (std::is_same_v<T, C2HData>) {
           w.u16_(h.cid);
           w.u64_(h.offset);
@@ -162,9 +170,16 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u32_(h.shm_slot);
           w.u64_(h.io_time_ns);
           w.u64_(h.target_time_ns);
+          w.u16_(h.gen);
+          w.u32_(h.data_digest);
         } else if constexpr (std::is_same_v<T, TermReq>) {
           w.bool_(h.from_host);
           w.u16_(h.fes);
+          w.str_(h.reason);
+        } else if constexpr (std::is_same_v<T, KeepAlive>) {
+          w.bool_(h.from_host);
+          w.u64_(h.seq);
+        } else if constexpr (std::is_same_v<T, ShmDemote>) {
           w.str_(h.reason);
         }
       },
@@ -181,6 +196,8 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.maxr2t = r.u32_();
       h.node_token = r.u64_();
       h.want_shm = r.bool_();
+      h.data_digest = r.bool_();
+      h.kato_ns = r.u64_();
       return PduHeader{h};
     }
     case PduType::kICResp: {
@@ -192,6 +209,7 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.shm_bytes = r.u64_();
       h.shm_slots = r.u32_();
       h.shm_name = r.str_();
+      h.data_digest = r.bool_();
       return PduHeader{h};
     }
     case PduType::kCapsuleCmd: {
@@ -201,6 +219,7 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.in_capsule_data = r.bool_();
       h.shm_slot = r.u32_();
       h.data_len = r.u64_();
+      h.gen = r.u16_();
       return PduHeader{h};
     }
     case PduType::kCapsuleResp: {
@@ -210,6 +229,7 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.cpl.result = r.u64_();
       h.io_time_ns = r.u64_();
       h.target_time_ns = r.u64_();
+      h.gen = r.u16_();
       return PduHeader{h};
     }
     case PduType::kR2T: {
@@ -218,6 +238,7 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.ttag = r.u16_();
       h.offset = r.u64_();
       h.length = r.u64_();
+      h.gen = r.u16_();
       return PduHeader{h};
     }
     case PduType::kH2CData: {
@@ -229,6 +250,8 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.last = r.bool_();
       h.placement = static_cast<DataPlacement>(r.u8_());
       h.shm_slot = r.u32_();
+      h.gen = r.u16_();
+      h.data_digest = r.u32_();
       return PduHeader{h};
     }
     case PduType::kC2HData: {
@@ -242,6 +265,8 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.shm_slot = r.u32_();
       h.io_time_ns = r.u64_();
       h.target_time_ns = r.u64_();
+      h.gen = r.u16_();
+      h.data_digest = r.u32_();
       return PduHeader{h};
     }
     case PduType::kH2CTermReq:
@@ -249,6 +274,17 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       TermReq h;
       h.from_host = r.bool_();
       h.fes = r.u16_();
+      h.reason = r.str_();
+      return PduHeader{h};
+    }
+    case PduType::kKeepAlive: {
+      KeepAlive h;
+      h.from_host = r.bool_();
+      h.seq = r.u64_();
+      return PduHeader{h};
+    }
+    case PduType::kShmDemote: {
+      ShmDemote h;
       h.reason = r.str_();
       return PduHeader{h};
     }
@@ -272,6 +308,8 @@ PduType Pdu::type() const {
         if constexpr (std::is_same_v<T, TermReq>) {
           return h.from_host ? PduType::kH2CTermReq : PduType::kC2HTermReq;
         }
+        if constexpr (std::is_same_v<T, KeepAlive>) return PduType::kKeepAlive;
+        if constexpr (std::is_same_v<T, ShmDemote>) return PduType::kShmDemote;
       },
       header);
 }
@@ -296,6 +334,10 @@ const char* to_string(PduType t) {
       return "C2HData";
     case PduType::kR2T:
       return "R2T";
+    case PduType::kKeepAlive:
+      return "KeepAlive";
+    case PduType::kShmDemote:
+      return "ShmDemote";
   }
   return "?";
 }

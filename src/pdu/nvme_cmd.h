@@ -35,6 +35,9 @@ enum class NvmeStatus : u16 {
   kInvalidField = 0x2,
   kDataTransferError = 0x4,
   kInternalError = 0x6,
+  /// Not a device status: the transport detected a recoverable fault
+  /// (e.g. data-digest mismatch) and the command is safe to replay.
+  kTransientTransportError = 0x8,
   kInvalidNamespace = 0xB,
   kLbaOutOfRange = 0x80,
   kCapacityExceeded = 0x81,

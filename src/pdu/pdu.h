@@ -8,6 +8,14 @@
 //     shared-memory region grant: name/bytes/slots);
 //   * data PDUs that may reference a shared-memory slot instead of carrying
 //     an inline payload — the out-of-band notification of Figure 6.
+// The resilience layer adds three more pieces:
+//   * KeepAlive ping/echo PDUs plus a KATO advertised in ICReq, so the
+//     target can reap dead associations and the host can detect dead peers;
+//   * a per-attempt generation tag (`gen`) carried in CapsuleCmd and echoed
+//     in R2T/H2CData/C2HData/CapsuleResp, so a replayed command is never
+//     matched against PDUs of an earlier attempt;
+//   * an optional CRC32C data digest over inline data payloads, negotiated
+//     in ICReq/ICResp — a mismatch is a retryable transport error.
 #pragma once
 
 #include <string>
@@ -28,6 +36,8 @@ enum class PduType : u8 {
   kH2CData = 0x06,
   kC2HData = 0x07,
   kR2T = 0x09,
+  kKeepAlive = 0x0a,   ///< resilience ext.: host ping / controller echo
+  kShmDemote = 0x0b,   ///< resilience ext.: runtime shm -> TCP demotion
 };
 
 const char* to_string(PduType t);
@@ -48,6 +58,8 @@ struct ICReq {
   u32 maxr2t = 1;           ///< max outstanding R2Ts per command
   u64 node_token = 0;       ///< oAF: opaque host-identity token
   bool want_shm = false;    ///< oAF: request shared-memory channel
+  bool data_digest = false; ///< resilience: CRC32C over inline data payloads
+  u64 kato_ns = 0;          ///< keep-alive timeout; 0 = use target default
 };
 
 /// Initialize Connection Response. When `shm_granted`, the client maps the
@@ -61,6 +73,7 @@ struct ICResp {
   u64 shm_bytes = 0;        ///< oAF: total region size
   u32 shm_slots = 0;        ///< oAF: slots per direction (== queue depth)
   std::string shm_name;     ///< oAF: region name to shm_open/map
+  bool data_digest = false; ///< resilience: data digest accepted
 };
 
 /// Command capsule. For writes, data may be in-capsule (inline payload or a
@@ -72,6 +85,8 @@ struct CapsuleCmd {
   bool in_capsule_data = false;  ///< write payload accompanies the capsule
   u32 shm_slot = 0;              ///< valid when placement == kShmSlot
   u64 data_len = 0;              ///< total data length for this command
+  u16 gen = 0;                   ///< attempt generation, echoed by the target
+                                 ///< (0 = no replay protection requested)
 };
 
 /// Response capsule (completion). The two *_ns fields are oAF reproduction
@@ -83,6 +98,7 @@ struct CapsuleResp {
   NvmeCpl cpl;
   u64 io_time_ns = 0;
   u64 target_time_ns = 0;
+  u16 gen = 0;  ///< echo of CapsuleCmd::gen (0 = unknown, matches anything)
 };
 
 /// Ready-to-Transfer: target grants the client permission to send `length`
@@ -92,6 +108,7 @@ struct R2T {
   u16 ttag = 0;   ///< transfer tag to echo in H2CData
   u64 offset = 0;
   u64 length = 0;
+  u16 gen = 0;    ///< echo of CapsuleCmd::gen
 };
 
 /// Host-to-Controller data (write payload), inline or a shm slot reference.
@@ -103,6 +120,8 @@ struct H2CData {
   bool last = true;
   DataPlacement placement = DataPlacement::kInline;
   u32 shm_slot = 0;
+  u16 gen = 0;          ///< echo of CapsuleCmd::gen
+  u32 data_digest = 0;  ///< CRC32C over the inline payload (when negotiated)
 };
 
 /// Controller-to-Host data (read payload), inline or a shm slot reference.
@@ -120,6 +139,8 @@ struct C2HData {
   u32 shm_slot = 0;
   u64 io_time_ns = 0;      ///< instrumentation (valid when success is set)
   u64 target_time_ns = 0;  ///< instrumentation (valid when success is set)
+  u16 gen = 0;             ///< echo of CapsuleCmd::gen
+  u32 data_digest = 0;     ///< CRC32C over the inline payload (when negotiated)
 };
 
 /// Terminate request (either direction); `fes` = fatal error status.
@@ -129,8 +150,25 @@ struct TermReq {
   std::string reason;
 };
 
+/// Keep-alive ping (host -> controller) and echo (controller -> host).
+/// The target refreshes its last-heard stamp on *any* PDU; KeepAlive exists
+/// so idle associations stay provably alive and a silent peer is reaped
+/// once its KATO expires.
+struct KeepAlive {
+  bool from_host = true;  ///< ping when true, echo when false
+  u64 seq = 0;            ///< monotonically increasing per connection
+};
+
+/// Runtime shm -> TCP demotion notice (host -> controller). The sender has
+/// stopped placing new payloads in shared memory (locality flag dropped or
+/// a ring health check failed); in-flight slot transfers still complete,
+/// new data rides inline TCP PDUs.
+struct ShmDemote {
+  std::string reason;
+};
+
 using PduHeader = std::variant<ICReq, ICResp, CapsuleCmd, CapsuleResp, R2T,
-                               H2CData, C2HData, TermReq>;
+                               H2CData, C2HData, TermReq, KeepAlive, ShmDemote>;
 
 /// A full PDU: typed header plus (possibly empty) inline payload bytes.
 struct Pdu {

@@ -1,0 +1,192 @@
+// FaultChannel unit tests: the reusable fault-injection wrapper must apply
+// its seeded policies deterministically — the same seed always produces the
+// same loss pattern — so resilience tests replay bit-identically.
+#include "net/fault_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "net/pipe_channel.h"
+#include "sim/scheduler.h"
+
+namespace oaf::net {
+namespace {
+
+pdu::Pdu make_c2h(u16 cid, std::vector<u8> payload = {}) {
+  pdu::Pdu p;
+  pdu::C2HData c;
+  c.cid = cid;
+  c.length = payload.size();
+  p.header = c;
+  p.payload = std::move(payload);
+  return p;
+}
+
+struct Rig {
+  explicit Rig(FaultPolicy policy = {}) {
+    auto [a, b] = make_pipe_channel_pair(sched, sched);
+    faulty = std::make_unique<FaultChannel>(std::move(a), policy);
+    peer = std::move(b);
+    peer->set_handler([this](pdu::Pdu p) { received.push_back(std::move(p)); });
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<FaultChannel> faulty;
+  std::unique_ptr<MsgChannel> peer;
+  std::vector<pdu::Pdu> received;
+};
+
+TEST(FaultChannelTest, NoPolicyPassesEverythingThrough) {
+  Rig rig;
+  for (u16 i = 0; i < 50; ++i) rig.faulty->send(make_c2h(i));
+  rig.sched.run();
+  ASSERT_EQ(rig.received.size(), 50u);
+  for (u16 i = 0; i < 50; ++i) {
+    EXPECT_EQ(rig.received[i].as<pdu::C2HData>()->cid, i);
+  }
+  EXPECT_EQ(rig.faulty->dropped(), 0u);
+}
+
+TEST(FaultChannelTest, DropIsDeterministicPerSeed) {
+  auto run_once = [](u64 seed) {
+    FaultPolicy p;
+    p.seed = seed;
+    p.drop_prob = 0.3;
+    Rig rig(p);
+    for (u16 i = 0; i < 200; ++i) rig.faulty->send(make_c2h(i));
+    rig.sched.run();
+    std::vector<u16> cids;
+    for (const auto& pdu : rig.received) {
+      cids.push_back(pdu.as<pdu::C2HData>()->cid);
+    }
+    return std::make_pair(cids, rig.faulty->dropped());
+  };
+  const auto [cids_a, drops_a] = run_once(7);
+  const auto [cids_b, drops_b] = run_once(7);
+  const auto [cids_c, drops_c] = run_once(8);
+  EXPECT_EQ(cids_a, cids_b);
+  EXPECT_EQ(drops_a, drops_b);
+  EXPECT_NE(cids_a, cids_c);  // different seed, different loss pattern
+  EXPECT_GT(drops_a, 0u);
+  EXPECT_LT(drops_a, 200u);
+}
+
+TEST(FaultChannelTest, CorruptionFlipsExactlyOnePayloadByte) {
+  FaultPolicy p;
+  p.corrupt_prob = 1.0;
+  Rig rig(p);
+  std::vector<u8> payload(256, 0xAA);
+  rig.faulty->send(make_c2h(1, payload));
+  rig.sched.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.faulty->corrupted(), 1u);
+  int diffs = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    diffs += rig.received[0].payload[i] != payload[i];
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(FaultChannelTest, CorruptionSkipsPayloadlessPdus) {
+  FaultPolicy p;
+  p.corrupt_prob = 1.0;
+  Rig rig(p);
+  rig.faulty->send(make_c2h(1));  // header-only
+  rig.sched.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.faulty->corrupted(), 0u);
+}
+
+TEST(FaultChannelTest, DuplicateDeliversTwice) {
+  FaultPolicy p;
+  p.duplicate_prob = 1.0;
+  Rig rig(p);
+  rig.faulty->send(make_c2h(9));
+  rig.sched.run();
+  ASSERT_EQ(rig.received.size(), 2u);
+  EXPECT_EQ(rig.received[0].as<pdu::C2HData>()->cid, 9);
+  EXPECT_EQ(rig.received[1].as<pdu::C2HData>()->cid, 9);
+  EXPECT_EQ(rig.faulty->duplicated(), 1u);
+}
+
+TEST(FaultChannelTest, DelayDefersDeliveryOnTheVirtualClock) {
+  FaultPolicy p;
+  p.delay_ns = 1'000'000;
+  Rig rig(p);
+  TimeNs delivered_at = -1;
+  rig.peer->set_handler(
+      [&](pdu::Pdu) { delivered_at = rig.sched.now(); });
+  rig.faulty->send(make_c2h(1));
+  rig.sched.run();
+  EXPECT_GE(delivered_at, 1'000'000);
+  EXPECT_EQ(rig.faulty->delayed(), 1u);
+}
+
+TEST(FaultChannelTest, PartitionDropsUntilHealed) {
+  Rig rig;
+  rig.faulty->partition();
+  rig.faulty->send(make_c2h(1));
+  rig.sched.run();
+  EXPECT_TRUE(rig.received.empty());
+  EXPECT_EQ(rig.faulty->dropped(), 1u);
+
+  rig.faulty->heal();
+  rig.faulty->send(make_c2h(2));
+  rig.sched.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.received[0].as<pdu::C2HData>()->cid, 2);
+}
+
+TEST(FaultChannelTest, FaultHookRunsBeforeStochasticPolicy) {
+  FaultPolicy p;
+  p.drop_prob = 1.0;  // would drop everything...
+  Rig rig(p);
+  int hook_calls = 0;
+  rig.faulty->set_fault([&](pdu::Pdu&) {
+    hook_calls++;
+    return false;  // ...but the hook drops first
+  });
+  rig.faulty->send(make_c2h(1));
+  rig.sched.run();
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_EQ(rig.faulty->dropped(), 1u);
+}
+
+TEST(FaultChannelTest, InjectBypassesPolicyEntirely) {
+  FaultPolicy p;
+  p.drop_prob = 1.0;
+  Rig rig(p);
+  rig.faulty->send(make_c2h(1));   // dropped by policy
+  rig.faulty->inject(make_c2h(2));  // forged past the policy
+  rig.sched.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.received[0].as<pdu::C2HData>()->cid, 2);
+}
+
+TEST(FaultChannelTest, WrapFaultPairSplitsSeeds) {
+  // Both directions draw independent streams: with the same policy the two
+  // endpoints must not mirror each other's drop decisions on every PDU.
+  sim::Scheduler sched;
+  FaultPolicy p;
+  p.seed = 3;
+  p.drop_prob = 0.5;
+  auto [a, b] = wrap_fault_pair(make_pipe_channel_pair(sched, sched), p);
+  int a_got = 0;
+  int b_got = 0;
+  a->set_handler([&](pdu::Pdu) { a_got++; });
+  b->set_handler([&](pdu::Pdu) { b_got++; });
+  for (u16 i = 0; i < 100; ++i) {
+    a->send(make_c2h(i));
+    b->send(make_c2h(i));
+  }
+  sched.run();
+  EXPECT_GT(a_got, 0);
+  EXPECT_GT(b_got, 0);
+  EXPECT_NE(a->dropped(), 0u);
+  EXPECT_NE(b->dropped(), 0u);
+  // Independent streams: extremely unlikely to drop identical counts at
+  // identical positions; counts differing is the cheap proxy we assert.
+  EXPECT_NE(a->dropped(), b->dropped());
+}
+
+}  // namespace
+}  // namespace oaf::net

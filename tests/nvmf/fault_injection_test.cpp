@@ -8,6 +8,7 @@
 
 #include "af/locality.h"
 #include "common/rng.h"
+#include "net/fault_channel.h"
 #include "net/pipe_channel.h"
 #include "nvmf/initiator.h"
 #include "nvmf/target.h"
@@ -17,43 +18,7 @@
 namespace oaf::nvmf {
 namespace {
 
-/// Wraps a channel endpoint; `fault` may mutate a PDU in flight, return
-/// false to drop it, or inject extra PDUs via the exposed send hook.
-class FaultChannel final : public net::MsgChannel {
- public:
-  using FaultFn = std::function<bool(pdu::Pdu&)>;  // false = drop
-
-  explicit FaultChannel(std::unique_ptr<net::MsgChannel> inner)
-      : inner_(std::move(inner)) {}
-
-  void set_fault(FaultFn fn) { fault_ = std::move(fn); }
-
-  void send(pdu::Pdu pdu) override {
-    if (fault_ && !fault_(pdu)) {
-      dropped_++;
-      return;
-    }
-    inner_->send(std::move(pdu));
-  }
-
-  /// Inject a PDU as if the local endpoint had sent it (forgery).
-  void inject(pdu::Pdu pdu) { inner_->send(std::move(pdu)); }
-
-  void set_handler(Handler handler) override {
-    inner_->set_handler(std::move(handler));
-  }
-  void close() override { inner_->close(); }
-  [[nodiscard]] bool is_open() const override { return inner_->is_open(); }
-  [[nodiscard]] Executor& executor() override { return inner_->executor(); }
-  [[nodiscard]] u64 bytes_sent() const override { return inner_->bytes_sent(); }
-  [[nodiscard]] u64 pdus_sent() const override { return inner_->pdus_sent(); }
-  [[nodiscard]] u64 dropped() const { return dropped_; }
-
- private:
-  std::unique_ptr<net::MsgChannel> inner_;
-  FaultFn fault_;
-  u64 dropped_ = 0;
-};
+using net::FaultChannel;
 
 struct FaultHarness {
   explicit FaultHarness(af::AfConfig cfg = af::AfConfig::oaf(),

@@ -156,6 +156,80 @@ TEST(CodecTest, C2HDataSuccessFlagRoundtrip) {
   EXPECT_EQ(h->io_time_ns, 55'000u);
 }
 
+TEST(CodecTest, ResilienceFieldsRoundtrip) {
+  // The attempt tag and digest ride every data-path PDU.
+  CapsuleCmd c;
+  c.cmd.cid = 5;
+  c.gen = 0xBEEF;
+  EXPECT_EQ(roundtrip(c).as<CapsuleCmd>()->gen, 0xBEEF);
+
+  CapsuleResp r;
+  r.cpl.cid = 5;
+  r.gen = 0xBEEF;
+  EXPECT_EQ(roundtrip(r).as<CapsuleResp>()->gen, 0xBEEF);
+
+  R2T r2t;
+  r2t.cid = 5;
+  r2t.gen = 7;
+  EXPECT_EQ(roundtrip(r2t).as<R2T>()->gen, 7);
+
+  H2CData h2c;
+  h2c.cid = 5;
+  h2c.gen = 7;
+  h2c.data_digest = 0xDEADBEEF;
+  const auto* h = roundtrip(h2c).as<H2CData>();
+  EXPECT_EQ(h->gen, 7);
+  EXPECT_EQ(h->data_digest, 0xDEADBEEFu);
+
+  C2HData c2h;
+  c2h.cid = 5;
+  c2h.gen = 9;
+  c2h.data_digest = 0x12345678;
+  const auto* ch = roundtrip(c2h).as<C2HData>();
+  EXPECT_EQ(ch->gen, 9);
+  EXPECT_EQ(ch->data_digest, 0x12345678u);
+}
+
+TEST(CodecTest, ICReqKatoAndDigestRoundtrip) {
+  ICReq req;
+  req.pfv = 1;
+  req.data_digest = true;
+  req.kato_ns = 15'000'000'000ull;
+  const auto* h = roundtrip(req).as<ICReq>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->data_digest);
+  EXPECT_EQ(h->kato_ns, 15'000'000'000ull);
+
+  ICResp resp;
+  resp.pfv = 1;
+  resp.data_digest = true;
+  EXPECT_TRUE(roundtrip(resp).as<ICResp>()->data_digest);
+}
+
+TEST(CodecTest, KeepAliveRoundtrip) {
+  for (bool from_host : {true, false}) {
+    KeepAlive ka;
+    ka.from_host = from_host;
+    ka.seq = 42;
+    const Pdu out = roundtrip(ka);
+    const auto* h = out.as<KeepAlive>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->from_host, from_host);
+    EXPECT_EQ(h->seq, 42u);
+    EXPECT_EQ(out.type(), PduType::kKeepAlive);
+  }
+}
+
+TEST(CodecTest, ShmDemoteRoundtrip) {
+  ShmDemote d;
+  d.reason = "checksum storm on ring";
+  const Pdu out = roundtrip(d);
+  const auto* h = out.as<ShmDemote>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->reason, "checksum storm on ring");
+  EXPECT_EQ(out.type(), PduType::kShmDemote);
+}
+
 TEST(CodecTest, TermReqRoundtripBothDirections) {
   for (bool from_host : {true, false}) {
     TermReq t;

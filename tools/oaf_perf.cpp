@@ -35,6 +35,11 @@ struct Options {
   double seconds = 2.0;
   u64 working_set_mb = 128;
   bool sequential = true;
+  // resilience knobs
+  u32 reconnect_attempts = 0;  // 0 = legacy teardown on fault
+  u64 keepalive_ms = 0;        // 0 = no keep-alive pings
+  u64 kato_ms = 0;             // advertised KATO; 0 = none
+  bool data_digest = false;    // CRC32C on inline data PDUs
 };
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -70,12 +75,22 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.working_set_mb = std::strtoull(v, nullptr, 10);
     } else if (arg == "--random") {
       o.sequential = false;
+    } else if (arg == "--reconnect-attempts" && (v = next())) {
+      o.reconnect_attempts = static_cast<u32>(std::atoi(v));
+    } else if (arg == "--keepalive-ms" && (v = next())) {
+      o.keepalive_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--kato-ms" && (v = next())) {
+      o.kato_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--data-digest") {
+      o.data_digest = true;
     } else {
       std::fprintf(
           stderr,
           "usage: oaf_perf [--host H] [--port N] [--token T] [--conn NAME]\n"
           "                [--io-size-kib S] [--qd D] [--rw read|write|FRAC]\n"
-          "                [--seconds SEC] [--working-set-mb M] [--random]\n");
+          "                [--seconds SEC] [--working-set-mb M] [--random]\n"
+          "                [--reconnect-attempts N] [--keepalive-ms MS]\n"
+          "                [--kato-ms MS] [--data-digest]\n");
       return false;
     }
   }
@@ -97,13 +112,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "connect: %s\n", channel_res.status().to_string().c_str());
     return 1;
   }
-  auto channel = std::move(channel_res).take();
+  auto first_channel = std::move(channel_res).take();
 
   af::AfConfig cfg = af::AfConfig::oaf();
   cfg.shm_slot_bytes = std::max<u64>(opts.io_size_kib * kKiB, 4 * kKiB);
   cfg.shm_slots = std::max<u32>(opts.qd, 1);
-  nvmf::NvmfInitiator client(exec, *channel, copier, broker,
-                             {cfg, opts.qd, opts.conn});
+  cfg.data_digest = opts.data_digest;
+
+  nvmf::InitiatorOptions iopts;
+  iopts.af = cfg;
+  iopts.queue_depth = opts.qd;
+  iopts.connection_name = opts.conn;
+  iopts.reconnect.max_attempts = opts.reconnect_attempts;
+  iopts.reconnect.keepalive_interval_ns =
+      static_cast<DurNs>(opts.keepalive_ms) * 1'000'000;
+  iopts.reconnect.kato_ns = opts.kato_ms * 1'000'000;
+
+  // The factory hands out the channel dialed above on the first connect and
+  // re-dials the target on every reconnect attempt after a fault.
+  nvmf::NvmfInitiator client(
+      exec,
+      [&]() -> std::unique_ptr<net::MsgChannel> {
+        if (first_channel) return std::move(first_channel);
+        auto res = net::tcp_connect(opts.host, opts.port, exec);
+        return res ? std::move(res).take() : nullptr;
+      },
+      copier, broker, iopts);
 
   std::atomic<bool> connected{false};
   exec.post([&] {
@@ -157,6 +191,18 @@ int main(int argc, char** argv) {
   t.row({"other (us)", Table::num(ns_to_us(mean.other), 1)});
   t.print();
 
-  channel->close();
+  const nvmf::ResilienceCounters& rc = client.resilience();
+  Table r("resilience");
+  r.header({"counter", "value"});
+  r.row({"reconnects", std::to_string(rc.reconnects)});
+  r.row({"reconnect failures", std::to_string(rc.reconnect_failures)});
+  r.row({"commands retried", std::to_string(rc.commands_retried)});
+  r.row({"keepalives sent", std::to_string(rc.keepalive_sent)});
+  r.row({"keepalive misses", std::to_string(rc.keepalive_misses)});
+  r.row({"shm demotions", std::to_string(rc.shm_demotions)});
+  r.row({"digest errors", std::to_string(rc.digest_errors)});
+  r.print();
+
+  // The initiator owns the control channel; its destructor hangs up.
   return 0;
 }

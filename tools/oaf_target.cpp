@@ -9,6 +9,7 @@
 //   oaf_perf   --port 4420 --token 42 --io-size-kib 128 --qd 32 --seconds 2
 //
 // The process exits once every accepted connection has closed.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +19,7 @@
 
 #include "af/locality.h"
 #include "net/tcp_channel.h"
-#include "nvmf/target.h"
+#include "nvmf/target_service.h"
 #include "sim/real_executor.h"
 #include "ssd/real_device.h"
 
@@ -32,6 +33,7 @@ struct Options {
   u64 capacity_mb = 256;
   int conns = 1;
   std::string conn_prefix = "oafconn";
+  u64 kato_ms = 0;  // default KATO; 0 = associations never expire on silence
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -60,6 +62,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.conn_prefix = v;
+    } else if (arg == "--kato-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts.kato_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -74,9 +80,9 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: oaf_target [--port N] [--token T] [--capacity-mb M]\n"
-      "                  [--conns K] [--conn-prefix P]\n"
+      "                  [--conns K] [--conn-prefix P] [--kato-ms MS]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
-      "connections have closed.\n");
+      "associations have closed or expired their keep-alive timeout.\n");
 }
 
 }  // namespace
@@ -112,39 +118,47 @@ int main(int argc, char** argv) {
               opts.conns == 1 ? "" : "s");
   std::fflush(stdout);
 
-  struct Served {
-    std::unique_ptr<net::MsgChannel> channel;
-    std::unique_ptr<nvmf::NvmfTargetConnection> conn;
-  };
-  std::vector<Served> served;
+  nvmf::TargetServiceOptions sopts;
+  sopts.af = af::AfConfig::oaf();
+  sopts.default_kato_ns = static_cast<DurNs>(opts.kato_ms) * 1'000'000;
+  nvmf::NvmfTargetService service(exec, copier, broker, subsystem, sopts);
+
   for (int i = 0; i < opts.conns; ++i) {
     auto accepted = listener.accept(exec);
     if (!accepted) {
       std::fprintf(stderr, "accept: %s\n", accepted.status().to_string().c_str());
       return 1;
     }
-    Served s;
-    s.channel = std::move(accepted).take();
     const std::string conn_name = opts.conn_prefix + std::to_string(i);
-    s.conn = std::make_unique<nvmf::NvmfTargetConnection>(
-        exec, *s.channel, copier, broker, subsystem,
-        nvmf::TargetOptions{af::AfConfig::oaf(), conn_name});
+    service.accept(std::move(accepted).take(), conn_name);
     std::printf("oaf_target: accepted connection %d (%s)\n", i, conn_name.c_str());
     std::fflush(stdout);
-    served.push_back(std::move(s));
   }
 
-  // Serve until every client hangs up.
+  // Serve until every association has hung up or been reaped. Reaping must
+  // run on the executor thread — it destroys connections whose callbacks
+  // run there.
+  u64 commands = 0;
   for (;;) {
-    bool any_open = false;
-    for (const auto& s : served) any_open |= s.channel->is_open();
-    if (!any_open) break;
+    std::atomic<bool> polled{false};
+    std::size_t active = 0;
+    exec.post([&] {
+      service.reap_expired();
+      active = service.active();
+      commands = service.commands_served();
+      polled = true;
+    });
+    while (!polled.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (active == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  u64 commands = 0;
-  for (const auto& s : served) commands += s.conn->commands_served();
-  std::printf("oaf_target: all connections closed; served %llu commands\n",
-              static_cast<unsigned long long>(commands));
+  std::printf("oaf_target: all associations closed; served %llu commands "
+              "(%llu association%s reaped)\n",
+              static_cast<unsigned long long>(commands),
+              static_cast<unsigned long long>(service.reaped()),
+              service.reaped() == 1 ? "" : "s");
   return 0;
 }
