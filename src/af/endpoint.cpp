@@ -95,7 +95,9 @@ Status AfEndpoint::stage_payload(u32 slot, std::span<const u8> data, Done done) 
 }
 
 void AfEndpoint::stage_payload_when_free(u32 slot, std::span<const u8> data,
-                                         Done done) {
+                                         Done done,
+                                         std::function<bool()> cancelled) {
+  if (cancelled && cancelled()) return;  // command aborted mid-chunk: drop
   const Status st = stage_payload(slot, data, done);
   if (st.is_ok()) return;
   if (st.code() != StatusCode::kResourceExhausted) {
@@ -107,9 +109,11 @@ void AfEndpoint::stage_payload_when_free(u32 slot, std::span<const u8> data,
   // Slot still draining on the peer: poll, as the consumer-side CM does
   // for the locality flag. The granularity mirrors the notify pickup cost.
   exec_.schedule_after(
-      1'000, [this, alive = alive_, slot, data, done = std::move(done)]() mutable {
+      1'000, [this, alive = alive_, slot, data, done = std::move(done),
+              cancelled = std::move(cancelled)]() mutable {
         if (!*alive) return;
-        stage_payload_when_free(slot, data, std::move(done));
+        stage_payload_when_free(slot, data, std::move(done),
+                                std::move(cancelled));
       });
 }
 
@@ -143,6 +147,7 @@ void AfEndpoint::consume_payload(u32 slot, std::span<u8> dst,
   with_access([this, slot, dst, done = std::move(done)](Done unlock) mutable {
     auto view = ring_.consume(consume_dir(), slot);
     if (!view) {
+      note_consume_error(view.status());
       unlock();
       done(view.status());
       return;
@@ -186,7 +191,9 @@ Result<std::span<const u8>> AfEndpoint::consume_view(u32 slot) {
     return make_error(StatusCode::kFailedPrecondition,
                       "zero-copy views unavailable on encrypted channels");
   }
-  return ring_.consume(consume_dir(), slot);
+  auto view = ring_.consume(consume_dir(), slot);
+  if (!view) note_consume_error(view.status());
+  return view;
 }
 
 Status AfEndpoint::release_slot(u32 slot) {
@@ -194,6 +201,50 @@ Status AfEndpoint::release_slot(u32 slot) {
     return make_error(StatusCode::kFailedPrecondition, "no shm channel");
   }
   return ring_.release(consume_dir(), slot);
+}
+
+void AfEndpoint::abandon_slot(u32 slot) {
+  if (!ring_.valid()) return;
+  // Either side may have parked a payload for the aborted command: the
+  // victim's write data waits in our consume direction, and our own staged
+  // (but never notified) chunk may sit in the produce direction.
+  (void)ring_.discard(consume_dir(), slot);
+  (void)ring_.discard(produce_dir(), slot);
+}
+
+u32 AfEndpoint::sweep_orphans(DurNs stuck_after) {
+  if (!ring_.valid() || stuck_after <= 0) return 0;
+  const TimeNs now = exec_.now();
+  u32 reclaimed = 0;
+  for (int d = 0; d < 2; ++d) {
+    const auto dir = static_cast<shm::Direction>(d);
+    auto& ages = slot_age_[d];
+    if (ages.size() != ring_.slot_count()) {
+      ages.assign(ring_.slot_count(), SlotAge{});
+    }
+    for (u32 s = 0; s < ring_.slot_count(); ++s) {
+      const auto st = ring_.state(dir, s);
+      SlotAge& age = ages[s];
+      if (static_cast<u32>(st) != age.state) {
+        age.state = static_cast<u32>(st);
+        age.since = now;
+        continue;
+      }
+      // kReady is a parked payload waiting for a slow consumer — normal.
+      // Only mid-transfer states with no live owner are orphans.
+      if (st != shm::DoubleBufferRing::kWriting &&
+          st != shm::DoubleBufferRing::kDraining) {
+        continue;
+      }
+      if (now - age.since < stuck_after) continue;
+      if (ring_.force_release(dir, s)) {
+        reclaimed++;
+        orphan_reclaims_++;
+        age = SlotAge{};
+      }
+    }
+  }
+  return reclaimed;
 }
 
 }  // namespace oaf::af

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "af/config.h"
 #include "af/locality.h"
@@ -84,6 +85,11 @@ class AfEndpoint {
   [[nodiscard]] u64 slot_bytes() const { return ring_.slot_size(); }
   [[nodiscard]] u32 slot_count() const { return ring_.slot_count(); }
 
+  /// Raw ring handle. For diagnostics and test fault injection
+  /// (shm::ShmFaultRing) only — the staged/zero-copy methods are the data
+  /// path; mutating slots through this handle bypasses the protocol.
+  [[nodiscard]] shm::DoubleBufferRing& ring() { return ring_; }
+
   // --- producer side -----------------------------------------------------
 
   /// Copy `data` into slot `slot` and publish it. `done` fires when the
@@ -94,7 +100,11 @@ class AfEndpoint {
   /// transfer, poll until it frees. Used by the conservative (chunked) flow,
   /// where one command's chunks reuse a single slot sequentially — the
   /// serialization the shm flow control optimization removes (§4.4.2).
-  void stage_payload_when_free(u32 slot, std::span<const u8> data, Done done);
+  /// `cancelled` (optional) is checked before each attempt: once it returns
+  /// true the transfer is dropped silently (`done` never fires) — an aborted
+  /// command must not park a stray payload in a slot a successor will reuse.
+  void stage_payload_when_free(u32 slot, std::span<const u8> data, Done done,
+                               std::function<bool()> cancelled = nullptr);
 
   /// Zero-copy: claim slot `slot` and return its buffer for the application
   /// to fill in place (the Buffer Manager "creates the app buffer on shm").
@@ -117,11 +127,29 @@ class AfEndpoint {
 
   Status release_slot(u32 slot);
 
+  // --- command-lifetime robustness ----------------------------------------
+
+  /// Drop whatever an aborted command parked in `slot`, in both directions:
+  /// a published-but-unconsumed payload is discarded so the slot (and the
+  /// cid that owns it) can be reused by the next command. Slots in other
+  /// states are left alone (the orphan sweeper age-gates those).
+  void abandon_slot(u32 slot);
+
+  /// Reclaim slots stuck in kWriting/kDraining longer than `stuck_after`
+  /// (owner died mid-transfer — e.g. a client that froze after
+  /// zero_copy_write_begin). Both directions are swept; a slot's age resets
+  /// whenever its observed state changes. Returns how many were reclaimed.
+  u32 sweep_orphans(DurNs stuck_after);
+
   // --- stats ---------------------------------------------------------------
   [[nodiscard]] u64 shm_payload_bytes() const { return shm_payload_bytes_; }
   [[nodiscard]] u64 zero_copy_publishes() const { return zero_copy_publishes_; }
   [[nodiscard]] u64 staged_copies() const { return staged_copies_; }
   [[nodiscard]] u64 shm_demotions() const { return shm_demotions_; }
+  /// Protocol violations detected on the consume path (kPeerMisbehavior).
+  [[nodiscard]] u64 peer_misbehavior() const { return peer_misbehavior_; }
+  /// Slots reclaimed from dead owners by sweep_orphans.
+  [[nodiscard]] u64 orphan_reclaims() const { return orphan_reclaims_; }
 
  private:
   [[nodiscard]] shm::Direction produce_dir() const {
@@ -137,6 +165,11 @@ class AfEndpoint {
   /// `op` receives an unlock callback it must invoke when the critical
   /// section ends.
   void with_access(std::function<void(Done unlock)> op);
+
+  /// Count consume-path failures that indicate a misbehaving peer.
+  void note_consume_error(const Status& st) {
+    if (st.code() == StatusCode::kPeerMisbehavior) peer_misbehavior_++;
+  }
 
   Role role_;
   Executor& exec_;
@@ -155,6 +188,16 @@ class AfEndpoint {
   u64 zero_copy_publishes_ = 0;
   u64 staged_copies_ = 0;
   u64 shm_demotions_ = 0;
+  u64 peer_misbehavior_ = 0;
+  u64 orphan_reclaims_ = 0;
+
+  /// Orphan-sweep age tracking: last observed state and when it was first
+  /// seen, per (direction, slot). Lazily sized on the first sweep.
+  struct SlotAge {
+    u32 state = 0;  // shm::DoubleBufferRing::kFree
+    TimeNs since = 0;
+  };
+  std::vector<SlotAge> slot_age_[2];
 };
 
 }  // namespace oaf::af

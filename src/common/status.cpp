@@ -30,6 +30,8 @@ std::string_view to_string(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kPeerMisbehavior:
+      return "PEER_MISBEHAVIOR";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,10 @@ enum class StatusCode : int {
   kTimeout,
   kInternal,
   kUnimplemented,
+  /// A shared-memory peer violated the slot protocol (impossible state
+  /// transition, out-of-range length, stale epoch). The channel can no
+  /// longer be trusted; callers demote to TCP rather than touch the bytes.
+  kPeerMisbehavior,
 };
 
 std::string_view to_string(StatusCode code);

@@ -1,0 +1,133 @@
+// Per-command deadline wheel.
+//
+// PR 1 armed one executor timer per command attempt; timers cannot be
+// cancelled, so completed commands left dead lambdas in the scheduler and
+// every expiry had to re-validate cid/generation. The wheel replaces that
+// with bucketed deadlines drained by a single self-rearming tick: arm() is
+// an O(log buckets) insert, cancel() is an O(1) map erase, and the tick only
+// runs while entries are live — so a sim Scheduler::run() still terminates
+// once all I/O completes, unlike the keep-alive loop which must be driven
+// with run_until().
+//
+// Firing discipline: a deadline fires at or after its exact time, never
+// early (latency assertions like "a timed-out command spans its full
+// timeout" rely on this), and at most one tick late.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace oaf::nvmf {
+
+class DeadlineWheel {
+ public:
+  /// Called on the executor when an armed (cid, generation) expires.
+  using ExpireFn = std::function<void(u16 cid, u64 generation)>;
+
+  DeadlineWheel(Executor& exec, DurNs tick_ns)
+      : exec_(exec), tick_ns_(tick_ns > 0 ? tick_ns : 1) {}
+  ~DeadlineWheel() { *alive_ = false; }
+
+  DeadlineWheel(const DeadlineWheel&) = delete;
+  DeadlineWheel& operator=(const DeadlineWheel&) = delete;
+
+  void set_callback(ExpireFn fn) { on_expire_ = std::move(fn); }
+
+  [[nodiscard]] DurNs tick_ns() const { return tick_ns_; }
+  [[nodiscard]] std::size_t armed() const { return armed_.size(); }
+
+  /// Arm (or re-arm) a deadline for `cid`. A later arm for the same cid
+  /// supersedes the earlier one (the stale bucket entry becomes a tombstone
+  /// its generation check skips).
+  void arm(u16 cid, u64 generation, DurNs timeout) {
+    const TimeNs deadline = exec_.now() + (timeout > 0 ? timeout : 0);
+    armed_[cid] = generation;
+    buckets_[bucket_of(deadline)].push_back(Entry{cid, generation, deadline});
+    if (!ticking_) {
+      ticking_ = true;
+      schedule_tick();
+    }
+  }
+
+  /// Disarm `cid` (completion beat the deadline). Lazy: the bucket entry
+  /// stays behind as a tombstone and is skipped on its tick.
+  void cancel(u16 cid) { armed_.erase(cid); }
+
+  /// Disarm everything (connection teardown / recovery).
+  void clear() { armed_.clear(); }
+
+ private:
+  struct Entry {
+    u16 cid;
+    u64 generation;
+    TimeNs deadline;
+  };
+
+  [[nodiscard]] u64 bucket_of(TimeNs t) const {
+    return static_cast<u64>(t) / static_cast<u64>(tick_ns_);
+  }
+
+  void schedule_tick() {
+    exec_.schedule_after(tick_ns_, [this, alive = alive_] {
+      if (!*alive) return;
+      tick();
+    });
+  }
+
+  void tick() {
+    const TimeNs now = exec_.now();
+    const u64 now_bucket = bucket_of(now);
+    std::vector<Entry> due;
+    for (auto it = buckets_.begin();
+         it != buckets_.end() && it->first <= now_bucket;) {
+      std::vector<Entry> keep;
+      for (const Entry& e : it->second) {
+        const auto a = armed_.find(e.cid);
+        if (a == armed_.end() || a->second != e.generation) continue;
+        if (e.deadline <= now) {
+          due.push_back(e);
+        } else {
+          keep.push_back(e);  // same bucket, but its exact time is not up yet
+        }
+      }
+      if (keep.empty()) {
+        it = buckets_.erase(it);
+      } else {
+        it->second = std::move(keep);
+        ++it;
+      }
+    }
+    // Fire outside the bucket walk: expiry handlers may re-enter arm()
+    // (e.g. a timed-out command escalating to an Abort with its own
+    // deadline), which mutates buckets_.
+    for (const Entry& e : due) {
+      const auto a = armed_.find(e.cid);
+      if (a == armed_.end() || a->second != e.generation) continue;
+      armed_.erase(a);
+      if (on_expire_) on_expire_(e.cid, e.generation);
+    }
+    if (armed_.empty()) {
+      ticking_ = false;
+      buckets_.clear();
+      return;
+    }
+    schedule_tick();
+  }
+
+  Executor& exec_;
+  DurNs tick_ns_;
+  ExpireFn on_expire_;
+  std::map<u64, std::vector<Entry>> buckets_;   // tick index -> entries
+  std::unordered_map<u16, u64> armed_;          // cid -> live generation
+  bool ticking_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace oaf::nvmf

@@ -24,7 +24,8 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
       ep_(af::Role::kClient, exec, copier, opts.af),
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
       opts_(std::move(opts)),
-      jitter_rng_(opts_.reconnect.jitter_seed) {
+      jitter_rng_(opts_.reconnect.jitter_seed),
+      wheel_(exec, wheel_tick_of(opts_)) {
   // Queue depth cannot exceed the cid space / slot count.
   if (opts_.queue_depth == 0) opts_.queue_depth = 1;
   if (opts_.queue_depth > opts_.af.shm_slots) {
@@ -32,6 +33,8 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
   }
   inflight_.resize(opts_.queue_depth);
   slot_busy_.assign(opts_.queue_depth, false);
+  wheel_.set_callback(
+      [this](u16 cid, u64 generation) { on_deadline(cid, generation); });
   control_->set_handler(
       [this, alive = alive_](Pdu p) {
         if (*alive) on_pdu(std::move(p));
@@ -50,13 +53,16 @@ NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
       ep_(af::Role::kClient, exec, copier, opts.af),
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
       opts_(std::move(opts)),
-      jitter_rng_(opts_.reconnect.jitter_seed) {
+      jitter_rng_(opts_.reconnect.jitter_seed),
+      wheel_(exec, wheel_tick_of(opts_)) {
   if (opts_.queue_depth == 0) opts_.queue_depth = 1;
   if (opts_.queue_depth > opts_.af.shm_slots) {
     opts_.queue_depth = opts_.af.shm_slots;
   }
   inflight_.resize(opts_.queue_depth);
   slot_busy_.assign(opts_.queue_depth, false);
+  wheel_.set_callback(
+      [this](u16 cid, u64 generation) { on_deadline(cid, generation); });
   control_->set_handler(
       [this, alive = alive_](Pdu p) {
         if (*alive) on_pdu(std::move(p));
@@ -120,6 +126,15 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
                pdu.as<pdu::TermReq>()->reason.c_str());
       control_->close();
       recover("target terminated association");
+      break;
+    case pdu::PduType::kShmDemote:
+      // Target-initiated demotion (its fencing caught a protocol violation):
+      // stop producing into the ring; parked transfers drain as usual.
+      if (ep_.demote_shm()) {
+        counters_.shm_demotions++;
+        OAF_WARN("initiator: target demoted shm (%s)",
+                 pdu.as<pdu::ShmDemote>()->reason.c_str());
+      }
       break;
     default:
       OAF_WARN("initiator: unexpected PDU type %s", pdu::to_string(pdu.type()));
@@ -200,6 +215,9 @@ void NvmfInitiator::recover(const char* reason) {
   handshake_epoch_++;
   ka_outstanding_ = false;
   ka_misses_ = 0;
+  wheel_.clear();
+  aborts_.clear();
+  consecutive_abort_failures_ = 0;
   control_->close();
   // Harvest in-flight commands into the replay queue; anything unsafe to
   // replay (or out of budget) fails now, exactly once.
@@ -342,14 +360,116 @@ void NvmfInitiator::keepalive_tick() {
 
 void NvmfInitiator::arm_timeout(u16 cid) {
   if (opts_.command_timeout_ns <= 0) return;
-  const u64 generation = inflight_[cid].generation;
-  exec_.schedule_after(opts_.command_timeout_ns,
-                       [this, alive = alive_, cid, generation] {
-                         if (!*alive || dead_ || !slot_busy_[cid]) return;
-                         if (inflight_[cid].generation != generation) return;
-                         timeouts_++;
-                         recover("command timeout");
-                       });
+  wheel_.arm(cid, inflight_[cid].generation, opts_.command_timeout_ns);
+}
+
+// --------------------------------------------------------------------------
+// Escalation ladder: deadline -> abort -> demote -> reconnect
+// --------------------------------------------------------------------------
+
+void NvmfInitiator::on_deadline(u16 cid, u64 generation) {
+  if (dead_) return;
+  if (aborts_.count(cid) != 0) {
+    // Abort cids live in their own namespace; an expiry there is rung two.
+    on_abort_timeout(cid);
+    return;
+  }
+  if (cid >= inflight_.size() || !slot_busy_[cid]) return;
+  if (inflight_[cid].generation != generation) return;
+  counters_.deadlines_expired++;
+  timeouts_++;
+  if (!opts_.escalation.enabled() || reconnecting_) {
+    // Legacy semantics: a deadline expiry is a transport fault.
+    recover("command timeout");
+    return;
+  }
+  send_abort(cid);
+}
+
+u16 NvmfInitiator::alloc_abort_cid() {
+  for (u32 tries = 0; tries < 256; ++tries) {
+    const u16 acid = static_cast<u16>(kAbortCidBase + (next_abort_cid_++ & 0xFF));
+    if (aborts_.count(acid) == 0) return acid;
+  }
+  return kAbortCidBase;  // unreachable: > 256 concurrent aborts cannot arise
+}
+
+void NvmfInitiator::send_abort(u16 victim_cid) {
+  Pending& p = inflight_[victim_cid];
+  p.abort_attempts++;
+  const u16 acid = alloc_abort_cid();
+  aborts_[acid] = AbortCtx{victim_cid, p.generation, p.gen};
+  counters_.aborts_sent++;
+  OAF_WARN("initiator: aborting stuck cid %u (attempt %u/%u, abort cid %u)",
+           victim_cid, p.abort_attempts, opts_.escalation.abort_budget, acid);
+  pdu::CapsuleCmd capsule;
+  capsule.cmd.opcode = NvmeOpcode::kAbort;
+  capsule.cmd.cid = acid;
+  capsule.cmd.abort_cid = victim_cid;
+  capsule.cmd.abort_gen = p.gen;
+  Pdu pdu;
+  pdu.header = capsule;
+  control_->send(std::move(pdu));
+  wheel_.arm(acid, 0, abort_deadline_ns());
+}
+
+void NvmfInitiator::on_abort_timeout(u16 abort_cid) {
+  const auto it = aborts_.find(abort_cid);
+  if (it == aborts_.end()) return;
+  const AbortCtx a = it->second;
+  aborts_.erase(it);
+  counters_.aborts_failed++;
+  consecutive_abort_failures_++;
+  // Aborts ride the control channel. If they keep dying while shm is up,
+  // suspect the fast path first and demote before burning the connection.
+  if (ep_.shm_ready() && consecutive_abort_failures_ >=
+                             opts_.escalation.demote_after_failed_aborts) {
+    demote_shm("aborts timing out while shm active");
+  }
+  const bool victim_live = a.victim_cid < inflight_.size() &&
+                           slot_busy_[a.victim_cid] &&
+                           inflight_[a.victim_cid].generation ==
+                               a.victim_generation;
+  if (!victim_live) return;  // the victim resolved itself meanwhile
+  if (inflight_[a.victim_cid].abort_attempts < opts_.escalation.abort_budget) {
+    send_abort(a.victim_cid);
+    return;
+  }
+  // Rung three: the control path itself is unresponsive.
+  recover("abort escalation exhausted");
+}
+
+void NvmfInitiator::on_abort_resp(u16 abort_cid, const pdu::CapsuleResp& resp) {
+  const AbortCtx a = aborts_[abort_cid];
+  aborts_.erase(abort_cid);
+  wheel_.cancel(abort_cid);
+  consecutive_abort_failures_ = 0;
+  counters_.aborts_succeeded++;
+  const bool victim_live = a.victim_cid < inflight_.size() &&
+                           slot_busy_[a.victim_cid] &&
+                           inflight_[a.victim_cid].generation ==
+                               a.victim_generation;
+  // The target sends the victim's (aborted) completion before the abort
+  // response, so normally the victim is already closed here.
+  if (!victim_live) return;
+  if (resp.cpl.result != 0) {
+    // result 1: the target has no record of the victim — the capsule (or
+    // its completion) was lost on the wire. Replay in place.
+    complete(a.victim_cid,
+             {a.victim_cid, pdu::NvmeStatus::kTransientTransportError, 0}, 0,
+             0);
+  } else {
+    // result 0 but the victim's own completion never arrived: close it as
+    // aborted now rather than waiting for a PDU that is not coming.
+    complete(a.victim_cid,
+             {a.victim_cid, pdu::NvmeStatus::kAbortedByRequest, 0}, 0, 0);
+  }
+}
+
+void NvmfInitiator::note_shm_consume_failure(const Status& st) {
+  if (st.code() != StatusCode::kPeerMisbehavior) return;
+  counters_.peer_misbehavior++;
+  demote_shm("shm slot protocol violation on consume");
 }
 
 void NvmfInitiator::abort_connection(const char* reason) {
@@ -357,6 +477,9 @@ void NvmfInitiator::abort_connection(const char* reason) {
   dead_ = true;
   reconnecting_ = false;
   ka_epoch_++;  // stop the keep-alive loop
+  wheel_.clear();
+  aborts_.clear();
+  consecutive_abort_failures_ = 0;
   OAF_WARN("initiator: aborting connection (%s)", reason);
   // NVMe-oF error recovery past the reconnect budget is controller-scoped:
   // terminate the association and fail everything in flight. A late
@@ -584,6 +707,12 @@ void NvmfInitiator::shm_write_chunk(u16 cid, u16 ttag, u64 offset, u64 end) {
         pdu.header = h2c;
         control_->send(std::move(pdu));
         if (!last) shm_write_chunk(cid, ttag, offset + chunk, end);
+      },
+      // An aborted (or replayed) command must not park a stray payload in a
+      // slot a successor will reuse — the poll re-checks before every stage.
+      [this, alive = alive_, cid, gen = p.gen] {
+        return !*alive || cid >= inflight_.size() || !slot_busy_[cid] ||
+               inflight_[cid].gen != gen;
       });
 }
 
@@ -616,6 +745,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
       res.target_time_ns = c2h.target_time_ns;
       auto cb = std::move(p.view_cb);
       if (!view) {
+        note_shm_consume_failure(view.status());
         release_cid(cid);
         cb(view.status(), res);
         return;
@@ -645,6 +775,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
           if (!*alive || cid >= inflight_.size() || !slot_busy_[cid]) return;
           if (inflight_[cid].gen != gen) return;  // replaced by a replay
           if (!got) {
+            note_shm_consume_failure(got.status());
             complete(cid, {cid, pdu::NvmeStatus::kDataTransferError, 0}, 0, 0);
             return;
           }
@@ -682,6 +813,10 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
 
 void NvmfInitiator::on_resp(const pdu::CapsuleResp& resp) {
   const u16 cid = resp.cpl.cid;
+  if (aborts_.count(cid) != 0) {
+    on_abort_resp(cid, resp);
+    return;
+  }
   if (cid >= inflight_.size() || !slot_busy_[cid]) {
     OAF_WARN("CapsuleResp for unknown cid %u", cid);
     return;
@@ -695,6 +830,7 @@ void NvmfInitiator::on_resp(const pdu::CapsuleResp& resp) {
 }
 
 void NvmfInitiator::release_cid(u16 cid) {
+  wheel_.cancel(cid);
   slot_busy_[cid] = false;
   inflight_[cid] = Pending{};
   drain_queue();
@@ -714,6 +850,9 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     start_command(cid);
     return;
   }
+  if (cpl.status == pdu::NvmeStatus::kAbortedByRequest) {
+    counters_.commands_aborted++;
+  }
   IoResult res;
   res.cpl = cpl;
   // total_ns spans the FIRST submission to the final completion so retried
@@ -726,6 +865,7 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
   res.target_time_ns = target_ns;
 
   IoCb cb = std::move(p.cb);
+  auto view_cb = std::move(p.view_cb);
   auto identify_cb = std::move(p.identify_cb);
   auto identify_result = p.identify_result;
   ios_completed_++;
@@ -737,6 +877,18 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     } else {
       identify_cb(make_error(StatusCode::kUnavailable, "identify failed"));
     }
+    return;
+  }
+  if (view_cb) {
+    // A zero-copy read normally completes through the C2HData slot
+    // reference, which hands out the view and consumes this callback. A
+    // completion landing here instead (aborted, errored, retries spent)
+    // carries no payload — the caller must still hear about it, or an
+    // aborted view read hangs its issuer forever.
+    view_cb(Result<ReadView>(
+                make_error(StatusCode::kUnavailable,
+                           "read completed without a payload")),
+            res);
     return;
   }
   if (cb) cb(res);

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "af/busy_poll.h"
@@ -23,6 +24,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/channel.h"
+#include "nvmf/deadline_wheel.h"
 #include "nvmf/resilience.h"
 
 namespace oaf::nvmf {
@@ -31,13 +33,17 @@ struct InitiatorOptions {
   af::AfConfig af;
   u32 queue_depth = 128;
   std::string connection_name = "conn0";
-  /// Per-command timeout; 0 disables. On expiry the connection is torn
-  /// down (or, with a ReconnectPolicy, recovered) and commands that cannot
-  /// be replayed complete with kDataTransferError.
+  /// Per-command timeout; 0 disables. On expiry the escalation ladder runs
+  /// (abort -> demote -> recover) when `escalation` is enabled; otherwise
+  /// the connection is torn down (or, with a ReconnectPolicy, recovered)
+  /// and commands that cannot be replayed complete with kDataTransferError.
   DurNs command_timeout_ns = 0;
   /// Recovery behaviour; disabled by default (legacy teardown semantics).
   /// Reconnection additionally requires the ChannelFactory constructor.
   ReconnectPolicy reconnect;
+  /// Per-command escalation on deadline expiry; disabled by default (a
+  /// deadline then goes straight to recover(), the PR-1 behaviour).
+  EscalationPolicy escalation;
 };
 
 class NvmfInitiator {
@@ -180,7 +186,16 @@ class NvmfInitiator {
     u64 generation = 0;       // guards timeout callbacks against cid reuse
     u16 gen = 0;              // wire attempt tag (echoed by the target)
     u32 attempts = 0;         // replays consumed from the retry budget
+    u32 abort_attempts = 0;   // aborts consumed from the escalation budget
   };
+
+  /// One outstanding Abort command (its own cid space, kAbortCidBase+).
+  struct AbortCtx {
+    u16 victim_cid = 0;
+    u64 victim_generation = 0;  // victim identity at abort time
+    u16 victim_gen = 0;         // victim's wire attempt tag
+  };
+  static constexpr u16 kAbortCidBase = 0xF000;
 
   void on_pdu(pdu::Pdu pdu);
   void on_icresp(const pdu::ICResp& resp);
@@ -201,6 +216,32 @@ class NvmfInitiator {
   void arm_timeout(u16 cid);
   void abort_connection(const char* reason);
   void fail_pending(Pending& p);
+
+  // Escalation ladder (deadline -> abort -> demote -> reconnect).
+  void on_deadline(u16 cid, u64 generation);
+  void send_abort(u16 victim_cid);
+  void on_abort_timeout(u16 abort_cid);
+  void on_abort_resp(u16 abort_cid, const pdu::CapsuleResp& resp);
+  [[nodiscard]] u16 alloc_abort_cid();
+  /// Wheel granularity: a quarter of the shortest configured deadline, so
+  /// expiries land at most ~25% late. Arbitrary (unused) when no timeout is
+  /// configured — the wheel never ticks without armed entries anyway.
+  [[nodiscard]] static DurNs wheel_tick_of(const InitiatorOptions& o) {
+    DurNs t = o.command_timeout_ns;
+    const DurNs a = o.escalation.abort_timeout_ns;
+    if (a > 0 && (t <= 0 || a < t)) t = a;
+    if (t <= 0) return 1'000'000;
+    const DurNs tick = t / 4;
+    return tick > 0 ? tick : 1;
+  }
+  [[nodiscard]] DurNs abort_deadline_ns() const {
+    return opts_.escalation.abort_timeout_ns > 0
+               ? opts_.escalation.abort_timeout_ns
+               : opts_.command_timeout_ns;
+  }
+  /// Consume-path failure handling: a kPeerMisbehavior from the ring
+  /// demotes the data path immediately (the fencing caught a bad peer).
+  void note_shm_consume_failure(const Status& st);
 
   // Reconnect state machine.
   void recover(const char* reason);
@@ -239,6 +280,10 @@ class NvmfInitiator {
   u16 next_cid_ = 0;                // round-robin cursor
   std::deque<Pending> waiting_;     // beyond queue depth
   std::deque<Pending> replay_;      // harvested in-flight, awaiting reconnect
+  DeadlineWheel wheel_;             // per-command + per-abort deadlines
+  std::unordered_map<u16, AbortCtx> aborts_;  // by abort cid
+  u16 next_abort_cid_ = 0;
+  u32 consecutive_abort_failures_ = 0;
   u64 next_generation_ = 1;
   u16 next_gen_ = 1;                // wire attempt tags (0 reserved)
   bool dead_ = false;               // connection torn down for good

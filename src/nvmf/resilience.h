@@ -44,6 +44,30 @@ struct ReconnectPolicy {
   [[nodiscard]] bool enabled() const { return max_attempts > 0; }
 };
 
+/// Command-lifetime escalation ladder: what a per-command deadline expiry
+/// does. Disabled by default (abort_budget == 0), which keeps the legacy
+/// semantics — a deadline expiry goes straight to connection recovery (or
+/// teardown without a ReconnectPolicy). When enabled, the rungs are:
+///   deadline expires  -> send an NVMe Abort for the stuck command
+///   abort times out   -> retry, up to abort_budget aborts per command;
+///                        after demote_after_failed_aborts consecutive
+///                        failures on a shm data path, demote_shm()
+///   budget exhausted  -> the control path itself is dead: hand off to the
+///                        PR-1 reconnect machine (recover()).
+struct EscalationPolicy {
+  /// Aborts attempted per stuck command before falling back to recovery;
+  /// 0 disables the ladder entirely (legacy timeout -> recover()).
+  u32 abort_budget = 0;
+  /// Deadline for each Abort command itself; 0 = reuse command_timeout_ns.
+  DurNs abort_timeout_ns = 0;
+  /// Consecutive abort timeouts (across commands) that demote the shm data
+  /// path — aborts ride the control channel, so if they fail while shm is
+  /// up, the fast path is the prime suspect.
+  u32 demote_after_failed_aborts = 2;
+
+  [[nodiscard]] bool enabled() const { return abort_budget > 0; }
+};
+
 /// Recovery activity, exported by initiator and target stats and printed by
 /// tools/oaf_perf.
 struct ResilienceCounters {
@@ -54,6 +78,13 @@ struct ResilienceCounters {
   u64 keepalive_misses = 0;    ///< ticks with the previous ping unanswered
   u64 shm_demotions = 0;       ///< runtime shm -> TCP data-path demotions
   u64 digest_errors = 0;       ///< CRC32C payload mismatches detected
+  // Command-lifetime escalation ladder (per-I/O deadlines + NVMe Abort).
+  u64 deadlines_expired = 0;   ///< per-command deadline wheel expiries
+  u64 aborts_sent = 0;         ///< Abort commands issued
+  u64 aborts_succeeded = 0;    ///< Abort responses received in time
+  u64 aborts_failed = 0;       ///< Aborts that themselves timed out
+  u64 commands_aborted = 0;    ///< victim commands completed as aborted
+  u64 peer_misbehavior = 0;    ///< shm protocol violations (fencing hits)
 };
 
 }  // namespace oaf::nvmf

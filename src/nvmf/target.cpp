@@ -154,10 +154,12 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
     send_term("duplicate cid");
     return;
   }
+  recently_aborted_.erase(cid);  // the cid is live again
   IoCtx& ctx = inflight_[cid];
   ctx.cmd = capsule.cmd;
   ctx.arrival = exec_.now();
   ctx.gen = capsule.gen;
+  ctx.seq = next_ctx_seq_++;
   governor_.record_op(capsule.cmd.is_write());
 
   ssd::Device* device = subsystem_.find(capsule.cmd.nsid);
@@ -189,17 +191,24 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
             return;
           }
           const TimeNs copy_start = exec_.now();
+          ctx.copies_in_flight++;
           ep_.consume_payload(
               capsule.shm_slot, ctx.buffer,
-              [this, alive = alive_, cid, len, copy_start](Result<u64> got) {
+              [this, alive = alive_, cid, seq = ctx.seq, len,
+               copy_start](Result<u64> got) {
                 if (!*alive) return;
+                zombie_buffers_.erase(seq);  // copy done; zombie can go
+                const auto it2 = inflight_.find(cid);
+                if (it2 == inflight_.end() || it2->second.seq != seq) {
+                  return;  // aborted while the copy was in flight
+                }
+                it2->second.copies_in_flight--;
                 if (!got || got.value() != len) {
+                  if (!got) note_consume_failure(got.status());
                   send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
                   return;
                 }
-                if (auto it2 = inflight_.find(cid); it2 != inflight_.end()) {
-                  it2->second.copy_wait += exec_.now() - copy_start;
-                }
+                it2->second.copy_wait += exec_.now() - copy_start;
                 start_device_write(cid);
               });
         } else {
@@ -229,10 +238,48 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
     case NvmeOpcode::kRead:
       handle_read(cid);
       return;
+    case NvmeOpcode::kAbort:
+      handle_abort(cid);
+      return;
     default:
       handle_admin(cid);
       return;
   }
+}
+
+void NvmfTargetConnection::handle_abort(u16 cid) {
+  const auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  const u16 victim = it->second.cmd.abort_cid;
+  const u16 vgen = it->second.cmd.abort_gen;
+  aborts_handled_++;
+  // cpl.result: 0 = victim found and cancelled, 1 = no record of the victim
+  // (its capsule or completion was lost; the host replays it).
+  u64 result = 1;
+  const auto vit = inflight_.find(victim);
+  if (vit != inflight_.end() && victim != cid &&
+      (vgen == 0 || vit->second.gen == 0 || vit->second.gen == vgen)) {
+    IoCtx& vctx = vit->second;
+    commands_aborted_++;
+    result = 0;
+    OAF_WARN("target: aborting cid %u (device_busy=%d)", victim,
+             static_cast<int>(vctx.device_busy));
+    if (vctx.device_busy || vctx.copies_in_flight > 0) {
+      // The device (or an in-flight shm copy) still references the staging
+      // buffer; park it with the zombie until that completion fires.
+      zombie_buffers_[vctx.seq] = std::move(vctx.buffer);
+    } else if (ep_.shm_attached()) {
+      // Waiting on data: drop whatever the victim parked in its slot so the
+      // next command to use it starts clean.
+      ep_.abandon_slot(victim);
+    }
+    recently_aborted_.insert(victim);
+    // Victim completion first, then the abort's own — the host normally
+    // closes the victim off the former and only consults the latter when
+    // the victim's completion was itself lost.
+    send_resp(victim, {victim, NvmeStatus::kAbortedByRequest, 0}, 0);
+  }
+  send_resp(cid, {cid, NvmeStatus::kSuccess, result}, 0);
 }
 
 void NvmfTargetConnection::on_h2c(Pdu pdu) {
@@ -240,6 +287,15 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
   const u16 cid = h2c.cid;
   const auto it = inflight_.find(cid);
   if (it == inflight_.end()) {
+    if (recently_aborted_.count(cid) != 0) {
+      // A transfer PDU that raced the abort: expected, not hostile. If it
+      // announces a shm payload, drop whatever is parked in the slot so the
+      // next owner starts clean.
+      if (h2c.placement == DataPlacement::kShmSlot && ep_.shm_attached()) {
+        ep_.abandon_slot(h2c.shm_slot);
+      }
+      return;
+    }
     send_term("H2CData for unknown cid");
     return;
   }
@@ -258,17 +314,24 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
       send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
       return;
     }
+    ctx.copies_in_flight++;
     ep_.consume_payload(
         h2c.shm_slot,
         std::span<u8>(ctx.buffer.data() + h2c.offset, h2c.length),
-        [this, alive = alive_, cid, len = h2c.length](Result<u64> got) {
+        [this, alive = alive_, cid, seq = ctx.seq,
+         len = h2c.length](Result<u64> got) {
           if (!*alive) return;
+          zombie_buffers_.erase(seq);  // copy done; zombie can go
+          auto it2 = inflight_.find(cid);
+          if (it2 == inflight_.end() || it2->second.seq != seq) {
+            return;  // aborted while the copy was in flight
+          }
+          it2->second.copies_in_flight--;
           if (!got || got.value() != len) {
+            if (!got) note_consume_failure(got.status());
             send_resp(cid, {cid, NvmeStatus::kDataTransferError, 0}, 0);
             return;
           }
-          auto it2 = inflight_.find(cid);
-          if (it2 == inflight_.end()) return;
           it2->second.bytes_received += len;
           if (it2->second.bytes_received >= it2->second.buffer.size()) {
             start_device_write(cid);
@@ -310,10 +373,18 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
   IoCtx& ctx = it->second;
   ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
   bytes_written_ += ctx.buffer.size();
+  ctx.device_busy = true;
   device->submit_write(ctx.cmd, ctx.buffer,
-                       [this, alive = alive_, cid](pdu::NvmeCpl cpl,
-                                                   DurNs io_time) {
+                       [this, alive = alive_, cid,
+                        seq = ctx.seq](pdu::NvmeCpl cpl, DurNs io_time) {
                          if (!*alive) return;
+                         zombie_buffers_.erase(seq);
+                         const auto it2 = inflight_.find(cid);
+                         if (it2 == inflight_.end() ||
+                             it2->second.seq != seq) {
+                           return;  // aborted: swallow the completion
+                         }
+                         it2->second.device_busy = false;
                          send_resp(cid, cpl, io_time);
                        });
 }
@@ -325,10 +396,17 @@ void NvmfTargetConnection::handle_read(u16 cid) {
   ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
   const u64 len = ctx.cmd.data_bytes(device->block_size());
   ctx.buffer.resize(len);
+  ctx.device_busy = true;
   device->submit_read(ctx.cmd, ctx.buffer,
-                      [this, alive = alive_, cid](pdu::NvmeCpl cpl,
-                                                  DurNs io_time) {
+                      [this, alive = alive_, cid,
+                       seq = ctx.seq](pdu::NvmeCpl cpl, DurNs io_time) {
                         if (!*alive) return;
+                        zombie_buffers_.erase(seq);
+                        const auto it2 = inflight_.find(cid);
+                        if (it2 == inflight_.end() || it2->second.seq != seq) {
+                          return;  // aborted: swallow the completion
+                        }
+                        it2->second.device_busy = false;
                         finish_read(cid, cpl, io_time);
                       });
 }
@@ -352,16 +430,20 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
       const TimeNs copy_start = exec_.now();
       const Status st = ep_.stage_payload(
           cid, ctx.buffer,
-          [this, alive = alive_, cid, io_time, copy_start] {
+          [this, alive = alive_, cid, seq = ctx.seq, io_time, copy_start] {
             if (!*alive) return;
-            if (auto it2 = inflight_.find(cid); it2 != inflight_.end()) {
-              it2->second.copy_wait += exec_.now() - copy_start;
+            const auto it2 = inflight_.find(cid);
+            if (it2 == inflight_.end() || it2->second.seq != seq) {
+              // Aborted mid-stage: the published payload has no consumer —
+              // drop it so the slot's next owner starts clean.
+              ep_.abandon_slot(cid);
+              return;
             }
+            it2->second.copy_wait += exec_.now() - copy_start;
             pdu::C2HData c2h;
             c2h.cid = cid;
             c2h.offset = 0;
-            const auto it2 = inflight_.find(cid);
-            c2h.length = it2 != inflight_.end() ? it2->second.buffer.size() : 0;
+            c2h.length = it2->second.buffer.size();
             c2h.last = true;
             c2h.success = true;
             c2h.placement = DataPlacement::kShmSlot;
@@ -433,9 +515,14 @@ void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
   const bool last = offset + chunk >= total;
   ep_.stage_payload_when_free(
       cid, std::span<const u8>(ctx.buffer.data() + offset, chunk),
-      [this, alive = alive_, cid, offset, chunk, last, cpl, io_time,
-       gen = ctx.gen] {
+      [this, alive = alive_, cid, seq = ctx.seq, offset, chunk, last, cpl,
+       io_time, gen = ctx.gen] {
         if (!*alive) return;
+        const auto it2 = inflight_.find(cid);
+        if (it2 == inflight_.end() || it2->second.seq != seq) {
+          ep_.abandon_slot(cid);  // aborted mid-stage: drop the orphan chunk
+          return;
+        }
         pdu::C2HData c2h;
         c2h.cid = cid;
         c2h.offset = offset;
@@ -453,6 +540,12 @@ void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
         } else {
           shm_read_chunk(cid, offset + chunk, cpl, io_time);
         }
+      },
+      // An aborted read must not keep parking chunks in the slot.
+      [this, alive = alive_, cid, seq = ctx.seq] {
+        if (!*alive) return true;
+        const auto it2 = inflight_.find(cid);
+        return it2 == inflight_.end() || it2->second.seq != seq;
       });
 }
 
@@ -480,15 +573,40 @@ void NvmfTargetConnection::handle_admin(u16 cid) {
 
   if (ctx.cmd.opcode == NvmeOpcode::kFlush) {
     ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
-    device->submit_other(ctx.cmd, [this, alive = alive_, cid](pdu::NvmeCpl cpl,
-                                                              DurNs io_time) {
-      if (!*alive) return;
-      send_resp(cid, cpl, io_time);
-    });
+    ctx.device_busy = true;
+    device->submit_other(
+        ctx.cmd, [this, alive = alive_, cid, seq = ctx.seq](pdu::NvmeCpl cpl,
+                                                            DurNs io_time) {
+          if (!*alive) return;
+          zombie_buffers_.erase(seq);
+          const auto it2 = inflight_.find(cid);
+          if (it2 == inflight_.end() || it2->second.seq != seq) return;
+          it2->second.device_busy = false;
+          send_resp(cid, cpl, io_time);
+        });
     return;
   }
 
   send_resp(cid, {cid, NvmeStatus::kInvalidOpcode, 0}, 0);
+}
+
+void NvmfTargetConnection::note_consume_failure(const Status& st) {
+  if (st.code() != StatusCode::kPeerMisbehavior) return;
+  if (!ep_.demote_shm()) return;
+  OAF_WARN("target: demoting shm after peer protocol violation (%s)",
+           st.to_string().c_str());
+  // Tell the host to stop producing into the ring too; its handler is
+  // idempotent, so the echo it may send back is a no-op here.
+  pdu::ShmDemote demote;
+  demote.reason = "target fencing: " + st.to_string();
+  Pdu out;
+  out.header = demote;
+  control_.send(std::move(out));
+}
+
+u32 NvmfTargetConnection::sweep_orphan_slots(DurNs fallback) {
+  const DurNs window = kato_ns_ > 0 ? kato_ns_ : fallback;
+  return ep_.sweep_orphans(window);
 }
 
 }  // namespace oaf::nvmf

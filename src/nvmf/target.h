@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "af/busy_poll.h"
 #include "af/config.h"
@@ -63,6 +64,13 @@ class NvmfTargetConnection {
   /// The control channel is gone (client closed or crashed).
   [[nodiscard]] bool closed() const { return !control_.is_open(); }
 
+  // --- command-lifetime robustness -----------------------------------------
+  /// Reclaim shm slots stuck mid-transfer by a dead peer. The stuck window
+  /// is this association's KATO (the owner is provably unreachable once it
+  /// expires), or `fallback` when no KATO was negotiated. Returns the number
+  /// of slots reclaimed.
+  u32 sweep_orphan_slots(DurNs fallback);
+
   // --- stats ---------------------------------------------------------------
   [[nodiscard]] u64 commands_served() const { return commands_served_; }
   [[nodiscard]] u64 r2ts_sent() const { return r2ts_sent_; }
@@ -71,6 +79,12 @@ class NvmfTargetConnection {
   [[nodiscard]] u64 keepalives_answered() const { return keepalives_answered_; }
   [[nodiscard]] u64 digest_errors() const { return digest_errors_; }
   [[nodiscard]] u64 shm_demotions() const { return ep_.shm_demotions(); }
+  [[nodiscard]] u64 aborts_handled() const { return aborts_handled_; }
+  [[nodiscard]] u64 commands_aborted() const { return commands_aborted_; }
+  [[nodiscard]] u64 orphan_slots_reclaimed() const {
+    return ep_.orphan_reclaims();
+  }
+  [[nodiscard]] u64 peer_misbehavior() const { return ep_.peer_misbehavior(); }
 
  private:
   /// Per-command transfer context (conservative-flow writes and reads).
@@ -82,6 +96,10 @@ class NvmfTargetConnection {
     DurNs copy_wait = 0;      ///< data-path (shm copy) residency — reported
                               ///< as communication time, not processing
     u16 gen = 0;              ///< client attempt tag, echoed in every reply
+    u64 seq = 0;              ///< unique per capsule: fences device callbacks
+                              ///< against an abort recycling the cid
+    bool device_busy = false; ///< the device holds `buffer` right now
+    u32 copies_in_flight = 0; ///< shm consumes targeting `buffer` right now
   };
 
   void on_pdu(pdu::Pdu pdu);
@@ -93,7 +111,12 @@ class NvmfTargetConnection {
   void handle_read(u16 cid);
   void shm_read_chunk(u16 cid, u64 offset, pdu::NvmeCpl cpl, DurNs io_time);
   void handle_admin(u16 cid);
+  void handle_abort(u16 cid);
   void finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time);
+
+  /// Consume-path failure: kPeerMisbehavior means the fencing caught a bad
+  /// peer — demote the data path and tell the host to stop producing too.
+  void note_consume_failure(const Status& st);
 
   void send_resp(u16 cid, const pdu::NvmeCpl& cpl, DurNs io_time,
                  std::vector<u8> payload = {});
@@ -114,6 +137,14 @@ class NvmfTargetConnection {
   TargetOptions opts_;
 
   std::unordered_map<u16, IoCtx> inflight_;
+  /// Cids whose command was aborted while transfer PDUs could still be in
+  /// flight: late H2CData for them is discarded instead of terminating the
+  /// association. An entry clears when its cid is reused.
+  std::unordered_set<u16> recently_aborted_;
+  /// Staging buffers of aborted commands whose device I/O is still running;
+  /// keyed by ctx seq and dropped when the (swallowed) completion fires.
+  std::unordered_map<u64, std::vector<u8>> zombie_buffers_;
+  u64 next_ctx_seq_ = 1;
   TimeNs last_heard_ = 0;
   DurNs kato_ns_ = 0;
   bool data_digest_ = false;
@@ -127,6 +158,8 @@ class NvmfTargetConnection {
   u64 bytes_written_ = 0;
   u64 keepalives_answered_ = 0;
   u64 digest_errors_ = 0;
+  u64 aborts_handled_ = 0;
+  u64 commands_aborted_ = 0;
 };
 
 }  // namespace oaf::nvmf

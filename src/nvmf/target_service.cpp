@@ -79,8 +79,20 @@ void NvmfTargetService::start_reaper() {
                        });
 }
 
+u32 NvmfTargetService::sweep_orphan_slots() {
+  u32 reclaimed = 0;
+  for (auto& a : assocs_) {
+    reclaimed += a.conn->sweep_orphan_slots(opts_.orphan_slot_timeout_ns);
+  }
+  if (reclaimed > 0) {
+    OAF_WARN("target service: reclaimed %u orphaned shm slot(s)", reclaimed);
+  }
+  return reclaimed;
+}
+
 void NvmfTargetService::reaper_tick() {
   reap_expired();
+  sweep_orphan_slots();
   const u64 epoch = reaper_epoch_;
   exec_.schedule_after(opts_.reaper_interval_ns,
                        [this, alive = alive_, epoch] {

@@ -26,6 +26,10 @@ struct TargetServiceOptions {
   /// on accept and on explicit reap_expired calls). The timer re-arms
   /// itself, so with the sim scheduler drive it with run_until, not run().
   DurNs reaper_interval_ns = 0;
+  /// Stuck window for the orphan-slot sweeper on associations that have no
+  /// negotiated KATO; 0 disables sweeping those (KATO associations always
+  /// sweep with their KATO as the window).
+  DurNs orphan_slot_timeout_ns = 0;
 };
 
 class NvmfTargetService {
@@ -51,6 +55,12 @@ class NvmfTargetService {
   /// Arm the periodic reaper (no-op when reaper_interval_ns == 0).
   void start_reaper();
 
+  /// Sweep every live association's shm ring for slots stuck mid-transfer by
+  /// a dead owner (the per-association window is its KATO, else
+  /// orphan_slot_timeout_ns). Runs from the periodic reaper too. Returns the
+  /// number of slots reclaimed.
+  u32 sweep_orphan_slots();
+
   [[nodiscard]] std::size_t active() const { return assocs_.size(); }
   [[nodiscard]] u64 reaped() const { return reaped_; }
   /// Commands served across the service's lifetime, including by
@@ -61,6 +71,13 @@ class NvmfTargetService {
     return total;
   }
   [[nodiscard]] NvmfTargetConnection* find(const std::string& conn_name);
+  /// Orphan slots reclaimed across the service's lifetime (live assocs only;
+  /// a reaped association's slots die with its ring).
+  [[nodiscard]] u64 orphan_slots_reclaimed() const {
+    u64 total = 0;
+    for (const auto& a : assocs_) total += a.conn->orphan_slots_reclaimed();
+    return total;
+  }
 
  private:
   struct Assoc {

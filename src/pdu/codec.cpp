@@ -96,6 +96,8 @@ void encode_cmd(Writer& w, const NvmeCmd& cmd) {
   w.u32_(cmd.nsid);
   w.u64_(cmd.slba);
   w.u32_(cmd.nlb);
+  w.u16_(cmd.abort_cid);
+  w.u16_(cmd.abort_gen);
 }
 
 NvmeCmd decode_cmd(Reader& r) {
@@ -105,6 +107,8 @@ NvmeCmd decode_cmd(Reader& r) {
   cmd.nsid = r.u32_();
   cmd.slba = r.u64_();
   cmd.nlb = r.u32_();
+  cmd.abort_cid = r.u16_();
+  cmd.abort_gen = r.u16_();
   return cmd;
 }
 

@@ -12,6 +12,7 @@ enum class NvmeOpcode : u8 {
   kWrite = 0x01,
   kRead = 0x02,
   kIdentify = 0x06,  // carried on the admin queue in real NVMe; simplified here
+  kAbort = 0x08,     // cancel an outstanding command by (cid, attempt tag)
 };
 
 inline const char* to_string(NvmeOpcode op) {
@@ -24,6 +25,8 @@ inline const char* to_string(NvmeOpcode op) {
       return "READ";
     case NvmeOpcode::kIdentify:
       return "IDENTIFY";
+    case NvmeOpcode::kAbort:
+      return "ABORT";
   }
   return "?";
 }
@@ -35,6 +38,9 @@ enum class NvmeStatus : u16 {
   kInvalidField = 0x2,
   kDataTransferError = 0x4,
   kInternalError = 0x6,
+  /// The command was cancelled by an Abort from the host before (or
+  /// instead of) executing; no data reached the medium.
+  kAbortedByRequest = 0x7,
   /// Not a device status: the transport detected a recoverable fault
   /// (e.g. data-digest mismatch) and the command is safe to replay.
   kTransientTransportError = 0x8,
@@ -51,6 +57,9 @@ struct NvmeCmd {
   u32 nsid = 0;   ///< namespace id (1-based)
   u64 slba = 0;   ///< starting logical block address
   u32 nlb = 0;    ///< number of logical blocks, 0's-based per spec (nlb+1 blocks)
+  // kAbort only: the victim. abort_gen == 0 matches any attempt of the cid.
+  u16 abort_cid = 0;
+  u16 abort_gen = 0;
 
   [[nodiscard]] u64 blocks() const { return static_cast<u64>(nlb) + 1; }
   [[nodiscard]] u64 data_bytes(u32 block_size) const {

@@ -10,9 +10,21 @@ constexpr u64 kHeaderBytes = 64;  // Header padded to one cache line
 }
 
 u64 DoubleBufferRing::required_bytes(u64 slot_size, u32 slot_count) {
+  // The geometry is peer-controlled on attach, so the arithmetic must not
+  // wrap: a forged header with slot_size * slot_count overflowing u64 would
+  // otherwise pass the region-size check and index out of bounds.
+  u64 half = 0;
+  u64 data_bytes = 0;
+  u64 total = 0;
+  if (__builtin_mul_overflow(slot_size, static_cast<u64>(slot_count), &half) ||
+      __builtin_mul_overflow(half, 2ULL, &data_bytes)) {
+    return 0;
+  }
   const u64 ctl_bytes = sizeof(SlotCtl) * 2ULL * slot_count;
-  const u64 data_bytes = 2ULL * slot_size * slot_count;
-  return kHeaderBytes + ctl_bytes + data_bytes;
+  if (__builtin_add_overflow(kHeaderBytes + ctl_bytes, data_bytes, &total)) {
+    return 0;
+  }
+  return total;
 }
 
 Result<DoubleBufferRing> DoubleBufferRing::create(void* mem, u64 bytes,
@@ -24,17 +36,34 @@ Result<DoubleBufferRing> DoubleBufferRing::create(void* mem, u64 bytes,
     return make_error(StatusCode::kInvalidArgument, "ring memory must be 64B aligned");
   }
   const u64 need = required_bytes(slot_size, slot_count);
+  if (need == 0) {
+    return make_error(StatusCode::kOutOfRange, "ring geometry overflows");
+  }
   if (bytes < need) {
     return make_error(StatusCode::kOutOfRange, "region too small for ring");
   }
 
-  auto* header = new (mem) Header{kMagic, kVersion, slot_count, slot_size, need};
+  // Re-formatting the same region (reconnect) bumps the epoch so a stale
+  // peer of the previous incarnation can never publish into this one.
+  // Epoch 0 is reserved as "never stamped".
+  u32 epoch = 1;
+  {
+    const auto* old = static_cast<const Header*>(mem);
+    if (bytes >= kHeaderBytes && old->magic == kMagic) {
+      epoch = old->ring_epoch + 1;
+      if (epoch == 0) epoch = 1;
+    }
+  }
+
+  auto* header =
+      new (mem) Header{kMagic, kVersion, slot_count, slot_size, need, epoch};
   auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
   auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
   for (u64 i = 0; i < 2ULL * slot_count; ++i) {
     new (&ctl[i]) SlotCtl{};
     ctl[i].state.store(kFree, std::memory_order_relaxed);
     ctl[i].len = 0;
+    ctl[i].epoch = 0;
   }
   auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * slot_count;
   std::atomic_thread_fence(std::memory_order_release);
@@ -52,8 +81,10 @@ Result<DoubleBufferRing> DoubleBufferRing::attach(void* mem, u64 bytes) {
   if (header->version != kVersion) {
     return make_error(StatusCode::kFailedPrecondition, "ring version mismatch");
   }
-  if (header->total_bytes > bytes ||
-      required_bytes(header->slot_size, header->slot_count) != header->total_bytes) {
+  // Every geometry field here was written by the peer: validate before use.
+  const u64 need = required_bytes(header->slot_size, header->slot_count);
+  if (header->slot_size == 0 || header->slot_count == 0 || need == 0 ||
+      header->total_bytes > bytes || need != header->total_bytes) {
     return make_error(StatusCode::kDataLoss, "ring geometry corrupt");
   }
   auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
@@ -65,6 +96,11 @@ Result<DoubleBufferRing> DoubleBufferRing::attach(void* mem, u64 bytes) {
 Status DoubleBufferRing::acquire(Direction dir, u32 slot) {
   if (!slot_in_range(slot)) {
     return make_error(StatusCode::kOutOfRange, "slot out of range");
+  }
+  if (attached_epoch_ != header_->ring_epoch) {
+    // The region was re-formatted under us: this handle belongs to a dead
+    // incarnation and must not touch the new one's slots.
+    return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
   }
   u32 expected = kFree;
   if (!slot_ctl(dir, slot).state.compare_exchange_strong(
@@ -84,11 +120,17 @@ Status DoubleBufferRing::publish(Direction dir, u32 slot, u64 len) {
   if (!slot_in_range(slot) || len > header_->slot_size) {
     return make_error(StatusCode::kOutOfRange, "publish length exceeds slot");
   }
+  if (attached_epoch_ != header_->ring_epoch) {
+    // Re-formatted between acquire and publish: leave the slot to the
+    // orphan sweeper rather than inject a payload into the new incarnation.
+    return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
+  }
   SlotCtl& ctl = slot_ctl(dir, slot);
   if (ctl.state.load(std::memory_order_relaxed) != kWriting) {
     return make_error(StatusCode::kFailedPrecondition, "publish without acquire");
   }
   ctl.len = len;
+  ctl.epoch = attached_epoch_;
   ctl.state.store(kReady, std::memory_order_release);
   return Status::ok();
 }
@@ -109,6 +151,21 @@ Result<std::span<const u8>> DoubleBufferRing::consume(Direction dir, u32 slot) {
                                          std::memory_order_relaxed)) {
     return make_error(StatusCode::kUnavailable, "slot not ready");
   }
+  // `len` and `epoch` were written by the peer; trust neither. A violation
+  // reclaims the slot so the ring stays usable while the caller demotes.
+  if (ctl.epoch != header_->ring_epoch) {
+    ctl.len = 0;
+    ctl.epoch = 0;
+    ctl.state.store(kFree, std::memory_order_release);
+    return make_error(StatusCode::kPeerMisbehavior, "stale slot epoch");
+  }
+  if (ctl.len > header_->slot_size) {
+    ctl.len = 0;
+    ctl.epoch = 0;
+    ctl.state.store(kFree, std::memory_order_release);
+    return make_error(StatusCode::kPeerMisbehavior,
+                      "slot length exceeds slot size");
+  }
   return std::span<const u8>(slot_base(dir, slot), ctl.len);
 }
 
@@ -121,6 +178,48 @@ Status DoubleBufferRing::release(Direction dir, u32 slot) {
     return make_error(StatusCode::kFailedPrecondition, "release without consume");
   }
   ctl.len = 0;
+  ctl.epoch = 0;
+  ctl.state.store(kFree, std::memory_order_release);
+  return Status::ok();
+}
+
+Status DoubleBufferRing::discard(Direction dir, u32 slot) {
+  if (!slot_in_range(slot)) {
+    return make_error(StatusCode::kOutOfRange, "slot out of range");
+  }
+  SlotCtl& ctl = slot_ctl(dir, slot);
+  u32 expected = kReady;
+  if (!ctl.state.compare_exchange_strong(expected, kDraining,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+    return make_error(StatusCode::kUnavailable, "slot not ready");
+  }
+  ctl.len = 0;
+  ctl.epoch = 0;
+  ctl.state.store(kFree, std::memory_order_release);
+  return Status::ok();
+}
+
+Status DoubleBufferRing::force_release(Direction dir, u32 slot) {
+  if (!slot_in_range(slot)) {
+    return make_error(StatusCode::kOutOfRange, "slot out of range");
+  }
+  SlotCtl& ctl = slot_ctl(dir, slot);
+  u32 cur = ctl.state.load(std::memory_order_acquire);
+  if (cur != kWriting && cur != kDraining) {
+    return make_error(StatusCode::kFailedPrecondition, "slot not stuck");
+  }
+  // Claim by moving to the *other* mid-transfer state — a transition no
+  // legitimate owner ever performs, so winning the CAS means exclusive
+  // ownership, and a resurrected owner's publish/release fails its own
+  // state check instead of corrupting a recycled slot.
+  const u32 claim = cur == kWriting ? kDraining : kWriting;
+  if (!ctl.state.compare_exchange_strong(cur, claim, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+    return make_error(StatusCode::kFailedPrecondition, "lost race to owner");
+  }
+  ctl.len = 0;
+  ctl.epoch = 0;
   ctl.state.store(kFree, std::memory_order_release);
   return Status::ok();
 }

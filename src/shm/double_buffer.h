@@ -16,6 +16,19 @@
 // The payload length is written to the slot header before the releasing
 // store, so a consumer that observes kReady (acquire) also observes the
 // length and the payload bytes.
+//
+// Trust model: the region is writable by both sides, so every field a peer
+// controls — the slot length, the slot state word, and the epoch tag — is
+// re-validated on this side of the fence before it is used. A violation
+// surfaces as kPeerMisbehavior (never an out-of-bounds span): the consumer
+// reclaims the slot and the caller demotes the data path to TCP.
+//
+// Epoch fencing: the header carries a ring_epoch that create() bumps every
+// time the region is re-formatted (reconnect handshakes re-create the ring
+// at the target). Producers stamp the epoch they attached under into each
+// slot they publish; consumers reject slots whose stamp does not match the
+// live header, so a demoted/reaped peer still holding a stale mapping cannot
+// land payloads in a ring that has since been handed to its successor.
 #pragma once
 
 #include <atomic>
@@ -43,11 +56,14 @@ class DoubleBufferRing {
 
   DoubleBufferRing() = default;
 
-  /// Bytes a region must have for the given geometry.
+  /// Bytes a region must have for the given geometry; 0 if the geometry
+  /// overflows u64 (callers must reject such rings).
   static u64 required_bytes(u64 slot_size, u32 slot_count);
 
   /// Format `mem` (size `bytes`) as a fresh ring. Returns error if the
-  /// buffer is too small or the geometry is invalid.
+  /// buffer is too small or the geometry is invalid. If `mem` already holds
+  /// a valid ring header, the new ring's epoch is the old epoch + 1 so
+  /// stale peers of the previous incarnation are fenced out.
   static Result<DoubleBufferRing> create(void* mem, u64 bytes, u64 slot_size,
                                          u32 slot_count);
 
@@ -58,6 +74,11 @@ class DoubleBufferRing {
   [[nodiscard]] u32 slot_count() const { return header_->slot_count; }
   [[nodiscard]] bool valid() const { return header_ != nullptr; }
 
+  /// Epoch of the live ring header (what consumers check against).
+  [[nodiscard]] u32 ring_epoch() const { return header_->ring_epoch; }
+  /// Epoch this handle attached under (what producers stamp).
+  [[nodiscard]] u32 attached_epoch() const { return attached_epoch_; }
+
   /// Round-robin slot for sequence number `seq` (paper: offset chosen
   /// round-robin with respect to the application I/O depth).
   [[nodiscard]] u32 slot_for(u64 seq) const {
@@ -65,7 +86,9 @@ class DoubleBufferRing {
   }
 
   /// Producer: claim `slot` for writing. Fails with kResourceExhausted if
-  /// the slot is still owned by a previous in-flight I/O (QD overflow).
+  /// the slot is still owned by a previous in-flight I/O (QD overflow), or
+  /// kPeerMisbehavior if this handle's epoch is stale (the region was
+  /// re-formatted since we attached).
   Status acquire(Direction dir, u32 slot);
 
   /// Producer: payload area of a claimed slot.
@@ -78,10 +101,21 @@ class DoubleBufferRing {
   [[nodiscard]] bool ready(Direction dir, u32 slot) const;
 
   /// Consumer: claim a published slot for draining; returns its payload.
+  /// Re-validates the peer-stamped length and epoch; a violation reclaims
+  /// the slot and returns kPeerMisbehavior.
   Result<std::span<const u8>> consume(Direction dir, u32 slot);
 
   /// Consumer: return a drained slot to the free pool.
   Status release(Direction dir, u32 slot);
+
+  /// Consumer: drop a published payload without reading it (aborted
+  /// command whose data already parked). kReady -> kFree in one step.
+  Status discard(Direction dir, u32 slot);
+
+  /// Sweeper: reclaim a slot stuck in kWriting or kDraining by a peer that
+  /// died mid-transfer. Returns kFailedPrecondition if the slot is in any
+  /// other state (racing a legitimate transition is detected by the CAS).
+  Status force_release(Direction dir, u32 slot);
 
   /// Observed state (for tests and invariant checks).
   [[nodiscard]] SlotState state(Direction dir, u32 slot) const;
@@ -90,11 +124,17 @@ class DoubleBufferRing {
   [[nodiscard]] u32 in_flight(Direction dir) const;
 
  private:
+  friend class ShmFaultRing;  // test-only fault injection (corrupts fields)
+
   // Per-slot control word, padded to a cache line so producer/consumer pairs
-  // on adjacent slots never false-share.
+  // on adjacent slots never false-share. `epoch` and `len` are written by
+  // the producer while it owns the slot (before the kReady release-store)
+  // and read by the consumer after the acquire-CAS, so neither needs to be
+  // atomic — but both are peer-controlled and re-validated at consume.
   struct alignas(64) SlotCtl {
     std::atomic<u32> state;
-    u64 len;  // placed at offset 8 after implicit padding
+    u32 epoch;  // producer's attached_epoch at publish time
+    u64 len;
     u8 pad[48];
   };
   static_assert(sizeof(SlotCtl) == 64);
@@ -105,13 +145,15 @@ class DoubleBufferRing {
     u32 slot_count;
     u64 slot_size;
     u64 total_bytes;
+    u32 ring_epoch;  // bumped on every re-format of the same region
   };
 
   static constexpr u64 kMagic = 0x4f41465f52494e47ULL;  // "OAF_RING"
-  static constexpr u32 kVersion = 1;
+  static constexpr u32 kVersion = 2;  // v2: ring_epoch + per-slot epoch tags
 
   DoubleBufferRing(Header* header, SlotCtl* ctl, u8* data)
-      : header_(header), ctl_(ctl), data_(data) {}
+      : header_(header), ctl_(ctl), data_(data),
+        attached_epoch_(header->ring_epoch) {}
 
   [[nodiscard]] SlotCtl& slot_ctl(Direction dir, u32 slot) const {
     const u64 base = dir == Direction::kClientToTarget ? 0 : header_->slot_count;
@@ -129,6 +171,7 @@ class DoubleBufferRing {
   Header* header_ = nullptr;
   SlotCtl* ctl_ = nullptr;
   u8* data_ = nullptr;
+  u32 attached_epoch_ = 0;
 };
 
 }  // namespace oaf::shm

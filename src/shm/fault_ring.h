@@ -1,0 +1,63 @@
+// Fault injection for the shared-memory data path — the shm counterpart of
+// net::FaultChannel. A ShmFaultRing wraps a DoubleBufferRing and pokes the
+// peer-controlled control words directly (length, state, epoch), modelling a
+// crashed, stale, or actively corrupting co-located peer. The fencing tests
+// use it to prove consume() degrades to kPeerMisbehavior instead of handing
+// out an out-of-bounds span, and that the orphan sweeper reclaims slots a
+// dead peer left mid-transfer.
+//
+// Test-only: linked into the test binaries, never into the tools. All
+// mutations are plain stores into fields the protocol defines as
+// single-owner, so calls must not race a live producer/consumer on the SAME
+// slot (the tests phase corruption between protocol steps, which also keeps
+// the TSan job honest).
+#pragma once
+
+#include "shm/double_buffer.h"
+
+namespace oaf::shm {
+
+class ShmFaultRing {
+ public:
+  explicit ShmFaultRing(DoubleBufferRing& ring) : ring_(ring) {}
+
+  /// Forge the peer-stamped payload length of a slot (any state).
+  void corrupt_len(Direction dir, u32 slot, u64 len) {
+    ring_.slot_ctl(dir, slot).len = len;
+  }
+
+  /// Forge the peer-stamped epoch tag (0 = "never stamped", i.e. stale).
+  void stamp_epoch(Direction dir, u32 slot, u32 epoch) {
+    ring_.slot_ctl(dir, slot).epoch = epoch;
+  }
+
+  /// Flip the slot state word to an arbitrary value, bypassing the CAS
+  /// protocol (a misbehaving peer is not obliged to play by the rules).
+  void force_state(Direction dir, u32 slot, DoubleBufferRing::SlotState s) {
+    ring_.slot_ctl(dir, slot).state.store(s, std::memory_order_release);
+  }
+
+  /// Model a peer that acquired a slot and then died: the slot is left in
+  /// kWriting with a valid epoch stamp and never published. Only the orphan
+  /// sweeper can reclaim it.
+  void freeze_writing(Direction dir, u32 slot) {
+    auto& ctl = ring_.slot_ctl(dir, slot);
+    ctl.epoch = ring_.attached_epoch();
+    ctl.state.store(DoubleBufferRing::kWriting, std::memory_order_release);
+  }
+
+  /// Peer-visible epoch of a slot (observability for tests).
+  [[nodiscard]] u32 slot_epoch(Direction dir, u32 slot) const {
+    return ring_.slot_ctl(dir, slot).epoch;
+  }
+
+  /// Peer-visible length of a slot (observability for tests).
+  [[nodiscard]] u64 slot_len(Direction dir, u32 slot) const {
+    return ring_.slot_ctl(dir, slot).len;
+  }
+
+ private:
+  DoubleBufferRing& ring_;
+};
+
+}  // namespace oaf::shm

@@ -190,6 +190,24 @@ TEST(CodecTest, ResilienceFieldsRoundtrip) {
   EXPECT_EQ(ch->data_digest, 0x12345678u);
 }
 
+TEST(CodecTest, AbortCapsuleRoundtrip) {
+  // Abort reuses the command capsule: the victim rides in abort_cid with its
+  // attempt tag (0 = any attempt of that cid).
+  CapsuleCmd c;
+  c.cmd.opcode = NvmeOpcode::kAbort;
+  c.cmd.cid = 0xF003;  // abort cids live in their own namespace
+  c.cmd.abort_cid = 5;
+  c.cmd.abort_gen = 0x1234;
+  const Pdu out = roundtrip(c);
+  const auto* h = out.as<CapsuleCmd>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cmd.opcode, NvmeOpcode::kAbort);
+  EXPECT_EQ(h->cmd.cid, 0xF003);
+  EXPECT_EQ(h->cmd.abort_cid, 5);
+  EXPECT_EQ(h->cmd.abort_gen, 0x1234);
+  EXPECT_TRUE(out.payload.empty());
+}
+
 TEST(CodecTest, ICReqKatoAndDigestRoundtrip) {
   ICReq req;
   req.pfv = 1;

@@ -1,0 +1,270 @@
+// Shm-ring fencing against a misbehaving peer.
+//
+// The slot control words (state, len, epoch) live in shared memory, so a
+// buggy or malicious co-located peer can write anything into them. These
+// tests drive ShmFaultRing — the shm fault injector — to prove consume()
+// answers every forgery with kPeerMisbehavior and a reclaimed slot, never
+// an out-of-bounds span, and that force_release() gives the orphan sweeper
+// a safe claim on slots a dead peer left mid-transfer.
+#include "shm/fault_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "shm/double_buffer.h"
+#include "shm/region.h"
+
+namespace oaf::shm {
+namespace {
+
+class FaultRingTest : public ::testing::Test {
+ protected:
+  static constexpr u64 kSlotBytes = 4096;
+  static constexpr u32 kSlots = 8;
+
+  void SetUp() override {
+    const u64 need = DoubleBufferRing::required_bytes(kSlotBytes, kSlots);
+    region_ = ShmRegion::anonymous(need).take();
+    ring_ = DoubleBufferRing::create(region_.data(), region_.size(), kSlotBytes,
+                                     kSlots)
+                .take();
+  }
+
+  /// Publish `len` bytes of 0x5A into slot 0 the legitimate way.
+  void publish_slot0(u64 len) {
+    ASSERT_TRUE(ring_.acquire(kDir, 0));
+    auto buf = ring_.slot_data(kDir, 0);
+    std::memset(buf.data(), 0x5A, len);
+    ASSERT_TRUE(ring_.publish(kDir, 0, len));
+  }
+
+  static constexpr Direction kDir = Direction::kClientToTarget;
+  ShmRegion region_;
+  DoubleBufferRing ring_;
+};
+
+TEST_F(FaultRingTest, CorruptLenIsRejectedAndSlotReclaimed) {
+  publish_slot0(100);
+  ShmFaultRing fault(ring_);
+  fault.corrupt_len(kDir, 0, kSlotBytes + 1);  // one past the edge
+
+  auto view = ring_.consume(kDir, 0);
+  ASSERT_FALSE(view.is_ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kPeerMisbehavior);
+  // The violation reclaims the slot so the ring stays usable post-demotion.
+  EXPECT_EQ(ring_.state(kDir, 0), DoubleBufferRing::kFree);
+
+  // The reclaimed slot supports a full honest cycle again.
+  publish_slot0(64);
+  auto ok = ring_.consume(kDir, 0);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value().size(), 64u);
+  ASSERT_TRUE(ring_.release(kDir, 0));
+}
+
+TEST_F(FaultRingTest, AbsurdLenNeverYieldsOutOfBoundsSpan) {
+  publish_slot0(1);
+  ShmFaultRing fault(ring_);
+  fault.corrupt_len(kDir, 0, ~0ULL);  // 2^64-1: would index far off the region
+
+  auto view = ring_.consume(kDir, 0);
+  ASSERT_FALSE(view.is_ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kPeerMisbehavior);
+  EXPECT_EQ(ring_.state(kDir, 0), DoubleBufferRing::kFree);
+}
+
+TEST_F(FaultRingTest, ExactSlotSizeLenIsStillLegal) {
+  // Boundary: len == slot_size is the largest honest payload, not a forgery.
+  publish_slot0(kSlotBytes);
+  auto view = ring_.consume(kDir, 0);
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(view.value().size(), kSlotBytes);
+  ASSERT_TRUE(ring_.release(kDir, 0));
+}
+
+TEST_F(FaultRingTest, StaleEpochStampIsRejected) {
+  publish_slot0(100);
+  ShmFaultRing fault(ring_);
+  ASSERT_EQ(fault.slot_epoch(kDir, 0), ring_.ring_epoch());
+  fault.stamp_epoch(kDir, 0, ring_.ring_epoch() + 7);  // no such incarnation
+
+  auto view = ring_.consume(kDir, 0);
+  ASSERT_FALSE(view.is_ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kPeerMisbehavior);
+  EXPECT_EQ(ring_.state(kDir, 0), DoubleBufferRing::kFree);
+}
+
+TEST_F(FaultRingTest, NeverStampedEpochIsRejected) {
+  // A peer that flips state to kReady without ever publishing leaves the
+  // reserved epoch 0 behind — the consumer must not trust the stale len.
+  ShmFaultRing fault(ring_);
+  fault.corrupt_len(kDir, 3, 100);
+  fault.force_state(kDir, 3, DoubleBufferRing::kReady);
+
+  auto view = ring_.consume(kDir, 3);
+  ASSERT_FALSE(view.is_ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kPeerMisbehavior);
+  EXPECT_EQ(ring_.state(kDir, 3), DoubleBufferRing::kFree);
+}
+
+TEST_F(FaultRingTest, ReformatBumpsEpochAndFencesStaleHandle) {
+  const u32 old_epoch = ring_.ring_epoch();
+  DoubleBufferRing stale = std::move(ring_);
+
+  // Reconnect: the region is re-formatted in place (same memory, new life).
+  ring_ = DoubleBufferRing::create(region_.data(), region_.size(), kSlotBytes,
+                                   kSlots)
+              .take();
+  EXPECT_EQ(ring_.ring_epoch(), old_epoch + 1);
+  EXPECT_EQ(stale.attached_epoch(), old_epoch);
+
+  // The stale handle of the dead incarnation can no longer touch slots.
+  auto st = stale.acquire(kDir, 0);
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.code(), StatusCode::kPeerMisbehavior);
+
+  // The new incarnation is fully functional.
+  ASSERT_TRUE(ring_.acquire(kDir, 0));
+  ASSERT_TRUE(ring_.publish(kDir, 0, 10));
+  ASSERT_TRUE(ring_.consume(kDir, 0).is_ok());
+  ASSERT_TRUE(ring_.release(kDir, 0));
+}
+
+TEST_F(FaultRingTest, PublishAfterReformatIsFenced) {
+  // The stale producer acquired before the re-format and publishes after:
+  // the payload must not be injected into the new incarnation.
+  DoubleBufferRing stale =
+      DoubleBufferRing::attach(region_.data(), region_.size()).take();
+  ASSERT_TRUE(stale.acquire(kDir, 2));
+
+  ring_ = DoubleBufferRing::create(region_.data(), region_.size(), kSlotBytes,
+                                   kSlots)
+              .take();
+  auto st = stale.publish(kDir, 2, 100);
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.code(), StatusCode::kPeerMisbehavior);
+  EXPECT_NE(ring_.state(kDir, 2), DoubleBufferRing::kReady);
+}
+
+TEST_F(FaultRingTest, FrozenWriterIsInvisibleToConsumeButForceReleasable) {
+  ShmFaultRing fault(ring_);
+  fault.freeze_writing(kDir, 5);  // peer acquired, then died
+  EXPECT_EQ(ring_.state(kDir, 5), DoubleBufferRing::kWriting);
+  EXPECT_EQ(ring_.in_flight(kDir), 1u);
+
+  // Not ready: a consumer never sees a half-written slot.
+  EXPECT_FALSE(ring_.consume(kDir, 5).is_ok());
+
+  // Only the sweeper's force_release may claim it — and afterwards the slot
+  // serves honest traffic again.
+  ASSERT_TRUE(ring_.force_release(kDir, 5));
+  EXPECT_EQ(ring_.state(kDir, 5), DoubleBufferRing::kFree);
+  EXPECT_EQ(ring_.in_flight(kDir), 0u);
+  ASSERT_TRUE(ring_.acquire(kDir, 5));
+  ASSERT_TRUE(ring_.publish(kDir, 5, 1));
+  ASSERT_TRUE(ring_.consume(kDir, 5).is_ok());
+  ASSERT_TRUE(ring_.release(kDir, 5));
+}
+
+TEST_F(FaultRingTest, ForceReleaseRefusesSlotsWithALegitimateOwner) {
+  // kFree and kReady have well-defined owners (nobody / the consumer):
+  // force_release must not steal them.
+  EXPECT_FALSE(ring_.force_release(kDir, 0));  // kFree
+  publish_slot0(10);
+  EXPECT_FALSE(ring_.force_release(kDir, 0));  // kReady
+  ASSERT_TRUE(ring_.discard(kDir, 0));
+}
+
+TEST_F(FaultRingTest, DiscardDrainsParkedPayload) {
+  publish_slot0(128);
+  ASSERT_TRUE(ring_.discard(kDir, 0));
+  EXPECT_EQ(ring_.state(kDir, 0), DoubleBufferRing::kFree);
+  // Discard of a non-ready slot is an error, not a state change.
+  EXPECT_FALSE(ring_.discard(kDir, 0));
+}
+
+TEST_F(FaultRingTest, GeometryOverflowIsRejected) {
+  // required_bytes must refuse products that wrap u64 — a forged header
+  // with such geometry would otherwise pass the region-size check.
+  EXPECT_EQ(DoubleBufferRing::required_bytes(~0ULL / 2, 1000), 0u);
+  EXPECT_EQ(DoubleBufferRing::required_bytes(1ULL << 60, 1U << 10), 0u);
+  EXPECT_FALSE(
+      DoubleBufferRing::create(region_.data(), region_.size(), ~0ULL / 2, 1000)
+          .is_ok());
+}
+
+TEST_F(FaultRingTest, AttachRejectsForgedGeometry) {
+  // Forge the header's slot_size in place: total_bytes no longer matches
+  // the recomputed need, so attach must refuse before touching slot memory.
+  auto* header = reinterpret_cast<u64*>(region_.data());
+  header[2] = ~0ULL / 2;  // slot_size field (magic, version+count, slot_size)
+  auto res = DoubleBufferRing::attach(region_.data(), region_.size());
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FaultRingTest, ConcurrentConsumerSurvivesPhasedCorruption) {
+  // A producer publishes honest payloads while a consumer drains them; every
+  // 3rd payload is corrupted *between* publish and consume (phased — the
+  // injector never races the owner of a slot, which keeps TSan honest).
+  // Property: the consumer sees only in-bounds spans or kPeerMisbehavior,
+  // and every slot always returns to kFree.
+  constexpr int kRounds = 300;
+  ShmFaultRing fault(ring_);
+  int rejected = 0;
+  int accepted = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const u32 slot = static_cast<u32>(i) % kSlots;
+    ASSERT_TRUE(ring_.acquire(kDir, slot));
+    ASSERT_TRUE(ring_.publish(kDir, slot, 256));
+    if (i % 3 == 0) {
+      fault.corrupt_len(kDir, slot, kSlotBytes + 1 + static_cast<u64>(i));
+    }
+    auto view = ring_.consume(kDir, slot);
+    if (view.is_ok()) {
+      ASSERT_LE(view.value().size(), kSlotBytes);
+      accepted++;
+      ASSERT_TRUE(ring_.release(kDir, slot));
+    } else {
+      EXPECT_EQ(view.status().code(), StatusCode::kPeerMisbehavior);
+      rejected++;
+    }
+    ASSERT_EQ(ring_.state(kDir, slot), DoubleBufferRing::kFree);
+  }
+  EXPECT_EQ(accepted + rejected, kRounds);
+  EXPECT_EQ(rejected, kRounds / 3);
+}
+
+TEST_F(FaultRingTest, TwoThreadHandoffWithStaleEpochRejection) {
+  // Real two-thread handoff through a second attached handle: all
+  // cross-thread communication rides the slot state words, so this doubles
+  // as a TSan exercise of the acquire/release fences the fencing relies on.
+  DoubleBufferRing peer =
+      DoubleBufferRing::attach(region_.data(), region_.size()).take();
+  constexpr int kPerSlot = 50;
+  std::thread producer([&] {
+    for (int i = 0; i < kPerSlot; ++i) {
+      while (!peer.acquire(kDir, 0)) {
+      }
+      auto buf = peer.slot_data(kDir, 0);
+      buf[0] = static_cast<u8>(i);
+      ASSERT_TRUE(peer.publish(kDir, 0, 1));
+    }
+  });
+  int drained = 0;
+  while (drained < kPerSlot) {
+    auto view = ring_.consume(kDir, 0);
+    if (!view.is_ok()) continue;
+    EXPECT_EQ(view.value().size(), 1u);
+    EXPECT_EQ(view.value()[0], static_cast<u8>(drained));
+    drained++;
+    ASSERT_TRUE(ring_.release(kDir, 0));
+  }
+  producer.join();
+  EXPECT_EQ(drained, kPerSlot);
+}
+
+}  // namespace
+}  // namespace oaf::shm

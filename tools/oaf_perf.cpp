@@ -40,6 +40,8 @@ struct Options {
   u64 keepalive_ms = 0;        // 0 = no keep-alive pings
   u64 kato_ms = 0;             // advertised KATO; 0 = none
   bool data_digest = false;    // CRC32C on inline data PDUs
+  u64 cmd_timeout_ms = 0;      // per-command deadline; 0 = none
+  u32 abort_budget = 0;        // aborts per stuck command; 0 = legacy teardown
 };
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -83,6 +85,10 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.kato_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--data-digest") {
       o.data_digest = true;
+    } else if (arg == "--cmd-timeout-ms" && (v = next())) {
+      o.cmd_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--abort-budget" && (v = next())) {
+      o.abort_budget = static_cast<u32>(std::atoi(v));
     } else {
       std::fprintf(
           stderr,
@@ -90,7 +96,8 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--io-size-kib S] [--qd D] [--rw read|write|FRAC]\n"
           "                [--seconds SEC] [--working-set-mb M] [--random]\n"
           "                [--reconnect-attempts N] [--keepalive-ms MS]\n"
-          "                [--kato-ms MS] [--data-digest]\n");
+          "                [--kato-ms MS] [--data-digest]\n"
+          "                [--cmd-timeout-ms MS] [--abort-budget N]\n");
       return false;
     }
   }
@@ -127,6 +134,8 @@ int main(int argc, char** argv) {
   iopts.reconnect.keepalive_interval_ns =
       static_cast<DurNs>(opts.keepalive_ms) * 1'000'000;
   iopts.reconnect.kato_ns = opts.kato_ms * 1'000'000;
+  iopts.command_timeout_ns = static_cast<DurNs>(opts.cmd_timeout_ms) * 1'000'000;
+  iopts.escalation.abort_budget = opts.abort_budget;
 
   // The factory hands out the channel dialed above on the first connect and
   // re-dials the target on every reconnect attempt after a fault.
@@ -201,6 +210,12 @@ int main(int argc, char** argv) {
   r.row({"keepalive misses", std::to_string(rc.keepalive_misses)});
   r.row({"shm demotions", std::to_string(rc.shm_demotions)});
   r.row({"digest errors", std::to_string(rc.digest_errors)});
+  r.row({"deadlines expired", std::to_string(rc.deadlines_expired)});
+  r.row({"aborts sent", std::to_string(rc.aborts_sent)});
+  r.row({"aborts succeeded", std::to_string(rc.aborts_succeeded)});
+  r.row({"aborts failed", std::to_string(rc.aborts_failed)});
+  r.row({"commands aborted", std::to_string(rc.commands_aborted)});
+  r.row({"peer misbehavior", std::to_string(rc.peer_misbehavior)});
   r.print();
 
   // The initiator owns the control channel; its destructor hangs up.

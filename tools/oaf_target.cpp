@@ -34,6 +34,7 @@ struct Options {
   int conns = 1;
   std::string conn_prefix = "oafconn";
   u64 kato_ms = 0;  // default KATO; 0 = associations never expire on silence
+  u64 orphan_sweep_ms = 0;  // stuck window for no-KATO assocs; 0 = no sweep
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -66,6 +67,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.kato_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--orphan-sweep-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts.orphan_sweep_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -81,6 +86,7 @@ void usage() {
       stderr,
       "usage: oaf_target [--port N] [--token T] [--capacity-mb M]\n"
       "                  [--conns K] [--conn-prefix P] [--kato-ms MS]\n"
+      "                  [--orphan-sweep-ms MS]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
       "associations have closed or expired their keep-alive timeout.\n");
 }
@@ -121,6 +127,8 @@ int main(int argc, char** argv) {
   nvmf::TargetServiceOptions sopts;
   sopts.af = af::AfConfig::oaf();
   sopts.default_kato_ns = static_cast<DurNs>(opts.kato_ms) * 1'000'000;
+  sopts.orphan_slot_timeout_ns =
+      static_cast<DurNs>(opts.orphan_sweep_ms) * 1'000'000;
   nvmf::NvmfTargetService service(exec, copier, broker, subsystem, sopts);
 
   for (int i = 0; i < opts.conns; ++i) {
@@ -144,6 +152,7 @@ int main(int argc, char** argv) {
     std::size_t active = 0;
     exec.post([&] {
       service.reap_expired();
+      service.sweep_orphan_slots();
       active = service.active();
       commands = service.commands_served();
       polled = true;
