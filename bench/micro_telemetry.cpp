@@ -1,0 +1,122 @@
+// Telemetry overhead guard: the cost of every hot-path instrumentation
+// primitive, and of the same code with telemetry disabled. The contract
+// (DESIGN.md §9): a disabled tracer record is one relaxed load, a counter
+// bump is one relaxed fetch_add, and an OAF_TEL site compiled out is free —
+// so a telemetry-off build must stay within noise of the seed.
+#include <benchmark/benchmark.h>
+
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace oaf;
+
+// --------------------------------------------------------------------------
+// Baseline: the un-instrumented loop body the guards compare against.
+// --------------------------------------------------------------------------
+void BM_Baseline(benchmark::State& state) {
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_Baseline);
+
+void BM_CounterInc(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter* c = reg.counter("bench_total", "bench");
+  for (auto _ : state) {
+    c->inc();
+  }
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_CounterBumpNullSafe(benchmark::State& state) {
+  // The cached-handle path used by instrumented components.
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter* c = reg.counter("bench_total", "bench");
+  for (auto _ : state) {
+    telemetry::bump(c);
+  }
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_CounterBumpNullSafe);
+
+void BM_GaugeSet(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Gauge* g = reg.gauge("bench_gauge", "bench");
+  i64 v = 0;
+  for (auto _ : state) {
+    g->set(v++);
+  }
+  benchmark::DoNotOptimize(g->value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  telemetry::HistogramMetric* h = reg.histogram("bench_hist", "bench");
+  i64 v = 0;
+  for (auto _ : state) {
+    h->record(v++ & 0xFFFFF);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+// --------------------------------------------------------------------------
+// Tracer: the disabled path is the one every production I/O pays when
+// tracing is off at runtime — it must price like a single relaxed load.
+// --------------------------------------------------------------------------
+void BM_TracerRecordDisabled(benchmark::State& state) {
+  telemetry::TraceRecorder rec(1 << 10);
+  TimeNs now = 0;
+  for (auto _ : state) {
+    rec.instant(1, "bench", "ev", 0, now++);
+  }
+  benchmark::DoNotOptimize(rec.size());
+}
+BENCHMARK(BM_TracerRecordDisabled);
+
+void BM_TracerRecordEnabled(benchmark::State& state) {
+  telemetry::TraceRecorder rec(1 << 10);
+  rec.set_enabled(true);
+  TimeNs now = 0;
+  for (auto _ : state) {
+    rec.instant(1, "bench", "ev", 0, now++);
+  }
+  benchmark::DoNotOptimize(rec.size());
+}
+BENCHMARK(BM_TracerRecordEnabled);
+
+void BM_TracerCompleteSpanEnabled(benchmark::State& state) {
+  telemetry::TraceRecorder rec(1 << 10);
+  rec.set_enabled(true);
+  TimeNs now = 0;
+  for (auto _ : state) {
+    rec.complete(1, "bench", "span", 7, now, 100, "bytes", 4096);
+    now += 200;
+  }
+  benchmark::DoNotOptimize(rec.size());
+}
+BENCHMARK(BM_TracerCompleteSpanEnabled);
+
+// --------------------------------------------------------------------------
+// The macro itself. With OAF_TELEMETRY=ON this is the counter bump; with
+// OAF_TELEMETRY=OFF the loop must measure the same as BM_Baseline — that
+// equality is the compile-out guarantee the acceptance criterion checks.
+// --------------------------------------------------------------------------
+void BM_OafTelSite(benchmark::State& state) {
+  telemetry::Counter* c =
+      telemetry::metrics().counter("bench_macro_total", "bench");
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++x);
+    OAF_TEL(telemetry::bump(c));
+  }
+}
+BENCHMARK(BM_OafTelSite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

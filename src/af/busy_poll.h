@@ -11,6 +11,7 @@
 #include "af/config.h"
 #include "common/types.h"
 #include "net/sim_channel.h"
+#include "telemetry/telemetry.h"
 
 namespace oaf::af {
 
@@ -65,6 +66,10 @@ class BusyPollGovernor {
       const u64 dm = misses - last_misses_;
       last_hits_ = hits;
       last_misses_ = misses;
+      OAF_TEL({
+        telemetry::bump(tel().hits, dh);
+        telemetry::bump(tel().misses, dm);
+      });
       if (dh + dm > 0 && escalation_ != kInterruptFallback) {
         const double miss_frac =
             static_cast<double>(dm) / static_cast<double>(dh + dm);
@@ -75,10 +80,12 @@ class BusyPollGovernor {
             // Arrivals are simply too sparse for polling to win on this
             // workload: degrade gracefully to interrupt mode.
             escalation_ = kInterruptFallback;
+            OAF_TEL(telemetry::bump(tel().fallbacks));
           }
         }
       }
     }
+    OAF_TEL(telemetry::bump(tel().retunes));
     apply(escalation_ == kInterruptFallback ? 0 : base * escalation_);
   }
 
@@ -100,6 +107,36 @@ class BusyPollGovernor {
   void apply(DurNs budget) {
     current_ = budget;
     if (tunable_ != nullptr) tunable_->set_rx_poll_budget(budget);
+    OAF_TEL(tel().budget->set(budget));
+  }
+
+  /// Process-global handles, registered once (governors are per-connection;
+  /// the counters aggregate across them and the budget gauge reflects the
+  /// most recently applied value — on a single-connection run, the live one).
+  struct Tel {
+    telemetry::Counter* hits = nullptr;
+    telemetry::Counter* misses = nullptr;
+    telemetry::Counter* retunes = nullptr;
+    telemetry::Counter* fallbacks = nullptr;
+    telemetry::Gauge* budget = nullptr;
+  };
+  static const Tel& tel() {
+    static const Tel t = [] {
+      auto& m = telemetry::metrics();
+      return Tel{
+          m.counter("oaf_busy_poll_hits_total",
+                    "Receive polls that found a message within the budget"),
+          m.counter("oaf_busy_poll_misses_total",
+                    "Receive polls whose budget expired empty"),
+          m.counter("oaf_busy_poll_retunes_total",
+                    "Budget re-evaluations by the adaptive governor"),
+          m.counter("oaf_busy_poll_interrupt_fallbacks_total",
+                    "Degradations to interrupt mode (arrivals too sparse)"),
+          m.gauge("oaf_busy_poll_budget_ns",
+                  "Receive busy-poll budget most recently applied"),
+      };
+    }();
+    return t;
   }
 
   static constexpr DurNs kMaxEscalation = 8;

@@ -10,6 +10,7 @@
 
 #include "common/types.h"
 #include "common/units.h"
+#include "telemetry/telemetry.h"
 
 namespace oaf::af {
 
@@ -19,11 +20,22 @@ struct Chunk {
   bool last = false;
 };
 
+namespace detail {
+/// Cached process-global chunk counter (chunking happens on both engines'
+/// data paths; the registry lookup is done once).
+inline telemetry::Counter* chunk_counter() {
+  static telemetry::Counter* c = telemetry::metrics().counter(
+      "oaf_chunks_total", "Data PDU chunks produced by application chunking");
+  return c;
+}
+}  // namespace detail
+
 /// Split [0, total) into chunks of at most `chunk_bytes`.
 inline std::vector<Chunk> make_chunks(u64 total, u64 chunk_bytes) {
   std::vector<Chunk> out;
   if (total == 0) {
     out.push_back({0, 0, true});
+    OAF_TEL(telemetry::bump(detail::chunk_counter()));
     return out;
   }
   if (chunk_bytes == 0) chunk_bytes = total;
@@ -32,6 +44,7 @@ inline std::vector<Chunk> make_chunks(u64 total, u64 chunk_bytes) {
     const u64 len = std::min(chunk_bytes, total - off);
     out.push_back({off, len, off + len == total});
   }
+  OAF_TEL(telemetry::bump(detail::chunk_counter(), out.size()));
   return out;
 }
 

@@ -4,6 +4,53 @@
 
 namespace oaf::af {
 
+void AfEndpoint::init_telemetry() {
+#if OAF_TELEMETRY_COMPILED
+  const bool client = role_ == Role::kClient;
+  auto& m = telemetry::metrics();
+  tel_.track = telemetry::tracer().track(client ? "af:client" : "af:target");
+  tel_.staged_copies =
+      m.counter("oaf_shm_staged_copies_total",
+                "Payloads copied into a shm slot (staged producer path)");
+  tel_.zc_publishes =
+      m.counter("oaf_shm_zero_copy_publishes_total",
+                "Payloads published in place via the zero-copy buffer API");
+  tel_.zc_consumes =
+      m.counter("oaf_shm_zero_copy_consumes_total",
+                "Payloads borrowed in place via the zero-copy view API");
+  tel_.payload_bytes = m.counter("oaf_shm_payload_bytes_total",
+                                 "Payload bytes moved over the shm ring");
+  tel_.demotions = m.counter("oaf_shm_demotions_total",
+                             "Runtime shm-to-TCP data-path demotions");
+  tel_.peer_misbehavior =
+      m.counter("oaf_shm_peer_misbehavior_total",
+                "Consume-path protocol violations caught by slot fencing");
+  tel_.orphan_reclaims =
+      m.counter("oaf_shm_orphan_reclaims_total",
+                "Slots reclaimed from dead owners by the orphan sweeper");
+  tel_.slot_wait_polls =
+      m.counter("oaf_shm_slot_wait_polls_total",
+                "Producer polls while waiting for a slot to drain "
+                "(conservative-flow slot reuse serialization, paper 4.4.2)");
+  // Occupancy of this side's produce direction only: the two endpoints of a
+  // connection share one ring, so sampling both directions from both sides
+  // would double-count. Client produces C2T, target produces T2C.
+  occupancy_cb_ = m.callback_gauge(
+      client ? "oaf_shm_slots_busy_c2t" : "oaf_shm_slots_busy_t2c",
+      client ? "Busy client-to-target shm slots (write payloads in flight)"
+             : "Busy target-to-client shm slots (read payloads in flight)",
+      [this]() -> i64 {
+        return ring_.valid()
+                   ? static_cast<i64>(ring_.in_flight(produce_dir()))
+                   : 0;
+      });
+  fence_cb_ = m.callback_gauge(
+      "oaf_shm_epoch_fence_rejects",
+      "Ring operations rejected by the epoch fence (stale handle or slot)",
+      [this]() -> i64 { return static_cast<i64>(ring_.fence_rejects()); });
+#endif
+}
+
 void AfEndpoint::enable_shm(RegionHandle handle, shm::DoubleBufferRing ring,
                             std::shared_ptr<sim::AsyncMutex> lock) {
   handle_ = std::move(handle);
@@ -16,6 +63,11 @@ bool AfEndpoint::demote_shm() {
   if (!ring_.valid() || demoted_) return false;
   demoted_ = true;
   shm_demotions_++;
+  OAF_TEL({
+    telemetry::bump(tel_.demotions);
+    telemetry::tracer().instant(tel_.track, "resilience", "shm_demoted", 0,
+                                exec_.now());
+  });
   return true;
 }
 
@@ -63,10 +115,17 @@ Status AfEndpoint::stage_payload(u32 slot, std::span<const u8> data, Done done) 
   if (auto st = ring_.acquire(produce_dir(), slot); !st) return st;
   shm_payload_bytes_ += data.size();
   staged_copies_++;
-  with_access([this, slot, data, done = std::move(done)](Done unlock) mutable {
+  TimeNs t0 = 0;
+  OAF_TEL({
+    telemetry::bump(tel_.staged_copies);
+    telemetry::bump(tel_.payload_bytes, data.size());
+    t0 = exec_.now();
+  });
+  with_access([this, slot, data, t0,
+               done = std::move(done)](Done unlock) mutable {
     auto dst = ring_.slot_data(produce_dir(), slot);
-    copier_.copy(data, dst, [this, alive = alive_, slot, len = data.size(),
-                             done = std::move(done),
+    copier_.copy(data, dst, [this, alive = alive_, slot, t0,
+                             len = data.size(), done = std::move(done),
                              unlock = std::move(unlock)]() mutable {
       if (!*alive) return;
       if (cfg_.encrypt_shm) {
@@ -75,11 +134,14 @@ Status AfEndpoint::stage_payload(u32 slot, std::span<const u8> data, Done done) 
         xor_keystream(buf.subspan(0, len), cfg_.shm_key,
                       static_cast<u64>(slot) * ring_.slot_size());
         // One extra pass over the payload, charged like a copy.
-        copier_.charge(len, [this, alive = std::move(alive), slot, len,
+        copier_.charge(len, [this, alive = std::move(alive), slot, t0, len,
                              done = std::move(done),
                              unlock = std::move(unlock)]() mutable {
           if (!*alive) return;
           (void)ring_.publish(produce_dir(), slot, len);
+          OAF_TEL(telemetry::tracer().complete(
+              tel_.track, "shm", "shm_stage", slot, t0, exec_.now() - t0,
+              "bytes", static_cast<i64>(len)));
           unlock();
           done();
         });
@@ -87,6 +149,9 @@ Status AfEndpoint::stage_payload(u32 slot, std::span<const u8> data, Done done) 
       }
       // publish cannot fail here: we hold the slot in kWriting.
       (void)ring_.publish(produce_dir(), slot, len);
+      OAF_TEL(telemetry::tracer().complete(tel_.track, "shm", "shm_stage",
+                                           slot, t0, exec_.now() - t0, "bytes",
+                                           static_cast<i64>(len)));
       unlock();
       done();
     });
@@ -108,6 +173,7 @@ void AfEndpoint::stage_payload_when_free(u32 slot, std::span<const u8> data,
   }
   // Slot still draining on the peer: poll, as the consumer-side CM does
   // for the locality flag. The granularity mirrors the notify pickup cost.
+  OAF_TEL(telemetry::bump(tel_.slot_wait_polls));
   exec_.schedule_after(
       1'000, [this, alive = alive_, slot, data, done = std::move(done),
               cancelled = std::move(cancelled)]() mutable {
@@ -132,6 +198,12 @@ Status AfEndpoint::publish_app_buffer(u32 slot, u64 len, Done done) {
   if (auto st = ring_.publish(produce_dir(), slot, len); !st) return st;
   shm_payload_bytes_ += len;
   zero_copy_publishes_++;
+  OAF_TEL({
+    telemetry::bump(tel_.zc_publishes);
+    telemetry::bump(tel_.payload_bytes, len);
+    telemetry::tracer().instant(tel_.track, "shm", "zc_publish", slot,
+                                exec_.now(), "bytes", static_cast<i64>(len));
+  });
   // Zero-copy: no data movement to charge; completion is immediate on both
   // planes (the application already produced the bytes in place).
   exec_.post(std::move(done));
@@ -144,7 +216,10 @@ void AfEndpoint::consume_payload(u32 slot, std::span<u8> dst,
     done(make_error(StatusCode::kFailedPrecondition, "no shm channel"));
     return;
   }
-  with_access([this, slot, dst, done = std::move(done)](Done unlock) mutable {
+  TimeNs t0 = 0;
+  OAF_TEL(t0 = exec_.now());
+  with_access([this, slot, dst, t0,
+               done = std::move(done)](Done unlock) mutable {
     auto view = ring_.consume(consume_dir(), slot);
     if (!view) {
       note_consume_error(view.status());
@@ -159,7 +234,7 @@ void AfEndpoint::consume_payload(u32 slot, std::span<u8> dst,
       return;
     }
     copier_.copy(src, dst.subspan(0, src.size()),
-                 [this, alive = alive_, slot, dst, len = src.size(),
+                 [this, alive = alive_, slot, dst, t0, len = src.size(),
                   done = std::move(done), unlock = std::move(unlock)]() mutable {
                    if (!*alive) return;
                    if (cfg_.encrypt_shm) {
@@ -169,12 +244,21 @@ void AfEndpoint::consume_payload(u32 slot, std::span<u8> dst,
                                    static_cast<u64>(slot) * ring_.slot_size());
                      (void)ring_.release(consume_dir(), slot);
                      unlock();
-                     copier_.charge(len, [len, done = std::move(done)]() mutable {
+                     copier_.charge(len, [this, alive = std::move(alive), slot,
+                                          t0, len,
+                                          done = std::move(done)]() mutable {
+                       if (!*alive) return;
+                       OAF_TEL(telemetry::tracer().complete(
+                           tel_.track, "shm", "shm_consume", slot, t0,
+                           exec_.now() - t0, "bytes", static_cast<i64>(len)));
                        done(Result<u64>(len));
                      });
                      return;
                    }
                    (void)ring_.release(consume_dir(), slot);
+                   OAF_TEL(telemetry::tracer().complete(
+                       tel_.track, "shm", "shm_consume", slot, t0,
+                       exec_.now() - t0, "bytes", static_cast<i64>(len)));
                    unlock();
                    done(Result<u64>(len));
                  });
@@ -192,7 +276,17 @@ Result<std::span<const u8>> AfEndpoint::consume_view(u32 slot) {
                       "zero-copy views unavailable on encrypted channels");
   }
   auto view = ring_.consume(consume_dir(), slot);
-  if (!view) note_consume_error(view.status());
+  if (!view) {
+    note_consume_error(view.status());
+    return view;
+  }
+  OAF_TEL({
+    telemetry::bump(tel_.zc_consumes);
+    telemetry::bump(tel_.payload_bytes, view.value().size());
+    telemetry::tracer().instant(tel_.track, "shm", "zc_consume", slot,
+                                exec_.now(), "bytes",
+                                static_cast<i64>(view.value().size()));
+  });
   return view;
 }
 
@@ -240,6 +334,12 @@ u32 AfEndpoint::sweep_orphans(DurNs stuck_after) {
       if (ring_.force_release(dir, s)) {
         reclaimed++;
         orphan_reclaims_++;
+        OAF_TEL({
+          telemetry::bump(tel_.orphan_reclaims);
+          telemetry::tracer().instant(tel_.track, "resilience",
+                                      "orphan_reclaim", s, now, "slot",
+                                      static_cast<i64>(s));
+        });
         age = SlotAge{};
       }
     }

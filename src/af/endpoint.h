@@ -22,6 +22,7 @@
 #include "common/executor.h"
 #include "net/copier.h"
 #include "shm/double_buffer.h"
+#include "telemetry/telemetry.h"
 
 namespace oaf::af {
 
@@ -40,6 +41,7 @@ class AfEndpoint {
     // Encryption requires both sides to transform payloads, which the
     // zero-copy path bypasses by construction.
     if (cfg_.encrypt_shm) cfg_.zero_copy = false;
+    init_telemetry();
   }
 
   AfEndpoint(const AfEndpoint&) = delete;
@@ -166,10 +168,17 @@ class AfEndpoint {
   /// section ends.
   void with_access(std::function<void(Done unlock)> op);
 
-  /// Count consume-path failures that indicate a misbehaving peer.
+  /// Count consume-path failures that indicate a misbehaving peer. The
+  /// endpoint is the single registry authority for this event (engines call
+  /// in here from every consume path, so counting there would double it).
   void note_consume_error(const Status& st) {
-    if (st.code() == StatusCode::kPeerMisbehavior) peer_misbehavior_++;
+    if (st.code() == StatusCode::kPeerMisbehavior) {
+      peer_misbehavior_++;
+      OAF_TEL(telemetry::bump(tel_.peer_misbehavior));
+    }
   }
+
+  void init_telemetry();
 
   Role role_;
   Executor& exec_;
@@ -198,6 +207,26 @@ class AfEndpoint {
     TimeNs since = 0;
   };
   std::vector<SlotAge> slot_age_[2];
+
+  /// Cached process-global telemetry handles (DESIGN.md §9). This endpoint
+  /// is the single authority for the shm demotion / peer-misbehavior /
+  /// orphan-reclaim counters: every engine path funnels through it.
+  struct Tel {
+    u32 track = 0;
+    telemetry::Counter* staged_copies = nullptr;
+    telemetry::Counter* zc_publishes = nullptr;
+    telemetry::Counter* zc_consumes = nullptr;
+    telemetry::Counter* payload_bytes = nullptr;
+    telemetry::Counter* demotions = nullptr;
+    telemetry::Counter* peer_misbehavior = nullptr;
+    telemetry::Counter* orphan_reclaims = nullptr;
+    telemetry::Counter* slot_wait_polls = nullptr;
+  } tel_;
+  /// Sampled gauges (slot occupancy of this side's produce direction and the
+  /// ring handle's epoch-fence reject count). Declared last so they
+  /// unregister before any state their callbacks read is torn down.
+  telemetry::MetricsRegistry::CallbackHandle occupancy_cb_;
+  telemetry::MetricsRegistry::CallbackHandle fence_cb_;
 };
 
 }  // namespace oaf::af

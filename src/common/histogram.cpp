@@ -27,7 +27,7 @@ u64 Histogram::bucket_upper_bound(size_t index) {
   return tier_base + (sub + 1) * scale - 1;
 }
 
-i64 Histogram::percentile(double q) const {
+i64 Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;

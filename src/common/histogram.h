@@ -47,6 +47,7 @@ class Histogram {
   }
 
   [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] i64 sum() const { return sum_; }
   [[nodiscard]] i64 min() const { return count_ ? min_ : 0; }
   [[nodiscard]] i64 max() const { return count_ ? max_ : 0; }
   [[nodiscard]] double mean() const {
@@ -55,12 +56,15 @@ class Histogram {
 
   /// Value at quantile q in [0, 1]; returns the representative (upper bound)
   /// of the containing bucket, clamped to the observed max.
-  [[nodiscard]] i64 percentile(double q) const;
+  [[nodiscard]] i64 quantile(double q) const;
 
-  [[nodiscard]] i64 p50() const { return percentile(0.50); }
-  [[nodiscard]] i64 p99() const { return percentile(0.99); }
-  [[nodiscard]] i64 p999() const { return percentile(0.999); }
-  [[nodiscard]] i64 p9999() const { return percentile(0.9999); }
+  /// Legacy alias for quantile().
+  [[nodiscard]] i64 percentile(double q) const { return quantile(q); }
+
+  [[nodiscard]] i64 p50() const { return quantile(0.50); }
+  [[nodiscard]] i64 p99() const { return quantile(0.99); }
+  [[nodiscard]] i64 p999() const { return quantile(0.999); }
+  [[nodiscard]] i64 p9999() const { return quantile(0.9999); }
 
  private:
   static size_t bucket_index(u64 v);

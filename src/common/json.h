@@ -1,0 +1,159 @@
+// Minimal JSON writer used by the telemetry exposition paths (metrics JSON,
+// Chrome trace_event export) and the oaf_perf --json report.
+//
+// Deliberately write-only and dependency-free: the repo never *parses* JSON,
+// it only needs to emit machine-readable artifacts deterministically. All
+// numbers are formatted with fixed rules so the same inputs always produce
+// byte-identical output (the trace golden tests rely on this).
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oaf {
+
+/// Append `s` to `out` with JSON string escaping (no surrounding quotes).
+inline void json_escape_to(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Streaming JSON builder. Keeps a stack of "first element?" flags so commas
+/// are inserted exactly where needed; the caller is responsible for matching
+/// begin/end calls and for alternating key()/value() inside objects.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    first_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(u64 v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(i64 v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(i32 v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += '0';  // NaN/Inf are not valid JSON; clamp rather than emit
+      return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  /// Emit pre-formatted JSON (e.g. a nanosecond timestamp rendered as
+  /// microseconds with fixed decimals). The caller guarantees validity.
+  JsonWriter& raw(std::string_view v) {
+    comma();
+    out_ += v;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      // Value immediately following its key: no comma.
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace oaf

@@ -1,12 +1,22 @@
 #include "common/log.h"
 
-#include <cstdarg>
 #include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
 
 namespace oaf {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+int initial_level() {
+  const char* env = std::getenv("OAF_LOG");
+  return static_cast<int>(env != nullptr ? parse_log_level(env)
+                                         : LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{initial_level()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,6 +33,12 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+TimeNs steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
@@ -31,13 +47,79 @@ void set_log_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-void log_message(LogLevel level, const char* file, int line, const std::string& msg) {
-  // Strip directories for readability.
+LogLevel parse_log_level(const char* s) {
+  if (s == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+TimeNs log_uptime_ns() {
+  // Epoch is captured on first use; function-local static init is
+  // thread-safe, so racing first loggers agree on one epoch.
+  static const TimeNs epoch = steady_now_ns();
+  const TimeNs now = steady_now_ns();
+  return now > epoch ? now - epoch : 0;
+}
+
+namespace detail {
+
+std::string log_component(const char* file) {
+  static constexpr const char* kRoots[] = {"src/", "tests/", "tools/",
+                                           "bench/", "examples/"};
+  const std::string_view path(file != nullptr ? file : "");
+  for (const char* root : kRoots) {
+    const size_t at = path.find(root);
+    if (at == std::string_view::npos) continue;
+    // Guard against matching mid-segment (e.g. "mysrc/"): require start of
+    // path or a preceding '/'.
+    if (at != 0 && path[at - 1] != '/') continue;
+    const size_t start = at + std::strlen(root);
+    const size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) {
+      // File directly under the root ("tools/oaf_perf.cpp"): tag by root.
+      std::string tag(root);
+      tag.pop_back();
+      return tag;
+    }
+    return std::string(path.substr(start, slash - start));
+  }
+  // No known root: use the immediate parent directory if there is one.
+  const size_t last = path.rfind('/');
+  if (last == std::string_view::npos || last == 0) return "-";
+  const size_t prev = path.rfind('/', last - 1);
+  const size_t start = prev == std::string_view::npos ? 0 : prev + 1;
+  return std::string(path.substr(start, last - start));
+}
+
+std::string format_log_line(TimeNs uptime_ns, LogLevel level, const char* file,
+                            int line, const std::string& msg) {
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s] %s:%d %s\n", level_tag(level), base, line, msg.c_str());
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "[%6lld.%06lld] [%s] [%s] %s:%d ",
+                static_cast<long long>(uptime_ns / 1'000'000'000),
+                static_cast<long long>((uptime_ns % 1'000'000'000) / 1000),
+                level_tag(level), log_component(file).c_str(), base, line);
+  std::string out(prefix);
+  out += msg;
+  out += '\n';
+  return out;
+}
+
+}  // namespace detail
+
+void log_message(LogLevel level, const char* file, int line, const std::string& msg) {
+  const std::string full =
+      detail::format_log_line(log_uptime_ns(), level, file, line, msg);
+  // One fwrite per line: stdio streams lock internally, so concurrent
+  // writers emit whole lines instead of interleaved fragments.
+  std::fwrite(full.data(), 1, full.size(), stderr);
 }
 
 namespace detail {

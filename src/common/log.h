@@ -1,10 +1,17 @@
 // Minimal leveled logger. The data path never logs; logging exists for
 // connection lifecycle events and bench harness diagnostics, so a simple
 // stderr sink behind a global level is sufficient and dependency-free.
+//
+// Lines carry a monotonic timestamp (seconds since process start) and a
+// component tag derived from the source path, and each line is emitted with
+// a single fwrite so concurrent writers (initiator reactor + target reactor
+// in one test process) never interleave mid-line.
 #pragma once
 
 #include <cstdio>
 #include <string>
+
+#include "common/types.h"
 
 namespace oaf {
 
@@ -13,10 +20,28 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-sensitive).
+/// Unknown strings return kWarn, the default level. The OAF_LOG environment
+/// variable, read on first use, overrides the default in the tools.
+LogLevel parse_log_level(const char* s);
+
 void log_message(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Monotonic nanoseconds since the first logging call of the process.
+TimeNs log_uptime_ns();
 
 namespace detail {
 std::string format_log(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Component tag for a source path: the directory segment after a known root
+/// ("src/", "tests/", "tools/", "bench/", "examples/"), else the file's own
+/// directory, else "-". E.g. ".../src/nvmf/initiator.cpp" -> "nvmf".
+std::string log_component(const char* file);
+
+/// Render one complete log line (with trailing newline) exactly as
+/// log_message() writes it. Exposed for tests.
+std::string format_log_line(TimeNs uptime_ns, LogLevel level, const char* file,
+                            int line, const std::string& msg);
 }  // namespace detail
 
 #define OAF_LOG(level, ...)                                                \

@@ -39,9 +39,13 @@ class BreakdownStats {
   [[nodiscard]] u64 count() const { return count_; }
   [[nodiscard]] LatencyParts mean() const {
     if (count_ == 0) return {};
-    return {sum_.io / static_cast<i64>(count_),
-            sum_.comm / static_cast<i64>(count_),
-            sum_.other / static_cast<i64>(count_)};
+    // Round half up: with millions of I/Os a small-but-nonzero part (e.g. a
+    // few hundred ns of "other" summed over 10M ops) must not truncate to 0.
+    const auto div = [this](DurNs sum) -> DurNs {
+      const i64 n = static_cast<i64>(count_);
+      return (sum + n / 2) / n;
+    };
+    return {div(sum_.io), div(sum_.comm), div(sum_.other)};
   }
 
   void merge(const BreakdownStats& o) {

@@ -43,11 +43,44 @@ bool read_all(int fd, u8* data, size_t len) {
 
 /// Handler slot shared with posted deliveries, so a delivery that is still
 /// queued on the executor when the endpoint is destroyed finds an empty slot
-/// instead of a dangling endpoint.
+/// instead of a dangling endpoint. PDUs that arrive before a handler is
+/// installed park in `pending` and flush in arrival order once set_handler
+/// runs — an ICReq can land on a freshly accepted connection before its
+/// engine finishes constructing, and dropping it would hang the handshake.
 struct HandlerBox {
   std::mutex mu;
   MsgChannel::Handler handler;
+  std::vector<pdu::Pdu> pending;
 };
+
+/// Deliver `pdu` through the box's handler, or park it if none is installed
+/// yet. Runs on the executor thread; drains parked PDUs first so arrival
+/// order survives the handoff.
+void deliver(const std::shared_ptr<HandlerBox>& box, pdu::Pdu pdu) {
+  std::vector<pdu::Pdu> batch;
+  MsgChannel::Handler h;
+  {
+    std::lock_guard<std::mutex> lk(box->mu);
+    box->pending.push_back(std::move(pdu));
+    if (!box->handler) return;
+    h = box->handler;
+    batch.swap(box->pending);
+  }
+  for (auto& p : batch) h(std::move(p));
+}
+
+/// Flush PDUs parked before set_handler. Also runs on the executor thread.
+void drain(const std::shared_ptr<HandlerBox>& box) {
+  std::vector<pdu::Pdu> batch;
+  MsgChannel::Handler h;
+  {
+    std::lock_guard<std::mutex> lk(box->mu);
+    if (!box->handler || box->pending.empty()) return;
+    h = box->handler;
+    batch.swap(box->pending);
+  }
+  for (auto& p : batch) h(std::move(p));
+}
 
 class SocketEndpoint final : public MsgChannel {
  public:
@@ -79,8 +112,14 @@ class SocketEndpoint final : public MsgChannel {
   }
 
   void set_handler(Handler handler) override {
-    std::lock_guard<std::mutex> lk(box_->mu);
-    box_->handler = std::move(handler);
+    {
+      std::lock_guard<std::mutex> lk(box_->mu);
+      box_->handler = std::move(handler);
+    }
+    // Flush any PDUs that raced in before subscription. Posted (not invoked
+    // inline) so parked PDUs are delivered on the executor thread, ahead of
+    // deliveries the reader posts after this point (FIFO executor).
+    exec_.post([box = box_] { drain(box); });
   }
 
   void close() override {
@@ -121,12 +160,7 @@ class SocketEndpoint final : public MsgChannel {
         break;
       }
       exec_.post([box = box_, p = std::make_shared<pdu::Pdu>(std::move(decoded).take())] {
-        Handler h;
-        {
-          std::lock_guard<std::mutex> lk(box->mu);
-          h = box->handler;
-        }
-        if (h) h(std::move(*p));
+        deliver(box, std::move(*p));
       });
     }
     open_.store(false, std::memory_order_release);

@@ -5,6 +5,7 @@
 #include "af/chunker.h"
 #include "af/flow_control.h"
 #include "common/log.h"
+#include "nvmf/trace_names.h"
 #include "pdu/crc32.h"
 
 namespace oaf::nvmf {
@@ -12,6 +13,48 @@ namespace oaf::nvmf {
 using pdu::DataPlacement;
 using pdu::NvmeOpcode;
 using pdu::Pdu;
+
+void NvmfInitiator::init_telemetry() {
+#if OAF_TELEMETRY_COMPILED
+  auto& m = telemetry::metrics();
+  tel_.track = telemetry::tracer().track("init:" + opts_.connection_name);
+  tel_.ios = m.counter("oaf_initiator_ios_completed_total",
+                       "I/Os completed by initiators in this process");
+  tel_.latency = m.histogram("oaf_initiator_io_latency_ns",
+                             "End-to-end per-I/O latency in nanoseconds");
+  tel_.reconnects =
+      m.counter("oaf_initiator_reconnects_total",
+                "Successful association re-establishments");
+  tel_.reconnect_failures =
+      m.counter("oaf_initiator_reconnect_failures_total",
+                "Reconnect dial/handshake attempts that failed");
+  tel_.retried = m.counter("oaf_initiator_commands_retried_total",
+                           "Commands replayed after faults");
+  tel_.ka_sent = m.counter("oaf_initiator_keepalive_sent_total",
+                           "Keep-alive PDUs sent");
+  tel_.ka_misses = m.counter("oaf_initiator_keepalive_misses_total",
+                             "Keep-alive intervals with no peer traffic");
+  tel_.digest_errors = m.counter("oaf_initiator_digest_errors_total",
+                                 "Data digest mismatches detected");
+  tel_.deadlines = m.counter("oaf_initiator_deadlines_expired_total",
+                             "Per-command deadlines that expired");
+  tel_.aborts_sent =
+      m.counter("oaf_initiator_aborts_sent_total", "NVMe Aborts sent");
+  tel_.aborts_ok = m.counter("oaf_initiator_aborts_succeeded_total",
+                             "NVMe Aborts acknowledged by the target");
+  tel_.aborts_failed = m.counter("oaf_initiator_aborts_failed_total",
+                                 "NVMe Aborts that timed out");
+  tel_.cmds_aborted = m.counter("oaf_initiator_commands_aborted_total",
+                                "Commands completed as aborted");
+#endif
+}
+
+void NvmfInitiator::trace_end_span(const Pending& p) {
+  (void)p;
+  OAF_TEL(telemetry::tracer().end(tel_.track, "init_io",
+                                  op_span_name(p.cmd.opcode), p.generation,
+                                  exec_.now()));
+}
 
 NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
                              net::Copier& copier, af::ShmBroker& broker,
@@ -39,6 +82,7 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
       [this, alive = alive_](Pdu p) {
         if (*alive) on_pdu(std::move(p));
       });
+  init_telemetry();
 }
 
 NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
@@ -67,6 +111,7 @@ NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
       [this, alive = alive_](Pdu p) {
         if (*alive) on_pdu(std::move(p));
       });
+  init_telemetry();
 }
 
 void NvmfInitiator::send_icreq() {
@@ -132,6 +177,8 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
       // stop producing into the ring; parked transfers drain as usual.
       if (ep_.demote_shm()) {
         counters_.shm_demotions++;
+        OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience",
+                                            "shm_demote", 0, exec_.now()));
         OAF_WARN("initiator: target demoted shm (%s)",
                  pdu.as<pdu::ShmDemote>()->reason.c_str());
       }
@@ -158,6 +205,9 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
   reconnecting_ = false;
   if (was_reconnect) {
     counters_.reconnects++;
+    OAF_TEL(telemetry::bump(tel_.reconnects));
+    OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience",
+                                        "reconnected", 0, exec_.now()));
     // Replay harvested in-flight commands first so they re-enter the queue
     // ahead of commands that were still waiting — the original submission
     // order is preserved.
@@ -165,6 +215,7 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
     replay.swap(replay_);
     for (auto& p : replay) {
       counters_.commands_retried++;
+      OAF_TEL(telemetry::bump(tel_.retried));
       submit_or_queue(std::move(p));
     }
     drain_queue();
@@ -190,6 +241,7 @@ bool NvmfInitiator::retryable(const Pending& p) const {
 }
 
 void NvmfInitiator::fail_pending(Pending& p) {
+  if (p.generation != 0) trace_end_span(p);
   IoResult res;
   res.cpl.status = pdu::NvmeStatus::kDataTransferError;
   if (p.cb) p.cb(res);
@@ -210,6 +262,8 @@ void NvmfInitiator::recover(const char* reason) {
     return;
   }
   OAF_WARN("initiator: recovering connection (%s)", reason);
+  OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "recover", 0,
+                                      exec_.now()));
   reconnecting_ = true;
   connected_ = false;
   handshake_epoch_++;
@@ -227,6 +281,8 @@ void NvmfInitiator::recover(const char* reason) {
     slot_busy_[cid] = false;
     inflight_[cid] = Pending{};
     if (retryable(p) && p.attempts < opts_.reconnect.max_command_retries) {
+      // The attempt's span ends here; the replay begins a fresh one.
+      trace_end_span(p);
       p.attempts++;
       p.bytes_received = 0;
       replay_.push_back(std::move(p));
@@ -273,6 +329,7 @@ void NvmfInitiator::do_reconnect(u32 attempt) {
     // back off again. The previous channel stays in place so control_
     // remains valid.
     counters_.reconnect_failures++;
+    OAF_TEL(telemetry::bump(tel_.reconnect_failures));
     schedule_reconnect(attempt + 1);
     return;
   }
@@ -292,6 +349,7 @@ void NvmfInitiator::do_reconnect(u32 attempt) {
         if (!*alive || dead_ || !reconnecting_) return;
         if (epoch != handshake_epoch_) return;  // ICResp arrived in time
         counters_.reconnect_failures++;
+        OAF_TEL(telemetry::bump(tel_.reconnect_failures));
         control_->close();
         schedule_reconnect(attempt + 1);
       });
@@ -300,6 +358,8 @@ void NvmfInitiator::do_reconnect(u32 attempt) {
 void NvmfInitiator::demote_shm(const std::string& reason) {
   if (!ep_.demote_shm()) return;
   counters_.shm_demotions++;
+  OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "shm_demote",
+                                      0, exec_.now()));
   OAF_WARN("initiator: demoting shm data path (%s)", reason.c_str());
   pdu::ShmDemote demote;
   demote.reason = reason;
@@ -331,6 +391,7 @@ void NvmfInitiator::keepalive_tick() {
   if (connected_ && !reconnecting_) {
     if (ka_outstanding_) {
       counters_.keepalive_misses++;
+      OAF_TEL(telemetry::bump(tel_.ka_misses));
       ka_misses_++;
       if (ka_misses_ >= opts_.reconnect.keepalive_miss_limit) {
         ka_misses_ = 0;
@@ -349,6 +410,7 @@ void NvmfInitiator::keepalive_tick() {
     pdu.header = ka;
     control_->send(std::move(pdu));
     counters_.keepalive_sent++;
+    OAF_TEL(telemetry::bump(tel_.ka_sent));
     ka_outstanding_ = true;
   }
   schedule_keepalive();
@@ -377,6 +439,10 @@ void NvmfInitiator::on_deadline(u16 cid, u64 generation) {
   if (cid >= inflight_.size() || !slot_busy_[cid]) return;
   if (inflight_[cid].generation != generation) return;
   counters_.deadlines_expired++;
+  OAF_TEL(telemetry::bump(tel_.deadlines));
+  OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience",
+                                      "deadline_expired", generation,
+                                      exec_.now()));
   timeouts_++;
   if (!opts_.escalation.enabled() || reconnecting_) {
     // Legacy semantics: a deadline expiry is a transport fault.
@@ -400,6 +466,9 @@ void NvmfInitiator::send_abort(u16 victim_cid) {
   const u16 acid = alloc_abort_cid();
   aborts_[acid] = AbortCtx{victim_cid, p.generation, p.gen};
   counters_.aborts_sent++;
+  OAF_TEL(telemetry::bump(tel_.aborts_sent));
+  OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "abort_sent",
+                                      p.generation, exec_.now()));
   OAF_WARN("initiator: aborting stuck cid %u (attempt %u/%u, abort cid %u)",
            victim_cid, p.abort_attempts, opts_.escalation.abort_budget, acid);
   pdu::CapsuleCmd capsule;
@@ -419,6 +488,7 @@ void NvmfInitiator::on_abort_timeout(u16 abort_cid) {
   const AbortCtx a = it->second;
   aborts_.erase(it);
   counters_.aborts_failed++;
+  OAF_TEL(telemetry::bump(tel_.aborts_failed));
   consecutive_abort_failures_++;
   // Aborts ride the control channel. If they keep dying while shm is up,
   // suspect the fast path first and demote before burning the connection.
@@ -445,6 +515,7 @@ void NvmfInitiator::on_abort_resp(u16 abort_cid, const pdu::CapsuleResp& resp) {
   wheel_.cancel(abort_cid);
   consecutive_abort_failures_ = 0;
   counters_.aborts_succeeded++;
+  OAF_TEL(telemetry::bump(tel_.aborts_ok));
   const bool victim_live = a.victim_cid < inflight_.size() &&
                            slot_busy_[a.victim_cid] &&
                            inflight_[a.victim_cid].generation ==
@@ -562,6 +633,12 @@ void NvmfInitiator::start_command(u16 cid) {
   p.generation = next_generation_++;
   p.gen = next_gen_++;
   if (next_gen_ == 0) next_gen_ = 1;  // 0 is the wildcard tag
+  // One async span per submission attempt (a retry begins a fresh span with
+  // its new generation, so detours stay visible on the timeline).
+  OAF_TEL(telemetry::tracer().begin(tel_.track, "init_io",
+                                    op_span_name(p.cmd.opcode), p.generation,
+                                    p.submit_time, "bytes",
+                                    static_cast<i64>(p.data_len)));
   governor_.record_op(p.cmd.is_write());
   arm_timeout(cid);
   switch (p.cmd.opcode) {
@@ -591,6 +668,9 @@ void NvmfInitiator::send_capsule(u16 cid, bool in_capsule,
   Pdu pdu;
   pdu.header = capsule;
   pdu.payload = std::move(inline_payload);
+  OAF_TEL(telemetry::tracer().instant(
+      tel_.track, "init_io", in_capsule ? "capsule_sent" : "capsule_sent_r2t",
+      p.generation, exec_.now(), "bytes", static_cast<i64>(p.data_len)));
   control_->send(std::move(pdu));
 }
 
@@ -650,6 +730,9 @@ void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
     OAF_WARN("stale R2T for cid %u (gen %u != %u)", cid, r2t.gen, p.gen);
     return;
   }
+  OAF_TEL(telemetry::tracer().instant(tel_.track, "init_io", "r2t",
+                                      p.generation, exec_.now(), "bytes",
+                                      static_cast<i64>(r2t.length)));
   if (ep_.shm_ready()) {
     // Conservative flow on shm (pre-optimization design): the granted
     // window moves through the slot one maxh2cdata chunk at a time, each
@@ -744,6 +827,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
       res.io_time_ns = c2h.io_time_ns;
       res.target_time_ns = c2h.target_time_ns;
       auto cb = std::move(p.view_cb);
+      trace_end_span(p);
       if (!view) {
         note_shm_consume_failure(view.status());
         release_cid(cid);
@@ -757,6 +841,8 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
         release_cid(cid);
       };
       ios_completed_++;
+      OAF_TEL(telemetry::bump(tel_.ios));
+      OAF_TEL(tel_.latency->record(res.total_ns));
       cb(std::move(rv), res);
       return;
     }
@@ -797,6 +883,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
         std::span<const u8>(pdu.payload.data(), pdu.payload.size()));
     if (computed != c2h.data_digest) {
       counters_.digest_errors++;
+      OAF_TEL(telemetry::bump(tel_.digest_errors));
       OAF_WARN("C2HData digest mismatch for cid %u", cid);
       complete(cid, {cid, pdu::NvmeStatus::kTransientTransportError, 0}, 0, 0);
       return;
@@ -844,14 +931,22 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     // Transport-level fault on an otherwise healthy association (e.g. a
     // data-digest mismatch): replay in place on the same cid. A fresh gen
     // tag fences any PDU still in flight from the failed attempt.
+    trace_end_span(p);
+    OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "retry",
+                                        p.generation, exec_.now()));
     p.attempts++;
     p.bytes_received = 0;
     counters_.commands_retried++;
+    OAF_TEL(telemetry::bump(tel_.retried));
     start_command(cid);
     return;
   }
+  trace_end_span(p);
   if (cpl.status == pdu::NvmeStatus::kAbortedByRequest) {
     counters_.commands_aborted++;
+    OAF_TEL(telemetry::bump(tel_.cmds_aborted));
+    OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "aborted",
+                                        p.generation, exec_.now()));
   }
   IoResult res;
   res.cpl = cpl;
@@ -869,6 +964,8 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
   auto identify_cb = std::move(p.identify_cb);
   auto identify_result = p.identify_result;
   ios_completed_++;
+  OAF_TEL(telemetry::bump(tel_.ios));
+  OAF_TEL(tel_.latency->record(res.total_ns));
   release_cid(cid);
 
   if (identify_cb) {

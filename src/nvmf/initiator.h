@@ -26,6 +26,7 @@
 #include "net/channel.h"
 #include "nvmf/deadline_wheel.h"
 #include "nvmf/resilience.h"
+#include "telemetry/telemetry.h"
 
 namespace oaf::nvmf {
 
@@ -299,6 +300,30 @@ class NvmfInitiator {
 
   u64 ios_completed_ = 0;
   u64 timeouts_ = 0;
+
+  /// Cached process-global telemetry handles (DESIGN.md §9). Counters mirror
+  /// `counters_` so the resilience ladder exports uniformly; the trace track
+  /// is this connection's initiator lane. All null / zero when telemetry is
+  /// compiled out.
+  struct Tel {
+    u32 track = 0;
+    telemetry::Counter* ios = nullptr;
+    telemetry::HistogramMetric* latency = nullptr;
+    telemetry::Counter* reconnects = nullptr;
+    telemetry::Counter* reconnect_failures = nullptr;
+    telemetry::Counter* retried = nullptr;
+    telemetry::Counter* ka_sent = nullptr;
+    telemetry::Counter* ka_misses = nullptr;
+    telemetry::Counter* digest_errors = nullptr;
+    telemetry::Counter* deadlines = nullptr;
+    telemetry::Counter* aborts_sent = nullptr;
+    telemetry::Counter* aborts_ok = nullptr;
+    telemetry::Counter* aborts_failed = nullptr;
+    telemetry::Counter* cmds_aborted = nullptr;
+  } tel_;
+  void init_telemetry();
+  /// End the active trace span for an in-flight command (by its generation).
+  void trace_end_span(const Pending& p);
 };
 
 }  // namespace oaf::nvmf

@@ -5,6 +5,7 @@
 #include "af/chunker.h"
 #include "af/flow_control.h"
 #include "common/log.h"
+#include "nvmf/trace_names.h"
 #include "pdu/crc32.h"
 
 namespace oaf::nvmf {
@@ -33,6 +34,42 @@ NvmfTargetConnection::NvmfTargetConnection(Executor& exec,
     if (*alive) on_pdu(std::move(p));
   });
   governor_.attach(&control_);
+  init_telemetry();
+}
+
+void NvmfTargetConnection::init_telemetry() {
+#if OAF_TELEMETRY_COMPILED
+  auto& m = telemetry::metrics();
+  tel_.track = telemetry::tracer().track("target:" + opts_.connection_name);
+  tel_.commands = m.counter("oaf_target_commands_total",
+                            "Commands fully served by target connections");
+  tel_.r2ts = m.counter("oaf_target_r2ts_total",
+                        "R2T transfer grants sent (conservative flow)");
+  tel_.bytes_read = m.counter("oaf_target_bytes_read_total",
+                              "Payload bytes served to hosts by reads");
+  tel_.bytes_written = m.counter("oaf_target_bytes_written_total",
+                                 "Payload bytes landed on devices by writes");
+  tel_.keepalives = m.counter("oaf_target_keepalives_answered_total",
+                              "Keep-alive pings echoed back to hosts");
+  tel_.digest_errors = m.counter("oaf_target_digest_errors_total",
+                                 "Inline write payload digest mismatches");
+  tel_.aborts_handled = m.counter("oaf_target_aborts_handled_total",
+                                  "NVMe Abort commands processed");
+  tel_.cmds_aborted = m.counter("oaf_target_commands_aborted_total",
+                                "In-flight commands cancelled by Abort");
+#endif
+}
+
+void NvmfTargetConnection::trace_end_cmd(u16 cid) {
+  (void)cid;
+  OAF_TEL({
+    const auto it = inflight_.find(cid);
+    if (it != inflight_.end()) {
+      telemetry::tracer().end(tel_.track, "target_io",
+                              op_span_name(it->second.cmd.opcode),
+                              it->second.seq, exec_.now());
+    }
+  });
 }
 
 NvmfTargetConnection::~NvmfTargetConnection() {
@@ -64,6 +101,7 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
         Pdu out;
         out.header = echo;
         keepalives_answered_++;
+        OAF_TEL(telemetry::bump(tel_.keepalives));
         control_.send(std::move(out));
       }
       break;
@@ -125,8 +163,10 @@ void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
   Pdu pdu;
   pdu.header = resp;
   pdu.payload = std::move(payload);
+  trace_end_cmd(cid);
   inflight_.erase(cid);
   commands_served_++;
+  OAF_TEL(telemetry::bump(tel_.commands));
   control_.send(std::move(pdu));
 }
 
@@ -160,6 +200,10 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
   ctx.arrival = exec_.now();
   ctx.gen = capsule.gen;
   ctx.seq = next_ctx_seq_++;
+  OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io",
+                                    op_span_name(ctx.cmd.opcode), ctx.seq,
+                                    ctx.arrival, "bytes",
+                                    static_cast<i64>(capsule.data_len)));
   governor_.record_op(capsule.cmd.is_write());
 
   ssd::Device* device = subsystem_.find(capsule.cmd.nsid);
@@ -230,6 +274,10 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
       r2t.length = len;
       r2t.gen = ctx.gen;
       r2ts_sent_++;
+      OAF_TEL(telemetry::bump(tel_.r2ts));
+      OAF_TEL(telemetry::tracer().instant(tel_.track, "target_io", "r2t_sent",
+                                          ctx.seq, exec_.now(), "bytes",
+                                          static_cast<i64>(len)));
       Pdu out;
       out.header = r2t;
       control_.send(std::move(out));
@@ -253,6 +301,10 @@ void NvmfTargetConnection::handle_abort(u16 cid) {
   const u16 victim = it->second.cmd.abort_cid;
   const u16 vgen = it->second.cmd.abort_gen;
   aborts_handled_++;
+  OAF_TEL(telemetry::bump(tel_.aborts_handled));
+  OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience",
+                                      "abort_handled", it->second.seq,
+                                      exec_.now()));
   // cpl.result: 0 = victim found and cancelled, 1 = no record of the victim
   // (its capsule or completion was lost; the host replays it).
   u64 result = 1;
@@ -261,6 +313,7 @@ void NvmfTargetConnection::handle_abort(u16 cid) {
       (vgen == 0 || vit->second.gen == 0 || vit->second.gen == vgen)) {
     IoCtx& vctx = vit->second;
     commands_aborted_++;
+    OAF_TEL(telemetry::bump(tel_.cmds_aborted));
     result = 0;
     OAF_WARN("target: aborting cid %u (device_busy=%d)", victim,
              static_cast<int>(vctx.device_busy));
@@ -349,6 +402,7 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
         std::span<const u8>(pdu.payload.data(), pdu.payload.size()));
     if (computed != h2c.data_digest) {
       digest_errors_++;
+      OAF_TEL(telemetry::bump(tel_.digest_errors));
       OAF_WARN("H2CData digest mismatch for cid %u", cid);
       // Retryable at the host: the command replays on a fresh gen rather
       // than landing corrupt bytes on the device.
@@ -373,11 +427,18 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
   IoCtx& ctx = it->second;
   ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
   bytes_written_ += ctx.buffer.size();
+  OAF_TEL(telemetry::bump(tel_.bytes_written, ctx.buffer.size()));
   ctx.device_busy = true;
+  OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
+                                    ctx.seq, exec_.now(), "bytes",
+                                    static_cast<i64>(ctx.buffer.size())));
   device->submit_write(ctx.cmd, ctx.buffer,
                        [this, alive = alive_, cid,
                         seq = ctx.seq](pdu::NvmeCpl cpl, DurNs io_time) {
                          if (!*alive) return;
+                         OAF_TEL(telemetry::tracer().end(
+                             tel_.track, "target_io", "device", seq,
+                             exec_.now()));
                          zombie_buffers_.erase(seq);
                          const auto it2 = inflight_.find(cid);
                          if (it2 == inflight_.end() ||
@@ -397,10 +458,16 @@ void NvmfTargetConnection::handle_read(u16 cid) {
   const u64 len = ctx.cmd.data_bytes(device->block_size());
   ctx.buffer.resize(len);
   ctx.device_busy = true;
+  OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
+                                    ctx.seq, exec_.now(), "bytes",
+                                    static_cast<i64>(len)));
   device->submit_read(ctx.cmd, ctx.buffer,
                       [this, alive = alive_, cid,
                        seq = ctx.seq](pdu::NvmeCpl cpl, DurNs io_time) {
                         if (!*alive) return;
+                        OAF_TEL(telemetry::tracer().end(tel_.track,
+                                                        "target_io", "device",
+                                                        seq, exec_.now()));
                         zombie_buffers_.erase(seq);
                         const auto it2 = inflight_.find(cid);
                         if (it2 == inflight_.end() || it2->second.seq != seq) {
@@ -420,6 +487,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
     return;
   }
   bytes_read_ += ctx.buffer.size();
+  OAF_TEL(telemetry::bump(tel_.bytes_read, ctx.buffer.size()));
 
   const bool fold_completion = af::read_success_flag(opts_.af, ep_.shm_ready());
 
@@ -453,8 +521,10 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
             c2h.gen = gen_of(cid);
             Pdu pdu;
             pdu.header = c2h;
+            trace_end_cmd(cid);
             inflight_.erase(cid);
             commands_served_++;
+            OAF_TEL(telemetry::bump(tel_.commands));
             control_.send(std::move(pdu));
           });
       if (!st) {
@@ -500,8 +570,10 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
   if (!fold_completion) {
     send_resp(cid, cpl, io_time);
   } else {
+    trace_end_cmd(cid);
     inflight_.erase(cid);
     commands_served_++;
+    OAF_TEL(telemetry::bump(tel_.commands));
   }
 }
 
@@ -574,10 +646,14 @@ void NvmfTargetConnection::handle_admin(u16 cid) {
   if (ctx.cmd.opcode == NvmeOpcode::kFlush) {
     ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
     ctx.device_busy = true;
+    OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
+                                      ctx.seq, exec_.now()));
     device->submit_other(
         ctx.cmd, [this, alive = alive_, cid, seq = ctx.seq](pdu::NvmeCpl cpl,
                                                             DurNs io_time) {
           if (!*alive) return;
+          OAF_TEL(telemetry::tracer().end(tel_.track, "target_io", "device",
+                                          seq, exec_.now()));
           zombie_buffers_.erase(seq);
           const auto it2 = inflight_.find(cid);
           if (it2 == inflight_.end() || it2->second.seq != seq) return;

@@ -26,6 +26,7 @@
 #include "af/endpoint.h"
 #include "net/channel.h"
 #include "ssd/namespace.h"
+#include "telemetry/telemetry.h"
 
 namespace oaf::nvmf {
 
@@ -160,6 +161,24 @@ class NvmfTargetConnection {
   u64 digest_errors_ = 0;
   u64 aborts_handled_ = 0;
   u64 commands_aborted_ = 0;
+
+  /// Cached process-global telemetry handles (DESIGN.md §9). The trace track
+  /// is this connection's target lane; spans pair with the initiator's via
+  /// the shared timeline. Null / zero when telemetry is compiled out.
+  struct Tel {
+    u32 track = 0;
+    telemetry::Counter* commands = nullptr;
+    telemetry::Counter* r2ts = nullptr;
+    telemetry::Counter* bytes_read = nullptr;
+    telemetry::Counter* bytes_written = nullptr;
+    telemetry::Counter* keepalives = nullptr;
+    telemetry::Counter* digest_errors = nullptr;
+    telemetry::Counter* aborts_handled = nullptr;
+    telemetry::Counter* cmds_aborted = nullptr;
+  } tel_;
+  void init_telemetry();
+  /// End the command span for a still-inflight cid (no-op if unknown).
+  void trace_end_cmd(u16 cid);
 };
 
 }  // namespace oaf::nvmf

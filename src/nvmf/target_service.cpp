@@ -14,7 +14,17 @@ NvmfTargetService::NvmfTargetService(Executor& exec, net::Copier& copier,
       copier_(copier),
       broker_(broker),
       subsystem_(subsystem),
-      opts_(std::move(opts)) {}
+      opts_(std::move(opts)) {
+#if OAF_TELEMETRY_COMPILED
+  auto& m = telemetry::metrics();
+  tel_reaped_ = m.counter("oaf_target_associations_reaped_total",
+                          "Associations garbage-collected (closed channel, "
+                          "expired keep-alive, or stale name replaced)");
+  active_cb_ = m.callback_gauge(
+      "oaf_target_associations_active", "Live associations on this target",
+      [this]() -> i64 { return static_cast<i64>(assocs_.size()); });
+#endif
+}
 
 NvmfTargetService::~NvmfTargetService() {
   *alive_ = false;
@@ -34,6 +44,7 @@ NvmfTargetConnection* NvmfTargetService::accept(
     OAF_WARN("target service: replacing stale association %s",
              conn_name.c_str());
     reaped_++;
+    OAF_TEL(telemetry::bump(tel_reaped_));
     retired_commands_ += same_name->conn->commands_served();
     assocs_.erase(same_name);
   }
@@ -66,6 +77,7 @@ std::size_t NvmfTargetService::reap_expired() {
     }
   }
   reaped_ += reaped;
+  OAF_TEL(telemetry::bump(tel_reaped_, reaped));
   return reaped;
 }
 

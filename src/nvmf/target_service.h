@@ -98,6 +98,11 @@ class NvmfTargetService {
   u64 retired_commands_ = 0;  // served by since-reaped associations
   u64 reaper_epoch_ = 0;  // invalidates queued ticks on shutdown
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  telemetry::Counter* tel_reaped_ = nullptr;
+  /// Samples assocs_.size() at exposition time; declared after assocs_ so it
+  /// unregisters before the vector is destroyed.
+  telemetry::MetricsRegistry::CallbackHandle active_cb_;
 };
 
 }  // namespace oaf::nvmf

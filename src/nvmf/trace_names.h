@@ -1,0 +1,27 @@
+// Shared trace-span names for the NVMe-oF command lifecycle. The trace
+// recorder stores raw pointers, so names must be string literals; using one
+// helper on both sides keeps initiator and target spans aligned by name in
+// the merged timeline.
+#pragma once
+
+#include "pdu/nvme_cmd.h"
+
+namespace oaf::nvmf {
+
+inline const char* op_span_name(pdu::NvmeOpcode op) {
+  switch (op) {
+    case pdu::NvmeOpcode::kWrite:
+      return "write";
+    case pdu::NvmeOpcode::kRead:
+      return "read";
+    case pdu::NvmeOpcode::kFlush:
+      return "flush";
+    case pdu::NvmeOpcode::kIdentify:
+      return "identify";
+    case pdu::NvmeOpcode::kAbort:
+      return "abort";
+  }
+  return "admin";
+}
+
+}  // namespace oaf::nvmf

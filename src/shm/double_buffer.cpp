@@ -100,6 +100,7 @@ Status DoubleBufferRing::acquire(Direction dir, u32 slot) {
   if (attached_epoch_ != header_->ring_epoch) {
     // The region was re-formatted under us: this handle belongs to a dead
     // incarnation and must not touch the new one's slots.
+    fence_rejects_++;
     return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
   }
   u32 expected = kFree;
@@ -123,6 +124,7 @@ Status DoubleBufferRing::publish(Direction dir, u32 slot, u64 len) {
   if (attached_epoch_ != header_->ring_epoch) {
     // Re-formatted between acquire and publish: leave the slot to the
     // orphan sweeper rather than inject a payload into the new incarnation.
+    fence_rejects_++;
     return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
   }
   SlotCtl& ctl = slot_ctl(dir, slot);
@@ -157,12 +159,14 @@ Result<std::span<const u8>> DoubleBufferRing::consume(Direction dir, u32 slot) {
     ctl.len = 0;
     ctl.epoch = 0;
     ctl.state.store(kFree, std::memory_order_release);
+    fence_rejects_++;
     return make_error(StatusCode::kPeerMisbehavior, "stale slot epoch");
   }
   if (ctl.len > header_->slot_size) {
     ctl.len = 0;
     ctl.epoch = 0;
     ctl.state.store(kFree, std::memory_order_release);
+    fence_rejects_++;
     return make_error(StatusCode::kPeerMisbehavior,
                       "slot length exceeds slot size");
   }

@@ -123,6 +123,11 @@ class DoubleBufferRing {
   /// Count of slots currently not kFree in a direction.
   [[nodiscard]] u32 in_flight(Direction dir) const;
 
+  /// Operations this handle rejected because an epoch fence tripped (stale
+  /// handle or stale slot stamp). Per-handle, not shared through the region:
+  /// each side observes its own fence activity.
+  [[nodiscard]] u64 fence_rejects() const { return fence_rejects_; }
+
  private:
   friend class ShmFaultRing;  // test-only fault injection (corrupts fields)
 
@@ -172,6 +177,7 @@ class DoubleBufferRing {
   SlotCtl* ctl_ = nullptr;
   u8* data_ = nullptr;
   u32 attached_epoch_ = 0;
+  u64 fence_rejects_ = 0;  // plain (not atomic): handles stay copyable
 };
 
 }  // namespace oaf::shm

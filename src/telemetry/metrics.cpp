@@ -1,0 +1,249 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace oaf::telemetry {
+
+namespace {
+
+template <typename Map, typename Factory>
+auto* find_or_create(Map& map, std::string_view name, std::string_view help,
+                     Factory make) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_pair(std::string(help), make()))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+void append_header(std::string& out, const std::string& name,
+                   const std::string& help, const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_number(std::string& out, u64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_number(std::string& out, i64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return find_or_create(counters_, name, help,
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return find_or_create(gauges_, name, help,
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+HistogramMetric* MetricsRegistry::histogram(std::string_view name,
+                                            std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return find_or_create(histograms_, name, help,
+                        [] { return std::make_unique<HistogramMetric>(); });
+}
+
+MetricsRegistry::CallbackHandle MetricsRegistry::callback_gauge(
+    std::string_view name, std::string_view help, std::function<i64()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const u64 id = next_callback_id_++;
+  auto it = callbacks_.find(name);
+  if (it == callbacks_.end()) {
+    it = callbacks_.emplace(std::string(name), std::vector<CallbackEntry>{})
+             .first;
+  }
+  it->second.push_back(CallbackEntry{id, std::string(help), std::move(fn)});
+  return CallbackHandle(this, id);
+}
+
+void MetricsRegistry::CallbackHandle::release() {
+  if (registry_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(registry_->mu_);
+  for (auto it = registry_->callbacks_.begin();
+       it != registry_->callbacks_.end();) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [this](const CallbackEntry& e) {
+                               return e.id == id_;
+                             }),
+              vec.end());
+    if (vec.empty()) {
+      it = registry_->callbacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  registry_ = nullptr;
+}
+
+std::map<std::string, std::pair<std::string, i64>>
+MetricsRegistry::sample_callbacks_locked() const {
+  std::map<std::string, std::pair<std::string, i64>> out;
+  for (const auto& [name, entries] : callbacks_) {
+    if (entries.empty()) continue;
+    i64 sum = 0;
+    for (const auto& e : entries) sum += e.fn ? e.fn() : 0;
+    out.emplace(name, std::make_pair(entries.front().help, sum));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Blocks keyed by metric name so the merged output is globally sorted
+  // regardless of which kind each metric is.
+  std::map<std::string, std::string> blocks;
+
+  for (const auto& [name, entry] : counters_) {
+    std::string b;
+    append_header(b, name, entry.first, "counter");
+    b += name;
+    b += ' ';
+    append_number(b, entry.second->value());
+    b += '\n';
+    blocks[name] = std::move(b);
+  }
+  for (const auto& [name, entry] : gauges_) {
+    std::string b;
+    append_header(b, name, entry.first, "gauge");
+    b += name;
+    b += ' ';
+    append_number(b, entry.second->value());
+    b += '\n';
+    blocks[name] = std::move(b);
+  }
+  for (const auto& [name, help_value] : sample_callbacks_locked()) {
+    std::string b;
+    append_header(b, name, help_value.first, "gauge");
+    b += name;
+    b += ' ';
+    append_number(b, help_value.second);
+    b += '\n';
+    blocks[name] = std::move(b);
+  }
+  static constexpr struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {{"0.5", 0.50}, {"0.99", 0.99}, {"0.999", 0.999},
+                    {"0.9999", 0.9999}};
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram h = entry.second->snapshot();
+    std::string b;
+    append_header(b, name, entry.first, "summary");
+    for (const auto& q : kQuantiles) {
+      b += name;
+      b += "{quantile=\"";
+      b += q.label;
+      b += "\"} ";
+      append_number(b, h.quantile(q.q));
+      b += '\n';
+    }
+    b += name;
+    b += "_sum ";
+    append_number(b, h.sum());
+    b += '\n';
+    b += name;
+    b += "_count ";
+    append_number(b, h.count());
+    b += '\n';
+    blocks[name] = std::move(b);
+  }
+
+  std::string out;
+  for (auto& [name, block] : blocks) out += block;
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, entry] : counters_) {
+    w.key(name).value(entry.second->value());
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  {
+    // Merge stored and callback gauges so the section stays name-sorted.
+    const auto sampled = sample_callbacks_locked();
+    auto git = gauges_.begin();
+    auto cit = sampled.begin();
+    while (git != gauges_.end() || cit != sampled.end()) {
+      if (cit == sampled.end() ||
+          (git != gauges_.end() && git->first < cit->first)) {
+        w.key(git->first).value(git->second.second->value());
+        ++git;
+      } else {
+        w.key(cit->first).value(cit->second.second);
+        ++cit;
+      }
+    }
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram h = entry.second->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("min").value(h.min());
+    w.key("max").value(h.max());
+    w.key("mean").value(h.mean());
+    w.key("p50").value(h.p50());
+    w.key("p99").value(h.p99());
+    w.key("p999").value(h.p999());
+    w.key("p9999").value(h.p9999());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = counters_.size() + gauges_.size() + histograms_.size();
+  for (const auto& [name, entries] : callbacks_) {
+    (void)entries;
+    // A callback name not shadowed by a stored gauge is its own metric.
+    if (gauges_.find(name) == gauges_.end()) n++;
+  }
+  return n;
+}
+
+void MetricsRegistry::reset_for_test() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, entry] : counters_) entry.second->reset();
+  for (auto& [name, entry] : gauges_) entry.second->set(0);
+  for (auto& [name, entry] : histograms_) entry.second->reset();
+}
+
+}  // namespace oaf::telemetry

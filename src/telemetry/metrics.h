@@ -1,0 +1,161 @@
+// Metrics registry: named counters, gauges, and latency histograms with
+// Prometheus-text and JSON exposition (ROADMAP: observability prerequisite
+// for runtime adaptivity — you cannot steer shm-vs-TCP, chunk size, or poll
+// budgets on signals you cannot see).
+//
+// Design rules:
+//   - Registration is slow-path (mutex, name-keyed dedupe); recording is
+//     hot-path (one relaxed atomic RMW for counters/gauges, a short mutex
+//     for histograms, which record once per I/O, not per byte).
+//   - Handles returned by counter()/gauge()/histogram() are stable for the
+//     registry's lifetime — components cache them at construction and never
+//     look up by name on the data path.
+//   - Callback gauges sample external state (shm slot occupancy, active
+//     associations) at exposition time; handles are RAII so a component that
+//     dies stops being sampled. Several callbacks may share one metric name:
+//     exposition sums them (e.g. slot occupancy across endpoints).
+//   - Exposition output is sorted by name, so it is deterministic.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace oaf::telemetry {
+
+/// Monotonically increasing event count. Safe from any thread.
+class Counter {
+ public:
+  void inc(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] u64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Instantaneous signed value. Safe from any thread.
+class Gauge {
+ public:
+  void set(i64 v) { v_.store(v, std::memory_order_relaxed); }
+  void add(i64 delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] i64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+/// Latency distribution (wraps common/histogram.h). The mutex is fine for
+/// per-I/O recording cadence; engines that need per-byte rates use counters.
+class HistogramMetric {
+ public:
+  void record(i64 value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.record(value);
+  }
+  [[nodiscard]] Histogram snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return h_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram h_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. A second registration under the same name returns the
+  /// same handle (components on different connections share process totals).
+  Counter* counter(std::string_view name, std::string_view help);
+  Gauge* gauge(std::string_view name, std::string_view help);
+  HistogramMetric* histogram(std::string_view name, std::string_view help);
+
+  /// RAII registration for a sampled gauge. Destroying (or move-assigning
+  /// over) the handle unregisters the callback.
+  class CallbackHandle {
+   public:
+    CallbackHandle() = default;
+    CallbackHandle(CallbackHandle&& o) noexcept { *this = std::move(o); }
+    CallbackHandle& operator=(CallbackHandle&& o) noexcept {
+      release();
+      registry_ = o.registry_;
+      id_ = o.id_;
+      o.registry_ = nullptr;
+      return *this;
+    }
+    CallbackHandle(const CallbackHandle&) = delete;
+    CallbackHandle& operator=(const CallbackHandle&) = delete;
+    ~CallbackHandle() { release(); }
+
+   private:
+    friend class MetricsRegistry;
+    CallbackHandle(MetricsRegistry* r, u64 id) : registry_(r), id_(id) {}
+    void release();
+    MetricsRegistry* registry_ = nullptr;
+    u64 id_ = 0;
+  };
+
+  /// Register `fn` to be sampled at exposition time under `name`. Callbacks
+  /// sharing a name are summed. `fn` must stay valid until the handle dies
+  /// and must not call back into the registry.
+  [[nodiscard]] CallbackHandle callback_gauge(std::string_view name,
+                                              std::string_view help,
+                                              std::function<i64()> fn);
+
+  /// Prometheus text exposition format, metrics sorted by name.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  /// Callback gauges appear under "gauges".
+  [[nodiscard]] std::string to_json() const;
+
+  /// Number of distinct metric names currently registered.
+  [[nodiscard]] size_t size() const;
+
+  /// Zero every counter/gauge/histogram (callback gauges sample live state
+  /// and are unaffected). Tests only — production totals are monotonic.
+  void reset_for_test();
+
+ private:
+  struct CallbackEntry {
+    u64 id = 0;
+    std::string help;
+    std::function<i64()> fn;
+  };
+
+  /// Snapshot of callback gauges summed by name, taken under the mutex.
+  [[nodiscard]] std::map<std::string, std::pair<std::string, i64>>
+  sample_callbacks_locked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Counter>>,
+           std::less<>>
+      counters_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Gauge>>,
+           std::less<>>
+      gauges_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<HistogramMetric>>,
+           std::less<>>
+      histograms_;
+  std::map<std::string, std::vector<CallbackEntry>, std::less<>> callbacks_;
+  u64 next_callback_id_ = 1;
+};
+
+}  // namespace oaf::telemetry

@@ -1,0 +1,15 @@
+#include "telemetry/telemetry.h"
+
+namespace oaf::telemetry {
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: outlive statics
+  return *r;
+}
+
+TraceRecorder& tracer() {
+  static TraceRecorder* t = new TraceRecorder();
+  return *t;
+}
+
+}  // namespace oaf::telemetry

@@ -1,0 +1,116 @@
+// Per-I/O span recorder: a bounded lock-free ring of trace events exportable
+// as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// One I/O's lifecycle — submit → capsule encode → R2T/in-capsule decision →
+// shm slot acquire/park → data transfer → completion, plus abort/retry/
+// reconnect detours — renders as nested/async spans across the initiator and
+// target tracks on a single timeline. Span begin/end pairs are matched by
+// (category, id, name) using async 'b'/'e' phases, so a span may start on the
+// initiator thread and be annotated from anywhere that knows the command's
+// generation tag.
+//
+// Recording is wait-free: one relaxed fetch_add on the ring head plus a plain
+// slot store. When the ring wraps, the oldest events are overwritten and a
+// drop counter advances — exporters say how much history was lost instead of
+// silently pretending completeness. Concurrent writers may tear a slot that
+// is being overwritten mid-export; export is documented as a quiescent-point
+// operation (end of run, signal handler context on its own thread is fine
+// because production dumps happen from the executor loop).
+//
+// All name/category strings must be string literals (or otherwise outlive the
+// recorder): slots store `const char*` so recording never allocates.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oaf::telemetry {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< span/instant name (string literal)
+  const char* cat = nullptr;   ///< category, groups related spans (literal)
+  char phase = 'i';            ///< 'b'/'e' async span, 'X' complete, 'i' instant
+  u32 track = 0;               ///< rendered as a thread lane; see track()
+  TimeNs ts_ns = 0;            ///< event time (executor clock)
+  DurNs dur_ns = 0;            ///< for 'X' only
+  u64 id = 0;                  ///< async pairing id (command generation/seq)
+  const char* arg_name = nullptr;  ///< optional single argument (literal)
+  i64 arg = 0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1 << 16);
+
+  /// Runtime toggle. record() is a single relaxed load when disabled.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Register (or find) a display lane. Typical names: "init:conn0",
+  /// "target:conn0", "af:client". Cheap enough for per-connection setup,
+  /// not meant for the per-event path — cache the returned id.
+  u32 track(const std::string& name);
+
+  void record(const TraceEvent& ev) {
+    if (!enabled()) return;
+    const u64 idx = head_.fetch_add(1, std::memory_order_relaxed);
+    ring_[idx % ring_.size()] = ev;
+  }
+
+  /// Async span begin/end, matched by (cat, id, name).
+  void begin(u32 track, const char* cat, const char* name, u64 id, TimeNs now,
+             const char* arg_name = nullptr, i64 arg = 0) {
+    record({name, cat, 'b', track, now, 0, id, arg_name, arg});
+  }
+  void end(u32 track, const char* cat, const char* name, u64 id, TimeNs now) {
+    record({name, cat, 'e', track, now, 0, id, nullptr, 0});
+  }
+  /// Complete span: [start, start+dur] known at record time.
+  void complete(u32 track, const char* cat, const char* name, u64 id,
+                TimeNs start, DurNs dur, const char* arg_name = nullptr,
+                i64 arg = 0) {
+    record({name, cat, 'X', track, start, dur, id, arg_name, arg});
+  }
+  /// Zero-duration marker.
+  void instant(u32 track, const char* cat, const char* name, u64 id,
+               TimeNs now, const char* arg_name = nullptr, i64 arg = 0) {
+    record({name, cat, 'i', track, now, 0, id, arg_name, arg});
+  }
+
+  /// Events recorded but overwritten by ring wrap-around.
+  [[nodiscard]] u64 dropped() const;
+  /// Events currently held (min(recorded, capacity)).
+  [[nodiscard]] u64 size() const;
+  [[nodiscard]] size_t capacity() const { return ring_.size(); }
+
+  /// Copy retained events oldest-first. Quiescent-point operation.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Full Chrome trace_event JSON document (object form, with thread-name
+  /// metadata so tracks render with their registered names). Deterministic
+  /// for a given event sequence. Quiescent-point operation.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to `path`; returns false on I/O error.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Drop all events and the drop counter; track registrations survive so
+  /// cached track ids stay valid.
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<u64> head_{0};
+  std::vector<TraceEvent> ring_;
+
+  mutable std::mutex track_mu_;
+  std::vector<std::string> track_names_;
+};
+
+}  // namespace oaf::telemetry

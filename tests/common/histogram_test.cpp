@@ -114,6 +114,32 @@ TEST(HistogramTest, TailPercentileFindsOutliers) {
   EXPECT_LT(h.p50(), 200);
 }
 
+TEST(HistogramTest, QuantileMatchesPercentileAliasAndClamps) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000);
+  // quantile() is the primary API; percentile() is the legacy alias.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), h.percentile(q));
+  }
+  // Out-of-range inputs clamp instead of misbehaving.
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_EQ(Histogram().quantile(0.5), 0);
+}
+
+TEST(HistogramTest, SumAccumulatesAndMerges) {
+  Histogram h;
+  h.record(100);
+  h.record(250);
+  EXPECT_EQ(h.sum(), 350);
+  Histogram other;
+  other.record(50);
+  h.merge(other);
+  EXPECT_EQ(h.sum(), 400);
+  h.reset();
+  EXPECT_EQ(h.sum(), 0);
+}
+
 TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
   Histogram h;
   h.record(INT64_MAX / 2);

@@ -1,0 +1,89 @@
+// Logger formatting: monotonic timestamps, component tags derived from the
+// source path, single-string line rendering, and level parsing for OAF_LOG.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace oaf {
+namespace {
+
+TEST(LogLevelTest, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(LogLevelTest, ParseUnknownFallsBackToWarn) {
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kWarn);
+  // Case-sensitive by design: environment values are documented lowercase.
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kWarn);
+}
+
+TEST(LogLevelTest, SetAndGetRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(LogComponentTest, KnownRootsTagBySubdirectory) {
+  EXPECT_EQ(detail::log_component("/repo/src/nvmf/initiator.cpp"), "nvmf");
+  EXPECT_EQ(detail::log_component("/repo/src/af/endpoint.cpp"), "af");
+  EXPECT_EQ(detail::log_component("tests/net/socket_channel_test.cpp"), "net");
+}
+
+TEST(LogComponentTest, FileDirectlyUnderRootTagsByRoot) {
+  EXPECT_EQ(detail::log_component("/repo/tools/oaf_perf.cpp"), "tools");
+  EXPECT_EQ(detail::log_component("bench/fig11_overall.cpp"), "bench");
+}
+
+TEST(LogComponentTest, UnknownRootUsesParentDirectory) {
+  EXPECT_EQ(detail::log_component("/a/b/c.cpp"), "b");
+  EXPECT_EQ(detail::log_component("mysrc/foo.cpp"), "mysrc");
+}
+
+TEST(LogComponentTest, BarePathsFallBackToDash) {
+  EXPECT_EQ(detail::log_component("file.cpp"), "-");
+  EXPECT_EQ(detail::log_component(""), "-");
+}
+
+TEST(LogComponentTest, RootMustStartASegment) {
+  // "mysrc/" must not match the "src/" root mid-segment.
+  EXPECT_EQ(detail::log_component("/repo/mysrc/foo.cpp"), "mysrc");
+}
+
+TEST(LogFormatTest, LineCarriesUptimeLevelComponentAndLocation) {
+  const std::string line = detail::format_log_line(
+      1'500'000'000, LogLevel::kInfo, "/repo/src/nvmf/initiator.cpp", 42,
+      "hello");
+  EXPECT_EQ(line, "[     1.500000] [INFO ] [nvmf] initiator.cpp:42 hello\n");
+}
+
+TEST(LogFormatTest, SubSecondTimestampsKeepMicrosecondDigits) {
+  const std::string line = detail::format_log_line(
+      1'234, LogLevel::kError, "tools/oaf_target.cpp", 7, "x");
+  EXPECT_EQ(line, "[     0.000001] [ERROR] [tools] oaf_target.cpp:7 x\n");
+}
+
+TEST(LogFormatTest, LineEndsWithExactlyOneNewline) {
+  const std::string line =
+      detail::format_log_line(0, LogLevel::kWarn, "a/b.cpp", 1, "msg");
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(LogUptimeTest, MonotonicNonNegative) {
+  const TimeNs a = log_uptime_ns();
+  const TimeNs b = log_uptime_ns();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace oaf

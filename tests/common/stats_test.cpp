@@ -38,6 +38,27 @@ TEST(BreakdownStatsTest, EmptyMeanIsZero) {
   EXPECT_EQ(m.other, 0);
 }
 
+TEST(BreakdownStatsTest, MeanRoundsHalfUpInsteadOfTruncating) {
+  // A small-but-nonzero component must not truncate to 0 in the mean:
+  // 2 ns of "other" over 3 requests reports 1, not 0.
+  BreakdownStats s;
+  s.record({0, 0, 1});
+  s.record({0, 0, 1});
+  s.record({0, 0, 0});
+  EXPECT_EQ(s.mean().other, 1);
+  // Below the midpoint still rounds down (1/3 -> 0)...
+  BreakdownStats t;
+  t.record({0, 0, 1});
+  t.record({0, 0, 0});
+  t.record({0, 0, 0});
+  EXPECT_EQ(t.mean().other, 0);
+  // ...and an exact half rounds up (3/2 -> 2).
+  BreakdownStats u;
+  u.record({1, 0, 0});
+  u.record({2, 0, 0});
+  EXPECT_EQ(u.mean().io, 2);
+}
+
 TEST(BreakdownStatsTest, MergeAndReset) {
   BreakdownStats a;
   BreakdownStats b;

@@ -1,0 +1,145 @@
+// MetricsRegistry: handle stability, exact concurrent counting, callback
+// gauge lifetime/summing, and deterministic exposition output.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace oaf::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry r;
+  Counter* a = r.counter("x_total", "first registration");
+  Counter* b = r.counter("x_total", "second registration, same name");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = r.gauge("g", "gauge");
+  Gauge* g2 = r.gauge("g", "gauge");
+  EXPECT_EQ(g1, g2);
+  HistogramMetric* h1 = r.histogram("h", "hist");
+  HistogramMetric* h2 = r.histogram("h", "hist");
+  EXPECT_EQ(h1, h2);
+  // Distinct names are distinct metrics.
+  EXPECT_NE(a, r.counter("y_total", "other"));
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry r;
+  Counter* c = r.counter("oaf_test_concurrent_total", "hammered");
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 100'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&r, c] {
+      // Half the increments go through a fresh name lookup to exercise the
+      // registration slow path concurrently with the hot path.
+      Counter* mine = r.counter("oaf_test_concurrent_total", "hammered");
+      for (u64 i = 0; i < kPerThread; ++i) {
+        (i % 2 ? mine : c)->inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationYieldsOneMetric) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&r, &seen, t] {
+      seen[static_cast<size_t>(t)] = r.counter("same_name", "race");
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[static_cast<size_t>(t)]);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugesSumByNameAndUnregisterOnDestroy) {
+  MetricsRegistry r;
+  i64 a = 3;
+  i64 b = 4;
+  auto ha = r.callback_gauge("busy_slots", "occupancy", [&a] { return a; });
+  {
+    auto hb = r.callback_gauge("busy_slots", "occupancy", [&b] { return b; });
+    const std::string text = r.to_prometheus();
+    EXPECT_NE(text.find("busy_slots 7"), std::string::npos) << text;
+  }
+  // hb died: only the first callback is sampled now.
+  const std::string text = r.to_prometheus();
+  EXPECT_NE(text.find("busy_slots 3"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, MovedFromCallbackHandleDoesNotUnregister) {
+  MetricsRegistry r;
+  MetricsRegistry::CallbackHandle kept;
+  {
+    auto h = r.callback_gauge("moved", "m", [] { return i64{9}; });
+    kept = std::move(h);
+  }  // the moved-from handle dies here; registration must survive
+  EXPECT_NE(r.to_prometheus().find("moved 9"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusOutputIsSortedWithHelpAndType) {
+  MetricsRegistry r;
+  r.counter("zzz_total", "last")->inc(2);
+  r.gauge("aaa", "first")->set(-5);
+  r.histogram("mmm", "middle")->record(1000);
+  const std::string text = r.to_prometheus();
+  const size_t at_a = text.find("# HELP aaa first");
+  const size_t at_m = text.find("# HELP mmm middle");
+  const size_t at_z = text.find("# HELP zzz_total last");
+  ASSERT_NE(at_a, std::string::npos) << text;
+  ASSERT_NE(at_m, std::string::npos) << text;
+  ASSERT_NE(at_z, std::string::npos) << text;
+  EXPECT_LT(at_a, at_m);
+  EXPECT_LT(at_m, at_z);
+  EXPECT_NE(text.find("# TYPE zzz_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aaa gauge"), std::string::npos);
+  EXPECT_NE(text.find("aaa -5"), std::string::npos);
+  EXPECT_NE(text.find("zzz_total 2"), std::string::npos);
+  // Identical state twice -> identical output (exposition is deterministic).
+  EXPECT_EQ(text, r.to_prometheus());
+}
+
+TEST(MetricsRegistryTest, JsonExpositionCarriesAllKinds) {
+  MetricsRegistry r;
+  r.counter("c_total", "c")->inc(7);
+  r.gauge("g", "g")->set(11);
+  r.histogram("h", "h")->record(500);
+  auto cb = r.callback_gauge("cb", "cb", [] { return i64{13}; });
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"c_total\":7"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"g\":11"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"cb\":13"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos) << j;
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesValuesButKeepsHandles) {
+  MetricsRegistry r;
+  Counter* c = r.counter("c_total", "c");
+  Gauge* g = r.gauge("g", "g");
+  HistogramMetric* h = r.histogram("h", "h");
+  c->inc(5);
+  g->set(5);
+  h->record(5);
+  r.reset_for_test();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->snapshot().count(), 0u);
+  // Handles remain registered under the same names.
+  EXPECT_EQ(c, r.counter("c_total", "c"));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+}  // namespace
+}  // namespace oaf::telemetry

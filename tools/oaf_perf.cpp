@@ -7,18 +7,27 @@
 //
 //   oaf_perf --port 4420 --token 42 --io-size-kib 128 --qd 32 \
 //            --rw 1.0 --seconds 2
+//
+// Observability: --json replaces the tables with one machine-readable
+// RunStats object on stdout (human banners go to stderr); --trace-out=FILE
+// records per-I/O spans and writes a Chrome trace_event JSON for
+// chrome://tracing or https://ui.perfetto.dev; --metrics-json=FILE dumps the
+// process metrics registry.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "af/locality.h"
 #include "bench/perf_driver.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "net/tcp_channel.h"
 #include "nvmf/initiator.h"
 #include "sim/real_executor.h"
+#include "telemetry/telemetry.h"
 
 using namespace oaf;
 
@@ -42,13 +51,30 @@ struct Options {
   bool data_digest = false;    // CRC32C on inline data PDUs
   u64 cmd_timeout_ms = 0;      // per-command deadline; 0 = none
   u32 abort_budget = 0;        // aborts per stuck command; 0 = legacy teardown
+  // observability
+  bool json = false;           // one RunStats JSON object on stdout
+  std::string trace_out;       // Chrome trace_event JSON path; "" = no tracing
+  std::string metrics_json;    // metrics registry JSON path; "" = none
 };
 
 bool parse_args(int argc, char** argv, Options& o) {
+  // Accept both "--flag value" and "--flag=value" by splitting '=' forms up
+  // front (telemetry flags are commonly passed the GNU way from CI).
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+      return i + 1 < args.size() ? args[++i].c_str() : nullptr;
     };
     const char* v = nullptr;
     if (arg == "--host" && (v = next())) {
@@ -89,6 +115,12 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.cmd_timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--abort-budget" && (v = next())) {
       o.abort_budget = static_cast<u32>(std::atoi(v));
+    } else if (arg == "--json") {
+      o.json = true;
+    } else if (arg == "--trace-out" && (v = next())) {
+      o.trace_out = v;
+    } else if (arg == "--metrics-json" && (v = next())) {
+      o.metrics_json = v;
     } else {
       std::fprintf(
           stderr,
@@ -97,11 +129,84 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--seconds SEC] [--working-set-mb M] [--random]\n"
           "                [--reconnect-attempts N] [--keepalive-ms MS]\n"
           "                [--kato-ms MS] [--data-digest]\n"
-          "                [--cmd-timeout-ms MS] [--abort-budget N]\n");
+          "                [--cmd-timeout-ms MS] [--abort-budget N]\n"
+          "                [--json] [--trace-out FILE] [--metrics-json FILE]\n");
       return false;
     }
   }
   return true;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// The full RunStats (plus workload, data path, and resilience context) as
+/// one JSON object — the machine-readable twin of the human tables.
+std::string stats_json(const Options& opts, const bench::WorkloadSpec& spec,
+                       bool shm_active, bool zero_copy, const RunStats& stats,
+                       const nvmf::ResilienceCounters& rc) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("oaf_perf");
+  w.key("workload").begin_object();
+  w.key("io_bytes").value(spec.io_bytes);
+  w.key("queue_depth").value(spec.queue_depth);
+  w.key("read_fraction").value(spec.read_fraction);
+  w.key("sequential").value(spec.sequential);
+  w.key("duration_ns").value(static_cast<i64>(spec.duration));
+  w.key("working_set_bytes").value(spec.working_set_bytes);
+  w.end_object();
+  w.key("data_path").begin_object();
+  w.key("connection").value(opts.conn);
+  w.key("shm").value(shm_active);
+  w.key("zero_copy").value(zero_copy);
+  w.end_object();
+  w.key("results").begin_object();
+  w.key("ios_completed").value(stats.ios_completed);
+  w.key("bytes_moved").value(stats.bytes_moved);
+  w.key("elapsed_ns").value(static_cast<i64>(stats.elapsed));
+  w.key("bandwidth_mib_s").value(stats.bandwidth_mib_s());
+  w.key("iops").value(stats.iops());
+  w.key("latency_ns").begin_object();
+  w.key("count").value(stats.latency.count());
+  w.key("min").value(stats.latency.min());
+  w.key("mean").value(stats.latency.mean());
+  w.key("max").value(stats.latency.max());
+  w.key("p50").value(stats.latency.p50());
+  w.key("p99").value(stats.latency.p99());
+  w.key("p999").value(stats.latency.p999());
+  w.key("p9999").value(stats.latency.p9999());
+  w.end_object();
+  const LatencyParts mean = stats.breakdown.mean();
+  w.key("breakdown_ns").begin_object();
+  w.key("io").value(static_cast<i64>(mean.io));
+  w.key("comm").value(static_cast<i64>(mean.comm));
+  w.key("other").value(static_cast<i64>(mean.other));
+  w.end_object();
+  w.end_object();
+  w.key("resilience").begin_object();
+  w.key("reconnects").value(rc.reconnects);
+  w.key("reconnect_failures").value(rc.reconnect_failures);
+  w.key("commands_retried").value(rc.commands_retried);
+  w.key("keepalive_sent").value(rc.keepalive_sent);
+  w.key("keepalive_misses").value(rc.keepalive_misses);
+  w.key("shm_demotions").value(rc.shm_demotions);
+  w.key("digest_errors").value(rc.digest_errors);
+  w.key("deadlines_expired").value(rc.deadlines_expired);
+  w.key("aborts_sent").value(rc.aborts_sent);
+  w.key("aborts_succeeded").value(rc.aborts_succeeded);
+  w.key("aborts_failed").value(rc.aborts_failed);
+  w.key("commands_aborted").value(rc.commands_aborted);
+  w.key("peer_misbehavior").value(rc.peer_misbehavior);
+  w.end_object();
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
 }
 
 }  // namespace
@@ -109,6 +214,8 @@ bool parse_args(int argc, char** argv, Options& o) {
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 2;
+
+  if (!opts.trace_out.empty()) telemetry::tracer().set_enabled(true);
 
   sim::RealExecutor exec;
   net::InlineCopier copier;
@@ -158,10 +265,13 @@ int main(int argc, char** argv) {
   while (!connected.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  std::printf("oaf_perf: connected to %s:%u — data path: %s%s\n",
-              opts.host.c_str(), opts.port,
-              client.shm_active() ? "shared memory" : "TCP",
-              client.supports_zero_copy() ? " (zero-copy)" : "");
+  // In --json mode stdout carries exactly one JSON object; banners move to
+  // stderr so `oaf_perf --json | jq` works.
+  std::fprintf(opts.json ? stderr : stdout,
+               "oaf_perf: connected to %s:%u — data path: %s%s\n",
+               opts.host.c_str(), opts.port,
+               client.shm_active() ? "shared memory" : "TCP",
+               client.supports_zero_copy() ? " (zero-copy)" : "");
 
   bench::WorkloadSpec spec;
   spec.io_bytes = opts.io_size_kib * kKiB;
@@ -183,6 +293,32 @@ int main(int argc, char** argv) {
   });
   while (!done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  if (!opts.trace_out.empty()) {
+    if (telemetry::tracer().write_chrome_json(opts.trace_out)) {
+      std::fprintf(stderr, "oaf_perf: trace written to %s (%llu events, %llu dropped)\n",
+                   opts.trace_out.c_str(),
+                   static_cast<unsigned long long>(telemetry::tracer().size()),
+                   static_cast<unsigned long long>(telemetry::tracer().dropped()));
+    } else {
+      std::fprintf(stderr, "oaf_perf: failed to write trace to %s\n",
+                   opts.trace_out.c_str());
+    }
+  }
+  if (!opts.metrics_json.empty()) {
+    if (!write_file(opts.metrics_json, telemetry::metrics().to_json())) {
+      std::fprintf(stderr, "oaf_perf: failed to write metrics to %s\n",
+                   opts.metrics_json.c_str());
+    }
+  }
+
+  if (opts.json) {
+    const std::string body =
+        stats_json(opts, spec, client.shm_active(),
+                   client.supports_zero_copy(), stats, client.resilience());
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return 0;
   }
 
   Table t("oaf_perf results");

@@ -9,7 +9,13 @@
 //   oaf_perf   --port 4420 --token 42 --io-size-kib 128 --qd 32 --seconds 2
 //
 // The process exits once every accepted connection has closed.
+//
+// Observability: SIGUSR1 dumps the metrics registry (Prometheus text — shm
+// slot occupancy, resilience counters, per-command totals) to stderr at the
+// next poll tick; --stats-interval-ms does the same periodically.
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +28,7 @@
 #include "nvmf/target_service.h"
 #include "sim/real_executor.h"
 #include "ssd/real_device.h"
+#include "telemetry/telemetry.h"
 
 using namespace oaf;
 
@@ -35,7 +42,22 @@ struct Options {
   std::string conn_prefix = "oafconn";
   u64 kato_ms = 0;  // default KATO; 0 = associations never expire on silence
   u64 orphan_sweep_ms = 0;  // stuck window for no-KATO assocs; 0 = no sweep
+  u64 stats_interval_ms = 0;  // periodic metrics dump to stderr; 0 = off
 };
+
+/// Set by SIGUSR1; the serve loop picks it up on its next tick so the dump
+/// itself runs on the executor thread (registry callbacks sample live
+/// connection state there).
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+
+void dump_metrics(const char* why) {
+  const std::string text = telemetry::metrics().to_prometheus();
+  std::fprintf(stderr, "# oaf_target metrics dump (%s)\n", why);
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+}
 
 bool parse_args(int argc, char** argv, Options& opts) {
   for (int i = 1; i < argc; ++i) {
@@ -71,6 +93,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.orphan_sweep_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--stats-interval-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts.stats_interval_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -86,9 +112,10 @@ void usage() {
       stderr,
       "usage: oaf_target [--port N] [--token T] [--capacity-mb M]\n"
       "                  [--conns K] [--conn-prefix P] [--kato-ms MS]\n"
-      "                  [--orphan-sweep-ms MS]\n"
+      "                  [--orphan-sweep-ms MS] [--stats-interval-ms MS]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
-      "associations have closed or expired their keep-alive timeout.\n");
+      "associations have closed or expired their keep-alive timeout.\n"
+      "SIGUSR1 dumps the metrics registry to stderr.\n");
 }
 
 }  // namespace
@@ -143,18 +170,34 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  std::signal(SIGUSR1, on_sigusr1);
+
   // Serve until every association has hung up or been reaped. Reaping must
   // run on the executor thread — it destroys connections whose callbacks
-  // run there.
+  // run there — and so must metrics dumps: the registry's callback gauges
+  // sample live connection state.
   u64 commands = 0;
+  auto last_dump = std::chrono::steady_clock::now();
   for (;;) {
     std::atomic<bool> polled{false};
     std::size_t active = 0;
+    const char* why = nullptr;
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      why = "SIGUSR1";
+    } else if (opts.stats_interval_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_dump >= std::chrono::milliseconds(opts.stats_interval_ms)) {
+        last_dump = now;
+        why = "periodic";
+      }
+    }
     exec.post([&] {
       service.reap_expired();
       service.sweep_orphan_slots();
       active = service.active();
       commands = service.commands_served();
+      if (why != nullptr) dump_metrics(why);
       polled = true;
     });
     while (!polled.load()) {
