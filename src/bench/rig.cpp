@@ -186,7 +186,9 @@ Rig::Rig(sim::Scheduler& sched, RigOptions opts, std::vector<StreamSpec> streams
         sched_, *stream->target_ch, *stream->target_copier, host_broker_,
         *stream->subsystem, topts);
 
-    nvmf::InitiatorOptions iopts{cfg, opts_.queue_depth, conn_name};
+    nvmf::InitiatorOptions iopts;
+    iopts.af = cfg;
+    iopts.connection_name = conn_name;
     iopts.queue_depth = spec.workload.queue_depth;
     stream->initiator = std::make_unique<nvmf::NvmfInitiator>(
         sched_, *stream->client_ch, *stream->client_copier, client_broker, iopts);

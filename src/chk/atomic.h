@@ -1,0 +1,238 @@
+// Instrumented counterparts of std::atomic / plain values / std::mutex that
+// route every access through the model-checker engine. Drop-in within the
+// atomics-policy seam (common/atomics_policy.h): the lock-free structures
+// templatized over a policy compile unchanged against these.
+//
+// Objects registered with the engine are keyed by address, so a structure
+// placement-new'ed over the same memory (shm ring re-format) keeps one
+// location history — exactly what epoch-fencing models need.
+//
+// Outside a running Execution (or used by a different execution than the
+// one that registered them), the wrappers degrade to plain single-threaded
+// behavior on a mirror value, so constructing/inspecting model state from
+// test code outside chk::check() is safe.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "chk/engine.h"
+
+namespace oaf::chk {
+
+inline constexpr u32 kNoLoc = 0xffffffffu;
+
+namespace detail {
+
+template <typename T>
+u64 to_word(T v) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(u64),
+                "chk::atomic models word-sized trivially copyable types");
+  u64 w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <typename T>
+T from_word(u64 w) {
+  T v{};
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+template <typename T>
+class atomic {
+ public:
+  atomic() : atomic(T{}) {}
+  explicit atomic(T v) : mirror_(v) {
+    home_ = Execution::current();
+    if (home_ != nullptr) {
+      loc_ = home_->register_atomic(this, detail::to_word(v), "atomic");
+    }
+  }
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  /// Attach a display name used in failure traces (engine-only feature;
+  /// see Policy::label()).
+  void set_name(const char* name) {
+    if (live()) home_->rename_atomic(loc_, name);
+  }
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    if (!live()) return mirror_;
+    return detail::from_word<T>(home_->atomic_load(loc_, mo));
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    mirror_ = v;
+    if (!live()) return;
+    home_->atomic_store(loc_, detail::to_word(v), mo);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    if (!live()) {
+      T old = mirror_;
+      mirror_ = v;
+      return old;
+    }
+    const u64 w = detail::to_word(v);
+    const u64 old = home_->atomic_rmw(
+        loc_, [w](u64) { return w; }, mo, "xchg");
+    mirror_ = v;
+    return detail::from_word<T>(old);
+  }
+
+  T fetch_add(T delta, std::memory_order mo = std::memory_order_seq_cst) {
+    static_assert(std::is_integral_v<T>, "fetch_add requires an integer");
+    if (!live()) {
+      T old = mirror_;
+      mirror_ = static_cast<T>(mirror_ + delta);
+      return old;
+    }
+    const u64 old = home_->atomic_rmw(
+        loc_,
+        [delta](u64 w) {
+          return detail::to_word(
+              static_cast<T>(detail::from_word<T>(w) + delta));
+        },
+        mo, "f.add");
+    mirror_ = static_cast<T>(detail::from_word<T>(old) + delta);
+    return detail::from_word<T>(old);
+  }
+
+  T fetch_sub(T delta, std::memory_order mo = std::memory_order_seq_cst) {
+    return fetch_add(static_cast<T>(T{} - delta), mo);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order ok,
+                               std::memory_order fail) {
+    if (!live()) {
+      if (mirror_ != expected) {
+        expected = mirror_;
+        return false;
+      }
+      mirror_ = desired;
+      return true;
+    }
+    u64 exp = detail::to_word(expected);
+    const bool won =
+        home_->atomic_cas(loc_, exp, detail::to_word(desired), ok, fail);
+    if (won) {
+      mirror_ = desired;
+    } else {
+      expected = detail::from_word<T>(exp);
+    }
+    return won;
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo,
+                                   std::memory_order_relaxed);
+  }
+  /// The engine has no spurious failures: weak == strong.
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order ok,
+                             std::memory_order fail) {
+    return compare_exchange_strong(expected, desired, ok, fail);
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo,
+                                   std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] bool live() const {
+    return loc_ != kNoLoc && home_ != nullptr && home_ == Execution::current();
+  }
+
+  T mirror_;
+  Execution* home_ = nullptr;
+  u32 loc_ = kNoLoc;
+};
+
+/// Non-atomic cross-thread value: every access is fed to the vector-clock
+/// race detector. Unsynchronized conflicting accesses fail the model.
+template <typename T>
+class var {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "chk::var requires trivially copyable values");
+
+ public:
+  var() : var(T{}) {}
+  var(T v) : v_(v) {  // NOLINT(google-explicit-constructor): mirrors plain T
+    attach();
+    if (live()) home_->var_write(loc_);
+  }
+  var(const var& o) : v_(static_cast<T>(o)) {
+    attach();
+    if (live()) home_->var_write(loc_);
+  }
+  var& operator=(T v) {
+    if (live()) home_->var_write(loc_);
+    v_ = v;
+    return *this;
+  }
+  var& operator=(const var& o) { return *this = static_cast<T>(o); }
+
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    if (live()) home_->var_read(loc_);
+    return v_;
+  }
+
+ private:
+  void attach() {
+    home_ = Execution::current();
+    if (home_ != nullptr) loc_ = home_->register_var(this, "var");
+  }
+  [[nodiscard]] bool live() const {
+    return loc_ != kNoLoc && home_ != nullptr && home_ == Execution::current();
+  }
+
+  T v_;
+  Execution* home_ = nullptr;
+  u32 loc_ = kNoLoc;
+};
+
+/// Scheduler-aware mutex: lock() blocks the fiber (never the process), and
+/// unlock -> lock pairs carry acquire/release clocks. BasicLockable, so
+/// std::lock_guard works.
+class mutex {
+ public:
+  mutex() {
+    home_ = Execution::current();
+    if (home_ != nullptr) loc_ = home_->register_mutex(this);
+  }
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() {
+    if (live()) home_->mutex_lock(loc_);
+  }
+  void unlock() {
+    if (live()) home_->mutex_unlock(loc_);
+  }
+
+ private:
+  [[nodiscard]] bool live() const {
+    return loc_ != kNoLoc && home_ != nullptr && home_ == Execution::current();
+  }
+
+  Execution* home_ = nullptr;
+  u32 loc_ = kNoLoc;
+};
+
+inline void thread_fence(std::memory_order mo) {
+  Execution* e = Execution::current();
+  if (e != nullptr) e->fence(mo);
+}
+
+/// Extra model-level nondeterminism: returns a value in [0, n).
+inline u32 nondet(u32 n) {
+  Execution* e = Execution::current();
+  return e != nullptr ? e->choose(n) : 0;
+}
+
+}  // namespace oaf::chk

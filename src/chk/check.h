@@ -1,0 +1,114 @@
+// Model-check driver: explore the interleavings of a small concurrent model
+// and report the first failing schedule, replayably.
+//
+// A model is a struct:
+//
+//   struct MpScModel {
+//     static constexpr oaf::u32 kThreads = 2;
+//     oaf::chk::atomic<oaf::u64> flag{0};   // or a policy-templatized
+//     oaf::chk::var<oaf::u64> data{0};      // production structure over
+//                                           // chk::CheckedPolicy
+//     void thread(oaf::u32 t) { ... }       // one body per thread index
+//     void finish() { CHK_ASSERT(...); }    // optional: post-join invariants
+//   };
+//
+//   auto r = oaf::chk::check<MpScModel>({.preemption_bound = 3});
+//   ASSERT_TRUE(r.ok) << r.report();
+//
+// A fresh model instance is constructed for every explored execution
+// (construction is the "setup" phase, happens-before every thread). With
+// default options the explorer runs an exhaustive DFS over scheduling and
+// stale-read choices under a preemption bound; opts.random_executions
+// switches to seeded random sampling for bigger models. Any failure —
+// CHK_ASSERT, a data race on a chk::var, a deadlock, an uncaught exception —
+// carries the full operation trace and the choice sequence that reproduces
+// it: check() again with Options{.replay = r.choices} pins that schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chk/atomic.h"
+#include "chk/engine.h"
+
+namespace oaf::chk {
+
+struct Options {
+  /// Max context switches away from a runnable thread (CHESS bound);
+  /// < 0 = unbounded. Most protocol bugs need 1-3 preemptions.
+  i32 preemption_bound = 3;
+  /// DFS safety valve: stop after this many executions even if the tree is
+  /// not exhausted (result.exhausted says which happened).
+  u64 max_executions = 200000;
+  /// > 0: run this many seeded-random schedules instead of DFS.
+  u64 random_executions = 0;
+  u64 seed = 1;
+  /// Non-empty: replay exactly this recorded choice sequence once.
+  std::vector<u32> replay;
+};
+
+struct RunResult {
+  bool ok = true;
+  bool exhausted = false;  ///< DFS fully explored under the bound
+  u64 executions = 0;
+  std::string failure;     ///< first failure message (empty when ok)
+  std::string trace;       ///< schedule of the failing execution
+  std::vector<u32> choices;  ///< replay token for the failing execution
+
+  /// Human-readable report: failure, replay token, and the schedule.
+  [[nodiscard]] std::string report() const {
+    if (ok) return "ok";
+    std::string out = "model failure: " + failure + "\n  replay = {";
+    for (size_t i = 0; i < choices.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(choices[i]);
+    }
+    out += "}\n  schedule (op a=operand b=aux [order]):\n" + trace;
+    return out;
+  }
+};
+
+template <class Model>
+RunResult check(const Options& opt = {}) {
+  const Explorer::Mode mode = !opt.replay.empty()  ? Explorer::Mode::kReplay
+                              : opt.random_executions > 0
+                                  ? Explorer::Mode::kRandom
+                                  : Explorer::Mode::kDfs;
+  Explorer explorer(mode, opt.seed, opt.replay);
+  const u64 limit = mode == Explorer::Mode::kReplay ? 1
+                    : mode == Explorer::Mode::kRandom ? opt.random_executions
+                                                      : opt.max_executions;
+  RunResult r;
+  while (r.executions < limit) {
+    Execution exec(&explorer, Model::kThreads, opt.preemption_bound);
+    std::unique_ptr<Model> model;
+    Execution::Hooks hooks;
+    hooks.setup = [&model] { model = std::make_unique<Model>(); };
+    hooks.body = [&model](u32 t) { model->thread(t); };
+    hooks.finish = [&model] {
+      if constexpr (requires(Model & m) { m.finish(); }) model->finish();
+    };
+    hooks.teardown = [&model] { model.reset(); };
+    exec.run(hooks);
+    r.executions++;
+    if (exec.failed()) {
+      r.ok = false;
+      r.failure = exec.failure();
+      r.trace = exec.trace();
+      r.choices = explorer.choices();
+      return r;
+    }
+    if (!explorer.advance()) {
+      r.exhausted = mode == Explorer::Mode::kDfs;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace oaf::chk
+
+/// Assert inside model threads / finish(): failing records the schedule and
+/// aborts the execution (not the process).
+#define CHK_ASSERT(cond, msg) ::oaf::chk::model_assert((cond), (msg))

@@ -1,0 +1,651 @@
+#include "chk/engine.h"
+
+#include <cstdio>
+
+namespace oaf::chk {
+
+namespace {
+
+Execution* g_current = nullptr;
+
+constexpr size_t kFiberStackBytes = 256 * 1024;
+
+bool is_acquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+bool is_release(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+const char* mo_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "cns";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "a/r";
+    case std::memory_order_seq_cst: return "sc";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Explorer
+
+Explorer::Explorer(Mode mode, u64 seed, std::vector<u32> replay)
+    : mode_(mode),
+      rng_state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL),
+      replay_(std::move(replay)) {}
+
+u64 Explorer::next_random() {
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  u64 z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u32 Explorer::choose(u32 n) {
+  if (n <= 1) return 0;  // not a real choice; keep sequences short
+  u32 c = 0;
+  switch (mode_) {
+    case Mode::kDfs:
+      if (pos_ < path_.size()) {
+        c = path_[pos_].chosen;  // replaying the prefix of this DFS branch
+      } else {
+        path_.push_back(Node{0, n});
+      }
+      pos_++;
+      break;
+    case Mode::kRandom:
+      c = static_cast<u32>(next_random() % n);
+      break;
+    case Mode::kReplay:
+      c = pos_ < replay_.size() ? replay_[pos_] : 0;
+      if (c >= n) c = 0;
+      pos_++;
+      break;
+  }
+  taken_.push_back(c);
+  return c;
+}
+
+void Explorer::begin_execution() {
+  pos_ = 0;
+  taken_.clear();
+}
+
+bool Explorer::advance() {
+  switch (mode_) {
+    case Mode::kRandom:
+      return true;
+    case Mode::kReplay:
+      return false;
+    case Mode::kDfs:
+      while (!path_.empty()) {
+        if (path_.back().chosen + 1 < path_.back().arity) {
+          path_.back().chosen++;
+          return true;
+        }
+        path_.pop_back();
+      }
+      return false;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------- Execution
+
+Execution::Execution(Explorer* explorer, u32 n_threads, i32 preemption_bound)
+    : explorer_(explorer),
+      n_threads_(n_threads),
+      preemption_bound_(preemption_bound) {
+  if (n_threads_ > kMaxThreads) n_threads_ = kMaxThreads;
+}
+
+Execution::~Execution() {
+  if (g_current == this) g_current = nullptr;
+}
+
+Execution* Execution::current() { return g_current; }
+
+void Execution::trampoline() {
+  Execution* e = g_current;
+  e->fiber_main(e->current_);
+  // Returning resumes main_ctx_ via uc_link.
+}
+
+void Execution::fiber_main(u32 tid) {
+  try {
+    hooks_->body(tid);
+  } catch (const ModelFailure& f) {
+    if (!failed_) {
+      failed_ = true;
+      failure_ = f.message;
+    }
+  } catch (const AbortExecution&) {
+    // Unwound after a failure elsewhere; nothing to record.
+  } catch (const std::exception& e) {
+    if (!failed_) {
+      failed_ = true;
+      failure_ = std::string("uncaught exception in model thread: ") + e.what();
+    }
+  } catch (...) {
+    if (!failed_) {
+      failed_ = true;
+      failure_ = "uncaught exception in model thread";
+    }
+  }
+  threads_[tid].state = ThreadState::kFinished;
+}
+
+void Execution::run(const Hooks& hooks) {
+  hooks_ = &hooks;
+  g_current = this;
+  explorer_->begin_execution();
+  current_ = kMainSlot;
+
+  try {
+    hooks.setup();
+  } catch (const ModelFailure& f) {
+    failed_ = true;
+    failure_ = f.message;
+  }
+
+  if (!failed_) {
+    // Spawn fibers: each inherits the setup clock (everything setup did
+    // happens-before every thread) plus a tick in its own slot.
+    for (u32 t = 0; t < n_threads_; ++t) {
+      Thread& th = threads_[t];
+      th.state = ThreadState::kRunnable;
+      th.clock = threads_[kMainSlot].clock;
+      th.clock.c[t]++;
+      th.stack.resize(kFiberStackBytes);
+      getcontext(&th.ctx);
+      th.ctx.uc_stack.ss_sp = th.stack.data();
+      th.ctx.uc_stack.ss_size = th.stack.size();
+      th.ctx.uc_link = &main_ctx_;
+      makecontext(&th.ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
+    }
+    // Eagerly advance every thread to its first instrumented operation:
+    // the code before it is thread-local, so this costs no coverage and
+    // removes n! redundant "who starts first" schedules from the DFS.
+    for (u32 t = 0; t < n_threads_; ++t) resume(t);
+
+    while (!failed_) {
+      bool any_unfinished = false;
+      bool any_runnable = false;
+      for (u32 t = 0; t < n_threads_; ++t) {
+        if (threads_[t].state == ThreadState::kFinished) continue;
+        any_unfinished = true;
+        if (threads_[t].state == ThreadState::kRunnable) any_runnable = true;
+      }
+      if (!any_unfinished) break;
+      if (!any_runnable) {
+        failed_ = true;
+        failure_ = "deadlock: every live thread is blocked on a chk::mutex";
+        break;
+      }
+      resume(pick_next());
+    }
+    abort_remaining();
+  }
+
+  current_ = kMainSlot;
+  for (u32 t = 0; t < n_threads_; ++t) {
+    threads_[kMainSlot].clock.join(threads_[t].clock);
+  }
+  if (!failed_) {
+    try {
+      hooks.finish();
+    } catch (const ModelFailure& f) {
+      failed_ = true;
+      failure_ = f.message;
+    }
+  }
+  hooks.teardown();
+  current_ = kNoThread;
+  g_current = nullptr;
+  hooks_ = nullptr;
+}
+
+void Execution::abort_remaining() {
+  abort_ = true;
+  for (u32 t = 0; t < n_threads_; ++t) {
+    while (threads_[t].state != ThreadState::kFinished) resume(t);
+  }
+  abort_ = false;
+}
+
+void Execution::resume(u32 tid) {
+  current_ = tid;
+  swapcontext(&main_ctx_, &threads_[tid].ctx);
+  current_ = kNoThread;
+}
+
+void Execution::yield_to_main() {
+  const u32 self = current_;
+  swapcontext(&threads_[self].ctx, &main_ctx_);
+  if (abort_) throw AbortExecution{};
+}
+
+void Execution::sched_point() {
+  if (!in_fiber() || abort_) return;
+  yield_to_main();
+}
+
+void Execution::interleave_point() { sched_point(); }
+
+u32 Execution::pick_next() {
+  // Candidates ordered with the previously running thread first, so the
+  // DFS explores the preemption-free continuation before any switch.
+  u32 cand[kMaxThreads] = {};
+  u32 n = 0;
+  const bool prev_runnable =
+      last_running_ != kNoThread &&
+      threads_[last_running_].state == ThreadState::kRunnable;
+  const bool budget_left =
+      preemption_bound_ < 0 || preemptions_ < preemption_bound_;
+  if (prev_runnable) cand[n++] = last_running_;
+  if (!prev_runnable || budget_left) {
+    for (u32 t = 0; t < n_threads_; ++t) {
+      if (t == last_running_) continue;
+      if (threads_[t].state == ThreadState::kRunnable) cand[n++] = t;
+    }
+  }
+  const u32 pick = cand[explorer_->choose(n)];
+  if (prev_runnable && pick != last_running_) preemptions_++;
+  last_running_ = pick;
+  return pick;
+}
+
+// ------------------------------------------------------------ registration
+
+u32 Execution::register_atomic(void* addr, u64 init, const char* name) {
+  auto it = atomic_ids_.find(addr);
+  u32 id;
+  if (it != atomic_ids_.end()) {
+    id = it->second;  // re-constructed in place (e.g. ring re-format)
+  } else {
+    id = static_cast<u32>(atomics_.size());
+    atomics_.push_back(AtomicLoc{});
+    atomics_[id].name = name;
+    atomic_ids_.emplace(addr, id);
+  }
+  AtomicLoc& loc = atomics_[id];
+  StoreRec s;
+  s.value = init;
+  s.index = loc.stores.size();
+  s.thread = phase_thread();
+  s.hb = clock();
+  loc.stores.push_back(s);
+  loc.floor[phase_thread()] = s.index;
+  return id;
+}
+
+u32 Execution::locate_atomic(void* addr, u64 init, const char* name) {
+  auto it = atomic_ids_.find(addr);
+  if (it != atomic_ids_.end()) return it->second;
+  return register_atomic(addr, init, name);
+}
+
+u32 Execution::register_var(void* addr, const char* name) {
+  auto it = var_ids_.find(addr);
+  if (it != var_ids_.end()) return it->second;
+  const u32 id = static_cast<u32>(vars_.size());
+  vars_.push_back(VarLoc{});
+  vars_[id].name = name;
+  var_ids_.emplace(addr, id);
+  return id;
+}
+
+u32 Execution::register_mutex(void* addr) {
+  auto it = mutex_ids_.find(addr);
+  if (it != mutex_ids_.end()) return it->second;
+  const u32 id = static_cast<u32>(mutexes_.size());
+  mutexes_.push_back(MutexLoc{});
+  mutex_ids_.emplace(addr, id);
+  return id;
+}
+
+// ------------------------------------------------------------ atomics
+
+VectorClock Execution::release_clock_for_store(std::memory_order mo) {
+  if (is_release(mo)) return clock();
+  Thread& t = cur();
+  if (t.fence_release_armed) return t.fence_release;
+  return VectorClock{};
+}
+
+u64 Execution::atomic_load(u32 loc_id, std::memory_order mo) {
+  AtomicLoc& loc = atomics_[loc_id];
+  if (abort_) return loc.stores.back().value;
+  sched_point();
+  tick();
+  // Coherence + happens-before floor: the oldest store this thread may
+  // still legally observe.
+  u64 floor = loc.floor[phase_thread()];
+  const VectorClock& my = clock();
+  for (const StoreRec& s : loc.stores) {
+    if (s.index > floor && s.hb.leq(my)) floor = s.index;
+  }
+  if (mo == std::memory_order_seq_cst && loc.has_sc_store &&
+      loc.last_sc_store > floor) {
+    // An SC load cannot read anything older than the latest SC store.
+    floor = loc.last_sc_store;
+  }
+  const u64 latest = loc.stores.back().index;
+  const u32 span = static_cast<u32>(latest - floor + 1);
+  // Candidate 0 is the newest store; higher choices read progressively
+  // staler values (the modelled store buffer).
+  const u32 back = explorer_->choose(span);
+  const StoreRec& s = loc.stores[latest - back];
+  loc.floor[phase_thread()] = s.index;
+  Thread& t = cur();
+  if (is_acquire(mo)) {
+    t.clock.join(s.release);
+  } else {
+    t.acq_pending.join(s.release);
+  }
+  log("load", 0, loc_id, s.value, back, mo);
+  return s.value;
+}
+
+void Execution::atomic_store(u32 loc_id, u64 v, std::memory_order mo) {
+  AtomicLoc& loc = atomics_[loc_id];
+  if (abort_) {
+    StoreRec s = loc.stores.back();
+    s.value = v;
+    s.index++;
+    loc.stores.push_back(s);
+    return;
+  }
+  sched_point();
+  tick();
+  StoreRec s;
+  s.value = v;
+  s.index = loc.stores.size();
+  s.thread = phase_thread();
+  s.hb = clock();
+  s.release = release_clock_for_store(mo);
+  loc.stores.push_back(s);
+  loc.floor[phase_thread()] = s.index;
+  if (mo == std::memory_order_seq_cst) {
+    loc.last_sc_store = s.index;
+    loc.has_sc_store = true;
+  }
+  log("store", 0, loc_id, v, 0, mo);
+}
+
+u64 Execution::atomic_rmw(u32 loc_id, const std::function<u64(u64)>& f,
+                          std::memory_order mo, const char* what) {
+  AtomicLoc& loc = atomics_[loc_id];
+  if (abort_) {
+    StoreRec s = loc.stores.back();
+    const u64 old = s.value;
+    s.value = f(old);
+    s.index++;
+    loc.stores.push_back(s);
+    return old;
+  }
+  sched_point();
+  tick();
+  // An RMW always reads the latest store in modification order.
+  const StoreRec prev = loc.stores.back();
+  Thread& t = cur();
+  if (is_acquire(mo)) {
+    t.clock.join(prev.release);
+  } else {
+    t.acq_pending.join(prev.release);
+  }
+  StoreRec s;
+  s.value = f(prev.value);
+  s.index = loc.stores.size();
+  s.thread = phase_thread();
+  s.hb = clock();
+  // Release-sequence continuation: an RMW carries the prior head's release
+  // clock forward even when the RMW itself is relaxed.
+  s.release = release_clock_for_store(mo);
+  s.release.join(prev.release);
+  loc.stores.push_back(s);
+  loc.floor[phase_thread()] = s.index;
+  if (mo == std::memory_order_seq_cst) {
+    loc.last_sc_store = s.index;
+    loc.has_sc_store = true;
+  }
+  log(what, 0, loc_id, prev.value, s.value, mo);
+  return prev.value;
+}
+
+bool Execution::atomic_cas(u32 loc_id, u64& expected, u64 desired,
+                           std::memory_order ok, std::memory_order fail) {
+  AtomicLoc& loc = atomics_[loc_id];
+  if (abort_) {
+    const u64 cur_v = loc.stores.back().value;
+    if (cur_v != expected) {
+      expected = cur_v;
+      return false;
+    }
+    StoreRec s = loc.stores.back();
+    s.value = desired;
+    s.index++;
+    loc.stores.push_back(s);
+    return true;
+  }
+  sched_point();
+  tick();
+  const StoreRec prev = loc.stores.back();
+  Thread& t = cur();
+  if (prev.value != expected) {
+    // Failed CAS = atomic load of the current value with the failure order.
+    if (is_acquire(fail)) {
+      t.clock.join(prev.release);
+    } else {
+      t.acq_pending.join(prev.release);
+    }
+    loc.floor[phase_thread()] = prev.index;
+    log("cas-", 0, loc_id, prev.value, expected, fail);
+    expected = prev.value;
+    return false;
+  }
+  if (is_acquire(ok)) {
+    t.clock.join(prev.release);
+  } else {
+    t.acq_pending.join(prev.release);
+  }
+  StoreRec s;
+  s.value = desired;
+  s.index = loc.stores.size();
+  s.thread = phase_thread();
+  s.hb = clock();
+  s.release = release_clock_for_store(ok);
+  s.release.join(prev.release);  // release sequence
+  loc.stores.push_back(s);
+  loc.floor[phase_thread()] = s.index;
+  if (ok == std::memory_order_seq_cst) {
+    loc.last_sc_store = s.index;
+    loc.has_sc_store = true;
+  }
+  log("cas+", 0, loc_id, expected, desired, ok);
+  return true;
+}
+
+void Execution::fence(std::memory_order mo) {
+  if (abort_) return;
+  sched_point();
+  tick();
+  Thread& t = cur();
+  if (is_acquire(mo)) {
+    // Prior relaxed loads retroactively act as acquire.
+    t.clock.join(t.acq_pending);
+  }
+  if (is_release(mo)) {
+    // Later relaxed stores act as release of everything up to here.
+    t.fence_release = t.clock;
+    t.fence_release_armed = true;
+  }
+  log("fence", 3, 0, 0, 0, mo);
+}
+
+// ------------------------------------------------------------ plain vars
+
+void Execution::check_var_access(VarLoc& v, bool is_write) {
+  const VectorClock& my = clock();
+  if (v.last_writer != kNoThread && v.last_writer != phase_thread() &&
+      v.write_epoch > my.c[v.last_writer]) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "data race on %s: %s by thread %u not ordered with write by "
+                  "thread %u",
+                  v.name, is_write ? "write" : "read", phase_thread(),
+                  v.last_writer);
+    fail(buf);
+  }
+  if (is_write) {
+    for (u32 r = 0; r < kClockSlots; ++r) {
+      if (r == phase_thread()) continue;
+      if (v.read_epochs[r] > my.c[r]) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "data race on %s: write by thread %u not ordered with "
+                      "read by thread %u",
+                      v.name, phase_thread(), r);
+        fail(buf);
+      }
+    }
+  }
+}
+
+void Execution::var_write(u32 loc_id) {
+  if (abort_) return;
+  VarLoc& v = vars_[loc_id];
+  tick();
+  check_var_access(v, /*is_write=*/true);
+  v.last_writer = phase_thread();
+  v.write_epoch = clock().c[phase_thread()];
+  log("write", 1, loc_id, 0, 0, std::memory_order_relaxed);
+}
+
+void Execution::var_read(u32 loc_id) {
+  if (abort_) return;
+  VarLoc& v = vars_[loc_id];
+  tick();
+  check_var_access(v, /*is_write=*/false);
+  v.read_epochs[phase_thread()] = clock().c[phase_thread()];
+  log("read", 1, loc_id, 0, 0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ mutex
+
+void Execution::mutex_lock(u32 loc_id) {
+  if (abort_) return;
+  sched_point();
+  tick();
+  while (mutexes_[loc_id].owner != kNoThread) {
+    if (mutexes_[loc_id].owner == phase_thread()) {
+      fail("recursive chk::mutex lock");
+    }
+    if (!in_fiber()) {
+      fail("chk::mutex contended outside model threads");
+    }
+    Thread& t = cur();
+    t.state = ThreadState::kBlocked;
+    t.waiting_mutex = loc_id;
+    yield_to_main();
+  }
+  MutexLoc& m = mutexes_[loc_id];
+  m.owner = phase_thread();
+  cur().clock.join(m.release);
+  log("lock", 2, loc_id, 0, 0, std::memory_order_acquire);
+}
+
+void Execution::mutex_unlock(u32 loc_id) {
+  if (abort_) return;
+  sched_point();
+  tick();
+  MutexLoc& m = mutexes_[loc_id];
+  if (m.owner != phase_thread()) {
+    fail("chk::mutex unlock by non-owner");
+  }
+  m.owner = kNoThread;
+  m.release = clock();
+  for (u32 t = 0; t < n_threads_; ++t) {
+    if (threads_[t].state == ThreadState::kBlocked &&
+        threads_[t].waiting_mutex == loc_id) {
+      threads_[t].state = ThreadState::kRunnable;
+      threads_[t].waiting_mutex = kNoThread;
+    }
+  }
+  log("unlock", 2, loc_id, 0, 0, std::memory_order_release);
+}
+
+// ------------------------------------------------------------ misc
+
+u32 Execution::choose(u32 n) {
+  if (abort_ || n <= 1) return 0;
+  return explorer_->choose(n);
+}
+
+void Execution::fail(std::string message) {
+  throw ModelFailure{std::move(message)};
+}
+
+void Execution::log(const char* op, u32 loc_kind, u32 loc, u64 a, u64 b,
+                    std::memory_order mo) {
+  ops_.push_back(OpRec{phase_thread(), op, loc_label(loc_kind, loc), a, b, mo});
+}
+
+std::string Execution::loc_label(u32 kind, u32 loc) const {
+  char buf[128];
+  switch (kind) {
+    case 0:
+      std::snprintf(buf, sizeof(buf), "%s#%u", atomics_[loc].name, loc);
+      break;
+    case 1:
+      std::snprintf(buf, sizeof(buf), "%s#v%u", vars_[loc].name, loc);
+      break;
+    case 2:
+      std::snprintf(buf, sizeof(buf), "mutex#%u", loc);
+      break;
+    default:
+      return "";
+  }
+  return buf;
+}
+
+std::string Execution::trace() const {
+  std::string out;
+  for (const OpRec& op : ops_) {
+    char buf[256];
+    if (op.thread == kMainSlot) {
+      std::snprintf(buf, sizeof(buf), "  main %-5s %s", op.op,
+                    op.loc.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "  T%u   %-5s %s", op.thread, op.op,
+                    op.loc.c_str());
+    }
+    out += buf;
+    std::snprintf(buf, sizeof(buf), " a=%llu b=%llu [%s]\n",
+                  static_cast<unsigned long long>(op.a),
+                  static_cast<unsigned long long>(op.b), mo_name(op.mo));
+    out += buf;
+  }
+  if (failed_) {
+    out += "  FAILURE: ";
+    out += failure_;
+    out += '\n';
+  }
+  return out;
+}
+
+void model_assert(bool cond, const char* message) {
+  if (cond) return;
+  Execution* e = Execution::current();
+  if (e != nullptr) e->fail(message);
+  else throw ModelFailure{message};
+}
+
+}  // namespace oaf::chk

@@ -1,0 +1,284 @@
+// Deterministic concurrency model-checker engine (loom/relacy-style).
+//
+// A model's threads run as cooperative ucontext fibers — never as OS threads
+// — so the only interleaving that exists is the one the explorer chooses.
+// Every instrumented operation (chk::atomic load/store/RMW, chk::mutex
+// lock/unlock, fences) is a scheduling point: the running fiber yields to
+// the engine, the explorer picks which thread executes next, and the chosen
+// fiber performs exactly one shared-memory operation before yielding again.
+// Exhaustive DFS enumerates every choice sequence under a configurable
+// preemption bound (CHESS-style); beyond small models a seeded random mode
+// samples schedules instead. Both are fully deterministic: an execution is
+// identified by its choice sequence, and any failure replays from it.
+//
+// The memory model is C++11-aware in the way that matters for lock-free
+// code: every atomic store is kept in a per-location history with the
+// storing thread's vector clock, and a load may read any store that
+// coherence and happens-before still allow — so a relaxed or mis-paired
+// acquire/release protocol actually exposes stale values instead of the
+// interleaved-sequential-consistency a naive checker (or TSan on a TSO
+// host) would give. Release sequences, RMW atomicity, standalone fences and
+// the flush-on-seq_cst restriction are modelled; consume is treated as
+// acquire. Non-atomic cross-thread data lives in chk::var<T>, checked for
+// data races with a FastTrack-style vector-clock detector.
+//
+// Single-real-thread by construction: at most one fiber runs at any instant,
+// the engine itself needs no synchronization, and wall-clock time never
+// appears — models are replayable byte-for-byte.
+#pragma once
+
+#include <ucontext.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oaf::chk {
+
+/// Maximum model threads (fibers); slot kMainSlot is the setup/finish phase.
+inline constexpr u32 kMaxThreads = 6;
+inline constexpr u32 kClockSlots = kMaxThreads + 1;
+inline constexpr u32 kMainSlot = kMaxThreads;
+inline constexpr u32 kNoThread = 0xffffffffu;
+
+struct VectorClock {
+  std::array<u64, kClockSlots> c{};
+
+  void join(const VectorClock& o) {
+    for (u32 i = 0; i < kClockSlots; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+  [[nodiscard]] bool leq(const VectorClock& o) const {
+    for (u32 i = 0; i < kClockSlots; ++i) {
+      if (c[i] > o.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Thrown (within one fiber's own stack) when an invariant, race, or model
+/// assertion fails; recorded by the engine and reported with the schedule.
+struct ModelFailure {
+  std::string message;
+};
+
+/// Thrown into still-running fibers to unwind them after the execution is
+/// over (failure elsewhere); never escapes the engine.
+struct AbortExecution {};
+
+/// Chooses among alternatives at every nondeterministic point. One explorer
+/// drives many executions: exhaustive DFS over choice sequences, seeded
+/// random sampling, or exact replay of a recorded sequence.
+class Explorer {
+ public:
+  enum class Mode { kDfs, kRandom, kReplay };
+
+  Explorer(Mode mode, u64 seed, std::vector<u32> replay = {});
+
+  /// Pick one of n alternatives (n >= 1). Records the choice.
+  u32 choose(u32 n);
+
+  /// Reset for the next execution. DFS: advance to the next unexplored
+  /// path; returns false when the tree is exhausted. Random: reseed the
+  /// next sample. Replay: returns false (single execution).
+  bool advance();
+
+  void begin_execution();
+
+  /// Choice sequence of the execution in progress (or just finished).
+  [[nodiscard]] const std::vector<u32>& choices() const { return taken_; }
+
+ private:
+  struct Node {
+    u32 chosen;
+    u32 arity;
+  };
+
+  u64 next_random();
+
+  Mode mode_;
+  u64 rng_state_;
+  std::vector<Node> path_;  // DFS: persistent prefix to replay, then extend
+  size_t pos_ = 0;
+  std::vector<u32> replay_;
+  std::vector<u32> taken_;  // choices of the current execution
+};
+
+/// One interleaving of one model instance. See run().
+class Execution {
+ public:
+  struct Hooks {
+    std::function<void()> setup;      ///< construct model (registers state)
+    std::function<void(u32)> body;    ///< thread body, index 0..n_threads-1
+    std::function<void()> finish;     ///< invariants after all threads join
+    std::function<void()> teardown;   ///< destroy model
+  };
+
+  Execution(Explorer* explorer, u32 n_threads, i32 preemption_bound);
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+  ~Execution();
+
+  /// Run setup, interleave the thread bodies to completion (or failure),
+  /// then finish + teardown. After run(), failed()/failure() report the
+  /// outcome and trace() the executed schedule.
+  void run(const Hooks& hooks);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& failure() const { return failure_; }
+  [[nodiscard]] std::string trace() const;
+
+  /// The execution currently running on this (real) thread, if any.
+  static Execution* current();
+
+  // ---- instrumentation interface (chk::atomic / chk::var / chk::mutex) ----
+
+  u32 register_atomic(void* addr, u64 init, const char* name);
+  /// Like register_atomic, but an address seen before keeps its history
+  /// unchanged (no fresh init store). Used by torn_copy/torn_read, which
+  /// lazily promote plain memory words to relaxed-atomic locations so
+  /// seqlock-style fence pairing through the data words is modelled.
+  u32 locate_atomic(void* addr, u64 init, const char* name);
+  u32 register_var(void* addr, const char* name);
+  u32 register_mutex(void* addr);
+  void rename_atomic(u32 loc, const char* name) { atomics_[loc].name = name; }
+
+  u64 atomic_load(u32 loc, std::memory_order mo);
+  void atomic_store(u32 loc, u64 v, std::memory_order mo);
+  /// Generic RMW: stores f(old), returns old.
+  u64 atomic_rmw(u32 loc, const std::function<u64(u64)>& f,
+                 std::memory_order mo, const char* what);
+  bool atomic_cas(u32 loc, u64& expected, u64 desired, std::memory_order ok,
+                  std::memory_order fail);
+  void fence(std::memory_order mo);
+
+  void var_write(u32 loc);
+  void var_read(u32 loc);
+
+  void mutex_lock(u32 loc);
+  void mutex_unlock(u32 loc);
+
+  /// Model-level nondeterminism (and torn_copy interleaving points).
+  u32 choose(u32 n);
+  void interleave_point();
+
+  /// Record a model assertion failure; throws ModelFailure (fiber) which
+  /// the engine catches and attributes to the running schedule.
+  [[noreturn]] void fail(std::string message);
+
+ private:
+  enum class ThreadState { kUnstarted, kRunnable, kBlocked, kFinished };
+
+  struct Thread {
+    ThreadState state = ThreadState::kUnstarted;
+    VectorClock clock;
+    VectorClock acq_pending;  // release clocks read relaxed, armed by fences
+    VectorClock fence_release;
+    bool fence_release_armed = false;
+    u32 waiting_mutex = kNoThread;
+    ucontext_t ctx{};
+    std::vector<u8> stack;
+  };
+
+  struct StoreRec {
+    u64 value = 0;
+    u64 index = 0;
+    u32 thread = kMainSlot;
+    VectorClock release;  // what an acquire load of this store synchronizes with
+    VectorClock hb;       // storing thread's clock: prunes stale candidates
+  };
+
+  struct AtomicLoc {
+    const char* name = "";
+    std::vector<StoreRec> stores;
+    std::array<u64, kClockSlots> floor{};  // per-thread min readable index
+    u64 last_sc_store = 0;                 // mod index of latest seq_cst store
+    bool has_sc_store = false;
+  };
+
+  struct VarLoc {
+    const char* name = "";
+    u32 last_writer = kNoThread;
+    u64 write_epoch = 0;
+    std::array<u64, kClockSlots> read_epochs{};
+  };
+
+  struct MutexLoc {
+    u32 owner = kNoThread;
+    VectorClock release;
+  };
+
+  struct OpRec {
+    u32 thread;
+    const char* op;
+    std::string loc;
+    u64 a;
+    u64 b;
+    std::memory_order mo;
+  };
+
+  static void trampoline();
+
+  void sched_point();
+  void yield_to_main();
+  void resume(u32 tid);
+  u32 pick_next();
+  void fiber_main(u32 tid);
+  void abort_remaining();
+  VectorClock& clock() { return threads_[phase_thread()].clock; }
+  Thread& cur() { return threads_[phase_thread()]; }
+  [[nodiscard]] u32 phase_thread() const {
+    return current_ == kNoThread ? kMainSlot : current_;
+  }
+  void tick() { clock().c[phase_thread()]++; }
+  void log(const char* op, u32 loc_kind, u32 loc, u64 a, u64 b,
+           std::memory_order mo);
+  std::string loc_label(u32 kind, u32 loc) const;
+  void check_var_access(VarLoc& v, bool is_write);
+  VectorClock release_clock_for_store(std::memory_order mo);
+  [[nodiscard]] bool in_fiber() const {
+    return current_ != kNoThread && current_ != kMainSlot;
+  }
+
+  Explorer* explorer_;
+  u32 n_threads_;
+  i32 preemption_bound_;
+  i32 preemptions_ = 0;
+
+  std::array<Thread, kMaxThreads + 1> threads_;  // [kMainSlot] = main phase
+  ucontext_t main_ctx_{};
+  u32 current_ = kNoThread;  // kNoThread outside run(); kMainSlot in setup
+  u32 last_running_ = kNoThread;
+  bool abort_ = false;
+
+  // Deques, not vectors: torn_copy/torn_read (and policy structures built
+  // inside threads) register locations lazily MID-execution while another
+  // suspended fiber holds a reference into the container across its
+  // sched_point() yield. A vector push_back could reallocate under that
+  // reference; deque growth never invalidates element references.
+  std::deque<AtomicLoc> atomics_;
+  std::deque<VarLoc> vars_;
+  std::deque<MutexLoc> mutexes_;
+  std::unordered_map<void*, u32> atomic_ids_;
+  std::unordered_map<void*, u32> var_ids_;
+  std::unordered_map<void*, u32> mutex_ids_;
+
+  std::vector<OpRec> ops_;
+  bool failed_ = false;
+  std::string failure_;
+
+  const Hooks* hooks_ = nullptr;
+};
+
+/// Convenience assertion usable from model threads and finish() hooks.
+void model_assert(bool cond, const char* message);
+
+}  // namespace oaf::chk

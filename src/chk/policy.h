@@ -1,0 +1,80 @@
+// Checked atomics policy: plugs the chk::* instrumented primitives into the
+// policy seam the production lock-free structures are templatized over
+// (common/atomics_policy.h). shm::BasicSpscQueue<T, CheckedPolicy> etc. is
+// the SAME source that ships, executed under the model checker.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+
+#include "chk/atomic.h"
+
+namespace oaf::chk {
+
+struct CheckedPolicy {
+  static constexpr bool kChecked = true;
+
+  template <typename T>
+  using atomic = chk::atomic<T>;
+
+  template <typename T>
+  using var = chk::var<T>;
+
+  using mutex = chk::mutex;
+
+  static void fence(std::memory_order mo) { thread_fence(mo); }
+
+  /// Word-wise copy where each destination word is lazily promoted to a
+  /// relaxed-atomic location in the engine. This models the copy the way the
+  /// C++ memory model requires a seqlock's data words to be modelled
+  /// (relaxed atomics): a concurrent overwriter can land mid-copy (torn
+  /// payloads), individual word loads can return stale values, and — the
+  /// part plain bytes cannot express — fence pairing through the data words
+  /// works, so a correctly fenced sequence-validation protocol around the
+  /// copy passes while a mis-fenced one is caught. Exempt from the race
+  /// detector by design: tearing here is the documented benign race the
+  /// surrounding protocol must mask.
+  template <typename T>
+  static void torn_copy(T& dst, const T& src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto* d = reinterpret_cast<unsigned char*>(&dst);
+    const auto* s = reinterpret_cast<const unsigned char*>(&src);
+    Execution* e = Execution::current();
+    for (size_t off = 0; off < sizeof(T); off += 8) {
+      const size_t n = std::min<size_t>(8, sizeof(T) - off);
+      u64 w = 0;
+      std::memcpy(&w, s + off, n);
+      if (e != nullptr) {
+        u64 cur = 0;
+        std::memcpy(&cur, d + off, n);
+        e->atomic_store(e->locate_atomic(d + off, cur, "torn"), w,
+                        std::memory_order_relaxed);
+      }
+      std::memcpy(d + off, &w, n);
+    }
+  }
+  template <typename T>
+  static T torn_read(const T& src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out{};
+    auto* d = reinterpret_cast<unsigned char*>(&out);
+    // The engine's store history is authoritative for the value read: a
+    // word may come back stale, exactly like a relaxed load on hardware.
+    const auto* s = reinterpret_cast<const unsigned char*>(&src);
+    Execution* e = Execution::current();
+    for (size_t off = 0; off < sizeof(T); off += 8) {
+      const size_t n = std::min<size_t>(8, sizeof(T) - off);
+      u64 w = 0;
+      std::memcpy(&w, s + off, n);
+      if (e != nullptr) {
+        w = e->atomic_load(
+            e->locate_atomic(const_cast<unsigned char*>(s) + off, w, "torn"),
+            std::memory_order_relaxed);
+      }
+      std::memcpy(d + off, &w, n);
+    }
+    return out;
+  }
+};
+
+}  // namespace oaf::chk

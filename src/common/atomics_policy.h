@@ -1,0 +1,57 @@
+// Atomics policy: the seam that lets the lock-free structures (shm rings,
+// telemetry) compile against either real std::atomic (production) or the
+// instrumented chk::* wrappers of the deterministic model checker (src/chk).
+//
+// A policy provides:
+//   - atomic<T>  : std::atomic-compatible wrapper for cross-thread words;
+//   - var<T>     : a non-atomic value whose accesses the checker's race
+//                  detector tracks (plain T in production);
+//   - mutex      : BasicLockable used on registration slow paths;
+//   - fence(mo)  : std::atomic_thread_fence equivalent;
+//   - torn_copy / torn_read : a struct copy that the checker performs
+//                  word-by-word with interleaving points, so seqlock-style
+//                  validation logic can be model-checked against genuinely
+//                  torn payloads (plain assignment in production);
+//   - kChecked   : false for production, true under the checker. Layout
+//                  static_asserts on shared-memory structs are gated on it,
+//                  because chk::atomic is wider than the word it models.
+//
+// Production code uses the StdAtomicsPolicy alias defaults, so nothing
+// outside tests/chk ever names a policy explicitly and the production types
+// (shm::DoubleBufferRing, shm::SpscQueue, telemetry::TraceRecorder, ...)
+// are byte-for-byte what they were before the templatization.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace oaf {
+
+struct StdAtomicsPolicy {
+  static constexpr bool kChecked = false;
+
+  template <typename T>
+  using atomic = std::atomic<T>;
+
+  /// Plain value: reads/writes compile to ordinary loads/stores.
+  template <typename T>
+  using var = T;
+
+  using mutex = std::mutex;
+
+  static void fence(std::memory_order mo) { std::atomic_thread_fence(mo); }
+
+  /// Copy a trivially-copyable record that a concurrent peer may be
+  /// overwriting. Production relies on the surrounding sequence-number
+  /// protocol to discard torn results; the checker interleaves mid-copy.
+  template <typename T>
+  static void torn_copy(T& dst, const T& src) {
+    dst = src;
+  }
+  template <typename T>
+  static T torn_read(const T& src) {
+    return src;
+  }
+};
+
+}  // namespace oaf

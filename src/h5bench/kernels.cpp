@@ -21,14 +21,14 @@ namespace {
 /// chunk index, visit every dataset (the multi-variable interleaving of
 /// h5bench), issuing synchronous calls one at a time.
 struct Traversal : std::enable_shared_from_this<Traversal> {
-  Traversal(Executor& exec, h5::H5File& file, BenchConfig cfg, bool is_write,
-            bool verify, KernelCb cb)
-      : exec(exec),
-        file(file),
-        cfg(cfg),
-        is_write(is_write),
-        verify(verify),
-        cb(std::move(cb)),
+  Traversal(Executor& exec_in, h5::H5File& file_in, BenchConfig cfg_in,
+            bool is_write_in, bool verify_in, KernelCb cb_in)
+      : exec(exec_in),
+        file(file_in),
+        cfg(cfg_in),
+        is_write(is_write_in),
+        verify(verify_in),
+        cb(std::move(cb_in)),
         buffer(cfg.chunk_elems * cfg.elem_size) {}
 
   Executor& exec;

@@ -3,12 +3,13 @@
 #include <cstring>
 
 #include "pdu/crc32.h"
+#include "pdu/wire_contract.h"
 
 namespace oaf::pdu {
 
 namespace {
 
-constexpr u64 kCommonHeaderBytes = 8;
+constexpr u64 kCommonHeaderBytes = kWireCommonHeaderBytes;
 constexpr u8 kFlagHeaderDigest = 0x01;
 
 class Writer {

@@ -1,0 +1,101 @@
+// Compile-time wire-format contracts for the PDU layer.
+//
+// Two kinds of guarantee, both enforced at compile time so an innocent
+// refactor (reordering fields, widening a counter, adding a virtual) can
+// never silently change what peers exchange:
+//
+//  1. In-memory ABI of the structs that cross address spaces raw — NvmeCmd
+//     and NvmeCpl are embedded by value in capsules, parked in shared-memory
+//     slots, and copied with memcpy-equivalent moves. They must stay
+//     trivially copyable, standard-layout, and bit-for-bit stable
+//     (exact sizeof + offsetof).
+//
+//  2. Serialized width of every fixed-size field the codec writes. The
+//     codec is explicitly little-endian field-by-field (never a struct
+//     memcpy), so its contract is the per-field byte widths; the constants
+//     below are cross-checked against the encoder in codec.cpp and against
+//     the member widths here. Variable-length fields (strings, payloads)
+//     carry their own u32 length prefix and are excluded from the fixed
+//     byte counts.
+//
+// If a static_assert in this header fires, you are changing the wire or
+// shared-memory protocol: bump pdu::kVersion / shm ring kVersion and update
+// BOTH peers rather than "fixing" the assert.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "pdu/nvme_cmd.h"
+#include "pdu/pdu.h"
+
+namespace oaf::pdu {
+
+// ---------------------------------------------------------------------------
+// Enum carriers: each enum is serialized by casting to its fixed underlying
+// type; the cast width is part of the protocol.
+static_assert(sizeof(NvmeOpcode) == 1, "NvmeOpcode travels as u8");
+static_assert(sizeof(NvmeStatus) == 2, "NvmeStatus travels as u16");
+static_assert(sizeof(PduType) == 1, "PduType travels as u8");
+static_assert(sizeof(DataPlacement) == 1, "DataPlacement travels as u8");
+
+// ---------------------------------------------------------------------------
+// NvmeCmd: submission-queue entry, embedded raw in capsules and shm slots.
+static_assert(std::is_trivially_copyable_v<NvmeCmd>,
+              "NvmeCmd is memcpy'd across address spaces");
+static_assert(std::is_standard_layout_v<NvmeCmd>,
+              "NvmeCmd layout must be deterministic");
+static_assert(sizeof(NvmeCmd) == 24, "NvmeCmd in-memory ABI changed");
+static_assert(offsetof(NvmeCmd, opcode) == 0);
+static_assert(offsetof(NvmeCmd, cid) == 2);
+static_assert(offsetof(NvmeCmd, nsid) == 4);
+static_assert(offsetof(NvmeCmd, slba) == 8);
+static_assert(offsetof(NvmeCmd, nlb) == 16);
+static_assert(offsetof(NvmeCmd, abort_cid) == 20);
+static_assert(offsetof(NvmeCmd, abort_gen) == 22);
+
+// NvmeCpl: completion-queue entry, same transport treatment.
+static_assert(std::is_trivially_copyable_v<NvmeCpl>,
+              "NvmeCpl is memcpy'd across address spaces");
+static_assert(std::is_standard_layout_v<NvmeCpl>,
+              "NvmeCpl layout must be deterministic");
+static_assert(sizeof(NvmeCpl) == 16, "NvmeCpl in-memory ABI changed");
+static_assert(offsetof(NvmeCpl, cid) == 0);
+static_assert(offsetof(NvmeCpl, status) == 2);
+static_assert(offsetof(NvmeCpl, result) == 8);
+
+// ---------------------------------------------------------------------------
+// Serialized field widths (bytes on the wire, little-endian). Grouped per
+// PDU as written by codec.cpp's encode_header(); codec.cpp static_asserts
+// it writes exactly these many fixed bytes per header.
+inline constexpr u64 kWireCmdBytes = 1 + 2 + 4 + 8 + 4 + 2 + 2;  // NvmeCmd
+inline constexpr u64 kWireCplBytes = 2 + 2 + 8;                  // NvmeCpl
+static_assert(kWireCmdBytes == sizeof(NvmeOpcode) + sizeof(NvmeCmd::cid) +
+                                   sizeof(NvmeCmd::nsid) +
+                                   sizeof(NvmeCmd::slba) +
+                                   sizeof(NvmeCmd::nlb) +
+                                   sizeof(NvmeCmd::abort_cid) +
+                                   sizeof(NvmeCmd::abort_gen),
+              "codec field widths diverged from NvmeCmd members");
+static_assert(kWireCplBytes == sizeof(NvmeCpl::cid) + sizeof(NvmeStatus) +
+                                   sizeof(NvmeCpl::result),
+              "codec field widths diverged from NvmeCpl members");
+
+/// Common framing preamble: type u8, flags u8, hlen u16, plen u32.
+inline constexpr u64 kWireCommonHeaderBytes = 1 + 1 + 2 + 4;
+/// Every variable-length string is prefixed with a u32 byte count.
+inline constexpr u64 kWireStrPrefixBytes = 4;
+
+/// Fixed (non-string, non-payload) bytes of each PDU header as serialized.
+inline constexpr u64 kWireICReqBytes = 2 + 1 + 1 + 4 + 8 + 1 + 1 + 8;
+inline constexpr u64 kWireICRespBytes = 2 + 1 + 4 + 1 + 8 + 4 + 1;
+inline constexpr u64 kWireCapsuleCmdBytes = kWireCmdBytes + 1 + 1 + 4 + 8 + 2;
+inline constexpr u64 kWireCapsuleRespBytes = kWireCplBytes + 8 + 8 + 2;
+inline constexpr u64 kWireR2TBytes = 2 + 2 + 8 + 8 + 2;
+inline constexpr u64 kWireH2CDataBytes = 2 + 2 + 8 + 8 + 1 + 1 + 4 + 2 + 4;
+inline constexpr u64 kWireC2HDataBytes =
+    2 + 8 + 8 + 1 + 1 + 1 + 4 + 8 + 8 + 2 + 4;
+inline constexpr u64 kWireTermReqFixedBytes = 1 + 2;
+inline constexpr u64 kWireKeepAliveBytes = 1 + 8;
+
+}  // namespace oaf::pdu

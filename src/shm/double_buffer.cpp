@@ -1,246 +1,10 @@
 #include "shm/double_buffer.h"
 
-#include <cstring>
-#include <new>
-
 namespace oaf::shm {
 
-namespace {
-constexpr u64 kHeaderBytes = 64;  // Header padded to one cache line
-}
-
-u64 DoubleBufferRing::required_bytes(u64 slot_size, u32 slot_count) {
-  // The geometry is peer-controlled on attach, so the arithmetic must not
-  // wrap: a forged header with slot_size * slot_count overflowing u64 would
-  // otherwise pass the region-size check and index out of bounds.
-  u64 half = 0;
-  u64 data_bytes = 0;
-  u64 total = 0;
-  if (__builtin_mul_overflow(slot_size, static_cast<u64>(slot_count), &half) ||
-      __builtin_mul_overflow(half, 2ULL, &data_bytes)) {
-    return 0;
-  }
-  const u64 ctl_bytes = sizeof(SlotCtl) * 2ULL * slot_count;
-  if (__builtin_add_overflow(kHeaderBytes + ctl_bytes, data_bytes, &total)) {
-    return 0;
-  }
-  return total;
-}
-
-Result<DoubleBufferRing> DoubleBufferRing::create(void* mem, u64 bytes,
-                                                  u64 slot_size, u32 slot_count) {
-  if (mem == nullptr || slot_size == 0 || slot_count == 0) {
-    return make_error(StatusCode::kInvalidArgument, "bad ring geometry");
-  }
-  if (reinterpret_cast<uintptr_t>(mem) % 64 != 0) {
-    return make_error(StatusCode::kInvalidArgument, "ring memory must be 64B aligned");
-  }
-  const u64 need = required_bytes(slot_size, slot_count);
-  if (need == 0) {
-    return make_error(StatusCode::kOutOfRange, "ring geometry overflows");
-  }
-  if (bytes < need) {
-    return make_error(StatusCode::kOutOfRange, "region too small for ring");
-  }
-
-  // Re-formatting the same region (reconnect) bumps the epoch so a stale
-  // peer of the previous incarnation can never publish into this one.
-  // Epoch 0 is reserved as "never stamped".
-  u32 epoch = 1;
-  {
-    const auto* old = static_cast<const Header*>(mem);
-    if (bytes >= kHeaderBytes && old->magic == kMagic) {
-      epoch = old->ring_epoch + 1;
-      if (epoch == 0) epoch = 1;
-    }
-  }
-
-  auto* header =
-      new (mem) Header{kMagic, kVersion, slot_count, slot_size, need, epoch};
-  auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
-  auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
-  for (u64 i = 0; i < 2ULL * slot_count; ++i) {
-    new (&ctl[i]) SlotCtl{};
-    ctl[i].state.store(kFree, std::memory_order_relaxed);
-    ctl[i].len = 0;
-    ctl[i].epoch = 0;
-  }
-  auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * slot_count;
-  std::atomic_thread_fence(std::memory_order_release);
-  return DoubleBufferRing(header, ctl, data);
-}
-
-Result<DoubleBufferRing> DoubleBufferRing::attach(void* mem, u64 bytes) {
-  if (mem == nullptr || bytes < kHeaderBytes) {
-    return make_error(StatusCode::kInvalidArgument, "region too small");
-  }
-  auto* header = static_cast<Header*>(mem);
-  if (header->magic != kMagic) {
-    return make_error(StatusCode::kFailedPrecondition, "ring magic mismatch");
-  }
-  if (header->version != kVersion) {
-    return make_error(StatusCode::kFailedPrecondition, "ring version mismatch");
-  }
-  // Every geometry field here was written by the peer: validate before use.
-  const u64 need = required_bytes(header->slot_size, header->slot_count);
-  if (header->slot_size == 0 || header->slot_count == 0 || need == 0 ||
-      header->total_bytes > bytes || need != header->total_bytes) {
-    return make_error(StatusCode::kDataLoss, "ring geometry corrupt");
-  }
-  auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
-  auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
-  auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * header->slot_count;
-  return DoubleBufferRing(header, ctl, data);
-}
-
-Status DoubleBufferRing::acquire(Direction dir, u32 slot) {
-  if (!slot_in_range(slot)) {
-    return make_error(StatusCode::kOutOfRange, "slot out of range");
-  }
-  if (attached_epoch_ != header_->ring_epoch) {
-    // The region was re-formatted under us: this handle belongs to a dead
-    // incarnation and must not touch the new one's slots.
-    fence_rejects_++;
-    return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
-  }
-  u32 expected = kFree;
-  if (!slot_ctl(dir, slot).state.compare_exchange_strong(
-          expected, kWriting, std::memory_order_acquire,
-          std::memory_order_relaxed)) {
-    return make_error(StatusCode::kResourceExhausted, "slot busy");
-  }
-  return Status::ok();
-}
-
-std::span<u8> DoubleBufferRing::slot_data(Direction dir, u32 slot) {
-  if (!slot_in_range(slot)) return {};
-  return {slot_base(dir, slot), header_->slot_size};
-}
-
-Status DoubleBufferRing::publish(Direction dir, u32 slot, u64 len) {
-  if (!slot_in_range(slot) || len > header_->slot_size) {
-    return make_error(StatusCode::kOutOfRange, "publish length exceeds slot");
-  }
-  if (attached_epoch_ != header_->ring_epoch) {
-    // Re-formatted between acquire and publish: leave the slot to the
-    // orphan sweeper rather than inject a payload into the new incarnation.
-    fence_rejects_++;
-    return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
-  }
-  SlotCtl& ctl = slot_ctl(dir, slot);
-  if (ctl.state.load(std::memory_order_relaxed) != kWriting) {
-    return make_error(StatusCode::kFailedPrecondition, "publish without acquire");
-  }
-  ctl.len = len;
-  ctl.epoch = attached_epoch_;
-  ctl.state.store(kReady, std::memory_order_release);
-  return Status::ok();
-}
-
-bool DoubleBufferRing::ready(Direction dir, u32 slot) const {
-  if (!slot_in_range(slot)) return false;
-  return slot_ctl(dir, slot).state.load(std::memory_order_acquire) == kReady;
-}
-
-Result<std::span<const u8>> DoubleBufferRing::consume(Direction dir, u32 slot) {
-  if (!slot_in_range(slot)) {
-    return make_error(StatusCode::kOutOfRange, "slot out of range");
-  }
-  SlotCtl& ctl = slot_ctl(dir, slot);
-  u32 expected = kReady;
-  if (!ctl.state.compare_exchange_strong(expected, kDraining,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
-    return make_error(StatusCode::kUnavailable, "slot not ready");
-  }
-  // `len` and `epoch` were written by the peer; trust neither. A violation
-  // reclaims the slot so the ring stays usable while the caller demotes.
-  if (ctl.epoch != header_->ring_epoch) {
-    ctl.len = 0;
-    ctl.epoch = 0;
-    ctl.state.store(kFree, std::memory_order_release);
-    fence_rejects_++;
-    return make_error(StatusCode::kPeerMisbehavior, "stale slot epoch");
-  }
-  if (ctl.len > header_->slot_size) {
-    ctl.len = 0;
-    ctl.epoch = 0;
-    ctl.state.store(kFree, std::memory_order_release);
-    fence_rejects_++;
-    return make_error(StatusCode::kPeerMisbehavior,
-                      "slot length exceeds slot size");
-  }
-  return std::span<const u8>(slot_base(dir, slot), ctl.len);
-}
-
-Status DoubleBufferRing::release(Direction dir, u32 slot) {
-  if (!slot_in_range(slot)) {
-    return make_error(StatusCode::kOutOfRange, "slot out of range");
-  }
-  SlotCtl& ctl = slot_ctl(dir, slot);
-  if (ctl.state.load(std::memory_order_relaxed) != kDraining) {
-    return make_error(StatusCode::kFailedPrecondition, "release without consume");
-  }
-  ctl.len = 0;
-  ctl.epoch = 0;
-  ctl.state.store(kFree, std::memory_order_release);
-  return Status::ok();
-}
-
-Status DoubleBufferRing::discard(Direction dir, u32 slot) {
-  if (!slot_in_range(slot)) {
-    return make_error(StatusCode::kOutOfRange, "slot out of range");
-  }
-  SlotCtl& ctl = slot_ctl(dir, slot);
-  u32 expected = kReady;
-  if (!ctl.state.compare_exchange_strong(expected, kDraining,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
-    return make_error(StatusCode::kUnavailable, "slot not ready");
-  }
-  ctl.len = 0;
-  ctl.epoch = 0;
-  ctl.state.store(kFree, std::memory_order_release);
-  return Status::ok();
-}
-
-Status DoubleBufferRing::force_release(Direction dir, u32 slot) {
-  if (!slot_in_range(slot)) {
-    return make_error(StatusCode::kOutOfRange, "slot out of range");
-  }
-  SlotCtl& ctl = slot_ctl(dir, slot);
-  u32 cur = ctl.state.load(std::memory_order_acquire);
-  if (cur != kWriting && cur != kDraining) {
-    return make_error(StatusCode::kFailedPrecondition, "slot not stuck");
-  }
-  // Claim by moving to the *other* mid-transfer state — a transition no
-  // legitimate owner ever performs, so winning the CAS means exclusive
-  // ownership, and a resurrected owner's publish/release fails its own
-  // state check instead of corrupting a recycled slot.
-  const u32 claim = cur == kWriting ? kDraining : kWriting;
-  if (!ctl.state.compare_exchange_strong(cur, claim, std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
-    return make_error(StatusCode::kFailedPrecondition, "lost race to owner");
-  }
-  ctl.len = 0;
-  ctl.epoch = 0;
-  ctl.state.store(kFree, std::memory_order_release);
-  return Status::ok();
-}
-
-DoubleBufferRing::SlotState DoubleBufferRing::state(Direction dir, u32 slot) const {
-  if (!slot_in_range(slot)) return kFree;
-  return static_cast<SlotState>(
-      slot_ctl(dir, slot).state.load(std::memory_order_acquire));
-}
-
-u32 DoubleBufferRing::in_flight(Direction dir) const {
-  if (header_ == nullptr) return 0;
-  u32 n = 0;
-  for (u32 s = 0; s < header_->slot_count; ++s) {
-    if (state(dir, s) != kFree) n++;
-  }
-  return n;
-}
+// The implementation lives in the header (class template over the atomics
+// policy); the production instantiation is compiled once, here, and every
+// other TU links against it (extern template in the header).
+template class BasicDoubleBufferRing<StdAtomicsPolicy>;
 
 }  // namespace oaf::shm

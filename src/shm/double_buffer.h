@@ -11,11 +11,15 @@
 // the slot, the round-robin choice is contention-free in steady state, and a
 // single CAS per slot transition makes overlap detectable rather than UB.
 //
-// Slot lifecycle: kFree -CAS-> kWriting -store(release)-> kReady
-//                 kReady -CAS-> kDraining -store(release)-> kFree
-// The payload length is written to the slot header before the releasing
-// store, so a consumer that observes kReady (acquire) also observes the
-// length and the payload bytes.
+// Slot lifecycle: kFree -CAS-> kWriting -CAS(release)-> kReady
+//                 kReady -CAS-> kDraining -CAS(release)-> kFree
+// Every transition out of an owned state is a CAS, not a store: the orphan
+// sweeper (force_release) may legitimately steal a kWriting/kDraining slot
+// from a peer presumed dead, and if that peer is merely slow its publish or
+// release must then FAIL rather than overwrite a slot that has been recycled
+// under it. The payload length is written to the slot header before the
+// releasing CAS, so a consumer that observes kReady (acquire) also observes
+// the length and the payload bytes.
 //
 // Trust model: the region is writable by both sides, so every field a peer
 // controls — the slot length, the slot state word, and the epoch tag — is
@@ -29,11 +33,20 @@
 // slot they publish; consumers reject slots whose stamp does not match the
 // live header, so a demoted/reaped peer still holding a stale mapping cannot
 // land payloads in a ring that has since been handed to its successor.
+//
+// Templatized over an atomics policy (common/atomics_policy.h). Production
+// code uses the DoubleBufferRing alias (StdAtomicsPolicy — byte-identical to
+// the untemplatized ring); the deterministic model checker instantiates
+// BasicDoubleBufferRing<chk::CheckedPolicy> over the same source to verify
+// the slot state machine, the epoch fence, and the sweeper/owner races
+// (tests/chk/double_buffer_model_test.cpp).
 #pragma once
 
 #include <atomic>
+#include <new>
 #include <span>
 
+#include "common/atomics_policy.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "common/units.h"
@@ -45,7 +58,14 @@ enum class Direction : u32 {
   kTargetToClient = 1,
 };
 
-class DoubleBufferRing {
+template <typename Policy>
+class BasicShmFaultRing;
+
+template <typename Policy = StdAtomicsPolicy>
+class BasicDoubleBufferRing {
+  template <typename U>
+  using Atomic = typename Policy::template atomic<U>;
+
  public:
   enum SlotState : u32 {
     kFree = 0,
@@ -54,28 +74,115 @@ class DoubleBufferRing {
     kDraining = 3,
   };
 
-  DoubleBufferRing() = default;
+  BasicDoubleBufferRing() = default;
 
   /// Bytes a region must have for the given geometry; 0 if the geometry
   /// overflows u64 (callers must reject such rings).
-  static u64 required_bytes(u64 slot_size, u32 slot_count);
+  static u64 required_bytes(u64 slot_size, u32 slot_count) {
+    // The geometry is peer-controlled on attach, so the arithmetic must not
+    // wrap: a forged header with slot_size * slot_count overflowing u64 would
+    // otherwise pass the region-size check and index out of bounds.
+    u64 half = 0;
+    u64 data_bytes = 0;
+    u64 total = 0;
+    if (__builtin_mul_overflow(slot_size, static_cast<u64>(slot_count),
+                               &half) ||
+        __builtin_mul_overflow(half, 2ULL, &data_bytes)) {
+      return 0;
+    }
+    const u64 ctl_bytes = sizeof(SlotCtl) * 2ULL * slot_count;
+    if (__builtin_add_overflow(kHeaderBytes + ctl_bytes, data_bytes, &total)) {
+      return 0;
+    }
+    return total;
+  }
 
   /// Format `mem` (size `bytes`) as a fresh ring. Returns error if the
   /// buffer is too small or the geometry is invalid. If `mem` already holds
   /// a valid ring header, the new ring's epoch is the old epoch + 1 so
   /// stale peers of the previous incarnation are fenced out.
-  static Result<DoubleBufferRing> create(void* mem, u64 bytes, u64 slot_size,
-                                         u32 slot_count);
+  static Result<BasicDoubleBufferRing> create(void* mem, u64 bytes,
+                                              u64 slot_size, u32 slot_count) {
+    if (mem == nullptr || slot_size == 0 || slot_count == 0) {
+      return make_error(StatusCode::kInvalidArgument, "bad ring geometry");
+    }
+    if (reinterpret_cast<uintptr_t>(mem) % 64 != 0) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "ring memory must be 64B aligned");
+    }
+    const u64 need = required_bytes(slot_size, slot_count);
+    if (need == 0) {
+      return make_error(StatusCode::kOutOfRange, "ring geometry overflows");
+    }
+    if (bytes < need) {
+      return make_error(StatusCode::kOutOfRange, "region too small for ring");
+    }
+
+    // Re-formatting the same region (reconnect) bumps the epoch so a stale
+    // peer of the previous incarnation can never publish into this one.
+    // Epoch 0 is reserved as "never stamped".
+    u32 epoch = 1;
+    {
+      const auto* old = static_cast<const Header*>(mem);
+      if (bytes >= kHeaderBytes && old->magic == kMagic) {
+        epoch = old->ring_epoch.load(std::memory_order_relaxed) + 1;
+        if (epoch == 0) epoch = 1;
+      }
+    }
+
+    auto* header = new (mem) Header{};
+    header->magic = kMagic;
+    header->version = kVersion;
+    header->slot_count = slot_count;
+    header->slot_size = slot_size;
+    header->total_bytes = need;
+    header->ring_epoch.store(epoch, std::memory_order_relaxed);
+    auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
+    auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
+    for (u64 i = 0; i < 2ULL * slot_count; ++i) {
+      new (&ctl[i]) SlotCtl{};
+      ctl[i].state.store(kFree, std::memory_order_relaxed);
+      ctl[i].len.store(0, std::memory_order_relaxed);
+      ctl[i].epoch.store(0, std::memory_order_relaxed);
+    }
+    auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * slot_count;
+    Policy::fence(std::memory_order_release);
+    return BasicDoubleBufferRing(header, ctl, data);
+  }
 
   /// Attach to a region already formatted by create() (the peer side).
-  static Result<DoubleBufferRing> attach(void* mem, u64 bytes);
+  static Result<BasicDoubleBufferRing> attach(void* mem, u64 bytes) {
+    if (mem == nullptr || bytes < kHeaderBytes) {
+      return make_error(StatusCode::kInvalidArgument, "region too small");
+    }
+    auto* header = static_cast<Header*>(mem);
+    if (header->magic != kMagic) {
+      return make_error(StatusCode::kFailedPrecondition, "ring magic mismatch");
+    }
+    if (header->version != kVersion) {
+      return make_error(StatusCode::kFailedPrecondition,
+                        "ring version mismatch");
+    }
+    // Every geometry field here was written by the peer: validate before use.
+    const u64 need = required_bytes(header->slot_size, header->slot_count);
+    if (header->slot_size == 0 || header->slot_count == 0 || need == 0 ||
+        header->total_bytes > bytes || need != header->total_bytes) {
+      return make_error(StatusCode::kDataLoss, "ring geometry corrupt");
+    }
+    auto* ctl_mem = static_cast<u8*>(mem) + kHeaderBytes;
+    auto* ctl = reinterpret_cast<SlotCtl*>(ctl_mem);
+    auto* data = ctl_mem + sizeof(SlotCtl) * 2ULL * header->slot_count;
+    return BasicDoubleBufferRing(header, ctl, data);
+  }
 
   [[nodiscard]] u64 slot_size() const { return header_->slot_size; }
   [[nodiscard]] u32 slot_count() const { return header_->slot_count; }
   [[nodiscard]] bool valid() const { return header_ != nullptr; }
 
   /// Epoch of the live ring header (what consumers check against).
-  [[nodiscard]] u32 ring_epoch() const { return header_->ring_epoch; }
+  [[nodiscard]] u32 ring_epoch() const {
+    return header_->ring_epoch.load(std::memory_order_relaxed);
+  }
   /// Epoch this handle attached under (what producers stamp).
   [[nodiscard]] u32 attached_epoch() const { return attached_epoch_; }
 
@@ -89,39 +196,188 @@ class DoubleBufferRing {
   /// the slot is still owned by a previous in-flight I/O (QD overflow), or
   /// kPeerMisbehavior if this handle's epoch is stale (the region was
   /// re-formatted since we attached).
-  Status acquire(Direction dir, u32 slot);
+  Status acquire(Direction dir, u32 slot) {
+    if (!slot_in_range(slot)) {
+      return make_error(StatusCode::kOutOfRange, "slot out of range");
+    }
+    if (attached_epoch_ != ring_epoch()) {
+      // The region was re-formatted under us: this handle belongs to a dead
+      // incarnation and must not touch the new one's slots.
+      fence_rejects_++;
+      return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
+    }
+    u32 expected = kFree;
+    if (!slot_ctl(dir, slot).state.compare_exchange_strong(
+            expected, kWriting, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+      return make_error(StatusCode::kResourceExhausted, "slot busy");
+    }
+    return Status::ok();
+  }
 
   /// Producer: payload area of a claimed slot.
-  [[nodiscard]] std::span<u8> slot_data(Direction dir, u32 slot);
+  [[nodiscard]] std::span<u8> slot_data(Direction dir, u32 slot) {
+    if (!slot_in_range(slot)) return {};
+    return {slot_base(dir, slot), header_->slot_size};
+  }
 
-  /// Producer: make `len` bytes visible to the consumer (release store).
-  Status publish(Direction dir, u32 slot, u64 len);
+  /// Producer: make `len` bytes visible to the consumer (release CAS). Fails
+  /// with kFailedPrecondition if the slot is not in kWriting — including
+  /// when the orphan sweeper reclaimed it from under a slow producer, in
+  /// which case the payload must be considered lost, never re-published.
+  Status publish(Direction dir, u32 slot, u64 len) {
+    if (!slot_in_range(slot) || len > header_->slot_size) {
+      return make_error(StatusCode::kOutOfRange, "publish length exceeds slot");
+    }
+    if (attached_epoch_ != ring_epoch()) {
+      // Re-formatted between acquire and publish: leave the slot to the
+      // orphan sweeper rather than inject a payload into the new incarnation.
+      fence_rejects_++;
+      return make_error(StatusCode::kPeerMisbehavior, "stale ring epoch");
+    }
+    SlotCtl& ctl = slot_ctl(dir, slot);
+    if (ctl.state.load(std::memory_order_relaxed) != kWriting) {
+      // Caller misuse (no acquire) — fail before touching the slot. NOT the
+      // authority on ownership: the sweeper may still steal the slot after
+      // this check, which the CAS below detects.
+      return make_error(StatusCode::kFailedPrecondition,
+                        "publish without acquire");
+    }
+    // len/epoch land before the state CAS; if the CAS loses (sweeper stole
+    // the slot) they are dead values a future publish fully rewrites, and
+    // consume() re-validates both regardless.
+    ctl.len.store(len, std::memory_order_relaxed);
+    ctl.epoch.store(attached_epoch_, std::memory_order_relaxed);
+    u32 expected = kWriting;
+    if (!ctl.state.compare_exchange_strong(expected, kReady,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      return make_error(StatusCode::kFailedPrecondition,
+                        "publish without acquire");
+    }
+    return Status::ok();
+  }
 
   /// Consumer: true if the slot has a published payload.
-  [[nodiscard]] bool ready(Direction dir, u32 slot) const;
+  [[nodiscard]] bool ready(Direction dir, u32 slot) const {
+    if (!slot_in_range(slot)) return false;
+    return slot_ctl(dir, slot).state.load(std::memory_order_acquire) == kReady;
+  }
 
   /// Consumer: claim a published slot for draining; returns its payload.
   /// Re-validates the peer-stamped length and epoch; a violation reclaims
   /// the slot and returns kPeerMisbehavior.
-  Result<std::span<const u8>> consume(Direction dir, u32 slot);
+  Result<std::span<const u8>> consume(Direction dir, u32 slot) {
+    if (!slot_in_range(slot)) {
+      return make_error(StatusCode::kOutOfRange, "slot out of range");
+    }
+    SlotCtl& ctl = slot_ctl(dir, slot);
+    u32 expected = kReady;
+    if (!ctl.state.compare_exchange_strong(expected, kDraining,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+      return make_error(StatusCode::kUnavailable, "slot not ready");
+    }
+    // `len` and `epoch` were written by the peer; trust neither. A violation
+    // reclaims the slot so the ring stays usable while the caller demotes.
+    if (ctl.epoch.load(std::memory_order_relaxed) != ring_epoch()) {
+      reclaim(ctl);
+      fence_rejects_++;
+      return make_error(StatusCode::kPeerMisbehavior, "stale slot epoch");
+    }
+    const u64 len = ctl.len.load(std::memory_order_relaxed);
+    if (len > header_->slot_size) {
+      reclaim(ctl);
+      fence_rejects_++;
+      return make_error(StatusCode::kPeerMisbehavior,
+                        "slot length exceeds slot size");
+    }
+    return std::span<const u8>(slot_base(dir, slot), len);
+  }
 
-  /// Consumer: return a drained slot to the free pool.
-  Status release(Direction dir, u32 slot);
+  /// Consumer: return a drained slot to the free pool. Fails with
+  /// kFailedPrecondition if the slot is not in kDraining — including when
+  /// the orphan sweeper reclaimed it from a consumer presumed dead.
+  Status release(Direction dir, u32 slot) {
+    if (!slot_in_range(slot)) {
+      return make_error(StatusCode::kOutOfRange, "slot out of range");
+    }
+    SlotCtl& ctl = slot_ctl(dir, slot);
+    if (ctl.state.load(std::memory_order_relaxed) != kDraining) {
+      return make_error(StatusCode::kFailedPrecondition,
+                        "release without consume");
+    }
+    ctl.len.store(0, std::memory_order_relaxed);
+    ctl.epoch.store(0, std::memory_order_relaxed);
+    u32 expected = kDraining;
+    if (!ctl.state.compare_exchange_strong(expected, kFree,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      return make_error(StatusCode::kFailedPrecondition,
+                        "release without consume");
+    }
+    return Status::ok();
+  }
 
   /// Consumer: drop a published payload without reading it (aborted
   /// command whose data already parked). kReady -> kFree in one step.
-  Status discard(Direction dir, u32 slot);
+  Status discard(Direction dir, u32 slot) {
+    if (!slot_in_range(slot)) {
+      return make_error(StatusCode::kOutOfRange, "slot out of range");
+    }
+    SlotCtl& ctl = slot_ctl(dir, slot);
+    u32 expected = kReady;
+    if (!ctl.state.compare_exchange_strong(expected, kDraining,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+      return make_error(StatusCode::kUnavailable, "slot not ready");
+    }
+    reclaim(ctl);
+    return Status::ok();
+  }
 
   /// Sweeper: reclaim a slot stuck in kWriting or kDraining by a peer that
   /// died mid-transfer. Returns kFailedPrecondition if the slot is in any
   /// other state (racing a legitimate transition is detected by the CAS).
-  Status force_release(Direction dir, u32 slot);
+  Status force_release(Direction dir, u32 slot) {
+    if (!slot_in_range(slot)) {
+      return make_error(StatusCode::kOutOfRange, "slot out of range");
+    }
+    SlotCtl& ctl = slot_ctl(dir, slot);
+    u32 cur = ctl.state.load(std::memory_order_acquire);
+    if (cur != kWriting && cur != kDraining) {
+      return make_error(StatusCode::kFailedPrecondition, "slot not stuck");
+    }
+    // Claim by moving to the *other* mid-transfer state — a transition no
+    // legitimate owner ever performs, so winning the CAS means exclusive
+    // ownership, and a resurrected owner's publish/release fails its own
+    // state CAS instead of corrupting a recycled slot.
+    const u32 claim = cur == kWriting ? kDraining : kWriting;
+    if (!ctl.state.compare_exchange_strong(cur, claim,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+      return make_error(StatusCode::kFailedPrecondition, "lost race to owner");
+    }
+    reclaim(ctl);
+    return Status::ok();
+  }
 
   /// Observed state (for tests and invariant checks).
-  [[nodiscard]] SlotState state(Direction dir, u32 slot) const;
+  [[nodiscard]] SlotState state(Direction dir, u32 slot) const {
+    if (!slot_in_range(slot)) return kFree;
+    return static_cast<SlotState>(
+        slot_ctl(dir, slot).state.load(std::memory_order_acquire));
+  }
 
   /// Count of slots currently not kFree in a direction.
-  [[nodiscard]] u32 in_flight(Direction dir) const;
+  [[nodiscard]] u32 in_flight(Direction dir) const {
+    if (header_ == nullptr) return 0;
+    u32 n = 0;
+    for (u32 s = 0; s < header_->slot_count; ++s) {
+      if (state(dir, s) != kFree) n++;
+    }
+    return n;
+  }
 
   /// Operations this handle rejected because an epoch fence tripped (stale
   /// handle or stale slot stamp). Per-handle, not shared through the region:
@@ -129,20 +385,23 @@ class DoubleBufferRing {
   [[nodiscard]] u64 fence_rejects() const { return fence_rejects_; }
 
  private:
-  friend class ShmFaultRing;  // test-only fault injection (corrupts fields)
+  friend class BasicShmFaultRing<Policy>;  // test-only fault injection
 
   // Per-slot control word, padded to a cache line so producer/consumer pairs
   // on adjacent slots never false-share. `epoch` and `len` are written by
-  // the producer while it owns the slot (before the kReady release-store)
-  // and read by the consumer after the acquire-CAS, so neither needs to be
-  // atomic — but both are peer-controlled and re-validated at consume.
+  // the producer while it owns the slot (before the kReady release-CAS) and
+  // read by the consumer after the acquire-CAS. They are relaxed atomics —
+  // the state CAS carries all ordering — because the orphan sweeper may zero
+  // them concurrently with a slow owner's last write, and both are
+  // peer-controlled and re-validated at consume anyway.
   struct alignas(64) SlotCtl {
-    std::atomic<u32> state;
-    u32 epoch;  // producer's attached_epoch at publish time
-    u64 len;
+    Atomic<u32> state;
+    Atomic<u32> epoch;  // producer's attached_epoch at publish time
+    Atomic<u64> len;
     u8 pad[48];
   };
-  static_assert(sizeof(SlotCtl) == 64);
+  static_assert(Policy::kChecked || sizeof(SlotCtl) == 64,
+                "SlotCtl is wire format: one cache line per slot");
 
   struct Header {
     u64 magic;
@@ -150,22 +409,36 @@ class DoubleBufferRing {
     u32 slot_count;
     u64 slot_size;
     u64 total_bytes;
-    u32 ring_epoch;  // bumped on every re-format of the same region
+    // Bumped on every re-format of the same region; read concurrently by
+    // handles of older incarnations probing whether they are stale.
+    Atomic<u32> ring_epoch;
   };
 
   static constexpr u64 kMagic = 0x4f41465f52494e47ULL;  // "OAF_RING"
   static constexpr u32 kVersion = 2;  // v2: ring_epoch + per-slot epoch tags
+  static constexpr u64 kHeaderBytes = 64;  // Header padded to one cache line
+  static_assert(Policy::kChecked || sizeof(Header) <= kHeaderBytes);
 
-  DoubleBufferRing(Header* header, SlotCtl* ctl, u8* data)
+  BasicDoubleBufferRing(Header* header, SlotCtl* ctl, u8* data)
       : header_(header), ctl_(ctl), data_(data),
-        attached_epoch_(header->ring_epoch) {}
+        attached_epoch_(header->ring_epoch.load(std::memory_order_relaxed)) {}
+
+  /// Zero the peer-stamped fields and free a slot this side owns (it holds
+  /// the slot in a mid-transfer state it legitimately claimed).
+  static void reclaim(SlotCtl& ctl) {
+    ctl.len.store(0, std::memory_order_relaxed);
+    ctl.epoch.store(0, std::memory_order_relaxed);
+    ctl.state.store(kFree, std::memory_order_release);
+  }
 
   [[nodiscard]] SlotCtl& slot_ctl(Direction dir, u32 slot) const {
-    const u64 base = dir == Direction::kClientToTarget ? 0 : header_->slot_count;
+    const u64 base =
+        dir == Direction::kClientToTarget ? 0 : header_->slot_count;
     return ctl_[base + slot];
   }
   [[nodiscard]] u8* slot_base(Direction dir, u32 slot) const {
-    const u64 half = static_cast<u64>(header_->slot_count) * header_->slot_size;
+    const u64 half =
+        static_cast<u64>(header_->slot_count) * header_->slot_size;
     const u64 base = dir == Direction::kClientToTarget ? 0 : half;
     return data_ + base + static_cast<u64>(slot) * header_->slot_size;
   }
@@ -179,5 +452,11 @@ class DoubleBufferRing {
   u32 attached_epoch_ = 0;
   u64 fence_rejects_ = 0;  // plain (not atomic): handles stay copyable
 };
+
+/// Production ring: byte-identical layout and behavior to the pre-policy
+/// implementation (std::atomic, plain stores compile to the same code).
+using DoubleBufferRing = BasicDoubleBufferRing<StdAtomicsPolicy>;
+
+extern template class BasicDoubleBufferRing<StdAtomicsPolicy>;
 
 }  // namespace oaf::shm

@@ -7,33 +7,38 @@
 // dead peer left mid-transfer.
 //
 // Test-only: linked into the test binaries, never into the tools. All
-// mutations are plain stores into fields the protocol defines as
+// mutations are relaxed stores into fields the protocol defines as
 // single-owner, so calls must not race a live producer/consumer on the SAME
 // slot (the tests phase corruption between protocol steps, which also keeps
-// the TSan job honest).
+// the TSan job honest). Templatized over the same atomics policy as the
+// ring, so the chk model suite can inject the identical faults under the
+// deterministic checker.
 #pragma once
 
 #include "shm/double_buffer.h"
 
 namespace oaf::shm {
 
-class ShmFaultRing {
+template <typename Policy>
+class BasicShmFaultRing {
+  using Ring = BasicDoubleBufferRing<Policy>;
+
  public:
-  explicit ShmFaultRing(DoubleBufferRing& ring) : ring_(ring) {}
+  explicit BasicShmFaultRing(Ring& ring) : ring_(ring) {}
 
   /// Forge the peer-stamped payload length of a slot (any state).
   void corrupt_len(Direction dir, u32 slot, u64 len) {
-    ring_.slot_ctl(dir, slot).len = len;
+    ring_.slot_ctl(dir, slot).len.store(len, std::memory_order_relaxed);
   }
 
   /// Forge the peer-stamped epoch tag (0 = "never stamped", i.e. stale).
   void stamp_epoch(Direction dir, u32 slot, u32 epoch) {
-    ring_.slot_ctl(dir, slot).epoch = epoch;
+    ring_.slot_ctl(dir, slot).epoch.store(epoch, std::memory_order_relaxed);
   }
 
   /// Flip the slot state word to an arbitrary value, bypassing the CAS
   /// protocol (a misbehaving peer is not obliged to play by the rules).
-  void force_state(Direction dir, u32 slot, DoubleBufferRing::SlotState s) {
+  void force_state(Direction dir, u32 slot, typename Ring::SlotState s) {
     ring_.slot_ctl(dir, slot).state.store(s, std::memory_order_release);
   }
 
@@ -42,22 +47,24 @@ class ShmFaultRing {
   /// sweeper can reclaim it.
   void freeze_writing(Direction dir, u32 slot) {
     auto& ctl = ring_.slot_ctl(dir, slot);
-    ctl.epoch = ring_.attached_epoch();
-    ctl.state.store(DoubleBufferRing::kWriting, std::memory_order_release);
+    ctl.epoch.store(ring_.attached_epoch(), std::memory_order_relaxed);
+    ctl.state.store(Ring::kWriting, std::memory_order_release);
   }
 
   /// Peer-visible epoch of a slot (observability for tests).
   [[nodiscard]] u32 slot_epoch(Direction dir, u32 slot) const {
-    return ring_.slot_ctl(dir, slot).epoch;
+    return ring_.slot_ctl(dir, slot).epoch.load(std::memory_order_relaxed);
   }
 
   /// Peer-visible length of a slot (observability for tests).
   [[nodiscard]] u64 slot_len(Direction dir, u32 slot) const {
-    return ring_.slot_ctl(dir, slot).len;
+    return ring_.slot_ctl(dir, slot).len.load(std::memory_order_relaxed);
   }
 
  private:
-  DoubleBufferRing& ring_;
+  Ring& ring_;
 };
+
+using ShmFaultRing = BasicShmFaultRing<StdAtomicsPolicy>;
 
 }  // namespace oaf::shm

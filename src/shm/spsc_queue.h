@@ -4,6 +4,13 @@
 // functional plane (an alternative to socket notifications for co-located
 // endpoints) and stress-tested as part of the lock-free property suite.
 // Classic Lamport queue with cached cursors to halve coherence traffic.
+//
+// Templatized over an atomics policy (common/atomics_policy.h): the default
+// StdAtomicsPolicy compiles to exactly the pre-policy code, while
+// chk::CheckedPolicy runs the same source under the deterministic model
+// checker (tests/chk/spsc_model_test.cpp), where slot payloads go through
+// the race detector and the head/tail protocol through the weak-memory
+// simulator.
 #pragma once
 
 #include <atomic>
@@ -11,15 +18,21 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/atomics_policy.h"
 #include "common/types.h"
 #include "common/units.h"
 
 namespace oaf::shm {
 
-template <typename T>
+template <typename T, typename Policy = StdAtomicsPolicy>
 class SpscQueue {
   static_assert(std::is_trivially_copyable_v<T>,
                 "SpscQueue requires trivially copyable records");
+
+  template <typename U>
+  using Atomic = typename Policy::template atomic<U>;
+  template <typename U>
+  using Var = typename Policy::template var<U>;
 
  public:
   /// Capacity is rounded up to a power of two; usable slots = capacity - 1.
@@ -71,12 +84,12 @@ class SpscQueue {
   [[nodiscard]] u64 capacity() const { return mask_; }
 
  private:
-  std::vector<T> buffer_;
+  std::vector<Var<T>> buffer_;
   u64 mask_ = 0;
 
-  alignas(64) std::atomic<u64> head_{0};
+  alignas(64) Atomic<u64> head_{0};
   alignas(64) u64 cached_tail_ = 0;   // producer-local
-  alignas(64) std::atomic<u64> tail_{0};
+  alignas(64) Atomic<u64> tail_{0};
   alignas(64) u64 cached_head_ = 0;   // consumer-local
 };
 

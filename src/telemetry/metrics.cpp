@@ -1,6 +1,5 @@
 #include "telemetry/metrics.h"
 
-#include <algorithm>
 #include <cstdio>
 
 #include "common/json.h"
@@ -8,18 +7,6 @@
 namespace oaf::telemetry {
 
 namespace {
-
-template <typename Map, typename Factory>
-auto* find_or_create(Map& map, std::string_view name, std::string_view help,
-                     Factory make) {
-  auto it = map.find(name);
-  if (it == map.end()) {
-    it = map.emplace(std::string(name),
-                     std::make_pair(std::string(help), make()))
-             .first;
-  }
-  return it->second.second.get();
-}
 
 void append_header(std::string& out, const std::string& name,
                    const std::string& help, const char* type) {
@@ -48,60 +35,13 @@ void append_number(std::string& out, i64 v) {
 
 }  // namespace
 
-Counter* MetricsRegistry::counter(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lk(mu_);
-  return find_or_create(counters_, name, help,
-                        [] { return std::make_unique<Counter>(); });
-}
+// Exposition walks std::string/std::map state that the model checker has no
+// instrumentation for, so these members are defined here and instantiated
+// only for the production policy; checked-policy models never call them.
 
-Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lk(mu_);
-  return find_or_create(gauges_, name, help,
-                        [] { return std::make_unique<Gauge>(); });
-}
-
-HistogramMetric* MetricsRegistry::histogram(std::string_view name,
-                                            std::string_view help) {
-  std::lock_guard<std::mutex> lk(mu_);
-  return find_or_create(histograms_, name, help,
-                        [] { return std::make_unique<HistogramMetric>(); });
-}
-
-MetricsRegistry::CallbackHandle MetricsRegistry::callback_gauge(
-    std::string_view name, std::string_view help, std::function<i64()> fn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  const u64 id = next_callback_id_++;
-  auto it = callbacks_.find(name);
-  if (it == callbacks_.end()) {
-    it = callbacks_.emplace(std::string(name), std::vector<CallbackEntry>{})
-             .first;
-  }
-  it->second.push_back(CallbackEntry{id, std::string(help), std::move(fn)});
-  return CallbackHandle(this, id);
-}
-
-void MetricsRegistry::CallbackHandle::release() {
-  if (registry_ == nullptr) return;
-  std::lock_guard<std::mutex> lk(registry_->mu_);
-  for (auto it = registry_->callbacks_.begin();
-       it != registry_->callbacks_.end();) {
-    auto& vec = it->second;
-    vec.erase(std::remove_if(vec.begin(), vec.end(),
-                             [this](const CallbackEntry& e) {
-                               return e.id == id_;
-                             }),
-              vec.end());
-    if (vec.empty()) {
-      it = registry_->callbacks_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  registry_ = nullptr;
-}
-
+template <typename Policy>
 std::map<std::string, std::pair<std::string, i64>>
-MetricsRegistry::sample_callbacks_locked() const {
+BasicMetricsRegistry<Policy>::sample_callbacks_locked() const {
   std::map<std::string, std::pair<std::string, i64>> out;
   for (const auto& [name, entries] : callbacks_) {
     if (entries.empty()) continue;
@@ -112,8 +52,9 @@ MetricsRegistry::sample_callbacks_locked() const {
   return out;
 }
 
-std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+template <typename Policy>
+std::string BasicMetricsRegistry<Policy>::to_prometheus() const {
+  std::lock_guard<typename Policy::mutex> lk(mu_);
   // Blocks keyed by metric name so the merged output is globally sorted
   // regardless of which kind each metric is.
   std::map<std::string, std::string> blocks;
@@ -178,8 +119,9 @@ std::string MetricsRegistry::to_prometheus() const {
   return out;
 }
 
-std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+template <typename Policy>
+std::string BasicMetricsRegistry<Policy>::to_json() const {
+  std::lock_guard<typename Policy::mutex> lk(mu_);
   JsonWriter w;
   w.begin_object();
 
@@ -228,22 +170,6 @@ std::string MetricsRegistry::to_json() const {
   return w.take();
 }
 
-size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  size_t n = counters_.size() + gauges_.size() + histograms_.size();
-  for (const auto& [name, entries] : callbacks_) {
-    (void)entries;
-    // A callback name not shadowed by a stored gauge is its own metric.
-    if (gauges_.find(name) == gauges_.end()) n++;
-  }
-  return n;
-}
-
-void MetricsRegistry::reset_for_test() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [name, entry] : counters_) entry.second->reset();
-  for (auto& [name, entry] : gauges_) entry.second->set(0);
-  for (auto& [name, entry] : histograms_) entry.second->reset();
-}
+template class BasicMetricsRegistry<StdAtomicsPolicy>;
 
 }  // namespace oaf::telemetry

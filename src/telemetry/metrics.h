@@ -15,6 +15,14 @@
 //     dies stops being sampled. Several callbacks may share one metric name:
 //     exposition sums them (e.g. slot occupancy across endpoints).
 //   - Exposition output is sorted by name, so it is deterministic.
+//
+// Templatized over an atomics policy (common/atomics_policy.h): production
+// uses the Counter/Gauge/MetricsRegistry aliases (std::atomic/std::mutex);
+// the deterministic model checker instantiates the Basic* forms with
+// chk::CheckedPolicy to verify the concurrent find-or-create and hot-path
+// protocols (tests/chk/metrics_model_test.cpp). The registration/exposition
+// slow paths are ordinary template members; exposition bodies live in
+// metrics.cpp and are only instantiated for the production policy.
 #pragma once
 
 #include <atomic>
@@ -26,66 +34,92 @@
 #include <string_view>
 #include <vector>
 
+#include "common/atomics_policy.h"
 #include "common/histogram.h"
 #include "common/types.h"
 
 namespace oaf::telemetry {
 
 /// Monotonically increasing event count. Safe from any thread.
-class Counter {
+template <typename Policy = StdAtomicsPolicy>
+class BasicCounter {
  public:
   void inc(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
-  [[nodiscard]] u64 value() const { return v_.load(std::memory_order_relaxed); }
+  [[nodiscard]] u64 value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
   void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<u64> v_{0};
+  typename Policy::template atomic<u64> v_{0};
 };
 
 /// Instantaneous signed value. Safe from any thread.
-class Gauge {
+template <typename Policy = StdAtomicsPolicy>
+class BasicGauge {
  public:
   void set(i64 v) { v_.store(v, std::memory_order_relaxed); }
   void add(i64 delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
-  [[nodiscard]] i64 value() const { return v_.load(std::memory_order_relaxed); }
+  [[nodiscard]] i64 value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<i64> v_{0};
+  typename Policy::template atomic<i64> v_{0};
 };
 
 /// Latency distribution (wraps common/histogram.h). The mutex is fine for
 /// per-I/O recording cadence; engines that need per-byte rates use counters.
-class HistogramMetric {
+template <typename Policy = StdAtomicsPolicy>
+class BasicHistogramMetric {
  public:
   void record(i64 value) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<typename Policy::mutex> lk(mu_);
     h_.record(value);
   }
   [[nodiscard]] Histogram snapshot() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<typename Policy::mutex> lk(mu_);
     return h_;
   }
   void reset() {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<typename Policy::mutex> lk(mu_);
     h_.reset();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable typename Policy::mutex mu_;
   Histogram h_;
 };
 
-class MetricsRegistry {
+template <typename Policy = StdAtomicsPolicy>
+class BasicMetricsRegistry {
  public:
-  MetricsRegistry() = default;
-  MetricsRegistry(const MetricsRegistry&) = delete;
-  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  using Counter = BasicCounter<Policy>;
+  using Gauge = BasicGauge<Policy>;
+  using HistogramMetric = BasicHistogramMetric<Policy>;
+
+  BasicMetricsRegistry() = default;
+  BasicMetricsRegistry(const BasicMetricsRegistry&) = delete;
+  BasicMetricsRegistry& operator=(const BasicMetricsRegistry&) = delete;
 
   /// Find-or-create. A second registration under the same name returns the
   /// same handle (components on different connections share process totals).
-  Counter* counter(std::string_view name, std::string_view help);
-  Gauge* gauge(std::string_view name, std::string_view help);
-  HistogramMetric* histogram(std::string_view name, std::string_view help);
+  Counter* counter(std::string_view name, std::string_view help) {
+    std::lock_guard<typename Policy::mutex> lk(mu_);
+    return find_or_create(counters_, name, help,
+                          [] { return std::make_unique<Counter>(); });
+  }
+  Gauge* gauge(std::string_view name, std::string_view help) {
+    std::lock_guard<typename Policy::mutex> lk(mu_);
+    return find_or_create(gauges_, name, help,
+                          [] { return std::make_unique<Gauge>(); });
+  }
+  HistogramMetric* histogram(std::string_view name, std::string_view help) {
+    std::lock_guard<typename Policy::mutex> lk(mu_);
+    return find_or_create(
+        histograms_, name, help,
+        [] { return std::make_unique<HistogramMetric>(); });
+  }
 
   /// RAII registration for a sampled gauge. Destroying (or move-assigning
   /// over) the handle unregisters the callback.
@@ -105,10 +139,26 @@ class MetricsRegistry {
     ~CallbackHandle() { release(); }
 
    private:
-    friend class MetricsRegistry;
-    CallbackHandle(MetricsRegistry* r, u64 id) : registry_(r), id_(id) {}
-    void release();
-    MetricsRegistry* registry_ = nullptr;
+    friend class BasicMetricsRegistry;
+    CallbackHandle(BasicMetricsRegistry* r, u64 id) : registry_(r), id_(id) {}
+    void release() {
+      if (registry_ == nullptr) return;
+      std::lock_guard<typename Policy::mutex> lk(registry_->mu_);
+      for (auto it = registry_->callbacks_.begin();
+           it != registry_->callbacks_.end();) {
+        auto& vec = it->second;
+        for (size_t i = vec.size(); i > 0; --i) {
+          if (vec[i - 1].id == id_) vec.erase(vec.begin() + (i - 1));
+        }
+        if (vec.empty()) {
+          it = registry_->callbacks_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      registry_ = nullptr;
+    }
+    BasicMetricsRegistry* registry_ = nullptr;
     u64 id_ = 0;
   };
 
@@ -117,7 +167,17 @@ class MetricsRegistry {
   /// and must not call back into the registry.
   [[nodiscard]] CallbackHandle callback_gauge(std::string_view name,
                                               std::string_view help,
-                                              std::function<i64()> fn);
+                                              std::function<i64()> fn) {
+    std::lock_guard<typename Policy::mutex> lk(mu_);
+    const u64 id = next_callback_id_++;
+    auto it = callbacks_.find(name);
+    if (it == callbacks_.end()) {
+      it = callbacks_.emplace(std::string(name), std::vector<CallbackEntry>{})
+               .first;
+    }
+    it->second.push_back(CallbackEntry{id, std::string(help), std::move(fn)});
+    return CallbackHandle(this, id);
+  }
 
   /// Prometheus text exposition format, metrics sorted by name.
   [[nodiscard]] std::string to_prometheus() const;
@@ -127,11 +187,25 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
   /// Number of distinct metric names currently registered.
-  [[nodiscard]] size_t size() const;
+  [[nodiscard]] size_t size() const {
+    std::lock_guard<typename Policy::mutex> lk(mu_);
+    size_t n = counters_.size() + gauges_.size() + histograms_.size();
+    for (const auto& [name, entries] : callbacks_) {
+      (void)entries;
+      // A callback name not shadowed by a stored gauge is its own metric.
+      if (gauges_.find(name) == gauges_.end()) n++;
+    }
+    return n;
+  }
 
   /// Zero every counter/gauge/histogram (callback gauges sample live state
   /// and are unaffected). Tests only — production totals are monotonic.
-  void reset_for_test();
+  void reset_for_test() {
+    std::lock_guard<typename Policy::mutex> lk(mu_);
+    for (auto& [name, entry] : counters_) entry.second->reset();
+    for (auto& [name, entry] : gauges_) entry.second->set(0);
+    for (auto& [name, entry] : histograms_) entry.second->reset();
+  }
 
  private:
   struct CallbackEntry {
@@ -140,22 +214,43 @@ class MetricsRegistry {
     std::function<i64()> fn;
   };
 
+  template <typename Map, typename Factory>
+  static auto* find_or_create(Map& map, std::string_view name,
+                              std::string_view help, Factory make) {
+    auto it = map.find(name);
+    if (it == map.end()) {
+      it = map.emplace(std::string(name),
+                       std::make_pair(std::string(help), make()))
+               .first;
+    }
+    return it->second.second.get();
+  }
+
   /// Snapshot of callback gauges summed by name, taken under the mutex.
   [[nodiscard]] std::map<std::string, std::pair<std::string, i64>>
   sample_callbacks_locked() const;
 
-  mutable std::mutex mu_;
+  mutable typename Policy::mutex mu_;
   std::map<std::string, std::pair<std::string, std::unique_ptr<Counter>>,
            std::less<>>
       counters_;
   std::map<std::string, std::pair<std::string, std::unique_ptr<Gauge>>,
            std::less<>>
       gauges_;
-  std::map<std::string, std::pair<std::string, std::unique_ptr<HistogramMetric>>,
+  std::map<std::string,
+           std::pair<std::string, std::unique_ptr<HistogramMetric>>,
            std::less<>>
       histograms_;
   std::map<std::string, std::vector<CallbackEntry>, std::less<>> callbacks_;
   u64 next_callback_id_ = 1;
 };
+
+/// Production metrics types (std::atomic/std::mutex policy).
+using Counter = BasicCounter<StdAtomicsPolicy>;
+using Gauge = BasicGauge<StdAtomicsPolicy>;
+using HistogramMetric = BasicHistogramMetric<StdAtomicsPolicy>;
+using MetricsRegistry = BasicMetricsRegistry<StdAtomicsPolicy>;
+
+extern template class BasicMetricsRegistry<StdAtomicsPolicy>;
 
 }  // namespace oaf::telemetry

@@ -1,152 +1,9 @@
 #include "telemetry/trace.h"
 
-#include <cstdio>
-
-#include "common/json.h"
-
 namespace oaf::telemetry {
 
-namespace {
-
-/// Chrome's ts/dur fields are microseconds; emit ns with fixed 3-decimal
-/// precision so nanosecond-granular sim timestamps survive round-tripping
-/// and output is byte-stable.
-void append_us(std::string& out, i64 ns) {
-  const char* sign = "";
-  if (ns < 0) {
-    sign = "-";
-    ns = -ns;
-  }
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%s%lld.%03lld", sign,
-                static_cast<long long>(ns / 1000),
-                static_cast<long long>(ns % 1000));
-  out += buf;
-}
-
-}  // namespace
-
-TraceRecorder::TraceRecorder(size_t capacity)
-    : ring_(capacity > 0 ? capacity : 1) {}
-
-u32 TraceRecorder::track(const std::string& name) {
-  std::lock_guard<std::mutex> lk(track_mu_);
-  for (size_t i = 0; i < track_names_.size(); ++i) {
-    if (track_names_[i] == name) return static_cast<u32>(i + 1);
-  }
-  track_names_.push_back(name);
-  return static_cast<u32>(track_names_.size());
-}
-
-u64 TraceRecorder::dropped() const {
-  const u64 head = head_.load(std::memory_order_relaxed);
-  const u64 cap = ring_.size();
-  return head > cap ? head - cap : 0;
-}
-
-u64 TraceRecorder::size() const {
-  const u64 head = head_.load(std::memory_order_relaxed);
-  const u64 cap = ring_.size();
-  return head > cap ? cap : head;
-}
-
-std::vector<TraceEvent> TraceRecorder::snapshot() const {
-  const u64 head = head_.load(std::memory_order_acquire);
-  const u64 cap = ring_.size();
-  const u64 first = head > cap ? head - cap : 0;
-  std::vector<TraceEvent> out;
-  out.reserve(head - first);
-  for (u64 i = first; i < head; ++i) out.push_back(ring_[i % cap]);
-  return out;
-}
-
-std::string TraceRecorder::to_chrome_json() const {
-  std::vector<std::string> tracks;
-  {
-    std::lock_guard<std::mutex> lk(track_mu_);
-    tracks = track_names_;
-  }
-  const std::vector<TraceEvent> events = snapshot();
-
-  JsonWriter w;
-  w.begin_object();
-  w.key("displayTimeUnit").value("ns");
-  w.key("traceEvents").begin_array();
-
-  // Metadata first: one process, each track a named thread lane.
-  w.begin_object();
-  w.key("name").value("process_name");
-  w.key("ph").value("M");
-  w.key("pid").value(u64{1});
-  w.key("tid").value(u64{0});
-  w.key("args").begin_object().key("name").value("nvme-oaf").end_object();
-  w.end_object();
-  for (size_t i = 0; i < tracks.size(); ++i) {
-    w.begin_object();
-    w.key("name").value("thread_name");
-    w.key("ph").value("M");
-    w.key("pid").value(u64{1});
-    w.key("tid").value(static_cast<u64>(i + 1));
-    w.key("args").begin_object().key("name").value(tracks[i]).end_object();
-    w.end_object();
-  }
-
-  for (const TraceEvent& ev : events) {
-    if (ev.name == nullptr || ev.cat == nullptr) continue;  // torn/blank slot
-    w.begin_object();
-    w.key("name").value(ev.name);
-    w.key("cat").value(ev.cat);
-    const char ph[2] = {ev.phase, '\0'};
-    w.key("ph").value(static_cast<const char*>(ph));
-    w.key("pid").value(u64{1});
-    w.key("tid").value(static_cast<u64>(ev.track));
-    std::string ts;
-    append_us(ts, ev.ts_ns);
-    w.key("ts").raw(ts);
-    if (ev.phase == 'X') {
-      std::string dur;
-      append_us(dur, ev.dur_ns);
-      w.key("dur").raw(dur);
-    }
-    if (ev.phase == 'b' || ev.phase == 'e') {
-      char idbuf[32];
-      std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
-                    static_cast<unsigned long long>(ev.id));
-      w.key("id").value(static_cast<const char*>(idbuf));
-    }
-    if (ev.phase == 'i') {
-      w.key("s").value("t");  // thread-scoped instant
-    }
-    if (ev.arg_name != nullptr) {
-      w.key("args").begin_object().key(ev.arg_name).value(ev.arg).end_object();
-    } else if (ev.phase == 'b' || ev.phase == 'e') {
-      // Async events require an args object in some viewers.
-      w.key("args").begin_object().end_object();
-    }
-    w.end_object();
-  }
-
-  w.end_array();
-  w.key("otherData").begin_object();
-  w.key("dropped_events").value(dropped());
-  w.end_object();
-  w.end_object();
-  return w.take();
-}
-
-bool TraceRecorder::write_chrome_json(const std::string& path) const {
-  const std::string doc = to_chrome_json();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-  const bool ok = (n == doc.size()) && (std::fclose(f) == 0);
-  if (n != doc.size()) std::fclose(f);
-  return ok;
-}
-
-void TraceRecorder::reset() {
-  head_.store(0, std::memory_order_relaxed);
-  for (auto& ev : ring_) ev = TraceEvent{};
-}
+// The implementation lives in the header (class template over the atomics
+// policy); the production instantiation is compiled once, here.
+template class BasicTraceRecorder<StdAtomicsPolicy>;
 
 }  // namespace oaf::telemetry

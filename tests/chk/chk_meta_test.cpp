@@ -1,0 +1,197 @@
+// Meta-tests: prove the checker CATCHES the bug classes the model suite
+// relies on it to rule out. Each planted-bug model is a known-broken variant
+// of a protocol the production code uses correctly; the checker must fail
+// it, and the failure must replay deterministically from the recorded
+// choice sequence. A paired correct variant passes, showing the failure is
+// the bug, not checker noise.
+#include <gtest/gtest.h>
+
+#include "chk/check.h"
+#include "chk/policy.h"
+
+namespace oaf::chk {
+namespace {
+
+struct Pair {
+  u64 a = 0;
+  u64 b = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Seqlock, correct: writer goes odd, release fence, payload, publish-even.
+struct GoodSeqlock {
+  static constexpr u32 kThreads = 2;
+
+  chk::atomic<u64> seq{0};
+  Pair data{};
+
+  void thread(u32 t) {
+    if (t == 0) {
+      seq.store(1, std::memory_order_relaxed);
+      thread_fence(std::memory_order_release);
+      Pair p{7, 7};
+      CheckedPolicy::torn_copy(data, p);
+      seq.store(2, std::memory_order_release);
+    } else {
+      read_side();
+    }
+  }
+  void read_side() {
+    const u64 s1 = seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) return;
+    const Pair p = CheckedPolicy::torn_read(data);
+    thread_fence(std::memory_order_acquire);
+    const u64 s2 = seq.load(std::memory_order_relaxed);
+    if (s1 == s2) CHK_ASSERT(p.a == p.b, "seqlock accepted a torn read");
+  }
+};
+
+// Seqlock, planted bug: the payload is written BEFORE the sequence goes
+// odd, so a reader overlapping the write sees a stable even sequence and
+// accepts a half-written pair.
+struct BuggySeqlock : GoodSeqlock {
+  void thread(u32 t) {
+    if (t == 0) {
+      Pair p{7, 7};
+      CheckedPolicy::torn_copy(data, p);  // BUG: claim comes after the data
+      seq.store(2, std::memory_order_release);
+    } else {
+      read_side();
+    }
+  }
+};
+
+TEST(ChkMeta, CorrectSeqlockPasses) {
+  const RunResult r = check<GoodSeqlock>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(ChkMeta, BuggySeqlockCaughtAndReplays) {
+  const RunResult r = check<BuggySeqlock>();
+  ASSERT_FALSE(r.ok) << "checker missed the planted seqlock bug";
+  EXPECT_NE(r.failure.find("torn"), std::string::npos) << r.failure;
+  EXPECT_FALSE(r.choices.empty());
+  EXPECT_NE(r.report().find("replay = {"), std::string::npos);
+
+  // The printed choice sequence IS the schedule: replaying it must hit the
+  // identical failure with the identical operation trace.
+  const RunResult again = check<BuggySeqlock>({.replay = r.choices});
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.failure, r.failure);
+  EXPECT_EQ(again.trace, r.trace);
+  EXPECT_EQ(again.executions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The trace-ring claim protocol with the post-claim release fence REMOVED —
+// the exact bug the checker found in the recorder's first draft (latent on
+// x86/TSO, real on weakly-ordered hardware): payload words can become
+// visible before the claim, so a snapshot that re-validates seq can accept
+// a half-overwritten record.
+struct NoClaimFenceRecorder {
+  static constexpr u32 kThreads = 2;
+
+  chk::atomic<u64> seq{0};
+  Pair slot{};
+
+  NoClaimFenceRecorder() {
+    // Record 0 published in setup: slot = {1,1}, seq = 2.
+    Pair first{1, 1};
+    CheckedPolicy::torn_copy(slot, first);
+    seq.store(2, std::memory_order_relaxed);
+  }
+
+  void thread(u32 t) {
+    if (t == 0) {
+      // Overwriting writer, record 1: claim CAS ... but no release fence.
+      u64 cur = seq.load(std::memory_order_relaxed);
+      if ((cur & 1) != 0 || cur >= 3 ||
+          !seq.compare_exchange_strong(cur, 3, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      // BUG: Policy::fence(memory_order_release) belongs here.
+      Pair next{2, 2};
+      CheckedPolicy::torn_copy(slot, next);
+      seq.store(4, std::memory_order_release);
+    } else {
+      // snapshot() of record 0: seq check, torn read, fence, re-check.
+      if (seq.load(std::memory_order_acquire) != 2) return;
+      const Pair p = CheckedPolicy::torn_read(slot);
+      thread_fence(std::memory_order_acquire);
+      if (seq.load(std::memory_order_relaxed) != 2) return;
+      CHK_ASSERT(p.a == p.b, "snapshot accepted a torn record");
+    }
+  }
+};
+
+TEST(ChkMeta, MissingClaimFenceCaughtAndReplays) {
+  const RunResult r = check<NoClaimFenceRecorder>();
+  ASSERT_FALSE(r.ok) << "checker missed the fence-less claim protocol";
+  EXPECT_NE(r.failure.find("torn"), std::string::npos) << r.failure;
+
+  const RunResult again = check<NoClaimFenceRecorder>({.replay = r.choices});
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.failure, r.failure);
+  EXPECT_EQ(again.trace, r.trace);
+}
+
+// ---------------------------------------------------------------------------
+// One-slot mailbox with the publish store demoted to relaxed: the payload
+// handoff loses its happens-before edge and the consumer's read of the
+// plain cell is a data race. This is the bug class SpscQueue's release-tail
+// store exists to prevent (see spsc_model_test.cpp for the correct queue).
+struct MissingReleaseMailbox {
+  static constexpr u32 kThreads = 2;
+
+  chk::atomic<u32> full{0};
+  chk::var<u64> cell{0};
+
+  void thread(u32 t) {
+    if (t == 0) {
+      cell = 7;
+      full.store(1, std::memory_order_relaxed);  // BUG: must be release
+    } else {
+      if (full.load(std::memory_order_acquire) == 1) {
+        CHK_ASSERT(cell == 7, "consumer saw stale payload");
+      }
+    }
+  }
+};
+
+TEST(ChkMeta, MissingReleasePublishCaughtAsDataRace) {
+  const RunResult r = check<MissingReleaseMailbox>();
+  ASSERT_FALSE(r.ok) << "checker missed the relaxed publish";
+  EXPECT_NE(r.failure.find("data race"), std::string::npos) << r.failure;
+  EXPECT_FALSE(r.choices.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seed explores the same schedules and reports the
+// same failing execution, bit for bit; DFS likewise. No wall-clock, no OS
+// threads, no address-dependent behavior may leak into exploration.
+TEST(ChkMeta, SameSeedSameFailingSchedule) {
+  Options opts;
+  opts.random_executions = 500;
+  opts.seed = 99;
+  const RunResult r1 = check<BuggySeqlock>(opts);
+  const RunResult r2 = check<BuggySeqlock>(opts);
+  ASSERT_FALSE(r1.ok);
+  EXPECT_EQ(r1.executions, r2.executions);
+  EXPECT_EQ(r1.choices, r2.choices);
+  EXPECT_EQ(r1.failure, r2.failure);
+  EXPECT_EQ(r1.trace, r2.trace);
+}
+
+TEST(ChkMeta, DfsIsDeterministic) {
+  const RunResult r1 = check<NoClaimFenceRecorder>();
+  const RunResult r2 = check<NoClaimFenceRecorder>();
+  ASSERT_FALSE(r1.ok);
+  EXPECT_EQ(r1.executions, r2.executions);
+  EXPECT_EQ(r1.choices, r2.choices);
+  EXPECT_EQ(r1.trace, r2.trace);
+}
+
+}  // namespace
+}  // namespace oaf::chk

@@ -1,0 +1,263 @@
+// Self-checks for the model-checker engine: classic memory-model litmus
+// tests with known answers. These prove the checker's C++11 modelling is
+// neither naive interleaving (it must FIND the relaxed-order weak behaviors)
+// nor broken (it must NOT invent weak behaviors that release/acquire or
+// seq_cst forbid), and that the race detector and deadlock detector fire.
+#include <gtest/gtest.h>
+
+#include "chk/check.h"
+
+namespace oaf::chk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Message passing: data published with release, consumed with acquire.
+// The consumer that sees flag==1 must see data==42; the race detector must
+// stay quiet. This must hold over the WHOLE exhaustive DFS.
+struct MpReleaseAcquire {
+  static constexpr u32 kThreads = 2;
+  atomic<u64> flag{0};
+  var<u64> data{0};
+
+  void thread(u32 t) {
+    if (t == 0) {
+      data = 42;
+      flag.store(1, std::memory_order_release);
+    } else {
+      if (flag.load(std::memory_order_acquire) == 1) {
+        CHK_ASSERT(data == 42, "acquire saw flag but stale data");
+      }
+    }
+  }
+};
+
+TEST(ChkLitmus, MessagePassingReleaseAcquirePasses) {
+  const RunResult r = check<MpReleaseAcquire>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.executions, 1u);
+}
+
+// Same shape but the flag is published relaxed: the consumer can observe
+// flag==1 yet race on (or observe stale) data. The checker must flag it.
+struct MpRelaxed {
+  static constexpr u32 kThreads = 2;
+  atomic<u64> flag{0};
+  var<u64> data{0};
+
+  void thread(u32 t) {
+    if (t == 0) {
+      data = 42;
+      flag.store(1, std::memory_order_relaxed);
+    } else {
+      if (flag.load(std::memory_order_relaxed) == 1) {
+        CHK_ASSERT(data == 42, "relaxed publish let stale data through");
+      }
+    }
+  }
+};
+
+TEST(ChkLitmus, MessagePassingRelaxedIsCaught) {
+  const RunResult r = check<MpRelaxed>();
+  ASSERT_FALSE(r.ok) << "checker missed the missing release/acquire pair";
+  EXPECT_NE(r.failure.find("data race"), std::string::npos) << r.report();
+}
+
+// A release fence before a relaxed store re-establishes the ordering
+// (fence + relaxed store pattern used by seqlock-style writers).
+struct MpReleaseFence {
+  static constexpr u32 kThreads = 2;
+  atomic<u64> flag{0};
+  var<u64> data{0};
+
+  void thread(u32 t) {
+    if (t == 0) {
+      data = 42;
+      thread_fence(std::memory_order_release);
+      flag.store(1, std::memory_order_relaxed);
+    } else {
+      if (flag.load(std::memory_order_relaxed) == 1) {
+        thread_fence(std::memory_order_acquire);
+        CHK_ASSERT(data == 42, "fence pair failed to order data");
+      }
+    }
+  }
+};
+
+TEST(ChkLitmus, ReleaseFencePairPasses) {
+  const RunResult r = check<MpReleaseFence>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Store buffering (Dekker): with seq_cst both threads can never read 0.
+struct SbSeqCst {
+  static constexpr u32 kThreads = 2;
+  atomic<u64> x{0};
+  atomic<u64> y{0};
+  u64 r0 = 1;
+  u64 r1 = 1;
+
+  void thread(u32 t) {
+    if (t == 0) {
+      x.store(1, std::memory_order_seq_cst);
+      r0 = y.load(std::memory_order_seq_cst);
+    } else {
+      y.store(1, std::memory_order_seq_cst);
+      r1 = x.load(std::memory_order_seq_cst);
+    }
+  }
+  void finish() const {
+    CHK_ASSERT(r0 == 1 || r1 == 1, "seq_cst store buffering leaked");
+  }
+};
+
+TEST(ChkLitmus, StoreBufferingSeqCstForbidden) {
+  const RunResult r = check<SbSeqCst>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// With relaxed (or even acquire/release) ordering, both-zero IS allowed on
+// real hardware; the modelled store buffer must be able to produce it.
+struct SbRelaxed {
+  static constexpr u32 kThreads = 2;
+  atomic<u64> x{0};
+  atomic<u64> y{0};
+  u64 r0 = 1;
+  u64 r1 = 1;
+
+  void thread(u32 t) {
+    if (t == 0) {
+      x.store(1, std::memory_order_relaxed);
+      r0 = y.load(std::memory_order_relaxed);
+    } else {
+      y.store(1, std::memory_order_relaxed);
+      r1 = x.load(std::memory_order_relaxed);
+    }
+  }
+  void finish() const {
+    CHK_ASSERT(r0 == 1 || r1 == 1, "both-zero observed (expected!)");
+  }
+};
+
+TEST(ChkLitmus, StoreBufferingRelaxedObserved) {
+  const RunResult r = check<SbRelaxed>();
+  ASSERT_FALSE(r.ok) << "checker cannot model store buffering";
+  EXPECT_NE(r.failure.find("both-zero"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Race detector: two unsynchronized writers.
+struct PlainRace {
+  static constexpr u32 kThreads = 2;
+  var<u64> v{0};
+  void thread(u32 t) { v = t; }
+};
+
+TEST(ChkRaces, UnsynchronizedWritesAreARace) {
+  const RunResult r = check<PlainRace>();
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("data race"), std::string::npos) << r.report();
+}
+
+// Mutex-protected counter: no race, and the count adds up.
+struct MutexCounter {
+  static constexpr u32 kThreads = 3;
+  mutex mu;
+  var<u64> n{0};
+
+  void thread(u32) {
+    std::lock_guard<mutex> lk(mu);
+    n = n + 1;
+  }
+  void finish() { CHK_ASSERT(n == kThreads, "lost update under mutex"); }
+};
+
+TEST(ChkRaces, MutexCounterIsClean) {
+  const RunResult r = check<MutexCounter>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Un-mutexed counter: increments can be lost AND it is a race.
+struct RacyCounter {
+  static constexpr u32 kThreads = 2;
+  var<u64> n{0};
+  void thread(u32) { n = n + 1; }
+};
+
+TEST(ChkRaces, RacyCounterIsCaught) {
+  const RunResult r = check<RacyCounter>();
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("data race"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock: classic AB/BA lock order inversion.
+struct LockOrderInversion {
+  static constexpr u32 kThreads = 2;
+  mutex a;
+  mutex b;
+
+  void thread(u32 t) {
+    if (t == 0) {
+      std::lock_guard<mutex> la(a);
+      std::lock_guard<mutex> lb(b);
+    } else {
+      std::lock_guard<mutex> lb(b);
+      std::lock_guard<mutex> la(a);
+    }
+  }
+};
+
+TEST(ChkDeadlock, LockOrderInversionIsCaught) {
+  const RunResult r = check<LockOrderInversion>();
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("deadlock"), std::string::npos) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// CAS / RMW atomicity: concurrent fetch_add never loses an increment.
+struct AtomicCounter {
+  static constexpr u32 kThreads = 3;
+  atomic<u64> n{0};
+  void thread(u32) { n.fetch_add(1, std::memory_order_relaxed); }
+  void finish() {
+    CHK_ASSERT(n.load(std::memory_order_relaxed) == kThreads,
+               "fetch_add lost an increment");
+  }
+};
+
+TEST(ChkAtomics, FetchAddNeverLosesIncrements) {
+  const RunResult r = check<AtomicCounter>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Exactly one of N CAS contenders wins.
+struct CasOneWinner {
+  static constexpr u32 kThreads = 3;
+  atomic<u32> state{0};
+  var<u32> winners{0};
+  mutex mu;
+
+  void thread(u32) {
+    u32 expected = 0;
+    if (state.compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      std::lock_guard<mutex> lk(mu);
+      winners = winners + 1;
+    }
+  }
+  void finish() { CHK_ASSERT(winners == 1, "CAS granted twice (or never)"); }
+};
+
+TEST(ChkAtomics, CasHasExactlyOneWinner) {
+  const RunResult r = check<CasOneWinner>();
+  EXPECT_TRUE(r.ok) << r.report();
+}
+
+}  // namespace
+}  // namespace oaf::chk

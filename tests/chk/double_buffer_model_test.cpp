@@ -1,0 +1,305 @@
+// Model-checked invariants of the shm double-buffer ring (paper §4.4.1),
+// run over BasicDoubleBufferRing<chk::CheckedPolicy> — the SAME source as
+// the production ring — under the deterministic concurrency checker:
+//   - round-robin acquire never double-grants a slot;
+//   - a published payload is fully visible to the consumer (client/target
+//     ownership handoff carries happens-before);
+//   - the orphan sweeper and a slow owner can never both win a slot
+//     (regression for the check-then-store publish/release bug);
+//   - epoch fencing rejects a stale incarnation's writes.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "chk/check.h"
+#include "chk/policy.h"
+#include "shm/double_buffer.h"
+#include "shm/fault_ring.h"
+
+namespace oaf::shm {
+namespace {
+
+using oaf::chk::RunResult;
+using Ring = BasicDoubleBufferRing<oaf::chk::CheckedPolicy>;
+using Fault = BasicShmFaultRing<oaf::chk::CheckedPolicy>;
+
+constexpr Direction kC2T = Direction::kClientToTarget;
+
+// ---------------------------------------------------------------------------
+// Two producers race acquire() on the same round-robin slot: exactly one may
+// win, and only the winner may scribble on slot-owner state (the chk::var
+// doubles as a race probe — two winners would also be a data race).
+struct DoubleGrantModel {
+  static constexpr u32 kThreads = 2;
+
+  alignas(64) std::array<u8, 2048> mem{};
+  Ring ring;
+  chk::var<u64> owner_scratch{0};
+  bool won[2] = {false, false};
+
+  DoubleGrantModel()
+      : ring(Ring::create(mem.data(), mem.size(), 8, 1).take()) {}
+
+  void thread(u32 t) {
+    if (ring.acquire(kC2T, 0).is_ok()) {
+      won[t] = true;
+      owner_scratch = t;
+    }
+  }
+  void finish() {
+    CHK_ASSERT(won[0] != won[1], "acquire double-granted (or never granted)");
+    CHK_ASSERT(ring.state(kC2T, 0) == Ring::kWriting,
+               "granted slot not in kWriting");
+    CHK_ASSERT(ring.in_flight(kC2T) == 1, "in_flight miscounts");
+  }
+};
+
+TEST(ChkDoubleBuffer, AcquireNeverDoubleGrants) {
+  const RunResult r = oaf::chk::check<DoubleGrantModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Full producer->consumer handoff: the consumer that wins consume() must see
+// the payload the producer wrote before publish() — the race detector proves
+// the release-CAS / acquire-CAS pair carries the happens-before edge — and
+// the slot returns to kFree exactly once.
+struct TransferModel {
+  static constexpr u32 kThreads = 2;
+
+  alignas(64) std::array<u8, 2048> mem{};
+  Ring producer;
+  Ring consumer;
+  chk::var<u64> payload{0};
+  bool consumed = false;
+
+  TransferModel()
+      : producer(Ring::create(mem.data(), mem.size(), 8, 1).take()),
+        consumer(Ring::attach(mem.data(), mem.size()).take()) {}
+
+  void thread(u32 t) {
+    if (t == 0) {
+      CHK_ASSERT(producer.acquire(kC2T, 0).is_ok(), "producer acquire failed");
+      payload = 42;
+      CHK_ASSERT(producer.publish(kC2T, 0, 8).is_ok(), "publish failed");
+    } else {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        auto got = consumer.consume(kC2T, 0);
+        if (!got.is_ok()) continue;
+        CHK_ASSERT(got.value().size() == 8, "consume returned wrong length");
+        CHK_ASSERT(payload == 42, "consumer saw stale payload");
+        CHK_ASSERT(consumer.release(kC2T, 0).is_ok(), "release failed");
+        consumed = true;
+        return;
+      }
+    }
+  }
+  void finish() {
+    if (consumed) {
+      CHK_ASSERT(ring_state() == Ring::kFree, "released slot not kFree");
+    } else {
+      // Consumer gave up before the publish landed: payload still parked.
+      CHK_ASSERT(ring_state() == Ring::kReady, "published slot not kReady");
+    }
+  }
+  [[nodiscard]] Ring::SlotState ring_state() const {
+    return producer.state(kC2T, 0);
+  }
+};
+
+TEST(ChkDoubleBuffer, PublishConsumeCarriesHappensBefore) {
+  const RunResult r = oaf::chk::check<TransferModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// REGRESSION: publish() used to be check-then-store (relaxed load of the
+// state word, then plain stores of len/epoch/kReady). The orphan sweeper
+// could claim the slot between the check and the stores, and both sides
+// "won": the sweeper freed the slot while the producer force-published into
+// it. With the CAS-based transition exactly one side wins.
+struct SweeperVsPublishModel {
+  static constexpr u32 kThreads = 2;
+
+  alignas(64) std::array<u8, 2048> mem{};
+  Ring ring;
+  bool pub_ok = false;
+  bool sweep_ok = false;
+
+  SweeperVsPublishModel()
+      : ring(Ring::create(mem.data(), mem.size(), 8, 1).take()) {
+    // The producer owns the slot; the sweeper believes it is stuck.
+    CHK_ASSERT(ring.acquire(kC2T, 0).is_ok(), "setup acquire failed");
+  }
+
+  void thread(u32 t) {
+    if (t == 0) {
+      pub_ok = ring.publish(kC2T, 0, 8).is_ok();
+    } else {
+      sweep_ok = ring.force_release(kC2T, 0).is_ok();
+    }
+  }
+  void finish() {
+    CHK_ASSERT(pub_ok != sweep_ok,
+               "sweeper and producer both (or neither) won the slot");
+    if (pub_ok) {
+      CHK_ASSERT(ring.state(kC2T, 0) == Ring::kReady,
+                 "published slot not kReady");
+      auto got = ring.consume(kC2T, 0);
+      CHK_ASSERT(got.is_ok(), "published payload not consumable");
+      CHK_ASSERT(got.value().size() == 8, "published length lost");
+    } else {
+      CHK_ASSERT(ring.state(kC2T, 0) == Ring::kFree,
+                 "swept slot not reclaimed to kFree");
+      CHK_ASSERT(ring.acquire(kC2T, 0).is_ok(), "swept slot not reusable");
+    }
+  }
+};
+
+TEST(ChkDoubleBuffer, SweeperVsPublishExactlyOneWins) {
+  const RunResult r = oaf::chk::check<SweeperVsPublishModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// Same race on the drain side: release() vs force_release() of a kDraining
+// slot (consumer presumed dead mid-drain, then completes anyway).
+struct SweeperVsReleaseModel {
+  static constexpr u32 kThreads = 2;
+
+  alignas(64) std::array<u8, 2048> mem{};
+  Ring ring;
+  bool rel_ok = false;
+  bool sweep_ok = false;
+
+  SweeperVsReleaseModel()
+      : ring(Ring::create(mem.data(), mem.size(), 8, 1).take()) {
+    CHK_ASSERT(ring.acquire(kC2T, 0).is_ok(), "setup acquire failed");
+    CHK_ASSERT(ring.publish(kC2T, 0, 8).is_ok(), "setup publish failed");
+    CHK_ASSERT(ring.consume(kC2T, 0).is_ok(), "setup consume failed");
+  }
+
+  void thread(u32 t) {
+    if (t == 0) {
+      rel_ok = ring.release(kC2T, 0).is_ok();
+    } else {
+      sweep_ok = ring.force_release(kC2T, 0).is_ok();
+    }
+  }
+  void finish() {
+    CHK_ASSERT(rel_ok != sweep_ok,
+               "consumer and sweeper both (or neither) freed the slot");
+    CHK_ASSERT(ring.state(kC2T, 0) == Ring::kFree, "slot not freed");
+    Fault probe(ring);
+    CHK_ASSERT(probe.slot_len(kC2T, 0) == 0, "freed slot kept a length");
+    CHK_ASSERT(probe.slot_epoch(kC2T, 0) == 0, "freed slot kept a stamp");
+    CHK_ASSERT(ring.acquire(kC2T, 0).is_ok(), "freed slot not reusable");
+  }
+};
+
+TEST(ChkDoubleBuffer, SweeperVsReleaseExactlyOneWins) {
+  const RunResult r = oaf::chk::check<SweeperVsReleaseModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch fence: after the region is re-formatted (reconnect), a handle of the
+// previous incarnation must be rejected at every producer-side step, while
+// the successor's traffic flows; the stale handle counts its fence hits.
+struct EpochFenceModel {
+  static constexpr u32 kThreads = 2;
+
+  alignas(64) std::array<u8, 2048> mem{};
+  Ring stale;
+  Ring fresh;
+
+  EpochFenceModel()
+      : stale(make_stale(mem)),
+        fresh(Ring::attach(mem.data(), mem.size()).take()) {}
+
+  static Ring make_stale(std::array<u8, 2048>& m) {
+    // First incarnation: the stale peer attaches and even holds a slot.
+    Ring first = Ring::create(m.data(), m.size(), 8, 1).take();
+    Ring peer = Ring::attach(m.data(), m.size()).take();
+    CHK_ASSERT(peer.acquire(kC2T, 0).is_ok(), "setup acquire failed");
+    // Reconnect: the target re-formats the same region -> epoch bump, all
+    // slots reset. `peer` is now a zombie of the first epoch. (ring_epoch()
+    // reads the live shared header, so sample it before the re-format.)
+    const u32 epoch_before = first.ring_epoch();
+    Ring second = Ring::create(m.data(), m.size(), 8, 1).take();
+    CHK_ASSERT(second.ring_epoch() == epoch_before + 1,
+               "re-format did not bump the epoch");
+    return peer;
+  }
+
+  void thread(u32 t) {
+    if (t == 0) {
+      // The zombie tries to finish its in-flight I/O into the new ring.
+      CHK_ASSERT(!stale.publish(kC2T, 0, 8).is_ok(),
+                 "stale-epoch publish was accepted");
+      CHK_ASSERT(!stale.acquire(kC2T, 0).is_ok(),
+                 "stale-epoch acquire was accepted");
+    } else {
+      CHK_ASSERT(fresh.acquire(kC2T, 0).is_ok(), "fresh acquire failed");
+      CHK_ASSERT(fresh.publish(kC2T, 0, 8).is_ok(), "fresh publish failed");
+    }
+  }
+  void finish() {
+    CHK_ASSERT(stale.fence_rejects() == 2, "fence hits not counted");
+    auto got = fresh.consume(kC2T, 0);
+    CHK_ASSERT(got.is_ok(), "successor traffic blocked");
+    CHK_ASSERT(got.value().size() == 8, "successor payload length lost");
+  }
+};
+
+TEST(ChkDoubleBuffer, EpochBumpFencesStalePeer) {
+  const RunResult r = oaf::chk::check<EpochFenceModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// A misbehaving peer forges kReady with a stale (never-stamped) epoch tag:
+// consume must reject with kPeerMisbehavior and reclaim — never hand out a
+// span — even while a legitimate producer works the other slot.
+struct StaleStampModel {
+  static constexpr u32 kThreads = 2;
+
+  alignas(64) std::array<u8, 4096> mem{};
+  Ring ring;
+
+  StaleStampModel()
+      : ring(Ring::create(mem.data(), mem.size(), 8, 2).take()) {
+    Fault fault(ring);
+    fault.force_state(kC2T, 0, Ring::kReady);  // forged, epoch stamp == 0
+  }
+
+  void thread(u32 t) {
+    if (t == 0) {
+      auto got = ring.consume(kC2T, 0);
+      CHK_ASSERT(!got.is_ok(), "forged slot handed out a span");
+      CHK_ASSERT(got.status().code() == StatusCode::kPeerMisbehavior,
+                 "forged slot not flagged as peer misbehavior");
+      CHK_ASSERT(ring.state(kC2T, 0) == Ring::kFree,
+                 "forged slot not reclaimed");
+    } else {
+      CHK_ASSERT(ring.acquire(kC2T, 1).is_ok(), "legit acquire failed");
+      CHK_ASSERT(ring.publish(kC2T, 1, 4).is_ok(), "legit publish failed");
+    }
+  }
+  void finish() {
+    CHK_ASSERT(ring.fence_rejects() == 1, "stamp reject not counted");
+    CHK_ASSERT(ring.consume(kC2T, 1).is_ok(), "legit slot blocked");
+  }
+};
+
+TEST(ChkDoubleBuffer, ForgedReadyWithStaleStampRejected) {
+  const RunResult r = oaf::chk::check<StaleStampModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+}  // namespace
+}  // namespace oaf::shm

@@ -32,7 +32,10 @@ struct FaultHarness {
     target = std::make_unique<NvmfTargetConnection>(
         sched, *target_ch, copier, broker, subsystem,
         TargetOptions{cfg, "fault"});
-    InitiatorOptions iopts{cfg, 8, "fault"};
+    InitiatorOptions iopts;
+    iopts.af = cfg;
+    iopts.queue_depth = 8;
+    iopts.connection_name = "fault";
     iopts.command_timeout_ns = timeout;
     initiator = std::make_unique<NvmfInitiator>(sched, *client_ch, copier,
                                                 broker, iopts);

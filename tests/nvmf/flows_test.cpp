@@ -24,7 +24,10 @@ struct CountingHarness {
     TargetOptions topts{cfg, "flows"};
     target = std::make_unique<NvmfTargetConnection>(sched, *target_ch, copier,
                                                     broker, subsystem, topts);
-    InitiatorOptions iopts{cfg, 16, "flows"};
+    InitiatorOptions iopts;
+    iopts.af = cfg;
+    iopts.queue_depth = 16;
+    iopts.connection_name = "flows";
     initiator =
         std::make_unique<NvmfInitiator>(sched, *client_ch, copier, broker, iopts);
     initiator->connect([](Status) {});

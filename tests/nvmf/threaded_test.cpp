@@ -32,7 +32,10 @@ struct ThreadedHarness {
     TargetOptions topts{cfg, conn};
     target = std::make_unique<NvmfTargetConnection>(
         target_exec, *target_ch, copier, broker, subsystem, topts);
-    InitiatorOptions iopts{cfg, 16, conn};
+    InitiatorOptions iopts;
+    iopts.af = cfg;
+    iopts.queue_depth = 16;
+    iopts.connection_name = conn;
     initiator = std::make_unique<NvmfInitiator>(client_exec, *client_ch, copier,
                                                 broker, iopts);
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pdu/wire_contract.h"
+
 namespace oaf::pdu {
 namespace {
 
@@ -342,6 +344,26 @@ TEST(CodecTest, WireSizeMatchesEncodedBytes) {
   in.header = c;
   in.payload.resize(4096, 1);
   EXPECT_EQ(wire_size(in), encode(in).size());
+}
+
+TEST(CodecTest, EncoderMatchesWireContract) {
+  // Pins the encoder to the compile-time contract in pdu/wire_contract.h:
+  // every fixed-size header must serialize to exactly the advertised byte
+  // count (plus the common preamble and u32 prefixes for strings).
+  const auto fixed = [](PduHeader h) {
+    Pdu p;
+    p.header = std::move(h);
+    return encode(p).size() - kWireCommonHeaderBytes;
+  };
+  EXPECT_EQ(fixed(ICReq{}), kWireICReqBytes);
+  EXPECT_EQ(fixed(ICResp{}), kWireICRespBytes + kWireStrPrefixBytes);
+  EXPECT_EQ(fixed(CapsuleCmd{}), kWireCapsuleCmdBytes);
+  EXPECT_EQ(fixed(CapsuleResp{}), kWireCapsuleRespBytes);
+  EXPECT_EQ(fixed(R2T{}), kWireR2TBytes);
+  EXPECT_EQ(fixed(H2CData{}), kWireH2CDataBytes);
+  EXPECT_EQ(fixed(C2HData{}), kWireC2HDataBytes);
+  EXPECT_EQ(fixed(TermReq{}), kWireTermReqFixedBytes + kWireStrPrefixBytes);
+  EXPECT_EQ(fixed(KeepAlive{}), kWireKeepAliveBytes);
 }
 
 TEST(CodecTest, ShmReferencePduIsSmall) {

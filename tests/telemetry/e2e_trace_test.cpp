@@ -33,7 +33,10 @@ struct TraceHarness {
     TargetOptions topts{cfg, "tracee"};
     target = std::make_unique<NvmfTargetConnection>(sched, *target_ch, copier,
                                                     broker, subsystem, topts);
-    InitiatorOptions iopts{cfg, 16, "tracee"};
+    InitiatorOptions iopts;
+    iopts.af = cfg;
+    iopts.queue_depth = 16;
+    iopts.connection_name = "tracee";
     initiator =
         std::make_unique<NvmfInitiator>(sched, *client_ch, copier, broker, iopts);
     initiator->connect([](Status) {});

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo lint driver: clang-tidy over all first-party translation units.
+#
+#   tools/lint.sh [build-dir]
+#
+# Requires a build directory configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (the CI lint job does this; locally: cmake -B build -S .
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Every finding is an error — the
+# .clang-tidy config at the repo root sets WarningsAsErrors and documents
+# which checks are enabled and why.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found in PATH" >&2
+  echo "lint.sh: install clang-tidy (>= 14) or run the CI lint job" >&2
+  exit 2
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint.sh: ${BUILD_DIR}/compile_commands.json missing" >&2
+  echo "lint.sh: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# First-party TUs only: library code and the CLI tools. Tests and benches
+# are exercised by the test jobs; generated/third-party code has no place
+# in the compile DB for these globs.
+mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+
+echo "lint.sh: clang-tidy over ${#FILES[@]} translation units"
+clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+echo "lint.sh: clean"

@@ -5,7 +5,7 @@
 // timed workload at a fixed queue depth, and prints bandwidth, IOPS, and
 // latency percentiles with the I/O-time/comm/other breakdown.
 //
-//   oaf_perf --port 4420 --token 42 --io-size-kib 128 --qd 32 \
+//   oaf_perf --port 4420 --token 42 --io-size-kib 128 --qd 32
 //            --rw 1.0 --seconds 2
 //
 // Observability: --json replaces the tables with one machine-readable
