@@ -6,6 +6,7 @@
 //      pass per side costs across I/O sizes.
 //   3. Value of adaptive selection — the same application binary, co-located
 //      vs remote: what the locality-aware channel switch buys end to end.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
@@ -29,7 +30,8 @@ double lat(Transport t, u64 io, u32 qd) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("ablation_extensions");
   // 1. RDMA control path.
   {
     Table t("Ablation: AF control path over TCP vs RDMA (future work, §8)");
@@ -43,6 +45,7 @@ int main() {
              usec(lat(Transport::kAfShmRdmaControl, io, 1))});
     }
     t.print();
+    report.add_table(t);
     std::printf(
         "\nExpectation: small I/Os are control-plane bound (paper §5.5), so\n"
         "an RDMA control path lifts 4-16 KiB throughput and trims QD1\n"
@@ -67,6 +70,7 @@ int main() {
              Table::num(100.0 * (plain - enc) / plain, 0) + "%"});
     }
     t.print();
+    report.add_table(t);
     std::printf(
         "\nExpectation: encryption costs roughly one extra payload pass per\n"
         "side (and forfeits zero-copy), a bounded tax on bandwidth.\n");
@@ -82,10 +86,11 @@ int main() {
     t.row({"remote node", "stock NVMe/TCP",
            mib(bw(Transport::kTcpStock, 128 * kKiB, 1.0))});
     t.print();
+    report.add_table(t);
     std::printf(
         "\nExpectation: the fabric adapts per placement — co-located I/O\n"
         "leaves the network entirely; remote I/O still beats stock NVMe/TCP\n"
         "through the §4.5 TCP optimizations.\n");
   }
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -1,0 +1,151 @@
+// Machine-readable bench output: the oaf-bench-v1 document.
+//
+// Every figure bench prints human tables AND (with --json <path>) writes one
+// JSON document with a stable schema, so runs are diffable by machines:
+//
+//   {
+//     "schema":  "oaf-bench-v1",
+//     "bench":   "fig09_chunk_size",
+//     "tables":  [ {"title": ..., "header": [...], "rows": [[...], ...]} ],
+//     "metrics": { "<title>/<row-label>/<column>": <number>, ... }
+//   }
+//
+// `tables` mirrors exactly what the bench printed. `metrics` is the derived
+// flat map tools/bench_compare diffs: every cell whose text parses fully as
+// a number becomes one entry keyed "<table title>/<first cell>/<column
+// header>". Benches only call add_table(); the extraction is generic, so a
+// bench cannot forget to export the series it prints.
+//
+// The schema string only changes when the document shape changes
+// incompatibly; adding tables or metrics to a bench is not a schema change.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/table.h"
+
+namespace oaf::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Capture a printed table: stored verbatim under "tables", numeric cells
+  /// flattened into "metrics".
+  void add_table(const Table& t) {
+    TableData data;
+    data.title = t.title();
+    data.header = t.header_row();
+    data.rows = t.data_rows();
+    for (const auto& row : data.rows) {
+      if (row.empty()) continue;
+      for (size_t c = 1; c < row.size(); ++c) {
+        double v = 0;
+        if (!parse_number(row[c], &v)) continue;
+        const std::string col =
+            c < data.header.size() ? data.header[c] : std::to_string(c);
+        metrics_[data.title + "/" + row[0] + "/" + col] = v;
+      }
+    }
+    tables_.push_back(std::move(data));
+  }
+
+  /// Explicit metric for values that never went through a Table.
+  void add_metric(const std::string& key, double value) {
+    metrics_[key] = value;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& metrics() const {
+    return metrics_;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("oaf-bench-v1");
+    w.key("bench").value(bench_);
+    w.key("tables").begin_array();
+    for (const auto& t : tables_) {
+      w.begin_object();
+      w.key("title").value(t.title);
+      w.key("header").begin_array();
+      for (const auto& h : t.header) w.value(h);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (const auto& row : t.rows) {
+        w.begin_array();
+        for (const auto& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics").begin_object();
+    for (const auto& [key, value] : metrics_) w.key(key).value(value);
+    w.end_object();
+    w.end_object();
+    return w.take();
+  }
+
+  /// Write the document to `path`. Returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string doc = to_json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  struct TableData {
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  /// True only when the whole cell is one number ("123.4" yes, "512KiB" no).
+  static bool parse_number(const std::string& s, double* out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) return false;
+    *out = v;
+    return true;
+  }
+
+  std::string bench_;
+  std::vector<TableData> tables_;
+  std::map<std::string, double> metrics_;
+};
+
+/// The one flag every bench understands: `--json <path>`. Empty = absent.
+inline std::string bench_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Standard bench epilogue: write the report when --json was passed.
+/// Benches `return finish_bench(report, argc, argv);`.
+inline int finish_bench(const BenchReport& report, int argc, char** argv) {
+  const std::string path = bench_json_path(argc, argv);
+  if (path.empty()) return 0;
+  if (!report.write(path)) {
+    std::fprintf(stderr, "failed to write bench json to %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("bench json: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace oaf::bench

@@ -1,0 +1,51 @@
+// Bench smoke: the CI regression anchor.
+//
+// A deliberately small, fully deterministic run (virtual-time simulation,
+// fixed seeds) covering the three transport families the paper compares —
+// stock NVMe/TCP, AF's optimized TCP, and full NVMe-oAF over shm — at one
+// representative workload. Its --json output is committed as
+// bench/BENCH_smoke.json; the CI observability job re-runs this binary and
+// gates on tools/bench_compare against the committed baseline, so a change
+// that silently shifts simulated throughput or latency fails the build
+// instead of landing unnoticed. Refresh the baseline by re-running:
+//
+//   build/bench/bench_smoke --json bench/BENCH_smoke.json
+#include "bench_report.h"
+#include "bench_util.h"
+
+using namespace oaf;
+using namespace oaf::bench;
+
+int main(int argc, char** argv) {
+  BenchReport report("bench_smoke");
+  struct Row {
+    const char* name;
+    Transport transport;
+  };
+  const std::vector<Row> rows = {
+      {"NVMe/TCP-25G", Transport::kTcpStock},
+      {"AF-TCP-25G", Transport::kAfTcpOnly},
+      {"NVMe-oAF", Transport::kAfShm},
+  };
+
+  // Short virtual run: rates stabilize well inside 100 ms of simulated time,
+  // and the whole binary finishes in a few wall seconds.
+  WorkloadSpec spec = paper_defaults().with_io(128 * kKiB).with_mix(0.7, true);
+  spec.duration = 100 * 1000 * 1000;
+  spec.warmup = 10 * 1000 * 1000;
+
+  Table t("Bench smoke: seq 128 KiB 70:30 read-write, 1 stream, QD 128");
+  t.header({"Transport", "MiB/s", "p50 (us)", "p99 (us)", "IOs"});
+  for (const auto& row : rows) {
+    const auto stats = run_streams(row.transport, 1, spec,
+                                   opts_with_tcp(tcp_25g()));
+    const Histogram lat = merged_latency(stats);
+    t.row({row.name, mib(Rig::aggregate_mib_s(stats)),
+           usec(static_cast<double>(lat.p50()) / 1000.0),
+           usec(static_cast<double>(lat.p99()) / 1000.0),
+           std::to_string(lat.count())});
+  }
+  t.print();
+  report.add_table(t);
+  return finish_bench(report, argc, argv);
+}

@@ -3,6 +3,7 @@
 // fabric; aggregate bandwidth and average latency for 4 KiB and 128 KiB.
 // NVMe/RoCE is reported for a single stream/SSD only (the paper had one
 // real SSD on the physical testbed).
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
@@ -19,7 +20,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig02_existing_transports");
   std::vector<Row> rows = {
       {"NVMe/TCP-10G", Transport::kTcpStock, 4, opts_with_tcp(tcp_10g())},
       {"NVMe/TCP-25G", Transport::kTcpStock, 4, opts_with_tcp(tcp_25g())},
@@ -46,11 +48,12 @@ int main() {
       bw.row(cells);
     }
     bw.print();
+    report.add_table(bw);
   }
 
   std::printf(
       "\nPaper shape check: RDMA leads every TCP generation; TCP-100G over\n"
       "TCP-25G is a modest gain (stack-bound, not wire-bound); latency grows\n"
       "with I/O size and RDMA stays lowest.\n");
-  return 0;
+  return finish_bench(report, argc, argv);
 }

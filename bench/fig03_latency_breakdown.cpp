@@ -2,12 +2,14 @@
 // NVMe-oF transports — the end-to-end average latency decomposed into
 // I/O time (device), communication time (fabric), and other
 // (client preparation + target processing). Same topology as Fig 2.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig03_latency_breakdown");
   struct Row {
     const char* name;
     Transport transport;
@@ -41,6 +43,7 @@ int main() {
                           0) + "%"});
       }
       t.print();
+      report.add_table(t);
     }
   }
 
@@ -49,5 +52,5 @@ int main() {
       "\"other\" exceeds read \"other\" (client buffer fill + copy-out); at\n"
       "4 KiB the I/O time is the NVMe/RDMA bottleneck, and at 128 KiB RDMA's\n"
       "comm:I/O ratio approaches ~1:1.1.\n");
-  return 0;
+  return finish_bench(report, argc, argv);
 }

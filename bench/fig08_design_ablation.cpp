@@ -5,12 +5,14 @@
 //                -> SHM-flow-ctl (+ shared-memory flow control)
 //                -> SHM-0-copy  (+ zero-copy transport)
 // Reports bandwidth and p99.99 tail latency, with step-over-step deltas.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig08_design_ablation");
   WorkloadSpec spec = paper_defaults().with_io(512 * kKiB);
   spec.working_set_bytes = 2 * kGiB;
   const RigOptions opts = opts_with_tcp(tcp_25g());
@@ -47,11 +49,12 @@ int main() {
     prev_tail = tail;
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nPaper shape check: SHM-baseline well above TCP-25G (paper: 1.83x);\n"
       "lock-free leaves bandwidth ~unchanged but cuts p99.99 (paper: -38%%);\n"
       "flow control buys bandwidth again (paper: 1.83x); zero-copy trims the\n"
       "tail further (paper: -22%%).\n");
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -3,12 +3,14 @@
 // size, plus the target memory the chunk pool pins (the reason 512 KiB is
 // "ideal": near-peak bandwidth at a fraction of 2 MiB's memory bill).
 #include "af/buffer_manager.h"
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig09_chunk_size");
   const RigOptions opts = opts_with_tcp(tcp_25g());
   const std::vector<u64> chunks = {64 * kKiB, 128 * kKiB, 256 * kKiB,
                                    512 * kKiB, 1 * kMiB, 2 * kMiB};
@@ -40,10 +42,11 @@ int main() {
     t.row(row);
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nPaper shape check: small chunks hurt bandwidth (per-PDU overhead);\n"
       "512 KiB reaches ~peak for every stream while pinning 4x less memory\n"
       "than 2 MiB — the adaptive choice for this fabric.\n");
-  return 0;
+  return finish_bench(report, argc, argv);
 }

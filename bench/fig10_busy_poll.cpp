@@ -10,6 +10,7 @@
 // *ordering for writes* (paper: 25 us below interrupts, 100 us best) is
 // not reproduced — our virtualized-interrupt cost model rewards short
 // budgets for both directions; see EXPERIMENTS.md for the hypothesis.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
@@ -37,7 +38,8 @@ double run_one(bool is_read, af::BusyPollPolicy policy, DurNs budget) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig10_busy_poll");
   struct Mode {
     const char* name;
     af::BusyPollPolicy policy;
@@ -58,6 +60,7 @@ int main() {
            mib(run_one(true, mode.policy, mode.budget))});
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nPaper shape check: polling beats interrupts; reads peak at 25-50 us\n"
@@ -65,5 +68,5 @@ int main() {
       "miss-rate feedback) matches or beats every static budget. Known\n"
       "deviation: the paper's static-write ordering (25 us worst, 100 us\n"
       "best) is not reproduced — see EXPERIMENTS.md.\n");
-  return 0;
+  return finish_bench(report, argc, argv);
 }

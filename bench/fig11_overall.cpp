@@ -1,12 +1,14 @@
 // Figure 11: overall benefit of NVMe-oAF — four applications to four SSDs,
 // aggregate bandwidth and average latency, 4 KiB and 128 KiB, sequential
 // read and write; NVMe-oAF vs every TCP generation and NVMe/RDMA.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig11_overall");
   struct Row {
     const char* name;
     Transport transport;
@@ -51,6 +53,7 @@ int main() {
       t.row(cells);
     }
     t.print();
+    report.add_table(t);
   }
 
   std::printf("\nHeadline ratios (paper: oAF/TCP-10G = 7.1x, oAF/RDMA = 1.78x):\n");
@@ -58,5 +61,5 @@ int main() {
               af_read_bw_128 / tcp10_read_bw_128);
   std::printf("  measured oAF/RDMA-56G 128KiB read = %.2fx\n",
               af_read_bw_128 / rdma_read_bw_128);
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -1,12 +1,14 @@
 // Figure 12: latency breakdown of NVMe-oAF next to the TCP generations and
 // NVMe/RDMA for the four-SSD workload — the communication component AF's
 // zero-copy + shm flow control removes.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig12_af_breakdown");
   struct Row {
     const char* name;
     Transport transport;
@@ -45,6 +47,7 @@ int main() {
         }
       }
       t.print();
+      report.add_table(t);
     }
   }
 
@@ -55,5 +58,5 @@ int main() {
     std::printf("  vs %s: %.0f%%\n", name.c_str(),
                 100.0 * (total - af_total_read128) / total);
   }
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -3,6 +3,7 @@
 // 3-4x longer duration dilutes the registration warmup and brings its tail
 // back down — evidence that memory-registration overhead is what hurts
 // short-running applications.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
@@ -32,7 +33,8 @@ Histogram run_mixed(Transport t, const RigOptions& opts, DurNs duration,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig13_tail_latency");
   struct Row {
     const char* name;
     Transport transport;
@@ -65,6 +67,7 @@ int main() {
     }
   }
   t.print();
+  report.add_table(t);
 
   std::printf("\nTail ratios (paper: oAF ~3x below TCP-100G and NVMe/RDMA):\n");
   std::printf("  TCP-100G p99.99 / oAF p99.99 = %.1fx\n",
@@ -87,5 +90,6 @@ int main() {
                        2) + "x"});
   }
   t2.print();
-  return 0;
+  report.add_table(t2);
+  return finish_bench(report, argc, argv);
 }

@@ -3,12 +3,14 @@
 // NVMe/RoCE flatten once the network/stack saturates (~QD 8); NVMe-oAF's
 // lock-free double buffer keeps scaling with depth until the device itself
 // is the limit.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig14_concurrency");
   struct Row {
     const char* name;
     Transport transport;
@@ -41,10 +43,11 @@ int main() {
     t.row(cells);
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nPaper shape check: TCP and RoCE ~flat beyond QD 8; oAF keeps\n"
       "scaling (measured oAF QD128/QD8 = %.2fx vs TCP %.2fx).\n",
       af_curve.back() / af_curve[3], tcp_curve.back() / tcp_curve[3]);
-  return 0;
+  return finish_bench(report, argc, argv);
 }

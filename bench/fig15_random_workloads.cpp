@@ -1,11 +1,13 @@
 // Figure 15: throughput for random mixed workloads at 512 KiB — read-heavy
 // (95:5), balanced (50:50), and write-heavy (5:95), single stream/SSD.
+#include "bench_report.h"
 #include "bench_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig15_random_workloads");
   struct Row {
     const char* name;
     Transport transport;
@@ -50,6 +52,7 @@ int main() {
     }
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nAverages across mixes (paper: oAF = 2.33x TCP-100G; oAF within\n"
@@ -57,5 +60,5 @@ int main() {
   std::printf("  measured oAF/TCP-100G = %.2fx\n", af_avg / tcp100_avg);
   std::printf("  measured oAF vs RDMA-56G = %+.1f%%\n",
               100.0 * (af_avg - rdma_avg) / rdma_avg);
-  return 0;
+  return finish_bench(report, argc, argv);
 }

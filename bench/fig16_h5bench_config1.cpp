@@ -1,12 +1,14 @@
 // Figure 16: h5bench write/read kernels, config-1 — one dataset of 16M
 // particles — NVMe-oAF (SHM-0-copy co-design) vs NFS over the same 25 G
 // fabric. Timing includes the closing flush/commit (h5bench sync mode).
+#include "bench_report.h"
 #include "h5_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig16_h5bench_config1");
   const h5bench::BenchConfig cfg = h5bench::BenchConfig::config1();
 
   const H5KernelResult nfs = run_h5bench_nfs(cfg);
@@ -18,10 +20,11 @@ int main() {
   t.row({"NFS (async, 25G)", mib(nfs.write_mib_s), mib(nfs.read_mib_s)});
   t.row({"NVMe-oAF (SHM-0-copy)", mib(af.write_mib_s), mib(af.read_mib_s)});
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nRatios (paper: oAF 5.95x NFS write, 5.68x NFS read):\n"
       "  measured write %.2fx, read %.2fx\n",
       af.write_mib_s / nfs.write_mib_s, af.read_mib_s / nfs.read_mib_s);
-  return 0;
+  return finish_bench(report, argc, argv);
 }

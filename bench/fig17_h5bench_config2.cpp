@@ -2,12 +2,14 @@
 // interleaved small transfers favour NFS's page-cache buffering over a
 // fabric that waits for the SSD — until the application-agnostic I/O
 // coalescing is added (paper: with coalescing oAF reaches 6x/7x NFS).
+#include "bench_report.h"
 #include "h5_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig17_h5bench_config2");
   const h5bench::BenchConfig cfg = h5bench::BenchConfig::config2();
 
   const H5KernelResult nfs = run_h5bench_nfs(cfg);
@@ -24,6 +26,7 @@ int main() {
   t.row({"NVMe-oAF + I/O coalescing", mib(af_co.write_mib_s),
          mib(af_co.read_mib_s)});
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nRatios vs NFS (paper: plain oAF 0.53x write / 0.41x read;\n"
@@ -33,5 +36,5 @@ int main() {
       af_plain.write_mib_s / nfs.write_mib_s,
       af_plain.read_mib_s / nfs.read_mib_s,
       af_co.write_mib_s / nfs.write_mib_s, af_co.read_mib_s / nfs.read_mib_s);
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -3,12 +3,14 @@
 // co-locates k% of the clients with their storage service (shared-memory
 // channel); the rest stay on NVMe/TCP-25G. Aggregate write/read bandwidth.
 // SHM(100%) is omitted as in the paper (it equals the case-2 setting).
+#include "bench_report.h"
 #include "h5_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig18_scaleout_case1");
   Table t("Fig 18: case-1 (4 clients -> 4 SSDs on different nodes): aggregate MiB/s");
   t.header({"Mode", "h5bench write", "h5bench read"});
   double w0 = 0;
@@ -29,10 +31,11 @@ int main() {
            mib(res.write_mib_s), mib(res.read_mib_s)});
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nPaper shape check: SHM(75%%) vs SHM(0%%) = 1.81x write / 2.98x read;\n"
       "measured %.2fx write / %.2fx read.\n",
       w75 / w0, r75 / r0);
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -1,12 +1,14 @@
 // Figure 19: scale-out case-2 — four h5bench clients whose SSDs all live on
 // the *same* node (one NIC shared by every TCP stream), with the fraction
 // of shm-capable clients swept 0..100%.
+#include "bench_report.h"
 #include "h5_util.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig19_scaleout_case2");
   Table t("Fig 19: case-2 (4 clients -> 4 SSDs, same node): aggregate MiB/s");
   t.header({"Mode", "h5bench write", "h5bench read", "write vs SHM(0%)",
             "read vs SHM(0%)"});
@@ -24,9 +26,10 @@ int main() {
            Table::num(res.read_mib_s / r0, 2) + "x"});
   }
   t.print();
+  report.add_table(t);
 
   std::printf(
       "\nPaper shape check: SHM(25%%) improves aggregate by ~37%%/66%%\n"
       "(write/read); SHM(100%%) reaches 2.34x/4.55x over all-TCP-25G.\n");
-  return 0;
+  return finish_bench(report, argc, argv);
 }

@@ -1,12 +1,15 @@
 // Table 1: experiment configuration — the paper's testbed table plus the
 // model substitutions this reproduction uses for each hardware component.
 #include "bench/calibration.h"
+
+#include "bench_report.h"
 #include "common/table.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("tab01_config");
   Table paper("Table 1: experiment configuration (paper testbeds)");
   paper.header({"", "Physical node", "Client VM", "Target VM"});
   paper.row({"Processor",
@@ -19,6 +22,7 @@ int main() {
              "SR-IOV VF"});
   paper.row({"Scale", "up to 4 nodes", "", ""});
   paper.print();
+  report.add_table(paper);
 
   Table model("Reproduction substitutions (calibrated models)");
   model.header({"Paper component", "This repo", "Key parameters"});
@@ -57,5 +61,6 @@ int main() {
   model.row({"NFS (async mount)", "oaf::nfs model",
              "write-behind page cache + chunked RPC"});
   model.print();
-  return 0;
+  report.add_table(model);
+  return finish_bench(report, argc, argv);
 }

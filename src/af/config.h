@@ -50,6 +50,12 @@ struct AfConfig {
   /// a retryable transport error, not a device error.
   bool data_digest = false;
 
+  /// Observability: offer wire-level trace-context propagation in ICReq
+  /// (trace id + parent span on every CapsuleCmd, NTP-style clock echoes on
+  /// ICResp/KeepAlive). Both sides must support it; an old peer simply
+  /// never echoes the feature bit and the connection runs without it.
+  bool trace_ctx = true;
+
   // --- TCP channel ---
   u64 in_capsule_threshold = 8 * kKiB;  ///< stock NVMe/TCP in-capsule limit
   u64 chunk_bytes = 128 * kKiB;         ///< application-level chunk size (§4.5)

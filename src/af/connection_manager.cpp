@@ -11,6 +11,9 @@ pdu::ICReq ConnectionManager::make_icreq(const AfConfig& cfg) const {
   req.node_token = broker_.node_token();
   req.want_shm = cfg.want_shm;
   req.data_digest = cfg.data_digest;
+  req.trace_ctx = cfg.trace_ctx;
+  // t_sent_ns is stamped by the sender at transmit time (it needs the
+  // executor clock, which the CM deliberately doesn't know about).
   return req;
 }
 
@@ -21,6 +24,9 @@ Result<pdu::ICResp> ConnectionManager::accept_target(const pdu::ICReq& req,
   resp.pfv = req.pfv;
   resp.maxh2cdata = static_cast<u32>(ep.config().chunk_bytes);
   resp.data_digest = req.data_digest && ep.config().data_digest;
+  resp.trace_ctx = req.trace_ctx && ep.config().trace_ctx;
+  resp.echo_t_ns = req.t_sent_ns;
+  resp.t_now_ns = static_cast<u64>(ep.executor().now());
 
   const bool co_located = req.node_token == broker_.node_token();
   if (!req.want_shm || !ep.config().want_shm || !co_located) {

@@ -1,10 +1,10 @@
 // Minimal JSON writer used by the telemetry exposition paths (metrics JSON,
 // Chrome trace_event export) and the oaf_perf --json report.
 //
-// Deliberately write-only and dependency-free: the repo never *parses* JSON,
-// it only needs to emit machine-readable artifacts deterministically. All
-// numbers are formatted with fixed rules so the same inputs always produce
-// byte-identical output (the trace golden tests rely on this).
+// Deliberately dependency-free. Emission uses fixed formatting rules so the
+// same inputs always produce byte-identical output (the trace golden tests
+// rely on this). Reading our own artifacts back (trace merge, bench compare)
+// lives in common/json_parse.h.
 #pragma once
 
 #include <cinttypes>

@@ -1,0 +1,253 @@
+#include "common/json_parse.h"
+
+#include <cstdlib>
+
+namespace oaf {
+
+namespace {
+
+const JsonValue kNullValue{};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    auto v = value();
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return err("trailing characters");
+    return v;
+  }
+
+ private:
+  Result<JsonValue> err(const char* what) {
+    return make_error(StatusCode::kInvalidArgument,
+                      std::string("json: ") + what + " at byte " +
+                          std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_lit(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Result<JsonValue> value() {
+    if (++depth_ > kMaxDepth) return err("nesting too deep");
+    auto v = value_inner();
+    --depth_;
+    return v;
+  }
+
+  Result<JsonValue> value_inner() {
+    skip_ws();
+    if (at_end()) return err("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s) return s.status();
+      return JsonValue::make_string(std::move(s).take());
+    }
+    if (consume_lit("true")) return JsonValue::make_bool(true);
+    if (consume_lit("false")) return JsonValue::make_bool(false);
+    if (consume_lit("null")) return JsonValue::make_null();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    return err("unexpected character");
+  }
+
+  Result<JsonValue> object() {
+    ++pos_;  // '{'
+    std::vector<JsonValue::Member> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return err("expected object key");
+      auto key = string();
+      if (!key) return key.status();
+      skip_ws();
+      if (!consume(':')) return err("expected ':'");
+      auto v = value();
+      if (!v) return v;
+      members.emplace_back(std::move(key).take(), std::move(v).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue::make_object(std::move(members));
+      return err("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> array() {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      auto v = value();
+      if (!v) return v;
+      items.push_back(std::move(v).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue::make_array(std::move(items));
+      return err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) {
+        return make_error(StatusCode::kInvalidArgument,
+                          "json: unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) {
+        return make_error(StatusCode::kInvalidArgument,
+                          "json: unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return make_error(StatusCode::kInvalidArgument,
+                              "json: truncated \\u escape");
+          }
+          u32 cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<u32>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<u32>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<u32>(h - 'A' + 10);
+            else
+              return make_error(StatusCode::kInvalidArgument,
+                                "json: bad \\u escape");
+          }
+          // Our writer only escapes control characters this way; anything
+          // else degrades to '?' (documented simplification).
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          return make_error(StatusCode::kInvalidArgument,
+                            "json: bad escape character");
+      }
+    }
+  }
+
+  Result<JsonValue> number() {
+    const u64 start = pos_;
+    if (consume('-')) {}
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (consume('.')) {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') return err("malformed number");
+    return JsonValue::make_number(d);
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  u64 pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  return kNullValue;
+}
+
+bool JsonValue::has(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+Result<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace oaf

@@ -1,0 +1,75 @@
+// Minimal recursive-descent JSON parser.
+//
+// The repo historically only *wrote* JSON (common/json.h); the observability
+// plane needs to read it back — tools/oaf_trace_merge stitches two Chrome
+// trace files and tools/bench_compare diffs two bench reports. This parser
+// covers exactly RFC 8259 JSON (objects, arrays, strings with escapes,
+// numbers, true/false/null) with two deliberate simplifications suited to
+// reading our own output: numbers are held as double (all values we emit fit
+// in 2^53) and \uXXXX escapes outside ASCII are passed through as '?' rather
+// than encoded to UTF-8 (we never emit them).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oaf {
+
+class JsonValue {
+ public:
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return kind_ == Kind::kNumber ? num_ : fallback;
+  }
+  [[nodiscard]] i64 as_i64(i64 fallback = 0) const {
+    return kind_ == Kind::kNumber ? static_cast<i64>(num_) : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+
+  /// Object member lookup; returns a shared null value when absent (chains
+  /// safely: v["a"]["b"].as_double()).
+  const JsonValue& operator[](std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+Result<JsonValue> json_parse(std::string_view text);
+
+}  // namespace oaf

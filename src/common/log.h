@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "common/types.h"
@@ -42,6 +43,51 @@ std::string log_component(const char* file);
 /// log_message() writes it. Exposed for tests.
 std::string format_log_line(TimeNs uptime_ns, LogLevel level, const char* file,
                             int line, const std::string& msg);
+
+/// Token-bucket suppressor for hot-path warnings (one static instance per
+/// OAF_*_RL call site). A misbehaving peer or a digest storm can trip the
+/// same warning at queue-depth rates; the bucket lets a burst through, then
+/// swallows repeats, and the next allowed line carries a
+/// "[suppressed N similar]" trailer so no occurrence goes uncounted.
+class LogRateLimiter {
+ public:
+  explicit constexpr LogRateLimiter(double tokens_per_sec = 10.0,
+                                    double burst = 5.0)
+      : tokens_(burst), rate_per_ns_(tokens_per_sec / 1e9), burst_(burst) {}
+
+  /// True when this occurrence may log. On true, *suppressed receives the
+  /// number of occurrences swallowed since the last allowed one.
+  bool allow(TimeNs now, u64* suppressed) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (now > last_) {
+      tokens_ += static_cast<double>(now - last_) * rate_per_ns_;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_ = now;
+    }
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      *suppressed = suppressed_;
+      suppressed_ = 0;
+      return true;
+    }
+    ++suppressed_;
+    return false;
+  }
+
+  /// Occurrences currently swallowed and not yet reported in a trailer.
+  [[nodiscard]] u64 pending_suppressed() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return suppressed_;
+  }
+
+ private:
+  std::mutex mu_;
+  double tokens_;
+  double rate_per_ns_;
+  double burst_;
+  TimeNs last_ = 0;
+  u64 suppressed_ = 0;
+};
 }  // namespace detail
 
 #define OAF_LOG(level, ...)                                                \
@@ -56,5 +102,27 @@ std::string format_log_line(TimeNs uptime_ns, LogLevel level, const char* file,
 #define OAF_INFO(...) OAF_LOG(::oaf::LogLevel::kInfo, __VA_ARGS__)
 #define OAF_WARN(...) OAF_LOG(::oaf::LogLevel::kWarn, __VA_ARGS__)
 #define OAF_ERROR(...) OAF_LOG(::oaf::LogLevel::kError, __VA_ARGS__)
+
+/// Rate-limited variant for warnings that can fire at queue-depth rates
+/// (peer misbehavior, digest storms): per-call-site token bucket, default
+/// 10 lines/s with a burst of 5, swallowed repeats reported as a
+/// "[suppressed N similar]" trailer on the next allowed line.
+#define OAF_LOG_RL(level, ...)                                               \
+  do {                                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::oaf::log_level())) {   \
+      static ::oaf::detail::LogRateLimiter oaf_rl_state_;                    \
+      ::oaf::u64 oaf_rl_suppressed_ = 0;                                     \
+      if (oaf_rl_state_.allow(::oaf::log_uptime_ns(), &oaf_rl_suppressed_)) {\
+        std::string oaf_rl_msg_ = ::oaf::detail::format_log(__VA_ARGS__);    \
+        if (oaf_rl_suppressed_ > 0) {                                        \
+          oaf_rl_msg_ += " [suppressed " +                                   \
+                         std::to_string(oaf_rl_suppressed_) + " similar]";   \
+        }                                                                    \
+        ::oaf::log_message(level, __FILE__, __LINE__, oaf_rl_msg_);          \
+      }                                                                      \
+    }                                                                        \
+  } while (0)
+
+#define OAF_WARN_RL(...) OAF_LOG_RL(::oaf::LogLevel::kWarn, __VA_ARGS__)
 
 }  // namespace oaf

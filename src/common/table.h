@@ -24,6 +24,16 @@ class Table {
     return *this;
   }
 
+  // Accessors for machine-readable export (bench/bench_report.h walks the
+  // cells a bench printed and emits them as the oaf-bench-v1 document).
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header_row() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data_rows() const {
+    return rows_;
+  }
+
   /// Format helper: fixed-point double with `prec` digits.
   static std::string num(double v, int prec = 1) {
     std::ostringstream os;

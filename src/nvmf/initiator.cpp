@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "nvmf/trace_names.h"
 #include "pdu/crc32.h"
+#include "telemetry/flight.h"
 
 namespace oaf::nvmf {
 
@@ -117,6 +118,7 @@ NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
 void NvmfInitiator::send_icreq() {
   pdu::ICReq req = cm_.make_icreq(opts_.af);
   req.kato_ns = opts_.reconnect.kato_ns;
+  req.t_sent_ns = static_cast<u64>(exec_.now());  // NTP t1, echoed in ICResp
   Pdu pdu;
   pdu.header = req;
   control_->send(std::move(pdu));
@@ -162,13 +164,24 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
       on_resp(resp);
       break;
     }
-    case pdu::PduType::kKeepAlive:
+    case pdu::PduType::kKeepAlive: {
       // Controller echo; the blanket ka_outstanding_ reset above already
-      // recorded the liveness proof.
+      // recorded the liveness proof. The echo doubles as a clock-offset
+      // probe: it returns our ping stamp (t1) plus the target clock at the
+      // echo (t2 == t3).
+      const auto& ka = *pdu.as<pdu::KeepAlive>();
+      if (!ka.from_host && ka.echo_t_ns != 0) {
+        clock_sync_.add_sample(ka.echo_t_ns, ka.t_sent_ns, ka.t_sent_ns,
+                               static_cast<u64>(exec_.now()));
+      }
       break;
+    }
     case pdu::PduType::kC2HTermReq:
       OAF_WARN("initiator received TermReq: %s",
                pdu.as<pdu::TermReq>()->reason.c_str());
+      telemetry::flight().note("resilience", "termreq_received", 0,
+                               exec_.now());
+      telemetry::flight().dump_now("received TermReq from target");
       control_->close();
       recover("target terminated association");
       break;
@@ -194,6 +207,13 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
   maxh2cdata_ = resp.maxh2cdata != 0 ? resp.maxh2cdata
                                      : static_cast<u32>(opts_.af.chunk_bytes);
   data_digest_ = resp.data_digest && opts_.af.data_digest;
+  trace_ctx_ = resp.trace_ctx && opts_.af.trace_ctx;
+  if (trace_ctx_ && resp.echo_t_ns != 0) {
+    // NTP sample: t1 = our ICReq stamp (echoed), t2 == t3 = target clock at
+    // the ICResp, t4 = now.
+    clock_sync_.add_sample(resp.echo_t_ns, resp.t_now_ns, resp.t_now_ns,
+                           static_cast<u64>(exec_.now()));
+  }
   if (resp.shm_granted) {
     if (auto st = cm_.complete_client(resp, ep_); !st) {
       OAF_WARN("shm grant could not be honoured, falling back to TCP: %s",
@@ -264,6 +284,7 @@ void NvmfInitiator::recover(const char* reason) {
   OAF_WARN("initiator: recovering connection (%s)", reason);
   OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "recover", 0,
                                       exec_.now()));
+  telemetry::flight().note("resilience", "recover", 0, exec_.now());
   reconnecting_ = true;
   connected_ = false;
   handshake_epoch_++;
@@ -360,6 +381,7 @@ void NvmfInitiator::demote_shm(const std::string& reason) {
   counters_.shm_demotions++;
   OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "shm_demote",
                                       0, exec_.now()));
+  telemetry::flight().note("resilience", "shm_demote", 0, exec_.now());
   OAF_WARN("initiator: demoting shm data path (%s)", reason.c_str());
   pdu::ShmDemote demote;
   demote.reason = reason;
@@ -406,6 +428,7 @@ void NvmfInitiator::keepalive_tick() {
     pdu::KeepAlive ka;
     ka.from_host = true;
     ka.seq = ++ka_seq_;
+    ka.t_sent_ns = static_cast<u64>(exec_.now());  // NTP t1 for the echo
     Pdu pdu;
     pdu.header = ka;
     control_->send(std::move(pdu));
@@ -443,6 +466,8 @@ void NvmfInitiator::on_deadline(u16 cid, u64 generation) {
   OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience",
                                       "deadline_expired", generation,
                                       exec_.now()));
+  telemetry::flight().note("resilience", "deadline_expired", generation,
+                           exec_.now());
   timeouts_++;
   if (!opts_.escalation.enabled() || reconnecting_) {
     // Legacy semantics: a deadline expiry is a transport fault.
@@ -469,7 +494,9 @@ void NvmfInitiator::send_abort(u16 victim_cid) {
   OAF_TEL(telemetry::bump(tel_.aborts_sent));
   OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "abort_sent",
                                       p.generation, exec_.now()));
-  OAF_WARN("initiator: aborting stuck cid %u (attempt %u/%u, abort cid %u)",
+  telemetry::flight().note("resilience", "abort_sent", p.generation,
+                           exec_.now());
+  OAF_WARN_RL("initiator: aborting stuck cid %u (attempt %u/%u, abort cid %u)",
            victim_cid, p.abort_attempts, opts_.escalation.abort_budget, acid);
   pdu::CapsuleCmd capsule;
   capsule.cmd.opcode = NvmeOpcode::kAbort;
@@ -552,6 +579,11 @@ void NvmfInitiator::abort_connection(const char* reason) {
   aborts_.clear();
   consecutive_abort_failures_ = 0;
   OAF_WARN("initiator: aborting connection (%s)", reason);
+  // Escalation-ladder exhaustion / fatal teardown: capture the black box
+  // before in-flight state is failed out (no-op unless flight().install()
+  // armed dumping).
+  telemetry::flight().note("resilience", "abort_connection", 0, exec_.now());
+  telemetry::flight().dump_now(reason);
   // NVMe-oF error recovery past the reconnect budget is controller-scoped:
   // terminate the association and fail everything in flight. A late
   // response for a failed cid must not be matched against a new command,
@@ -665,6 +697,13 @@ void NvmfInitiator::send_capsule(u16 cid, bool in_capsule,
   capsule.shm_slot = cid;
   capsule.data_len = p.data_len;
   capsule.gen = p.gen;
+  if (trace_ctx_) {
+    // The attempt generation doubles as trace id and parent span id: it is
+    // unique per attempt, and the initiator's I/O span already uses it as
+    // its async id, so target spans stitch under it in the merged timeline.
+    capsule.trace_id = p.generation;
+    capsule.parent_span = p.generation;
+  }
   Pdu pdu;
   pdu.header = capsule;
   pdu.payload = std::move(inline_payload);
@@ -722,12 +761,12 @@ void NvmfInitiator::start_read(u16 cid) {
 void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
   const u16 cid = r2t.cid;
   if (cid >= inflight_.size() || !slot_busy_[cid]) {
-    OAF_WARN("R2T for unknown cid %u", cid);
+    OAF_WARN_RL("R2T for unknown cid %u", cid);
     return;
   }
   Pending& p = inflight_[cid];
   if (stale(r2t.gen, p)) {
-    OAF_WARN("stale R2T for cid %u (gen %u != %u)", cid, r2t.gen, p.gen);
+    OAF_WARN_RL("stale R2T for cid %u (gen %u != %u)", cid, r2t.gen, p.gen);
     return;
   }
   OAF_TEL(telemetry::tracer().instant(tel_.track, "init_io", "r2t",
@@ -807,12 +846,12 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
   const auto& c2h = *pdu.as<pdu::C2HData>();
   const u16 cid = c2h.cid;
   if (cid >= inflight_.size() || !slot_busy_[cid]) {
-    OAF_WARN("C2HData for unknown cid %u", cid);
+    OAF_WARN_RL("C2HData for unknown cid %u", cid);
     return;
   }
   Pending& p = inflight_[cid];
   if (stale(c2h.gen, p)) {
-    OAF_WARN("stale C2HData for cid %u (gen %u != %u)", cid, c2h.gen, p.gen);
+    OAF_WARN_RL("stale C2HData for cid %u (gen %u != %u)", cid, c2h.gen, p.gen);
     return;
   }
 
@@ -884,7 +923,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
     if (computed != c2h.data_digest) {
       counters_.digest_errors++;
       OAF_TEL(telemetry::bump(tel_.digest_errors));
-      OAF_WARN("C2HData digest mismatch for cid %u", cid);
+      OAF_WARN_RL("C2HData digest mismatch for cid %u", cid);
       complete(cid, {cid, pdu::NvmeStatus::kTransientTransportError, 0}, 0, 0);
       return;
     }
@@ -905,11 +944,11 @@ void NvmfInitiator::on_resp(const pdu::CapsuleResp& resp) {
     return;
   }
   if (cid >= inflight_.size() || !slot_busy_[cid]) {
-    OAF_WARN("CapsuleResp for unknown cid %u", cid);
+    OAF_WARN_RL("CapsuleResp for unknown cid %u", cid);
     return;
   }
   if (stale(resp.gen, inflight_[cid])) {
-    OAF_WARN("stale CapsuleResp for cid %u (gen %u != %u)", cid, resp.gen,
+    OAF_WARN_RL("stale CapsuleResp for cid %u (gen %u != %u)", cid, resp.gen,
              inflight_[cid].gen);
     return;
   }

@@ -26,6 +26,7 @@
 #include "net/channel.h"
 #include "nvmf/deadline_wheel.h"
 #include "nvmf/resilience.h"
+#include "telemetry/clock_sync.h"
 #include "telemetry/telemetry.h"
 
 namespace oaf::nvmf {
@@ -162,6 +163,19 @@ class NvmfInitiator {
     return counters_;
   }
 
+  // --- observability -------------------------------------------------------
+
+  /// True when the target accepted trace-context propagation (ICResp feature
+  /// bit): every CapsuleCmd then carries this attempt's trace id so the
+  /// target's spans can be stitched under the initiating I/O.
+  [[nodiscard]] bool trace_ctx_active() const { return trace_ctx_; }
+
+  /// Target-minus-initiator clock-offset estimate, fed by the ICReq/ICResp
+  /// exchange and refreshed by every KeepAlive echo.
+  [[nodiscard]] const telemetry::ClockSyncEstimator& clock_sync() const {
+    return clock_sync_;
+  }
+
   // --- stats ---------------------------------------------------------------
   [[nodiscard]] u64 ios_completed() const { return ios_completed_; }
   [[nodiscard]] u64 control_pdus_sent() const { return control_->pdus_sent(); }
@@ -275,6 +289,8 @@ class NvmfInitiator {
   std::function<void(Status)> connect_cb_;
   u32 maxh2cdata_ = 128 * 1024;
   bool data_digest_ = false;  // negotiated for this association
+  bool trace_ctx_ = false;    // negotiated trace-context propagation
+  telemetry::ClockSyncEstimator clock_sync_;
 
   std::vector<Pending> inflight_;   // indexed by cid
   std::vector<bool> slot_busy_;     // cid allocation map

@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "nvmf/trace_names.h"
 #include "pdu/crc32.h"
+#include "telemetry/flight.h"
 
 namespace oaf::nvmf {
 
@@ -67,7 +68,7 @@ void NvmfTargetConnection::trace_end_cmd(u16 cid) {
     if (it != inflight_.end()) {
       telemetry::tracer().end(tel_.track, "target_io",
                               op_span_name(it->second.cmd.opcode),
-                              it->second.seq, exec_.now());
+                              it->second.span, exec_.now());
     }
   });
 }
@@ -98,6 +99,10 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
         pdu::KeepAlive echo;
         echo.from_host = false;
         echo.seq = ka.seq;
+        // NTP-style clock echo: reflect the host's transmit stamp and add
+        // our own so the initiator can estimate the clock offset.
+        echo.echo_t_ns = ka.t_sent_ns;
+        echo.t_sent_ns = static_cast<u64>(exec_.now());
         Pdu out;
         out.header = echo;
         keepalives_answered_++;
@@ -115,6 +120,8 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
       break;
     case pdu::PduType::kH2CTermReq:
       OAF_WARN("target received TermReq: %s", pdu.as<pdu::TermReq>()->reason.c_str());
+      telemetry::flight().note("resilience", "termreq_received", 0, exec_.now());
+      (void)telemetry::flight().dump_now("target received TermReq from host");
       control_.close();
       break;
     default:
@@ -171,6 +178,10 @@ void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
 }
 
 void NvmfTargetConnection::send_term(const std::string& reason) {
+  // TermReq tears down the association — exactly the moment the flight
+  // recorder exists for.  Dump before the frame goes out.
+  telemetry::flight().note("resilience", "termreq_sent", 0, exec_.now());
+  (void)telemetry::flight().dump_now(("target sent TermReq: " + reason).c_str());
   pdu::TermReq term;
   term.from_host = false;
   term.fes = 1;
@@ -200,8 +211,13 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
   ctx.arrival = exec_.now();
   ctx.gen = capsule.gen;
   ctx.seq = next_ctx_seq_++;
+  // Trace stitching: adopt the host's trace id as this command's span id so
+  // both processes' spans share one async id in the merged timeline. The
+  // local seq stays the fencing token — the wire id is host-controlled and
+  // must never gate abort/cid-reuse checks.
+  ctx.span = capsule.trace_id != 0 ? capsule.trace_id : ctx.seq;
   OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io",
-                                    op_span_name(ctx.cmd.opcode), ctx.seq,
+                                    op_span_name(ctx.cmd.opcode), ctx.span,
                                     ctx.arrival, "bytes",
                                     static_cast<i64>(capsule.data_len)));
   governor_.record_op(capsule.cmd.is_write());
@@ -276,7 +292,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
       r2ts_sent_++;
       OAF_TEL(telemetry::bump(tel_.r2ts));
       OAF_TEL(telemetry::tracer().instant(tel_.track, "target_io", "r2t_sent",
-                                          ctx.seq, exec_.now(), "bytes",
+                                          ctx.span, exec_.now(), "bytes",
                                           static_cast<i64>(len)));
       Pdu out;
       out.header = r2t;
@@ -303,7 +319,7 @@ void NvmfTargetConnection::handle_abort(u16 cid) {
   aborts_handled_++;
   OAF_TEL(telemetry::bump(tel_.aborts_handled));
   OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience",
-                                      "abort_handled", it->second.seq,
+                                      "abort_handled", it->second.span,
                                       exec_.now()));
   // cpl.result: 0 = victim found and cancelled, 1 = no record of the victim
   // (its capsule or completion was lost; the host replays it).
@@ -315,7 +331,7 @@ void NvmfTargetConnection::handle_abort(u16 cid) {
     commands_aborted_++;
     OAF_TEL(telemetry::bump(tel_.cmds_aborted));
     result = 0;
-    OAF_WARN("target: aborting cid %u (device_busy=%d)", victim,
+    OAF_WARN_RL("target: aborting cid %u (device_busy=%d)", victim,
              static_cast<int>(vctx.device_busy));
     if (vctx.device_busy || vctx.copies_in_flight > 0) {
       // The device (or an in-flight shm copy) still references the staging
@@ -354,7 +370,7 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
   }
   IoCtx& ctx = it->second;
   if (h2c.gen != 0 && ctx.gen != 0 && h2c.gen != ctx.gen) {
-    OAF_WARN("stale H2CData for cid %u (gen %u != %u)", cid, h2c.gen, ctx.gen);
+    OAF_WARN_RL("stale H2CData for cid %u (gen %u != %u)", cid, h2c.gen, ctx.gen);
     return;
   }
   if (h2c.offset + h2c.length > ctx.buffer.size()) {
@@ -403,7 +419,7 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
     if (computed != h2c.data_digest) {
       digest_errors_++;
       OAF_TEL(telemetry::bump(tel_.digest_errors));
-      OAF_WARN("H2CData digest mismatch for cid %u", cid);
+      OAF_WARN_RL("H2CData digest mismatch for cid %u", cid);
       // Retryable at the host: the command replays on a fresh gen rather
       // than landing corrupt bytes on the device.
       send_resp(cid, {cid, NvmeStatus::kTransientTransportError, 0}, 0);
@@ -430,14 +446,14 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
   OAF_TEL(telemetry::bump(tel_.bytes_written, ctx.buffer.size()));
   ctx.device_busy = true;
   OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
-                                    ctx.seq, exec_.now(), "bytes",
+                                    ctx.span, exec_.now(), "bytes",
                                     static_cast<i64>(ctx.buffer.size())));
   device->submit_write(ctx.cmd, ctx.buffer,
-                       [this, alive = alive_, cid,
-                        seq = ctx.seq](pdu::NvmeCpl cpl, DurNs io_time) {
+                       [this, alive = alive_, cid, seq = ctx.seq,
+                        span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
                          if (!*alive) return;
                          OAF_TEL(telemetry::tracer().end(
-                             tel_.track, "target_io", "device", seq,
+                             tel_.track, "target_io", "device", span,
                              exec_.now()));
                          zombie_buffers_.erase(seq);
                          const auto it2 = inflight_.find(cid);
@@ -459,15 +475,15 @@ void NvmfTargetConnection::handle_read(u16 cid) {
   ctx.buffer.resize(len);
   ctx.device_busy = true;
   OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
-                                    ctx.seq, exec_.now(), "bytes",
+                                    ctx.span, exec_.now(), "bytes",
                                     static_cast<i64>(len)));
   device->submit_read(ctx.cmd, ctx.buffer,
-                      [this, alive = alive_, cid,
-                       seq = ctx.seq](pdu::NvmeCpl cpl, DurNs io_time) {
+                      [this, alive = alive_, cid, seq = ctx.seq,
+                       span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
                         if (!*alive) return;
                         OAF_TEL(telemetry::tracer().end(tel_.track,
                                                         "target_io", "device",
-                                                        seq, exec_.now()));
+                                                        span, exec_.now()));
                         zombie_buffers_.erase(seq);
                         const auto it2 = inflight_.find(cid);
                         if (it2 == inflight_.end() || it2->second.seq != seq) {
@@ -647,13 +663,13 @@ void NvmfTargetConnection::handle_admin(u16 cid) {
     ssd::Device* device = subsystem_.find(ctx.cmd.nsid);
     ctx.device_busy = true;
     OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
-                                      ctx.seq, exec_.now()));
+                                      ctx.span, exec_.now()));
     device->submit_other(
-        ctx.cmd, [this, alive = alive_, cid, seq = ctx.seq](pdu::NvmeCpl cpl,
-                                                            DurNs io_time) {
+        ctx.cmd, [this, alive = alive_, cid, seq = ctx.seq,
+                  span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
           if (!*alive) return;
           OAF_TEL(telemetry::tracer().end(tel_.track, "target_io", "device",
-                                          seq, exec_.now()));
+                                          span, exec_.now()));
           zombie_buffers_.erase(seq);
           const auto it2 = inflight_.find(cid);
           if (it2 == inflight_.end() || it2->second.seq != seq) return;

@@ -99,6 +99,9 @@ class NvmfTargetConnection {
     u16 gen = 0;              ///< client attempt tag, echoed in every reply
     u64 seq = 0;              ///< unique per capsule: fences device callbacks
                               ///< against an abort recycling the cid
+    u64 span = 0;             ///< trace span id: the wire trace id when the
+                              ///< host propagated one, else the local seq.
+                              ///< Never used for fencing — only for tracing.
     bool device_busy = false; ///< the device holds `buffer` right now
     u32 copies_in_flight = 0; ///< shm consumes targeting `buffer` right now
   };

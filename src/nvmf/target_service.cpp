@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json.h"
 #include "common/log.h"
 
 namespace oaf::nvmf {
@@ -111,6 +112,36 @@ void NvmfTargetService::reaper_tick() {
                          if (!*alive || epoch != reaper_epoch_) return;
                          reaper_tick();
                        });
+}
+
+std::string NvmfTargetService::conns_json() const {
+  const TimeNs now = exec_.now();
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& a : assocs_) {
+    const NvmfTargetConnection& c = *a.conn;
+    w.begin_object();
+    w.key("name").value(c.connection_name());
+    w.key("shm_active").value(c.shm_active());
+    w.key("closed").value(c.closed());
+    w.key("expired").value(c.expired(now));
+    w.key("kato_ns").value(static_cast<i64>(c.kato_ns()));
+    w.key("silent_ns").value(static_cast<i64>(now - c.last_heard()));
+    w.key("commands_served").value(c.commands_served());
+    w.key("r2ts_sent").value(c.r2ts_sent());
+    w.key("bytes_read").value(c.bytes_read());
+    w.key("bytes_written").value(c.bytes_written());
+    w.key("keepalives_answered").value(c.keepalives_answered());
+    w.key("digest_errors").value(c.digest_errors());
+    w.key("shm_demotions").value(c.shm_demotions());
+    w.key("aborts_handled").value(c.aborts_handled());
+    w.key("commands_aborted").value(c.commands_aborted());
+    w.key("orphan_slots_reclaimed").value(c.orphan_slots_reclaimed());
+    w.key("peer_misbehavior").value(c.peer_misbehavior());
+    w.end_object();
+  }
+  w.end_array();
+  return w.take();
 }
 
 NvmfTargetConnection* NvmfTargetService::find(const std::string& conn_name) {

@@ -71,6 +71,10 @@ class NvmfTargetService {
     return total;
   }
   [[nodiscard]] NvmfTargetConnection* find(const std::string& conn_name);
+  /// JSON array describing every live association (name, data path, per-
+  /// connection counters, liveness). Feeds the live introspection endpoint's
+  /// `conns` command. Must run on the executor thread — it walks assocs_.
+  [[nodiscard]] std::string conns_json() const;
   /// Orphan slots reclaimed across the service's lifetime (live assocs only;
   /// a reaped association's slots die with its ring).
   [[nodiscard]] u64 orphan_slots_reclaimed() const {

@@ -43,6 +43,12 @@ class Reader {
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] u64 consumed() const { return pos_; }
+  /// Unread bytes left in the typed header. Used to decode fields appended
+  /// by newer protocol revisions only when the peer actually sent them —
+  /// a short (older-peer) header decodes cleanly with defaulted values.
+  [[nodiscard]] u64 remaining() const {
+    return ok_ ? in_.size() - pos_ : 0;
+  }
 
   u8 u8_() {
     if (!need(1)) return 0;
@@ -126,6 +132,8 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.bool_(h.want_shm);
           w.bool_(h.data_digest);
           w.u64_(h.kato_ns);
+          w.bool_(h.trace_ctx);
+          w.u64_(h.t_sent_ns);
         } else if constexpr (std::is_same_v<T, ICResp>) {
           w.u16_(h.pfv);
           w.bool_(h.header_digest);
@@ -135,6 +143,9 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u32_(h.shm_slots);
           w.str_(h.shm_name);
           w.bool_(h.data_digest);
+          w.bool_(h.trace_ctx);
+          w.u64_(h.echo_t_ns);
+          w.u64_(h.t_now_ns);
         } else if constexpr (std::is_same_v<T, CapsuleCmd>) {
           encode_cmd(w, h.cmd);
           w.u8_(static_cast<u8>(h.placement));
@@ -142,6 +153,8 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u32_(h.shm_slot);
           w.u64_(h.data_len);
           w.u16_(h.gen);
+          w.u64_(h.trace_id);
+          w.u64_(h.parent_span);
         } else if constexpr (std::is_same_v<T, CapsuleResp>) {
           w.u16_(h.cpl.cid);
           w.u16_(static_cast<u16>(h.cpl.status));
@@ -184,6 +197,8 @@ void encode_header(Writer& w, const PduHeader& header) {
         } else if constexpr (std::is_same_v<T, KeepAlive>) {
           w.bool_(h.from_host);
           w.u64_(h.seq);
+          w.u64_(h.t_sent_ns);
+          w.u64_(h.echo_t_ns);
         } else if constexpr (std::is_same_v<T, ShmDemote>) {
           w.str_(h.reason);
         }
@@ -203,6 +218,10 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.want_shm = r.bool_();
       h.data_digest = r.bool_();
       h.kato_ns = r.u64_();
+      if (r.remaining() >= 1 + 8) {  // rev 2: trace-context offer
+        h.trace_ctx = r.bool_();
+        h.t_sent_ns = r.u64_();
+      }
       return PduHeader{h};
     }
     case PduType::kICResp: {
@@ -215,6 +234,11 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.shm_slots = r.u32_();
       h.shm_name = r.str_();
       h.data_digest = r.bool_();
+      if (r.remaining() >= 1 + 8 + 8) {  // rev 2: trace-context + clock echo
+        h.trace_ctx = r.bool_();
+        h.echo_t_ns = r.u64_();
+        h.t_now_ns = r.u64_();
+      }
       return PduHeader{h};
     }
     case PduType::kCapsuleCmd: {
@@ -225,6 +249,10 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.shm_slot = r.u32_();
       h.data_len = r.u64_();
       h.gen = r.u16_();
+      if (r.remaining() >= 8 + 8) {  // rev 2: trace context
+        h.trace_id = r.u64_();
+        h.parent_span = r.u64_();
+      }
       return PduHeader{h};
     }
     case PduType::kCapsuleResp: {
@@ -286,6 +314,10 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       KeepAlive h;
       h.from_host = r.bool_();
       h.seq = r.u64_();
+      if (r.remaining() >= 8 + 8) {  // rev 2: clock-offset echo
+        h.t_sent_ns = r.u64_();
+        h.echo_t_ns = r.u64_();
+      }
       return PduHeader{h};
     }
     case PduType::kShmDemote: {

@@ -16,6 +16,15 @@
 //     matched against PDUs of an earlier attempt;
 //   * an optional CRC32C data digest over inline data payloads, negotiated
 //     in ICReq/ICResp — a mismatch is a retryable transport error.
+// The observability layer appends one more (fully backward compatible)
+// extension: trace-context propagation. ICReq carries a `trace_ctx` feature
+// bit plus a send timestamp; ICResp echoes both, adding the target's local
+// clock so the host can estimate the clock offset NTP-style; CapsuleCmd then
+// carries a 64-bit trace id + parent span id, and KeepAlive echoes carry
+// timestamps to keep the offset estimate fresh. All new fields are appended
+// at the *end* of the typed headers: the codec tolerates both short (old
+// peer) and long (new peer) headers, so mixed-version associations work —
+// the feature simply stays off.
 #pragma once
 
 #include <string>
@@ -60,6 +69,8 @@ struct ICReq {
   bool want_shm = false;    ///< oAF: request shared-memory channel
   bool data_digest = false; ///< resilience: CRC32C over inline data payloads
   u64 kato_ns = 0;          ///< keep-alive timeout; 0 = use target default
+  bool trace_ctx = false;   ///< observability: offer trace-context propagation
+  u64 t_sent_ns = 0;        ///< observability: host clock when ICReq was sent
 };
 
 /// Initialize Connection Response. When `shm_granted`, the client maps the
@@ -74,6 +85,9 @@ struct ICResp {
   u32 shm_slots = 0;        ///< oAF: slots per direction (== queue depth)
   std::string shm_name;     ///< oAF: region name to shm_open/map
   bool data_digest = false; ///< resilience: data digest accepted
+  bool trace_ctx = false;   ///< observability: trace-context accepted
+  u64 echo_t_ns = 0;        ///< observability: ICReq::t_sent_ns echoed back
+  u64 t_now_ns = 0;         ///< observability: target clock when ICResp sent
 };
 
 /// Command capsule. For writes, data may be in-capsule (inline payload or a
@@ -87,6 +101,8 @@ struct CapsuleCmd {
   u64 data_len = 0;              ///< total data length for this command
   u16 gen = 0;                   ///< attempt generation, echoed by the target
                                  ///< (0 = no replay protection requested)
+  u64 trace_id = 0;              ///< observability: trace id (0 = untraced)
+  u64 parent_span = 0;           ///< observability: initiator's I/O span id
 };
 
 /// Response capsule (completion). The two *_ns fields are oAF reproduction
@@ -157,6 +173,8 @@ struct TermReq {
 struct KeepAlive {
   bool from_host = true;  ///< ping when true, echo when false
   u64 seq = 0;            ///< monotonically increasing per connection
+  u64 t_sent_ns = 0;      ///< observability: sender clock at transmit time
+  u64 echo_t_ns = 0;      ///< observability: echo of the ping's t_sent_ns
 };
 
 /// Runtime shm -> TCP demotion notice (host -> controller). The sender has

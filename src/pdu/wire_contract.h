@@ -87,15 +87,26 @@ inline constexpr u64 kWireCommonHeaderBytes = 1 + 1 + 2 + 4;
 inline constexpr u64 kWireStrPrefixBytes = 4;
 
 /// Fixed (non-string, non-payload) bytes of each PDU header as serialized.
-inline constexpr u64 kWireICReqBytes = 2 + 1 + 1 + 4 + 8 + 1 + 1 + 8;
-inline constexpr u64 kWireICRespBytes = 2 + 1 + 4 + 1 + 8 + 4 + 1;
-inline constexpr u64 kWireCapsuleCmdBytes = kWireCmdBytes + 1 + 1 + 4 + 8 + 2;
+///
+/// Revision history (decoders accept any prefix ending on a revision
+/// boundary; encoders always write the newest revision):
+///   rev 1 — resilience layer (gen tags, digests, KATO).
+///   rev 2 — observability: trace-context feature bit + NTP-style clock
+///           echo fields appended to ICReq/ICResp/CapsuleCmd/KeepAlive.
+inline constexpr u64 kWireICReqBytesV1 = 2 + 1 + 1 + 4 + 8 + 1 + 1 + 8;
+inline constexpr u64 kWireICReqBytes = kWireICReqBytesV1 + 1 + 8;
+inline constexpr u64 kWireICRespBytesV1 = 2 + 1 + 4 + 1 + 8 + 4 + 1;
+inline constexpr u64 kWireICRespBytes = kWireICRespBytesV1 + 1 + 8 + 8;
+inline constexpr u64 kWireCapsuleCmdBytesV1 =
+    kWireCmdBytes + 1 + 1 + 4 + 8 + 2;
+inline constexpr u64 kWireCapsuleCmdBytes = kWireCapsuleCmdBytesV1 + 8 + 8;
 inline constexpr u64 kWireCapsuleRespBytes = kWireCplBytes + 8 + 8 + 2;
 inline constexpr u64 kWireR2TBytes = 2 + 2 + 8 + 8 + 2;
 inline constexpr u64 kWireH2CDataBytes = 2 + 2 + 8 + 8 + 1 + 1 + 4 + 2 + 4;
 inline constexpr u64 kWireC2HDataBytes =
     2 + 8 + 8 + 1 + 1 + 1 + 4 + 8 + 8 + 2 + 4;
 inline constexpr u64 kWireTermReqFixedBytes = 1 + 2;
-inline constexpr u64 kWireKeepAliveBytes = 1 + 8;
+inline constexpr u64 kWireKeepAliveBytesV1 = 1 + 8;
+inline constexpr u64 kWireKeepAliveBytes = kWireKeepAliveBytesV1 + 8 + 8;
 
 }  // namespace oaf::pdu

@@ -1,0 +1,66 @@
+// NTP-style initiator <-> target clock-offset estimation.
+//
+// Both processes timestamp trace events with their own monotonic clock
+// (RealExecutor::now() counts from process start), so merging the two trace
+// rings onto one timeline needs the offset between the clocks. The transport
+// gives us exactly the four timestamps the classic NTP algorithm wants:
+//
+//   t1  initiator clock when the probe left (ICReq::t_sent_ns or
+//       KeepAlive ping t_sent_ns)
+//   t2  target clock when the probe arrived
+//   t3  target clock when the echo left (ICResp::t_now_ns or KeepAlive echo
+//       t_sent_ns; the target echoes immediately, so t2 == t3 on this stack)
+//   t4  initiator clock when the echo arrived
+//
+//   offset = ((t2 - t1) + (t3 - t4)) / 2      rtt = (t4 - t1) - (t3 - t2)
+//
+// `offset` maps a target timestamp onto the initiator timeline:
+// t_initiator = t_target - offset. The estimate's error is bounded by half
+// the path asymmetry, itself bounded by rtt/2 — so we keep the sample with
+// the smallest rtt seen (fresh samples arrive with every KeepAlive echo,
+// which also tracks slow drift between the two clocks).
+#pragma once
+
+#include "common/types.h"
+
+namespace oaf::telemetry {
+
+class ClockSyncEstimator {
+ public:
+  /// Feed one probe/echo exchange. `t2` and `t3` are the remote (target)
+  /// clock; `t1`/`t4` the local clock. Call with t2 == t3 when the peer
+  /// reports a single echo timestamp. Samples with t4 < t1 (clock retreat,
+  /// impossible on a monotonic clock — indicates a corrupt echo) are
+  /// dropped.
+  void add_sample(u64 t1, u64 t2, u64 t3, u64 t4) {
+    if (t4 < t1) return;
+    const i64 rtt = static_cast<i64>(t4 - t1) - (static_cast<i64>(t3) -
+                                                 static_cast<i64>(t2));
+    if (rtt < 0) return;  // echo claims to have taken negative wire time
+    ++samples_;
+    if (best_rtt_ns_ >= 0 && rtt >= best_rtt_ns_) return;
+    best_rtt_ns_ = rtt;
+    // Sum both one-way deltas in signed space; u64 wrap is not a concern
+    // for monotonic nanosecond clocks (584 years of uptime).
+    offset_ns_ = (static_cast<i64>(t2) - static_cast<i64>(t1) +
+                  static_cast<i64>(t3) - static_cast<i64>(t4)) /
+                 2;
+  }
+
+  /// Remote-minus-local clock offset (ns) of the best sample so far.
+  /// Subtract from remote timestamps to land them on the local timeline.
+  [[nodiscard]] i64 offset_ns() const { return offset_ns_; }
+
+  /// Round-trip time (ns) of the best sample; -1 before any sample.
+  [[nodiscard]] i64 best_rtt_ns() const { return best_rtt_ns_; }
+
+  [[nodiscard]] u64 samples() const { return samples_; }
+  [[nodiscard]] bool valid() const { return best_rtt_ns_ >= 0; }
+
+ private:
+  i64 offset_ns_ = 0;
+  i64 best_rtt_ns_ = -1;
+  u64 samples_ = 0;
+};
+
+}  // namespace oaf::telemetry

@@ -1,0 +1,74 @@
+// Always-on flight recorder: a small, compiled-in, drops-oldest trace ring
+// that survives even when full tracing is disabled, dumped to a postmortem
+// JSON file when the process dies badly.
+//
+// The main TraceRecorder ring (telemetry/trace.h) is opt-in and sized for
+// offline analysis; the flight ring is its black-box sibling — always
+// recording the *cheap* events that matter for a postmortem (the resilience
+// ladder's deadline/abort/demote/reconnect instants, TermReqs, escalation
+// exhaustion) so the last seconds before a crash are reconstructible.
+//
+// Lifecycle:
+//   1. Process start: flight() exists, ring enabled, dumping DISARMED —
+//      unit tests that exercise abort paths don't litter the filesystem.
+//   2. Tools call flight().install({...}) to arm dumping (and optionally
+//      hook fatal signals: SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL).
+//   3. On a fatal signal, a received/sent TermReq, or escalation-ladder
+//      exhaustion, dump_now(reason) writes oaf_flight_<pid>.json — the ring
+//      snapshot (Chrome trace form) plus a full metrics snapshot — then the
+//      signal is re-raised with default disposition so the exit status is
+//      preserved.
+//
+// dump_now() from a signal handler is deliberately best-effort: it
+// allocates and calls stdio, which is not async-signal-safe. That is the
+// standard flight-recorder trade-off — the alternative is no data at all —
+// and a recursion guard makes a crash-inside-dump terminate instead of
+// looping.
+#pragma once
+
+#include <string>
+
+#include "telemetry/trace.h"
+
+namespace oaf::telemetry {
+
+struct FlightOptions {
+  std::string dir = ".";       ///< directory for oaf_flight_<pid>.json
+  bool fatal_signals = true;   ///< install SIGSEGV/SIGABRT/... handlers
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 1024);
+
+  /// The always-enabled ring. Mirror cheap, high-signal events here.
+  TraceRecorder& ring() { return ring_; }
+
+  /// Convenience: record an instant on the flight track.
+  void note(const char* cat, const char* name, u64 id, TimeNs now,
+            const char* arg_name = nullptr, i64 arg = 0) {
+    ring_.instant(track_, cat, name, id, now, arg_name, arg);
+  }
+
+  /// Arm dumping (and optionally fatal-signal hooks). Idempotent; the
+  /// first caller wins the signal-handler installation.
+  void install(const FlightOptions& opts);
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  /// Write the postmortem file if armed. Returns the path written, or an
+  /// empty string when disarmed, re-entered, or on I/O failure.
+  std::string dump_now(const char* reason);
+
+ private:
+  TraceRecorder ring_;
+  u32 track_ = 0;
+  std::string dir_ = ".";
+  bool armed_ = false;
+  std::atomic<bool> dumping_{false};
+};
+
+/// Process-global flight recorder (always recording, dump disarmed until
+/// install()).
+FlightRecorder& flight();
+
+}  // namespace oaf::telemetry

@@ -6,6 +6,38 @@
 
 namespace oaf::telemetry {
 
+std::string prometheus_escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void append_header(std::string& out, const std::string& name,
@@ -13,7 +45,7 @@ void append_header(std::string& out, const std::string& name,
   out += "# HELP ";
   out += name;
   out += ' ';
-  out += help;
+  out += prometheus_escape_help(help);
   out += "\n# TYPE ";
   out += name;
   out += ' ';

@@ -245,6 +245,14 @@ class BasicMetricsRegistry {
   u64 next_callback_id_ = 1;
 };
 
+/// Prometheus text-format escaping (exposition format spec): HELP text
+/// escapes backslash and newline; label values additionally escape the
+/// double quote. Without these a help string containing a newline would
+/// corrupt the whole exposition (the remainder of the line parses as a
+/// sample).
+[[nodiscard]] std::string prometheus_escape_help(std::string_view s);
+[[nodiscard]] std::string prometheus_escape_label(std::string_view s);
+
 /// Production metrics types (std::atomic/std::mutex policy).
 using Counter = BasicCounter<StdAtomicsPolicy>;
 using Gauge = BasicGauge<StdAtomicsPolicy>;

@@ -1,0 +1,133 @@
+#include "telemetry/stat_server.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace oaf::telemetry {
+
+namespace {
+
+bool send_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void StatServer::handle(const std::string& name,
+                        std::function<std::string()> provider) {
+  handlers_[name] = std::move(provider);
+}
+
+Status StatServer::start(u16 port) {
+  if (fd_ >= 0) return make_error(StatusCode::kFailedPrecondition,
+                                   "stat server already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error(StatusCode::kInternal, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return make_error(StatusCode::kInternal, "bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return make_error(StatusCode::kInternal, "getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = fd;
+  thread_ = std::thread([this] { serve(); });
+  OAF_INFO("stat server listening on 127.0.0.1:%u", port_);
+  return Status::ok();
+}
+
+void StatServer::stop() {
+  if (fd_ < 0) return;
+  // shutdown() unblocks the accept() in the server thread; the thread then
+  // sees the closed listener and exits.
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+  port_ = 0;
+}
+
+void StatServer::serve() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) return;  // listener closed by stop()
+
+    std::string line;
+    char c = 0;
+    while (line.size() < 256 && ::recv(client, &c, 1, 0) == 1) {
+      if (c == '\n') break;
+      if (c != '\r') line.push_back(c);
+    }
+
+    std::string response;
+    const auto it = handlers_.find(line);
+    if (it != handlers_.end()) {
+      response = it->second();
+      if (response.empty() || response.back() != '\n') response += '\n';
+    } else if (line == "help") {
+      for (const auto& [name, fn] : handlers_) {
+        response += name;
+        response += '\n';
+      }
+      response += "help\n";
+    } else {
+      response = "ERR unknown command " + line + "\n";
+    }
+    send_all(client, response.data(), response.size());
+    ::close(client);
+  }
+}
+
+Result<std::string> stat_query(u16 port, const std::string& command) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error(StatusCode::kInternal, "socket() failed");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return make_error(StatusCode::kUnavailable,
+                      "connect to 127.0.0.1:" + std::to_string(port) +
+                          " failed");
+  }
+  std::string req = command + "\n";
+  if (!send_all(fd, req.data(), req.size())) {
+    ::close(fd);
+    return make_error(StatusCode::kInternal, "send failed");
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace oaf::telemetry

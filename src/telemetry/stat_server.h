@@ -1,0 +1,65 @@
+// Live introspection endpoint: a tiny line-protocol TCP server.
+//
+// Opt-in (--stat-port in oaf_target / oaf_perf): binds 127.0.0.1:<port>,
+// accepts one command line per connection, writes the response, closes.
+// Protocol: the client sends a command name terminated by '\n'; unknown
+// commands get "ERR unknown command <name>\n". Standard commands:
+//
+//   metrics   Prometheus text exposition of the process registry
+//   conns     per-connection state (JSON): channel kind, epoch, in-flight,
+//             resilience counters
+//   trace     current trace-ring snapshot (Chrome trace JSON)
+//   help      the registered command list
+//
+// Providers are plain std::function<std::string()> registered by the tool;
+// they run on the server thread, so a provider that touches reactor-owned
+// state must marshal onto the executor itself (oaf_target's conns provider
+// posts to the executor and waits). The server owns one background thread;
+// stop() (or destruction) shuts it down deterministically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oaf::telemetry {
+
+class StatServer {
+ public:
+  StatServer() = default;
+  ~StatServer() { stop(); }
+
+  StatServer(const StatServer&) = delete;
+  StatServer& operator=(const StatServer&) = delete;
+
+  /// Register `name` -> provider. Call before start(); the command table is
+  /// read-only once the server thread runs.
+  void handle(const std::string& name, std::function<std::string()> provider);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral; see port()) and start serving.
+  Status start(u16 port);
+
+  /// Port actually bound (useful with port 0), 0 when not running.
+  [[nodiscard]] u16 port() const { return port_; }
+  [[nodiscard]] bool running() const { return fd_ >= 0; }
+
+  void stop();
+
+ private:
+  void serve();
+
+  std::map<std::string, std::function<std::string()>> handlers_;
+  std::thread thread_;
+  int fd_ = -1;
+  u16 port_ = 0;
+};
+
+/// One-shot client helper: connect to 127.0.0.1:`port`, send `command`,
+/// return the full response. Shared by tools/oaf_stat and the tests.
+Result<std::string> stat_query(u16 port, const std::string& command);
+
+}  // namespace oaf::telemetry

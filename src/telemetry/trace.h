@@ -36,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/atomics_policy.h"
@@ -204,8 +205,13 @@ class BasicTraceRecorder {
 
   /// Full Chrome trace_event JSON document (object form, with thread-name
   /// metadata so tracks render with their registered names). Deterministic
-  /// for a given event sequence.
-  [[nodiscard]] std::string to_chrome_json() const {
+  /// for a given event sequence. `extra_other_data` entries are appended to
+  /// the otherData object — oaf_perf uses this to embed the estimated
+  /// initiator<->target clock offset so tools/oaf_trace_merge can correct
+  /// target timestamps without a side channel.
+  [[nodiscard]] std::string to_chrome_json(
+      const std::vector<std::pair<std::string, i64>>& extra_other_data =
+          {}) const {
     std::vector<std::string> tracks;
     {
       std::lock_guard<typename Policy::mutex> lk(track_mu_);
@@ -275,14 +281,19 @@ class BasicTraceRecorder {
     w.end_array();
     w.key("otherData").begin_object();
     w.key("dropped_events").value(dropped());
+    for (const auto& [k, v] : extra_other_data) {
+      w.key(k).value(v);
+    }
     w.end_object();
     w.end_object();
     return w.take();
   }
 
   /// Write to_chrome_json() to `path`; returns false on I/O error.
-  bool write_chrome_json(const std::string& path) const {
-    const std::string doc = to_chrome_json();
+  bool write_chrome_json(const std::string& path,
+                         const std::vector<std::pair<std::string, i64>>&
+                             extra_other_data = {}) const {
+    const std::string doc = to_chrome_json(extra_other_data);
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();

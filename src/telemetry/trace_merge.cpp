@@ -1,0 +1,157 @@
+#include "telemetry/trace_merge.h"
+
+#include <cmath>
+
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "telemetry/trace.h"
+
+namespace oaf::telemetry {
+
+namespace {
+
+/// Chrome ts/dur fields are µs with 3 decimals (our writer's convention);
+/// recover the exact nanosecond count.
+i64 us_field_to_ns(const JsonValue& v) {
+  return static_cast<i64>(std::llround(v.as_double() * 1000.0));
+}
+
+void emit_us(JsonWriter& w, i64 ns) {
+  std::string s;
+  detail::append_us(s, ns);
+  w.raw(s);
+}
+
+/// Re-emit a parsed JSON value. Numbers that are exactly integral are
+/// written as integers so values like byte counts survive with full
+/// precision (the writer's %.9g double form keeps only 9 significant
+/// digits).
+void emit_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w.raw("null");
+      break;
+    case JsonValue::Kind::kBool:
+      w.raw(v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.as_double();
+      if (std::floor(d) == d && std::fabs(d) < 9.2e18) {
+        w.value(static_cast<i64>(d));
+      } else {
+        w.value(d);
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const auto& item : v.items()) emit_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, mv] : v.members()) {
+        w.key(k);
+        emit_value(w, mv);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Emit one trace event under the merged pid; `shift_ns` is subtracted from
+/// ts (0 for the initiator side). Member order is preserved so merged
+/// documents stay byte-deterministic.
+void emit_event(JsonWriter& w, const JsonValue& ev, u64 pid, i64 shift_ns) {
+  w.begin_object();
+  for (const auto& [k, v] : ev.members()) {
+    if (k == "pid") {
+      w.key("pid").value(pid);
+    } else if (k == "ts") {
+      w.key("ts");
+      emit_us(w, us_field_to_ns(v) - shift_ns);
+    } else if (k == "dur") {
+      w.key("dur");
+      emit_us(w, us_field_to_ns(v));
+    } else {
+      w.key(k);
+      emit_value(w, v);
+    }
+  }
+  w.end_object();
+}
+
+bool is_metadata(const JsonValue& ev) {
+  return ev["ph"].as_string() == "M";
+}
+
+void emit_side(JsonWriter& w, const JsonValue& doc, u64 pid,
+               const char* process_name, i64 shift_ns) {
+  // Fresh process_name record (the per-process docs all claim "nvme-oaf").
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(pid);
+  w.key("tid").value(u64{0});
+  w.key("args").begin_object().key("name").value(process_name).end_object();
+  w.end_object();
+
+  const JsonValue& events = doc["traceEvents"];
+  for (const auto& ev : events.items()) {
+    if (is_metadata(ev)) {
+      if (ev["name"].as_string() == "process_name") continue;
+      emit_event(w, ev, pid, 0);  // thread_name metadata: no ts to shift
+    } else {
+      emit_event(w, ev, pid, shift_ns);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::string> merge_chrome_traces(const std::string& initiator_json,
+                                        const std::string& target_json,
+                                        const TraceMergeOptions& opts) {
+  auto init_doc = json_parse(initiator_json);
+  if (!init_doc) {
+    return make_error(init_doc.status().code(),
+                      "initiator trace: " + init_doc.status().to_string());
+  }
+  auto tgt_doc = json_parse(target_json);
+  if (!tgt_doc) {
+    return make_error(tgt_doc.status().code(),
+                      "target trace: " + tgt_doc.status().to_string());
+  }
+  const JsonValue& init = init_doc.value();
+  const JsonValue& tgt = tgt_doc.value();
+  if (!init["traceEvents"].is_array() || !tgt["traceEvents"].is_array()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "input is not a Chrome trace document");
+  }
+
+  const i64 offset_ns = opts.has_offset_override
+                            ? opts.offset_ns_override
+                            : init["otherData"]["clock_offset_ns"].as_i64();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  emit_side(w, init, 1, "oaf-initiator", 0);
+  emit_side(w, tgt, 2, "oaf-target", offset_ns);
+  w.end_array();
+  w.key("otherData").begin_object();
+  w.key("clock_offset_ns").value(offset_ns);
+  w.key("initiator_dropped_events")
+      .value(init["otherData"]["dropped_events"].as_i64());
+  w.key("target_dropped_events")
+      .value(tgt["otherData"]["dropped_events"].as_i64());
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace oaf::telemetry

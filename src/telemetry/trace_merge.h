@@ -1,0 +1,42 @@
+// Merge an initiator trace and a target trace into one Chrome timeline.
+//
+// Each process exports its own trace ring (telemetry/trace.h) with pid 1 and
+// timestamps on its own monotonic clock (ns since process start). The merge
+// re-homes the two documents into a single trace:
+//
+//   - initiator events keep their timestamps and become pid 1
+//     ("oaf-initiator"); target events become pid 2 ("oaf-target") with
+//     ts shifted by -offset, where offset is the target-minus-initiator
+//     clock offset estimated NTP-style during the session (clock_sync.h)
+//     and embedded by oaf_perf in the initiator document's
+//     otherData.clock_offset_ns;
+//   - thread_name metadata from both sides is preserved under the new pids;
+//   - a span on the target for an I/O issued by the initiator shares its
+//     async id (the CapsuleCmd trace id == the initiator attempt
+//     generation), so the two sides of one I/O line up vertically on the
+//     corrected timeline and are linked for id-based queries.
+//
+// Output is byte-deterministic for given inputs (golden-file tested).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oaf::telemetry {
+
+struct TraceMergeOptions {
+  /// When set, overrides the offset read from the initiator document's
+  /// otherData.clock_offset_ns (target clock minus initiator clock, ns).
+  bool has_offset_override = false;
+  i64 offset_ns_override = 0;
+};
+
+/// Merge two Chrome trace JSON documents (as produced by
+/// TraceRecorder::to_chrome_json). Returns the merged document.
+Result<std::string> merge_chrome_traces(const std::string& initiator_json,
+                                        const std::string& target_json,
+                                        const TraceMergeOptions& opts = {});
+
+}  // namespace oaf::telemetry

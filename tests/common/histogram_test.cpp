@@ -162,5 +162,42 @@ INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramRelativeError,
                                                 65535, 1'000'000, 50'000'000,
                                                 1'000'000'000, 30'000'000'000));
 
+TEST(HistogramQuantileExtremes, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(HistogramQuantileExtremes, SingleSampleAnswersEveryQuantile) {
+  Histogram h;
+  h.record(777);
+  const i64 rep = h.quantile(0.5);
+  EXPECT_EQ(h.quantile(0.0), rep);
+  EXPECT_EQ(h.quantile(1.0), rep);
+  EXPECT_NEAR(static_cast<double>(rep), 777.0, 777.0 * 0.02 + 1.0);
+}
+
+TEST(HistogramQuantileExtremes, OutOfRangeQuantilesClampToValidRange) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantileExtremes, QZeroAndOneBracketTheRecordedRange) {
+  Histogram h;
+  for (i64 v : {10, 100, 1000, 10000}) h.record(v);
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(1.0));
+  // q=1 is capped at the exact observed max; q=0 is the representative
+  // (bucket upper bound) of the smallest sample's bucket.
+  EXPECT_EQ(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(static_cast<double>(h.quantile(0.0)), 10.0 * 1.02 + 1.0);
+}
+
 }  // namespace
 }  // namespace oaf

@@ -1,0 +1,99 @@
+#include "common/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace oaf {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(json_parse("null").value().is_null());
+  EXPECT_TRUE(json_parse("true").value().as_bool());
+  EXPECT_FALSE(json_parse("false").value().as_bool(true));
+  EXPECT_DOUBLE_EQ(json_parse("3.25").value().as_double(), 3.25);
+  EXPECT_EQ(json_parse("-42").value().as_i64(), -42);
+  EXPECT_EQ(json_parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = json_parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v.value().as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto v = json_parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  ASSERT_TRUE(v);
+  const JsonValue& root = v.value();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root["a"].is_array());
+  EXPECT_EQ(root["a"].items().size(), 3u);
+  EXPECT_EQ(root["a"].items()[1].as_i64(), 2);
+  EXPECT_TRUE(root["a"].items()[2]["b"].as_bool());
+  EXPECT_TRUE(root["c"]["d"].is_null());
+  // Absent keys chain null-safely.
+  EXPECT_TRUE(root["nope"]["deeper"].is_null());
+  EXPECT_EQ(root["nope"]["deeper"].as_i64(7), 7);
+  EXPECT_FALSE(root.has("nope"));
+  EXPECT_TRUE(root.has("a"));
+}
+
+TEST(JsonParseTest, MemberOrderPreserved) {
+  auto v = json_parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v);
+  const auto& members = v.value().members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(json_parse(""));
+  EXPECT_FALSE(json_parse("{"));
+  EXPECT_FALSE(json_parse("[1,]"));
+  EXPECT_FALSE(json_parse("{\"a\":}"));
+  EXPECT_FALSE(json_parse("tru"));
+  EXPECT_FALSE(json_parse("1 2"));       // trailing tokens
+  EXPECT_FALSE(json_parse("\"unterminated"));
+  EXPECT_FALSE(json_parse("{'a': 1}"));  // single quotes are not JSON
+}
+
+TEST(JsonParseTest, DeepNestingBounded) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_parse(deep));  // over the depth cap, clean error
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(json_parse(ok));
+}
+
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("trace \"x\"\nline2");
+  w.key("count").value(u64{18446744073709551615ull});
+  w.key("neg").value(i64{-123456789});
+  w.key("pi").value(3.141592653);
+  w.key("list").begin_array().value(true).value(false).end_array();
+  w.end_object();
+  auto v = json_parse(w.take());
+  ASSERT_TRUE(v) << v.status().to_string();
+  const JsonValue& root = v.value();
+  EXPECT_EQ(root["name"].as_string(), "trace \"x\"\nline2");
+  EXPECT_EQ(root["neg"].as_i64(), -123456789);
+  EXPECT_NEAR(root["pi"].as_double(), 3.141592653, 1e-6);
+  EXPECT_EQ(root["list"].items().size(), 2u);
+}
+
+TEST(JsonParseTest, IntegralNumbersSurviveAsI64) {
+  // Timestamps up to 2^53 ns (~104 days of uptime) round-trip exactly
+  // through the double representation.
+  auto v = json_parse("{\"ts\": 9007199254740992}");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v.value()["ts"].as_i64(), 9007199254740992);
+}
+
+}  // namespace
+}  // namespace oaf

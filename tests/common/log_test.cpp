@@ -85,5 +85,59 @@ TEST(LogUptimeTest, MonotonicNonNegative) {
   EXPECT_GE(b, a);
 }
 
+TEST(LogRateLimiterTest, BurstThenSuppression) {
+  detail::LogRateLimiter rl(10.0, 5.0);
+  u64 sup = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(rl.allow(0, &sup));
+    EXPECT_EQ(sup, 0u);
+  }
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(rl.allow(0, &sup));
+  EXPECT_EQ(rl.pending_suppressed(), 7u);
+}
+
+TEST(LogRateLimiterTest, RefillReportsSuppressedCountOnNextAllowedLine) {
+  detail::LogRateLimiter rl(10.0, 1.0);
+  u64 sup = 0;
+  EXPECT_TRUE(rl.allow(0, &sup));
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(rl.allow(0, &sup));
+  // 100ms at 10 tokens/s refills exactly one token; the allowed line
+  // carries the count of occurrences swallowed since the previous one,
+  // which is what the OAF_WARN_RL "[suppressed N similar]" trailer prints.
+  EXPECT_TRUE(rl.allow(100'000'000, &sup));
+  EXPECT_EQ(sup, 4u);
+  EXPECT_EQ(rl.pending_suppressed(), 0u);
+}
+
+TEST(LogRateLimiterTest, RefillCapsAtBurst) {
+  detail::LogRateLimiter rl(10.0, 2.0);
+  u64 sup = 0;
+  // A long idle period refills at most `burst` tokens.
+  EXPECT_TRUE(rl.allow(3'600'000'000'000, &sup));
+  EXPECT_TRUE(rl.allow(3'600'000'000'000, &sup));
+  EXPECT_FALSE(rl.allow(3'600'000'000'000, &sup));
+}
+
+TEST(LogRateLimiterTest, SteadyStateConvergesToConfiguredRate) {
+  detail::LogRateLimiter rl(10.0, 1.0);
+  u64 sup = 0;
+  int allowed = 0;
+  // 1000 attempts, one per millisecond: ~10/s sustained despite a 1000/s
+  // offered rate.
+  for (i64 i = 0; i < 1000; ++i) {
+    if (rl.allow(i * 1'000'000, &sup)) allowed++;
+  }
+  EXPECT_GE(allowed, 10);
+  EXPECT_LE(allowed, 12);
+}
+
+TEST(LogRateLimiterTest, NonMonotonicTimestampsDoNotRefill) {
+  detail::LogRateLimiter rl(10.0, 1.0);
+  u64 sup = 0;
+  EXPECT_TRUE(rl.allow(1'000'000'000, &sup));
+  EXPECT_FALSE(rl.allow(500'000'000, &sup));  // clock went backwards
+  EXPECT_FALSE(rl.allow(999'999'999, &sup));
+}
+
 }  // namespace
 }  // namespace oaf

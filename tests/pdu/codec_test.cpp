@@ -366,6 +366,161 @@ TEST(CodecTest, EncoderMatchesWireContract) {
   EXPECT_EQ(fixed(KeepAlive{}), kWireKeepAliveBytes);
 }
 
+TEST(CodecTest, TraceContextFieldsRoundtrip) {
+  ICReq req;
+  req.trace_ctx = true;
+  req.t_sent_ns = 111'222'333;
+  const auto* rq = roundtrip(req).as<ICReq>();
+  ASSERT_NE(rq, nullptr);
+  EXPECT_TRUE(rq->trace_ctx);
+  EXPECT_EQ(rq->t_sent_ns, 111'222'333u);
+
+  ICResp resp;
+  resp.trace_ctx = true;
+  resp.echo_t_ns = 111'222'333;
+  resp.t_now_ns = 999'888'777;
+  const auto* rp = roundtrip(resp).as<ICResp>();
+  ASSERT_NE(rp, nullptr);
+  EXPECT_TRUE(rp->trace_ctx);
+  EXPECT_EQ(rp->echo_t_ns, 111'222'333u);
+  EXPECT_EQ(rp->t_now_ns, 999'888'777u);
+
+  CapsuleCmd c;
+  c.cmd.cid = 7;
+  c.trace_id = 0xA1B2C3D4E5F60718ULL;
+  c.parent_span = 0x1122334455667788ULL;
+  const auto* ch = roundtrip(c).as<CapsuleCmd>();
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->trace_id, 0xA1B2C3D4E5F60718ULL);
+  EXPECT_EQ(ch->parent_span, 0x1122334455667788ULL);
+
+  KeepAlive ka;
+  ka.seq = 4;
+  ka.t_sent_ns = 1'000;
+  ka.echo_t_ns = 2'000;
+  const auto* kh = roundtrip(ka).as<KeepAlive>();
+  ASSERT_NE(kh, nullptr);
+  EXPECT_EQ(kh->t_sent_ns, 1'000u);
+  EXPECT_EQ(kh->echo_t_ns, 2'000u);
+}
+
+// Re-frame an encoded PDU (no header digest) with the last `strip` bytes of
+// the typed header removed — byte-identical to what the previous protocol
+// revision's encoder emits for the same logical PDU.
+std::vector<u8> strip_trailing_header_bytes(std::vector<u8> encoded,
+                                            u64 strip) {
+  const u16 hlen = static_cast<u16>(encoded[2] | (encoded[3] << 8));
+  std::vector<u8> payload(encoded.begin() + hlen, encoded.end());
+  encoded.resize(hlen - strip);
+  const u16 new_hlen = static_cast<u16>(encoded.size());
+  encoded[2] = static_cast<u8>(new_hlen);
+  encoded[3] = static_cast<u8>(new_hlen >> 8);
+  const u32 plen = static_cast<u32>(encoded.size() + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    encoded[4 + static_cast<u64>(i)] = static_cast<u8>(plen >> (8 * i));
+  }
+  encoded.insert(encoded.end(), payload.begin(), payload.end());
+  return encoded;
+}
+
+TEST(CodecTest, OldPeerICReqDecodesWithTraceContextOff) {
+  // A rev-1 peer's ICReq (no trace-context tail) must decode cleanly with
+  // the feature defaulted off — the negotiation story for mixed versions.
+  ICReq req;
+  req.pfv = 1;
+  req.want_shm = true;
+  req.kato_ns = 5'000'000'000ull;
+  Pdu in;
+  in.header = req;
+  const auto old_frame = strip_trailing_header_bytes(
+      encode(in), kWireICReqBytes - kWireICReqBytesV1);
+  auto decoded = decode(old_frame, {});
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const auto* h = decoded.value().as<ICReq>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->want_shm);
+  EXPECT_EQ(h->kato_ns, 5'000'000'000ull);
+  EXPECT_FALSE(h->trace_ctx);
+  EXPECT_EQ(h->t_sent_ns, 0u);
+}
+
+TEST(CodecTest, OldPeerFramesDecodeWithDefaults) {
+  {
+    ICResp resp;
+    resp.shm_granted = true;
+    resp.shm_name = "r";
+    Pdu in;
+    in.header = resp;
+    auto decoded = decode(strip_trailing_header_bytes(
+                              encode(in), kWireICRespBytes - kWireICRespBytesV1),
+                          {});
+    ASSERT_TRUE(decoded.is_ok());
+    const auto* h = decoded.value().as<ICResp>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_TRUE(h->shm_granted);
+    EXPECT_FALSE(h->trace_ctx);
+  }
+  {
+    CapsuleCmd c;
+    c.cmd.cid = 9;
+    c.gen = 3;
+    Pdu in;
+    in.header = c;
+    auto decoded = decode(
+        strip_trailing_header_bytes(
+            encode(in), kWireCapsuleCmdBytes - kWireCapsuleCmdBytesV1),
+        {});
+    ASSERT_TRUE(decoded.is_ok());
+    const auto* h = decoded.value().as<CapsuleCmd>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->cmd.cid, 9);
+    EXPECT_EQ(h->gen, 3);
+    EXPECT_EQ(h->trace_id, 0u);
+    EXPECT_EQ(h->parent_span, 0u);
+  }
+  {
+    KeepAlive ka;
+    ka.seq = 11;
+    Pdu in;
+    in.header = ka;
+    auto decoded = decode(
+        strip_trailing_header_bytes(
+            encode(in), kWireKeepAliveBytes - kWireKeepAliveBytesV1),
+        {});
+    ASSERT_TRUE(decoded.is_ok());
+    const auto* h = decoded.value().as<KeepAlive>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->seq, 11u);
+    EXPECT_EQ(h->t_sent_ns, 0u);
+  }
+}
+
+TEST(CodecTest, FutureTrailingHeaderBytesTolerated) {
+  // The converse interop property: the decoder must ignore typed-header
+  // bytes beyond what it understands, so a rev-3 peer's frames still parse.
+  CapsuleCmd c;
+  c.cmd.cid = 4;
+  c.trace_id = 77;
+  Pdu in;
+  in.header = c;
+  auto frame = encode(in);
+  const u16 hlen = static_cast<u16>(frame[2] | (frame[3] << 8));
+  frame.insert(frame.begin() + hlen, {0xAA, 0xBB, 0xCC});  // future fields
+  const u16 new_hlen = static_cast<u16>(hlen + 3);
+  frame[2] = static_cast<u8>(new_hlen);
+  frame[3] = static_cast<u8>(new_hlen >> 8);
+  const u32 plen = static_cast<u32>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    frame[4 + static_cast<u64>(i)] = static_cast<u8>(plen >> (8 * i));
+  }
+  auto decoded = decode(frame, {});
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const auto* h = decoded.value().as<CapsuleCmd>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cmd.cid, 4);
+  EXPECT_EQ(h->trace_id, 77u);
+}
+
 TEST(CodecTest, ShmReferencePduIsSmall) {
   // The whole point of the oAF notification: a 128 KiB payload reference
   // costs well under 100 wire bytes.

@@ -1,0 +1,71 @@
+#include "telemetry/clock_sync.h"
+
+#include <gtest/gtest.h>
+
+namespace oaf::telemetry {
+namespace {
+
+TEST(ClockSyncTest, EmptyEstimatorIsInvalid) {
+  ClockSyncEstimator cs;
+  EXPECT_FALSE(cs.valid());
+  EXPECT_EQ(cs.samples(), 0u);
+  EXPECT_EQ(cs.offset_ns(), 0);
+  EXPECT_EQ(cs.best_rtt_ns(), -1);
+}
+
+TEST(ClockSyncTest, SymmetricPathRecoversExactOffset) {
+  // Target clock = initiator clock + 500ns; one-way delay 100ns each way.
+  // t1=1000 (init), t2=t3=1600 (target: 1000+100+500), t4=1200 (init).
+  ClockSyncEstimator cs;
+  cs.add_sample(1000, 1600, 1600, 1200);
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.offset_ns(), 500);
+  EXPECT_EQ(cs.best_rtt_ns(), 200);
+}
+
+TEST(ClockSyncTest, NegativeOffsetRecovered) {
+  // Target clock BEHIND the initiator's by 300ns, delay 50ns each way.
+  // t1=2000, t2=t3=2000+50-300=1750, t4=2100.
+  ClockSyncEstimator cs;
+  cs.add_sample(2000, 1750, 1750, 2100);
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.offset_ns(), -300);
+  EXPECT_EQ(cs.best_rtt_ns(), 100);
+}
+
+TEST(ClockSyncTest, MinRttSampleWins) {
+  ClockSyncEstimator cs;
+  // Noisy sample: rtt 10000, asymmetric queueing skews the offset estimate.
+  cs.add_sample(1000, 9000, 9000, 11000);
+  const i64 noisy = cs.offset_ns();
+  // Clean sample: rtt 200, true offset 500.
+  cs.add_sample(20000, 20600, 20600, 20200);
+  EXPECT_EQ(cs.best_rtt_ns(), 200);
+  EXPECT_EQ(cs.offset_ns(), 500);
+  EXPECT_NE(cs.offset_ns(), noisy);
+  // A later, worse sample does not displace the min-RTT estimate.
+  cs.add_sample(30000, 39000, 39000, 41000);
+  EXPECT_EQ(cs.offset_ns(), 500);
+  EXPECT_EQ(cs.best_rtt_ns(), 200);
+  EXPECT_EQ(cs.samples(), 3u);
+}
+
+TEST(ClockSyncTest, GarbageSamplesDropped) {
+  ClockSyncEstimator cs;
+  cs.add_sample(1000, 1600, 1600, 900);  // t4 < t1: non-monotonic, dropped
+  EXPECT_FALSE(cs.valid());
+  EXPECT_EQ(cs.samples(), 0u);
+}
+
+TEST(ClockSyncTest, LargeAbsoluteTimestampsDoNotOverflow) {
+  // Timestamps near u64 range used by steady clocks that count from boot.
+  const u64 base = u64{1} << 62;
+  ClockSyncEstimator cs;
+  cs.add_sample(base + 1000, base + 1600, base + 1600, base + 1200);
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.offset_ns(), 500);
+  EXPECT_EQ(cs.best_rtt_ns(), 200);
+}
+
+}  // namespace
+}  // namespace oaf::telemetry

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "af/locality.h"
+#include "common/json_parse.h"
 #include "net/pipe_channel.h"
 #include "nvmf/initiator.h"
 #include "nvmf/target.h"
@@ -164,6 +165,50 @@ TEST_F(E2ETraceTest, ChromeJsonIsDeterministicUnderSimClock) {
   const std::string second = one_run();
   EXPECT_GT(first.size(), 500u);
   EXPECT_EQ(first, second);
+}
+
+// Unit-suffix naming convention (DESIGN.md §9): counters end _total,
+// histograms carry an explicit unit (_ns/_bytes), gauges never masquerade
+// as counters. Audited against the live process registry after real engines
+// have registered their instruments, so a new nonconforming registration
+// anywhere in src/ fails here.
+TEST_F(E2ETraceTest, MetricNamesFollowUnitSuffixConvention) {
+  TraceHarness h(af::AfConfig::oaf());
+  std::vector<u8> data(64 * 1024, 0x11);
+  h.initiator->write(1, 0, data, [](auto r) { EXPECT_TRUE(r.ok()); });
+  h.sched.run();
+
+  auto doc = json_parse(telemetry::metrics().to_json());
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  const JsonValue& root = doc.value();
+  ASSERT_FALSE(root["counters"].members().empty());
+
+  auto well_formed = [](const std::string& name) {
+    if (name.rfind("oaf_", 0) != 0) return false;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_';
+      if (!ok) return false;
+    }
+    return true;
+  };
+  for (const auto& member : root["counters"].members()) {
+    EXPECT_TRUE(well_formed(member.first)) << member.first;
+    EXPECT_TRUE(member.first.ends_with("_total"))
+        << "counter " << member.first << " must end in _total";
+  }
+  for (const auto& member : root["histograms"].members()) {
+    EXPECT_TRUE(well_formed(member.first)) << member.first;
+    EXPECT_TRUE(member.first.ends_with("_ns") ||
+                member.first.ends_with("_bytes"))
+        << "histogram " << member.first
+        << " needs an explicit unit suffix (_ns or _bytes)";
+  }
+  for (const auto& member : root["gauges"].members()) {
+    EXPECT_TRUE(well_formed(member.first)) << member.first;
+    EXPECT_FALSE(member.first.ends_with("_total"))
+        << "gauge " << member.first << " must not masquerade as a counter";
+  }
 }
 
 }  // namespace

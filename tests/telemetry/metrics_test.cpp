@@ -141,5 +141,43 @@ TEST(MetricsRegistryTest, ResetForTestZeroesValuesButKeepsHandles) {
   EXPECT_EQ(r.size(), 3u);
 }
 
+TEST(MetricsPrometheusEscapeTest, HelpEscapesBackslashAndNewline) {
+  EXPECT_EQ(prometheus_escape_help("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_help("a\\b\nc"), "a\\\\b\\nc");
+  // Double quotes are legal in HELP text and pass through untouched.
+  EXPECT_EQ(prometheus_escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(MetricsPrometheusEscapeTest, LabelEscapesQuoteBackslashNewline) {
+  EXPECT_EQ(prometheus_escape_label("v"), "v");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(prometheus_escape_label("\"\\\n"), "\\\"\\\\\\n");
+}
+
+TEST(MetricsPrometheusEscapeTest, ExpositionKeepsHelpOnOnePhysicalLine) {
+  MetricsRegistry r;
+  r.counter("oaf_esc_total", "first line\nsecond \\ line \"quoted\"");
+  const std::string text = r.to_prometheus();
+  EXPECT_NE(
+      text.find(
+          "# HELP oaf_esc_total first line\\nsecond \\\\ line \"quoted\"\n"),
+      std::string::npos);
+  // Every physical line must be a comment or a sample — a raw newline
+  // surviving inside HELP text would produce one that is neither, which
+  // breaks Prometheus text-format parsers.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.rfind("oaf_", 0) == 0)
+        << "unparseable exposition line: " << line;
+    start = end + 1;
+  }
+}
+
 }  // namespace
 }  // namespace oaf::telemetry

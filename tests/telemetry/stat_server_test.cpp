@@ -1,0 +1,84 @@
+// Live introspection endpoint: line-protocol round-trips, unknown-command
+// errors, the built-in help listing, and deterministic stop/restart.
+#include "telemetry/stat_server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace oaf::telemetry {
+namespace {
+
+TEST(StatServerTest, RoundTripsRegisteredCommands) {
+  StatServer s;
+  s.handle("ping", [] { return std::string("pong"); });
+  s.handle("metrics", [] { return std::string("# HELP oaf_x_total x\n"); });
+  const Status st = s.start(0);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_TRUE(s.running());
+  ASSERT_NE(s.port(), 0);
+
+  auto r = stat_query(s.port(), "ping");
+  ASSERT_TRUE(r) << r.status().to_string();
+  EXPECT_EQ(r.value(), "pong\n");  // responses are newline-terminated
+
+  auto m = stat_query(s.port(), "metrics");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m.value(), "# HELP oaf_x_total x\n");  // no double newline
+}
+
+TEST(StatServerTest, UnknownCommandGetsErrLine) {
+  StatServer s;
+  s.handle("ping", [] { return std::string("pong"); });
+  ASSERT_TRUE(s.start(0).is_ok());
+  auto r = stat_query(s.port(), "bogus");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.value(), "ERR unknown command bogus\n");
+}
+
+TEST(StatServerTest, HelpListsEveryRegisteredCommand) {
+  StatServer s;
+  s.handle("conns", [] { return std::string("[]"); });
+  s.handle("metrics", [] { return std::string(""); });
+  ASSERT_TRUE(s.start(0).is_ok());
+  auto r = stat_query(s.port(), "help");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.value(), "conns\nmetrics\nhelp\n");
+}
+
+TEST(StatServerTest, DoubleStartFailsCleanly) {
+  StatServer s;
+  ASSERT_TRUE(s.start(0).is_ok());
+  EXPECT_FALSE(s.start(0).is_ok());
+  EXPECT_TRUE(s.running());  // original listener unaffected
+}
+
+TEST(StatServerTest, StopIsDeterministicAndRestartable) {
+  StatServer s;
+  s.handle("ping", [] { return std::string("pong"); });
+  ASSERT_TRUE(s.start(0).is_ok());
+  const u16 old_port = s.port();
+  s.stop();
+  EXPECT_FALSE(s.running());
+  EXPECT_EQ(s.port(), 0);
+  EXPECT_FALSE(stat_query(old_port, "ping"));  // nothing listening anymore
+
+  ASSERT_TRUE(s.start(0).is_ok());
+  auto r = stat_query(s.port(), "ping");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.value(), "pong\n");
+}
+
+TEST(StatServerTest, ProviderExceptionsAreNotRequired) {
+  // Providers returning large payloads stream fully (response > one recv).
+  StatServer s;
+  s.handle("big", [] { return std::string(256 * 1024, 'x'); });
+  ASSERT_TRUE(s.start(0).is_ok());
+  auto r = stat_query(s.port(), "big");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.value().size(), 256 * 1024 + 1);  // + appended newline
+  EXPECT_EQ(r.value().back(), '\n');
+}
+
+}  // namespace
+}  // namespace oaf::telemetry

@@ -1,0 +1,132 @@
+// bench_compare — diff two oaf-bench-v1 documents and gate on regressions.
+//
+//   bench_compare baseline.json candidate.json [--threshold-pct P]
+//
+// Compares the flat "metrics" maps: every metric present in the baseline
+// must exist in the candidate, and its relative delta must stay within the
+// threshold (default 10%). Deltas are judged in both directions — a large
+// "improvement" in a deterministic simulation means the model changed and
+// the baseline needs a deliberate refresh, not a silent pass.
+//
+// Exit status: 0 in-threshold, 1 regression/missing metric, 2 usage or
+// parse error. CI runs this against the committed bench/BENCH_smoke.json.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json_parse.h"
+
+using namespace oaf;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Load the "metrics" map of one oaf-bench-v1 document.
+bool load_metrics(const std::string& path,
+                  std::map<std::string, double>* out, std::string* bench) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  auto doc = json_parse(text);
+  if (!doc) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 doc.status().to_string().c_str());
+    return false;
+  }
+  const JsonValue& root = doc.value();
+  if (root["schema"].as_string() != "oaf-bench-v1") {
+    std::fprintf(stderr, "bench_compare: %s: not an oaf-bench-v1 document\n",
+                 path.c_str());
+    return false;
+  }
+  *bench = root["bench"].as_string();
+  for (const auto& [key, value] : root["metrics"].members()) {
+    out->emplace(key, value.as_double());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string cand_path;
+  double threshold_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold-pct" && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (cand_path.empty()) {
+      cand_path = arg;
+    } else {
+      std::fprintf(stderr, "usage: bench_compare baseline.json candidate.json"
+                           " [--threshold-pct P]\n");
+      return 2;
+    }
+  }
+  if (cand_path.empty()) {
+    std::fprintf(stderr, "usage: bench_compare baseline.json candidate.json"
+                         " [--threshold-pct P]\n");
+    return 2;
+  }
+
+  std::map<std::string, double> base;
+  std::map<std::string, double> cand;
+  std::string base_bench;
+  std::string cand_bench;
+  if (!load_metrics(base_path, &base, &base_bench) ||
+      !load_metrics(cand_path, &cand, &cand_bench)) {
+    return 2;
+  }
+  if (base_bench != cand_bench) {
+    std::fprintf(stderr,
+                 "bench_compare: comparing different benches (%s vs %s)\n",
+                 base_bench.c_str(), cand_bench.c_str());
+    return 2;
+  }
+
+  int violations = 0;
+  for (const auto& [key, base_v] : base) {
+    const auto it = cand.find(key);
+    if (it == cand.end()) {
+      std::printf("MISSING  %-60s (baseline %.3f)\n", key.c_str(), base_v);
+      violations++;
+      continue;
+    }
+    const double cand_v = it->second;
+    const double denom = std::fabs(base_v) > 1e-12 ? std::fabs(base_v) : 1.0;
+    const double delta_pct = 100.0 * (cand_v - base_v) / denom;
+    const bool bad = std::fabs(delta_pct) > threshold_pct;
+    if (bad) violations++;
+    std::printf("%s %-60s %12.3f -> %12.3f  (%+.2f%%)\n",
+                bad ? "FAIL    " : "ok      ", key.c_str(), base_v, cand_v,
+                delta_pct);
+  }
+  for (const auto& [key, v] : cand) {
+    if (base.find(key) == base.end()) {
+      std::printf("new      %-60s %12.3f (not in baseline)\n", key.c_str(), v);
+    }
+  }
+
+  std::printf("bench_compare: %s, %d metric(s) outside +/-%.1f%% of %zu "
+              "compared\n",
+              violations == 0 ? "PASS" : "FAIL", violations, threshold_pct,
+              base.size());
+  return violations == 0 ? 0 : 1;
+}

@@ -27,6 +27,8 @@
 #include "net/tcp_channel.h"
 #include "nvmf/initiator.h"
 #include "sim/real_executor.h"
+#include "telemetry/flight.h"
+#include "telemetry/stat_server.h"
 #include "telemetry/telemetry.h"
 
 using namespace oaf;
@@ -55,6 +57,8 @@ struct Options {
   bool json = false;           // one RunStats JSON object on stdout
   std::string trace_out;       // Chrome trace_event JSON path; "" = no tracing
   std::string metrics_json;    // metrics registry JSON path; "" = none
+  int stat_port = -1;          // live introspection endpoint; -1 off, 0 = ephemeral
+  std::string flight_dir;      // arm the flight recorder into DIR; "" = off
 };
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -121,6 +125,10 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.trace_out = v;
     } else if (arg == "--metrics-json" && (v = next())) {
       o.metrics_json = v;
+    } else if (arg == "--stat-port" && (v = next())) {
+      o.stat_port = std::atoi(v);
+    } else if (arg == "--flight-dir" && (v = next())) {
+      o.flight_dir = v;
     } else {
       std::fprintf(
           stderr,
@@ -130,7 +138,8 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--reconnect-attempts N] [--keepalive-ms MS]\n"
           "                [--kato-ms MS] [--data-digest]\n"
           "                [--cmd-timeout-ms MS] [--abort-budget N]\n"
-          "                [--json] [--trace-out FILE] [--metrics-json FILE]\n");
+          "                [--json] [--trace-out FILE] [--metrics-json FILE]\n"
+          "                [--stat-port N] [--flight-dir DIR]\n");
       return false;
     }
   }
@@ -216,6 +225,9 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opts)) return 2;
 
   if (!opts.trace_out.empty()) telemetry::tracer().set_enabled(true);
+  if (!opts.flight_dir.empty()) {
+    telemetry::flight().install({opts.flight_dir, /*fatal_signals=*/true});
+  }
 
   sim::RealExecutor exec;
   net::InlineCopier copier;
@@ -273,6 +285,58 @@ int main(int argc, char** argv) {
                client.shm_active() ? "shared memory" : "TCP",
                client.supports_zero_copy() ? " (zero-copy)" : "");
 
+  // Live introspection endpoint (opt-in). Providers that touch client state
+  // post onto the executor thread and wait — the stat server thread itself
+  // must never walk reactor-owned structures.
+  telemetry::StatServer stat;
+  if (opts.stat_port >= 0) {
+    auto on_executor = [&exec](std::function<std::string()> fn) {
+      return [&exec, fn]() -> std::string {
+        std::string out;
+        std::atomic<bool> ready{false};
+        exec.post([&] {
+          out = fn();
+          ready = true;
+        });
+        while (!ready.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return out;
+      };
+    };
+    stat.handle("metrics",
+                [] { return telemetry::metrics().to_prometheus(); });
+    stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
+    stat.handle("conns", on_executor([&client, &opts]() -> std::string {
+                  JsonWriter w;
+                  w.begin_array();
+                  w.begin_object();
+                  w.key("name").value(opts.conn);
+                  w.key("shm_active").value(client.shm_active());
+                  w.key("zero_copy").value(client.supports_zero_copy());
+                  w.key("trace_ctx").value(client.trace_ctx_active());
+                  w.key("clock_offset_ns")
+                      .value(client.clock_sync().offset_ns());
+                  w.key("clock_rtt_ns").value(client.clock_sync().best_rtt_ns());
+                  const nvmf::ResilienceCounters& rc = client.resilience();
+                  w.key("reconnects").value(rc.reconnects);
+                  w.key("commands_retried").value(rc.commands_retried);
+                  w.key("keepalive_sent").value(rc.keepalive_sent);
+                  w.key("shm_demotions").value(rc.shm_demotions);
+                  w.key("aborts_sent").value(rc.aborts_sent);
+                  w.end_object();
+                  w.end_array();
+                  return w.take();
+                }));
+    if (auto st = stat.start(static_cast<u16>(opts.stat_port)); !st) {
+      std::fprintf(stderr, "oaf_perf: stat server: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "oaf_perf: stat server on 127.0.0.1:%u\n",
+                 stat.port());
+  }
+
   bench::WorkloadSpec spec;
   spec.io_bytes = opts.io_size_kib * kKiB;
   spec.queue_depth = opts.qd;
@@ -296,7 +360,16 @@ int main(int argc, char** argv) {
   }
 
   if (!opts.trace_out.empty()) {
-    if (telemetry::tracer().write_chrome_json(opts.trace_out)) {
+    // Embed the NTP-style clock estimate so oaf_trace_merge can re-home the
+    // target's spans onto this process's timeline without extra flags.
+    const telemetry::ClockSyncEstimator& cs = client.clock_sync();
+    const std::vector<std::pair<std::string, i64>> clock_meta = {
+        {"clock_offset_ns", cs.offset_ns()},
+        {"clock_rtt_ns", cs.best_rtt_ns()},
+        {"clock_samples", static_cast<i64>(cs.samples())},
+        {"trace_ctx", client.trace_ctx_active() ? 1 : 0},
+    };
+    if (telemetry::tracer().write_chrome_json(opts.trace_out, clock_meta)) {
       std::fprintf(stderr, "oaf_perf: trace written to %s (%llu events, %llu dropped)\n",
                    opts.trace_out.c_str(),
                    static_cast<unsigned long long>(telemetry::tracer().size()),

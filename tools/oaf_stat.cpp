@@ -1,0 +1,42 @@
+// oaf_stat — query a live oaf_target / oaf_perf introspection endpoint.
+//
+//   oaf_stat --port N [command]
+//
+// Sends one line-protocol command (default "help") to 127.0.0.1:N and
+// prints the response. Standard commands: metrics (Prometheus text), conns
+// (per-connection JSON), trace (Chrome trace JSON snapshot), help.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "telemetry/stat_server.h"
+
+using namespace oaf;
+
+int main(int argc, char** argv) {
+  u16 port = 0;
+  std::string command = "help";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<u16>(std::atoi(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: oaf_stat --port N [command]\n");
+      return 2;
+    } else {
+      command = arg;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "usage: oaf_stat --port N [command]\n");
+    return 2;
+  }
+  auto resp = telemetry::stat_query(port, command);
+  if (!resp) {
+    std::fprintf(stderr, "oaf_stat: %s\n", resp.status().to_string().c_str());
+    return 1;
+  }
+  std::fwrite(resp.value().data(), 1, resp.value().size(), stdout);
+  if (!resp.value().empty() && resp.value().back() != '\n') std::putchar('\n');
+  return 0;
+}

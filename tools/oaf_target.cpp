@@ -28,6 +28,8 @@
 #include "nvmf/target_service.h"
 #include "sim/real_executor.h"
 #include "ssd/real_device.h"
+#include "telemetry/flight.h"
+#include "telemetry/stat_server.h"
 #include "telemetry/telemetry.h"
 
 using namespace oaf;
@@ -43,6 +45,9 @@ struct Options {
   u64 kato_ms = 0;  // default KATO; 0 = associations never expire on silence
   u64 orphan_sweep_ms = 0;  // stuck window for no-KATO assocs; 0 = no sweep
   u64 stats_interval_ms = 0;  // periodic metrics dump to stderr; 0 = off
+  int stat_port = -1;         // live introspection endpoint; -1 off, 0 = ephemeral
+  std::string trace_out;      // Chrome trace_event JSON path; "" = no tracing
+  std::string flight_dir;     // arm the flight recorder into DIR; "" = off
 };
 
 /// Set by SIGUSR1; the serve loop picks it up on its next tick so the dump
@@ -97,6 +102,18 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.stats_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--stat-port") {
+      const char* v = next();
+      if (!v) return false;
+      opts.stat_port = std::atoi(v);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts.trace_out = v;
+    } else if (arg == "--flight-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opts.flight_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -113,6 +130,7 @@ void usage() {
       "usage: oaf_target [--port N] [--token T] [--capacity-mb M]\n"
       "                  [--conns K] [--conn-prefix P] [--kato-ms MS]\n"
       "                  [--orphan-sweep-ms MS] [--stats-interval-ms MS]\n"
+      "                  [--stat-port N] [--trace-out FILE] [--flight-dir DIR]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
       "associations have closed or expired their keep-alive timeout.\n"
       "SIGUSR1 dumps the metrics registry to stderr.\n");
@@ -125,6 +143,11 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opts)) {
     usage();
     return 2;
+  }
+
+  if (!opts.trace_out.empty()) telemetry::tracer().set_enabled(true);
+  if (!opts.flight_dir.empty()) {
+    telemetry::flight().install({opts.flight_dir, /*fatal_signals=*/true});
   }
 
   sim::RealExecutor exec;
@@ -172,6 +195,32 @@ int main(int argc, char** argv) {
 
   std::signal(SIGUSR1, on_sigusr1);
 
+  // Live introspection endpoint (opt-in). The conns provider walks service
+  // state owned by the executor thread, so it posts there and waits.
+  telemetry::StatServer stat;
+  if (opts.stat_port >= 0) {
+    stat.handle("metrics", [] { return telemetry::metrics().to_prometheus(); });
+    stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
+    stat.handle("conns", [&exec, &service]() -> std::string {
+      std::string out;
+      std::atomic<bool> ready{false};
+      exec.post([&] {
+        out = service.conns_json();
+        ready = true;
+      });
+      while (!ready.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return out;
+    });
+    if (auto st = stat.start(static_cast<u16>(opts.stat_port)); !st) {
+      std::fprintf(stderr, "stat server: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("oaf_target: stat server on 127.0.0.1:%u\n", stat.port());
+    std::fflush(stdout);
+  }
+
   // Serve until every association has hung up or been reaped. Reaping must
   // run on the executor thread — it destroys connections whose callbacks
   // run there — and so must metrics dumps: the registry's callback gauges
@@ -205,6 +254,19 @@ int main(int argc, char** argv) {
     }
     if (active == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (!opts.trace_out.empty()) {
+    if (telemetry::tracer().write_chrome_json(opts.trace_out)) {
+      std::fprintf(stderr,
+                   "oaf_target: trace written to %s (%llu events, %llu dropped)\n",
+                   opts.trace_out.c_str(),
+                   static_cast<unsigned long long>(telemetry::tracer().size()),
+                   static_cast<unsigned long long>(telemetry::tracer().dropped()));
+    } else {
+      std::fprintf(stderr, "oaf_target: failed to write trace to %s\n",
+                   opts.trace_out.c_str());
+    }
   }
 
   std::printf("oaf_target: all associations closed; served %llu commands "

@@ -1,0 +1,94 @@
+// oaf_trace_merge — stitch initiator + target trace files into one timeline.
+//
+//   oaf_trace_merge initiator.json target.json -o merged.json [--offset-ns N]
+//
+// Inputs are the Chrome trace JSON files the two processes wrote
+// (oaf_perf --trace-out, oaf_target --trace-out). The output is one Chrome
+// trace: initiator events on pid 1, target events on pid 2 with timestamps
+// corrected onto the initiator's clock using the NTP-style offset oaf_perf
+// embedded in its document (otherData.clock_offset_ns), or --offset-ns when
+// given. Load the result in Perfetto / chrome://tracing: the two sides of
+// each I/O share one async id (the wire trace id), so target spans nest
+// under the initiating I/O.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/trace_merge.h"
+
+using namespace oaf;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string init_path;
+  std::string target_path;
+  std::string out_path;
+  telemetry::TraceMergeOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--offset-ns" && i + 1 < argc) {
+      opts.has_offset_override = true;
+      opts.offset_ns_override = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: oaf_trace_merge initiator.json target.json"
+                   " -o merged.json [--offset-ns N]\n");
+      return 2;
+    } else if (init_path.empty()) {
+      init_path = arg;
+    } else if (target_path.empty()) {
+      target_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (target_path.empty() || out_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: oaf_trace_merge initiator.json target.json"
+                 " -o merged.json [--offset-ns N]\n");
+    return 2;
+  }
+
+  std::string init_json;
+  std::string target_json;
+  if (!read_file(init_path, &init_json)) {
+    std::fprintf(stderr, "cannot read %s\n", init_path.c_str());
+    return 1;
+  }
+  if (!read_file(target_path, &target_json)) {
+    std::fprintf(stderr, "cannot read %s\n", target_path.c_str());
+    return 1;
+  }
+
+  auto merged = telemetry::merge_chrome_traces(init_json, target_json, opts);
+  if (!merged) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().to_string().c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << merged.value() << '\n';
+  std::printf("merged trace: %s\n", out_path.c_str());
+  return 0;
+}
