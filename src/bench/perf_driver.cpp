@@ -2,7 +2,7 @@
 
 namespace oaf::bench {
 
-PerfDriver::PerfDriver(Executor& exec, nvmf::NvmfInitiator& initiator,
+PerfDriver::PerfDriver(Executor& exec, nvmf::IoSession& initiator,
                        WorkloadSpec spec, u32 nsid)
     : exec_(exec),
       initiator_(initiator),
@@ -40,13 +40,13 @@ void PerfDriver::issue() {
 
 void PerfDriver::submit_read(u64 offset) {
   const TimeNs op_start = exec_.now();
-  const u64 slba = offset / nvmf::NvmfInitiator::kBlockSize;
+  const u64 slba = offset / nvmf::IoSession::kBlockSize;
 
   if (initiator_.supports_zero_copy()) {
     initiator_.zero_copy_read(
         nsid_, slba, spec_.io_bytes,
-        [this, op_start](Result<nvmf::NvmfInitiator::ReadView> view,
-                         nvmf::NvmfInitiator::IoResult r) {
+        [this, op_start](Result<nvmf::IoSession::ReadView> view,
+                         nvmf::IoSession::IoResult r) {
           // The application consumes the payload in place, then releases
           // the slot; perf does not inspect the data.
           if (view.is_ok()) view.value().release();
@@ -57,14 +57,14 @@ void PerfDriver::submit_read(u64 offset) {
 
   auto& buf = buffers_[next_buffer_++ % buffers_.size()];
   initiator_.read(nsid_, slba, buf,
-                  [this, op_start](nvmf::NvmfInitiator::IoResult r) {
+                  [this, op_start](nvmf::IoSession::IoResult r) {
                     on_complete(op_start, 0, r.ok(), r);
                   });
 }
 
 void PerfDriver::submit_write(u64 offset) {
   const TimeNs op_start = exec_.now();
-  const u64 slba = offset / nvmf::NvmfInitiator::kBlockSize;
+  const u64 slba = offset / nvmf::IoSession::kBlockSize;
   const DurNs fill_ns =
       transfer_time_ns(spec_.io_bytes, spec_.app_fill_bytes_per_sec);
 
@@ -75,7 +75,7 @@ void PerfDriver::submit_write(u64 offset) {
       if (ticket.is_ok()) {
         initiator_.zero_copy_write(
             ticket.value(), nsid_, slba, spec_.io_bytes,
-            [this, op_start, fill_ns](nvmf::NvmfInitiator::IoResult r) {
+            [this, op_start, fill_ns](nvmf::IoSession::IoResult r) {
               on_complete(op_start, fill_ns, r.ok(), r);
             });
         return;
@@ -84,17 +84,18 @@ void PerfDriver::submit_write(u64 offset) {
     }
     auto& buf = buffers_[next_buffer_++ % buffers_.size()];
     initiator_.write(nsid_, slba, buf,
-                     [this, op_start, fill_ns](nvmf::NvmfInitiator::IoResult r) {
+                     [this, op_start, fill_ns](nvmf::IoSession::IoResult r) {
                        on_complete(op_start, fill_ns, r.ok(), r);
                      });
   });
 }
 
 void PerfDriver::on_complete(TimeNs op_start, DurNs fill_ns, bool ok,
-                             const nvmf::NvmfInitiator::IoResult& r) {
+                             const nvmf::IoSession::IoResult& r) {
   outstanding_--;
   const TimeNs now = exec_.now();
   last_completion_ = now;
+  if (!ok) stats_.failures++;  // counted across the whole run, warmup included
   if (ok && now >= warmup_end_) {
     const DurNs total = now - op_start;
     stats_.ios_completed++;

@@ -16,7 +16,7 @@
 
 #include "bench/workload.h"
 #include "common/stats.h"
-#include "nvmf/initiator.h"
+#include "nvmf/io_session.h"
 #include "sim/resource.h"
 
 namespace oaf::bench {
@@ -25,7 +25,9 @@ class PerfDriver {
  public:
   using DoneCb = std::function<void(RunStats)>;
 
-  PerfDriver(Executor& exec, nvmf::NvmfInitiator& initiator, WorkloadSpec spec,
+  /// Drives any IoSession — a single NvmfInitiator or a multipath
+  /// PathGroup; the workload logic is identical over both.
+  PerfDriver(Executor& exec, nvmf::IoSession& initiator, WorkloadSpec spec,
              u32 nsid = 1);
 
   /// Begin issuing; `done` fires once the run drains after `spec.duration`.
@@ -38,11 +40,11 @@ class PerfDriver {
   void submit_read(u64 offset);
   void submit_write(u64 offset);
   void on_complete(TimeNs op_start, DurNs fill_ns, bool ok,
-                   const nvmf::NvmfInitiator::IoResult& r);
+                   const nvmf::IoSession::IoResult& r);
   void maybe_finish();
 
   Executor& exec_;
-  nvmf::NvmfInitiator& initiator_;
+  nvmf::IoSession& initiator_;
   WorkloadSpec spec_;
   u32 nsid_;
 

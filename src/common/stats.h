@@ -67,6 +67,7 @@ class BreakdownStats {
 struct RunStats {
   u64 ios_completed = 0;
   u64 bytes_moved = 0;
+  u64 failures = 0;  ///< I/Os that completed with an error status
   DurNs elapsed = 0;
   Histogram latency;            ///< end-to-end per-I/O latency, ns
   BreakdownStats breakdown;     ///< io/comm/other decomposition
@@ -86,6 +87,7 @@ struct RunStats {
   void merge(const RunStats& o) {
     ios_completed += o.ios_completed;
     bytes_moved += o.bytes_moved;
+    failures += o.failures;
     if (o.elapsed > elapsed) elapsed = o.elapsed;
     latency.merge(o.latency);
     breakdown.merge(o.breakdown);

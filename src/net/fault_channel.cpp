@@ -11,12 +11,33 @@ void FaultChannel::set_policy(FaultPolicy policy) {
   rng_ = Rng(policy.seed);
 }
 
+void FaultChannel::set_handler(Handler handler) {
+  handler_ = std::move(handler);
+  // Interpose on the inbound path so an inbound partition can swallow
+  // deliveries. `this` outlives the inner channel (we own it), so the
+  // capture cannot dangle.
+  inner_->set_handler([this](pdu::Pdu p) {
+    if (partitioned_in_) {
+      inbound_dropped_++;
+      return;
+    }
+    if (handler_) handler_(std::move(p));
+  });
+}
+
 void FaultChannel::send(pdu::Pdu pdu) {
+  if (kill_countdown_ > 0 && --kill_countdown_ == 0) {
+    // The cable is cut mid-send: this PDU dies with the channel.
+    killed_ = true;
+    if (on_kill_) on_kill_();
+    inner_->close();
+    return;
+  }
   if (fault_ && !fault_(pdu)) {
     dropped_++;
     return;
   }
-  if (partitioned_) {
+  if (partitioned_out_) {
     dropped_++;
     return;
   }

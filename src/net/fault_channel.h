@@ -8,6 +8,13 @@
 // capsule at a bogus slot") on top of the stochastic policy, and inject()
 // forges PDUs as if the local endpoint had sent them.
 //
+// Multipath extensions: partitions can be asymmetric (outbound-only or
+// inbound-only, modelling one-way link failures that keep-alive echoes
+// would otherwise mask), and kill_at(n) closes the underlying channel on
+// the nth subsequent send — a deterministic "pull the cable mid-burst"
+// trigger, so failover tests never depend on timing to kill a path at a
+// reproducible point in the PDU stream.
+//
 // Because corruption and timing all derive from a caller-supplied seed,
 // fault scenarios replay bit-identically on the timing plane and are used
 // by the resilience tests to assert the protocol *recovers* — not merely
@@ -33,6 +40,13 @@ struct FaultPolicy {
   DurNs delay_jitter_ns = 0;    ///< extra uniform latency in [0, jitter)
 };
 
+/// Which traffic a partition swallows, relative to this endpoint.
+enum class Direction : u8 {
+  kBoth = 0,
+  kOutbound = 1,  ///< our send()s vanish; the peer's still arrive
+  kInbound = 2,   ///< the peer's PDUs vanish; our send()s still leave
+};
+
 class FaultChannel final : public MsgChannel {
  public:
   /// Returns false to drop the PDU; may mutate it in place. Runs before
@@ -46,11 +60,28 @@ class FaultChannel final : public MsgChannel {
   void set_policy(FaultPolicy policy);
   void set_fault(FaultFn fn) { fault_ = std::move(fn); }
 
-  /// Drop every PDU (both directions are typically partitioned by
-  /// wrapping each endpoint) until heal() is called.
-  void partition() { partitioned_ = true; }
-  void heal() { partitioned_ = false; }
-  [[nodiscard]] bool partitioned() const { return partitioned_; }
+  /// Drop every PDU travelling in `d` until heal() is called. Directions
+  /// accumulate: partition(kOutbound) then partition(kInbound) equals
+  /// partition(kBoth).
+  void partition(Direction d = Direction::kBoth) {
+    if (d != Direction::kInbound) partitioned_out_ = true;
+    if (d != Direction::kOutbound) partitioned_in_ = true;
+  }
+  void heal() { partitioned_out_ = partitioned_in_ = false; }
+  [[nodiscard]] bool partitioned() const {
+    return partitioned_out_ || partitioned_in_;
+  }
+
+  /// Deterministic kill switch: the nth subsequent send() (1-based) closes
+  /// the underlying channel instead of delivering, as if the transport died
+  /// mid-burst at an exact point in the PDU stream. 0 disarms. The trigger
+  /// counts attempted sends — PDUs the fault hook or a partition would have
+  /// swallowed still advance it, so "kill at the 5th PDU" means the same
+  /// thing whatever other faults are active.
+  void kill_at(u64 nth_pdu) { kill_countdown_ = nth_pdu; }
+  /// Observer invoked (once) when the kill trigger fires, before close().
+  void set_on_kill(std::function<void()> fn) { on_kill_ = std::move(fn); }
+  [[nodiscard]] bool killed() const { return killed_; }
 
   /// Forge a PDU as if the local endpoint had sent it: bypasses the
   /// fault policy entirely.
@@ -58,9 +89,7 @@ class FaultChannel final : public MsgChannel {
 
   // MsgChannel
   void send(pdu::Pdu pdu) override;
-  void set_handler(Handler handler) override {
-    inner_->set_handler(std::move(handler));
-  }
+  void set_handler(Handler handler) override;
   void close() override { inner_->close(); }
   [[nodiscard]] bool is_open() const override { return inner_->is_open(); }
   [[nodiscard]] Executor& executor() override { return inner_->executor(); }
@@ -72,6 +101,7 @@ class FaultChannel final : public MsgChannel {
   [[nodiscard]] u64 corrupted() const { return corrupted_; }
   [[nodiscard]] u64 duplicated() const { return duplicated_; }
   [[nodiscard]] u64 delayed() const { return delayed_; }
+  [[nodiscard]] u64 inbound_dropped() const { return inbound_dropped_; }
 
  private:
   void forward(pdu::Pdu pdu);
@@ -80,11 +110,17 @@ class FaultChannel final : public MsgChannel {
   FaultPolicy policy_;
   Rng rng_;
   FaultFn fault_;
-  bool partitioned_ = false;
+  Handler handler_;  ///< the user's receive handler (inbound gate)
+  std::function<void()> on_kill_;
+  bool partitioned_out_ = false;
+  bool partitioned_in_ = false;
+  u64 kill_countdown_ = 0;  ///< sends left until the kill fires; 0 = disarmed
+  bool killed_ = false;
   u64 dropped_ = 0;
   u64 corrupted_ = 0;
   u64 duplicated_ = 0;
   u64 delayed_ = 0;
+  u64 inbound_dropped_ = 0;
 };
 
 /// Wraps both endpoints of an existing pair in FaultChannels sharing the

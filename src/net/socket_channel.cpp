@@ -15,10 +15,13 @@ namespace oaf::net {
 
 namespace {
 
+/// MSG_NOSIGNAL: a peer that vanishes mid-run (path kill, crash) must
+/// surface as a send error on this channel, not a process-wide SIGPIPE —
+/// with multipath the other connections keep serving.
 bool write_all(int fd, const u8* data, size_t len) {
   size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -47,6 +47,8 @@ void NvmfInitiator::init_telemetry() {
                                  "NVMe Aborts that timed out");
   tel_.cmds_aborted = m.counter("oaf_initiator_commands_aborted_total",
                                 "Commands completed as aborted");
+  tel_.ana_changes = m.counter("oaf_initiator_ana_changes_total",
+                               "ANA path-state transitions applied");
 #endif
 }
 
@@ -194,8 +196,30 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
                                             "shm_demote", 0, exec_.now()));
         OAF_WARN("initiator: target demoted shm (%s)",
                  pdu.as<pdu::ShmDemote>()->reason.c_str());
+        fire_event(PathEvent::kShmDemoted);
       }
       break;
+    case pdu::PduType::kAnaLog: {
+      // ANA path-state advertisement. change_seq is monotonic per
+      // association; a stale or reordered notice must never regress the
+      // state a newer one already applied.
+      const auto& log = *pdu.as<pdu::AnaLog>();
+      if (log.change_seq <= ana_change_seq_) break;
+      ana_change_seq_ = log.change_seq;
+      if (log.state == ana_state_) break;
+      ana_state_ = log.state;
+      counters_.ana_changes++;
+      OAF_TEL(telemetry::bump(tel_.ana_changes));
+      OAF_TEL(telemetry::tracer().instant(tel_.track, "multipath",
+                                          "ana_change", log.change_seq,
+                                          exec_.now()));
+      telemetry::flight().note("multipath", "ana_change", log.change_seq,
+                               exec_.now());
+      OAF_WARN("initiator %s: ana -> %s (%s)", opts_.connection_name.c_str(),
+               pdu::to_string(log.state), log.reason.c_str());
+      fire_event(PathEvent::kAnaChanged);
+      break;
+    }
     default:
       OAF_WARN("initiator: unexpected PDU type %s", pdu::to_string(pdu.type()));
       break;
@@ -221,6 +245,10 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
     }
   }
   connected_ = true;
+  // A fresh association restarts the ANA ledger: the target re-advertises
+  // from seq 1, and until it does the path counts as optimized.
+  ana_change_seq_ = 0;
+  ana_state_ = pdu::AnaState::kOptimized;
   const bool was_reconnect = reconnecting_;
   reconnecting_ = false;
   if (was_reconnect) {
@@ -240,6 +268,7 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
     }
     drain_queue();
   }
+  fire_event(PathEvent::kConnected);
   if (connect_cb_) {
     auto cb = std::move(connect_cb_);
     connect_cb_ = nullptr;
@@ -287,6 +316,10 @@ void NvmfInitiator::recover(const char* reason) {
   telemetry::flight().note("resilience", "recover", 0, exec_.now());
   reconnecting_ = true;
   connected_ = false;
+  // Announce before harvesting: a PathGroup must mark this path ineligible
+  // ahead of the failure completions the harvest is about to deliver, or it
+  // would re-drive them right back onto the faulted path.
+  fire_event(PathEvent::kRecovering);
   handshake_epoch_++;
   ka_outstanding_ = false;
   ka_misses_ = 0;
@@ -300,6 +333,7 @@ void NvmfInitiator::recover(const char* reason) {
     if (!slot_busy_[cid]) continue;
     Pending p = std::move(inflight_[cid]);
     slot_busy_[cid] = false;
+    if (inflight_count_ > 0) inflight_count_--;
     inflight_[cid] = Pending{};
     if (retryable(p) && p.attempts < opts_.reconnect.max_command_retries) {
       // The attempt's span ends here; the replay begins a fresh one.
@@ -388,6 +422,7 @@ void NvmfInitiator::demote_shm(const std::string& reason) {
   Pdu pdu;
   pdu.header = demote;
   control_->send(std::move(pdu));
+  fire_event(PathEvent::kShmDemoted);
 }
 
 // --------------------------------------------------------------------------
@@ -574,6 +609,9 @@ void NvmfInitiator::abort_connection(const char* reason) {
   if (dead_) return;
   dead_ = true;
   reconnecting_ = false;
+  // Announce before failing in-flight: the PathGroup's redrive decisions
+  // must already see this path as dead when the failure burst arrives.
+  fire_event(PathEvent::kDead);
   ka_epoch_++;  // stop the keep-alive loop
   wheel_.clear();
   aborts_.clear();
@@ -631,6 +669,7 @@ void NvmfInitiator::submit_or_queue(Pending pending) {
     if (!slot_busy_[cid]) {
       next_cid_ = static_cast<u16>((cid + 1) % opts_.queue_depth);
       slot_busy_[cid] = true;
+      inflight_count_++;
       pending.cmd.cid = cid;
       inflight_[cid] = std::move(pending);
       start_command(cid);
@@ -958,6 +997,7 @@ void NvmfInitiator::on_resp(const pdu::CapsuleResp& resp) {
 void NvmfInitiator::release_cid(u16 cid) {
   wheel_.cancel(cid);
   slot_busy_[cid] = false;
+  if (inflight_count_ > 0) inflight_count_--;
   inflight_[cid] = Pending{};
   drain_queue();
 }
@@ -1005,6 +1045,12 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
   ios_completed_++;
   OAF_TEL(telemetry::bump(tel_.ios));
   OAF_TEL(tel_.latency->record(res.total_ns));
+  if (cpl.ok()) {
+    // Per-path latency EWMA (alpha 1/8) for the latency-aware selector.
+    const auto t = static_cast<double>(res.total_ns);
+    latency_ewma_ns_ =
+        latency_ewma_ns_ == 0 ? t : latency_ewma_ns_ + (t - latency_ewma_ns_) / 8;
+  }
   release_cid(cid);
 
   if (identify_cb) {
@@ -1093,6 +1139,7 @@ Result<NvmfInitiator::WriteTicket> NvmfInitiator::zero_copy_write_begin(u64 len)
       if (!buf) return buf.status();
       next_cid_ = static_cast<u16>((cid + 1) % opts_.queue_depth);
       slot_busy_[cid] = true;
+      inflight_count_++;
       return WriteTicket{cid, buf.value()};
     }
   }

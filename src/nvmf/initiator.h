@@ -25,6 +25,7 @@
 #include "common/stats.h"
 #include "net/channel.h"
 #include "nvmf/deadline_wheel.h"
+#include "nvmf/io_session.h"
 #include "nvmf/resilience.h"
 #include "telemetry/clock_sync.h"
 #include "telemetry/telemetry.h"
@@ -48,36 +49,11 @@ struct InitiatorOptions {
   EscalationPolicy escalation;
 };
 
-class NvmfInitiator {
+/// One queue pair over one control channel. The application-facing types
+/// (IoResult, ReadView, WriteTicket) live in IoSession; `NvmfInitiator::X`
+/// keeps resolving to them through the base class.
+class NvmfInitiator : public IoSession {
  public:
-  /// Logical block size all harness namespaces use.
-  static constexpr u32 kBlockSize = 512;
-
-  /// Outcome of one I/O as observed by the application.
-  struct IoResult {
-    pdu::NvmeCpl cpl;
-    DurNs total_ns = 0;        ///< submit -> completion
-    DurNs io_time_ns = 0;      ///< device residency (target-reported)
-    DurNs target_time_ns = 0;  ///< target processing (target-reported)
-
-    [[nodiscard]] bool ok() const { return cpl.ok(); }
-    /// Communication component for the paper's breakdown figures.
-    [[nodiscard]] DurNs comm_ns() const {
-      const DurNs c = total_ns - static_cast<DurNs>(io_time_ns) -
-                      static_cast<DurNs>(target_time_ns);
-      return c > 0 ? c : 0;
-    }
-  };
-  using IoCb = std::function<void(IoResult)>;
-
-  /// Zero-copy read view: payload lives in the shm slot; call release()
-  /// exactly once when done with the data.
-  struct ReadView {
-    std::span<const u8> data;
-    std::function<void()> release;
-  };
-  using ReadViewCb = std::function<void(Result<ReadView>, IoResult)>;
-
   /// Produces a fresh control channel to the target; called once per
   /// connection attempt (initial connect and every reconnect).
   using ChannelFactory = std::function<std::unique_ptr<net::MsgChannel>()>;
@@ -93,7 +69,7 @@ class NvmfInitiator {
   NvmfInitiator(Executor& exec, ChannelFactory factory, net::Copier& copier,
                 af::ShmBroker& broker, InitiatorOptions opts);
 
-  ~NvmfInitiator() { *alive_ = false; }
+  ~NvmfInitiator() override { *alive_ = false; }
 
   /// Run the ICReq/ICResp handshake; cb(ok) once the fabric is established
   /// (shm granted or TCP-only fallback — both are success).
@@ -101,6 +77,9 @@ class NvmfInitiator {
 
   [[nodiscard]] bool connected() const { return connected_; }
   [[nodiscard]] bool shm_active() const { return ep_.shm_ready(); }
+  [[nodiscard]] const std::string& connection_name() const {
+    return opts_.connection_name;
+  }
   [[nodiscard]] const af::AfConfig& config() const { return opts_.af; }
   [[nodiscard]] af::AfEndpoint& endpoint() { return ep_; }
   [[nodiscard]] af::BusyPollGovernor& governor() { return governor_; }
@@ -110,40 +89,37 @@ class NvmfInitiator {
 
   /// Staged write: `data` is copied to the fabric (shm slot or inline PDU).
   /// Must stay alive until the callback fires.
-  void write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb);
+  void write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb) override;
 
   /// Staged read into `out` (sized to the full transfer length).
-  void read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb);
+  void read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb) override;
 
-  void flush(u32 nsid, IoCb cb);
+  void flush(u32 nsid, IoCb cb) override;
 
   /// Identify namespace: cb receives (block_size, num_blocks) on success.
-  void identify(u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb);
+  void identify(
+      u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb) override;
 
   // --- zero-copy API (paper §4.4.3; requires shm) ---------------------------
 
   /// True when zero-copy buffers are available on this connection. Consults
   /// the endpoint's *effective* config (encryption demotes zero-copy).
-  [[nodiscard]] bool supports_zero_copy() const {
+  [[nodiscard]] bool supports_zero_copy() const override {
     return ep_.shm_ready() && ep_.config().zero_copy;
   }
 
   /// Borrow a write buffer created directly in shared memory. Fill it, then
   /// call zero_copy_write(). The buffer belongs to the connection; at most
   /// queue_depth tickets may be outstanding.
-  struct WriteTicket {
-    u16 cid = 0;
-    std::span<u8> buffer;
-  };
-  Result<WriteTicket> zero_copy_write_begin(u64 len);
+  Result<WriteTicket> zero_copy_write_begin(u64 len) override;
 
   /// Submit the write for a ticket from zero_copy_write_begin. `len` bytes
   /// of the ticket buffer are sent with no client-side copy.
   void zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba, u64 len,
-                       IoCb cb);
+                       IoCb cb) override;
 
   /// Zero-copy read: the completion hands back a view of the shm slot.
-  void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb);
+  void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) override;
 
   // --- resilience ----------------------------------------------------------
 
@@ -161,6 +137,43 @@ class NvmfInitiator {
   [[nodiscard]] bool reconnecting() const { return reconnecting_; }
   [[nodiscard]] const ResilienceCounters& resilience() const {
     return counters_;
+  }
+
+  // --- multipath hooks (DESIGN.md §11) --------------------------------------
+
+  /// Lifecycle notifications a PathGroup subscribes to. Events fire
+  /// synchronously from inside the state transition, so a handler must not
+  /// re-enter the initiator — post follow-up work to the executor instead.
+  enum class PathEvent : u8 {
+    kConnected,   ///< handshake done (initial connect or reconnect)
+    kRecovering,  ///< transport fault detected; path ineligible from now
+    kDead,        ///< torn down for good; in-flight failures follow
+    kShmDemoted,  ///< shm lane lost; path now optimized-TCP only
+    kAnaChanged,  ///< target advertised a new ANA state
+  };
+  using PathEventHandler = std::function<void(PathEvent)>;
+  void set_event_handler(PathEventHandler h) { event_handler_ = std::move(h); }
+
+  /// Target-advertised ANA state for this path (AnaLog PDUs, monotonic by
+  /// change_seq). A fresh association always restarts optimized.
+  [[nodiscard]] pdu::AnaState ana_state() const { return ana_state_; }
+
+  /// EWMA of completed-I/O total latency (alpha 1/8); 0 until the first
+  /// successful completion. Feeds the latency-aware path selector.
+  [[nodiscard]] DurNs latency_ewma_ns() const {
+    return static_cast<DurNs>(latency_ewma_ns_);
+  }
+
+  /// Commands occupying cid slots right now (excludes the waiting queue).
+  [[nodiscard]] u32 inflight_count() const { return inflight_count_; }
+
+  /// Multipath escape hatch: give up an in-progress recovery immediately and
+  /// fail everything harvested/queued with kDataTransferError so a
+  /// surrounding PathGroup can re-drive it on a surviving path instead of
+  /// waiting out this path's backoff schedule. No-op unless recovering.
+  void abandon_recovery(const char* reason) {
+    if (!reconnecting_ || dead_) return;
+    abort_connection(reason);
   }
 
   // --- observability -------------------------------------------------------
@@ -306,6 +319,11 @@ class NvmfInitiator {
   bool dead_ = false;               // connection torn down for good
 
   bool reconnecting_ = false;
+  PathEventHandler event_handler_;
+  pdu::AnaState ana_state_ = pdu::AnaState::kOptimized;
+  u64 ana_change_seq_ = 0;      // highest change_seq applied this association
+  double latency_ewma_ns_ = 0;  // EWMA of ok-completion total_ns
+  u32 inflight_count_ = 0;      // busy cid slots
   u64 handshake_epoch_ = 0;  // invalidates stale handshake timeouts
   u64 ka_epoch_ = 0;         // invalidates keep-alive ticks on teardown
   u64 ka_seq_ = 0;
@@ -336,8 +354,12 @@ class NvmfInitiator {
     telemetry::Counter* aborts_ok = nullptr;
     telemetry::Counter* aborts_failed = nullptr;
     telemetry::Counter* cmds_aborted = nullptr;
+    telemetry::Counter* ana_changes = nullptr;
   } tel_;
   void init_telemetry();
+  void fire_event(PathEvent e) {
+    if (event_handler_) event_handler_(e);
+  }
   /// End the active trace span for an in-flight command (by its generation).
   void trace_end_span(const Pending& p);
 };

@@ -1,0 +1,175 @@
+// Multipath I/O: one PathGroup fans a workload out over N independent
+// NVMe-oF associations ("paths") to the same subsystem and survives the
+// loss of any of them with zero failed I/Os (DESIGN.md §11).
+//
+// Each path is a full NvmfInitiator — its own control channel, cid space,
+// shm negotiation, and resilience ladder. The group adds three things on
+// top:
+//
+//   * ANA-aware selection: every submission snapshots the eligible paths
+//     (connected, not recovering, not dead, ANA != inaccessible; optimized
+//     preferred over non-optimized) and asks a pluggable PathSelector to
+//     pick one.
+//   * Seamless failover: a command that fails with a transport-shaped
+//     status (kDataTransferError / kAbortedByRequest) is re-driven on a
+//     surviving path, up to a redrive budget. The group keys every live
+//     command by a group sequence number; erasing the entry before
+//     delivering the application callback is the exactly-once fence — a
+//     late duplicate completion from a half-dead path finds nothing to
+//     complete and is counted, not delivered.
+//   * Parking: when no path is currently eligible but not all are dead,
+//     submissions wait in a deque and drain the moment a path connects or
+//     an ANA notice re-opens one.
+//
+// A single-path group degenerates to plain NvmfInitiator semantics: the
+// one path keeps its own reconnect/replay machinery (there is nowhere else
+// to re-drive to), and zero-copy is delegated straight through. With N > 1
+// the group disables zero-copy — slot memory dies with its path, so a
+// borrowed view could not survive a failover.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.h"
+#include "nvmf/initiator.h"
+#include "nvmf/io_session.h"
+#include "nvmf/path_selector.h"
+#include "telemetry/telemetry.h"
+
+namespace oaf::nvmf {
+
+struct PathGroupOptions {
+  std::string name = "pg0";
+  /// Cross-path redrives per command before the failure is surfaced to the
+  /// application. Distinct from (and stacked on top of) each path's own
+  /// in-place retry budget.
+  u32 redrive_budget = 3;
+};
+
+class PathGroup final : public IoSession {
+ public:
+  PathGroup(Executor& exec, PathGroupOptions opts,
+            std::unique_ptr<PathSelector> selector);
+  ~PathGroup() override { *alive_ = false; }
+
+  /// Register a path. All paths must be added before connect(); the group
+  /// subscribes to the path's lifecycle events here.
+  void add_path(std::unique_ptr<NvmfInitiator> path);
+
+  /// Dial every path. cb fires once, on the first successful handshake —
+  /// the group is usable from that moment; remaining paths join as their
+  /// handshakes land.
+  void connect(std::function<void(Status)> cb);
+
+  // --- IoSession -----------------------------------------------------------
+  void write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb) override;
+  void read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb) override;
+  void flush(u32 nsid, IoCb cb) override;
+  void identify(
+      u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb) override;
+  [[nodiscard]] bool supports_zero_copy() const override {
+    return paths_.size() == 1 && paths_[0].init->supports_zero_copy();
+  }
+  Result<WriteTicket> zero_copy_write_begin(u64 len) override;
+  void zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba, u64 len,
+                       IoCb cb) override;
+  void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) override;
+
+  // --- observability -------------------------------------------------------
+  [[nodiscard]] size_t path_count() const { return paths_.size(); }
+  [[nodiscard]] NvmfInitiator& path(size_t i) { return *paths_[i].init; }
+  [[nodiscard]] const NvmfInitiator& path(size_t i) const {
+    return *paths_[i].init;
+  }
+  /// Group I/Os currently outstanding on path i.
+  [[nodiscard]] u32 path_inflight(size_t i) const { return paths_[i].inflight; }
+  [[nodiscard]] u64 ios_completed() const { return ios_completed_; }
+  [[nodiscard]] u64 failovers() const { return failovers_; }
+  [[nodiscard]] u64 redrives() const { return redrives_; }
+  [[nodiscard]] u64 parked_total() const { return parked_total_; }
+  [[nodiscard]] u64 duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  [[nodiscard]] size_t parked_now() const { return parked_.size(); }
+  [[nodiscard]] size_t live_now() const { return live_.size(); }
+  [[nodiscard]] const char* selector_name() const { return selector_->name(); }
+
+ private:
+  struct PathSlot {
+    std::unique_ptr<NvmfInitiator> init;
+    u32 inflight = 0;  ///< group commands outstanding on this path
+    bool was_eligible = false;  ///< cached; edges drive failover accounting
+  };
+
+  /// Everything needed to re-issue a command on another path. Buffer spans
+  /// are safe to re-use: the IoSession contract keeps application buffers
+  /// alive until the final callback, which the group has not delivered yet.
+  struct GroupCmd {
+    enum class Op : u8 { kWrite, kRead, kFlush, kIdentify } op = Op::kFlush;
+    u32 nsid = 0;
+    u64 slba = 0;
+    std::span<const u8> wdata;
+    std::span<u8> rdata;
+    IoCb cb;
+    std::function<void(Result<std::pair<u32, u64>>)> identify_cb;
+    u32 redrives = 0;
+    u32 path = 0;  ///< current path index (valid while issued, not parked)
+  };
+
+  [[nodiscard]] bool eligible(const PathSlot& s) const;
+  [[nodiscard]] bool all_dead() const;
+  /// Snapshot eligible paths honouring the ANA preference tier; empty when
+  /// no path is usable right now.
+  [[nodiscard]] std::vector<PathView> eligible_views() const;
+
+  void submit(GroupCmd cmd);
+  void dispatch(u64 gseq);
+  void issue_on_path(u64 gseq, u32 path_index);
+  void on_io_result(u64 gseq, IoResult res);
+  void on_identify_result(u64 gseq, Result<std::pair<u32, u64>> r);
+  void on_path_event(u32 path_index, NvmfInitiator::PathEvent e);
+  void finish_path_accounting(const GroupCmd& cmd);
+  void note_redrive(u64 gseq, GroupCmd& cmd);
+  void drain_parked();
+  void fail_all_parked();
+  [[nodiscard]] static bool redrivable(const IoResult& res) {
+    return res.cpl.status == pdu::NvmeStatus::kDataTransferError ||
+           res.cpl.status == pdu::NvmeStatus::kAbortedByRequest;
+  }
+
+  Executor& exec_;
+  PathGroupOptions opts_;
+  std::unique_ptr<PathSelector> selector_;
+  std::vector<PathSlot> paths_;
+
+  std::unordered_map<u64, GroupCmd> live_;  ///< by gseq; erase = delivered
+  std::deque<u64> parked_;                  ///< gseqs awaiting a path
+  u64 next_gseq_ = 1;
+
+  std::function<void(Status)> connect_cb_;
+  bool connected_once_ = false;
+
+  u64 ios_completed_ = 0;
+  u64 failovers_ = 0;      ///< eligible paths lost (recovering or dead)
+  u64 redrives_ = 0;       ///< commands re-driven onto another path
+  u64 parked_total_ = 0;   ///< submissions that ever waited for a path
+  u64 duplicates_suppressed_ = 0;  ///< late completions fenced by the map
+  u32 displaced_ = 0;      ///< in-flight on now-ineligible paths (failover)
+  u32 failover_redrives_ = 0;  ///< redrives within the current failover
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  struct Tel {
+    u32 track = 0;
+    telemetry::Counter* failovers = nullptr;
+    telemetry::Counter* redrives = nullptr;
+    telemetry::Counter* parked = nullptr;
+    telemetry::Counter* duplicates = nullptr;
+  } tel_;
+  void init_telemetry();
+};
+
+}  // namespace oaf::nvmf

@@ -1,0 +1,96 @@
+// Pluggable path-selection policies for PathGroup (DESIGN.md §11).
+//
+// A selector sees one immutable PathView per *eligible* path (connected,
+// not recovering, not dead, ANA != inaccessible) and picks an index into
+// that vector. Eligibility filtering and the optimized-over-non-optimized
+// ANA preference happen in PathGroup before the selector runs, so policies
+// only rank paths the group already considers usable — a selector can never
+// steer an I/O onto a path the target told us to avoid.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "pdu/pdu.h"
+
+namespace oaf::nvmf {
+
+/// Read-only snapshot of one eligible path at selection time.
+struct PathView {
+  u32 index = 0;  ///< path index within the group (stable for its lifetime)
+  pdu::AnaState ana = pdu::AnaState::kOptimized;
+  u32 inflight = 0;       ///< group I/Os currently outstanding on this path
+  DurNs ewma_ns = 0;      ///< completion-latency EWMA; 0 = no sample yet
+  bool shm_active = false;
+};
+
+class PathSelector {
+ public:
+  virtual ~PathSelector() = default;
+  /// Pick one of `paths` (never empty); returns a position in the vector,
+  /// not a group path index — PathGroup maps it back.
+  virtual size_t pick(const std::vector<PathView>& paths) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Strict rotation over eligible paths. The cursor advances globally (not
+/// per-membership), so the spread stays even as paths come and go.
+class RoundRobinSelector final : public PathSelector {
+ public:
+  size_t pick(const std::vector<PathView>& paths) override {
+    return cursor_++ % paths.size();
+  }
+  [[nodiscard]] const char* name() const override { return "round-robin"; }
+
+ private:
+  size_t cursor_ = 0;
+};
+
+/// Join-the-shortest-queue: least outstanding group I/Os wins; ties go to
+/// the lowest index, which keeps the choice deterministic.
+class QueueDepthSelector final : public PathSelector {
+ public:
+  size_t pick(const std::vector<PathView>& paths) override {
+    size_t best = 0;
+    for (size_t i = 1; i < paths.size(); ++i) {
+      if (paths[i].inflight < paths[best].inflight) best = i;
+    }
+    return best;
+  }
+  [[nodiscard]] const char* name() const override { return "queue-depth"; }
+};
+
+/// Latency-aware: lowest completion-latency EWMA wins. An unprobed path
+/// (ewma == 0) is preferred outright so every path gets measured before the
+/// policy settles — otherwise a cold standby could never prove itself.
+class LatencyEwmaSelector final : public PathSelector {
+ public:
+  size_t pick(const std::vector<PathView>& paths) override {
+    size_t best = 0;
+    for (size_t i = 1; i < paths.size(); ++i) {
+      const DurNs a = paths[i].ewma_ns;
+      const DurNs b = paths[best].ewma_ns;
+      if (a == 0 && b != 0) {
+        best = i;
+      } else if (a != 0 && b != 0 && a < b) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  [[nodiscard]] const char* name() const override { return "latency-ewma"; }
+};
+
+/// Factory by policy name ("round-robin" | "queue-depth" | "latency-ewma");
+/// nullptr on an unknown name so callers can report the bad flag.
+inline std::unique_ptr<PathSelector> make_selector(std::string_view policy) {
+  if (policy == "round-robin") return std::make_unique<RoundRobinSelector>();
+  if (policy == "queue-depth") return std::make_unique<QueueDepthSelector>();
+  if (policy == "latency-ewma") return std::make_unique<LatencyEwmaSelector>();
+  return nullptr;
+}
+
+}  // namespace oaf::nvmf

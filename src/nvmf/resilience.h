@@ -85,6 +85,7 @@ struct ResilienceCounters {
   u64 aborts_failed = 0;       ///< Aborts that themselves timed out
   u64 commands_aborted = 0;    ///< victim commands completed as aborted
   u64 peer_misbehavior = 0;    ///< shm protocol violations (fencing hits)
+  u64 ana_changes = 0;         ///< ANA state transitions applied (multipath)
 };
 
 }  // namespace oaf::nvmf

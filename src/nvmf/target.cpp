@@ -177,6 +177,24 @@ void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
   control_.send(std::move(pdu));
 }
 
+void NvmfTargetConnection::set_ana_state(pdu::AnaState state,
+                                         const std::string& reason) {
+  if (state == ana_state_) return;
+  ana_state_ = state;
+  pdu::AnaLog log;
+  log.state = state;
+  log.change_seq = ++ana_change_seq_;
+  log.reason = reason;
+  OAF_WARN("target %s: advertising ana %s (%s)",
+           opts_.connection_name.c_str(), pdu::to_string(state),
+           reason.c_str());
+  telemetry::flight().note("multipath", "ana_advertised", log.change_seq,
+                           exec_.now());
+  Pdu pdu;
+  pdu.header = log;
+  control_.send(std::move(pdu));
+}
+
 void NvmfTargetConnection::send_term(const std::string& reason) {
   // TermReq tears down the association — exactly the moment the flight
   // recorder exists for.  Dump before the frame goes out.

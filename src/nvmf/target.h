@@ -65,6 +65,15 @@ class NvmfTargetConnection {
   /// The control channel is gone (client closed or crashed).
   [[nodiscard]] bool closed() const { return !control_.is_open(); }
 
+  // --- multipath (ANA) -----------------------------------------------------
+  /// Advertise a new ANA state for this path. Sends an AnaLog PDU with the
+  /// next monotonic change_seq; no-op if the state is unchanged. The target
+  /// keeps serving whatever arrives in every state — ANA is advisory
+  /// steering for the initiator's selector, never admission control.
+  void set_ana_state(pdu::AnaState state, const std::string& reason);
+  [[nodiscard]] pdu::AnaState ana_state() const { return ana_state_; }
+  [[nodiscard]] u64 ana_changes() const { return ana_change_seq_; }
+
   // --- command-lifetime robustness -----------------------------------------
   /// Reclaim shm slots stuck mid-transfer by a dead peer. The stuck window
   /// is this association's KATO (the owner is provably unreachable once it
@@ -152,6 +161,8 @@ class NvmfTargetConnection {
   TimeNs last_heard_ = 0;
   DurNs kato_ns_ = 0;
   bool data_digest_ = false;
+  pdu::AnaState ana_state_ = pdu::AnaState::kOptimized;
+  u64 ana_change_seq_ = 0;  ///< notices sent; monotonic per association
   /// Guards device completions and shm-copy continuations against the
   /// association reaper destroying this connection while they are queued.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

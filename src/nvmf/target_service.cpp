@@ -138,6 +138,8 @@ std::string NvmfTargetService::conns_json() const {
     w.key("commands_aborted").value(c.commands_aborted());
     w.key("orphan_slots_reclaimed").value(c.orphan_slots_reclaimed());
     w.key("peer_misbehavior").value(c.peer_misbehavior());
+    w.key("ana").value(pdu::to_string(c.ana_state()));
+    w.key("ana_changes").value(c.ana_changes());
     w.end_object();
   }
   w.end_array();
@@ -149,6 +151,15 @@ NvmfTargetConnection* NvmfTargetService::find(const std::string& conn_name) {
     if (a.conn->connection_name() == conn_name) return a.conn.get();
   }
   return nullptr;
+}
+
+bool NvmfTargetService::set_ana_state(const std::string& conn_name,
+                                      pdu::AnaState state,
+                                      const std::string& reason) {
+  NvmfTargetConnection* conn = find(conn_name);
+  if (conn == nullptr) return false;
+  conn->set_ana_state(state, reason);
+  return true;
 }
 
 }  // namespace oaf::nvmf

@@ -71,6 +71,10 @@ class NvmfTargetService {
     return total;
   }
   [[nodiscard]] NvmfTargetConnection* find(const std::string& conn_name);
+  /// Advertise a new ANA state on one association (admin drain, rebalance).
+  /// Returns false when no live association has that name.
+  bool set_ana_state(const std::string& conn_name, pdu::AnaState state,
+                     const std::string& reason);
   /// JSON array describing every live association (name, data path, per-
   /// connection counters, liveness). Feeds the live introspection endpoint's
   /// `conns` command. Must run on the executor thread — it walks assocs_.

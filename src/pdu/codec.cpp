@@ -201,6 +201,10 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u64_(h.echo_t_ns);
         } else if constexpr (std::is_same_v<T, ShmDemote>) {
           w.str_(h.reason);
+        } else if constexpr (std::is_same_v<T, AnaLog>) {
+          w.u8_(static_cast<u8>(h.state));
+          w.u64_(h.change_seq);
+          w.str_(h.reason);
         }
       },
       header);
@@ -325,6 +329,13 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.reason = r.str_();
       return PduHeader{h};
     }
+    case PduType::kAnaLog: {
+      AnaLog h;
+      h.state = static_cast<AnaState>(r.u8_());
+      h.change_seq = r.u64_();
+      h.reason = r.str_();
+      return PduHeader{h};
+    }
   }
   return make_error(StatusCode::kProtocolError, "unknown PDU type");
 }
@@ -347,6 +358,7 @@ PduType Pdu::type() const {
         }
         if constexpr (std::is_same_v<T, KeepAlive>) return PduType::kKeepAlive;
         if constexpr (std::is_same_v<T, ShmDemote>) return PduType::kShmDemote;
+        if constexpr (std::is_same_v<T, AnaLog>) return PduType::kAnaLog;
       },
       header);
 }
@@ -375,6 +387,20 @@ const char* to_string(PduType t) {
       return "KeepAlive";
     case PduType::kShmDemote:
       return "ShmDemote";
+    case PduType::kAnaLog:
+      return "AnaLog";
+  }
+  return "?";
+}
+
+const char* to_string(AnaState s) {
+  switch (s) {
+    case AnaState::kOptimized:
+      return "optimized";
+    case AnaState::kNonOptimized:
+      return "non-optimized";
+    case AnaState::kInaccessible:
+      return "inaccessible";
   }
   return "?";
 }

@@ -47,9 +47,24 @@ enum class PduType : u8 {
   kR2T = 0x09,
   kKeepAlive = 0x0a,   ///< resilience ext.: host ping / controller echo
   kShmDemote = 0x0b,   ///< resilience ext.: runtime shm -> TCP demotion
+  kAnaLog = 0x0c,      ///< multipath ext.: ANA path-state change notice
 };
 
 const char* to_string(PduType t);
+
+/// Asymmetric Namespace Access state of one controller (path), modelled on
+/// NVMe ANA groups but scoped per-association: the target advertises how
+/// this path should be treated relative to its siblings and the initiator's
+/// PathGroup weighs it during selection. Advisory — the target keeps
+/// serving commands in every state; `kInaccessible` only steers *new*
+/// submissions away.
+enum class AnaState : u8 {
+  kOptimized = 0,      ///< preferred path, full service
+  kNonOptimized = 1,   ///< usable, but pick an optimized sibling first
+  kInaccessible = 2,   ///< do not submit new commands on this path
+};
+
+const char* to_string(AnaState s);
 
 /// Where a data PDU's payload lives.
 enum class DataPlacement : u8 {
@@ -185,8 +200,20 @@ struct ShmDemote {
   std::string reason;
 };
 
-using PduHeader = std::variant<ICReq, ICResp, CapsuleCmd, CapsuleResp, R2T,
-                               H2CData, C2HData, TermReq, KeepAlive, ShmDemote>;
+/// ANA log-page-style path-state notice (controller -> host), pushed
+/// asynchronously whenever the target changes this association's ANA state.
+/// `change_seq` increases monotonically per association so a delayed or
+/// reordered notice can never roll the host's view backwards; a fresh
+/// association restarts at seq 1 with state kOptimized.
+struct AnaLog {
+  AnaState state = AnaState::kOptimized;
+  u64 change_seq = 0;
+  std::string reason;
+};
+
+using PduHeader =
+    std::variant<ICReq, ICResp, CapsuleCmd, CapsuleResp, R2T, H2CData, C2HData,
+                 TermReq, KeepAlive, ShmDemote, AnaLog>;
 
 /// A full PDU: typed header plus (possibly empty) inline payload bytes.
 struct Pdu {

@@ -38,6 +38,7 @@ static_assert(sizeof(NvmeOpcode) == 1, "NvmeOpcode travels as u8");
 static_assert(sizeof(NvmeStatus) == 2, "NvmeStatus travels as u16");
 static_assert(sizeof(PduType) == 1, "PduType travels as u8");
 static_assert(sizeof(DataPlacement) == 1, "DataPlacement travels as u8");
+static_assert(sizeof(AnaState) == 1, "AnaState travels as u8");
 
 // ---------------------------------------------------------------------------
 // NvmeCmd: submission-queue entry, embedded raw in capsules and shm slots.
@@ -108,5 +109,8 @@ inline constexpr u64 kWireC2HDataBytes =
 inline constexpr u64 kWireTermReqFixedBytes = 1 + 2;
 inline constexpr u64 kWireKeepAliveBytesV1 = 1 + 8;
 inline constexpr u64 kWireKeepAliveBytes = kWireKeepAliveBytesV1 + 8 + 8;
+///   rev 3 — multipath: AnaLog PDU (new type, so no rev-gating needed — an
+///           old peer never sends one and ignores ours as "unexpected").
+inline constexpr u64 kWireAnaLogFixedBytes = 1 + 8;
 
 }  // namespace oaf::pdu

@@ -1,0 +1,193 @@
+// Model-checked invariants of the multipath handoff fence (DESIGN.md §11).
+//
+// PathGroup keys every live command by a group sequence number in a map and
+// makes "erase the entry, then deliver the callback" the exactly-once
+// fence: whichever completion event wins the erase owns delivery, and every
+// later event for the same gseq finds nothing and is suppressed. The group
+// itself runs on one executor, so the events are serialized — but they can
+// arrive in ANY order (a half-dead path's late duplicate can land before or
+// after the redriven path's completion, an abort can race a redrive). The
+// models below run the same fence protocol under the model checker with a
+// chk::mutex standing in for event-loop serialization, proving delivery is
+// exactly-once and commands are never lost under every arrival order the
+// loop could produce.
+#include <gtest/gtest.h>
+
+#include "chk/atomic.h"
+#include "chk/check.h"
+
+namespace oaf::nvmf {
+namespace {
+
+using oaf::chk::RunResult;
+using oaf::u32;
+
+/// The fence itself: a command was redriven from a dying path onto a
+/// survivor, and now two success completions race for it — the survivor's
+/// and a late duplicate from the original path (its capsule had already
+/// executed before the fault). Exactly one may reach the application.
+struct LateDuplicateFenceModel {
+  static constexpr u32 kThreads = 2;
+
+  oaf::chk::mutex mu;
+  bool live = true;  ///< gseq present in the map
+  int delivered = 0;
+  int suppressed = 0;
+
+  void complete() {
+    mu.lock();
+    const bool won = live;
+    if (won) live = false;  // erase-before-deliver
+    mu.unlock();
+    if (won) {
+      delivered++;  // application callback
+    } else {
+      mu.lock();
+      suppressed++;
+      mu.unlock();
+    }
+  }
+
+  void thread(u32) { complete(); }
+
+  void finish() {
+    CHK_ASSERT(delivered == 1, "duplicate or lost delivery through the fence");
+    CHK_ASSERT(suppressed == 1, "late duplicate was not suppressed");
+  }
+};
+
+TEST(ChkPathHandoff, LateDuplicateCompletionDeliversExactlyOnce) {
+  const RunResult r = oaf::chk::check<LateDuplicateFenceModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+/// Redrive racing abort: one event is a transport-shaped failure that wants
+/// to re-issue the command (budget permitting), the other an abort-shaped
+/// failure, and a third the eventual success of whichever re-issue landed.
+/// Whatever interleaving the loop produces, the application sees exactly
+/// one terminal callback and the redrive count never exceeds the budget.
+struct RedriveVsAbortModel {
+  static constexpr u32 kThreads = 3;
+  static constexpr u32 kBudget = 1;
+
+  oaf::chk::mutex mu;
+  bool live = true;
+  u32 redrives = 0;
+  int delivered_ok = 0;
+  int delivered_err = 0;
+  int suppressed = 0;
+
+  /// A redrivable failure (kDataTransferError / kAbortedByRequest): consume
+  /// budget and re-issue, or surface the error through the fence.
+  void fail_redrivable() {
+    mu.lock();
+    if (!live) {
+      suppressed++;
+      mu.unlock();
+      return;
+    }
+    if (redrives < kBudget) {
+      redrives++;  // command stays live, re-issued on a survivor
+      mu.unlock();
+      return;
+    }
+    live = false;  // budget exhausted: erase, then deliver the error
+    mu.unlock();
+    delivered_err++;
+  }
+
+  void complete_ok() {
+    mu.lock();
+    const bool won = live;
+    if (won) live = false;
+    mu.unlock();
+    if (won) {
+      delivered_ok++;
+    } else {
+      mu.lock();
+      suppressed++;
+      mu.unlock();
+    }
+  }
+
+  void thread(u32 t) {
+    if (t == 2) {
+      complete_ok();
+    } else {
+      fail_redrivable();
+    }
+  }
+
+  void finish() {
+    CHK_ASSERT(delivered_ok + delivered_err == 1,
+               "application saw zero or multiple terminal callbacks");
+    CHK_ASSERT(redrives <= kBudget, "redrive budget exceeded");
+    CHK_ASSERT(!live, "command leaked: still live after all events");
+  }
+};
+
+TEST(ChkPathHandoff, RedriveAbortSuccessRaceIsExactlyOnce) {
+  const RunResult r = oaf::chk::check<RedriveVsAbortModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+/// Parking vs drain: submissions that find no eligible path park; a path
+/// coming back drains the deque. A submission racing the drain must end up
+/// either issued (the drain saw it) or still parked (it arrived after) —
+/// never lost, never issued twice.
+struct ParkDrainModel {
+  static constexpr u32 kThreads = 2;
+  static constexpr u32 kCmds = 2;
+
+  oaf::chk::mutex mu;
+  bool path_up = false;
+  u32 parked = 0;   ///< commands waiting in the deque
+  u32 issued = 0;   ///< commands handed to a path
+  u32 submitted = 0;
+
+  void submit_one() {
+    mu.lock();
+    submitted++;
+    if (path_up) {
+      issued++;
+    } else {
+      parked++;
+    }
+    mu.unlock();
+  }
+
+  void drain() {
+    mu.lock();
+    path_up = true;
+    issued += parked;  // drain_parked(): every waiter moves, exactly once
+    parked = 0;
+    mu.unlock();
+  }
+
+  void thread(u32 t) {
+    if (t == 0) {
+      for (u32 i = 0; i < kCmds; ++i) submit_one();
+    } else {
+      drain();
+    }
+  }
+
+  void finish() {
+    CHK_ASSERT(submitted == kCmds, "wrong submission count");
+    CHK_ASSERT(issued + parked == submitted,
+               "command lost or duplicated across the park/drain handoff");
+    // Once the path is up nothing may remain parked.
+    CHK_ASSERT(!path_up || parked == 0, "drain left waiters behind");
+  }
+};
+
+TEST(ChkPathHandoff, ParkDrainRaceNeverLosesACommand) {
+  const RunResult r = oaf::chk::check<ParkDrainModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_TRUE(r.exhausted);
+}
+
+}  // namespace
+}  // namespace oaf::nvmf

@@ -136,6 +136,98 @@ TEST(FaultChannelTest, PartitionDropsUntilHealed) {
   EXPECT_EQ(rig.received[0].as<pdu::C2HData>()->cid, 2);
 }
 
+TEST(FaultChannelTest, OutboundPartitionStillDeliversInbound) {
+  sim::Scheduler sched;
+  auto [a, b] = wrap_fault_pair(make_pipe_channel_pair(sched, sched));
+  int a_got = 0;
+  int b_got = 0;
+  a->set_handler([&](pdu::Pdu) { a_got++; });
+  b->set_handler([&](pdu::Pdu) { b_got++; });
+
+  a->partition(Direction::kOutbound);
+  a->send(make_c2h(1));  // vanishes
+  b->send(make_c2h(2));  // still arrives at a
+  sched.run();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(a->dropped(), 1u);
+  EXPECT_EQ(a->inbound_dropped(), 0u);
+  EXPECT_TRUE(a->partitioned());
+
+  a->heal();
+  a->send(make_c2h(3));
+  sched.run();
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(FaultChannelTest, InboundPartitionSwallowsDeliveries) {
+  sim::Scheduler sched;
+  auto [a, b] = wrap_fault_pair(make_pipe_channel_pair(sched, sched));
+  int a_got = 0;
+  int b_got = 0;
+  a->set_handler([&](pdu::Pdu) { a_got++; });
+  b->set_handler([&](pdu::Pdu) { b_got++; });
+
+  a->partition(Direction::kInbound);
+  a->send(make_c2h(1));  // outbound unaffected
+  b->send(make_c2h(2));  // swallowed at a's doorstep
+  sched.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(a_got, 0);
+  EXPECT_EQ(a->inbound_dropped(), 1u);
+  EXPECT_EQ(a->dropped(), 0u);
+
+  a->heal();
+  b->send(make_c2h(3));
+  sched.run();
+  EXPECT_EQ(a_got, 1);
+}
+
+TEST(FaultChannelTest, PartitionDirectionsAccumulateToBoth) {
+  Rig rig;
+  rig.faulty->partition(Direction::kOutbound);
+  rig.faulty->partition(Direction::kInbound);
+  rig.faulty->send(make_c2h(1));
+  rig.sched.run();
+  EXPECT_TRUE(rig.received.empty());
+  EXPECT_TRUE(rig.faulty->partitioned());
+}
+
+TEST(FaultChannelTest, KillAtClosesOnExactlyTheNthSend) {
+  Rig rig;
+  bool kill_seen = false;
+  rig.faulty->kill_at(3);
+  rig.faulty->set_on_kill([&] { kill_seen = true; });
+  rig.faulty->send(make_c2h(1));
+  rig.faulty->send(make_c2h(2));
+  rig.sched.run();
+  EXPECT_EQ(rig.received.size(), 2u);
+  EXPECT_FALSE(rig.faulty->killed());
+  EXPECT_TRUE(rig.faulty->is_open());
+
+  rig.faulty->send(make_c2h(3));  // the cable is cut here
+  rig.faulty->send(make_c2h(4));  // already dead
+  rig.sched.run();
+  EXPECT_EQ(rig.received.size(), 2u);
+  EXPECT_TRUE(rig.faulty->killed());
+  EXPECT_TRUE(kill_seen);
+  EXPECT_FALSE(rig.faulty->is_open());
+}
+
+TEST(FaultChannelTest, KillAtCountsSwallowedSendsToo) {
+  // The trigger is positional in the send stream, not the delivery stream:
+  // a PDU the hook drops still advances the countdown, so the kill point is
+  // deterministic whatever other faults are active.
+  Rig rig;
+  rig.faulty->set_fault([](pdu::Pdu&) { return false; });
+  rig.faulty->kill_at(2);
+  rig.faulty->send(make_c2h(1));  // dropped by hook, countdown 2 -> 1
+  rig.faulty->send(make_c2h(2));  // kill fires before the hook runs
+  rig.sched.run();
+  EXPECT_TRUE(rig.faulty->killed());
+  EXPECT_EQ(rig.faulty->dropped(), 1u);
+}
+
 TEST(FaultChannelTest, FaultHookRunsBeforeStochasticPolicy) {
   FaultPolicy p;
   p.drop_prob = 1.0;  // would drop everything...

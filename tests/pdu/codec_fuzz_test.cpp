@@ -43,7 +43,7 @@ TEST(CodecFuzzTest, BitFlippedValidPdusNeverCrash) {
     if (res.is_ok()) {
       // Accepted mutations must at least parse to a known type.
       const auto t = res.value().type();
-      EXPECT_LE(static_cast<int>(t), 0x0b);
+      EXPECT_LE(static_cast<int>(t), static_cast<int>(PduType::kAnaLog));
     }
   }
 }

@@ -250,6 +250,23 @@ TEST(CodecTest, ShmDemoteRoundtrip) {
   EXPECT_EQ(out.type(), PduType::kShmDemote);
 }
 
+TEST(CodecTest, AnaLogRoundtrip) {
+  for (AnaState s : {AnaState::kOptimized, AnaState::kNonOptimized,
+                     AnaState::kInaccessible}) {
+    AnaLog log;
+    log.state = s;
+    log.change_seq = 42;
+    log.reason = "admin drain";
+    const Pdu out = roundtrip(log);
+    const auto* h = out.as<AnaLog>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->state, s);
+    EXPECT_EQ(h->change_seq, 42u);
+    EXPECT_EQ(h->reason, "admin drain");
+    EXPECT_EQ(out.type(), PduType::kAnaLog);
+  }
+}
+
 TEST(CodecTest, TermReqRoundtripBothDirections) {
   for (bool from_host : {true, false}) {
     TermReq t;
@@ -364,6 +381,7 @@ TEST(CodecTest, EncoderMatchesWireContract) {
   EXPECT_EQ(fixed(C2HData{}), kWireC2HDataBytes);
   EXPECT_EQ(fixed(TermReq{}), kWireTermReqFixedBytes + kWireStrPrefixBytes);
   EXPECT_EQ(fixed(KeepAlive{}), kWireKeepAliveBytes);
+  EXPECT_EQ(fixed(AnaLog{}), kWireAnaLogFixedBytes + kWireStrPrefixBytes);
 }
 
 TEST(CodecTest, TraceContextFieldsRoundtrip) {

@@ -26,6 +26,8 @@
 #include "common/table.h"
 #include "net/tcp_channel.h"
 #include "nvmf/initiator.h"
+#include "nvmf/path_group.h"
+#include "nvmf/path_selector.h"
 #include "sim/real_executor.h"
 #include "telemetry/flight.h"
 #include "telemetry/stat_server.h"
@@ -53,6 +55,11 @@ struct Options {
   bool data_digest = false;    // CRC32C on inline data PDUs
   u64 cmd_timeout_ms = 0;      // per-command deadline; 0 = none
   u32 abort_budget = 0;        // aborts per stuck command; 0 = legacy teardown
+  // multipath knobs
+  u32 paths = 1;               // associations in the path group
+  std::string selector = "round-robin";  // round-robin|queue-depth|latency-ewma
+  int kill_path = -1;          // force-fault this path mid-run; -1 = never
+  u64 kill_after_ms = 500;     // when the kill fires, relative to run start
   // observability
   bool json = false;           // one RunStats JSON object on stdout
   std::string trace_out;       // Chrome trace_event JSON path; "" = no tracing
@@ -119,6 +126,14 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.cmd_timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--abort-budget" && (v = next())) {
       o.abort_budget = static_cast<u32>(std::atoi(v));
+    } else if (arg == "--paths" && (v = next())) {
+      o.paths = std::max(1, std::atoi(v));
+    } else if (arg == "--selector" && (v = next())) {
+      o.selector = v;
+    } else if (arg == "--kill-path" && (v = next())) {
+      o.kill_path = std::atoi(v);
+    } else if (arg == "--kill-after-ms" && (v = next())) {
+      o.kill_after_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--json") {
       o.json = true;
     } else if (arg == "--trace-out" && (v = next())) {
@@ -138,6 +153,8 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--reconnect-attempts N] [--keepalive-ms MS]\n"
           "                [--kato-ms MS] [--data-digest]\n"
           "                [--cmd-timeout-ms MS] [--abort-budget N]\n"
+          "                [--paths N] [--selector NAME]\n"
+          "                [--kill-path I] [--kill-after-ms MS]\n"
           "                [--json] [--trace-out FILE] [--metrics-json FILE]\n"
           "                [--stat-port N] [--flight-dir DIR]\n");
       return false;
@@ -153,11 +170,12 @@ bool write_file(const std::string& path, const std::string& body) {
   return std::fclose(f) == 0 && ok;
 }
 
-/// The full RunStats (plus workload, data path, and resilience context) as
-/// one JSON object — the machine-readable twin of the human tables.
+/// The full RunStats (plus workload, data path, multipath, and resilience
+/// context) as one JSON object — the machine-readable twin of the tables.
 std::string stats_json(const Options& opts, const bench::WorkloadSpec& spec,
                        bool shm_active, bool zero_copy, const RunStats& stats,
-                       const nvmf::ResilienceCounters& rc) {
+                       const nvmf::ResilienceCounters& rc,
+                       const nvmf::PathGroup& group) {
   JsonWriter w;
   w.begin_object();
   w.key("tool").value("oaf_perf");
@@ -176,6 +194,7 @@ std::string stats_json(const Options& opts, const bench::WorkloadSpec& spec,
   w.end_object();
   w.key("results").begin_object();
   w.key("ios_completed").value(stats.ios_completed);
+  w.key("failures").value(stats.failures);
   w.key("bytes_moved").value(stats.bytes_moved);
   w.key("elapsed_ns").value(static_cast<i64>(stats.elapsed));
   w.key("bandwidth_mib_s").value(stats.bandwidth_mib_s());
@@ -211,6 +230,29 @@ std::string stats_json(const Options& opts, const bench::WorkloadSpec& spec,
   w.key("aborts_failed").value(rc.aborts_failed);
   w.key("commands_aborted").value(rc.commands_aborted);
   w.key("peer_misbehavior").value(rc.peer_misbehavior);
+  w.end_object();
+  w.key("multipath").begin_object();
+  w.key("paths").value(static_cast<u64>(group.path_count()));
+  w.key("selector").value(group.selector_name());
+  w.key("failovers").value(group.failovers());
+  w.key("redrives").value(group.redrives());
+  w.key("parked_total").value(group.parked_total());
+  w.key("duplicates_suppressed").value(group.duplicates_suppressed());
+  w.key("per_path").begin_array();
+  for (size_t i = 0; i < group.path_count(); ++i) {
+    const nvmf::NvmfInitiator& p = group.path(i);
+    w.begin_object();
+    w.key("name").value(p.connection_name());
+    w.key("shm").value(p.shm_active());
+    w.key("ana").value(pdu::to_string(p.ana_state()));
+    w.key("connected").value(p.connected());
+    w.key("dead").value(p.dead());
+    w.key("ios_completed").value(p.ios_completed());
+    w.key("reconnects").value(p.resilience().reconnects);
+    w.key("latency_ewma_ns").value(static_cast<i64>(p.latency_ewma_ns()));
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.end_object();
   std::string out = w.take();
@@ -256,20 +298,42 @@ int main(int argc, char** argv) {
   iopts.command_timeout_ns = static_cast<DurNs>(opts.cmd_timeout_ms) * 1'000'000;
   iopts.escalation.abort_budget = opts.abort_budget;
 
-  // The factory hands out the channel dialed above on the first connect and
-  // re-dials the target on every reconnect attempt after a fault.
-  nvmf::NvmfInitiator client(
-      exec,
-      [&]() -> std::unique_ptr<net::MsgChannel> {
-        if (first_channel) return std::move(first_channel);
-        auto res = net::tcp_connect(opts.host, opts.port, exec);
-        return res ? std::move(res).take() : nullptr;
-      },
-      copier, broker, iopts);
+  // All paths live in one PathGroup; --paths 1 (the default) degenerates to
+  // the single-association behaviour this tool always had. Path 0 carries
+  // the adaptive-fabric config (shm eligible); extra paths are stock TCP
+  // spares, exactly the paper's one-fast-lane-plus-spares topology.
+  auto selector = nvmf::make_selector(opts.selector);
+  if (selector == nullptr) {
+    std::fprintf(stderr, "oaf_perf: unknown --selector %s\n",
+                 opts.selector.c_str());
+    return 2;
+  }
+  nvmf::PathGroupOptions gopts;
+  gopts.name = opts.conn;
+  nvmf::PathGroup group(exec, std::move(gopts), std::move(selector));
+  for (u32 i = 0; i < opts.paths; ++i) {
+    nvmf::InitiatorOptions piopts = iopts;
+    if (i > 0) {
+      piopts.connection_name = opts.conn + ".p" + std::to_string(i);
+      piopts.af = af::AfConfig::stock_tcp();
+      piopts.af.data_digest = opts.data_digest;
+    }
+    // The factory hands out the pre-dialed channel on path 0's first connect
+    // and re-dials the target for everything else (spare paths, reconnects).
+    group.add_path(std::make_unique<nvmf::NvmfInitiator>(
+        exec,
+        [&, i]() -> std::unique_ptr<net::MsgChannel> {
+          if (i == 0 && first_channel) return std::move(first_channel);
+          auto res = net::tcp_connect(opts.host, opts.port, exec);
+          return res ? std::move(res).take() : nullptr;
+        },
+        copier, broker, piopts));
+  }
+  nvmf::NvmfInitiator& client = group.path(0);
 
   std::atomic<bool> connected{false};
   exec.post([&] {
-    client.connect([&](Status st) {
+    group.connect([&](Status st) {
       if (!st) std::fprintf(stderr, "handshake: %s\n", st.to_string().c_str());
       connected = true;
     });
@@ -277,13 +341,30 @@ int main(int argc, char** argv) {
   while (!connected.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  // The group is usable after the first handshake; give the spare paths a
+  // bounded moment to join so the run starts with the full fan-out.
+  for (int spin = 0; spin < 2000; ++spin) {
+    std::atomic<int> up{-1};
+    exec.post([&] {
+      int n = 0;
+      for (size_t i = 0; i < group.path_count(); ++i) {
+        if (group.path(i).connected()) n++;
+      }
+      up = n;
+    });
+    while (up.load() < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (up.load() == static_cast<int>(opts.paths)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   // In --json mode stdout carries exactly one JSON object; banners move to
   // stderr so `oaf_perf --json | jq` works.
   std::fprintf(opts.json ? stderr : stdout,
-               "oaf_perf: connected to %s:%u — data path: %s%s\n",
+               "oaf_perf: connected to %s:%u — data path: %s%s, %u path(s)\n",
                opts.host.c_str(), opts.port,
                client.shm_active() ? "shared memory" : "TCP",
-               client.supports_zero_copy() ? " (zero-copy)" : "");
+               group.supports_zero_copy() ? " (zero-copy)" : "", opts.paths);
 
   // Live introspection endpoint (opt-in). Providers that touch client state
   // post onto the executor thread and wait — the stat server thread itself
@@ -307,24 +388,31 @@ int main(int argc, char** argv) {
     stat.handle("metrics",
                 [] { return telemetry::metrics().to_prometheus(); });
     stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
-    stat.handle("conns", on_executor([&client, &opts]() -> std::string {
+    stat.handle("conns", on_executor([&group]() -> std::string {
                   JsonWriter w;
                   w.begin_array();
-                  w.begin_object();
-                  w.key("name").value(opts.conn);
-                  w.key("shm_active").value(client.shm_active());
-                  w.key("zero_copy").value(client.supports_zero_copy());
-                  w.key("trace_ctx").value(client.trace_ctx_active());
-                  w.key("clock_offset_ns")
-                      .value(client.clock_sync().offset_ns());
-                  w.key("clock_rtt_ns").value(client.clock_sync().best_rtt_ns());
-                  const nvmf::ResilienceCounters& rc = client.resilience();
-                  w.key("reconnects").value(rc.reconnects);
-                  w.key("commands_retried").value(rc.commands_retried);
-                  w.key("keepalive_sent").value(rc.keepalive_sent);
-                  w.key("shm_demotions").value(rc.shm_demotions);
-                  w.key("aborts_sent").value(rc.aborts_sent);
-                  w.end_object();
+                  for (size_t i = 0; i < group.path_count(); ++i) {
+                    const nvmf::NvmfInitiator& p = group.path(i);
+                    w.begin_object();
+                    w.key("name").value(p.connection_name());
+                    w.key("shm_active").value(p.shm_active());
+                    w.key("zero_copy").value(p.supports_zero_copy());
+                    w.key("trace_ctx").value(p.trace_ctx_active());
+                    w.key("clock_offset_ns")
+                        .value(p.clock_sync().offset_ns());
+                    w.key("clock_rtt_ns").value(p.clock_sync().best_rtt_ns());
+                    const nvmf::ResilienceCounters& rc = p.resilience();
+                    w.key("reconnects").value(rc.reconnects);
+                    w.key("commands_retried").value(rc.commands_retried);
+                    w.key("keepalive_sent").value(rc.keepalive_sent);
+                    w.key("shm_demotions").value(rc.shm_demotions);
+                    w.key("aborts_sent").value(rc.aborts_sent);
+                    w.key("ana").value(pdu::to_string(p.ana_state()));
+                    w.key("dead").value(p.dead());
+                    w.key("group_inflight")
+                        .value(static_cast<u64>(group.path_inflight(i)));
+                    w.end_object();
+                  }
                   w.end_array();
                   return w.take();
                 }));
@@ -346,10 +434,23 @@ int main(int argc, char** argv) {
   spec.warmup = spec.duration / 10;
   spec.working_set_bytes = opts.working_set_mb * kMiB;
 
-  bench::PerfDriver driver(exec, client, spec);
+  bench::PerfDriver driver(exec, group, spec);
   std::atomic<bool> done{false};
   RunStats stats;
   exec.post([&] {
+    // Fault injection for failover demos: fault the chosen path mid-run and
+    // let the group re-drive its in-flight I/Os on the survivors. With
+    // --reconnect-attempts 0 the path dies for good; with a budget it heals
+    // and rejoins the rotation.
+    if (opts.kill_path >= 0 &&
+        static_cast<u32>(opts.kill_path) < group.path_count()) {
+      exec.schedule_after(
+          static_cast<DurNs>(opts.kill_after_ms) * 1'000'000, [&] {
+            std::fprintf(stderr, "oaf_perf: killing path %d\n", opts.kill_path);
+            group.path(static_cast<size_t>(opts.kill_path))
+                .force_recover("oaf_perf --kill-path");
+          });
+    }
     driver.run([&](RunStats s) {
       stats = std::move(s);
       done = true;
@@ -388,8 +489,8 @@ int main(int argc, char** argv) {
 
   if (opts.json) {
     const std::string body =
-        stats_json(opts, spec, client.shm_active(),
-                   client.supports_zero_copy(), stats, client.resilience());
+        stats_json(opts, spec, client.shm_active(), group.supports_zero_copy(),
+                   stats, client.resilience(), group);
     std::fwrite(body.data(), 1, body.size(), stdout);
     return 0;
   }
@@ -399,6 +500,7 @@ int main(int argc, char** argv) {
   t.row({"bandwidth (MiB/s)", Table::num(stats.bandwidth_mib_s(), 1)});
   t.row({"IOPS", Table::num(stats.iops(), 0)});
   t.row({"I/Os completed", std::to_string(stats.ios_completed)});
+  t.row({"I/O failures", std::to_string(stats.failures)});
   t.row({"avg latency (us)", Table::num(stats.avg_latency_us(), 1)});
   t.row({"p50 (us)", Table::num(ns_to_us(stats.latency.p50()), 1)});
   t.row({"p99 (us)", Table::num(ns_to_us(stats.latency.p99()), 1)});
@@ -427,6 +529,27 @@ int main(int argc, char** argv) {
   r.row({"peer misbehavior", std::to_string(rc.peer_misbehavior)});
   r.print();
 
-  // The initiator owns the control channel; its destructor hangs up.
+  if (group.path_count() > 1) {
+    Table m("multipath");
+    m.header({"path", "state", "ana", "I/Os", "reconnects", "ewma (us)"});
+    for (size_t i = 0; i < group.path_count(); ++i) {
+      const nvmf::NvmfInitiator& p = group.path(i);
+      m.row({p.connection_name(),
+             p.dead()        ? "dead"
+             : p.connected() ? (p.shm_active() ? "shm" : "tcp")
+                             : "down",
+             pdu::to_string(p.ana_state()), std::to_string(p.ios_completed()),
+             std::to_string(p.resilience().reconnects),
+             Table::num(ns_to_us(p.latency_ewma_ns()), 1)});
+    }
+    m.row({"group: " + std::string(group.selector_name()),
+           "failovers " + std::to_string(group.failovers()),
+           "redrives " + std::to_string(group.redrives()),
+           "parked " + std::to_string(group.parked_total()),
+           "dups " + std::to_string(group.duplicates_suppressed()), ""});
+    m.print();
+  }
+
+  // The group owns every path's control channel; its destructor hangs up.
   return 0;
 }
