@@ -13,17 +13,30 @@ BufferPool::BufferPool(u64 buffer_bytes, u32 count, u64 alignment)
   // Reverse order so alloc() hands out low addresses first (cache-friendly,
   // and deterministic for tests).
   for (u32 i = count_; i > 0; --i) free_list_.push_back(i - 1);
+  in_use_map_.assign(count_, false);
 }
 
 BufferPool::~BufferPool() { std::free(slab_); }
 
 std::span<u8> BufferPool::alloc() {
-  if (free_list_.empty() || slab_ == nullptr) return {};
+  if (free_list_.empty() || slab_ == nullptr) {
+    exhaustions_++;
+    return {};
+  }
   const u32 idx = free_list_.back();
   free_list_.pop_back();
+  in_use_map_[idx] = true;
   in_use_++;
   if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
   return {slab_ + static_cast<u64>(idx) * buffer_bytes_, buffer_bytes_};
+}
+
+Result<std::span<u8>> BufferPool::try_alloc() {
+  const std::span<u8> b = alloc();
+  if (b.empty()) {
+    return make_error(StatusCode::kResourceExhausted, "buffer pool exhausted");
+  }
+  return b;
 }
 
 Status BufferPool::free(std::span<u8> buffer) {
@@ -38,11 +51,10 @@ Status BufferPool::free(std::span<u8> buffer) {
     return make_error(StatusCode::kInvalidArgument, "misaligned buffer pointer");
   }
   const u32 idx = static_cast<u32>(off / buffer_bytes_);
-  for (const u32 f : free_list_) {
-    if (f == idx) {
-      return make_error(StatusCode::kFailedPrecondition, "double free");
-    }
+  if (!in_use_map_[idx]) {
+    return make_error(StatusCode::kFailedPrecondition, "double free");
   }
+  in_use_map_[idx] = false;
   free_list_.push_back(idx);
   in_use_--;
   return Status::ok();

@@ -33,8 +33,14 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Borrow one buffer; returns empty span when exhausted.
+  /// Borrow one buffer; returns empty span when exhausted (the exhaustion
+  /// is counted either way — prefer try_alloc() for a typed error).
   [[nodiscard]] std::span<u8> alloc();
+
+  /// Borrow one buffer, or a retryable kResourceExhausted error when the
+  /// pool is empty. Exhaustion is expected under overload, so callers must
+  /// turn it into backpressure (kQueueFull), never treat it as fatal.
+  [[nodiscard]] Result<std::span<u8>> try_alloc();
 
   /// Return a buffer previously obtained from alloc().
   Status free(std::span<u8> buffer);
@@ -43,6 +49,8 @@ class BufferPool {
   [[nodiscard]] u32 capacity() const { return count_; }
   [[nodiscard]] u32 in_use() const { return in_use_; }
   [[nodiscard]] u32 peak_in_use() const { return peak_in_use_; }
+  /// Allocation attempts that found the pool empty.
+  [[nodiscard]] u64 exhaustions() const { return exhaustions_; }
   [[nodiscard]] u64 slab_bytes() const { return buffer_bytes_ * count_; }
   /// True if `p` points into this pool's slab (ownership check).
   [[nodiscard]] bool owns(const u8* p) const;
@@ -52,8 +60,12 @@ class BufferPool {
   u32 count_;
   u8* slab_ = nullptr;
   std::vector<u32> free_list_;
+  // One bit per buffer so free() detects a double free in O(1) instead of
+  // scanning the free list.
+  std::vector<bool> in_use_map_;
   u32 in_use_ = 0;
   u32 peak_in_use_ = 0;
+  u64 exhaustions_ = 0;
 };
 
 /// Per-connection buffer manager: routes allocations to shm slots or the
@@ -69,6 +81,11 @@ class BufferManager {
 
   /// Staging buffer for one chunk (target side / TCP fallback).
   [[nodiscard]] std::span<u8> alloc_staging() { return pool_.alloc(); }
+  /// Typed variant: kResourceExhausted (retryable) instead of a silent
+  /// empty span when the pool is dry.
+  [[nodiscard]] Result<std::span<u8>> try_alloc_staging() {
+    return pool_.try_alloc();
+  }
   Status free_staging(std::span<u8> b) { return pool_.free(b); }
 
   /// Memory footprint the pool pins for this connection — the "memory

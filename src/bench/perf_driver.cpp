@@ -2,6 +2,13 @@
 
 namespace oaf::bench {
 
+namespace {
+/// How long a congested issue slot sleeps before re-checking. Short enough
+/// that throughput recovers promptly when the target drains; long enough
+/// that a saturated target is not polled into the ground.
+constexpr DurNs kCongestionPollNs = 100'000;  // 100 us
+}  // namespace
+
 PerfDriver::PerfDriver(Executor& exec, nvmf::IoSession& initiator,
                        WorkloadSpec spec, u32 nsid)
     : exec_(exec),
@@ -26,6 +33,14 @@ void PerfDriver::issue() {
   if (exec_.now() >= stop_at_) {
     stopped_issuing_ = true;
     maybe_finish();
+    return;
+  }
+  if (initiator_.congested()) {
+    // The session is backing off from target kQueueFull pushback: park this
+    // issue slot and poll, instead of feeding more work to a saturated
+    // target (DESIGN.md §12).
+    congestion_defers_++;
+    exec_.schedule_after(kCongestionPollNs, [this] { issue(); });
     return;
   }
   const bool is_read = stream_.next_is_read();

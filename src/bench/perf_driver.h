@@ -34,6 +34,9 @@ class PerfDriver {
   void run(DoneCb done);
 
   [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+  /// Issue slots paused because the session reported congestion (target
+  /// kQueueFull backpressure) — the driver polls instead of hammering.
+  [[nodiscard]] u64 congestion_defers() const { return congestion_defers_; }
 
  private:
   void issue();
@@ -59,6 +62,7 @@ class PerfDriver {
   TimeNs last_completion_ = 0;
   u32 outstanding_ = 0;
   bool stopped_issuing_ = false;
+  u64 congestion_defers_ = 0;
 
   RunStats stats_;
   DoneCb done_;

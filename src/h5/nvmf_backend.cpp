@@ -4,6 +4,13 @@
 
 namespace oaf::h5 {
 
+namespace {
+/// Poll interval while the session reports congestion. Mirrors the perf
+/// driver's backoff: short enough to resume promptly, long enough not to
+/// hammer a saturated target.
+constexpr DurNs kCongestionPollNs = 100'000;  // 100 us
+}  // namespace
+
 void NvmfBackend::finish_one(std::shared_ptr<IoCb> done,
                              std::shared_ptr<int> pending,
                              std::shared_ptr<Status> first_error, Status st) {
@@ -14,6 +21,17 @@ void NvmfBackend::finish_one(std::shared_ptr<IoCb> done,
 void NvmfBackend::write(u64 offset, std::span<const u8> data, IoCb cb) {
   if (capacity_ != 0 && offset + data.size() > capacity_) {
     cb(make_error(StatusCode::kOutOfRange, "write past namespace capacity"));
+    return;
+  }
+  if (initiator_.congested()) {
+    // Target kQueueFull backpressure: hold the whole request back and
+    // re-poll, rather than splitting it into sub-commands the target will
+    // only reject. The backend contract keeps `data` alive until cb fires.
+    congestion_defers_++;
+    initiator_.executor().schedule_after(
+        kCongestionPollNs, [this, offset, data, cb = std::move(cb)]() mutable {
+          write(offset, data, std::move(cb));
+        });
     return;
   }
   auto done = std::make_shared<IoCb>(std::move(cb));
@@ -123,6 +141,14 @@ void NvmfBackend::rmw_edge(u64 offset, std::span<const u8> data,
 void NvmfBackend::read(u64 offset, std::span<u8> out, IoCb cb) {
   if (capacity_ != 0 && offset + out.size() > capacity_) {
     cb(make_error(StatusCode::kOutOfRange, "read past namespace capacity"));
+    return;
+  }
+  if (initiator_.congested()) {
+    congestion_defers_++;
+    initiator_.executor().schedule_after(
+        kCongestionPollNs, [this, offset, out, cb = std::move(cb)]() mutable {
+          read(offset, out, std::move(cb));
+        });
     return;
   }
   auto done = std::make_shared<IoCb>(std::move(cb));

@@ -33,6 +33,10 @@ class NvmfBackend final : public StorageBackend {
 
   [[nodiscard]] u64 commands_issued() const { return commands_issued_; }
   [[nodiscard]] u64 zero_copy_writes() const { return zero_copy_writes_; }
+  /// Requests deferred because the session reported congestion (target
+  /// kQueueFull backpressure); each defer re-polls instead of splitting
+  /// more commands onto a saturated target.
+  [[nodiscard]] u64 congestion_defers() const { return congestion_defers_; }
 
  private:
   /// One block-aligned sub-I/O of a larger request.
@@ -52,6 +56,7 @@ class NvmfBackend final : public StorageBackend {
   u64 capacity_ = 0;
   u64 commands_issued_ = 0;
   u64 zero_copy_writes_ = 0;
+  u64 congestion_defers_ = 0;
 };
 
 }  // namespace oaf::h5

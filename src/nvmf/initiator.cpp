@@ -49,6 +49,11 @@ void NvmfInitiator::init_telemetry() {
                                 "Commands completed as aborted");
   tel_.ana_changes = m.counter("oaf_initiator_ana_changes_total",
                                "ANA path-state transitions applied");
+  tel_.queue_full = m.counter("oaf_initiator_queue_full_total",
+                              "kQueueFull backpressure completions received");
+  tel_.admission_rejects =
+      m.counter("oaf_initiator_admission_rejects_total",
+                "Handshakes the target answered with admitted=false");
 #endif
 }
 
@@ -228,6 +233,49 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
 
 void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
   handshake_epoch_++;  // cancels any pending handshake timeout
+  if (!resp.admitted) {
+    // Connect-time admission rejection (DESIGN.md §12): the target is over
+    // its connection cap. This is retryable overload, not a fault — back
+    // off at least as long as the target's retry-after hint and re-dial.
+    counters_.admission_rejects++;
+    OAF_TEL(telemetry::bump(tel_.admission_rejects));
+    telemetry::flight().note("overload", "admission_rejected", 0, exec_.now());
+    OAF_WARN("initiator: connect rejected by target (%s), retry-after %u ms",
+             resp.reject_reason.c_str(), resp.retry_after_ms);
+    control_->close();
+    if (reconnecting_) {
+      counters_.reconnect_failures++;
+      OAF_TEL(telemetry::bump(tel_.reconnect_failures));
+      const u32 next = reconnect_attempt_ + 1;
+      if (next > opts_.reconnect.max_attempts) {
+        abort_connection("connect admission rejected");
+        return;
+      }
+      DurNs delay = backoff_for_attempt(next);
+      const DurNs floor =
+          static_cast<DurNs>(resp.retry_after_ms) * 1'000'000;
+      if (delay < floor) delay = floor;
+      exec_.schedule_after(delay, [this, alive = alive_, next] {
+        if (!*alive || dead_ || !reconnecting_) return;
+        do_reconnect(next);
+      });
+      return;
+    }
+    if (opts_.reconnect.enabled() && factory_) {
+      // First connect: enter the normal recovery ladder, which re-dials
+      // with backoff until the target has room (or attempts run out).
+      recover("connect admission rejected");
+      return;
+    }
+    if (connect_cb_) {
+      auto cb = std::move(connect_cb_);
+      connect_cb_ = nullptr;
+      cb(make_error(StatusCode::kResourceExhausted,
+                    "target rejected connection: " + resp.reject_reason));
+    }
+    abort_connection("connect admission rejected");
+    return;
+  }
   maxh2cdata_ = resp.maxh2cdata != 0 ? resp.maxh2cdata
                                      : static_cast<u32>(opts_.af.chunk_bytes);
   data_digest_ = resp.data_digest && opts_.af.data_digest;
@@ -351,11 +399,7 @@ void NvmfInitiator::recover(const char* reason) {
   schedule_reconnect(1);
 }
 
-void NvmfInitiator::schedule_reconnect(u32 attempt) {
-  if (attempt > opts_.reconnect.max_attempts) {
-    abort_connection("reconnect attempts exhausted");
-    return;
-  }
+DurNs NvmfInitiator::backoff_for_attempt(u32 attempt) {
   DurNs backoff = opts_.reconnect.initial_backoff_ns;
   for (u32 i = 1; i < attempt; ++i) {
     backoff = static_cast<DurNs>(static_cast<double>(backoff) *
@@ -370,7 +414,15 @@ void NvmfInitiator::schedule_reconnect(u32 attempt) {
         opts_.reconnect.jitter_frac * (2.0 * jitter_rng_.next_double() - 1.0);
     backoff += static_cast<DurNs>(static_cast<double>(backoff) * j);
   }
-  if (backoff < 0) backoff = 0;
+  return backoff < 0 ? 0 : backoff;
+}
+
+void NvmfInitiator::schedule_reconnect(u32 attempt) {
+  if (attempt > opts_.reconnect.max_attempts) {
+    abort_connection("reconnect attempts exhausted");
+    return;
+  }
+  const DurNs backoff = backoff_for_attempt(attempt);
   exec_.schedule_after(backoff, [this, alive = alive_, attempt] {
     if (!*alive || dead_ || !reconnecting_) return;
     do_reconnect(attempt);
@@ -378,6 +430,7 @@ void NvmfInitiator::schedule_reconnect(u32 attempt) {
 }
 
 void NvmfInitiator::do_reconnect(u32 attempt) {
+  reconnect_attempt_ = attempt;
   auto fresh = factory_();
   if (!fresh) {
     // Dial failed (e.g. the target is still down); burn the attempt and
@@ -648,6 +701,15 @@ void NvmfInitiator::abort_connection(const char* reason) {
     Pending p = std::move(waiting_.front());
     waiting_.pop_front();
     fail_pending(p);
+  }
+  if (connect_cb_) {
+    // A first connect that entered the recovery ladder (e.g. an admission
+    // reject with reconnect enabled) and exhausted it must still resolve —
+    // otherwise the caller waits on a callback that never comes.
+    auto cb = std::move(connect_cb_);
+    connect_cb_ = nullptr;
+    cb(make_error(StatusCode::kUnavailable,
+                  std::string("connection aborted: ") + reason));
   }
 }
 
@@ -1020,6 +1082,54 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     start_command(cid);
     return;
   }
+  if (cpl.status == pdu::NvmeStatus::kQueueFull) {
+    counters_.queue_full_received++;
+    OAF_TEL(telemetry::bump(tel_.queue_full));
+    telemetry::flight().note("overload", "queue_full_received", cid,
+                             exec_.now());
+    // Raise the congestion window on every reject — including those that
+    // surface to the caller (zero-copy commands are not replayed in place):
+    // congested() is how producers that manage their own buffers learn to
+    // stop offering work to a saturated target.
+    {
+      const TimeNs until = exec_.now() + backoff_for_attempt(p.attempts + 1);
+      if (until > congested_until_) congested_until_ = until;
+    }
+    if (!dead_ && retryable(p) &&
+        p.attempts < opts_.reconnect.max_command_retries) {
+      // NVMe-style backpressure: the target shed or refused this command
+      // before it touched the medium, so replaying it is always safe. Hold
+      // the cid slot through a jittered backoff (same deterministic stream
+      // as reconnects) and resubmit in place; meanwhile congested() tells
+      // drivers to stop offering new work.
+      trace_end_span(p);
+      OAF_TEL(telemetry::tracer().instant(tel_.track, "overload",
+                                          "queue_full_backoff", p.generation,
+                                          exec_.now()));
+      p.attempts++;
+      p.bytes_received = 0;
+      counters_.queue_full_retries++;
+      // Park the deadline for the backoff window — the command is not on
+      // the wire, so an expiry here would escalate (abort) a command the
+      // target no longer has. start_command re-arms on resubmit.
+      wheel_.cancel(cid);
+      const DurNs backoff = backoff_for_attempt(p.attempts);
+      const TimeNs until = exec_.now() + backoff;
+      if (until > congested_until_) congested_until_ = until;
+      const u64 generation = p.generation;
+      exec_.schedule_after(
+          backoff, [this, alive = alive_, cid, generation] {
+            if (!*alive || dead_ || cid >= inflight_.size() ||
+                !slot_busy_[cid] || inflight_[cid].generation != generation) {
+              return;
+            }
+            start_command(cid);
+          });
+      return;
+    }
+    // Out of retry budget (or not replayable): deliver the kQueueFull
+    // completion to the caller, who sees a retryable status.
+  }
   trace_end_span(p);
   if (cpl.status == pdu::NvmeStatus::kAbortedByRequest) {
     counters_.commands_aborted++;
@@ -1050,6 +1160,9 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     const auto t = static_cast<double>(res.total_ns);
     latency_ewma_ns_ =
         latency_ewma_ns_ == 0 ? t : latency_ewma_ns_ + (t - latency_ewma_ns_) / 8;
+    // The target served a command, so the overload that set the congestion
+    // window has eased — lift it early rather than waiting it out.
+    congested_until_ = 0;
   }
   release_cid(cid);
 

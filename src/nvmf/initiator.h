@@ -69,7 +69,12 @@ class NvmfInitiator : public IoSession {
   NvmfInitiator(Executor& exec, ChannelFactory factory, net::Copier& copier,
                 af::ShmBroker& broker, InitiatorOptions opts);
 
-  ~NvmfInitiator() override { *alive_ = false; }
+  ~NvmfInitiator() override {
+    *alive_ = false;
+    // Hang up so the target can reap this association (and free its slot
+    // under the connect admission cap) instead of waiting out the KATO.
+    if (control_ != nullptr) control_->close();
+  }
 
   /// Run the ICReq/ICResp handshake; cb(ok) once the fabric is established
   /// (shm granted or TCP-only fallback — both are success).
@@ -166,6 +171,13 @@ class NvmfInitiator : public IoSession {
 
   /// Commands occupying cid slots right now (excludes the waiting queue).
   [[nodiscard]] u32 inflight_count() const { return inflight_count_; }
+
+  /// True while this path is backing off from target kQueueFull pushback
+  /// (DESIGN.md §12). Drivers should stop issuing new work until it clears;
+  /// commands already submitted still complete normally.
+  [[nodiscard]] bool congested() const override {
+    return congested_until_ > 0 && exec_.now() < congested_until_;
+  }
 
   /// Multipath escape hatch: give up an in-progress recovery immediately and
   /// fail everything harvested/queued with kDataTransferError so a
@@ -276,6 +288,11 @@ class NvmfInitiator : public IoSession {
   void schedule_reconnect(u32 attempt);
   void do_reconnect(u32 attempt);
   void send_icreq();
+  /// Jittered exponential backoff for `attempt` (1-based) under
+  /// opts_.reconnect — shared by the reconnect ladder and kQueueFull
+  /// command retries, so both pull from the same deterministic jitter
+  /// stream.
+  [[nodiscard]] DurNs backoff_for_attempt(u32 attempt);
   [[nodiscard]] bool retryable(const Pending& p) const;
   [[nodiscard]] bool stale(u16 pdu_gen, const Pending& p) const {
     return pdu_gen != 0 && p.gen != 0 && pdu_gen != p.gen;
@@ -319,6 +336,8 @@ class NvmfInitiator : public IoSession {
   bool dead_ = false;               // connection torn down for good
 
   bool reconnecting_ = false;
+  u32 reconnect_attempt_ = 0;   // attempt being dialed (for reject backoff)
+  TimeNs congested_until_ = 0;  // kQueueFull backoff window end; 0 = clear
   PathEventHandler event_handler_;
   pdu::AnaState ana_state_ = pdu::AnaState::kOptimized;
   u64 ana_change_seq_ = 0;      // highest change_seq applied this association
@@ -355,6 +374,8 @@ class NvmfInitiator : public IoSession {
     telemetry::Counter* aborts_failed = nullptr;
     telemetry::Counter* cmds_aborted = nullptr;
     telemetry::Counter* ana_changes = nullptr;
+    telemetry::Counter* queue_full = nullptr;
+    telemetry::Counter* admission_rejects = nullptr;
   } tel_;
   void init_telemetry();
   void fire_event(PathEvent e) {

@@ -85,6 +85,14 @@ class IoSession {
 
   /// Zero-copy read: the completion hands back a view of the shm slot.
   virtual void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) = 0;
+
+  // --- backpressure (DESIGN.md §12) ----------------------------------------
+
+  /// True while the session is backing off from target kQueueFull pushback.
+  /// Well-behaved drivers stop issuing new work until this clears instead of
+  /// hammering a saturated target. Default: never congested, so sessions
+  /// without an overload path are unchanged.
+  [[nodiscard]] virtual bool congested() const { return false; }
 };
 
 }  // namespace oaf::nvmf

@@ -17,6 +17,9 @@ void PathGroup::init_telemetry() {
                             "Commands re-driven onto another path");
   tel_.parked = m.counter("oaf_pathgroup_parked_total",
                           "Submissions that waited for an eligible path");
+  tel_.park_overflow =
+      m.counter("oaf_pathgroup_park_overflow_total",
+                "Submissions failed fast at the max_parked bound");
   tel_.duplicates =
       m.counter("oaf_pathgroup_duplicates_suppressed_total",
                 "Late completions fenced by the group sequence map");
@@ -118,7 +121,29 @@ void PathGroup::dispatch(u64 gseq) {
       }
       return;
     }
-    // No path right now, but at least one may come back: wait, in order.
+    // No path right now, but at least one may come back: wait, in order —
+    // unless the parked queue is already at its bound, in which case this
+    // submission fails fast with retryable backpressure instead of growing
+    // the queue without limit (DESIGN.md §12).
+    if (parked_.size() >= opts_.max_parked) {
+      GroupCmd done = std::move(it->second);
+      live_.erase(it);
+      ios_completed_++;
+      park_overflows_++;
+      OAF_TEL(telemetry::bump(tel_.park_overflow));
+      telemetry::flight().note("overload", "park_overflow", gseq, exec_.now());
+      OAF_WARN_RL("pathgroup %s: parked queue full (%zu), failing fast",
+                  opts_.name.c_str(), parked_.size());
+      IoResult res;
+      res.cpl.status = pdu::NvmeStatus::kQueueFull;
+      if (done.identify_cb) {
+        done.identify_cb(make_error(StatusCode::kResourceExhausted,
+                                    "parked queue full"));
+      } else if (done.cb) {
+        done.cb(res);
+      }
+      return;
+    }
     parked_.push_back(gseq);
     parked_total_++;
     OAF_TEL(telemetry::bump(tel_.parked));
@@ -382,6 +407,16 @@ Result<PathGroup::WriteTicket> PathGroup::zero_copy_write_begin(u64 len) {
 void PathGroup::zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba,
                                 u64 len, IoCb cb) {
   paths_[0].init->zero_copy_write(ticket, nsid, slba, len, std::move(cb));
+}
+
+bool PathGroup::congested() const {
+  bool any_eligible = false;
+  for (const auto& s : paths_) {
+    if (!eligible(s)) continue;
+    any_eligible = true;
+    if (!s.init->congested()) return false;  // at least one path has room
+  }
+  return any_eligible;
 }
 
 void PathGroup::zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) {

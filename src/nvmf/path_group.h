@@ -48,6 +48,12 @@ struct PathGroupOptions {
   /// application. Distinct from (and stacked on top of) each path's own
   /// in-place retry budget.
   u32 redrive_budget = 3;
+  /// Bound on the parked queue (DESIGN.md §12). A submission arriving while
+  /// this many commands already wait for a path fails fast with kQueueFull
+  /// instead of growing the queue without limit during a long outage.
+  /// Deliberately generous: parking is the normal failover buffer; the cap
+  /// only exists so memory stays bounded when no path comes back.
+  u32 max_parked = 1024;
 };
 
 class PathGroup final : public IoSession {
@@ -78,6 +84,10 @@ class PathGroup final : public IoSession {
   void zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba, u64 len,
                        IoCb cb) override;
   void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) override;
+  /// True when every currently-eligible path is backing off from target
+  /// kQueueFull pushback — the whole group is saturated, so drivers should
+  /// pause. An empty eligible set is "parked", not congested.
+  [[nodiscard]] bool congested() const override;
 
   // --- observability -------------------------------------------------------
   [[nodiscard]] size_t path_count() const { return paths_.size(); }
@@ -91,6 +101,8 @@ class PathGroup final : public IoSession {
   [[nodiscard]] u64 failovers() const { return failovers_; }
   [[nodiscard]] u64 redrives() const { return redrives_; }
   [[nodiscard]] u64 parked_total() const { return parked_total_; }
+  /// Submissions failed fast with kQueueFull at the max_parked bound.
+  [[nodiscard]] u64 park_overflows() const { return park_overflows_; }
   [[nodiscard]] u64 duplicates_suppressed() const {
     return duplicates_suppressed_;
   }
@@ -157,6 +169,7 @@ class PathGroup final : public IoSession {
   u64 failovers_ = 0;      ///< eligible paths lost (recovering or dead)
   u64 redrives_ = 0;       ///< commands re-driven onto another path
   u64 parked_total_ = 0;   ///< submissions that ever waited for a path
+  u64 park_overflows_ = 0;  ///< fast-failed at the max_parked bound
   u64 duplicates_suppressed_ = 0;  ///< late completions fenced by the map
   u32 displaced_ = 0;      ///< in-flight on now-ineligible paths (failover)
   u32 failover_redrives_ = 0;  ///< redrives within the current failover
@@ -167,6 +180,7 @@ class PathGroup final : public IoSession {
     telemetry::Counter* failovers = nullptr;
     telemetry::Counter* redrives = nullptr;
     telemetry::Counter* parked = nullptr;
+    telemetry::Counter* park_overflow = nullptr;
     telemetry::Counter* duplicates = nullptr;
   } tel_;
   void init_telemetry();

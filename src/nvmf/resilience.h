@@ -86,6 +86,10 @@ struct ResilienceCounters {
   u64 commands_aborted = 0;    ///< victim commands completed as aborted
   u64 peer_misbehavior = 0;    ///< shm protocol violations (fencing hits)
   u64 ana_changes = 0;         ///< ANA state transitions applied (multipath)
+  // Overload backpressure (DESIGN.md §12).
+  u64 queue_full_received = 0;  ///< kQueueFull completions seen from the target
+  u64 queue_full_retries = 0;   ///< of those, replayed after a local backoff
+  u64 admission_rejects = 0;    ///< handshakes answered admitted=false
 };
 
 }  // namespace oaf::nvmf

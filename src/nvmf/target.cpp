@@ -58,6 +58,12 @@ void NvmfTargetConnection::init_telemetry() {
                                   "NVMe Abort commands processed");
   tel_.cmds_aborted = m.counter("oaf_target_commands_aborted_total",
                                 "In-flight commands cancelled by Abort");
+  tel_.queue_full = m.counter("oaf_target_queue_full_rejects_total",
+                              "Commands rejected with kQueueFull by a "
+                              "resource budget before admission");
+  tel_.shed = m.counter("oaf_target_commands_shed_total",
+                        "Admitted commands shed with kQueueFull by the "
+                        "overload high-watermark policy");
 #endif
 }
 
@@ -75,6 +81,11 @@ void NvmfTargetConnection::trace_end_cmd(u16 cid) {
 
 NvmfTargetConnection::~NvmfTargetConnection() {
   *alive_ = false;
+  // The global budget outlives this connection (the service owns it);
+  // everything still charged here — in-flight and zombie alike — must flow
+  // back or a reaped association would leak target-wide capacity forever.
+  for (const auto& [cid, ctx] : inflight_) release_staging(ctx.charged);
+  for (const auto& [seq, z] : zombie_buffers_) release_staging(z.charged);
   if (ep_.shm_attached()) {
     (void)cm_.release(opts_.connection_name);
   }
@@ -131,6 +142,30 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
 }
 
 void NvmfTargetConnection::on_icreq(const pdu::ICReq& req) {
+  if (opts_.reject_connect) {
+    // Admission control: answer with an explicit verdict (so the host backs
+    // off instead of diagnosing a dead target) and close. No shm, no KATO,
+    // no state — the association exists only long enough to say no.
+    pdu::ICResp reject;
+    reject.pfv = req.pfv;
+    reject.admitted = false;
+    reject.retry_after_ms = opts_.reject_retry_after_ms;
+    reject.reject_reason = opts_.reject_reason;
+    telemetry::flight().note("overload", "connect_rejected", 0, exec_.now());
+    OAF_WARN("target %s: rejecting connect (%s)",
+             opts_.connection_name.c_str(), opts_.reject_reason.c_str());
+    Pdu out;
+    out.header = reject;
+    control_.send(std::move(out));
+    // Defer the hangup one executor turn: queued transports (the sim pipe)
+    // drop undelivered PDUs on close, so a synchronous close here would
+    // outrun the verdict we just sent.
+    exec_.post([this, alive = alive_] {
+      if (!*alive) return;
+      control_.close();
+    });
+    return;
+  }
   if (req.kato_ns > 0) kato_ns_ = static_cast<DurNs>(req.kato_ns);
   data_digest_ = req.data_digest && opts_.af.data_digest;
   auto resp = cm_.accept_target(req, opts_.connection_name, ep_);
@@ -171,10 +206,99 @@ void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
   pdu.header = resp;
   pdu.payload = std::move(payload);
   trace_end_cmd(cid);
-  inflight_.erase(cid);
+  erase_inflight(cid);
   commands_served_++;
   OAF_TEL(telemetry::bump(tel_.commands));
   control_.send(std::move(pdu));
+}
+
+void NvmfTargetConnection::reject_queue_full(u16 cid, u16 gen,
+                                             const char* why) {
+  queue_full_rejects_++;
+  OAF_TEL(telemetry::bump(tel_.queue_full));
+  telemetry::flight().note("overload", "queue_full", cid, exec_.now());
+  OAF_WARN_RL("target %s: kQueueFull for cid %u (%s)",
+              opts_.connection_name.c_str(), cid, why);
+  pdu::CapsuleResp resp;
+  resp.cpl = {cid, NvmeStatus::kQueueFull, 0};
+  resp.gen = gen;
+  Pdu pdu;
+  pdu.header = resp;
+  control_.send(std::move(pdu));
+}
+
+void NvmfTargetConnection::release_staging(u64 n) {
+  if (n == 0) return;
+  staging_bytes_ = n > staging_bytes_ ? 0 : staging_bytes_ - n;
+  if (opts_.global_staging != nullptr) opts_.global_staging->release(n);
+}
+
+void NvmfTargetConnection::erase_inflight(u16 cid) {
+  const auto it = inflight_.find(cid);
+  if (it == inflight_.end()) return;
+  release_staging(it->second.charged);
+  inflight_.erase(it);
+}
+
+void NvmfTargetConnection::drop_zombie(u64 seq) {
+  const auto it = zombie_buffers_.find(seq);
+  if (it == zombie_buffers_.end()) return;
+  release_staging(it->second.charged);
+  zombie_buffers_.erase(it);
+}
+
+DurNs NvmfTargetConnection::oldest_inflight_age(TimeNs now) const {
+  DurNs oldest = 0;
+  for (const auto& [cid, ctx] : inflight_) {
+    const DurNs age = now - ctx.arrival;
+    if (age > oldest) oldest = age;
+  }
+  return oldest;
+}
+
+bool NvmfTargetConnection::shed_oldest() {
+  // Oldest admitted command that nothing else references: a device I/O or
+  // an in-flight shm copy pins its buffer, so those must complete normally.
+  u16 victim = 0;
+  TimeNs best = 0;
+  bool found = false;
+  for (const auto& [cid, ctx] : inflight_) {
+    if (ctx.device_busy || ctx.copies_in_flight > 0) continue;
+    if (!found || ctx.arrival < best) {
+      found = true;
+      best = ctx.arrival;
+      victim = cid;
+    }
+  }
+  if (!found) return false;
+  commands_shed_++;
+  OAF_TEL(telemetry::bump(tel_.shed));
+  telemetry::flight().note("overload", "shed", victim, exec_.now());
+  OAF_WARN_RL("target %s: shedding cid %u under overload",
+              opts_.connection_name.c_str(), victim);
+  if (ep_.shm_attached()) {
+    // A half-staged payload must not greet the slot's next owner.
+    ep_.abandon_slot(victim);
+  }
+  // Late transfer PDUs for the shed command are raced, not hostile.
+  recently_aborted_.insert(victim);
+  send_resp(victim, {victim, NvmeStatus::kQueueFull, 0}, 0);
+  return true;
+}
+
+void NvmfTargetConnection::evict(const std::string& reason) {
+  if (evicted_) return;
+  evicted_ = true;
+  telemetry::flight().note("overload", "evict", 0, exec_.now());
+  OAF_WARN("target %s: evicting association (%s)",
+           opts_.connection_name.c_str(), reason.c_str());
+  send_term("evicted: " + reason);
+  // Defer the hangup one executor turn so the TermReq flushes ahead of it
+  // on queued transports; the next reap collects the corpse.
+  exec_.post([this, alive = alive_] {
+    if (!*alive) return;
+    control_.close();
+  });
 }
 
 void NvmfTargetConnection::set_ana_state(pdu::AnaState state,
@@ -224,11 +348,44 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
     return;
   }
   recently_aborted_.erase(cid);  // the cid is live again
+
+  // Overload admission: budgets are checked (and charged) BEFORE any
+  // per-command state exists, so a rejected command costs the target
+  // nothing but this CapsuleResp. Only data-bearing commands stage bytes;
+  // flush/identify/abort are admitted freely (they are how a congested
+  // host drains). An unknown namespace skips admission — the ordinary
+  // kInvalidNamespace path below answers it.
+  u64 admit_charge = 0;
+  if (capsule.cmd.is_read() || capsule.cmd.is_write()) {
+    ssd::Device* adm_dev = subsystem_.find(capsule.cmd.nsid);
+    if (adm_dev != nullptr) {
+      const u64 len = capsule.cmd.data_bytes(adm_dev->block_size());
+      if (opts_.max_inflight_cmds != 0 &&
+          inflight_.size() >= opts_.max_inflight_cmds) {
+        reject_queue_full(cid, capsule.gen, "per-connection inflight cap");
+        return;
+      }
+      if (opts_.max_staging_bytes != 0 &&
+          staging_bytes_ + len > opts_.max_staging_bytes) {
+        reject_queue_full(cid, capsule.gen, "per-connection staging budget");
+        return;
+      }
+      if (opts_.global_staging != nullptr &&
+          !opts_.global_staging->try_acquire(len)) {
+        reject_queue_full(cid, capsule.gen, "global staging budget");
+        return;
+      }
+      staging_bytes_ += len;
+      admit_charge = len;
+    }
+  }
+
   IoCtx& ctx = inflight_[cid];
   ctx.cmd = capsule.cmd;
   ctx.arrival = exec_.now();
   ctx.gen = capsule.gen;
   ctx.seq = next_ctx_seq_++;
+  ctx.charged = admit_charge;
   // Trace stitching: adopt the host's trace id as this command's span id so
   // both processes' spans share one async id in the merged timeline. The
   // local seq stays the fencing token — the wire id is host-controlled and
@@ -275,7 +432,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
               [this, alive = alive_, cid, seq = ctx.seq, len,
                copy_start](Result<u64> got) {
                 if (!*alive) return;
-                zombie_buffers_.erase(seq);  // copy done; zombie can go
+                drop_zombie(seq);  // copy done; zombie (and its charge) can go
                 const auto it2 = inflight_.find(cid);
                 if (it2 == inflight_.end() || it2->second.seq != seq) {
                   return;  // aborted while the copy was in flight
@@ -353,8 +510,10 @@ void NvmfTargetConnection::handle_abort(u16 cid) {
              static_cast<int>(vctx.device_busy));
     if (vctx.device_busy || vctx.copies_in_flight > 0) {
       // The device (or an in-flight shm copy) still references the staging
-      // buffer; park it with the zombie until that completion fires.
-      zombie_buffers_[vctx.seq] = std::move(vctx.buffer);
+      // buffer; park it with the zombie until that completion fires. The
+      // budget charge moves with it — the memory is still pinned.
+      zombie_buffers_[vctx.seq] = {std::move(vctx.buffer), vctx.charged};
+      vctx.charged = 0;
     } else if (ep_.shm_attached()) {
       // Waiting on data: drop whatever the victim parked in its slot so the
       // next command to use it starts clean.
@@ -408,7 +567,7 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
         [this, alive = alive_, cid, seq = ctx.seq,
          len = h2c.length](Result<u64> got) {
           if (!*alive) return;
-          zombie_buffers_.erase(seq);  // copy done; zombie can go
+          drop_zombie(seq);  // copy done; zombie (and its charge) can go
           auto it2 = inflight_.find(cid);
           if (it2 == inflight_.end() || it2->second.seq != seq) {
             return;  // aborted while the copy was in flight
@@ -473,7 +632,7 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
                          OAF_TEL(telemetry::tracer().end(
                              tel_.track, "target_io", "device", span,
                              exec_.now()));
-                         zombie_buffers_.erase(seq);
+                         drop_zombie(seq);
                          const auto it2 = inflight_.find(cid);
                          if (it2 == inflight_.end() ||
                              it2->second.seq != seq) {
@@ -502,7 +661,7 @@ void NvmfTargetConnection::handle_read(u16 cid) {
                         OAF_TEL(telemetry::tracer().end(tel_.track,
                                                         "target_io", "device",
                                                         span, exec_.now()));
-                        zombie_buffers_.erase(seq);
+                        drop_zombie(seq);
                         const auto it2 = inflight_.find(cid);
                         if (it2 == inflight_.end() || it2->second.seq != seq) {
                           return;  // aborted: swallow the completion
@@ -556,7 +715,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
             Pdu pdu;
             pdu.header = c2h;
             trace_end_cmd(cid);
-            inflight_.erase(cid);
+            erase_inflight(cid);
             commands_served_++;
             OAF_TEL(telemetry::bump(tel_.commands));
             control_.send(std::move(pdu));
@@ -605,7 +764,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
     send_resp(cid, cpl, io_time);
   } else {
     trace_end_cmd(cid);
-    inflight_.erase(cid);
+    erase_inflight(cid);
     commands_served_++;
     OAF_TEL(telemetry::bump(tel_.commands));
   }
@@ -688,7 +847,7 @@ void NvmfTargetConnection::handle_admin(u16 cid) {
           if (!*alive) return;
           OAF_TEL(telemetry::tracer().end(tel_.track, "target_io", "device",
                                           span, exec_.now()));
-          zombie_buffers_.erase(seq);
+          drop_zombie(seq);
           const auto it2 = inflight_.find(cid);
           if (it2 == inflight_.end() || it2->second.seq != seq) return;
           it2->second.device_busy = false;

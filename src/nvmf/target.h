@@ -23,6 +23,7 @@
 #include "af/busy_poll.h"
 #include "af/config.h"
 #include "af/connection_manager.h"
+#include "af/flow_control.h"
 #include "af/endpoint.h"
 #include "net/channel.h"
 #include "ssd/namespace.h"
@@ -36,6 +37,24 @@ struct TargetOptions {
   /// KATO applied when the client's ICReq does not advertise one;
   /// 0 = the association never expires from silence.
   DurNs default_kato_ns = 0;
+
+  // --- overload protection (DESIGN.md §12) ---------------------------------
+  /// Per-connection cap on concurrently in-flight commands; excess is
+  /// rejected with kQueueFull before any state is allocated. 0 = unlimited.
+  u32 max_inflight_cmds = 0;
+  /// Per-connection cap on staging-buffer bytes held by in-flight (and
+  /// zombie) commands; 0 = unlimited.
+  u64 max_staging_bytes = 0;
+  /// Shared target-wide staging budget, owned by NvmfTargetService and
+  /// outliving every connection. Null = no global budget.
+  af::ResourceBudget* global_staging = nullptr;
+  /// Connect-time admission control: when set, the connection answers the
+  /// ICReq with an ICResp carrying admitted=false (plus the reason and
+  /// retry hint below) and closes — the service creates reject-mode
+  /// connections once it is at --max-conns.
+  bool reject_connect = false;
+  std::string reject_reason;
+  u32 reject_retry_after_ms = 0;
 };
 
 class NvmfTargetConnection {
@@ -81,8 +100,33 @@ class NvmfTargetConnection {
   /// of slots reclaimed.
   u32 sweep_orphan_slots(DurNs fallback);
 
+  // --- overload protection -------------------------------------------------
+  /// Commands currently in flight on this association.
+  [[nodiscard]] u64 inflight_now() const { return inflight_.size(); }
+  /// Staging bytes currently charged to this association (incl. zombies).
+  [[nodiscard]] u64 staging_bytes() const { return staging_bytes_; }
+  /// Age of the oldest in-flight command, 0 when idle. A connection whose
+  /// oldest command is stuck past the service's stall watermark is a slow
+  /// client: it is not draining responses (or its shm consumer wedged) and
+  /// is pinning staging memory everyone else needs.
+  [[nodiscard]] DurNs oldest_inflight_age(TimeNs now) const;
+  /// Shed one admitted-but-not-yet-executing command (oldest first),
+  /// completing it with retryable kQueueFull. Returns false when every
+  /// in-flight command is pinned by the device or an shm copy.
+  bool shed_oldest();
+  /// Terminate the association (TermReq + close); the next reap collects
+  /// it. Used by the service's slow-client escalation.
+  void evict(const std::string& reason);
+  [[nodiscard]] bool evicted() const { return evicted_; }
+
+  /// True for a reject-mode association: it exists only to deliver the
+  /// ICResp{admitted=false} verdict and then close.
+  [[nodiscard]] bool connect_rejected() const { return opts_.reject_connect; }
+
   // --- stats ---------------------------------------------------------------
   [[nodiscard]] u64 commands_served() const { return commands_served_; }
+  [[nodiscard]] u64 queue_full_rejects() const { return queue_full_rejects_; }
+  [[nodiscard]] u64 commands_shed() const { return commands_shed_; }
   [[nodiscard]] u64 r2ts_sent() const { return r2ts_sent_; }
   [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
   [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
@@ -113,6 +157,8 @@ class NvmfTargetConnection {
                               ///< Never used for fencing — only for tracing.
     bool device_busy = false; ///< the device holds `buffer` right now
     u32 copies_in_flight = 0; ///< shm consumes targeting `buffer` right now
+    u64 charged = 0;          ///< staging bytes charged against the budgets;
+                              ///< moves to the zombie entry on abort
   };
 
   void on_pdu(pdu::Pdu pdu);
@@ -135,6 +181,16 @@ class NvmfTargetConnection {
                  std::vector<u8> payload = {});
   void send_term(const std::string& reason);
 
+  /// Budget denial: answer `cid` with retryable kQueueFull without ever
+  /// creating an IoCtx (the whole point is to allocate nothing).
+  void reject_queue_full(u16 cid, u16 gen, const char* why);
+  /// Return `n` staging bytes to the per-connection and global budgets.
+  void release_staging(u64 n);
+  /// Erase an in-flight command, returning its staging charge first.
+  void erase_inflight(u16 cid);
+  /// Drop an aborted command's parked buffer and return its charge.
+  void drop_zombie(u64 seq);
+
   [[nodiscard]] DurNs target_time(u16 cid, DurNs io_time) const;
   [[nodiscard]] u16 gen_of(u16 cid) const {
     const auto it = inflight_.find(cid);
@@ -156,7 +212,12 @@ class NvmfTargetConnection {
   std::unordered_set<u16> recently_aborted_;
   /// Staging buffers of aborted commands whose device I/O is still running;
   /// keyed by ctx seq and dropped when the (swallowed) completion fires.
-  std::unordered_map<u64, std::vector<u8>> zombie_buffers_;
+  /// The budget charge travels with the buffer: the memory is still pinned.
+  struct ZombieBuffer {
+    std::vector<u8> buffer;
+    u64 charged = 0;
+  };
+  std::unordered_map<u64, ZombieBuffer> zombie_buffers_;
   u64 next_ctx_seq_ = 1;
   TimeNs last_heard_ = 0;
   DurNs kato_ns_ = 0;
@@ -167,7 +228,12 @@ class NvmfTargetConnection {
   /// association reaper destroying this connection while they are queued.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
+  u64 staging_bytes_ = 0;  ///< live per-connection staging charge
+  bool evicted_ = false;
+
   u64 commands_served_ = 0;
+  u64 queue_full_rejects_ = 0;
+  u64 commands_shed_ = 0;
   u64 r2ts_sent_ = 0;
   u64 bytes_read_ = 0;
   u64 bytes_written_ = 0;
@@ -189,6 +255,8 @@ class NvmfTargetConnection {
     telemetry::Counter* digest_errors = nullptr;
     telemetry::Counter* aborts_handled = nullptr;
     telemetry::Counter* cmds_aborted = nullptr;
+    telemetry::Counter* queue_full = nullptr;
+    telemetry::Counter* shed = nullptr;
   } tel_;
   void init_telemetry();
   /// End the command span for a still-inflight cid (no-op if unknown).

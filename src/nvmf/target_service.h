@@ -18,6 +18,16 @@
 
 namespace oaf::nvmf {
 
+/// Which association gives up work when the global staging budget crosses
+/// its high watermark (DESIGN.md §12).
+enum class ShedPolicy {
+  kOldestFirst,  ///< the association holding the oldest in-flight command
+  kFair,         ///< the association holding the most in-flight commands
+};
+
+/// Parse "oldest" / "fair"; anything else falls back to kOldestFirst.
+ShedPolicy parse_shed_policy(const std::string& name);
+
 struct TargetServiceOptions {
   af::AfConfig af;
   /// KATO for clients that do not advertise one; 0 = never expire on silence.
@@ -30,6 +40,26 @@ struct TargetServiceOptions {
   /// negotiated KATO; 0 disables sweeping those (KATO associations always
   /// sweep with their KATO as the window).
   DurNs orphan_slot_timeout_ns = 0;
+
+  // --- overload protection (DESIGN.md §12) ---------------------------------
+  /// Connect-time admission cap: past this many live associations a new
+  /// handshake is answered with ICResp{admitted=false} and closed.
+  /// 0 = unlimited.
+  u32 max_conns = 0;
+  /// Backoff hint carried in the connect rejection.
+  u32 reject_retry_after_ms = 100;
+  /// Per-connection command/staging budgets, forwarded to every connection.
+  u32 max_inflight_cmds = 0;
+  u64 max_staging_bytes = 0;
+  /// Target-wide staging budget shared by all connections; 0 = unlimited.
+  u64 global_staging_bytes = 0;
+  /// Occupancy fraction of the global budget at which the reaper starts
+  /// shedding admitted commands; <= 0 disables shedding.
+  double shed_watermark = 0.9;
+  ShedPolicy shed_policy = ShedPolicy::kOldestFirst;
+  /// A connection whose oldest in-flight command exceeds this age is a slow
+  /// client and is evicted (TermReq + close). 0 = never evict.
+  DurNs stall_timeout_ns = 0;
 };
 
 class NvmfTargetService {
@@ -87,13 +117,44 @@ class NvmfTargetService {
     return total;
   }
 
+  // --- overload protection ---------------------------------------------
+  /// The target-wide staging budget every association draws from.
+  [[nodiscard]] const af::ResourceBudget& global_staging() const {
+    return global_staging_;
+  }
+  /// Handshakes turned away at the max_conns cap.
+  [[nodiscard]] u64 connects_rejected() const { return connects_rejected_; }
+  /// Slow clients evicted by the stall watermark.
+  [[nodiscard]] u64 evictions() const { return evictions_; }
+  /// kQueueFull rejects across live associations.
+  [[nodiscard]] u64 queue_full_rejects() const {
+    u64 total = retired_queue_full_;
+    for (const auto& a : assocs_) total += a.conn->queue_full_rejects();
+    return total;
+  }
+  /// Admitted commands shed by the watermark ladder, across live assocs.
+  [[nodiscard]] u64 commands_shed() const {
+    u64 total = retired_shed_;
+    for (const auto& a : assocs_) total += a.conn->commands_shed();
+    return total;
+  }
+  /// Run the stall-eviction and watermark-shed ladder once (the periodic
+  /// reaper calls this; exposed so tests and tools can force a pass).
+  void overload_tick();
+
  private:
   struct Assoc {
     std::unique_ptr<net::MsgChannel> channel;
     std::unique_ptr<NvmfTargetConnection> conn;
+    /// Created only to deliver an ICResp{admitted=false}; never counts
+    /// toward the max_conns cap and is reaped as soon as it closes.
+    bool reject = false;
   };
 
   void reaper_tick();
+  /// Shed one admitted command according to the configured policy; false
+  /// when no association has anything sheddable.
+  bool shed_one();
 
   Executor& exec_;
   net::Copier& copier_;
@@ -104,13 +165,26 @@ class NvmfTargetService {
   std::vector<Assoc> assocs_;
   u64 reaped_ = 0;
   u64 retired_commands_ = 0;  // served by since-reaped associations
+  u64 retired_queue_full_ = 0;  // queue-full rejects by reaped associations
+  u64 retired_shed_ = 0;        // sheds by reaped associations
   u64 reaper_epoch_ = 0;  // invalidates queued ticks on shutdown
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
+  /// Target-wide staging budget (capacity from global_staging_bytes); every
+  /// association holds a pointer into it via TargetOptions.global_staging.
+  af::ResourceBudget global_staging_;
+  u64 connects_rejected_ = 0;
+  u64 evictions_ = 0;
+
   telemetry::Counter* tel_reaped_ = nullptr;
+  telemetry::Counter* tel_connects_rejected_ = nullptr;
+  telemetry::Counter* tel_evicted_ = nullptr;
   /// Samples assocs_.size() at exposition time; declared after assocs_ so it
   /// unregisters before the vector is destroyed.
   telemetry::MetricsRegistry::CallbackHandle active_cb_;
+  /// Global staging occupancy gauges; declared after global_staging_.
+  telemetry::MetricsRegistry::CallbackHandle staging_in_use_cb_;
+  telemetry::MetricsRegistry::CallbackHandle staging_capacity_cb_;
 };
 
 }  // namespace oaf::nvmf

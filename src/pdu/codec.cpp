@@ -146,6 +146,9 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.bool_(h.trace_ctx);
           w.u64_(h.echo_t_ns);
           w.u64_(h.t_now_ns);
+          w.bool_(h.admitted);
+          w.u32_(h.retry_after_ms);
+          w.str_(h.reject_reason);
         } else if constexpr (std::is_same_v<T, CapsuleCmd>) {
           encode_cmd(w, h.cmd);
           w.u8_(static_cast<u8>(h.placement));
@@ -242,6 +245,13 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
         h.trace_ctx = r.bool_();
         h.echo_t_ns = r.u64_();
         h.t_now_ns = r.u64_();
+      }
+      // rev 4: admission verdict (1 + 4 fixed bytes + the reject reason's
+      // u32 length prefix). Short (older-peer) headers default to admitted.
+      if (r.remaining() >= 1 + 4 + 4) {
+        h.admitted = r.bool_();
+        h.retry_after_ms = r.u32_();
+        h.reject_reason = r.str_();
       }
       return PduHeader{h};
     }

@@ -44,6 +44,11 @@ enum class NvmeStatus : u16 {
   /// Not a device status: the transport detected a recoverable fault
   /// (e.g. data-digest mismatch) and the command is safe to replay.
   kTransientTransportError = 0x8,
+  /// Not a device error: the target is over a resource budget (staging
+  /// bytes, in-flight commands) and rejected the command before it touched
+  /// the medium. Retryable after backoff; maps to NVMe's SQ-full /
+  /// namespace-resource conditions rather than a data-path failure.
+  kQueueFull = 0x9,
   kInvalidNamespace = 0xB,
   kLbaOutOfRange = 0x80,
   kCapacityExceeded = 0x81,

@@ -103,6 +103,14 @@ struct ICResp {
   bool trace_ctx = false;   ///< observability: trace-context accepted
   u64 echo_t_ns = 0;        ///< observability: ICReq::t_sent_ns echoed back
   u64 t_now_ns = 0;         ///< observability: target clock when ICResp sent
+  /// Overload ext. (rev 4): connect-time admission verdict. Defaults keep
+  /// an old peer's short header decoding as "admitted" — rejection is only
+  /// ever explicit. When `admitted` is false the target closes the
+  /// association right after this ICResp; `retry_after_ms` hints how long
+  /// the host should back off before redialing (0 = host's own policy).
+  bool admitted = true;
+  u32 retry_after_ms = 0;
+  std::string reject_reason;
 };
 
 /// Command capsule. For writes, data may be in-capsule (inline payload or a

@@ -97,7 +97,11 @@ inline constexpr u64 kWireStrPrefixBytes = 4;
 inline constexpr u64 kWireICReqBytesV1 = 2 + 1 + 1 + 4 + 8 + 1 + 1 + 8;
 inline constexpr u64 kWireICReqBytes = kWireICReqBytesV1 + 1 + 8;
 inline constexpr u64 kWireICRespBytesV1 = 2 + 1 + 4 + 1 + 8 + 4 + 1;
-inline constexpr u64 kWireICRespBytes = kWireICRespBytesV1 + 1 + 8 + 8;
+inline constexpr u64 kWireICRespBytesV2 = kWireICRespBytesV1 + 1 + 8 + 8;
+///   rev 4 — overload: admission verdict (admitted flag + retry-after hint)
+///           appended to ICResp; the reject reason string rides behind it
+///           with its own length prefix.
+inline constexpr u64 kWireICRespBytes = kWireICRespBytesV2 + 1 + 4;
 inline constexpr u64 kWireCapsuleCmdBytesV1 =
     kWireCmdBytes + 1 + 1 + 4 + 8 + 2;
 inline constexpr u64 kWireCapsuleCmdBytes = kWireCapsuleCmdBytesV1 + 8 + 8;

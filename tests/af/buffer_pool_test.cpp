@@ -69,6 +69,59 @@ TEST(BufferPoolTest, ReuseAfterFree) {
   EXPECT_EQ(b.data(), addr);  // buffer reuse (paper: Buffer Manager re-uses)
 }
 
+TEST(BufferPoolTest, DoubleFreeDetectedAfterRefill) {
+  // Regression for the in-use bitmap: the old free-list scan only caught a
+  // double free while the index was still on the list. Freeing, re-filling
+  // the list through other buffers, and freeing again must still fail —
+  // the bitmap says the buffer is not outstanding, whatever the list holds.
+  BufferPool pool(4096, 3);
+  auto a = pool.alloc();
+  auto b = pool.alloc();
+  auto c = pool.alloc();
+  ASSERT_FALSE(a.empty());
+  ASSERT_TRUE(pool.free(a));
+  ASSERT_TRUE(pool.free(b));
+  ASSERT_TRUE(pool.free(c));
+  const Status again = pool.free(a);
+  EXPECT_FALSE(again);
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.in_use(), 0u);
+  // The pool is still coherent: all three buffers come back out.
+  EXPECT_FALSE(pool.alloc().empty());
+  EXPECT_FALSE(pool.alloc().empty());
+  EXPECT_FALSE(pool.alloc().empty());
+  EXPECT_TRUE(pool.alloc().empty());
+}
+
+TEST(BufferPoolTest, ExhaustionIsCountedAndTyped) {
+  BufferPool pool(4096, 1);
+  auto a = pool.alloc();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(pool.exhaustions(), 0u);
+  EXPECT_TRUE(pool.alloc().empty());
+  EXPECT_EQ(pool.exhaustions(), 1u);
+  const auto r = pool.try_alloc();
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.exhaustions(), 2u);
+  ASSERT_TRUE(pool.free(a));
+  const auto ok = pool.try_alloc();
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_FALSE(ok.value().empty());
+  EXPECT_EQ(pool.exhaustions(), 2u);  // success does not count
+}
+
+TEST(BufferManagerTest, TryAllocStagingSurfacesExhaustion) {
+  BufferManager mgr(4096, 1);
+  auto held = mgr.try_alloc_staging();
+  ASSERT_TRUE(held.is_ok());
+  const auto dry = mgr.try_alloc_staging();
+  ASSERT_FALSE(dry.is_ok());
+  EXPECT_EQ(dry.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(mgr.free_staging(held.value()));
+  EXPECT_TRUE(mgr.try_alloc_staging().is_ok());
+}
+
 TEST(BufferPoolTest, OwnsChecksBounds) {
   BufferPool pool(4096, 2);
   auto b = pool.alloc();

@@ -76,7 +76,8 @@ struct MultipathHarness {
   static constexpr u32 kMaxPaths = 4;
 
   explicit MultipathHarness(u32 npaths,
-                            std::unique_ptr<PathSelector> selector = nullptr)
+                            std::unique_ptr<PathSelector> selector = nullptr,
+                            u32 max_parked = 1024)
       : broker(npaths), device(sched, 512, 1 << 18), subsystem("nqn.mp") {
     (void)subsystem.add_namespace(1, &device);
     TargetServiceOptions sopts;
@@ -85,6 +86,7 @@ struct MultipathHarness {
                                                   subsystem, sopts);
     PathGroupOptions gopts;
     gopts.name = "mp";
+    gopts.max_parked = max_parked;
     group = std::make_unique<PathGroup>(sched, std::move(gopts),
                                         std::move(selector));
     for (u32 i = 0; i < npaths; ++i) {
@@ -333,6 +335,86 @@ TEST(MultipathTest, InaccessibleEverywhereParksUntilReopened) {
   EXPECT_EQ(burst.ok, 5);
   EXPECT_TRUE(burst.each_exactly_once());
   EXPECT_EQ(h.group->parked_now(), 0u);
+}
+
+TEST(MultipathTest, ParkOverflowFailsFastWithQueueFull) {
+  // Bounded parked queue (DESIGN.md §12): with every path held in an ANA
+  // maintenance window, only max_parked submissions wait; the excess fails
+  // fast with retryable kQueueFull instead of growing the queue forever.
+  MultipathHarness h(2, nullptr, /*max_parked=*/4);
+  h.sched.run();
+  ASSERT_TRUE(h.all_connected());
+  for (u32 i = 0; i < 2; ++i) {
+    ASSERT_TRUE(h.service->set_ana_state(MultipathHarness::path_name(i),
+                                         pdu::AnaState::kInaccessible,
+                                         "maintenance window"));
+  }
+  h.sched.run();
+
+  std::vector<u8> data(4096, 0xA5);
+  std::vector<pdu::NvmeStatus> overflowed;
+  int completed_ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    h.group->write(1, static_cast<u64>(i) * 8, data,
+                   [&](IoSession::IoResult r) {
+                     if (r.ok()) {
+                       completed_ok++;
+                     } else {
+                       overflowed.push_back(r.cpl.status);
+                     }
+                   });
+  }
+  h.sched.run();
+
+  EXPECT_EQ(h.group->parked_now(), 4u);
+  EXPECT_EQ(h.group->park_overflows(), 6u);
+  ASSERT_EQ(overflowed.size(), 6u);
+  for (const auto s : overflowed) EXPECT_EQ(s, pdu::NvmeStatus::kQueueFull);
+  EXPECT_EQ(completed_ok, 0);
+
+  // Drain after recovery: reopening one path completes the parked four
+  // exactly once each, and the overflow left no stuck live entries.
+  ASSERT_TRUE(h.service->set_ana_state(MultipathHarness::path_name(0),
+                                       pdu::AnaState::kOptimized,
+                                       "maintenance done"));
+  h.sched.run();
+  EXPECT_EQ(completed_ok, 4);
+  EXPECT_EQ(h.group->parked_now(), 0u);
+  EXPECT_EQ(h.group->live_now(), 0u);
+}
+
+TEST(MultipathTest, GroupStillUsableAfterParkOverflow) {
+  // The fast-fail path must leave the group coherent: once a path returns,
+  // fresh submissions flow normally and nothing double-completes.
+  MultipathHarness h(2, nullptr, /*max_parked=*/2);
+  h.sched.run();
+  ASSERT_TRUE(h.all_connected());
+  for (u32 i = 0; i < 2; ++i) {
+    ASSERT_TRUE(h.service->set_ana_state(MultipathHarness::path_name(i),
+                                         pdu::AnaState::kInaccessible, "mw"));
+  }
+  h.sched.run();
+
+  Burst first(6);  // 2 park, 4 overflow
+  first.submit(*h.group);
+  h.sched.run();
+  EXPECT_EQ(h.group->park_overflows(), 4u);
+  EXPECT_EQ(first.failed, 4);
+
+  for (u32 i = 0; i < 2; ++i) {
+    ASSERT_TRUE(h.service->set_ana_state(MultipathHarness::path_name(i),
+                                         pdu::AnaState::kOptimized, "done"));
+  }
+  h.sched.run();
+  EXPECT_EQ(first.ok, 2);
+  EXPECT_TRUE(first.each_exactly_once());
+
+  Burst second(8);
+  second.submit(*h.group);
+  h.sched.run();
+  EXPECT_EQ(second.ok, 8);
+  EXPECT_TRUE(second.each_exactly_once());
+  EXPECT_EQ(h.group->live_now(), 0u);
 }
 
 TEST(MultipathTest, StaleAnaLogNeverRegressesState) {

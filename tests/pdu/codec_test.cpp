@@ -53,6 +53,21 @@ TEST(CodecTest, ICRespRoundtripWithName) {
   EXPECT_EQ(h->shm_bytes, 64ull << 20);
   EXPECT_EQ(h->shm_slots, 128u);
   EXPECT_EQ(h->shm_name, "tenant3/conn-17");
+  EXPECT_TRUE(h->admitted);
+}
+
+TEST(CodecTest, ICRespAdmissionRejectRoundtrip) {
+  ICResp resp;
+  resp.pfv = 1;
+  resp.admitted = false;
+  resp.retry_after_ms = 250;
+  resp.reject_reason = "connection limit reached";
+  const Pdu out = roundtrip(resp);
+  const auto* h = out.as<ICResp>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_FALSE(h->admitted);
+  EXPECT_EQ(h->retry_after_ms, 250u);
+  EXPECT_EQ(h->reject_reason, "connection limit reached");
 }
 
 TEST(CodecTest, CapsuleCmdRoundtripWithPayload) {
@@ -373,7 +388,8 @@ TEST(CodecTest, EncoderMatchesWireContract) {
     return encode(p).size() - kWireCommonHeaderBytes;
   };
   EXPECT_EQ(fixed(ICReq{}), kWireICReqBytes);
-  EXPECT_EQ(fixed(ICResp{}), kWireICRespBytes + kWireStrPrefixBytes);
+  // ICResp carries two length-prefixed strings: shm_name and reject_reason.
+  EXPECT_EQ(fixed(ICResp{}), kWireICRespBytes + 2 * kWireStrPrefixBytes);
   EXPECT_EQ(fixed(CapsuleCmd{}), kWireCapsuleCmdBytes);
   EXPECT_EQ(fixed(CapsuleResp{}), kWireCapsuleRespBytes);
   EXPECT_EQ(fixed(R2T{}), kWireR2TBytes);
@@ -469,14 +485,40 @@ TEST(CodecTest, OldPeerFramesDecodeWithDefaults) {
     resp.shm_name = "r";
     Pdu in;
     in.header = resp;
-    auto decoded = decode(strip_trailing_header_bytes(
-                              encode(in), kWireICRespBytes - kWireICRespBytesV1),
-                          {});
+    // A rev-1 peer's frame lacks the rev-2 fixed tail AND the rev-4 tail
+    // (whose empty reject_reason still costs a u32 length prefix).
+    auto decoded = decode(
+        strip_trailing_header_bytes(encode(in),
+                                    kWireICRespBytes - kWireICRespBytesV1 +
+                                        kWireStrPrefixBytes),
+        {});
     ASSERT_TRUE(decoded.is_ok());
     const auto* h = decoded.value().as<ICResp>();
     ASSERT_NE(h, nullptr);
     EXPECT_TRUE(h->shm_granted);
     EXPECT_FALSE(h->trace_ctx);
+    EXPECT_TRUE(h->admitted);  // rejection is never implied by a short frame
+  }
+  {
+    // A rev-2/3 peer sends the clock-echo tail but no admission verdict;
+    // the verdict must default to admitted with the trace fields intact.
+    ICResp resp;
+    resp.trace_ctx = true;
+    resp.t_now_ns = 42;
+    Pdu in;
+    in.header = resp;
+    auto decoded = decode(
+        strip_trailing_header_bytes(encode(in),
+                                    kWireICRespBytes - kWireICRespBytesV2 +
+                                        kWireStrPrefixBytes),
+        {});
+    ASSERT_TRUE(decoded.is_ok());
+    const auto* h = decoded.value().as<ICResp>();
+    ASSERT_NE(h, nullptr);
+    EXPECT_TRUE(h->trace_ctx);
+    EXPECT_EQ(h->t_now_ns, 42u);
+    EXPECT_TRUE(h->admitted);
+    EXPECT_EQ(h->retry_after_ms, 0u);
   }
   {
     CapsuleCmd c;

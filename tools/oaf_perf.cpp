@@ -55,6 +55,7 @@ struct Options {
   bool data_digest = false;    // CRC32C on inline data PDUs
   u64 cmd_timeout_ms = 0;      // per-command deadline; 0 = none
   u32 abort_budget = 0;        // aborts per stuck command; 0 = legacy teardown
+  u32 cmd_retries = 3;         // in-place retry budget (kQueueFull, replays)
   // multipath knobs
   u32 paths = 1;               // associations in the path group
   std::string selector = "round-robin";  // round-robin|queue-depth|latency-ewma
@@ -126,6 +127,8 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.cmd_timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--abort-budget" && (v = next())) {
       o.abort_budget = static_cast<u32>(std::atoi(v));
+    } else if (arg == "--cmd-retries" && (v = next())) {
+      o.cmd_retries = static_cast<u32>(std::atoi(v));
     } else if (arg == "--paths" && (v = next())) {
       o.paths = std::max(1, std::atoi(v));
     } else if (arg == "--selector" && (v = next())) {
@@ -153,6 +156,7 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--reconnect-attempts N] [--keepalive-ms MS]\n"
           "                [--kato-ms MS] [--data-digest]\n"
           "                [--cmd-timeout-ms MS] [--abort-budget N]\n"
+          "                [--cmd-retries N]\n"
           "                [--paths N] [--selector NAME]\n"
           "                [--kill-path I] [--kill-after-ms MS]\n"
           "                [--json] [--trace-out FILE] [--metrics-json FILE]\n"
@@ -230,6 +234,9 @@ std::string stats_json(const Options& opts, const bench::WorkloadSpec& spec,
   w.key("aborts_failed").value(rc.aborts_failed);
   w.key("commands_aborted").value(rc.commands_aborted);
   w.key("peer_misbehavior").value(rc.peer_misbehavior);
+  w.key("queue_full_received").value(rc.queue_full_received);
+  w.key("queue_full_retries").value(rc.queue_full_retries);
+  w.key("admission_rejects").value(rc.admission_rejects);
   w.end_object();
   w.key("multipath").begin_object();
   w.key("paths").value(static_cast<u64>(group.path_count()));
@@ -297,6 +304,7 @@ int main(int argc, char** argv) {
   iopts.reconnect.kato_ns = opts.kato_ms * 1'000'000;
   iopts.command_timeout_ns = static_cast<DurNs>(opts.cmd_timeout_ms) * 1'000'000;
   iopts.escalation.abort_budget = opts.abort_budget;
+  iopts.reconnect.max_command_retries = opts.cmd_retries;
 
   // All paths live in one PathGroup; --paths 1 (the default) degenerates to
   // the single-association behaviour this tool always had. Path 0 carries
@@ -527,6 +535,9 @@ int main(int argc, char** argv) {
   r.row({"aborts failed", std::to_string(rc.aborts_failed)});
   r.row({"commands aborted", std::to_string(rc.commands_aborted)});
   r.row({"peer misbehavior", std::to_string(rc.peer_misbehavior)});
+  r.row({"queue-full received", std::to_string(rc.queue_full_received)});
+  r.row({"queue-full retries", std::to_string(rc.queue_full_retries)});
+  r.row({"admission rejects", std::to_string(rc.admission_rejects)});
   r.print();
 
   if (group.path_count() > 1) {

@@ -48,6 +48,14 @@ struct Options {
   int stat_port = -1;         // live introspection endpoint; -1 off, 0 = ephemeral
   std::string trace_out;      // Chrome trace_event JSON path; "" = no tracing
   std::string flight_dir;     // arm the flight recorder into DIR; "" = off
+  // Overload protection (DESIGN.md §12); all off by default.
+  u64 max_conns = 0;          // connect-time admission cap; 0 = unlimited
+  u64 max_inflight = 0;       // per-connection in-flight command cap
+  u64 max_staging_kib = 0;    // per-connection staging budget
+  u64 global_staging_kib = 0; // target-wide staging budget
+  std::string shed_policy = "oldest";  // "oldest" | "fair"
+  double shed_watermark = 0.9;
+  u64 stall_timeout_ms = 0;   // slow-client eviction threshold; 0 = off
 };
 
 /// Set by SIGUSR1; the serve loop picks it up on its next tick so the dump
@@ -114,6 +122,34 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.flight_dir = v;
+    } else if (arg == "--max-conns") {
+      const char* v = next();
+      if (!v) return false;
+      opts.max_conns = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (!v) return false;
+      opts.max_inflight = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-staging-kib") {
+      const char* v = next();
+      if (!v) return false;
+      opts.max_staging_kib = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--global-staging-kib") {
+      const char* v = next();
+      if (!v) return false;
+      opts.global_staging_kib = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shed-policy") {
+      const char* v = next();
+      if (!v) return false;
+      opts.shed_policy = v;
+    } else if (arg == "--shed-watermark") {
+      const char* v = next();
+      if (!v) return false;
+      opts.shed_watermark = std::atof(v);
+    } else if (arg == "--stall-timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts.stall_timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -131,6 +167,10 @@ void usage() {
       "                  [--conns K] [--conn-prefix P] [--kato-ms MS]\n"
       "                  [--orphan-sweep-ms MS] [--stats-interval-ms MS]\n"
       "                  [--stat-port N] [--trace-out FILE] [--flight-dir DIR]\n"
+      "                  [--max-conns N] [--max-inflight N]\n"
+      "                  [--max-staging-kib K] [--global-staging-kib K]\n"
+      "                  [--shed-policy oldest|fair] [--shed-watermark F]\n"
+      "                  [--stall-timeout-ms MS]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
       "associations have closed or expired their keep-alive timeout.\n"
       "SIGUSR1 dumps the metrics registry to stderr.\n");
@@ -179,18 +219,33 @@ int main(int argc, char** argv) {
   sopts.default_kato_ns = static_cast<DurNs>(opts.kato_ms) * 1'000'000;
   sopts.orphan_slot_timeout_ns =
       static_cast<DurNs>(opts.orphan_sweep_ms) * 1'000'000;
+  sopts.max_conns = static_cast<u32>(opts.max_conns);
+  sopts.max_inflight_cmds = static_cast<u32>(opts.max_inflight);
+  sopts.max_staging_bytes = opts.max_staging_kib * 1024;
+  sopts.global_staging_bytes = opts.global_staging_kib * 1024;
+  sopts.shed_policy = nvmf::parse_shed_policy(opts.shed_policy);
+  sopts.shed_watermark = opts.shed_watermark;
+  sopts.stall_timeout_ns = static_cast<DurNs>(opts.stall_timeout_ms) * 1'000'000;
   nvmf::NvmfTargetService service(exec, copier, broker, subsystem, sopts);
 
-  for (int i = 0; i < opts.conns; ++i) {
+  for (int i = 0; i < opts.conns;) {
     auto accepted = listener.accept(exec);
     if (!accepted) {
       std::fprintf(stderr, "accept: %s\n", accepted.status().to_string().c_str());
       return 1;
     }
     const std::string conn_name = opts.conn_prefix + std::to_string(i);
-    service.accept(std::move(accepted).take(), conn_name);
+    nvmf::NvmfTargetConnection* conn =
+        service.accept(std::move(accepted).take(), conn_name);
+    if (conn->connect_rejected()) {
+      // A dial past --max-conns got its ICResp{admitted=false} verdict; it
+      // must not consume a --conns slot, or the listener would go dark
+      // before the rejected client's re-dial can be admitted.
+      continue;
+    }
     std::printf("oaf_target: accepted connection %d (%s)\n", i, conn_name.c_str());
     std::fflush(stdout);
+    ++i;
   }
 
   std::signal(SIGUSR1, on_sigusr1);
@@ -244,6 +299,7 @@ int main(int argc, char** argv) {
     exec.post([&] {
       service.reap_expired();
       service.sweep_orphan_slots();
+      service.overload_tick();
       active = service.active();
       commands = service.commands_served();
       if (why != nullptr) dump_metrics(why);
