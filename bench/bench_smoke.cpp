@@ -10,13 +10,30 @@
 // instead of landing unnoticed. Refresh the baseline by re-running:
 //
 //   build/bench/bench_smoke --json bench/BENCH_smoke.json
+//
+// --attribution arms the tail-latency attribution plane (DESIGN.md §13)
+// for the whole run. Metrics are virtual-time, so the output must be
+// byte-identical to an unarmed run — CI compares an armed fresh run
+// against the committed (unarmed) baseline to prove the watchdog never
+// perturbs the data path it observes.
+#include <cstring>
+
 #include "bench_report.h"
 #include "bench_util.h"
+#include "telemetry/attribution.h"
 
 using namespace oaf;
 using namespace oaf::bench;
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--attribution") == 0) {
+      telemetry::AttributionOptions aopts;
+      aopts.slo_read_ns = 1;  // every I/O breaches: worst-case record path
+      aopts.slo_write_ns = 1;
+      telemetry::attribution().configure(aopts);
+    }
+  }
   BenchReport report("bench_smoke");
   struct Row {
     const char* name;

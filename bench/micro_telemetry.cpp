@@ -5,6 +5,7 @@
 // so a telemetry-off build must stay within noise of the seed.
 #include <benchmark/benchmark.h>
 
+#include "telemetry/attribution.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -116,6 +117,61 @@ void BM_OafTelSite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OafTelSite);
+
+// --------------------------------------------------------------------------
+// Attribution (DESIGN.md §13). Ledger stamping is plain arithmetic on
+// caller-owned state, and a disabled record() is one relaxed load — the
+// watchdog has to be cheap enough to leave compiled in on every data path.
+// CI gates the enabled/disabled ratio through bench_compare (the
+// observability job transforms these cases into an oaf-bench-v1 document).
+// --------------------------------------------------------------------------
+void BM_AttributionLedgerStamp(benchmark::State& state) {
+  // One full I/O lifecycle: reset → two transitions → finalize carve.
+  telemetry::StageLedger ledger;
+  TimeNs now = 0;
+  for (auto _ : state) {
+    ledger.reset(now);
+    ledger.enter(telemetry::Stage::kEncode, now + 100);
+    ledger.enter(telemetry::Stage::kGrant, now + 250);
+    ledger.finalize(now + 1000, /*device_ns=*/400, /*target_ns=*/100);
+    now += 1000;
+  }
+  benchmark::DoNotOptimize(ledger.total_ns());
+}
+BENCHMARK(BM_AttributionLedgerStamp);
+
+void BM_AttributionRecordDisabled(benchmark::State& state) {
+  telemetry::Attribution attr;  // never configured: enabled() stays false
+  telemetry::StageLedger ledger;
+  ledger.reset(0);
+  ledger.finalize(1000, 400, 100);
+  TimeNs now = 0;
+  bool breached = false;
+  for (auto _ : state) {
+    breached |=
+        attr.record(telemetry::OpClass::kRead, ledger, 1000, 7, now++);
+  }
+  benchmark::DoNotOptimize(breached);
+}
+BENCHMARK(BM_AttributionRecordDisabled);
+
+void BM_AttributionRecordEnabled(benchmark::State& state) {
+  telemetry::Attribution attr;
+  telemetry::AttributionOptions opts;
+  opts.slo_read_ns = 10'000;  // armed but never breached by the 1 µs I/O
+  attr.configure(opts);
+  telemetry::StageLedger ledger;
+  ledger.reset(0);
+  ledger.finalize(1000, 400, 100);
+  TimeNs now = 0;
+  bool breached = false;
+  for (auto _ : state) {
+    breached |=
+        attr.record(telemetry::OpClass::kRead, ledger, 1000, 7, now++);
+  }
+  benchmark::DoNotOptimize(breached);
+}
+BENCHMARK(BM_AttributionRecordEnabled);
 
 }  // namespace
 

@@ -61,6 +61,10 @@ void FaultChannel::send(pdu::Pdu pdu) {
 
 void FaultChannel::forward(pdu::Pdu pdu) {
   DurNs delay = policy_.delay_ns;
+  if (injected_delay_ns_ > 0) {
+    delay += injected_delay_ns_;
+    injected_delay_ns_ = 0;  // one-shot: only this PDU limps
+  }
   if (policy_.delay_jitter_ns > 0) {
     delay += static_cast<DurNs>(
         rng_.next_below(static_cast<u64>(policy_.delay_jitter_ns)));

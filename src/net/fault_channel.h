@@ -87,6 +87,13 @@ class FaultChannel final : public MsgChannel {
   /// fault policy entirely.
   void inject(pdu::Pdu pdu) { inner_->send(std::move(pdu)); }
 
+  /// One-shot stall: the next forwarded send() is delivered `ns` late (on
+  /// top of any policy delay), then the stall disarms itself. The
+  /// deterministic trigger for tail-latency tests — one PDU limps, every
+  /// neighbour stays fast, and the SLO watchdog should finger exactly it.
+  void inject_delay(DurNs ns) { injected_delay_ns_ = ns; }
+  [[nodiscard]] bool delay_pending() const { return injected_delay_ns_ > 0; }
+
   // MsgChannel
   void send(pdu::Pdu pdu) override;
   void set_handler(Handler handler) override;
@@ -116,6 +123,7 @@ class FaultChannel final : public MsgChannel {
   bool partitioned_in_ = false;
   u64 kill_countdown_ = 0;  ///< sends left until the kill fires; 0 = disarmed
   bool killed_ = false;
+  DurNs injected_delay_ns_ = 0;  ///< one-shot stall armed by inject_delay()
   u64 dropped_ = 0;
   u64 corrupted_ = 0;
   u64 duplicated_ = 0;

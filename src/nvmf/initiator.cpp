@@ -19,6 +19,8 @@ void NvmfInitiator::init_telemetry() {
 #if OAF_TELEMETRY_COMPILED
   auto& m = telemetry::metrics();
   tel_.track = telemetry::tracer().track("init:" + opts_.connection_name);
+  tel_.anomaly_track =
+      telemetry::anomaly().track("init:" + opts_.connection_name);
   tel_.ios = m.counter("oaf_initiator_ios_completed_total",
                        "I/Os completed by initiators in this process");
   tel_.latency = m.histogram("oaf_initiator_io_latency_ns",
@@ -62,6 +64,9 @@ void NvmfInitiator::trace_end_span(const Pending& p) {
   OAF_TEL(telemetry::tracer().end(tel_.track, "init_io",
                                   op_span_name(p.cmd.opcode), p.generation,
                                   exec_.now()));
+  OAF_TEL(telemetry::anomaly().ring().end(tel_.anomaly_track, "init_io",
+                                          op_span_name(p.cmd.opcode),
+                                          p.generation, exec_.now()));
 }
 
 NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
@@ -203,6 +208,9 @@ void NvmfInitiator::on_pdu(Pdu pdu) {
                  pdu.as<pdu::ShmDemote>()->reason.c_str());
         fire_event(PathEvent::kShmDemoted);
       }
+      break;
+    case pdu::PduType::kAnomalyResp:
+      on_anomaly_resp(std::move(pdu));
       break;
     case pdu::PduType::kAnaLog: {
       // ANA path-state advertisement. change_seq is monotonic per
@@ -388,6 +396,8 @@ void NvmfInitiator::recover(const char* reason) {
       trace_end_span(p);
       p.attempts++;
       p.bytes_received = 0;
+      // From here until the replay resubmits, the I/O is parked off-path.
+      p.ledger.enter(telemetry::Stage::kDetour, exec_.now());
       replay_.push_back(std::move(p));
     } else {
       fail_pending(p);
@@ -714,6 +724,9 @@ void NvmfInitiator::abort_connection(const char* reason) {
 }
 
 void NvmfInitiator::submit_or_queue(Pending pending) {
+  // First submission opens the ledger's kQueue phase; a replay keeps its
+  // ledger (currently accruing kDetour) so detour time stays attributed.
+  if (pending.first_submit < 0) pending.ledger.reset(exec_.now());
   if (dead_) {
     fail_pending(pending);
     return;
@@ -766,12 +779,20 @@ void NvmfInitiator::start_command(u16 cid) {
   p.generation = next_generation_++;
   p.gen = next_gen_++;
   if (next_gen_ == 0) next_gen_ = 1;  // 0 is the wildcard tag
+  // Zero-copy commands enter here directly (no submit_or_queue); open their
+  // ledger now. For everything else this closes kQueue (or a replay's
+  // kDetour) into its bucket and starts the encode/staging phase.
+  if (p.ledger.touched == 0) p.ledger.reset(p.submit_time);
+  p.ledger.enter(telemetry::Stage::kEncode, p.submit_time);
   // One async span per submission attempt (a retry begins a fresh span with
   // its new generation, so detours stay visible on the timeline).
   OAF_TEL(telemetry::tracer().begin(tel_.track, "init_io",
                                     op_span_name(p.cmd.opcode), p.generation,
                                     p.submit_time, "bytes",
                                     static_cast<i64>(p.data_len)));
+  OAF_TEL(telemetry::anomaly().ring().begin(
+      tel_.anomaly_track, "init_io", op_span_name(p.cmd.opcode), p.generation,
+      p.submit_time, "bytes", static_cast<i64>(p.data_len)));
   governor_.record_op(p.cmd.is_write());
   arm_timeout(cid);
   switch (p.cmd.opcode) {
@@ -808,9 +829,16 @@ void NvmfInitiator::send_capsule(u16 cid, bool in_capsule,
   Pdu pdu;
   pdu.header = capsule;
   pdu.payload = std::move(inline_payload);
+  // Capsule on the wire: encode/staging is done, the grant/response wait
+  // begins (an R2T or first data moves the cursor to kXfer).
+  p.ledger.enter(telemetry::Stage::kGrant, exec_.now());
   OAF_TEL(telemetry::tracer().instant(
       tel_.track, "init_io", in_capsule ? "capsule_sent" : "capsule_sent_r2t",
       p.generation, exec_.now(), "bytes", static_cast<i64>(p.data_len)));
+  OAF_TEL(telemetry::anomaly().ring().instant(
+      tel_.anomaly_track, "init_io",
+      in_capsule ? "capsule_sent" : "capsule_sent_r2t", p.generation,
+      exec_.now(), "bytes", static_cast<i64>(p.data_len)));
   control_->send(std::move(pdu));
 }
 
@@ -870,9 +898,15 @@ void NvmfInitiator::on_r2t(const pdu::R2T& r2t) {
     OAF_WARN_RL("stale R2T for cid %u (gen %u != %u)", cid, r2t.gen, p.gen);
     return;
   }
+  // Grant arrived; the data-transfer phase starts.
+  p.ledger.enter(telemetry::Stage::kXfer, exec_.now());
   OAF_TEL(telemetry::tracer().instant(tel_.track, "init_io", "r2t",
                                       p.generation, exec_.now(), "bytes",
                                       static_cast<i64>(r2t.length)));
+  OAF_TEL(telemetry::anomaly().ring().instant(tel_.anomaly_track, "init_io",
+                                              "r2t", p.generation, exec_.now(),
+                                              "bytes",
+                                              static_cast<i64>(r2t.length)));
   if (ep_.shm_ready()) {
     // Conservative flow on shm (pre-optimization design): the granted
     // window moves through the slot one maxh2cdata chunk at a time, each
@@ -955,6 +989,8 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
     OAF_WARN_RL("stale C2HData for cid %u (gen %u != %u)", cid, c2h.gen, p.gen);
     return;
   }
+  // First data closes the kGrant wait; later chunks just keep kXfer open.
+  p.ledger.enter(telemetry::Stage::kXfer, exec_.now());
 
   if (c2h.placement == DataPlacement::kShmSlot) {
     if (p.zero_copy && p.view_cb) {
@@ -983,6 +1019,14 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
       ios_completed_++;
       OAF_TEL(telemetry::bump(tel_.ios));
       OAF_TEL(tel_.latency->record(res.total_ns));
+      // Zero-copy reads complete here, not via complete(): attribute now.
+      p.ledger.finalize(exec_.now(), static_cast<DurNs>(res.io_time_ns),
+                        static_cast<DurNs>(res.target_time_ns));
+      if (telemetry::attribution().record(telemetry::OpClass::kRead, p.ledger,
+                                          res.total_ns, p.generation,
+                                          exec_.now())) {
+        maybe_capture_anomaly(p, res.total_ns, telemetry::OpClass::kRead);
+      }
       cb(std::move(rv), res);
       return;
     }
@@ -1075,6 +1119,11 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     trace_end_span(p);
     OAF_TEL(telemetry::tracer().instant(tel_.track, "resilience", "retry",
                                         p.generation, exec_.now()));
+    OAF_TEL(telemetry::anomaly().ring().instant(tel_.anomaly_track,
+                                                "resilience", "retry",
+                                                p.generation, exec_.now()));
+    // Close the failed attempt's wire phase; start_command reopens kEncode.
+    p.ledger.enter(telemetry::Stage::kDetour, exec_.now());
     p.attempts++;
     p.bytes_received = 0;
     counters_.commands_retried++;
@@ -1106,6 +1155,11 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
       OAF_TEL(telemetry::tracer().instant(tel_.track, "overload",
                                           "queue_full_backoff", p.generation,
                                           exec_.now()));
+      OAF_TEL(telemetry::anomaly().ring().instant(
+          tel_.anomaly_track, "overload", "queue_full_backoff", p.generation,
+          exec_.now()));
+      // The backoff window is off-path time; kDetour accrues until resubmit.
+      p.ledger.enter(telemetry::Stage::kDetour, exec_.now());
       p.attempts++;
       p.bytes_received = 0;
       counters_.queue_full_retries++;
@@ -1148,6 +1202,19 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
   res.io_time_ns = io_ns;
   res.target_time_ns = target_ns;
 
+  // Close the ledger: carve the remotely-reported residency out of whichever
+  // wire phase covered the round-trip, fold the stage breakdown into the
+  // current attribution window, and let a breach verdict promote a capture.
+  p.ledger.finalize(exec_.now(), static_cast<DurNs>(io_ns),
+                    static_cast<DurNs>(target_ns));
+  const telemetry::OpClass op_class = p.cmd.is_write()
+                                          ? telemetry::OpClass::kWrite
+                                          : telemetry::OpClass::kRead;
+  if (telemetry::attribution().record(op_class, p.ledger, res.total_ns,
+                                      p.generation, exec_.now())) {
+    maybe_capture_anomaly(p, res.total_ns, op_class);
+  }
+
   IoCb cb = std::move(p.cb);
   auto view_cb = std::move(p.view_cb);
   auto identify_cb = std::move(p.identify_cb);
@@ -1187,6 +1254,70 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     return;
   }
   if (cb) cb(res);
+}
+
+// --------------------------------------------------------------------------
+// Retroactive anomaly capture
+// --------------------------------------------------------------------------
+
+void NvmfInitiator::maybe_capture_anomaly(const Pending& p, i64 total_ns,
+                                          telemetry::OpClass op) {
+  auto& rec = telemetry::anomaly();
+  const TimeNs now = exec_.now();
+  const i64 idx = rec.begin_capture(now);
+  if (idx < 0) return;  // disarmed, out of slots, or rate-limited
+  telemetry::AnomalyContext ctx;
+  ctx.index = idx;
+  ctx.trace_id = p.generation;
+  ctx.op = op;
+  ctx.total_ns = total_ns;
+  ctx.slo_ns = telemetry::attribution().slo_for(op);
+  ctx.stage_ns = p.ledger.stage_ns;
+  // 1 ms of pre-roll in front of the first submission catches the
+  // neighbourhood that queued this I/O behind whatever stalled.
+  ctx.t_from_ns =
+      (p.first_submit >= 0 ? p.first_submit : p.submit_time) - 1'000'000;
+  ctx.t_to_ns = now;
+  ctx.clock_offset_ns = clock_sync_.offset_ns();
+  if (connected_ && !dead_ && trace_ctx_) {
+    // Ask the target for its half; the capture file is written when the
+    // reply arrives or the fetch times out, whichever comes first. The
+    // window travels pre-translated onto the target's clock.
+    anomaly_ctx_ = ctx;
+    anomaly_fetch_pending_ = true;
+    const u64 epoch = ++anomaly_fetch_epoch_;
+    pdu::AnomalyReq req;
+    req.trace_id = ctx.trace_id;
+    req.t_from_ns = ctx.t_from_ns + ctx.clock_offset_ns;
+    req.t_to_ns = ctx.t_to_ns + ctx.clock_offset_ns;
+    req.offset_ns = ctx.clock_offset_ns;
+    Pdu pdu;
+    pdu.header = req;
+    control_->send(std::move(pdu));
+    exec_.schedule_after(
+        kAnomalyFetchTimeoutNs, [this, alive = alive_, epoch] {
+          if (!*alive || epoch != anomaly_fetch_epoch_) return;
+          if (!anomaly_fetch_pending_) return;
+          anomaly_fetch_pending_ = false;
+          // Evidence with a gap beats no evidence: local half only.
+          telemetry::anomaly().capture(anomaly_ctx_);
+        });
+    return;
+  }
+  rec.capture(ctx);
+}
+
+void NvmfInitiator::on_anomaly_resp(Pdu pdu) {
+  const auto& resp = *pdu.as<pdu::AnomalyResp>();
+  if (!anomaly_fetch_pending_ || resp.trace_id != anomaly_ctx_.trace_id) {
+    return;  // late reply after the fetch timeout already captured
+  }
+  anomaly_fetch_pending_ = false;
+  anomaly_fetch_epoch_++;  // invalidates the pending fetch timeout
+  anomaly_ctx_.remote_pid = resp.pid;
+  anomaly_ctx_.remote_events_json.assign(pdu.payload.begin(),
+                                         pdu.payload.end());
+  telemetry::anomaly().capture(anomaly_ctx_);
 }
 
 // --------------------------------------------------------------------------

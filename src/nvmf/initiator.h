@@ -27,6 +27,8 @@
 #include "nvmf/deadline_wheel.h"
 #include "nvmf/io_session.h"
 #include "nvmf/resilience.h"
+#include "telemetry/anomaly.h"
+#include "telemetry/attribution.h"
 #include "telemetry/clock_sync.h"
 #include "telemetry/telemetry.h"
 
@@ -227,6 +229,7 @@ class NvmfInitiator : public IoSession {
     u16 gen = 0;              // wire attempt tag (echoed by the target)
     u32 attempts = 0;         // replays consumed from the retry budget
     u32 abort_attempts = 0;   // aborts consumed from the escalation budget
+    telemetry::StageLedger ledger;  // per-stage latency attribution
   };
 
   /// One outstanding Abort command (its own cid space, kAbortCidBase+).
@@ -302,6 +305,15 @@ class NvmfInitiator : public IoSession {
   void schedule_keepalive();
   void keepalive_tick();
 
+  // Retroactive anomaly capture (DESIGN.md §13). On an SLO breach the
+  // capture is claimed immediately but written only once the target's half
+  // arrives (AnomalyResp) or the fetch times out — either way exactly one
+  // file per claim.
+  void maybe_capture_anomaly(const Pending& p, i64 total_ns,
+                             telemetry::OpClass op);
+  void on_anomaly_resp(pdu::Pdu pdu);
+  static constexpr DurNs kAnomalyFetchTimeoutNs = 250'000'000;
+
   [[nodiscard]] bool cid_free(u16 cid) const { return !slot_busy_[cid]; }
 
   Executor& exec_;
@@ -354,12 +366,18 @@ class NvmfInitiator : public IoSession {
   u64 ios_completed_ = 0;
   u64 timeouts_ = 0;
 
+  // In-flight anomaly fetch (at most one; begin_capture rate-limits).
+  bool anomaly_fetch_pending_ = false;
+  u64 anomaly_fetch_epoch_ = 0;  // invalidates the fetch-timeout callback
+  telemetry::AnomalyContext anomaly_ctx_;
+
   /// Cached process-global telemetry handles (DESIGN.md §9). Counters mirror
   /// `counters_` so the resilience ladder exports uniformly; the trace track
   /// is this connection's initiator lane. All null / zero when telemetry is
   /// compiled out.
   struct Tel {
     u32 track = 0;
+    u32 anomaly_track = 0;  ///< lane in the always-on anomaly ring
     telemetry::Counter* ios = nullptr;
     telemetry::HistogramMetric* latency = nullptr;
     telemetry::Counter* reconnects = nullptr;

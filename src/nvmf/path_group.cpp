@@ -155,6 +155,15 @@ void PathGroup::dispatch(u64 gseq) {
 
 void PathGroup::issue_on_path(u64 gseq, u32 path_index) {
   GroupCmd& cmd = live_[gseq];
+  if (cmd.detour_start != 0) {
+    if (cmd.op == GroupCmd::Op::kWrite || cmd.op == GroupCmd::Op::kRead) {
+      telemetry::attribution().record_detour(
+          cmd.op == GroupCmd::Op::kWrite ? telemetry::OpClass::kWrite
+                                         : telemetry::OpClass::kRead,
+          exec_.now() - cmd.detour_start, exec_.now());
+    }
+    cmd.detour_start = 0;
+  }
   cmd.path = path_index;
   PathSlot& slot = paths_[path_index];
   slot.inflight++;
@@ -205,6 +214,7 @@ void PathGroup::finish_path_accounting(const GroupCmd& cmd) {
 
 void PathGroup::note_redrive(u64 gseq, GroupCmd& cmd) {
   cmd.redrives++;
+  cmd.detour_start = exec_.now();
   redrives_++;
   failover_redrives_++;
   OAF_TEL(telemetry::bump(tel_.redrives));

@@ -130,6 +130,10 @@ class PathGroup final : public IoSession {
     std::function<void(Result<std::pair<u32, u64>>)> identify_cb;
     u32 redrives = 0;
     u32 path = 0;  ///< current path index (valid while issued, not parked)
+    /// When a redrive pulled this command off its path: the gap until it is
+    /// re-issued (including any parked wait) is attributed as kDetour —
+    /// only the group sees this time, the paths' ledgers never do.
+    TimeNs detour_start = 0;
   };
 
   [[nodiscard]] bool eligible(const PathSlot& s) const;

@@ -1,6 +1,9 @@
 #include "nvmf/target.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include <unistd.h>
 
 #include "af/chunker.h"
 #include "af/flow_control.h"
@@ -42,6 +45,8 @@ void NvmfTargetConnection::init_telemetry() {
 #if OAF_TELEMETRY_COMPILED
   auto& m = telemetry::metrics();
   tel_.track = telemetry::tracer().track("target:" + opts_.connection_name);
+  tel_.anomaly_track =
+      telemetry::anomaly().track("target:" + opts_.connection_name);
   tel_.commands = m.counter("oaf_target_commands_total",
                             "Commands fully served by target connections");
   tel_.r2ts = m.counter("oaf_target_r2ts_total",
@@ -75,6 +80,9 @@ void NvmfTargetConnection::trace_end_cmd(u16 cid) {
       telemetry::tracer().end(tel_.track, "target_io",
                               op_span_name(it->second.cmd.opcode),
                               it->second.span, exec_.now());
+      telemetry::anomaly().ring().end(tel_.anomaly_track, "target_io",
+                                      op_span_name(it->second.cmd.opcode),
+                                      it->second.span, exec_.now());
     }
   });
 }
@@ -128,6 +136,9 @@ void NvmfTargetConnection::on_pdu(Pdu pdu) {
       OAF_WARN("target: client demoted shm (%s)",
                pdu.as<pdu::ShmDemote>()->reason.c_str());
       (void)ep_.demote_shm();
+      break;
+    case pdu::PduType::kAnomalyReq:
+      on_anomaly_req(*pdu.as<pdu::AnomalyReq>());
       break;
     case pdu::PduType::kH2CTermReq:
       OAF_WARN("target received TermReq: %s", pdu.as<pdu::TermReq>()->reason.c_str());
@@ -206,6 +217,10 @@ void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
   pdu.header = resp;
   pdu.payload = std::move(payload);
   trace_end_cmd(cid);
+  {
+    const auto it = inflight_.find(cid);
+    if (it != inflight_.end()) record_attribution(it->second);
+  }
   erase_inflight(cid);
   commands_served_++;
   OAF_TEL(telemetry::bump(tel_.commands));
@@ -391,10 +406,17 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
   // local seq stays the fencing token — the wire id is host-controlled and
   // must never gate abort/cid-reuse checks.
   ctx.span = capsule.trace_id != 0 ? capsule.trace_id : ctx.seq;
+  // The target's half of the stage vocabulary: processing (kTarget) from
+  // arrival, kXfer while waiting on write data, kDevice under the device,
+  // kComplete while the response/data goes back out.
+  ctx.ledger.reset(ctx.arrival, telemetry::Stage::kTarget);
   OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io",
                                     op_span_name(ctx.cmd.opcode), ctx.span,
                                     ctx.arrival, "bytes",
                                     static_cast<i64>(capsule.data_len)));
+  OAF_TEL(telemetry::anomaly().ring().begin(
+      tel_.anomaly_track, "target_io", op_span_name(ctx.cmd.opcode), ctx.span,
+      ctx.arrival, "bytes", static_cast<i64>(capsule.data_len)));
   governor_.record_op(capsule.cmd.is_write());
 
   ssd::Device* device = subsystem_.find(capsule.cmd.nsid);
@@ -418,6 +440,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
       ctx.buffer.resize(len);
 
       if (capsule.in_capsule_data) {
+        ctx.ledger.enter(telemetry::Stage::kXfer, exec_.now());
         if (capsule.placement == DataPlacement::kShmSlot) {
           // shm_attached (not shm_ready): a payload parked before a runtime
           // demotion must still drain from its slot.
@@ -464,6 +487,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
       r2t.offset = 0;
       r2t.length = len;
       r2t.gen = ctx.gen;
+      ctx.ledger.enter(telemetry::Stage::kXfer, exec_.now());
       r2ts_sent_++;
       OAF_TEL(telemetry::bump(tel_.r2ts));
       OAF_TEL(telemetry::tracer().instant(tel_.track, "target_io", "r2t_sent",
@@ -622,15 +646,22 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
   bytes_written_ += ctx.buffer.size();
   OAF_TEL(telemetry::bump(tel_.bytes_written, ctx.buffer.size()));
   ctx.device_busy = true;
+  ctx.ledger.enter(telemetry::Stage::kDevice, exec_.now());
   OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
                                     ctx.span, exec_.now(), "bytes",
                                     static_cast<i64>(ctx.buffer.size())));
+  OAF_TEL(telemetry::anomaly().ring().begin(
+      tel_.anomaly_track, "target_io", "device", ctx.span, exec_.now(),
+      "bytes", static_cast<i64>(ctx.buffer.size())));
   device->submit_write(ctx.cmd, ctx.buffer,
                        [this, alive = alive_, cid, seq = ctx.seq,
                         span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
                          if (!*alive) return;
                          OAF_TEL(telemetry::tracer().end(
                              tel_.track, "target_io", "device", span,
+                             exec_.now()));
+                         OAF_TEL(telemetry::anomaly().ring().end(
+                             tel_.anomaly_track, "target_io", "device", span,
                              exec_.now()));
                          drop_zombie(seq);
                          const auto it2 = inflight_.find(cid);
@@ -639,6 +670,8 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
                            return;  // aborted: swallow the completion
                          }
                          it2->second.device_busy = false;
+                         it2->second.ledger.enter(telemetry::Stage::kComplete,
+                                                  exec_.now());
                          send_resp(cid, cpl, io_time);
                        });
 }
@@ -651,9 +684,13 @@ void NvmfTargetConnection::handle_read(u16 cid) {
   const u64 len = ctx.cmd.data_bytes(device->block_size());
   ctx.buffer.resize(len);
   ctx.device_busy = true;
+  ctx.ledger.enter(telemetry::Stage::kDevice, exec_.now());
   OAF_TEL(telemetry::tracer().begin(tel_.track, "target_io", "device",
                                     ctx.span, exec_.now(), "bytes",
                                     static_cast<i64>(len)));
+  OAF_TEL(telemetry::anomaly().ring().begin(tel_.anomaly_track, "target_io",
+                                            "device", ctx.span, exec_.now(),
+                                            "bytes", static_cast<i64>(len)));
   device->submit_read(ctx.cmd, ctx.buffer,
                       [this, alive = alive_, cid, seq = ctx.seq,
                        span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
@@ -661,6 +698,9 @@ void NvmfTargetConnection::handle_read(u16 cid) {
                         OAF_TEL(telemetry::tracer().end(tel_.track,
                                                         "target_io", "device",
                                                         span, exec_.now()));
+                        OAF_TEL(telemetry::anomaly().ring().end(
+                            tel_.anomaly_track, "target_io", "device", span,
+                            exec_.now()));
                         drop_zombie(seq);
                         const auto it2 = inflight_.find(cid);
                         if (it2 == inflight_.end() || it2->second.seq != seq) {
@@ -675,6 +715,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
   auto it = inflight_.find(cid);
   if (it == inflight_.end()) return;
   IoCtx& ctx = it->second;
+  ctx.ledger.enter(telemetry::Stage::kComplete, exec_.now());
   if (!cpl.ok()) {
     send_resp(cid, cpl, io_time);
     return;
@@ -715,6 +756,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
             Pdu pdu;
             pdu.header = c2h;
             trace_end_cmd(cid);
+            record_attribution(it2->second);
             erase_inflight(cid);
             commands_served_++;
             OAF_TEL(telemetry::bump(tel_.commands));
@@ -764,10 +806,65 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
     send_resp(cid, cpl, io_time);
   } else {
     trace_end_cmd(cid);
+    record_attribution(ctx);
     erase_inflight(cid);
     commands_served_++;
     OAF_TEL(telemetry::bump(tel_.commands));
   }
+}
+
+// --------------------------------------------------------------------------
+// Tail-latency attribution & anomaly capture (DESIGN.md §13)
+// --------------------------------------------------------------------------
+
+void NvmfTargetConnection::record_attribution(const IoCtx& ctx) {
+  if (!ctx.cmd.is_read() && !ctx.cmd.is_write()) return;
+  auto& attr = telemetry::attribution();
+  if (!attr.enabled()) return;
+  const TimeNs now = exec_.now();
+  telemetry::StageLedger ledger = ctx.ledger;
+  ledger.close(now);
+  const i64 total_ns = now - ctx.arrival;
+  const telemetry::OpClass op = ctx.cmd.is_write()
+                                    ? telemetry::OpClass::kWrite
+                                    : telemetry::OpClass::kRead;
+  if (!attr.record(op, ledger, total_ns, ctx.span, now)) return;
+  if (!opts_.capture_local_breaches) return;
+  // Target-side breach: capture the local half only. The host drives the
+  // cross-process capture for breaches it observes end-to-end.
+  auto& rec = telemetry::anomaly();
+  const i64 idx = rec.begin_capture(now);
+  if (idx < 0) return;
+  telemetry::AnomalyContext actx;
+  actx.index = idx;
+  actx.trace_id = ctx.span;
+  actx.op = op;
+  actx.total_ns = total_ns;
+  actx.slo_ns = attr.slo_for(op);
+  actx.stage_ns = ledger.stage_ns;
+  actx.t_from_ns = ctx.arrival - 1'000'000;
+  actx.t_to_ns = now;
+  rec.capture(actx);
+}
+
+void NvmfTargetConnection::on_anomaly_req(const pdu::AnomalyReq& req) {
+  auto& rec = telemetry::anomaly();
+  // The window arrives already translated onto our clock; subtracting the
+  // offset from every emitted timestamp sends the events back on the
+  // requester's clock, so it embeds them without rewriting.
+  const std::string events =
+      rec.events_json(req.trace_id, req.t_from_ns, req.t_to_ns,
+                      -req.offset_ns, rec.options().max_events);
+  pdu::AnomalyResp resp;
+  resp.trace_id = req.trace_id;
+  resp.pid = static_cast<u64>(::getpid());
+  // events_json emits flat objects, so top-level '{' count == event count.
+  resp.event_count =
+      static_cast<u32>(std::count(events.begin(), events.end(), '{'));
+  Pdu out;
+  out.header = resp;
+  out.payload.assign(events.begin(), events.end());
+  control_.send(std::move(out));
 }
 
 void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,

@@ -27,6 +27,8 @@
 #include "af/endpoint.h"
 #include "net/channel.h"
 #include "ssd/namespace.h"
+#include "telemetry/anomaly.h"
+#include "telemetry/attribution.h"
 #include "telemetry/telemetry.h"
 
 namespace oaf::nvmf {
@@ -55,6 +57,14 @@ struct TargetOptions {
   bool reject_connect = false;
   std::string reject_reason;
   u32 reject_retry_after_ms = 0;
+
+  // --- tail-latency attribution (DESIGN.md §13) ----------------------------
+  /// Target-side SLO breaches normally claim a local anomaly capture. When a
+  /// host drives two-sided captures for the same breaches (or a single
+  /// process hosts both halves and they share one recorder), that local
+  /// claim races the host's and consumes its rate-limit budget; setting this
+  /// false keeps the watchdog metrics but never claims a capture.
+  bool capture_local_breaches = true;
 };
 
 class NvmfTargetConnection {
@@ -159,6 +169,7 @@ class NvmfTargetConnection {
     u32 copies_in_flight = 0; ///< shm consumes targeting `buffer` right now
     u64 charged = 0;          ///< staging bytes charged against the budgets;
                               ///< moves to the zombie entry on abort
+    telemetry::StageLedger ledger;  ///< target-side stage attribution
   };
 
   void on_pdu(pdu::Pdu pdu);
@@ -180,6 +191,14 @@ class NvmfTargetConnection {
   void send_resp(u16 cid, const pdu::NvmeCpl& cpl, DurNs io_time,
                  std::vector<u8> payload = {});
   void send_term(const std::string& reason);
+
+  /// Serve the peer's half of an anomaly capture from the local ring,
+  /// timestamps pre-corrected onto the requester's clock.
+  void on_anomaly_req(const pdu::AnomalyReq& req);
+  /// Fold a finished command into the attribution window; on a target-side
+  /// SLO breach, capture locally (no reverse fetch — the host owns the
+  /// cross-process capture).
+  void record_attribution(const IoCtx& ctx);
 
   /// Budget denial: answer `cid` with retryable kQueueFull without ever
   /// creating an IoCtx (the whole point is to allocate nothing).
@@ -247,6 +266,7 @@ class NvmfTargetConnection {
   /// the shared timeline. Null / zero when telemetry is compiled out.
   struct Tel {
     u32 track = 0;
+    u32 anomaly_track = 0;  ///< lane in the always-on anomaly ring
     telemetry::Counter* commands = nullptr;
     telemetry::Counter* r2ts = nullptr;
     telemetry::Counter* bytes_read = nullptr;

@@ -208,6 +208,15 @@ void encode_header(Writer& w, const PduHeader& header) {
           w.u8_(static_cast<u8>(h.state));
           w.u64_(h.change_seq);
           w.str_(h.reason);
+        } else if constexpr (std::is_same_v<T, AnomalyReq>) {
+          w.u64_(h.trace_id);
+          w.u64_(static_cast<u64>(h.t_from_ns));
+          w.u64_(static_cast<u64>(h.t_to_ns));
+          w.u64_(static_cast<u64>(h.offset_ns));
+        } else if constexpr (std::is_same_v<T, AnomalyResp>) {
+          w.u64_(h.trace_id);
+          w.u64_(h.pid);
+          w.u32_(h.event_count);
         }
       },
       header);
@@ -346,6 +355,21 @@ Result<PduHeader> decode_header(PduType type, Reader& r) {
       h.reason = r.str_();
       return PduHeader{h};
     }
+    case PduType::kAnomalyReq: {
+      AnomalyReq h;
+      h.trace_id = r.u64_();
+      h.t_from_ns = static_cast<i64>(r.u64_());
+      h.t_to_ns = static_cast<i64>(r.u64_());
+      h.offset_ns = static_cast<i64>(r.u64_());
+      return PduHeader{h};
+    }
+    case PduType::kAnomalyResp: {
+      AnomalyResp h;
+      h.trace_id = r.u64_();
+      h.pid = r.u64_();
+      h.event_count = r.u32_();
+      return PduHeader{h};
+    }
   }
   return make_error(StatusCode::kProtocolError, "unknown PDU type");
 }
@@ -369,6 +393,12 @@ PduType Pdu::type() const {
         if constexpr (std::is_same_v<T, KeepAlive>) return PduType::kKeepAlive;
         if constexpr (std::is_same_v<T, ShmDemote>) return PduType::kShmDemote;
         if constexpr (std::is_same_v<T, AnaLog>) return PduType::kAnaLog;
+        if constexpr (std::is_same_v<T, AnomalyReq>) {
+          return PduType::kAnomalyReq;
+        }
+        if constexpr (std::is_same_v<T, AnomalyResp>) {
+          return PduType::kAnomalyResp;
+        }
       },
       header);
 }
@@ -399,6 +429,10 @@ const char* to_string(PduType t) {
       return "ShmDemote";
     case PduType::kAnaLog:
       return "AnaLog";
+    case PduType::kAnomalyReq:
+      return "AnomalyReq";
+    case PduType::kAnomalyResp:
+      return "AnomalyResp";
   }
   return "?";
 }

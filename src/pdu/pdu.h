@@ -48,6 +48,8 @@ enum class PduType : u8 {
   kKeepAlive = 0x0a,   ///< resilience ext.: host ping / controller echo
   kShmDemote = 0x0b,   ///< resilience ext.: runtime shm -> TCP demotion
   kAnaLog = 0x0c,      ///< multipath ext.: ANA path-state change notice
+  kAnomalyReq = 0x0d,  ///< observability ext.: fetch peer anomaly events
+  kAnomalyResp = 0x0e, ///< observability ext.: anomaly events reply
 };
 
 const char* to_string(PduType t);
@@ -219,9 +221,34 @@ struct AnaLog {
   std::string reason;
 };
 
+/// Anomaly-event fetch (host -> controller). On an SLO breach the host asks
+/// the peer for its half of the story: every buffered anomaly-ring event
+/// matching `trace_id` plus neighbours inside [t_from_ns, t_to_ns] — a
+/// window already translated onto the *target's* clock. `offset_ns` is the
+/// host's remote-minus-local estimate; the target subtracts it from every
+/// event timestamp in the reply so the returned events land directly on the
+/// host's timeline (no parsing/rewriting on the hot breach path).
+struct AnomalyReq {
+  u64 trace_id = 0;
+  i64 t_from_ns = 0;   ///< window start, target clock
+  i64 t_to_ns = 0;     ///< window end, target clock
+  i64 offset_ns = 0;   ///< remote-minus-local clock estimate to undo
+};
+
+/// Anomaly-event reply (controller -> host). The payload is a UTF-8 JSON
+/// array of event objects (already clock-corrected, capped by the target's
+/// anomaly recorder); `event_count` is its length so the host can log
+/// truncation without parsing.
+struct AnomalyResp {
+  u64 trace_id = 0;    ///< echo of AnomalyReq::trace_id
+  u64 pid = 0;         ///< target process id, linking the capture's halves
+  u32 event_count = 0;
+};
+
 using PduHeader =
     std::variant<ICReq, ICResp, CapsuleCmd, CapsuleResp, R2T, H2CData, C2HData,
-                 TermReq, KeepAlive, ShmDemote, AnaLog>;
+                 TermReq, KeepAlive, ShmDemote, AnaLog, AnomalyReq,
+                 AnomalyResp>;
 
 /// A full PDU: typed header plus (possibly empty) inline payload bytes.
 struct Pdu {

@@ -116,5 +116,10 @@ inline constexpr u64 kWireKeepAliveBytes = kWireKeepAliveBytesV1 + 8 + 8;
 ///   rev 3 — multipath: AnaLog PDU (new type, so no rev-gating needed — an
 ///           old peer never sends one and ignores ours as "unexpected").
 inline constexpr u64 kWireAnaLogFixedBytes = 1 + 8;
+///   rev 5 — observability: anomaly-capture fetch PDUs (new types, no
+///           rev-gating needed for the same reason as AnaLog). AnomalyResp
+///           carries the clock-corrected event array as its payload.
+inline constexpr u64 kWireAnomalyReqBytes = 8 + 8 + 8 + 8;
+inline constexpr u64 kWireAnomalyRespBytes = 8 + 8 + 4;
 
 }  // namespace oaf::pdu

@@ -1,0 +1,119 @@
+// Retroactive anomaly capture (Hindsight-style): every I/O's spans buffer in
+// an always-on wait-free trace ring regardless of trace mode; when an I/O
+// breaches its SLO the ring's recent history — the breaching I/O, its
+// neighbours on the same connection, and the peer-side half fetched over the
+// wire by trace_id — is promoted to a durable oaf_anomaly_<n>.json.
+//
+// The trade the flight recorder makes for crashes, this makes for tail
+// latency: record everything cheaply all the time, pay the serialization
+// cost only for the handful of I/Os that turn out to matter, after they
+// turn out to matter. Tracing stays off; the evidence survives anyway.
+//
+// Lifecycle:
+//   1. Process start: anomaly() exists, ring enabled, capture DISARMED —
+//      unit tests exercising SLO paths don't litter the filesystem.
+//   2. Tools call anomaly().configure({dir, ...}) to arm capture.
+//   3. The initiator's completion path asks attribution().record() for the
+//      breach verdict; on breach it calls begin_capture() (rate-limited so
+//      one stall doesn't produce a capture per queued I/O), fetches the
+//      target-side events with an AnomalyReq PDU keyed by the wire
+//      trace_id, and writes one file containing BOTH halves — the remote
+//      timestamps pre-corrected onto the local clock via the NTP-style
+//      offset estimate, so one capture shows both sides on one timeline.
+//   4. A fetch timeout still writes the capture with an empty remote half:
+//      evidence with a gap beats no evidence.
+//
+// The target arms its own recorder when given SLO flags and captures
+// locally (no reverse fetch); either side answers AnomalyReq from its ring.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "telemetry/attribution.h"
+#include "telemetry/trace.h"
+
+namespace oaf::telemetry {
+
+struct AnomalyOptions {
+  std::string dir = ".";  ///< directory for oaf_anomaly_<n>.json
+  size_t max_captures = 8;
+  /// Minimum spacing between captures. One 5 ms stall breaches every
+  /// queued I/O at once; the first breach captures, the rest are counted
+  /// by the SLO metrics but produce no further files until this elapses.
+  DurNs min_interval_ns = 5'000'000'000;
+  size_t max_events = 1024;  ///< per-side event cap in one capture
+};
+
+/// Everything one capture file records besides the local ring contents.
+struct AnomalyContext {
+  i64 index = 0;             ///< from begin_capture()
+  const char* reason = "slo_breach";
+  u64 trace_id = 0;          ///< wire trace id of the breaching I/O
+  OpClass op = OpClass::kRead;
+  i64 total_ns = 0;          ///< end-to-end latency that breached
+  i64 slo_ns = 0;            ///< the budget it breached
+  std::array<i64, kStageCount> stage_ns{};  ///< the I/O's stage ledger
+  TimeNs t_from_ns = 0;      ///< local-clock window for neighbour events
+  TimeNs t_to_ns = 0;
+  i64 clock_offset_ns = 0;   ///< remote-minus-local estimate used
+  u64 remote_pid = 0;        ///< 0 = no remote half (timeout / local-only)
+  std::string remote_events_json;  ///< pre-rendered JSON array, "" = none
+};
+
+class AnomalyRecorder {
+ public:
+  explicit AnomalyRecorder(size_t capacity = 4096);
+
+  /// The always-enabled span buffer. Components mirror per-I/O span
+  /// begin/end plus high-signal instants here (wrapped in OAF_TEL like
+  /// every other instrumentation site).
+  TraceRecorder& ring() { return ring_; }
+  u32 track(const std::string& name) { return ring_.track(name); }
+
+  /// Arm capture into opts.dir. Idempotent.
+  void configure(const AnomalyOptions& opts);
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] AnomalyOptions options() const;
+
+  /// Rate-limit gate: claims a capture slot when armed, under max_captures,
+  /// and min_interval_ns past the previous claim. Returns the capture index
+  /// (the <n> in the filename) or -1 when suppressed. The claim is consumed
+  /// whether or not the remote fetch later succeeds.
+  [[nodiscard]] i64 begin_capture(TimeNs now);
+
+  /// Write oaf_anomaly_<ctx.index>.json: context + both event halves + the
+  /// current attribution heatmap. Returns the path, or "" on I/O failure.
+  std::string capture(const AnomalyContext& ctx);
+
+  /// The local ring filtered for one capture: events whose async id matches
+  /// `trace_id` (the I/O's full span set) plus any event inside
+  /// [from_ns, to_ns] (neighbour I/Os, instants). `ts_adjust_ns` is added
+  /// to every emitted ts_ns — the target answers AnomalyReq with
+  /// -offset so its events land on the initiator's clock. Returns a JSON
+  /// array, at most `max_events` entries, oldest first.
+  [[nodiscard]] std::string events_json(u64 trace_id, TimeNs from_ns,
+                                        TimeNs to_ns, i64 ts_adjust_ns,
+                                        size_t max_events) const;
+
+  [[nodiscard]] u64 captures() const { return static_cast<u64>(next_index_); }
+
+  /// Disarm and forget capture history (ring events survive). Tests only.
+  void reset_for_test();
+
+ private:
+  TraceRecorder ring_;
+  mutable std::mutex mu_;
+  AnomalyOptions opts_;
+  bool armed_ = false;
+  i64 next_index_ = 0;
+  TimeNs last_claim_ns_ = 0;
+  bool claimed_once_ = false;
+  Counter* captures_total_ = nullptr;
+};
+
+/// Process-global anomaly recorder (always recording, capture disarmed
+/// until configure()).
+AnomalyRecorder& anomaly();
+
+}  // namespace oaf::telemetry

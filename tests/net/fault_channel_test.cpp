@@ -121,6 +121,40 @@ TEST(FaultChannelTest, DelayDefersDeliveryOnTheVirtualClock) {
   EXPECT_EQ(rig.faulty->delayed(), 1u);
 }
 
+TEST(FaultChannelTest, InjectDelayStallsExactlyOnePdu) {
+  Rig rig;
+  std::vector<std::pair<u16, TimeNs>> delivered;  // (cid, arrival time)
+  rig.peer->set_handler([&](pdu::Pdu p) {
+    delivered.emplace_back(p.as<pdu::C2HData>()->cid, rig.sched.now());
+  });
+
+  rig.faulty->inject_delay(5'000'000);
+  EXPECT_TRUE(rig.faulty->delay_pending());
+  rig.faulty->send(make_c2h(1));  // the limping PDU
+  EXPECT_FALSE(rig.faulty->delay_pending());  // one-shot: disarmed by use
+  rig.faulty->send(make_c2h(2));  // neighbour stays fast
+  rig.sched.run();
+
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].first, 2);  // the fast neighbour overtakes
+  EXPECT_LT(delivered[0].second, 5'000'000);
+  EXPECT_EQ(delivered[1].first, 1);  // the stalled PDU limps in late
+  EXPECT_GE(delivered[1].second, 5'000'000);
+  EXPECT_EQ(rig.faulty->delayed(), 1u);
+}
+
+TEST(FaultChannelTest, InjectDelayStacksOnPolicyDelay) {
+  FaultPolicy p;
+  p.delay_ns = 1'000'000;
+  Rig rig(p);
+  TimeNs delivered_at = -1;
+  rig.peer->set_handler([&](pdu::Pdu) { delivered_at = rig.sched.now(); });
+  rig.faulty->inject_delay(3'000'000);
+  rig.faulty->send(make_c2h(1));
+  rig.sched.run();
+  EXPECT_GE(delivered_at, 4'000'000);  // policy + injected stall
+}
+
 TEST(FaultChannelTest, PartitionDropsUntilHealed) {
   Rig rig;
   rig.faulty->partition();

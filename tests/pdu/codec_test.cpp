@@ -581,6 +581,39 @@ TEST(CodecTest, FutureTrailingHeaderBytesTolerated) {
   EXPECT_EQ(h->trace_id, 77u);
 }
 
+TEST(CodecTest, AnomalyReqRoundtrip) {
+  AnomalyReq req;
+  req.trace_id = 0xFEEDFACE01234567ULL;
+  req.t_from_ns = -5'000'000;  // windows can start before the peer's epoch
+  req.t_to_ns = 9'876'543'210;
+  req.offset_ns = -123'456'789;
+  const Pdu out = roundtrip(req);
+  const auto* h = out.as<AnomalyReq>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->trace_id, 0xFEEDFACE01234567ULL);
+  EXPECT_EQ(h->t_from_ns, -5'000'000);
+  EXPECT_EQ(h->t_to_ns, 9'876'543'210);
+  EXPECT_EQ(h->offset_ns, -123'456'789);
+  EXPECT_EQ(out.type(), PduType::kAnomalyReq);
+}
+
+TEST(CodecTest, AnomalyRespRoundtripWithEventPayload) {
+  AnomalyResp resp;
+  resp.trace_id = 42;
+  resp.pid = 31337;
+  resp.event_count = 3;
+  const std::string events = R"([{"ts_ns":1},{"ts_ns":2},{"ts_ns":3}])";
+  std::vector<u8> payload(events.begin(), events.end());
+  const Pdu out = roundtrip(resp, payload);
+  const auto* h = out.as<AnomalyResp>();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->trace_id, 42u);
+  EXPECT_EQ(h->pid, 31337u);
+  EXPECT_EQ(h->event_count, 3u);
+  EXPECT_EQ(std::string(out.payload.begin(), out.payload.end()), events);
+  EXPECT_EQ(out.type(), PduType::kAnomalyResp);
+}
+
 TEST(CodecTest, ShmReferencePduIsSmall) {
   // The whole point of the oAF notification: a 128 KiB payload reference
   // costs well under 100 wire bytes.

@@ -173,15 +173,31 @@ TEST_F(E2ETraceTest, ChromeJsonIsDeterministicUnderSimClock) {
 // have registered their instruments, so a new nonconforming registration
 // anywhere in src/ fails here.
 TEST_F(E2ETraceTest, MetricNamesFollowUnitSuffixConvention) {
+  // Arm the attribution engine so its instruments (stage histograms, SLO
+  // breach counters, anomaly capture counter) register and get audited too.
+  telemetry::AttributionOptions aopts;
+  aopts.slo_read_ns = 1;  // everything breaches: exercises the breach path
+  aopts.slo_write_ns = 1;
+  telemetry::attribution().configure(aopts);
+  (void)telemetry::anomaly();  // registers oaf_anomaly_captures_total
+
   TraceHarness h(af::AfConfig::oaf());
   std::vector<u8> data(64 * 1024, 0x11);
   h.initiator->write(1, 0, data, [](auto r) { EXPECT_TRUE(r.ok()); });
   h.sched.run();
+  telemetry::attribution().set_enabled(false);
 
   auto doc = json_parse(telemetry::metrics().to_json());
   ASSERT_TRUE(doc) << doc.status().to_string();
   const JsonValue& root = doc.value();
   ASSERT_FALSE(root["counters"].members().empty());
+  // The new attribution-plane instruments must be live in this registry —
+  // an audit that never sees them proves nothing about their names.
+  EXPECT_TRUE(root["histograms"]["oaf_stage_grant_ns"].is_object());
+  EXPECT_TRUE(root["histograms"]["oaf_stage_device_ns"].is_object());
+  EXPECT_TRUE(root["counters"]["oaf_slo_breaches_total"].is_number());
+  EXPECT_TRUE(root["counters"]["oaf_anomaly_captures_total"].is_number());
+  EXPECT_TRUE(root["gauges"]["oaf_slo_last_window_breaches"].is_number());
 
   auto well_formed = [](const std::string& name) {
     if (name.rfind("oaf_", 0) != 0) return false;

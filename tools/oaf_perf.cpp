@@ -24,11 +24,14 @@
 #include "bench/perf_driver.h"
 #include "common/json.h"
 #include "common/table.h"
+#include "net/fault_channel.h"
 #include "net/tcp_channel.h"
 #include "nvmf/initiator.h"
 #include "nvmf/path_group.h"
 #include "nvmf/path_selector.h"
 #include "sim/real_executor.h"
+#include "telemetry/anomaly.h"
+#include "telemetry/attribution.h"
 #include "telemetry/flight.h"
 #include "telemetry/stat_server.h"
 #include "telemetry/telemetry.h"
@@ -67,6 +70,12 @@ struct Options {
   std::string metrics_json;    // metrics registry JSON path; "" = none
   int stat_port = -1;          // live introspection endpoint; -1 off, 0 = ephemeral
   std::string flight_dir;      // arm the flight recorder into DIR; "" = off
+  // tail-latency attribution (DESIGN.md §13)
+  u64 slo_read_us = 0;         // read latency SLO; 0 = no read SLO
+  u64 slo_write_us = 0;        // write latency SLO; 0 = no write SLO
+  std::string anomaly_dir;     // arm retroactive anomaly capture into DIR
+  u64 inject_delay_us = 0;     // one-shot stall on path 0 mid-run; 0 = off
+  u64 inject_after_ms = 500;   // when the stall arms, relative to run start
 };
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -147,6 +156,16 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.stat_port = std::atoi(v);
     } else if (arg == "--flight-dir" && (v = next())) {
       o.flight_dir = v;
+    } else if (arg == "--slo-read-us" && (v = next())) {
+      o.slo_read_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--slo-write-us" && (v = next())) {
+      o.slo_write_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--anomaly-dir" && (v = next())) {
+      o.anomaly_dir = v;
+    } else if (arg == "--inject-delay-us" && (v = next())) {
+      o.inject_delay_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--inject-after-ms" && (v = next())) {
+      o.inject_after_ms = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(
           stderr,
@@ -160,7 +179,10 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--paths N] [--selector NAME]\n"
           "                [--kill-path I] [--kill-after-ms MS]\n"
           "                [--json] [--trace-out FILE] [--metrics-json FILE]\n"
-          "                [--stat-port N] [--flight-dir DIR]\n");
+          "                [--stat-port N] [--flight-dir DIR]\n"
+          "                [--slo-read-us US] [--slo-write-us US]\n"
+          "                [--anomaly-dir DIR]\n"
+          "                [--inject-delay-us US] [--inject-after-ms MS]\n");
       return false;
     }
   }
@@ -218,6 +240,14 @@ std::string stats_json(const Options& opts, const bench::WorkloadSpec& spec,
   w.key("io").value(static_cast<i64>(mean.io));
   w.key("comm").value(static_cast<i64>(mean.comm));
   w.key("other").value(static_cast<i64>(mean.other));
+  w.end_object();
+  // Per-stage attribution summary (queue/encode/grant/xfer/device/target/
+  // complete/detour) — the finer-grained twin of breakdown_ns.
+  w.key("stages").raw(telemetry::attribution().summary_json());
+  w.key("slo").begin_object();
+  w.key("read_us").value(opts.slo_read_us);
+  w.key("write_us").value(opts.slo_write_us);
+  w.key("anomaly_captures").value(telemetry::anomaly().captures());
   w.end_object();
   w.end_object();
   w.key("resilience").begin_object();
@@ -277,6 +307,20 @@ int main(int argc, char** argv) {
   if (!opts.flight_dir.empty()) {
     telemetry::flight().install({opts.flight_dir, /*fatal_signals=*/true});
   }
+  // Attribution is always on in this tool — the per-stage breakdown feeds
+  // the --json "stages" section and the heat/top stat verbs either way.
+  // SLOs default to 0 (no watchdog) until the flags arm them.
+  {
+    telemetry::AttributionOptions aopts;
+    aopts.slo_read_ns = static_cast<DurNs>(opts.slo_read_us) * 1'000;
+    aopts.slo_write_ns = static_cast<DurNs>(opts.slo_write_us) * 1'000;
+    telemetry::attribution().configure(aopts);
+  }
+  if (!opts.anomaly_dir.empty()) {
+    telemetry::AnomalyOptions an;
+    an.dir = opts.anomaly_dir;
+    telemetry::anomaly().configure(an);
+  }
 
   sim::RealExecutor exec;
   net::InlineCopier copier;
@@ -319,6 +363,12 @@ int main(int argc, char** argv) {
   nvmf::PathGroupOptions gopts;
   gopts.name = opts.conn;
   nvmf::PathGroup group(exec, std::move(gopts), std::move(selector));
+  // With --inject-delay-us, path 0's channel is wrapped in a FaultChannel so
+  // a one-shot stall can be armed mid-run — the deterministic tail-latency
+  // trigger for the SLO watchdog / anomaly-capture demo. The pointer tracks
+  // the latest wrapper (reconnects re-wrap); both the factory and the armed
+  // stall run on the executor thread, so no synchronisation is needed.
+  net::FaultChannel* injector = nullptr;
   for (u32 i = 0; i < opts.paths; ++i) {
     nvmf::InitiatorOptions piopts = iopts;
     if (i > 0) {
@@ -331,9 +381,20 @@ int main(int argc, char** argv) {
     group.add_path(std::make_unique<nvmf::NvmfInitiator>(
         exec,
         [&, i]() -> std::unique_ptr<net::MsgChannel> {
-          if (i == 0 && first_channel) return std::move(first_channel);
-          auto res = net::tcp_connect(opts.host, opts.port, exec);
-          return res ? std::move(res).take() : nullptr;
+          std::unique_ptr<net::MsgChannel> ch;
+          if (i == 0 && first_channel) {
+            ch = std::move(first_channel);
+          } else {
+            auto res = net::tcp_connect(opts.host, opts.port, exec);
+            if (!res) return nullptr;
+            ch = std::move(res).take();
+          }
+          if (i == 0 && opts.inject_delay_us > 0) {
+            auto fc = std::make_unique<net::FaultChannel>(std::move(ch));
+            injector = fc.get();
+            return fc;
+          }
+          return ch;
         },
         copier, broker, piopts));
   }
@@ -396,6 +457,12 @@ int main(int argc, char** argv) {
     stat.handle("metrics",
                 [] { return telemetry::metrics().to_prometheus(); });
     stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
+    stat.handle("heat", on_executor([&exec]() -> std::string {
+                  return telemetry::attribution().heat_json(exec.now());
+                }));
+    stat.handle("top", on_executor([&exec]() -> std::string {
+                  return telemetry::attribution().top_json(exec.now());
+                }));
     stat.handle("conns", on_executor([&group]() -> std::string {
                   JsonWriter w;
                   w.begin_array();
@@ -457,6 +524,19 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "oaf_perf: killing path %d\n", opts.kill_path);
             group.path(static_cast<size_t>(opts.kill_path))
                 .force_recover("oaf_perf --kill-path");
+          });
+    }
+    // Deterministic tail event: one PDU on path 0 limps by the injected
+    // stall; with an SLO armed, exactly that I/O breaches and (when
+    // --anomaly-dir is set) promotes one retroactive capture.
+    if (opts.inject_delay_us > 0) {
+      exec.schedule_after(
+          static_cast<DurNs>(opts.inject_after_ms) * 1'000'000, [&] {
+            if (injector == nullptr) return;
+            std::fprintf(stderr, "oaf_perf: injecting %llu us stall on path 0\n",
+                         static_cast<unsigned long long>(opts.inject_delay_us));
+            injector->inject_delay(static_cast<DurNs>(opts.inject_delay_us) *
+                                   1'000);
           });
     }
     driver.run([&](RunStats s) {

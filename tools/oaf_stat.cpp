@@ -4,7 +4,9 @@
 //
 // Sends one line-protocol command (default "help") to 127.0.0.1:N and
 // prints the response. Standard commands: metrics (Prometheus text), conns
-// (per-connection JSON), trace (Chrome trace JSON snapshot), help.
+// (per-connection JSON), trace (Chrome trace JSON snapshot), heat (windowed
+// per-stage latency heatmap), top (slowest I/Os per window with stage
+// breakdowns), help.
 #include <cstdio>
 #include <cstdlib>
 #include <string>

@@ -28,6 +28,8 @@
 #include "nvmf/target_service.h"
 #include "sim/real_executor.h"
 #include "ssd/real_device.h"
+#include "telemetry/anomaly.h"
+#include "telemetry/attribution.h"
 #include "telemetry/flight.h"
 #include "telemetry/stat_server.h"
 #include "telemetry/telemetry.h"
@@ -56,6 +58,13 @@ struct Options {
   std::string shed_policy = "oldest";  // "oldest" | "fair"
   double shed_watermark = 0.9;
   u64 stall_timeout_ms = 0;   // slow-client eviction threshold; 0 = off
+  // Tail-latency attribution (DESIGN.md §13). SLO flags arm the target-side
+  // watchdog over its own residency (arrival → response); breaches capture
+  // locally when --anomaly-dir is set (no reverse fetch — the initiator owns
+  // the cross-process capture).
+  u64 slo_read_us = 0;        // read residency SLO; 0 = off
+  u64 slo_write_us = 0;       // write residency SLO; 0 = off
+  std::string anomaly_dir;    // arm retroactive anomaly capture into DIR
 };
 
 /// Set by SIGUSR1; the serve loop picks it up on its next tick so the dump
@@ -150,6 +159,18 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.stall_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--slo-read-us") {
+      const char* v = next();
+      if (!v) return false;
+      opts.slo_read_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--slo-write-us") {
+      const char* v = next();
+      if (!v) return false;
+      opts.slo_write_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--anomaly-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opts.anomaly_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -171,6 +192,8 @@ void usage() {
       "                  [--max-staging-kib K] [--global-staging-kib K]\n"
       "                  [--shed-policy oldest|fair] [--shed-watermark F]\n"
       "                  [--stall-timeout-ms MS]\n"
+      "                  [--slo-read-us US] [--slo-write-us US]\n"
+      "                  [--anomaly-dir DIR]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
       "associations have closed or expired their keep-alive timeout.\n"
       "SIGUSR1 dumps the metrics registry to stderr.\n");
@@ -188,6 +211,19 @@ int main(int argc, char** argv) {
   if (!opts.trace_out.empty()) telemetry::tracer().set_enabled(true);
   if (!opts.flight_dir.empty()) {
     telemetry::flight().install({opts.flight_dir, /*fatal_signals=*/true});
+  }
+  // Target-side attribution is always on (feeds the heat/top stat verbs);
+  // the SLO watchdog over target residency stays off until the flags arm it.
+  {
+    telemetry::AttributionOptions aopts;
+    aopts.slo_read_ns = static_cast<DurNs>(opts.slo_read_us) * 1'000;
+    aopts.slo_write_ns = static_cast<DurNs>(opts.slo_write_us) * 1'000;
+    telemetry::attribution().configure(aopts);
+  }
+  if (!opts.anomaly_dir.empty()) {
+    telemetry::AnomalyOptions an;
+    an.dir = opts.anomaly_dir;
+    telemetry::anomaly().configure(an);
   }
 
   sim::RealExecutor exec;
@@ -256,6 +292,12 @@ int main(int argc, char** argv) {
   if (opts.stat_port >= 0) {
     stat.handle("metrics", [] { return telemetry::metrics().to_prometheus(); });
     stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
+    stat.handle("heat", [&exec] {
+      return telemetry::attribution().heat_json(exec.now());
+    });
+    stat.handle("top", [&exec] {
+      return telemetry::attribution().top_json(exec.now());
+    });
     stat.handle("conns", [&exec, &service]() -> std::string {
       std::string out;
       std::atomic<bool> ready{false};
