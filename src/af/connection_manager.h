@@ -17,6 +17,7 @@
 #include <string>
 
 #include "af/endpoint.h"
+#include "af/exec_serial.h"
 #include "af/locality.h"
 #include "pdu/pdu.h"
 
@@ -27,6 +28,23 @@ class ConnectionManager {
   /// `broker` is this side's host helper ("hypervisor agent").
   explicit ConnectionManager(ShmBroker& broker) : broker_(broker) {}
 
+  /// Reactor-affine construction: the owning engine lends its executor
+  /// serial (af/exec_serial.h), making the handshake methods below
+  /// OAF_REQUIRES(*exec_serial_) — clang -Wthread-safety then rejects any
+  /// handshake call that is not provably on the engine's reactor. The
+  /// single-argument constructor leaves the capability unbound for
+  /// free-standing use (tests, offline tools).
+  ConnectionManager(ShmBroker& broker, const ExecutorSerial& serial)
+      : broker_(broker), exec_serial_(&serial) {}
+
+  /// The borrowed reactor capability; null when constructed unbound.
+  /// Call sites inside the owning engine re-assert it:
+  ///   cm_.serial()->assume_held();
+  [[nodiscard]] const ExecutorSerial* serial() const
+      OAF_RETURN_CAPABILITY(*exec_serial_) {
+    return exec_serial_;
+  }
+
   // --- client role -------------------------------------------------------
 
   /// ICReq advertising this host's token and the endpoint's shm wish.
@@ -35,22 +53,28 @@ class ConnectionManager {
   /// Process the target's ICResp; on a grant, maps the region and attaches
   /// the ring to `ep`. Returns error if the grant cannot be honoured (the
   /// connection should then fall back to TCP-only).
-  Status complete_client(const pdu::ICResp& resp, AfEndpoint& ep);
+  Status complete_client(const pdu::ICResp& resp, AfEndpoint& ep)
+      OAF_REQUIRES(*exec_serial_);
 
   // --- target role ---------------------------------------------------------
 
   /// Process a client's ICReq for connection `conn_name`; provisions and
   /// attaches shm when co-located, and returns the ICResp to send.
   Result<pdu::ICResp> accept_target(const pdu::ICReq& req,
-                                    const std::string& conn_name, AfEndpoint& ep);
+                                    const std::string& conn_name,
+                                    AfEndpoint& ep) OAF_REQUIRES(*exec_serial_);
 
   /// Release the region backing `conn_name` (connection teardown).
-  Status release(const std::string& conn_name) { return broker_.revoke(conn_name); }
+  Status release(const std::string& conn_name) OAF_REQUIRES(*exec_serial_) {
+    return broker_.revoke(conn_name);
+  }
 
   [[nodiscard]] ShmBroker& broker() { return broker_; }
 
  private:
   ShmBroker& broker_;
+  /// Borrowed from the owning engine; never owned, may be null (unbound).
+  const ExecutorSerial* exec_serial_ = nullptr;
 };
 
 }  // namespace oaf::af

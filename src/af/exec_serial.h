@@ -1,0 +1,49 @@
+// Executor affinity as a compile-time capability (DESIGN.md §14).
+//
+// Every protocol engine in this repo (initiator, target connection, path
+// group, connection manager) is a single-threaded state machine: its fields
+// may only be touched from tasks running on its owning Executor. That rule
+// has always been conventional — enforced by review and, after the fact, by
+// TSan. ExecutorSerial makes it structural: a zero-size capability object
+// the engine owns, so that
+//
+//   af::ExecutorSerial exec_serial_;
+//   u64 next_gseq_ OAF_GUARDED_BY(exec_serial_) = 1;
+//
+// turns "accessed off the reactor" into a clang -Wthread-safety compile
+// error, exactly as if the field were behind an unheld mutex.
+//
+// There is no runtime lock — the executor's serialization IS the mutual
+// exclusion. Three ways code proves it holds the capability:
+//
+//   * Methods annotated OAF_REQUIRES(exec_serial_): callable only from a
+//     context that already holds it (other engine methods, posted tasks).
+//   * Posted-task bodies open with `exec_serial_.assume_held();` — the
+//     executor delivered this task, so affinity holds by construction.
+//   * Tests and drivers that own the only thread call assume_held() once
+//     at the top of the driving scope.
+//
+// The capability is deliberately per-engine rather than per-Executor
+// object: two engines sharing one reactor still get separate capabilities,
+// which is the granularity the sharded-reactor refactor (ROADMAP item 1)
+// needs when engines migrate between shards.
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace oaf::af {
+
+class OAF_CAPABILITY("executor") ExecutorSerial {
+ public:
+  ExecutorSerial() = default;
+  ExecutorSerial(const ExecutorSerial&) = delete;
+  ExecutorSerial& operator=(const ExecutorSerial&) = delete;
+
+  /// Declare that the current context runs on the owning executor. No
+  /// runtime effect; tells the analysis to assume the capability from here
+  /// to the end of the enclosing scope. Call at the head of every lambda
+  /// body posted to the engine's executor.
+  void assume_held() const OAF_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace oaf::af

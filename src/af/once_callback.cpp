@@ -1,0 +1,21 @@
+#include "af/once_callback.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/flight.h"
+
+namespace oaf::af::detail {
+
+void once_armed_drop() {
+  // The drop site is in the abort backtrace; the flight dump carries the
+  // last telemetry ring so the wedge-that-would-have-been is attributable.
+  std::fputs(
+      "oaf: FATAL: armed af::OnceCallback destroyed without being invoked "
+      "or drop()ed — a completion was lost; dumping flight recorder\n",
+      stderr);
+  telemetry::flight().dump_now("once_callback_armed_drop");
+  std::abort();
+}
+
+}  // namespace oaf::af::detail

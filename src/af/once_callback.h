@@ -1,0 +1,125 @@
+// Linear completion token (DESIGN.md §14).
+//
+// The bug class this kills: a completion callback that is silently
+// destroyed instead of invoked. With std::function the initiator's Pending
+// entry (or the target's response closure) can be dropped on any error
+// path, and the application waits forever — found the hard way in the
+// reconnect (PR 2) and overload-shedding (PR 7) work. OnceCallback makes
+// the completion a *linear* value: move-only, invoke-at-most-once, and
+// loud — destroying one while it is still armed dumps the flight recorder
+// and aborts, turning a wedge into an attributed crash at the drop site.
+//
+// Grammar:
+//   af::OnceCallback<void(Status)> cb = [..](Status s){..};  // armed
+//   std::move(cb)(st);      // invoke: disarms first, then calls
+//   std::move(cb).drop();   // deliberate discard (documented teardown only)
+//   if (cb) ...             // armed?
+//
+// Invocation is rvalue-only, so every call site spells std::move and the
+// token is visibly consumed. Assigning over an armed token is the same
+// violation as dropping it.
+//
+// Strictness is ON by default in every build type — including
+// RelWithDebInfo, the repo default, precisely so the tier-1 suite runs the
+// armed-drop trap. Define OAF_ONCE_RELAXED to compile the trap out (the
+// destructor then discards silently, std::function-style); nothing in this
+// repo does.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace oaf::af {
+
+namespace detail {
+/// Report an armed OnceCallback destroyed without being invoked or
+/// drop()ed, then abort. Never returns. Out of line so the header stays
+/// dependency-free; the implementation dumps the telemetry flight
+/// recorder before aborting.
+[[noreturn]] void once_armed_drop();
+}  // namespace detail
+
+template <typename Sig>
+class OnceCallback;  // undefined; only the R(Args...) specialisation exists
+
+template <typename R, typename... Args>
+class [[nodiscard]] OnceCallback<R(Args...)> {
+ public:
+  /// Disarmed token: safe to destroy, false-y, must not be invoked.
+  OnceCallback() = default;
+  OnceCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Arm with any callable. Move-only callables welcome — that is the
+  /// point: a token can capture another token.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, OnceCallback> &&
+                                        std::is_invocable_r_v<R, D&&, Args...>>>
+  OnceCallback(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<D>>(std::forward<F>(f))) {}
+
+  OnceCallback(OnceCallback&& other) noexcept = default;
+
+  /// Move-assign. Overwriting an *armed* token is the armed-drop violation:
+  /// the displaced completion could never fire.
+  OnceCallback& operator=(OnceCallback&& other) noexcept {
+    if (this != &other) {
+      check_disarmed();
+      impl_ = std::move(other.impl_);
+    }
+    return *this;
+  }
+
+  OnceCallback& operator=(std::nullptr_t) {
+    check_disarmed();
+    return *this;
+  }
+
+  OnceCallback(const OnceCallback&) = delete;
+  OnceCallback& operator=(const OnceCallback&) = delete;
+
+  ~OnceCallback() { check_disarmed(); }
+
+  [[nodiscard]] explicit operator bool() const { return impl_ != nullptr; }
+
+  /// Invoke and consume. The token disarms *before* the target runs, so a
+  /// target that re-enters and destroys the token's owner (completions
+  /// routinely erase their own Pending entry) sees it already spent.
+  R operator()(Args... args) && {
+    std::unique_ptr<Concept> impl = std::move(impl_);
+    return impl->invoke(std::forward<Args>(args)...);
+  }
+
+  /// Deliberate discard. The only sanctioned way to destroy an armed
+  /// token — reserved for documented teardown paths (engine destructors
+  /// dropping in-flight work the application has already abandoned).
+  void drop() && { impl_.reset(); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R invoke(Args&&... args) override {
+      return std::move(fn)(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  void check_disarmed() {
+#if !defined(OAF_ONCE_RELAXED)
+    if (impl_ != nullptr) detail::once_armed_drop();
+#else
+    impl_.reset();
+#endif
+  }
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace oaf::af

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstring>
+#include "common/thread_annotations.h"
 #include <type_traits>
 
 #include "chk/engine.h"
@@ -199,7 +200,7 @@ class var {
 /// Scheduler-aware mutex: lock() blocks the fiber (never the process), and
 /// unlock -> lock pairs carry acquire/release clocks. BasicLockable, so
 /// std::lock_guard works.
-class mutex {
+class OAF_CAPABILITY("mutex") mutex {
  public:
   mutex() {
     home_ = Execution::current();
@@ -208,10 +209,10 @@ class mutex {
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 
-  void lock() {
+  void lock() OAF_ACQUIRE() {
     if (live()) home_->mutex_lock(loc_);
   }
-  void unlock() {
+  void unlock() OAF_RELEASE() {
     if (live()) home_->mutex_unlock(loc_);
   }
 

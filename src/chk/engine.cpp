@@ -266,7 +266,7 @@ u32 Execution::pick_next() {
 
 u32 Execution::register_atomic(void* addr, u64 init, const char* name) {
   auto it = atomic_ids_.find(addr);
-  u32 id;
+  u32 id = 0;
   if (it != atomic_ids_.end()) {
     id = it->second;  // re-constructed in place (e.g. ring re-format)
   } else {

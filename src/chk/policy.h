@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "chk/atomic.h"
 
@@ -21,6 +22,9 @@ struct CheckedPolicy {
   using var = chk::var<T>;
 
   using mutex = chk::mutex;
+  /// Scoped guard matching StdAtomicsPolicy::lock; chk::mutex is annotated
+  /// as a capability so the same GUARDED_BY contracts hold under the checker.
+  using lock = std::lock_guard<chk::mutex>;
 
   static void fence(std::memory_order mo) { thread_fence(mo); }
 

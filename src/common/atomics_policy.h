@@ -23,7 +23,8 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace oaf {
 
@@ -37,7 +38,11 @@ struct StdAtomicsPolicy {
   template <typename T>
   using var = T;
 
-  using mutex = std::mutex;
+  /// Capability-annotated (common/mutex.h) so fields in policy-templated
+  /// classes can be declared OAF_GUARDED_BY(mu_) and checked under clang
+  /// -Wthread-safety. `lock` is the scoped guard the analysis tracks.
+  using mutex = oaf::Mutex;
+  using lock = oaf::MutexLock;
 
   static void fence(std::memory_order mo) { std::atomic_thread_fence(mo); }
 

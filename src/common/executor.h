@@ -9,15 +9,17 @@
 // the virtual-time scheduler in the figure benches.
 #pragma once
 
-#include <functional>
-
+#include "common/function.h"
 #include "common/types.h"
 
 namespace oaf {
 
 class Executor {
  public:
-  using Fn = std::function<void()>;
+  /// Move-only: a posted task may carry move-only state (an armed
+  /// af::OnceCallback, a unique_ptr) and is guaranteed to run — or be
+  /// destroyed — exactly once, never duplicated by a copy.
+  using Fn = MoveFunc<void()>;
 
   virtual ~Executor() = default;
 

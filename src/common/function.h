@@ -1,0 +1,75 @@
+// Move-only type-erased callable.
+//
+// std::function requires its target to be copyable, which forbids lambdas
+// that capture a move-only value — in particular an armed af::OnceCallback
+// riding inside a posted continuation. Executor::Fn is therefore a
+// MoveFunc<void()>: same call through a vtable as std::function, but the
+// target is only ever moved, never copied. Anything convertible to
+// std::function converts here too (copyable callables are trivially
+// movable), so existing post() sites compile unchanged; the one thing that
+// stops compiling is copying the task itself, which no executor does.
+//
+// Deliberately minimal: heap-allocated target (no small-buffer
+// optimisation), no target_type/target access, no allocator support. The
+// hot paths that care about allocation already pool their continuations;
+// everything else was paying std::function's heap cost for any capture
+// beyond two words anyway.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace oaf {
+
+template <typename Sig>
+class MoveFunc;  // undefined; only the R(Args...) specialisation exists
+
+template <typename R, typename... Args>
+class MoveFunc<R(Args...)> {
+ public:
+  MoveFunc() = default;
+  MoveFunc(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, MoveFunc> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  MoveFunc(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<D>>(std::forward<F>(f))) {}
+
+  MoveFunc(MoveFunc&&) noexcept = default;
+  MoveFunc& operator=(MoveFunc&&) noexcept = default;
+  MoveFunc(const MoveFunc&) = delete;
+  MoveFunc& operator=(const MoveFunc&) = delete;
+
+  MoveFunc& operator=(std::nullptr_t) {
+    impl_.reset();
+    return *this;
+  }
+
+  [[nodiscard]] explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return impl_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace oaf

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace oaf {
@@ -58,7 +59,7 @@ class LogRateLimiter {
   /// True when this occurrence may log. On true, *suppressed receives the
   /// number of occurrences swallowed since the last allowed one.
   bool allow(TimeNs now, u64* suppressed) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (now > last_) {
       tokens_ += static_cast<double>(now - last_) * rate_per_ns_;
       if (tokens_ > burst_) tokens_ = burst_;
@@ -76,17 +77,17 @@ class LogRateLimiter {
 
   /// Occurrences currently swallowed and not yet reported in a trailer.
   [[nodiscard]] u64 pending_suppressed() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return suppressed_;
   }
 
  private:
-  std::mutex mu_;
-  double tokens_;
-  double rate_per_ns_;
-  double burst_;
-  TimeNs last_ = 0;
-  u64 suppressed_ = 0;
+  Mutex mu_;
+  double tokens_ OAF_GUARDED_BY(mu_);
+  double rate_per_ns_;  ///< immutable after construction
+  double burst_;        ///< immutable after construction
+  TimeNs last_ OAF_GUARDED_BY(mu_) = 0;
+  u64 suppressed_ OAF_GUARDED_BY(mu_) = 0;
 };
 }  // namespace detail
 

@@ -1,0 +1,45 @@
+// Capability-annotated mutex (DESIGN.md §14).
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so fields
+// declared OAF_GUARDED_BY(a std::mutex) teach the analysis nothing — it
+// cannot see std::lock_guard acquire anything. oaf::Mutex is a zero-cost
+// wrapper that IS a capability, and oaf::MutexLock is the scoped
+// acquisition the analysis tracks. Classes that state locking contracts
+// hold an oaf::Mutex and take oaf::MutexLock; everything else may keep
+// using std::mutex directly.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace oaf {
+
+class OAF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OAF_ACQUIRE() { mu_.lock(); }
+  void unlock() OAF_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() OAF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard with the scoped-capability annotation the analysis needs.
+class OAF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OAF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() OAF_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace oaf

@@ -1,0 +1,92 @@
+// Clang Thread Safety Analysis macros (DESIGN.md §14).
+//
+// These wrap clang's capability attributes so the whole repo can state its
+// locking and affinity contracts in code: which mutex guards which field,
+// which capability a function requires, which types are capabilities. Under
+// `clang -Wthread-safety -Wthread-safety-beta` (the CI `static-analysis`
+// job) a violated contract is a hard compile error; under gcc — the default
+// toolchain here — every macro expands to nothing, so the annotations cost
+// zero and gate nothing locally.
+//
+// Dependency-free by design: no includes, no repo types. Two capability
+// kinds use these macros:
+//
+//   * oaf::Mutex / oaf::MutexLock (common/mutex.h) — a real lock.
+//   * af::ExecutorSerial (af/exec_serial.h) — a zero-size capability that
+//     models *executor affinity*: "runs on the owning reactor" is treated
+//     exactly like "holds the lock", so touching reactor-affine state from
+//     a foreign thread fails the build the same way unlocked access does.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define OAF_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define OAF_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (lockable / affinity token). `x` is the
+/// capability kind shown in diagnostics, e.g. "mutex" or "executor".
+#define OAF_CAPABILITY(x) OAF_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (std::lock_guard shape).
+#define OAF_SCOPED_CAPABILITY OAF_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field is protected by the given capability: reads require the capability
+/// shared, writes require it exclusively.
+#define OAF_GUARDED_BY(x) OAF_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the capability.
+#define OAF_PT_GUARDED_BY(x) OAF_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) before calling.
+#define OAF_REQUIRES(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared before calling.
+#define OAF_REQUIRES_SHARED(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define OAF_ACQUIRE(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define OAF_ACQUIRE_SHARED(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define OAF_RELEASE(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define OAF_RELEASE_SHARED(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define OAF_TRY_ACQUIRE(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held — tells the analysis to
+/// assume it from here to end of scope. This is how posted-task bodies
+/// declare "I am on the owning executor" (af::ExecutorSerial::assume_held).
+#define OAF_ASSERT_CAPABILITY(x) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the named capability (for accessors
+/// like `Mutex& mu()` so callers can lock through the accessor).
+#define OAF_RETURN_CAPABILITY(x) OAF_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Capability ordering: this capability must be acquired before `...`.
+#define OAF_ACQUIRED_BEFORE(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define OAF_ACQUIRED_AFTER(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function body is deliberately exempt from the analysis (trusted code
+/// whose locking the analysis cannot follow, e.g. handoff protocols).
+#define OAF_NO_THREAD_SAFETY_ANALYSIS \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+/// Function may only run when the capability is NOT held (deadlock guard).
+#define OAF_EXCLUDES(...) \
+  OAF_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "common/mutex.h"
 
 namespace oaf::net {
 
@@ -51,9 +52,9 @@ bool read_all(int fd, u8* data, size_t len) {
 /// runs — an ICReq can land on a freshly accepted connection before its
 /// engine finishes constructing, and dropping it would hang the handshake.
 struct HandlerBox {
-  std::mutex mu;
-  MsgChannel::Handler handler;
-  std::vector<pdu::Pdu> pending;
+  Mutex mu;
+  MsgChannel::Handler handler OAF_GUARDED_BY(mu);
+  std::vector<pdu::Pdu> pending OAF_GUARDED_BY(mu);
 };
 
 /// Deliver `pdu` through the box's handler, or park it if none is installed
@@ -63,7 +64,7 @@ void deliver(const std::shared_ptr<HandlerBox>& box, pdu::Pdu pdu) {
   std::vector<pdu::Pdu> batch;
   MsgChannel::Handler h;
   {
-    std::lock_guard<std::mutex> lk(box->mu);
+    MutexLock lk(box->mu);
     box->pending.push_back(std::move(pdu));
     if (!box->handler) return;
     h = box->handler;
@@ -77,7 +78,7 @@ void drain(const std::shared_ptr<HandlerBox>& box) {
   std::vector<pdu::Pdu> batch;
   MsgChannel::Handler h;
   {
-    std::lock_guard<std::mutex> lk(box->mu);
+    MutexLock lk(box->mu);
     if (!box->handler || box->pending.empty()) return;
     h = box->handler;
     batch.swap(box->pending);
@@ -94,7 +95,7 @@ class SocketEndpoint final : public MsgChannel {
     close();
     if (reader_.joinable()) reader_.join();
     ::close(fd_);
-    std::lock_guard<std::mutex> lk(box_->mu);
+    MutexLock lk(box_->mu);
     box_->handler = nullptr;
   }
 
@@ -105,7 +106,7 @@ class SocketEndpoint final : public MsgChannel {
   void send(pdu::Pdu pdu) override {
     if (!open_.load(std::memory_order_acquire)) return;
     const std::vector<u8> encoded = pdu::encode(pdu, opts_);
-    std::lock_guard<std::mutex> lk(write_mu_);
+    MutexLock lk(write_mu_);
     if (!write_all(fd_, encoded.data(), encoded.size())) {
       open_.store(false, std::memory_order_release);
       return;
@@ -116,7 +117,7 @@ class SocketEndpoint final : public MsgChannel {
 
   void set_handler(Handler handler) override {
     {
-      std::lock_guard<std::mutex> lk(box_->mu);
+      MutexLock lk(box_->mu);
       box_->handler = std::move(handler);
     }
     // Flush any PDUs that raced in before subscription. Posted (not invoked
@@ -173,7 +174,8 @@ class SocketEndpoint final : public MsgChannel {
   Executor& exec_;
   const pdu::CodecOptions opts_;
   std::thread reader_;
-  std::mutex write_mu_;
+  /// Serializes whole-PDU writes from the engine and keep-alive paths.
+  Mutex write_mu_;
   std::shared_ptr<HandlerBox> box_;
   std::atomic<bool> open_{true};
   std::atomic<u64> bytes_sent_{0};

@@ -76,7 +76,7 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
       owned_control_(nullptr),
       control_(&control),
       copier_(copier),
-      cm_(broker),
+      cm_(broker, exec_serial_),
       ep_(af::Role::kClient, exec, copier, opts.af),
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
       opts_(std::move(opts)),
@@ -89,12 +89,14 @@ NvmfInitiator::NvmfInitiator(Executor& exec, net::MsgChannel& control,
   }
   inflight_.resize(opts_.queue_depth);
   slot_busy_.assign(opts_.queue_depth, false);
-  wheel_.set_callback(
-      [this](u16 cid, u64 generation) { on_deadline(cid, generation); });
-  control_->set_handler(
-      [this, alive = alive_](Pdu p) {
-        if (*alive) on_pdu(std::move(p));
-      });
+  wheel_.set_callback([this](u16 cid, u64 generation) {
+    exec_serial_.assume_held();  // wheel ticks run on the reactor
+    on_deadline(cid, generation);
+  });
+  control_->set_handler([this, alive = alive_](Pdu p) {
+    exec_serial_.assume_held();  // channel delivers on the reactor
+    if (*alive) on_pdu(std::move(p));
+  });
   init_telemetry();
 }
 
@@ -106,7 +108,7 @@ NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
       control_(owned_control_.get()),
       factory_(std::move(factory)),
       copier_(copier),
-      cm_(broker),
+      cm_(broker, exec_serial_),
       ep_(af::Role::kClient, exec, copier, opts.af),
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
       opts_(std::move(opts)),
@@ -118,12 +120,14 @@ NvmfInitiator::NvmfInitiator(Executor& exec, ChannelFactory factory,
   }
   inflight_.resize(opts_.queue_depth);
   slot_busy_.assign(opts_.queue_depth, false);
-  wheel_.set_callback(
-      [this](u16 cid, u64 generation) { on_deadline(cid, generation); });
-  control_->set_handler(
-      [this, alive = alive_](Pdu p) {
-        if (*alive) on_pdu(std::move(p));
-      });
+  wheel_.set_callback([this](u16 cid, u64 generation) {
+    exec_serial_.assume_held();  // wheel ticks run on the reactor
+    on_deadline(cid, generation);
+  });
+  control_->set_handler([this, alive = alive_](Pdu p) {
+    exec_serial_.assume_held();  // channel delivers on the reactor
+    if (*alive) on_pdu(std::move(p));
+  });
   init_telemetry();
 }
 
@@ -136,7 +140,7 @@ void NvmfInitiator::send_icreq() {
   control_->send(std::move(pdu));
 }
 
-void NvmfInitiator::connect(std::function<void(Status)> cb) {
+void NvmfInitiator::connect(ConnectCb cb) {
   connect_cb_ = std::move(cb);
   governor_.attach(control_);
   send_icreq();
@@ -264,6 +268,7 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
           static_cast<DurNs>(resp.retry_after_ms) * 1'000'000;
       if (delay < floor) delay = floor;
       exec_.schedule_after(delay, [this, alive = alive_, next] {
+        exec_serial_.assume_held();
         if (!*alive || dead_ || !reconnecting_) return;
         do_reconnect(next);
       });
@@ -277,9 +282,9 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
     }
     if (connect_cb_) {
       auto cb = std::move(connect_cb_);
-      connect_cb_ = nullptr;
-      cb(make_error(StatusCode::kResourceExhausted,
-                    "target rejected connection: " + resp.reject_reason));
+      std::move(cb)(
+          make_error(StatusCode::kResourceExhausted,
+                     "target rejected connection: " + resp.reject_reason));
     }
     abort_connection("connect admission rejected");
     return;
@@ -295,6 +300,7 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
                            static_cast<u64>(exec_.now()));
   }
   if (resp.shm_granted) {
+    cm_.serial()->assume_held();  // cm_ borrowed this engine's serial
     if (auto st = cm_.complete_client(resp, ep_); !st) {
       OAF_WARN("shm grant could not be honoured, falling back to TCP: %s",
                st.to_string().c_str());
@@ -327,8 +333,7 @@ void NvmfInitiator::on_icresp(const pdu::ICResp& resp) {
   fire_event(PathEvent::kConnected);
   if (connect_cb_) {
     auto cb = std::move(connect_cb_);
-    connect_cb_ = nullptr;
-    cb(Status::ok());
+    std::move(cb)(Status::ok());
   }
 }
 
@@ -349,14 +354,16 @@ void NvmfInitiator::fail_pending(Pending& p) {
   if (p.generation != 0) trace_end_span(p);
   IoResult res;
   res.cpl.status = pdu::NvmeStatus::kDataTransferError;
-  if (p.cb) p.cb(res);
+  if (p.cb) std::move(p.cb)(res);
   if (p.view_cb) {
-    p.view_cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
-                                          "connection aborted")),
-              res);
+    std::move(p.view_cb)(
+        Result<ReadView>(
+            make_error(StatusCode::kUnavailable, "connection aborted")),
+        res);
   }
   if (p.identify_cb) {
-    p.identify_cb(make_error(StatusCode::kUnavailable, "connection aborted"));
+    std::move(p.identify_cb)(
+        make_error(StatusCode::kUnavailable, "connection aborted"));
   }
 }
 
@@ -434,6 +441,7 @@ void NvmfInitiator::schedule_reconnect(u32 attempt) {
   }
   const DurNs backoff = backoff_for_attempt(attempt);
   exec_.schedule_after(backoff, [this, alive = alive_, attempt] {
+    exec_serial_.assume_held();
     if (!*alive || dead_ || !reconnecting_) return;
     do_reconnect(attempt);
   });
@@ -453,10 +461,10 @@ void NvmfInitiator::do_reconnect(u32 attempt) {
   }
   owned_control_ = std::move(fresh);
   control_ = owned_control_.get();
-  control_->set_handler(
-      [this, alive = alive_](Pdu p) {
-        if (*alive) on_pdu(std::move(p));
-      });
+  control_->set_handler([this, alive = alive_](Pdu p) {
+    exec_serial_.assume_held();  // channel delivers on the reactor
+    if (*alive) on_pdu(std::move(p));
+  });
   governor_.attach(control_);
   send_icreq();
   if (opts_.reconnect.handshake_timeout_ns <= 0) return;
@@ -464,6 +472,7 @@ void NvmfInitiator::do_reconnect(u32 attempt) {
   exec_.schedule_after(
       opts_.reconnect.handshake_timeout_ns,
       [this, alive = alive_, attempt, epoch] {
+        exec_serial_.assume_held();
         if (!*alive || dead_ || !reconnecting_) return;
         if (epoch != handshake_epoch_) return;  // ICResp arrived in time
         counters_.reconnect_failures++;
@@ -497,6 +506,7 @@ void NvmfInitiator::schedule_keepalive() {
   const u64 epoch = ka_epoch_;
   exec_.schedule_after(opts_.reconnect.keepalive_interval_ns,
                        [this, alive = alive_, epoch] {
+                         exec_serial_.assume_held();
                          if (!*alive || dead_ || epoch != ka_epoch_) return;
                          keepalive_tick();
                        });
@@ -717,9 +727,8 @@ void NvmfInitiator::abort_connection(const char* reason) {
     // reject with reconnect enabled) and exhausted it must still resolve —
     // otherwise the caller waits on a callback that never comes.
     auto cb = std::move(connect_cb_);
-    connect_cb_ = nullptr;
-    cb(make_error(StatusCode::kUnavailable,
-                  std::string("connection aborted: ") + reason));
+    std::move(cb)(make_error(StatusCode::kUnavailable,
+                             std::string("connection aborted: ") + reason));
   }
 }
 
@@ -1007,7 +1016,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
       if (!view) {
         note_shm_consume_failure(view.status());
         release_cid(cid);
-        cb(view.status(), res);
+        std::move(cb)(view.status(), res);
         return;
       }
       ReadView rv;
@@ -1027,7 +1036,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
                                           exec_.now())) {
         maybe_capture_anomaly(p, res.total_ns, telemetry::OpClass::kRead);
       }
-      cb(std::move(rv), res);
+      std::move(cb)(std::move(rv), res);
       return;
     }
     // Staged shm read: copy the published chunk into the application
@@ -1042,6 +1051,7 @@ void NvmfInitiator::on_c2h(Pdu pdu) {
         [this, alive = alive_, cid, gen = p.gen, last = c2h.last,
          success = c2h.success, io_ns = c2h.io_time_ns,
          tgt_ns = c2h.target_time_ns](Result<u64> got) {
+          exec_serial_.assume_held();  // consume completion posts here
           if (!*alive || cid >= inflight_.size() || !slot_busy_[cid]) return;
           if (inflight_[cid].gen != gen) return;  // replaced by a replay
           if (!got) {
@@ -1173,6 +1183,7 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
       const u64 generation = p.generation;
       exec_.schedule_after(
           backoff, [this, alive = alive_, cid, generation] {
+            exec_serial_.assume_held();
             if (!*alive || dead_ || cid >= inflight_.size() ||
                 !slot_busy_[cid] || inflight_[cid].generation != generation) {
               return;
@@ -1235,9 +1246,10 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
 
   if (identify_cb) {
     if (cpl.ok() && identify_result.first != 0) {
-      identify_cb(identify_result);
+      std::move(identify_cb)(identify_result);
     } else {
-      identify_cb(make_error(StatusCode::kUnavailable, "identify failed"));
+      std::move(identify_cb)(
+          make_error(StatusCode::kUnavailable, "identify failed"));
     }
     return;
   }
@@ -1247,13 +1259,13 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
     // completion landing here instead (aborted, errored, retries spent)
     // carries no payload — the caller must still hear about it, or an
     // aborted view read hangs its issuer forever.
-    view_cb(Result<ReadView>(
-                make_error(StatusCode::kUnavailable,
-                           "read completed without a payload")),
-            res);
+    std::move(view_cb)(
+        Result<ReadView>(make_error(StatusCode::kUnavailable,
+                                    "read completed without a payload")),
+        res);
     return;
   }
-  if (cb) cb(res);
+  if (cb) std::move(cb)(res);
 }
 
 // --------------------------------------------------------------------------
@@ -1296,6 +1308,7 @@ void NvmfInitiator::maybe_capture_anomaly(const Pending& p, i64 total_ns,
     control_->send(std::move(pdu));
     exec_.schedule_after(
         kAnomalyFetchTimeoutNs, [this, alive = alive_, epoch] {
+          exec_serial_.assume_held();
           if (!*alive || epoch != anomaly_fetch_epoch_) return;
           if (!anomaly_fetch_pending_) return;
           anomaly_fetch_pending_ = false;
@@ -1361,8 +1374,7 @@ void NvmfInitiator::flush(u32 nsid, IoCb cb) {
   submit_or_queue(std::move(p));
 }
 
-void NvmfInitiator::identify(u32 nsid,
-                             std::function<void(Result<std::pair<u32, u64>>)> cb) {
+void NvmfInitiator::identify(u32 nsid, IdentifyCb cb) {
   Pending p;
   p.cmd = make_cmd(NvmeOpcode::kIdentify, nsid, 0, 0, kBlockSize);
   p.identify_cb = std::move(cb);
@@ -1406,9 +1418,10 @@ void NvmfInitiator::zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) {
   if (!supports_zero_copy()) {
     IoResult res;
     res.cpl.status = pdu::NvmeStatus::kInternalError;
-    cb(Result<ReadView>(
-           make_error(StatusCode::kUnavailable, "zero-copy requires shm")),
-       res);
+    std::move(cb)(
+        Result<ReadView>(
+            make_error(StatusCode::kUnavailable, "zero-copy requires shm")),
+        res);
     return;
   }
   Pending p;

@@ -10,6 +10,7 @@
 #include <span>
 #include <utility>
 
+#include "af/once_callback.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "pdu/nvme_cmd.h"
@@ -36,7 +37,10 @@ class IoSession {
       return c > 0 ? c : 0;
     }
   };
-  using IoCb = std::function<void(IoResult)>;
+  /// Completion token: move-only, fires exactly once. Destroying an armed
+  /// IoCb without invoking it aborts with a flight dump (af/once_callback.h)
+  /// — a lost completion is a crash at the drop site, not a hung issuer.
+  using IoCb = af::OnceCallback<void(IoResult)>;
 
   /// Zero-copy read view: payload lives in the shm slot; call release()
   /// exactly once when done with the data.
@@ -44,7 +48,13 @@ class IoSession {
     std::span<const u8> data;
     std::function<void()> release;
   };
-  using ReadViewCb = std::function<void(Result<ReadView>, IoResult)>;
+  using ReadViewCb = af::OnceCallback<void(Result<ReadView>, IoResult)>;
+
+  /// Identify completion: (block_size, num_blocks) on success.
+  using IdentifyCb = af::OnceCallback<void(Result<std::pair<u32, u64>>)>;
+
+  /// Connect completion shared by NvmfInitiator and PathGroup.
+  using ConnectCb = af::OnceCallback<void(Status)>;
 
   /// Zero-copy write ticket from zero_copy_write_begin.
   struct WriteTicket {
@@ -66,8 +76,7 @@ class IoSession {
   virtual void flush(u32 nsid, IoCb cb) = 0;
 
   /// Identify namespace: cb receives (block_size, num_blocks) on success.
-  virtual void identify(
-      u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb) = 0;
+  virtual void identify(u32 nsid, IdentifyCb cb) = 0;
 
   // --- zero-copy API (paper §4.4.3; requires shm) --------------------------
 

@@ -35,8 +35,13 @@ PathGroup::PathGroup(Executor& exec, PathGroupOptions opts,
 
 void PathGroup::add_path(std::unique_ptr<NvmfInitiator> path) {
   const u32 index = static_cast<u32>(paths_.size());
+  // Contract: the path runs on the group's reactor, so holding the group's
+  // serial implies holding the path's. TSA cannot see that aliasing across
+  // objects; assert the path's capability explicitly where it is borrowed.
+  path->serial().assume_held();
   path->set_event_handler(
       [this, alive = alive_, index](NvmfInitiator::PathEvent e) {
+        exec_serial_.assume_held();  // events fire on the shared reactor
         if (*alive) on_path_event(index, e);
       });
   PathSlot slot;
@@ -44,11 +49,14 @@ void PathGroup::add_path(std::unique_ptr<NvmfInitiator> path) {
   paths_.push_back(std::move(slot));
 }
 
-void PathGroup::connect(std::function<void(Status)> cb) {
+void PathGroup::connect(ConnectCb cb) {
   connect_cb_ = std::move(cb);
   // Per-path completion is observed through the kConnected event (which
   // also covers reconnects); the per-call callback has nothing to add.
-  for (auto& s : paths_) s.init->connect([](Status) {});
+  for (auto& s : paths_) {
+    s.init->serial().assume_held();  // shared reactor (add_path contract)
+    s.init->connect([](Status) {});
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -56,12 +64,14 @@ void PathGroup::connect(std::function<void(Status)> cb) {
 // --------------------------------------------------------------------------
 
 bool PathGroup::eligible(const PathSlot& s) const {
+  s.init->serial().assume_held();  // shared reactor (add_path contract)
   return s.init->connected() && !s.init->reconnecting() && !s.init->dead() &&
          s.init->ana_state() != pdu::AnaState::kInaccessible;
 }
 
 bool PathGroup::all_dead() const {
   for (const auto& s : paths_) {
+    s.init->serial().assume_held();  // shared reactor (add_path contract)
     if (!s.init->dead()) return false;
   }
   return !paths_.empty();
@@ -72,6 +82,7 @@ std::vector<PathView> PathGroup::eligible_views() const {
   bool any_optimized = false;
   for (u32 i = 0; i < paths_.size(); ++i) {
     const PathSlot& s = paths_[i];
+    s.init->serial().assume_held();  // shared reactor (add_path contract)
     if (!eligible(s)) continue;
     PathView v;
     v.index = i;
@@ -114,10 +125,10 @@ void PathGroup::dispatch(u64 gseq) {
       IoResult res;
       res.cpl.status = pdu::NvmeStatus::kDataTransferError;
       if (done.identify_cb) {
-        done.identify_cb(
+        std::move(done.identify_cb)(
             make_error(StatusCode::kUnavailable, "all paths dead"));
       } else if (done.cb) {
-        done.cb(res);
+        std::move(done.cb)(res);
       }
       return;
     }
@@ -137,10 +148,10 @@ void PathGroup::dispatch(u64 gseq) {
       IoResult res;
       res.cpl.status = pdu::NvmeStatus::kQueueFull;
       if (done.identify_cb) {
-        done.identify_cb(make_error(StatusCode::kResourceExhausted,
-                                    "parked queue full"));
+        std::move(done.identify_cb)(make_error(StatusCode::kResourceExhausted,
+                                               "parked queue full"));
       } else if (done.cb) {
-        done.cb(res);
+        std::move(done.cb)(res);
       }
       return;
     }
@@ -168,14 +179,17 @@ void PathGroup::issue_on_path(u64 gseq, u32 path_index) {
   PathSlot& slot = paths_[path_index];
   slot.inflight++;
   NvmfInitiator& init = *slot.init;
+  init.serial().assume_held();  // shared reactor (add_path contract)
   if (cmd.op == GroupCmd::Op::kIdentify) {
     init.identify(cmd.nsid, [this, alive = alive_,
                              gseq](Result<std::pair<u32, u64>> r) {
+      exec_serial_.assume_held();  // completions deliver on the reactor
       if (*alive) on_identify_result(gseq, std::move(r));
     });
     return;
   }
   auto cb = [this, alive = alive_, gseq](IoResult res) {
+    exec_serial_.assume_held();  // completions deliver on the reactor
     if (*alive) on_io_result(gseq, res);
   };
   switch (cmd.op) {
@@ -244,9 +258,10 @@ void PathGroup::on_io_result(u64 gseq, IoResult res) {
   live_.erase(it);  // fence BEFORE delivering: a late duplicate finds nothing
   ios_completed_++;
   if (done.identify_cb) {
-    done.identify_cb(make_error(StatusCode::kUnavailable, "identify failed"));
+    std::move(done.identify_cb)(
+        make_error(StatusCode::kUnavailable, "identify failed"));
   } else if (done.cb) {
-    done.cb(res);
+    std::move(done.cb)(res);
   }
 }
 
@@ -266,7 +281,7 @@ void PathGroup::on_identify_result(u64 gseq, Result<std::pair<u32, u64>> r) {
   GroupCmd done = std::move(it->second);
   live_.erase(it);
   ios_completed_++;
-  if (done.identify_cb) done.identify_cb(std::move(r));
+  if (done.identify_cb) std::move(done.identify_cb)(std::move(r));
 }
 
 // --------------------------------------------------------------------------
@@ -301,8 +316,7 @@ void PathGroup::on_path_event(u32 path_index, NvmfInitiator::PathEvent e) {
         connected_once_ = true;
         if (connect_cb_) {
           auto cb = std::move(connect_cb_);
-          connect_cb_ = nullptr;
-          cb(Status::ok());
+          std::move(cb)(Status::ok());
         }
       }
       drain_parked();
@@ -320,8 +334,11 @@ void PathGroup::on_path_event(u32 path_index, NvmfInitiator::PathEvent e) {
       // machinery — the degenerate single-path behaviour.
       if (!eligible_views().empty()) {
         exec_.post([this, alive = alive_, path_index] {
+          exec_serial_.assume_held();
           if (!*alive) return;
-          paths_[path_index].init->abandon_recovery("multipath failover");
+          NvmfInitiator& init = *paths_[path_index].init;
+          init.serial().assume_held();  // shared reactor
+          init.abandon_recovery("multipath failover");
         });
       }
       break;
@@ -353,9 +370,10 @@ void PathGroup::fail_all_parked() {
     IoResult res;
     res.cpl.status = pdu::NvmeStatus::kDataTransferError;
     if (done.identify_cb) {
-      done.identify_cb(make_error(StatusCode::kUnavailable, "all paths dead"));
+      std::move(done.identify_cb)(
+          make_error(StatusCode::kUnavailable, "all paths dead"));
     } else if (done.cb) {
-      done.cb(res);
+      std::move(done.cb)(res);
     }
   }
 }
@@ -392,8 +410,7 @@ void PathGroup::flush(u32 nsid, IoCb cb) {
   submit(std::move(cmd));
 }
 
-void PathGroup::identify(
-    u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb) {
+void PathGroup::identify(u32 nsid, IdentifyCb cb) {
   GroupCmd cmd;
   cmd.op = GroupCmd::Op::kIdentify;
   cmd.nsid = nsid;
@@ -411,11 +428,13 @@ Result<PathGroup::WriteTicket> PathGroup::zero_copy_write_begin(u64 len) {
     return make_error(StatusCode::kUnavailable,
                       "zero-copy unavailable on multipath groups");
   }
+  paths_[0].init->serial().assume_held();  // shared reactor
   return paths_[0].init->zero_copy_write_begin(len);
 }
 
 void PathGroup::zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba,
                                 u64 len, IoCb cb) {
+  paths_[0].init->serial().assume_held();  // shared reactor
   paths_[0].init->zero_copy_write(ticket, nsid, slba, len, std::move(cb));
 }
 
@@ -424,6 +443,7 @@ bool PathGroup::congested() const {
   for (const auto& s : paths_) {
     if (!eligible(s)) continue;
     any_eligible = true;
+    s.init->serial().assume_held();  // shared reactor (add_path contract)
     if (!s.init->congested()) return false;  // at least one path has room
   }
   return any_eligible;
@@ -433,11 +453,14 @@ void PathGroup::zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) {
   if (!supports_zero_copy()) {
     IoResult res;
     res.cpl.status = pdu::NvmeStatus::kInternalError;
-    cb(Result<ReadView>(make_error(StatusCode::kUnavailable,
-                                   "zero-copy unavailable on multipath groups")),
-       res);
+    std::move(cb)(
+        Result<ReadView>(make_error(
+            StatusCode::kUnavailable,
+            "zero-copy unavailable on multipath groups")),
+        res);
     return;
   }
+  paths_[0].init->serial().assume_held();  // shared reactor
   paths_[0].init->zero_copy_read(nsid, slba, len, std::move(cb));
 }
 

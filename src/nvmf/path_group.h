@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "af/exec_serial.h"
 #include "common/executor.h"
 #include "nvmf/initiator.h"
 #include "nvmf/io_session.h"
@@ -60,55 +61,99 @@ class PathGroup final : public IoSession {
  public:
   PathGroup(Executor& exec, PathGroupOptions opts,
             std::unique_ptr<PathSelector> selector);
-  ~PathGroup() override { *alive_ = false; }
+  ~PathGroup() override {
+    *alive_ = false;
+    // Teardown discard: commands still live or parked at destruction were
+    // abandoned by the application — deliberately drop their tokens.
+    if (connect_cb_) std::move(connect_cb_).drop();
+    for (auto& [gseq, cmd] : live_) {
+      if (cmd.cb) std::move(cmd.cb).drop();
+      if (cmd.identify_cb) std::move(cmd.identify_cb).drop();
+    }
+  }
 
   /// Register a path. All paths must be added before connect(); the group
   /// subscribes to the path's lifecycle events here.
-  void add_path(std::unique_ptr<NvmfInitiator> path);
+  void add_path(std::unique_ptr<NvmfInitiator> path)
+      OAF_REQUIRES(exec_serial_);
 
   /// Dial every path. cb fires once, on the first successful handshake —
   /// the group is usable from that moment; remaining paths join as their
   /// handshakes land.
-  void connect(std::function<void(Status)> cb);
+  void connect(ConnectCb cb) OAF_REQUIRES(exec_serial_);
 
   // --- IoSession -----------------------------------------------------------
-  void write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb) override;
-  void read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb) override;
-  void flush(u32 nsid, IoCb cb) override;
-  void identify(
-      u32 nsid, std::function<void(Result<std::pair<u32, u64>>)> cb) override;
-  [[nodiscard]] bool supports_zero_copy() const override {
+  void write(u32 nsid, u64 slba, std::span<const u8> data, IoCb cb) override
+      OAF_REQUIRES(exec_serial_);
+  void read(u32 nsid, u64 slba, std::span<u8> out, IoCb cb) override
+      OAF_REQUIRES(exec_serial_);
+  void flush(u32 nsid, IoCb cb) override OAF_REQUIRES(exec_serial_);
+  void identify(u32 nsid, IdentifyCb cb) override OAF_REQUIRES(exec_serial_);
+  [[nodiscard]] bool supports_zero_copy() const override
+      OAF_REQUIRES_SHARED(exec_serial_) {
     return paths_.size() == 1 && paths_[0].init->supports_zero_copy();
   }
-  Result<WriteTicket> zero_copy_write_begin(u64 len) override;
+  Result<WriteTicket> zero_copy_write_begin(u64 len) override
+      OAF_REQUIRES(exec_serial_);
   void zero_copy_write(const WriteTicket& ticket, u32 nsid, u64 slba, u64 len,
-                       IoCb cb) override;
-  void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) override;
+                       IoCb cb) override OAF_REQUIRES(exec_serial_);
+  void zero_copy_read(u32 nsid, u64 slba, u64 len, ReadViewCb cb) override
+      OAF_REQUIRES(exec_serial_);
   /// True when every currently-eligible path is backing off from target
   /// kQueueFull pushback — the whole group is saturated, so drivers should
   /// pause. An empty eligible set is "parked", not congested.
-  [[nodiscard]] bool congested() const override;
+  [[nodiscard]] bool congested() const override
+      OAF_REQUIRES_SHARED(exec_serial_);
 
   // --- observability -------------------------------------------------------
-  [[nodiscard]] size_t path_count() const { return paths_.size(); }
-  [[nodiscard]] NvmfInitiator& path(size_t i) { return *paths_[i].init; }
-  [[nodiscard]] const NvmfInitiator& path(size_t i) const {
+  [[nodiscard]] size_t path_count() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return paths_.size();
+  }
+  [[nodiscard]] NvmfInitiator& path(size_t i)
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return *paths_[i].init;
+  }
+  [[nodiscard]] const NvmfInitiator& path(size_t i) const
+      OAF_REQUIRES_SHARED(exec_serial_) {
     return *paths_[i].init;
   }
   /// Group I/Os currently outstanding on path i.
-  [[nodiscard]] u32 path_inflight(size_t i) const { return paths_[i].inflight; }
-  [[nodiscard]] u64 ios_completed() const { return ios_completed_; }
-  [[nodiscard]] u64 failovers() const { return failovers_; }
-  [[nodiscard]] u64 redrives() const { return redrives_; }
-  [[nodiscard]] u64 parked_total() const { return parked_total_; }
+  [[nodiscard]] u32 path_inflight(size_t i) const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return paths_[i].inflight;
+  }
+  [[nodiscard]] u64 ios_completed() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return ios_completed_;
+  }
+  [[nodiscard]] u64 failovers() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return failovers_;
+  }
+  [[nodiscard]] u64 redrives() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return redrives_;
+  }
+  [[nodiscard]] u64 parked_total() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return parked_total_;
+  }
   /// Submissions failed fast with kQueueFull at the max_parked bound.
-  [[nodiscard]] u64 park_overflows() const { return park_overflows_; }
-  [[nodiscard]] u64 duplicates_suppressed() const {
+  [[nodiscard]] u64 park_overflows() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return park_overflows_;
+  }
+  [[nodiscard]] u64 duplicates_suppressed() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
     return duplicates_suppressed_;
   }
-  [[nodiscard]] size_t parked_now() const { return parked_.size(); }
-  [[nodiscard]] size_t live_now() const { return live_.size(); }
+  [[nodiscard]] size_t parked_now() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return parked_.size();
+  }
+  [[nodiscard]] size_t live_now() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return live_.size();
+  }
   [[nodiscard]] const char* selector_name() const { return selector_->name(); }
+  /// The group's executor-affinity capability (af/exec_serial.h).
+  [[nodiscard]] const af::ExecutorSerial& serial() const
+      OAF_RETURN_CAPABILITY(exec_serial_) {
+    return exec_serial_;
+  }
 
  private:
   struct PathSlot {
@@ -127,7 +172,7 @@ class PathGroup final : public IoSession {
     std::span<const u8> wdata;
     std::span<u8> rdata;
     IoCb cb;
-    std::function<void(Result<std::pair<u32, u64>>)> identify_cb;
+    IdentifyCb identify_cb;
     u32 redrives = 0;
     u32 path = 0;  ///< current path index (valid while issued, not parked)
     /// When a redrive pulled this command off its path: the gap until it is
@@ -136,47 +181,65 @@ class PathGroup final : public IoSession {
     TimeNs detour_start = 0;
   };
 
-  [[nodiscard]] bool eligible(const PathSlot& s) const;
-  [[nodiscard]] bool all_dead() const;
+  [[nodiscard]] bool eligible(const PathSlot& s) const
+      OAF_REQUIRES_SHARED(exec_serial_);
+  [[nodiscard]] bool all_dead() const OAF_REQUIRES_SHARED(exec_serial_);
   /// Snapshot eligible paths honouring the ANA preference tier; empty when
   /// no path is usable right now.
-  [[nodiscard]] std::vector<PathView> eligible_views() const;
+  [[nodiscard]] std::vector<PathView> eligible_views() const
+      OAF_REQUIRES_SHARED(exec_serial_);
 
-  void submit(GroupCmd cmd);
-  void dispatch(u64 gseq);
-  void issue_on_path(u64 gseq, u32 path_index);
-  void on_io_result(u64 gseq, IoResult res);
-  void on_identify_result(u64 gseq, Result<std::pair<u32, u64>> r);
-  void on_path_event(u32 path_index, NvmfInitiator::PathEvent e);
-  void finish_path_accounting(const GroupCmd& cmd);
-  void note_redrive(u64 gseq, GroupCmd& cmd);
-  void drain_parked();
-  void fail_all_parked();
+  void submit(GroupCmd cmd) OAF_REQUIRES(exec_serial_);
+  void dispatch(u64 gseq) OAF_REQUIRES(exec_serial_);
+  void issue_on_path(u64 gseq, u32 path_index) OAF_REQUIRES(exec_serial_);
+  void on_io_result(u64 gseq, IoResult res) OAF_REQUIRES(exec_serial_);
+  void on_identify_result(u64 gseq, Result<std::pair<u32, u64>> r)
+      OAF_REQUIRES(exec_serial_);
+  void on_path_event(u32 path_index, NvmfInitiator::PathEvent e)
+      OAF_REQUIRES(exec_serial_);
+  void finish_path_accounting(const GroupCmd& cmd)
+      OAF_REQUIRES(exec_serial_);
+  void note_redrive(u64 gseq, GroupCmd& cmd) OAF_REQUIRES(exec_serial_);
+  void drain_parked() OAF_REQUIRES(exec_serial_);
+  void fail_all_parked() OAF_REQUIRES(exec_serial_);
   [[nodiscard]] static bool redrivable(const IoResult& res) {
     return res.cpl.status == pdu::NvmeStatus::kDataTransferError ||
            res.cpl.status == pdu::NvmeStatus::kAbortedByRequest;
   }
 
   Executor& exec_;
+  /// Executor-affinity capability: group state and every path it owns live
+  /// on one reactor. Path lifecycle handlers and redrive continuations open
+  /// with exec_serial_.assume_held(); calls into a path's REQUIRES-annotated
+  /// API additionally assert that path's own serial (paths share the
+  /// group's reactor by construction — add_path enforces it).
+  af::ExecutorSerial exec_serial_;
   PathGroupOptions opts_;
   std::unique_ptr<PathSelector> selector_;
-  std::vector<PathSlot> paths_;
+  std::vector<PathSlot> paths_ OAF_GUARDED_BY(exec_serial_);
 
-  std::unordered_map<u64, GroupCmd> live_;  ///< by gseq; erase = delivered
-  std::deque<u64> parked_;                  ///< gseqs awaiting a path
-  u64 next_gseq_ = 1;
+  std::unordered_map<u64, GroupCmd> live_
+      OAF_GUARDED_BY(exec_serial_);  ///< by gseq; erase = delivered
+  std::deque<u64> parked_
+      OAF_GUARDED_BY(exec_serial_);  ///< gseqs awaiting a path
+  u64 next_gseq_ OAF_GUARDED_BY(exec_serial_) = 1;
 
-  std::function<void(Status)> connect_cb_;
-  bool connected_once_ = false;
+  ConnectCb connect_cb_ OAF_GUARDED_BY(exec_serial_);
+  bool connected_once_ OAF_GUARDED_BY(exec_serial_) = false;
 
-  u64 ios_completed_ = 0;
-  u64 failovers_ = 0;      ///< eligible paths lost (recovering or dead)
-  u64 redrives_ = 0;       ///< commands re-driven onto another path
-  u64 parked_total_ = 0;   ///< submissions that ever waited for a path
-  u64 park_overflows_ = 0;  ///< fast-failed at the max_parked bound
-  u64 duplicates_suppressed_ = 0;  ///< late completions fenced by the map
-  u32 displaced_ = 0;      ///< in-flight on now-ineligible paths (failover)
-  u32 failover_redrives_ = 0;  ///< redrives within the current failover
+  u64 ios_completed_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 failovers_ OAF_GUARDED_BY(exec_serial_) = 0;  ///< eligible paths lost
+  u64 redrives_ OAF_GUARDED_BY(exec_serial_) = 0;   ///< re-driven commands
+  u64 parked_total_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< submissions that ever waited
+  u64 park_overflows_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< fast-failed at max_parked
+  u64 duplicates_suppressed_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< late completions fenced
+  u32 displaced_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< in-flight on ineligible paths
+  u32 failover_redrives_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< redrives this failover
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   struct Tel {
@@ -187,7 +250,7 @@ class PathGroup final : public IoSession {
     telemetry::Counter* park_overflow = nullptr;
     telemetry::Counter* duplicates = nullptr;
   } tel_;
-  void init_telemetry();
+  void init_telemetry() OAF_REQUIRES(exec_serial_);
 };
 
 }  // namespace oaf::nvmf

@@ -27,7 +27,7 @@ NvmfTargetConnection::NvmfTargetConnection(Executor& exec,
                                            TargetOptions opts)
     : exec_(exec),
       control_(control),
-      cm_(broker),
+      cm_(broker, exec_serial_),
       ep_(af::Role::kTarget, exec, copier, opts.af),
       governor_(opts.af.busy_poll, opts.af.static_poll_ns),
       subsystem_(subsystem),
@@ -35,6 +35,7 @@ NvmfTargetConnection::NvmfTargetConnection(Executor& exec,
   last_heard_ = exec_.now();
   kato_ns_ = opts_.default_kato_ns;
   control_.set_handler([this, alive = alive_](Pdu p) {
+    exec_serial_.assume_held();  // channel delivers on the reactor
     if (*alive) on_pdu(std::move(p));
   });
   governor_.attach(&control_);
@@ -95,6 +96,7 @@ NvmfTargetConnection::~NvmfTargetConnection() {
   for (const auto& [cid, ctx] : inflight_) release_staging(ctx.charged);
   for (const auto& [seq, z] : zombie_buffers_) release_staging(z.charged);
   if (ep_.shm_attached()) {
+    cm_.serial()->assume_held();  // cm_ borrowed this connection's serial
     (void)cm_.release(opts_.connection_name);
   }
 }
@@ -172,6 +174,7 @@ void NvmfTargetConnection::on_icreq(const pdu::ICReq& req) {
     // drop undelivered PDUs on close, so a synchronous close here would
     // outrun the verdict we just sent.
     exec_.post([this, alive = alive_] {
+      exec_serial_.assume_held();
       if (!*alive) return;
       control_.close();
     });
@@ -179,6 +182,7 @@ void NvmfTargetConnection::on_icreq(const pdu::ICReq& req) {
   }
   if (req.kato_ns > 0) kato_ns_ = static_cast<DurNs>(req.kato_ns);
   data_digest_ = req.data_digest && opts_.af.data_digest;
+  cm_.serial()->assume_held();  // cm_ borrowed this connection's serial
   auto resp = cm_.accept_target(req, opts_.connection_name, ep_);
   Pdu out;
   if (!resp) {
@@ -311,6 +315,7 @@ void NvmfTargetConnection::evict(const std::string& reason) {
   // Defer the hangup one executor turn so the TermReq flushes ahead of it
   // on queued transports; the next reap collects the corpse.
   exec_.post([this, alive = alive_] {
+    exec_serial_.assume_held();
     if (!*alive) return;
     control_.close();
   });
@@ -454,6 +459,7 @@ void NvmfTargetConnection::on_capsule(Pdu pdu) {
               capsule.shm_slot, ctx.buffer,
               [this, alive = alive_, cid, seq = ctx.seq, len,
                copy_start](Result<u64> got) {
+                exec_serial_.assume_held();  // consume posts on the reactor
                 if (!*alive) return;
                 drop_zombie(seq);  // copy done; zombie (and its charge) can go
                 const auto it2 = inflight_.find(cid);
@@ -590,6 +596,7 @@ void NvmfTargetConnection::on_h2c(Pdu pdu) {
         std::span<u8>(ctx.buffer.data() + h2c.offset, h2c.length),
         [this, alive = alive_, cid, seq = ctx.seq,
          len = h2c.length](Result<u64> got) {
+          exec_serial_.assume_held();  // consume posts on the reactor
           if (!*alive) return;
           drop_zombie(seq);  // copy done; zombie (and its charge) can go
           auto it2 = inflight_.find(cid);
@@ -656,6 +663,7 @@ void NvmfTargetConnection::start_device_write(u16 cid) {
   device->submit_write(ctx.cmd, ctx.buffer,
                        [this, alive = alive_, cid, seq = ctx.seq,
                         span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
+                         exec_serial_.assume_held();  // device completes here
                          if (!*alive) return;
                          OAF_TEL(telemetry::tracer().end(
                              tel_.track, "target_io", "device", span,
@@ -694,6 +702,7 @@ void NvmfTargetConnection::handle_read(u16 cid) {
   device->submit_read(ctx.cmd, ctx.buffer,
                       [this, alive = alive_, cid, seq = ctx.seq,
                        span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
+                        exec_serial_.assume_held();  // device completes here
                         if (!*alive) return;
                         OAF_TEL(telemetry::tracer().end(tel_.track,
                                                         "target_io", "device",
@@ -733,6 +742,7 @@ void NvmfTargetConnection::finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
       const Status st = ep_.stage_payload(
           cid, ctx.buffer,
           [this, alive = alive_, cid, seq = ctx.seq, io_time, copy_start] {
+            exec_serial_.assume_held();
             if (!*alive) return;
             const auto it2 = inflight_.find(cid);
             if (it2 == inflight_.end() || it2->second.seq != seq) {
@@ -879,6 +889,7 @@ void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
       cid, std::span<const u8>(ctx.buffer.data() + offset, chunk),
       [this, alive = alive_, cid, seq = ctx.seq, offset, chunk, last, cpl,
        io_time, gen = ctx.gen] {
+        exec_serial_.assume_held();
         if (!*alive) return;
         const auto it2 = inflight_.find(cid);
         if (it2 == inflight_.end() || it2->second.seq != seq) {
@@ -905,6 +916,7 @@ void NvmfTargetConnection::shm_read_chunk(u16 cid, u64 offset,
       },
       // An aborted read must not keep parking chunks in the slot.
       [this, alive = alive_, cid, seq = ctx.seq] {
+        exec_serial_.assume_held();
         if (!*alive) return true;
         const auto it2 = inflight_.find(cid);
         return it2 == inflight_.end() || it2->second.seq != seq;
@@ -941,6 +953,7 @@ void NvmfTargetConnection::handle_admin(u16 cid) {
     device->submit_other(
         ctx.cmd, [this, alive = alive_, cid, seq = ctx.seq,
                   span = ctx.span](pdu::NvmeCpl cpl, DurNs io_time) {
+          exec_serial_.assume_held();  // device completes here
           if (!*alive) return;
           OAF_TEL(telemetry::tracer().end(tel_.track, "target_io", "device",
                                           span, exec_.now()));

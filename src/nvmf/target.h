@@ -23,6 +23,7 @@
 #include "af/busy_poll.h"
 #include "af/config.h"
 #include "af/connection_manager.h"
+#include "af/exec_serial.h"
 #include "af/flow_control.h"
 #include "af/endpoint.h"
 #include "net/channel.h"
@@ -84,11 +85,16 @@ class NvmfTargetConnection {
   }
 
   // --- liveness (association reaping) --------------------------------------
-  [[nodiscard]] TimeNs last_heard() const { return last_heard_; }
-  [[nodiscard]] DurNs kato_ns() const { return kato_ns_; }
+  [[nodiscard]] TimeNs last_heard() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return last_heard_;
+  }
+  [[nodiscard]] DurNs kato_ns() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return kato_ns_;
+  }
   /// KATO expired: the host has been silent longer than the association's
   /// keep-alive timeout allows.
-  [[nodiscard]] bool expired(TimeNs now) const {
+  [[nodiscard]] bool expired(TimeNs now) const
+      OAF_REQUIRES_SHARED(exec_serial_) {
     return kato_ns_ > 0 && now - last_heard_ > kato_ns_;
   }
   /// The control channel is gone (client closed or crashed).
@@ -99,52 +105,98 @@ class NvmfTargetConnection {
   /// next monotonic change_seq; no-op if the state is unchanged. The target
   /// keeps serving whatever arrives in every state — ANA is advisory
   /// steering for the initiator's selector, never admission control.
-  void set_ana_state(pdu::AnaState state, const std::string& reason);
-  [[nodiscard]] pdu::AnaState ana_state() const { return ana_state_; }
-  [[nodiscard]] u64 ana_changes() const { return ana_change_seq_; }
+  void set_ana_state(pdu::AnaState state, const std::string& reason)
+      OAF_REQUIRES(exec_serial_);
+  [[nodiscard]] pdu::AnaState ana_state() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return ana_state_;
+  }
+  [[nodiscard]] u64 ana_changes() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return ana_change_seq_;
+  }
 
   // --- command-lifetime robustness -----------------------------------------
   /// Reclaim shm slots stuck mid-transfer by a dead peer. The stuck window
   /// is this association's KATO (the owner is provably unreachable once it
   /// expires), or `fallback` when no KATO was negotiated. Returns the number
   /// of slots reclaimed.
-  u32 sweep_orphan_slots(DurNs fallback);
+  u32 sweep_orphan_slots(DurNs fallback) OAF_REQUIRES(exec_serial_);
 
   // --- overload protection -------------------------------------------------
   /// Commands currently in flight on this association.
-  [[nodiscard]] u64 inflight_now() const { return inflight_.size(); }
+  [[nodiscard]] u64 inflight_now() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return inflight_.size();
+  }
   /// Staging bytes currently charged to this association (incl. zombies).
-  [[nodiscard]] u64 staging_bytes() const { return staging_bytes_; }
+  [[nodiscard]] u64 staging_bytes() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return staging_bytes_;
+  }
   /// Age of the oldest in-flight command, 0 when idle. A connection whose
   /// oldest command is stuck past the service's stall watermark is a slow
   /// client: it is not draining responses (or its shm consumer wedged) and
   /// is pinning staging memory everyone else needs.
-  [[nodiscard]] DurNs oldest_inflight_age(TimeNs now) const;
+  [[nodiscard]] DurNs oldest_inflight_age(TimeNs now) const
+      OAF_REQUIRES_SHARED(exec_serial_);
   /// Shed one admitted-but-not-yet-executing command (oldest first),
   /// completing it with retryable kQueueFull. Returns false when every
   /// in-flight command is pinned by the device or an shm copy.
-  bool shed_oldest();
+  bool shed_oldest() OAF_REQUIRES(exec_serial_);
   /// Terminate the association (TermReq + close); the next reap collects
   /// it. Used by the service's slow-client escalation.
-  void evict(const std::string& reason);
-  [[nodiscard]] bool evicted() const { return evicted_; }
+  void evict(const std::string& reason) OAF_REQUIRES(exec_serial_);
+  [[nodiscard]] bool evicted() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return evicted_;
+  }
 
   /// True for a reject-mode association: it exists only to deliver the
   /// ICResp{admitted=false} verdict and then close.
   [[nodiscard]] bool connect_rejected() const { return opts_.reject_connect; }
 
+  /// This connection's executor-affinity capability (af/exec_serial.h).
+  /// The owning service drives reaping/sweeps from the same reactor and
+  /// asserts this before calling the REQUIRES-annotated API above.
+  [[nodiscard]] const af::ExecutorSerial& serial() const
+      OAF_RETURN_CAPABILITY(exec_serial_) {
+    return exec_serial_;
+  }
+
   // --- stats ---------------------------------------------------------------
-  [[nodiscard]] u64 commands_served() const { return commands_served_; }
-  [[nodiscard]] u64 queue_full_rejects() const { return queue_full_rejects_; }
-  [[nodiscard]] u64 commands_shed() const { return commands_shed_; }
-  [[nodiscard]] u64 r2ts_sent() const { return r2ts_sent_; }
-  [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
-  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
-  [[nodiscard]] u64 keepalives_answered() const { return keepalives_answered_; }
-  [[nodiscard]] u64 digest_errors() const { return digest_errors_; }
+  [[nodiscard]] u64 commands_served() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return commands_served_;
+  }
+  [[nodiscard]] u64 queue_full_rejects() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return queue_full_rejects_;
+  }
+  [[nodiscard]] u64 commands_shed() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return commands_shed_;
+  }
+  [[nodiscard]] u64 r2ts_sent() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return r2ts_sent_;
+  }
+  [[nodiscard]] u64 bytes_read() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return bytes_read_;
+  }
+  [[nodiscard]] u64 bytes_written() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return bytes_written_;
+  }
+  [[nodiscard]] u64 keepalives_answered() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return keepalives_answered_;
+  }
+  [[nodiscard]] u64 digest_errors() const OAF_REQUIRES_SHARED(exec_serial_) {
+    return digest_errors_;
+  }
   [[nodiscard]] u64 shm_demotions() const { return ep_.shm_demotions(); }
-  [[nodiscard]] u64 aborts_handled() const { return aborts_handled_; }
-  [[nodiscard]] u64 commands_aborted() const { return commands_aborted_; }
+  [[nodiscard]] u64 aborts_handled() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return aborts_handled_;
+  }
+  [[nodiscard]] u64 commands_aborted() const
+      OAF_REQUIRES_SHARED(exec_serial_) {
+    return commands_aborted_;
+  }
   [[nodiscard]] u64 orphan_slots_reclaimed() const {
     return ep_.orphan_reclaims();
   }
@@ -172,51 +224,60 @@ class NvmfTargetConnection {
     telemetry::StageLedger ledger;  ///< target-side stage attribution
   };
 
-  void on_pdu(pdu::Pdu pdu);
-  void on_icreq(const pdu::ICReq& req);
-  void on_capsule(pdu::Pdu pdu);
-  void on_h2c(pdu::Pdu pdu);
+  void on_pdu(pdu::Pdu pdu) OAF_REQUIRES(exec_serial_);
+  void on_icreq(const pdu::ICReq& req) OAF_REQUIRES(exec_serial_);
+  void on_capsule(pdu::Pdu pdu) OAF_REQUIRES(exec_serial_);
+  void on_h2c(pdu::Pdu pdu) OAF_REQUIRES(exec_serial_);
 
-  void start_device_write(u16 cid);
-  void handle_read(u16 cid);
-  void shm_read_chunk(u16 cid, u64 offset, pdu::NvmeCpl cpl, DurNs io_time);
-  void handle_admin(u16 cid);
-  void handle_abort(u16 cid);
-  void finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time);
+  void start_device_write(u16 cid) OAF_REQUIRES(exec_serial_);
+  void handle_read(u16 cid) OAF_REQUIRES(exec_serial_);
+  void shm_read_chunk(u16 cid, u64 offset, pdu::NvmeCpl cpl, DurNs io_time)
+      OAF_REQUIRES(exec_serial_);
+  void handle_admin(u16 cid) OAF_REQUIRES(exec_serial_);
+  void handle_abort(u16 cid) OAF_REQUIRES(exec_serial_);
+  void finish_read(u16 cid, pdu::NvmeCpl cpl, DurNs io_time)
+      OAF_REQUIRES(exec_serial_);
 
   /// Consume-path failure: kPeerMisbehavior means the fencing caught a bad
   /// peer — demote the data path and tell the host to stop producing too.
-  void note_consume_failure(const Status& st);
+  void note_consume_failure(const Status& st) OAF_REQUIRES(exec_serial_);
 
   void send_resp(u16 cid, const pdu::NvmeCpl& cpl, DurNs io_time,
-                 std::vector<u8> payload = {});
-  void send_term(const std::string& reason);
+                 std::vector<u8> payload = {}) OAF_REQUIRES(exec_serial_);
+  void send_term(const std::string& reason) OAF_REQUIRES(exec_serial_);
 
   /// Serve the peer's half of an anomaly capture from the local ring,
   /// timestamps pre-corrected onto the requester's clock.
-  void on_anomaly_req(const pdu::AnomalyReq& req);
+  void on_anomaly_req(const pdu::AnomalyReq& req) OAF_REQUIRES(exec_serial_);
   /// Fold a finished command into the attribution window; on a target-side
   /// SLO breach, capture locally (no reverse fetch — the host owns the
   /// cross-process capture).
-  void record_attribution(const IoCtx& ctx);
+  void record_attribution(const IoCtx& ctx) OAF_REQUIRES(exec_serial_);
 
   /// Budget denial: answer `cid` with retryable kQueueFull without ever
   /// creating an IoCtx (the whole point is to allocate nothing).
-  void reject_queue_full(u16 cid, u16 gen, const char* why);
+  void reject_queue_full(u16 cid, u16 gen, const char* why)
+      OAF_REQUIRES(exec_serial_);
   /// Return `n` staging bytes to the per-connection and global budgets.
-  void release_staging(u64 n);
+  void release_staging(u64 n) OAF_REQUIRES(exec_serial_);
   /// Erase an in-flight command, returning its staging charge first.
-  void erase_inflight(u16 cid);
+  void erase_inflight(u16 cid) OAF_REQUIRES(exec_serial_);
   /// Drop an aborted command's parked buffer and return its charge.
-  void drop_zombie(u64 seq);
+  void drop_zombie(u64 seq) OAF_REQUIRES(exec_serial_);
 
-  [[nodiscard]] DurNs target_time(u16 cid, DurNs io_time) const;
-  [[nodiscard]] u16 gen_of(u16 cid) const {
+  [[nodiscard]] DurNs target_time(u16 cid, DurNs io_time) const
+      OAF_REQUIRES_SHARED(exec_serial_);
+  [[nodiscard]] u16 gen_of(u16 cid) const OAF_REQUIRES_SHARED(exec_serial_) {
     const auto it = inflight_.find(cid);
     return it != inflight_.end() ? it->second.gen : 0;
   }
 
   Executor& exec_;
+  /// Executor-affinity capability (af/exec_serial.h): this connection's
+  /// state is single-reactor. PDU delivery, device completions, and shm
+  /// consume continuations all assert it; any new off-reactor touch fails
+  /// clang -Wthread-safety. Declared before cm_, which borrows it.
+  af::ExecutorSerial exec_serial_;
   net::MsgChannel& control_;
   af::ConnectionManager cm_;
   af::AfEndpoint ep_;
@@ -224,11 +285,11 @@ class NvmfTargetConnection {
   ssd::Subsystem& subsystem_;
   TargetOptions opts_;
 
-  std::unordered_map<u16, IoCtx> inflight_;
+  std::unordered_map<u16, IoCtx> inflight_ OAF_GUARDED_BY(exec_serial_);
   /// Cids whose command was aborted while transfer PDUs could still be in
   /// flight: late H2CData for them is discarded instead of terminating the
   /// association. An entry clears when its cid is reused.
-  std::unordered_set<u16> recently_aborted_;
+  std::unordered_set<u16> recently_aborted_ OAF_GUARDED_BY(exec_serial_);
   /// Staging buffers of aborted commands whose device I/O is still running;
   /// keyed by ctx seq and dropped when the (swallowed) completion fires.
   /// The budget charge travels with the buffer: the memory is still pinned.
@@ -236,30 +297,34 @@ class NvmfTargetConnection {
     std::vector<u8> buffer;
     u64 charged = 0;
   };
-  std::unordered_map<u64, ZombieBuffer> zombie_buffers_;
-  u64 next_ctx_seq_ = 1;
-  TimeNs last_heard_ = 0;
-  DurNs kato_ns_ = 0;
-  bool data_digest_ = false;
-  pdu::AnaState ana_state_ = pdu::AnaState::kOptimized;
-  u64 ana_change_seq_ = 0;  ///< notices sent; monotonic per association
+  std::unordered_map<u64, ZombieBuffer> zombie_buffers_
+      OAF_GUARDED_BY(exec_serial_);
+  u64 next_ctx_seq_ OAF_GUARDED_BY(exec_serial_) = 1;
+  TimeNs last_heard_ OAF_GUARDED_BY(exec_serial_) = 0;
+  DurNs kato_ns_ OAF_GUARDED_BY(exec_serial_) = 0;
+  bool data_digest_ OAF_GUARDED_BY(exec_serial_) = false;
+  pdu::AnaState ana_state_ OAF_GUARDED_BY(exec_serial_) =
+      pdu::AnaState::kOptimized;
+  u64 ana_change_seq_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< notices sent; monotonic
   /// Guards device completions and shm-copy continuations against the
   /// association reaper destroying this connection while they are queued.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
-  u64 staging_bytes_ = 0;  ///< live per-connection staging charge
-  bool evicted_ = false;
+  u64 staging_bytes_
+      OAF_GUARDED_BY(exec_serial_) = 0;  ///< live per-connection charge
+  bool evicted_ OAF_GUARDED_BY(exec_serial_) = false;
 
-  u64 commands_served_ = 0;
-  u64 queue_full_rejects_ = 0;
-  u64 commands_shed_ = 0;
-  u64 r2ts_sent_ = 0;
-  u64 bytes_read_ = 0;
-  u64 bytes_written_ = 0;
-  u64 keepalives_answered_ = 0;
-  u64 digest_errors_ = 0;
-  u64 aborts_handled_ = 0;
-  u64 commands_aborted_ = 0;
+  u64 commands_served_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 queue_full_rejects_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 commands_shed_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 r2ts_sent_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 bytes_read_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 bytes_written_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 keepalives_answered_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 digest_errors_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 aborts_handled_ OAF_GUARDED_BY(exec_serial_) = 0;
+  u64 commands_aborted_ OAF_GUARDED_BY(exec_serial_) = 0;
 
   /// Cached process-global telemetry handles (DESIGN.md §9). The trace track
   /// is this connection's target lane; spans pair with the initiator's via
@@ -278,9 +343,9 @@ class NvmfTargetConnection {
     telemetry::Counter* queue_full = nullptr;
     telemetry::Counter* shed = nullptr;
   } tel_;
-  void init_telemetry();
+  void init_telemetry() OAF_REQUIRES(exec_serial_);
   /// End the command span for a still-inflight cid (no-op if unknown).
-  void trace_end_cmd(u16 cid);
+  void trace_end_cmd(u16 cid) OAF_REQUIRES(exec_serial_);
 };
 
 }  // namespace oaf::nvmf

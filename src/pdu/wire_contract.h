@@ -111,6 +111,9 @@ inline constexpr u64 kWireH2CDataBytes = 2 + 2 + 8 + 8 + 1 + 1 + 4 + 2 + 4;
 inline constexpr u64 kWireC2HDataBytes =
     2 + 8 + 8 + 1 + 1 + 1 + 4 + 8 + 8 + 2 + 4;
 inline constexpr u64 kWireTermReqFixedBytes = 1 + 2;
+/// ShmDemote is its reason string alone — no fixed fields beyond the
+/// common header and the string's length prefix.
+inline constexpr u64 kWireShmDemoteFixedBytes = 0;
 inline constexpr u64 kWireKeepAliveBytesV1 = 1 + 8;
 inline constexpr u64 kWireKeepAliveBytes = kWireKeepAliveBytesV1 + 8 + 8;
 ///   rev 3 — multipath: AnaLog PDU (new type, so no rev-gating needed — an

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 
 #include "common/executor.h"
 #include "sim/scheduler.h"
@@ -17,7 +16,7 @@ namespace oaf::sim {
 
 class Resource {
  public:
-  using Fn = std::function<void()>;
+  using Fn = Executor::Fn;  // move-only; jobs may carry linear tokens
 
   Resource(Executor& exec, int servers)
       : exec_(exec), free_(servers), servers_(servers) {}
@@ -82,7 +81,7 @@ class Resource {
 /// tracked with a "link free at" watermark, which is O(1) with no deque.
 class Throttle {
  public:
-  using Fn = std::function<void()>;
+  using Fn = Executor::Fn;  // move-only; jobs may carry linear tokens
 
   Throttle(Executor& exec, double bytes_per_sec)
       : exec_(exec), bytes_per_sec_(bytes_per_sec) {}
@@ -123,7 +122,7 @@ class Throttle {
 /// functional plane. FIFO grant order.
 class AsyncMutex {
  public:
-  using Fn = std::function<void()>;
+  using Fn = Executor::Fn;  // move-only; jobs may carry linear tokens
 
   explicit AsyncMutex(Executor& exec) : exec_(exec) {}
 

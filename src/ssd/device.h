@@ -10,9 +10,9 @@
 // latency breakdowns (Figs 3, 12).
 #pragma once
 
-#include <functional>
 #include <span>
 
+#include "af/once_callback.h"
 #include "common/types.h"
 #include "pdu/nvme_cmd.h"
 #include "ssd/block_store.h"
@@ -22,8 +22,10 @@ namespace oaf::ssd {
 class Device {
  public:
   /// cpl: NVMe completion; io_time: wall (virtual) time the command spent in
-  /// the device from submission to completion.
-  using Completion = std::function<void(pdu::NvmeCpl cpl, DurNs io_time)>;
+  /// the device from submission to completion. A linear token: the device
+  /// must invoke it exactly once — losing it is the target-side response
+  /// wedge, and aborts at the drop site (af/once_callback.h).
+  using Completion = af::OnceCallback<void(pdu::NvmeCpl cpl, DurNs io_time)>;
 
   virtual ~Device() = default;
 

@@ -61,8 +61,8 @@ class RealDevice final : public Device {
 
  private:
   void finish(pdu::NvmeCpl cpl, TimeNs start, Completion done) {
-    exec_.post([cpl, start, &exec = exec_, done = std::move(done)] {
-      done(cpl, exec.now() - start);
+    exec_.post([cpl, start, &exec = exec_, done = std::move(done)]() mutable {
+      std::move(done)(cpl, exec.now() - start);
     });
   }
 

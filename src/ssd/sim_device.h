@@ -92,7 +92,7 @@ class SimDevice final : public Device {
     // Flush drains the write cache: model as one base write latency.
     station_.submit(params_.write_base_ns,
                     [this, cpl, start, done = std::move(done)]() mutable {
-                      done(cpl, sched_.now() - start);
+                      std::move(done)(cpl, sched_.now() - start);
                     });
   }
 
@@ -105,8 +105,8 @@ class SimDevice final : public Device {
 
  private:
   void complete_now(pdu::NvmeCpl cpl, TimeNs start, Completion done) {
-    sched_.post([this, cpl, start, done = std::move(done)] {
-      done(cpl, sched_.now() - start);
+    sched_.post([this, cpl, start, done = std::move(done)]() mutable {
+      std::move(done)(cpl, sched_.now() - start);
     });
   }
 
@@ -125,7 +125,7 @@ class SimDevice final : public Device {
     // bandwidth stage, then occupies an internal execution slot.
     bw.transmit(bytes, 0, [this, service, cpl, start, done = std::move(done)]() mutable {
       station_.submit(service, [this, cpl, start, done = std::move(done)]() mutable {
-        done(cpl, sched_.now() - start);
+        std::move(done)(cpl, sched_.now() - start);
       });
     });
   }

@@ -17,19 +17,19 @@ AnomalyRecorder::AnomalyRecorder(size_t capacity) : ring_(capacity) {
 }
 
 void AnomalyRecorder::configure(const AnomalyOptions& opts) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   opts_ = opts;
   if (opts_.dir.empty()) opts_.dir = ".";
   armed_ = true;
 }
 
 AnomalyOptions AnomalyRecorder::options() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return opts_;
 }
 
 i64 AnomalyRecorder::begin_capture(TimeNs now) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (!armed_) return -1;
   if (static_cast<size_t>(next_index_) >= opts_.max_captures) return -1;
   if (claimed_once_ && now - last_claim_ns_ < opts_.min_interval_ns) return -1;
@@ -71,7 +71,7 @@ std::string AnomalyRecorder::events_json(u64 trace_id, TimeNs from_ns,
 std::string AnomalyRecorder::capture(const AnomalyContext& ctx) {
   AnomalyOptions opts;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!armed_) return {};
     opts = opts_;
   }
@@ -125,7 +125,7 @@ std::string AnomalyRecorder::capture(const AnomalyContext& ctx) {
 }
 
 void AnomalyRecorder::reset_for_test() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   armed_ = false;
   next_index_ = 0;
   last_claim_ns_ = 0;

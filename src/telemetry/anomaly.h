@@ -29,6 +29,7 @@
 
 #include <string>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "telemetry/attribution.h"
 #include "telemetry/trace.h"
@@ -73,7 +74,13 @@ class AnomalyRecorder {
 
   /// Arm capture into opts.dir. Idempotent.
   void configure(const AnomalyOptions& opts);
-  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool armed() const {
+    // Read under the lock: configure()/reset_for_test() write armed_ from
+    // tool threads while completion paths poll it — the unlocked read the
+    // annotation pass flagged was a (benign-looking) data race.
+    MutexLock lk(mu_);
+    return armed_;
+  }
   [[nodiscard]] AnomalyOptions options() const;
 
   /// Rate-limit gate: claims a capture slot when armed, under max_captures,
@@ -96,20 +103,23 @@ class AnomalyRecorder {
                                         TimeNs to_ns, i64 ts_adjust_ns,
                                         size_t max_events) const;
 
-  [[nodiscard]] u64 captures() const { return static_cast<u64>(next_index_); }
+  [[nodiscard]] u64 captures() const {
+    MutexLock lk(mu_);
+    return static_cast<u64>(next_index_);
+  }
 
   /// Disarm and forget capture history (ring events survive). Tests only.
   void reset_for_test();
 
  private:
   TraceRecorder ring_;
-  mutable std::mutex mu_;
-  AnomalyOptions opts_;
-  bool armed_ = false;
-  i64 next_index_ = 0;
-  TimeNs last_claim_ns_ = 0;
-  bool claimed_once_ = false;
-  Counter* captures_total_ = nullptr;
+  mutable Mutex mu_;
+  AnomalyOptions opts_ OAF_GUARDED_BY(mu_);
+  bool armed_ OAF_GUARDED_BY(mu_) = false;
+  i64 next_index_ OAF_GUARDED_BY(mu_) = 0;
+  TimeNs last_claim_ns_ OAF_GUARDED_BY(mu_) = 0;
+  bool claimed_once_ OAF_GUARDED_BY(mu_) = false;
+  Counter* captures_total_ = nullptr;  ///< set once in the ctor
 };
 
 /// Process-global anomaly recorder (always recording, capture disarmed

@@ -62,7 +62,7 @@ Attribution::Attribution() {
 
 void Attribution::configure(const AttributionOptions& opts) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     opts_ = opts;
     if (opts_.window_ns <= 0) opts_.window_ns = 1'000'000'000;
     if (opts_.windows == 0) opts_.windows = 1;
@@ -73,12 +73,12 @@ void Attribution::configure(const AttributionOptions& opts) {
 }
 
 AttributionOptions Attribution::options() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return opts_;
 }
 
 DurNs Attribution::slo_for(OpClass c) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return c == OpClass::kWrite ? opts_.slo_write_ns : opts_.slo_read_ns;
 }
 
@@ -122,7 +122,7 @@ bool Attribution::record(OpClass op, const StageLedger& ledger, i64 total_ns,
   if (!enabled()) return false;
   if (total_ns < 0) total_ns = 0;
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Slot& slot = slot_for_locked(now);
 
   for (size_t s = 0; s < kStageCount; ++s) {
@@ -153,7 +153,7 @@ bool Attribution::record(OpClass op, const StageLedger& ledger, i64 total_ns,
 
 void Attribution::record_detour(OpClass op, DurNs detour_ns, TimeNs now) {
   if (!enabled() || detour_ns <= 0) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Slot& slot = slot_for_locked(now);
   (void)op;
   const auto d = static_cast<size_t>(Stage::kDetour);
@@ -163,7 +163,7 @@ void Attribution::record_detour(OpClass op, DurNs detour_ns, TimeNs now) {
 
 std::vector<WindowStats> Attribution::snapshot_windows(TimeNs now) const {
   if (now < 0) now = 0;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const u64 cur = static_cast<u64>(now) / static_cast<u64>(opts_.window_ns);
   const u64 depth = slots_.size();
   const u64 first = cur + 1 >= depth ? cur + 1 - depth : 0;
@@ -275,7 +275,7 @@ std::string Attribution::summary_json() const {
 }
 
 void Attribution::reset_for_test() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (Slot& s : slots_) s = Slot{};
   last_widx_ = Slot::kEmpty;
 }

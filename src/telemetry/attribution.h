@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/types.h"
 #include "telemetry/metrics.h"
 
@@ -236,13 +237,13 @@ class Attribution {
   /// Slot for the window containing `now`, resetting/retagging stale slots
   /// and publishing the previous window's breach gauge on rotation. Caller
   /// holds mu_.
-  Slot& slot_for_locked(TimeNs now);
-  void push_top_locked(Slot& slot, const TopEntry& e);
+  Slot& slot_for_locked(TimeNs now) OAF_REQUIRES(mu_);
+  void push_top_locked(Slot& slot, const TopEntry& e) OAF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  AttributionOptions opts_;
-  std::vector<Slot> slots_;
-  u64 last_widx_ = Slot::kEmpty;
+  mutable Mutex mu_;
+  AttributionOptions opts_ OAF_GUARDED_BY(mu_);
+  std::vector<Slot> slots_ OAF_GUARDED_BY(mu_);
+  u64 last_widx_ OAF_GUARDED_BY(mu_) = Slot::kEmpty;
   std::atomic<bool> enabled_{false};
 
   // Cached registry handles (telemetry may be compiled out → null-safe use).

@@ -86,7 +86,7 @@ BasicMetricsRegistry<Policy>::sample_callbacks_locked() const {
 
 template <typename Policy>
 std::string BasicMetricsRegistry<Policy>::to_prometheus() const {
-  std::lock_guard<typename Policy::mutex> lk(mu_);
+  typename Policy::lock lk(mu_);
   // Blocks keyed by metric name so the merged output is globally sorted
   // regardless of which kind each metric is.
   std::map<std::string, std::string> blocks;
@@ -153,7 +153,7 @@ std::string BasicMetricsRegistry<Policy>::to_prometheus() const {
 
 template <typename Policy>
 std::string BasicMetricsRegistry<Policy>::to_json() const {
-  std::lock_guard<typename Policy::mutex> lk(mu_);
+  typename Policy::lock lk(mu_);
   JsonWriter w;
   w.begin_object();
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/atomics_policy.h"
+#include "common/thread_annotations.h"
 #include "common/histogram.h"
 #include "common/types.h"
 
@@ -74,21 +75,21 @@ template <typename Policy = StdAtomicsPolicy>
 class BasicHistogramMetric {
  public:
   void record(i64 value) {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     h_.record(value);
   }
   [[nodiscard]] Histogram snapshot() const {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     return h_;
   }
   void reset() {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     h_.reset();
   }
 
  private:
   mutable typename Policy::mutex mu_;
-  Histogram h_;
+  Histogram h_ OAF_GUARDED_BY(mu_);
 };
 
 template <typename Policy = StdAtomicsPolicy>
@@ -105,17 +106,17 @@ class BasicMetricsRegistry {
   /// Find-or-create. A second registration under the same name returns the
   /// same handle (components on different connections share process totals).
   Counter* counter(std::string_view name, std::string_view help) {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     return find_or_create(counters_, name, help,
                           [] { return std::make_unique<Counter>(); });
   }
   Gauge* gauge(std::string_view name, std::string_view help) {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     return find_or_create(gauges_, name, help,
                           [] { return std::make_unique<Gauge>(); });
   }
   HistogramMetric* histogram(std::string_view name, std::string_view help) {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     return find_or_create(
         histograms_, name, help,
         [] { return std::make_unique<HistogramMetric>(); });
@@ -143,7 +144,7 @@ class BasicMetricsRegistry {
     CallbackHandle(BasicMetricsRegistry* r, u64 id) : registry_(r), id_(id) {}
     void release() {
       if (registry_ == nullptr) return;
-      std::lock_guard<typename Policy::mutex> lk(registry_->mu_);
+      typename Policy::lock lk(registry_->mu_);
       for (auto it = registry_->callbacks_.begin();
            it != registry_->callbacks_.end();) {
         auto& vec = it->second;
@@ -168,7 +169,7 @@ class BasicMetricsRegistry {
   [[nodiscard]] CallbackHandle callback_gauge(std::string_view name,
                                               std::string_view help,
                                               std::function<i64()> fn) {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     const u64 id = next_callback_id_++;
     auto it = callbacks_.find(name);
     if (it == callbacks_.end()) {
@@ -188,7 +189,7 @@ class BasicMetricsRegistry {
 
   /// Number of distinct metric names currently registered.
   [[nodiscard]] size_t size() const {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     size_t n = counters_.size() + gauges_.size() + histograms_.size();
     for (const auto& [name, entries] : callbacks_) {
       (void)entries;
@@ -201,7 +202,7 @@ class BasicMetricsRegistry {
   /// Zero every counter/gauge/histogram (callback gauges sample live state
   /// and are unaffected). Tests only — production totals are monotonic.
   void reset_for_test() {
-    std::lock_guard<typename Policy::mutex> lk(mu_);
+    typename Policy::lock lk(mu_);
     for (auto& [name, entry] : counters_) entry.second->reset();
     for (auto& [name, entry] : gauges_) entry.second->set(0);
     for (auto& [name, entry] : histograms_) entry.second->reset();
@@ -228,21 +229,22 @@ class BasicMetricsRegistry {
 
   /// Snapshot of callback gauges summed by name, taken under the mutex.
   [[nodiscard]] std::map<std::string, std::pair<std::string, i64>>
-  sample_callbacks_locked() const;
+  sample_callbacks_locked() const OAF_REQUIRES(mu_);
 
   mutable typename Policy::mutex mu_;
   std::map<std::string, std::pair<std::string, std::unique_ptr<Counter>>,
            std::less<>>
-      counters_;
+      counters_ OAF_GUARDED_BY(mu_);
   std::map<std::string, std::pair<std::string, std::unique_ptr<Gauge>>,
            std::less<>>
-      gauges_;
+      gauges_ OAF_GUARDED_BY(mu_);
   std::map<std::string,
            std::pair<std::string, std::unique_ptr<HistogramMetric>>,
            std::less<>>
-      histograms_;
-  std::map<std::string, std::vector<CallbackEntry>, std::less<>> callbacks_;
-  u64 next_callback_id_ = 1;
+      histograms_ OAF_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<CallbackEntry>, std::less<>> callbacks_
+      OAF_GUARDED_BY(mu_);
+  u64 next_callback_id_ OAF_GUARDED_BY(mu_) = 1;
 };
 
 /// Prometheus text-format escaping (exposition format spec): HELP text

@@ -32,7 +32,7 @@ void StatServer::handle(const std::string& name,
 }
 
 Status StatServer::start(u16 port) {
-  if (fd_ >= 0) return make_error(StatusCode::kFailedPrecondition,
+  if (running()) return make_error(StatusCode::kFailedPrecondition,
                                    "stat server already running");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return make_error(StatusCode::kInternal, "socket() failed");
@@ -53,27 +53,29 @@ Status StatServer::start(u16 port) {
     ::close(fd);
     return make_error(StatusCode::kInternal, "getsockname failed");
   }
-  port_ = ntohs(addr.sin_port);
-  fd_ = fd;
-  thread_ = std::thread([this] { serve(); });
-  OAF_INFO("stat server listening on 127.0.0.1:%u", port_);
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this, fd] { serve(fd); });
+  OAF_INFO("stat server listening on 127.0.0.1:%u", ntohs(addr.sin_port));
   return Status::ok();
 }
 
 void StatServer::stop() {
-  if (fd_ < 0) return;
-  // shutdown() unblocks the accept() in the server thread; the thread then
-  // sees the closed listener and exits.
-  ::shutdown(fd_, SHUT_RDWR);
-  ::close(fd_);
-  fd_ = -1;
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd < 0) return;
+  // shutdown() unblocks the accept() in the server thread; join BEFORE
+  // close so the fd number cannot be recycled under a still-blocked
+  // accept() (the affinity/lock annotation pass flagged the old
+  // close-then-join order).
+  ::shutdown(fd, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
-  port_ = 0;
+  ::close(fd);
+  port_.store(0, std::memory_order_release);
 }
 
-void StatServer::serve() {
+void StatServer::serve(const int listen_fd) {
   while (true) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(listen_fd, nullptr, nullptr);
     if (client < 0) return;  // listener closed by stop()
 
     std::string line;

@@ -18,6 +18,7 @@
 // stop() (or destruction) shuts it down deterministically.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -44,18 +45,30 @@ class StatServer {
   Status start(u16 port);
 
   /// Port actually bound (useful with port 0), 0 when not running.
-  [[nodiscard]] u16 port() const { return port_; }
-  [[nodiscard]] bool running() const { return fd_ >= 0; }
+  [[nodiscard]] u16 port() const {
+    return port_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool running() const {
+    return listen_fd_.load(std::memory_order_acquire) >= 0;
+  }
 
+  /// Shut down: unblock the accept, join the thread, then close the
+  /// listener. Ordering matters — closing before the join lets the kernel
+  /// recycle the fd number while serve() is still blocked in accept() on
+  /// it, silently attaching the stat server to an unrelated socket.
   void stop();
 
  private:
-  void serve();
+  /// Runs on the server thread with its own copy of the listener fd, so it
+  /// never observes stop()'s teardown writes.
+  void serve(int listen_fd);
 
+  /// Written by handle() before start(), read by the server thread after —
+  /// const from the thread's point of view, so no lock is needed.
   std::map<std::string, std::function<std::string()>> handlers_;
   std::thread thread_;
-  int fd_ = -1;
-  u16 port_ = 0;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<u16> port_{0};
 };
 
 /// One-shot client helper: connect to 127.0.0.1:`port`, send `command`,

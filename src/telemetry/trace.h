@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/atomics_policy.h"
+#include "common/thread_annotations.h"
 #include "common/json.h"
 #include "common/types.h"
 
@@ -104,7 +105,7 @@ class BasicTraceRecorder {
   /// "target:conn0", "af:client". Cheap enough for per-connection setup,
   /// not meant for the per-event path — cache the returned id.
   u32 track(const std::string& name) {
-    std::lock_guard<typename Policy::mutex> lk(track_mu_);
+    typename Policy::lock lk(track_mu_);
     for (size_t i = 0; i < track_names_.size(); ++i) {
       if (track_names_[i] == name) return static_cast<u32>(i + 1);
     }
@@ -214,7 +215,7 @@ class BasicTraceRecorder {
           {}) const {
     std::vector<std::string> tracks;
     {
-      std::lock_guard<typename Policy::mutex> lk(track_mu_);
+      typename Policy::lock lk(track_mu_);
       tracks = track_names_;
     }
     const std::vector<TraceEvent> events = snapshot();
@@ -325,7 +326,7 @@ class BasicTraceRecorder {
   std::vector<Slot> ring_;
 
   mutable typename Policy::mutex track_mu_;
-  std::vector<std::string> track_names_;
+  std::vector<std::string> track_names_ OAF_GUARDED_BY(track_mu_);
 };
 
 /// Production recorder (std::atomic policy).

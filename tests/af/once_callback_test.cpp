@@ -1,0 +1,124 @@
+// af::OnceCallback — linear completion tokens (DESIGN.md §14).
+//
+// The contract under test: a token is armed by construction from a
+// callable, must be invoked (rvalue, exactly once) or explicitly
+// drop()ed, and aborts the process if an armed token is destroyed —
+// that abort is the compile-time-adjacent tripwire that turns a silently
+// lost completion (an I/O wedge that would surface minutes later as an
+// SLO breach) into an immediate, attributable crash at the drop site.
+#include "af/once_callback.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/function.h"
+
+namespace oaf::af {
+namespace {
+
+TEST(OnceCallback, DefaultConstructedIsDisarmed) {
+  OnceCallback<void()> cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  // Destruction of a disarmed token is fine — that's the whole point.
+}
+
+TEST(OnceCallback, InvokeDisarmsAndRuns) {
+  int runs = 0;
+  OnceCallback<void(int)> cb([&](int v) { runs += v; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  std::move(cb)(3);
+  EXPECT_EQ(runs, 3);
+  EXPECT_FALSE(static_cast<bool>(cb));  // disarmed by invocation
+}
+
+TEST(OnceCallback, ReturnsValue) {
+  OnceCallback<int(int, int)> cb([](int a, int b) { return a + b; });
+  EXPECT_EQ(std::move(cb)(20, 22), 42);
+}
+
+TEST(OnceCallback, MoveTransfersTheArm) {
+  int runs = 0;
+  OnceCallback<void()> a([&] { runs++; });
+  OnceCallback<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  std::move(b)();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(OnceCallback, MoveAssignIntoDisarmedIsFine) {
+  int runs = 0;
+  OnceCallback<void()> dst;
+  dst = OnceCallback<void()>([&] { runs++; });
+  std::move(dst)();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(OnceCallback, DropDisarmsWithoutRunning) {
+  int runs = 0;
+  OnceCallback<void()> cb([&] { runs++; });
+  std::move(cb).drop();
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(OnceCallback, MoveOnlyCaptureIsSupported) {
+  auto box = std::make_unique<int>(7);
+  OnceCallback<int()> cb([b = std::move(box)] { return *b; });
+  EXPECT_EQ(std::move(cb)(), 7);
+}
+
+TEST(OnceCallback, TokenRidesMoveOnlyExecutorFn) {
+  // The reason Executor::Fn is MoveFunc: an armed token must be able to
+  // ride a posted closure. std::function would reject this capture.
+  int runs = 0;
+  OnceCallback<void()> cb([&] { runs++; });
+  MoveFunc<void()> job = [t = std::move(cb)]() mutable { std::move(t)(); };
+  job();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(OnceCallback, ReentrantOwnerDestructionIsSafe) {
+  // Disarm-before-invoke: the callable may destroy the token's last owner
+  // (e.g. a completion erases its Pending slot) without tripping the
+  // armed-drop check on the token it is running from.
+  struct Slot {
+    OnceCallback<void()> cb;
+  };
+  auto slot = std::make_shared<Slot>();
+  int runs = 0;
+  slot->cb = OnceCallback<void()>([&runs, &slot] {
+    slot.reset();  // destroys the (already disarmed) token mid-invoke
+    runs++;
+  });
+  auto cb = std::move(slot->cb);
+  std::move(cb)();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(slot, nullptr);
+}
+
+using OnceCallbackDeathTest = ::testing::Test;
+
+TEST(OnceCallbackDeathTest, ArmedDropAborts) {
+  ASSERT_DEATH(
+      {
+        OnceCallback<void()> cb([] {});
+        // Scope exit destroys an armed token: the linearity violation.
+      },
+      "armed af::OnceCallback destroyed");
+}
+
+TEST(OnceCallbackDeathTest, MoveAssignOverArmedAborts) {
+  ASSERT_DEATH(
+      {
+        OnceCallback<void()> dst([] {});
+        dst = OnceCallback<void()>([] {});  // overwrites an armed token
+      },
+      "armed af::OnceCallback destroyed");
+}
+
+}  // namespace
+}  // namespace oaf::af

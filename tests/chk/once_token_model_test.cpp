@@ -1,0 +1,166 @@
+// Model-checked composition of the linear completion token with the
+// multipath exactly-once fence (DESIGN.md §11, §14).
+//
+// PathGroup's redrive protocol holds one af::OnceCallback per live command
+// and uses "erase the gseq entry, then deliver" as the exactly-once fence.
+// The token adds a second, orthogonal guarantee: whichever event wins the
+// fence TAKES the token out of the map entry (a move), so a late duplicate
+// does not even have a callback left to invoke — and losing the race can
+// never leak an armed token (the abort-on-armed-drop tripwire would fire).
+//
+// The models below run that combined protocol under the model checker with
+// a token modelled as a moveable armed flag carrying the same invariants
+// OnceCallback enforces at runtime: invoke requires armed, invoke disarms,
+// and finish() asserts no armed token survives. Every arrival order the
+// event loop could produce is explored.
+#include <gtest/gtest.h>
+
+#include "chk/atomic.h"
+#include "chk/check.h"
+
+namespace oaf::nvmf {
+namespace {
+
+using oaf::chk::RunResult;
+using oaf::u32;
+
+/// Moveable stand-in for af::OnceCallback inside the checker: the runtime
+/// class aborts the process on violation, the model makes the same states
+/// checkable assertions.
+struct TokenModel {
+  bool armed = false;
+
+  void arm() { armed = true; }
+  /// Move-out: the source disarms, the caller owns the arm.
+  bool take() {
+    const bool had = armed;
+    armed = false;
+    return had;
+  }
+};
+
+/// Two completions race for one live command: the survivor path's result
+/// and a late duplicate from the original (half-dead) path. The fence
+/// (erase-before-deliver) picks the winner; the token must be invoked
+/// exactly once and must never be left armed.
+struct TokenThroughFenceModel {
+  static constexpr u32 kThreads = 2;
+
+  oaf::chk::mutex mu;
+  bool live = true;             ///< gseq still in the map
+  TokenModel token{true};       ///< the map entry's token, armed at submit
+                                ///< (construction happens-before threads)
+  bool stolen = false;          ///< winner moved the token out
+  int invoked = 0;              ///< application callback ran
+  int suppressed = 0;           ///< loser found no entry
+
+  void thread(u32) {
+    // The fence: erase the entry AND move the token out in the same
+    // critical section (PathGroup does both under event-loop serialization
+    // before calling the application).
+    mu.lock();
+    const bool won = live;
+    bool have_arm = false;
+    if (won) {
+      live = false;
+      have_arm = token.take();  // move the OnceCallback out of the entry
+      stolen = true;
+    }
+    mu.unlock();
+    if (won) {
+      CHK_ASSERT(have_arm, "fence winner must receive an armed token");
+      invoked++;  // std::move(cb)(res)
+    } else {
+      mu.lock();
+      suppressed++;
+      mu.unlock();
+    }
+  }
+
+  void finish() {
+    CHK_ASSERT(invoked == 1, "token must be invoked exactly once");
+    CHK_ASSERT(suppressed == 1, "late duplicate must find no entry");
+    CHK_ASSERT(!token.armed,
+               "an armed token survived teardown — the runtime class would "
+               "abort at this drop");
+  }
+};
+
+TEST(ChkOnceToken, TokenThroughFenceInvokedExactlyOnce) {
+  const RunResult r = oaf::chk::check<TokenThroughFenceModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_GE(r.executions, 2u);
+}
+
+/// The buggy variant the token construction makes impossible in the real
+/// class: delivering WITHOUT taking the token (a copyable std::function
+/// callback would permit this — both racers can hold a copy). The checker
+/// finds the interleaving where both events deliver.
+struct CopyableCallbackBugModel {
+  static constexpr u32 kThreads = 2;
+
+  oaf::chk::mutex mu;
+  bool live = true;
+  int invoked = 0;
+
+  void thread(u32) {
+    mu.lock();
+    const bool present = live;
+    mu.unlock();
+    // BUG under test: the fence check and the erase are not atomic, and
+    // the callback is copyable so each racer holds its own handle.
+    if (present) {
+      mu.lock();
+      live = false;
+      mu.unlock();
+      invoked++;
+    }
+  }
+
+  void finish() {
+    CHK_ASSERT(invoked == 1, "double delivery through copied callbacks");
+  }
+};
+
+TEST(ChkOnceToken, CopyableCallbackRaceIsCaught) {
+  const RunResult r = oaf::chk::check<CopyableCallbackBugModel>();
+  EXPECT_FALSE(r.ok) << "the checker must find the double-delivery order";
+  EXPECT_NE(r.report().find("double delivery"), std::string::npos) << r.report();
+}
+
+/// Teardown discard: the group dies while commands are still live. The
+/// destructor must drop() every armed token deliberately — modelled here
+/// as take() without invoke — so teardown is not a linearity violation.
+struct TeardownDiscardModel {
+  static constexpr u32 kThreads = 1;
+
+  oaf::chk::mutex mu;
+  TokenModel a{true}, b{true};  ///< armed at submit
+  int invoked = 0;
+
+  void thread(u32) {
+    // One command completes normally...
+    mu.lock();
+    const bool have = a.take();
+    mu.unlock();
+    if (have) invoked++;
+    // ...then the group is destroyed with b still live: explicit drop.
+    mu.lock();
+    (void)b.take();  // std::move(b).drop()
+    mu.unlock();
+  }
+
+  void finish() {
+    CHK_ASSERT(invoked == 1, "completed command must deliver");
+    CHK_ASSERT(!a.armed && !b.armed,
+               "teardown left an armed token (runtime: abort in ~PathGroup)");
+  }
+};
+
+TEST(ChkOnceToken, TeardownDropsArmedTokensDeliberately) {
+  const RunResult r = oaf::chk::check<TeardownDiscardModel>();
+  EXPECT_TRUE(r.ok) << r.report();
+}
+
+}  // namespace
+}  // namespace oaf::nvmf

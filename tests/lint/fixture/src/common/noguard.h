@@ -1,0 +1,4 @@
+// Planted fixture: missing #pragma once and a parent-relative include.
+#include "../common/types.h"
+
+inline int fixture_answer() { return 42; }

@@ -1,0 +1,2 @@
+// Minimal include target for the noguard fixture.
+#pragma once

@@ -1,0 +1,10 @@
+// Planted fixture hot-path file: naked new and std::function are banned on
+// the data path (the rule keys on this path name).
+#include <functional>
+
+void hot_path() {
+  auto* leak = new int(7);
+  std::function<void()> erased = [] {};
+  erased();
+  delete leak;
+}

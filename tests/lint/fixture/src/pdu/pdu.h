@@ -1,0 +1,12 @@
+// Planted fixture: kBogusOp has neither a wire-contract entry nor codec
+// round-trip coverage — oaflint must flag both.
+#pragma once
+
+namespace oaf::pdu {
+
+enum class PduType : unsigned char {
+  kICReq = 0x00,
+  kBogusOp = 0x7f,
+};
+
+}  // namespace oaf::pdu

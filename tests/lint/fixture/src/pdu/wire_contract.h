@@ -1,0 +1,8 @@
+// Planted fixture wire contract: covers ICReq only.
+#pragma once
+
+namespace oaf::pdu {
+
+inline constexpr unsigned long kWireICReqBytes = 4;
+
+}  // namespace oaf::pdu

@@ -1,0 +1,12 @@
+// Planted fixture: a literal span begin with no matching end anywhere.
+struct Tracer {
+  void begin(unsigned track, const char* cat, const char* name, long id,
+             long t0);
+  void end(unsigned track, const char* cat, const char* name, long id,
+           long t1);
+};
+Tracer& tracer();
+
+void emit(unsigned track) {
+  tracer().begin(track, "fixture", "op", 1, 2);
+}

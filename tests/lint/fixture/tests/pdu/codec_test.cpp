@@ -1,0 +1,2 @@
+// Planted fixture codec test: round-trips ICReq only.
+// TEST(Codec, ICReqRoundTrip) { ... }

@@ -1,0 +1,12 @@
+// Planted fixture: every metric name below violates the unit-suffix rule.
+struct R {
+  int* counter(const char*);
+  int* histogram(const char*);
+  int* gauge(const char*);
+};
+
+void register_all(R& r) {
+  r.counter("fixture_ios_total");           // missing _total
+  r.histogram("fixture_latency_ns");     // missing _ns / _bytes
+  r.gauge("fixture_depth_total");     // gauges must not end _total
+}

@@ -1,0 +1,5 @@
+// Planted fixture: missing #pragma once and a parent-relative include.
+#pragma once
+#include "../common/types.h"
+
+inline int fixture_answer() { return 42; }

@@ -1,0 +1,13 @@
+// Planted fixture: a literal span begin with no matching end anywhere.
+struct Tracer {
+  void begin(unsigned track, const char* cat, const char* name, long id,
+             long t0);
+  void end(unsigned track, const char* cat, const char* name, long id,
+           long t1);
+};
+Tracer& tracer();
+
+void emit(unsigned track) {
+  tracer().begin(track, "fixture", "op", 1, 2);
+  tracer().end(track, "fixture", "op", 0, 0);
+}

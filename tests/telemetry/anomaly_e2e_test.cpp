@@ -10,8 +10,10 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "af/locality.h"
@@ -238,6 +240,42 @@ TEST_F(AnomalyE2ETest, BreachWithoutArmedCaptureWritesNothing) {
   h.sched.run();
   ASSERT_TRUE(done);
   EXPECT_EQ(capture_count(), 0);
+}
+
+TEST(AnomalyRecorderTest, ArmedPollsRaceConfigureWithoutTearing) {
+  // Regression: armed() used to read armed_ without mu_ while configure()
+  // and reset_for_test() write it from tool threads — a data race the
+  // annotation pass (OAF_GUARDED_BY(mu_)) flagged. armed()/captures() now
+  // lock; this drives the exact read-vs-write overlap under TSan and
+  // checks the end state is coherent either way.
+  telemetry::AnomalyRecorder rec(64);
+  std::atomic<bool> done{false};
+  std::atomic<u64> armed_seen{0};
+  std::vector<std::thread> pollers;
+  pollers.reserve(3);
+  for (int p = 0; p < 3; ++p) {
+    pollers.emplace_back([&rec, &done, &armed_seen] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (rec.armed()) armed_seen.fetch_add(1, std::memory_order_relaxed);
+        (void)rec.captures();
+        (void)rec.options();
+      }
+    });
+  }
+
+  telemetry::AnomalyOptions opts;
+  opts.dir = "/tmp";
+  for (int cycle = 0; cycle < 500; ++cycle) {
+    rec.configure(opts);   // arm
+    rec.reset_for_test();  // disarm + forget history
+  }
+  rec.configure(opts);
+  done.store(true, std::memory_order_release);
+  for (auto& t : pollers) t.join();
+
+  EXPECT_TRUE(rec.armed());  // last write wins, visible to everyone
+  EXPECT_EQ(rec.captures(), 0u);
+  EXPECT_EQ(rec.options().dir, "/tmp");
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace oaf::telemetry {
 namespace {
@@ -78,6 +81,54 @@ TEST(StatServerTest, ProviderExceptionsAreNotRequired) {
   ASSERT_TRUE(r);
   EXPECT_EQ(r.value().size(), 256 * 1024 + 1);  // + appended newline
   EXPECT_EQ(r.value().back(), '\n');
+}
+
+TEST(StatServerTest, StopUnderConcurrentQueriesIsSafe) {
+  // Regression: stop() used to close the listening fd BEFORE joining the
+  // accept thread, so a stop()/start() cycle could hand the accept loop a
+  // recycled fd number belonging to the next listener (or to a query
+  // socket). stop() now joins first; this hammers the old window.
+  StatServer s;
+  std::atomic<u64> hits{0};
+  s.handle("ping", [&hits] {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return std::string("pong");
+  });
+
+  std::atomic<bool> done{false};
+  std::atomic<u16> port{0};
+  std::vector<std::thread> clients;
+  clients.reserve(3);
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&done, &port] {
+      while (!done.load(std::memory_order_acquire)) {
+        const u16 p = port.load(std::memory_order_acquire);
+        if (p == 0) continue;
+        // Failure is fine (server mid-restart); crashing or wedging is not.
+        (void)stat_query(p, "ping");
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    ASSERT_TRUE(s.start(0).is_ok());
+    port.store(s.port(), std::memory_order_release);
+    // Give the clients a beat to land connections on this incarnation.
+    while (hits.load(std::memory_order_relaxed) == 0 &&
+           stat_query(s.port(), "ping")) {
+    }
+    port.store(0, std::memory_order_release);
+    s.stop();
+    EXPECT_FALSE(s.running());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+
+  // The server must come back healthy after the churn.
+  ASSERT_TRUE(s.start(0).is_ok());
+  auto r = stat_query(s.port(), "ping");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.value(), "pong\n");
 }
 
 }  // namespace

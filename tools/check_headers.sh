@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Header self-sufficiency gate: every first-party header must compile as its
+# own translation unit (all of its includes stated, no hidden ordering
+# dependency on whoever happened to include it first).
+#
+#   tools/check_headers.sh [compiler]
+#
+# Compiler defaults to $CXX, then c++. Exit 0 when every header compiles,
+# 1 with a per-header error listing otherwise. oaflint's header-hygiene rule
+# covers the structural half (#pragma once, no relative includes); this
+# covers the semantic half by actually compiling each header standalone.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+CXX_BIN="${1:-${CXX:-c++}}"
+
+if ! command -v "${CXX_BIN}" >/dev/null 2>&1; then
+  echo "check_headers.sh: compiler '${CXX_BIN}' not found" >&2
+  exit 2
+fi
+
+mapfile -t HEADERS < <(find src -name '*.h' | sort)
+
+fails=0
+for h in "${HEADERS[@]}"; do
+  # Compile the header itself as a TU; -fsyntax-only keeps it fast and
+  # object-free. -I src mirrors the build's single include root.
+  if ! out=$("${CXX_BIN}" -std=c++20 -fsyntax-only -x c++ -I src \
+             -Wall -Wextra "$h" 2>&1); then
+    echo "check_headers.sh: ${h} is not self-sufficient:" >&2
+    echo "${out}" | head -15 >&2
+    fails=$((fails + 1))
+  fi
+done
+
+if [ "${fails}" -ne 0 ]; then
+  echo "check_headers.sh: ${fails}/${#HEADERS[@]} headers failed" >&2
+  exit 1
+fi
+echo "check_headers.sh: all ${#HEADERS[@]} headers are self-sufficient"

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Repo lint driver: clang-tidy over all first-party translation units.
+# Repo lint driver: clang-tidy over first-party translation units.
 #
-#   tools/lint.sh [build-dir]
+#   tools/lint.sh [build-dir] [--changed[=BASE]]
+#
+# Default scope is every TU under src/ and tools/. --changed narrows it to
+# the .cpp files touched since BASE (default: origin/main, falling back to
+# main) plus the TUs whose directory owns a touched header — the
+# quick pre-push loop; CI still runs the full sweep on main.
 #
 # Requires a build directory configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
 # (the CI lint job does this; locally: cmake -B build -S .
@@ -11,7 +16,21 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+CHANGED_BASE=""
+CHANGED_ONLY=0
+
+for arg in "$@"; do
+  case "${arg}" in
+    --changed) CHANGED_ONLY=1 ;;
+    --changed=*) CHANGED_ONLY=1; CHANGED_BASE="${arg#--changed=}" ;;
+    --*)
+      echo "lint.sh: unknown flag ${arg}" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found in PATH" >&2
@@ -28,6 +47,46 @@ fi
 # are exercised by the test jobs; generated/third-party code has no place
 # in the compile DB for these globs.
 mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+
+if [ "${CHANGED_ONLY}" -eq 1 ]; then
+  if [ -z "${CHANGED_BASE}" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      CHANGED_BASE="origin/main"
+    else
+      CHANGED_BASE="main"
+    fi
+  fi
+  mapfile -t TOUCHED < <(
+    { git diff --name-only "${CHANGED_BASE}"...HEAD -- src tools
+      git diff --name-only HEAD -- src tools
+      git ls-files --others --exclude-standard -- src tools
+    } | sort -u)
+  # A touched header lints through the TUs of its own directory — the
+  # cheapest over-approximation of its include closure that still catches
+  # header-only regressions without a full-tree run.
+  declare -A WANT=()
+  for f in "${TOUCHED[@]}"; do
+    case "${f}" in
+      *.cpp) WANT["${f}"]=1 ;;
+      *.h)
+        dir=$(dirname "${f}")
+        for tu in "${FILES[@]}"; do
+          [[ "${tu}" == "${dir}"/*.cpp ]] && WANT["${tu}"]=1
+        done
+        ;;
+    esac
+  done
+  FILES=()
+  for tu in "${!WANT[@]}"; do
+    [ -f "${tu}" ] && FILES+=("${tu}")
+  done
+  if [ "${#FILES[@]}" -eq 0 ]; then
+    echo "lint.sh: no first-party TUs changed vs ${CHANGED_BASE}; clean"
+    exit 0
+  fi
+  mapfile -t FILES < <(printf '%s\n' "${FILES[@]}" | sort)
+  echo "lint.sh: --changed vs ${CHANGED_BASE}"
+fi
 
 echo "lint.sh: clang-tidy over ${#FILES[@]} translation units"
 clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"
