@@ -6,6 +6,8 @@
 //   {
 //     "schema":  "oaf-bench-v1",
 //     "bench":   "fig09_chunk_size",
+//     "env":     { "cpu_model": ..., "cores": N, "build_type": ...,
+//                  "sanitizers": ..., "prof": bool },
 //     "tables":  [ {"title": ..., "header": [...], "rows": [[...], ...]} ],
 //     "metrics": { "<title>/<row-label>/<column>": <number>, ... }
 //   }
@@ -18,6 +20,9 @@
 //
 // The schema string only changes when the document shape changes
 // incompatibly; adding tables or metrics to a bench is not a schema change.
+// `env` records where the numbers came from — comparing a Debug run against
+// a Release baseline, or an ASan run against a clean one, is the #1 source
+// of phantom regressions, and the block makes that visible in the diff.
 #pragma once
 
 #include <cstdio>
@@ -25,12 +30,71 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
 #include "common/table.h"
 
 namespace oaf::bench {
+
+/// Snapshot of the machine and build that produced a report.
+struct BenchEnv {
+  std::string cpu_model;    ///< "model name" from /proc/cpuinfo, or "unknown"
+  unsigned cores = 0;       ///< std::thread::hardware_concurrency()
+  std::string build_type;   ///< CMAKE_BUILD_TYPE at compile time
+  std::string sanitizers;   ///< comma list ("address,undefined") or "none"
+  bool prof = false;        ///< built with OAF_PROF (frame pointers kept)
+};
+
+inline BenchEnv collect_env() {
+  BenchEnv env;
+  env.cpu_model = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      std::string_view sv(line);
+      if (sv.substr(0, 10) != "model name") continue;
+      const auto colon = sv.find(':');
+      if (colon == std::string_view::npos) break;
+      sv.remove_prefix(colon + 1);
+      while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t')) {
+        sv.remove_prefix(1);
+      }
+      while (!sv.empty() && (sv.back() == '\n' || sv.back() == ' ')) {
+        sv.remove_suffix(1);
+      }
+      if (!sv.empty()) env.cpu_model = std::string(sv);
+      break;
+    }
+    std::fclose(f);
+  }
+  env.cores = std::thread::hardware_concurrency();
+#if defined(OAF_BUILD_TYPE)
+  env.build_type = OAF_BUILD_TYPE;
+#elif defined(NDEBUG)
+  env.build_type = "Release";
+#else
+  env.build_type = "Debug";
+#endif
+  if (env.build_type.empty()) env.build_type = "unspecified";
+  std::string san;
+#if defined(__SANITIZE_ADDRESS__)
+  san += san.empty() ? "address" : ",address";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  san += san.empty() ? "address" : ",address";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  san += san.empty() ? "thread" : ",thread";
+#endif
+  env.sanitizers = san.empty() ? "none" : san;
+#if defined(OAF_PROF)
+  env.prof = true;
+#endif
+  return env;
+}
 
 class BenchReport {
  public:
@@ -70,6 +134,14 @@ class BenchReport {
     w.begin_object();
     w.key("schema").value("oaf-bench-v1");
     w.key("bench").value(bench_);
+    const BenchEnv env = collect_env();
+    w.key("env").begin_object();
+    w.key("cpu_model").value(env.cpu_model);
+    w.key("cores").value(static_cast<double>(env.cores));
+    w.key("build_type").value(env.build_type);
+    w.key("sanitizers").value(env.sanitizers);
+    w.key("prof").value(env.prof);
+    w.end_object();
     w.key("tables").begin_array();
     for (const auto& t : tables_) {
       w.begin_object();

@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include "telemetry/attribution.h"
+#include "telemetry/prof/alloc_ledger.h"
+#include "telemetry/prof/cost_center.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -172,6 +174,56 @@ void BM_AttributionRecordEnabled(benchmark::State& state) {
   benchmark::DoNotOptimize(breached);
 }
 BENCHMARK(BM_AttributionRecordEnabled);
+
+// --------------------------------------------------------------------------
+// Profiling plane (DESIGN.md §15): the hot-path cost of cost accounting
+// itself. Disarmed CostScope must be two TLS stores + one relaxed load;
+// armed adds two rdtsc reads + relaxed adds.
+// --------------------------------------------------------------------------
+void BM_CostScopeDisabled(benchmark::State& state) {
+  telemetry::prof::cycle_ledger().set_enabled(false);
+  for (auto _ : state) {
+    telemetry::prof::CostScope scope(telemetry::prof::CostCenter::kSubmit);
+    benchmark::DoNotOptimize(scope);
+  }
+}
+BENCHMARK(BM_CostScopeDisabled);
+
+void BM_CostScopeEnabled(benchmark::State& state) {
+  telemetry::prof::cycle_ledger().set_enabled(true);
+  for (auto _ : state) {
+    telemetry::prof::CostScope scope(telemetry::prof::CostCenter::kSubmit);
+    benchmark::DoNotOptimize(scope);
+  }
+  telemetry::prof::cycle_ledger().set_enabled(false);
+  telemetry::prof::cycle_ledger().reset_for_test();
+}
+BENCHMARK(BM_CostScopeEnabled);
+
+void BM_CostScopeEnabledNested(benchmark::State& state) {
+  telemetry::prof::cycle_ledger().set_enabled(true);
+  for (auto _ : state) {
+    telemetry::prof::CostScope outer(telemetry::prof::CostCenter::kSubmit);
+    telemetry::prof::CostScope inner(telemetry::prof::CostCenter::kEncode);
+    benchmark::DoNotOptimize(inner);
+  }
+  telemetry::prof::cycle_ledger().set_enabled(false);
+  telemetry::prof::cycle_ledger().reset_for_test();
+}
+BENCHMARK(BM_CostScopeEnabledNested);
+
+void BM_AllocLedgerRecord(benchmark::State& state) {
+  // The fixed cost the interposer adds to every malloc: a TLS read and two
+  // relaxed fetch_adds. (The interposer itself is measured implicitly by
+  // every other benchmark in an OAF_PROF build.)
+  auto& ledger = telemetry::prof::alloc_ledger();
+  for (auto _ : state) {
+    ledger.record_alloc(64);
+    ledger.record_free();
+  }
+  ledger.reset_for_test();
+}
+BENCHMARK(BM_AllocLedgerRecord);
 
 }  // namespace
 

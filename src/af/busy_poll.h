@@ -69,6 +69,12 @@ class BusyPollGovernor {
       OAF_TEL({
         telemetry::bump(tel().hits, dh);
         telemetry::bump(tel().misses, dm);
+        if (dh + dm > 0) {
+          // Budget utilization for the profiling plane (oaf_stat prof):
+          // the fraction of polls whose budget actually caught a message.
+          tel().hit_permille->set(
+              static_cast<i64>(dh * 1000 / (dh + dm)));
+        }
       });
       if (dh + dm > 0 && escalation_ != kInterruptFallback) {
         const double miss_frac =
@@ -85,7 +91,11 @@ class BusyPollGovernor {
         }
       }
     }
-    OAF_TEL(telemetry::bump(tel().retunes));
+    OAF_TEL({
+      telemetry::bump(tel().retunes);
+      tel().workload->set(workload_type_);
+      tel().escalation->set(escalation_);
+    });
     apply(escalation_ == kInterruptFallback ? 0 : base * escalation_);
   }
 
@@ -119,6 +129,9 @@ class BusyPollGovernor {
     telemetry::Counter* retunes = nullptr;
     telemetry::Counter* fallbacks = nullptr;
     telemetry::Gauge* budget = nullptr;
+    telemetry::Gauge* hit_permille = nullptr;
+    telemetry::Gauge* workload = nullptr;
+    telemetry::Gauge* escalation = nullptr;
   };
   static const Tel& tel() {
     static const Tel t = [] {
@@ -134,6 +147,14 @@ class BusyPollGovernor {
                     "Degradations to interrupt mode (arrivals too sparse)"),
           m.gauge("oaf_busy_poll_budget_ns",
                   "Receive busy-poll budget most recently applied"),
+          m.gauge("oaf_busy_poll_hit_permille",
+                  "Budget utilization over the last window: polls that "
+                  "caught a message, per thousand"),
+          m.gauge("oaf_busy_poll_workload_class",
+                  "Detected workload mix: 0 read-heavy, 1 mixed, 2 "
+                  "write-heavy, -1 unknown"),
+          m.gauge("oaf_busy_poll_escalation",
+                  "Current budget multiplier (-1 = interrupt fallback)"),
       };
     }();
     return t;

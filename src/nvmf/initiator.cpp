@@ -8,6 +8,7 @@
 #include "nvmf/trace_names.h"
 #include "pdu/crc32.h"
 #include "telemetry/flight.h"
+#include "telemetry/prof/cost_center.h"
 
 namespace oaf::nvmf {
 
@@ -733,6 +734,7 @@ void NvmfInitiator::abort_connection(const char* reason) {
 }
 
 void NvmfInitiator::submit_or_queue(Pending pending) {
+  const telemetry::prof::CostScope cost(telemetry::prof::CostCenter::kSubmit);
   // First submission opens the ledger's kQueue phase; a replay keeps its
   // ledger (currently accruing kDetour) so detour time stays attributed.
   if (pending.first_submit < 0) pending.ledger.reset(exec_.now());
@@ -820,6 +822,7 @@ void NvmfInitiator::start_command(u16 cid) {
 void NvmfInitiator::send_capsule(u16 cid, bool in_capsule,
                                  DataPlacement placement,
                                  std::vector<u8> inline_payload) {
+  const telemetry::prof::CostScope cost(telemetry::prof::CostCenter::kEncode);
   Pending& p = inflight_[cid];
   pdu::CapsuleCmd capsule;
   capsule.cmd = p.cmd;
@@ -987,6 +990,7 @@ void NvmfInitiator::shm_write_chunk(u16 cid, u16 ttag, u64 offset, u64 end) {
 // --------------------------------------------------------------------------
 
 void NvmfInitiator::on_c2h(Pdu pdu) {
+  const telemetry::prof::CostScope cost(telemetry::prof::CostCenter::kXfer);
   const auto& c2h = *pdu.as<pdu::C2HData>();
   const u16 cid = c2h.cid;
   if (cid >= inflight_.size() || !slot_busy_[cid]) {
@@ -1120,6 +1124,8 @@ void NvmfInitiator::release_cid(u16 cid) {
 
 void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
                              u64 target_ns) {
+  const telemetry::prof::CostScope cost(
+      telemetry::prof::CostCenter::kComplete);
   Pending& p = inflight_[cid];
   if (cpl.status == pdu::NvmeStatus::kTransientTransportError && !dead_ &&
       retryable(p) && p.attempts < opts_.reconnect.max_command_retries) {
@@ -1231,6 +1237,8 @@ void NvmfInitiator::complete(u16 cid, const pdu::NvmeCpl& cpl, u64 io_ns,
   auto identify_cb = std::move(p.identify_cb);
   auto identify_result = p.identify_result;
   ios_completed_++;
+  // cycles/IO denominator (one relaxed load when cycle accounting is off).
+  telemetry::prof::cycle_ledger().add_io();
   OAF_TEL(telemetry::bump(tel_.ios));
   OAF_TEL(tel_.latency->record(res.total_ns));
   if (cpl.ok()) {

@@ -11,6 +11,7 @@
 #include "nvmf/trace_names.h"
 #include "pdu/crc32.h"
 #include "telemetry/flight.h"
+#include "telemetry/prof/cost_center.h"
 
 namespace oaf::nvmf {
 
@@ -212,6 +213,8 @@ DurNs NvmfTargetConnection::target_time(u16 cid, DurNs io_time) const {
 
 void NvmfTargetConnection::send_resp(u16 cid, const pdu::NvmeCpl& cpl,
                                      DurNs io_time, std::vector<u8> payload) {
+  const telemetry::prof::CostScope cost(
+      telemetry::prof::CostCenter::kComplete);
   pdu::CapsuleResp resp;
   resp.cpl = cpl;
   resp.io_time_ns = static_cast<u64>(io_time);
@@ -358,6 +361,8 @@ void NvmfTargetConnection::send_term(const std::string& reason) {
 // --------------------------------------------------------------------------
 
 void NvmfTargetConnection::on_capsule(Pdu pdu) {
+  const telemetry::prof::CostScope cost(
+      telemetry::prof::CostCenter::kTarget);
   const auto& capsule = *pdu.as<pdu::CapsuleCmd>();
   const u16 cid = capsule.cmd.cid;
   if (inflight_.contains(cid)) {

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "telemetry/prof/cost_center.h"
+#include "telemetry/prof/reactor_health.h"
+#include "telemetry/telemetry.h"
 
 namespace oaf::sim {
 
@@ -81,23 +84,42 @@ class RealExecutor final : public Executor {
         timers_.erase(timers_.begin());
       }
       if (!ready_.empty()) {
+#if OAF_TELEMETRY_COMPILED
+        const u64 runq = ready_.size();
+#endif
         Fn fn = std::move(ready_.front());
         ready_.erase(ready_.begin());
         running_ = true;
         lk.unlock();
+#if OAF_TELEMETRY_COMPILED
+        const TimeNs t0 = clock_now();
+#endif
         fn();
+#if OAF_TELEMETRY_COMPILED
+        // The task may have left a per-I/O cost center stamped; CPU burned
+        // between tasks belongs to the reactor itself.
+        telemetry::prof::set_cost_center(
+            telemetry::prof::CostCenter::kReactor);
+        telemetry::prof::reactor_health().on_task(clock_now() - t0, runq);
+#endif
         lk.lock();
         running_ = false;
         drained_cv_.notify_all();
         continue;
       }
       drained_cv_.notify_all();
+#if OAF_TELEMETRY_COMPILED
+      const TimeNs idle0 = clock_now();
+#endif
       if (timers_.empty()) {
         cv_.wait(lk);
       } else {
         const auto wake = start_ + std::chrono::nanoseconds(timers_.begin()->first);
         cv_.wait_until(lk, wake);
       }
+#if OAF_TELEMETRY_COMPILED
+      telemetry::prof::reactor_health().on_idle(clock_now() - idle0);
+#endif
     }
   }
 

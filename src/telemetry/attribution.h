@@ -42,6 +42,7 @@
 #include "common/mutex.h"
 #include "common/types.h"
 #include "telemetry/metrics.h"
+#include "telemetry/prof/cost_center.h"
 
 namespace oaf::telemetry {
 
@@ -61,6 +62,27 @@ enum class Stage : u8 {
 inline constexpr size_t kStageCount = 8;
 
 [[nodiscard]] const char* to_string(Stage s);
+
+// The profiling plane's cost centers mirror the stage vocabulary value for
+// value, so StageLedger transitions can stamp the thread-local cost-center
+// token with a plain cast (prof/cost_center.h documents the extra centers).
+static_assert(static_cast<u8>(prof::CostCenter::kQueue) ==
+              static_cast<u8>(Stage::kQueue));
+static_assert(static_cast<u8>(prof::CostCenter::kEncode) ==
+              static_cast<u8>(Stage::kEncode));
+static_assert(static_cast<u8>(prof::CostCenter::kGrant) ==
+              static_cast<u8>(Stage::kGrant));
+static_assert(static_cast<u8>(prof::CostCenter::kXfer) ==
+              static_cast<u8>(Stage::kXfer));
+static_assert(static_cast<u8>(prof::CostCenter::kDevice) ==
+              static_cast<u8>(Stage::kDevice));
+static_assert(static_cast<u8>(prof::CostCenter::kTarget) ==
+              static_cast<u8>(Stage::kTarget));
+static_assert(static_cast<u8>(prof::CostCenter::kComplete) ==
+              static_cast<u8>(Stage::kComplete));
+static_assert(static_cast<u8>(prof::CostCenter::kDetour) ==
+              static_cast<u8>(Stage::kDetour));
+static_assert(kStageCount <= prof::kCostCenterCount);
 
 /// Op classes with independent SLOs.
 enum class OpClass : u8 { kRead = 0, kWrite = 1 };
@@ -84,14 +106,19 @@ struct StageLedger {
     open_stage = static_cast<i8>(first);
     phase_start = now;
     touched |= static_cast<u8>(1u << static_cast<u8>(first));
+    prof::set_cost_center(static_cast<prof::CostCenter>(first));
   }
 
-  /// Close the open phase into its stage and open `s` at `now`.
+  /// Close the open phase into its stage and open `s` at `now`. Also stamps
+  /// the thread's cost-center token so CPU samples and allocations that land
+  /// while this phase is open are attributed to the same stage the
+  /// nanoseconds are.
   void enter(Stage s, TimeNs now) {
     close(now);
     open_stage = static_cast<i8>(s);
     phase_start = now;
     touched |= static_cast<u8>(1u << static_cast<u8>(s));
+    prof::set_cost_center(static_cast<prof::CostCenter>(s));
   }
 
   /// Credit `d` nanoseconds to `s` without moving the open-phase cursor

@@ -1,0 +1,173 @@
+// Allocation interposer — compiled only when -DOAF_PROF=ON.
+//
+// Two interception layers, both forwarding to glibc's internal entry points
+// (__libc_malloc & co.) and charging the AllocLedger on the way through:
+//
+//   * strong definitions of malloc/calloc/realloc/free catch direct C-level
+//     calls from this binary (and, when the executable is linked with
+//     -rdynamic / ENABLE_EXPORTS, calls made inside shared libraries such
+//     as libstdc++'s internal buffers);
+//   * replacements of the replaceable global operator new/delete family
+//     catch C++ allocations even WITHOUT -rdynamic, because a strong
+//     definition in the executable always beats the libstdc++ one. These
+//     call the internal counted path directly — never the public malloc —
+//     so a binary with both layers active never double-counts.
+//
+// The whole file compiles to just the anchor (returning 0) under
+// ASan/TSan/MSan: sanitizers own malloc, and fighting their interceptors
+// corrupts their shadow state (DESIGN.md §15 documents this caveat). Same
+// on non-glibc platforms, where __libc_malloc does not exist.
+//
+// Ledger calls are relaxed atomics on constinit storage: no locks, no
+// recursion, safe from any context malloc itself is safe from.
+#include <cstddef>
+#include <new>
+
+#include "telemetry/prof/alloc_ledger.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define OAF_PROF_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define OAF_PROF_SANITIZED 1
+#endif
+#endif
+#ifndef OAF_PROF_SANITIZED
+#define OAF_PROF_SANITIZED 0
+#endif
+
+#if defined(__GLIBC__) && !OAF_PROF_SANITIZED
+#define OAF_PROF_CAN_INTERPOSE 1
+#else
+#define OAF_PROF_CAN_INTERPOSE 0
+#endif
+
+#if OAF_PROF_CAN_INTERPOSE
+
+extern "C" {
+void* __libc_malloc(std::size_t size);
+void* __libc_calloc(std::size_t n, std::size_t size);
+void* __libc_realloc(void* ptr, std::size_t size);
+void* __libc_memalign(std::size_t alignment, std::size_t size);
+void __libc_free(void* ptr);
+}
+
+namespace {
+
+using oaf::telemetry::prof::alloc_ledger;
+
+void* counted_malloc(std::size_t size) {
+  void* p = __libc_malloc(size);
+  if (p != nullptr) alloc_ledger().record_alloc(size);
+  return p;
+}
+
+void* counted_memalign(std::size_t alignment, std::size_t size) {
+  void* p = __libc_memalign(alignment, size);
+  if (p != nullptr) alloc_ledger().record_alloc(size);
+  return p;
+}
+
+void counted_free(void* ptr) {
+  if (ptr == nullptr) return;
+  alloc_ledger().record_free();
+  __libc_free(ptr);
+}
+
+[[noreturn]] void throw_bad_alloc() { throw std::bad_alloc(); }
+
+void* new_or_throw(std::size_t size) {
+  void* p = counted_malloc(size);
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* aligned_new_or_throw(std::size_t size, std::align_val_t al) {
+  void* p = counted_memalign(static_cast<std::size_t>(al), size);
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+// ---- C layer ------------------------------------------------------------
+
+extern "C" {
+
+void* malloc(std::size_t size) { return counted_malloc(size); }
+
+void* calloc(std::size_t n, std::size_t size) {
+  void* p = __libc_calloc(n, size);
+  if (p != nullptr) alloc_ledger().record_alloc(n * size);
+  return p;
+}
+
+void* realloc(void* ptr, std::size_t size) {
+  void* p = __libc_realloc(ptr, size);
+  if (p != nullptr && size != 0) {
+    if (ptr != nullptr) alloc_ledger().record_free();
+    alloc_ledger().record_alloc(size);
+  }
+  return p;
+}
+
+void free(void* ptr) { counted_free(ptr); }
+
+int oaf_prof_interpose_anchor() { return 1; }
+
+}  // extern "C"
+
+// ---- C++ layer ----------------------------------------------------------
+
+void* operator new(std::size_t size) { return new_or_throw(size); }
+void* operator new[](std::size_t size) { return new_or_throw(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  return aligned_new_or_throw(size, al);
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return aligned_new_or_throw(size, al);
+}
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_memalign(static_cast<std::size_t>(al), size);
+}
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_memalign(static_cast<std::size_t>(al), size);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#else  // !OAF_PROF_CAN_INTERPOSE
+
+// Interposition unavailable (sanitizer build or non-glibc): the anchor
+// still links so interposer_active() reports an honest false.
+extern "C" int oaf_prof_interpose_anchor() { return 0; }
+
+#endif  // OAF_PROF_CAN_INTERPOSE

@@ -1,0 +1,52 @@
+#include "telemetry/prof/cost_center.h"
+
+namespace oaf::telemetry::prof {
+
+namespace internal {
+// Static (non-dynamic) initializer: valid before any constructor runs, so
+// the allocation interposer may read it during static initialization.
+thread_local u32 g_cost_center = static_cast<u32>(CostCenter::kOther);
+thread_local CostScope* g_scope_top = nullptr;
+}  // namespace internal
+
+const char* to_string(CostCenter c) {
+  switch (c) {
+    case CostCenter::kQueue:
+      return "queue";
+    case CostCenter::kEncode:
+      return "encode";
+    case CostCenter::kGrant:
+      return "grant";
+    case CostCenter::kXfer:
+      return "xfer";
+    case CostCenter::kDevice:
+      return "device";
+    case CostCenter::kTarget:
+      return "target";
+    case CostCenter::kComplete:
+      return "complete";
+    case CostCenter::kDetour:
+      return "detour";
+    case CostCenter::kSubmit:
+      return "submit";
+    case CostCenter::kReactor:
+      return "reactor";
+    case CostCenter::kIdle:
+      return "idle";
+    case CostCenter::kControl:
+      return "control";
+    case CostCenter::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+CycleLedger& cycle_ledger() {
+  // constinit, not a lazily-constructed Meyers static: CostScope may consult
+  // the ledger before main() (static-init-time code paths), and the guard
+  // variable a dynamic initializer needs is not async-signal-safe.
+  static constinit CycleLedger ledger;
+  return ledger;
+}
+
+}  // namespace oaf::telemetry::prof

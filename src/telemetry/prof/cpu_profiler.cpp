@@ -1,0 +1,357 @@
+// Sampling profiler implementation. Signal-context code is confined to
+// sigprof_handler() and the pure helpers it calls (unwind_frame_pointers,
+// SampleRing::push) — everything else runs in normal thread context.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // dladdr, pthread_getattr_np
+#endif
+
+#include "telemetry/prof/cpu_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/prof/cost_center.h"
+#include "telemetry/prof/unwind.h"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <csignal>
+#include <ctime>
+#include <sys/syscall.h>
+#include <ucontext.h>
+#include <unistd.h>
+#define OAF_PROF_SAMPLER 1
+#else
+#define OAF_PROF_SAMPLER 0
+#endif
+
+namespace oaf::telemetry::prof {
+
+struct ThreadState {
+  std::string name;
+  u64 tid = 0;
+  u64 stack_lo = 0;
+  u64 stack_hi = 0;
+  std::unique_ptr<SampleRing> ring;
+  std::atomic<u64> samples{0};
+#if OAF_PROF_SAMPLER
+  pthread_t pthread{};
+  timer_t timer{};
+  bool timer_armed = false;
+#endif
+};
+
+namespace {
+
+// The handler's only route to its thread's state. Written once at
+// registration (normal context); read from signal context on the same
+// thread, which by construction observes the completed store.
+thread_local ThreadState* t_self = nullptr;
+
+#if OAF_PROF_SAMPLER
+
+void sigprof_handler(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
+  // Async-signal-safe region: TLS reads, clock_gettime, bounded pointer
+  // walks, relaxed atomics. No allocation, no locks, no iostream.
+  ThreadState* ts = t_self;
+  if (ts == nullptr || ts->ring == nullptr) return;
+  const auto* uc = static_cast<const ucontext_t*>(ucontext);
+  u64 pc = 0;
+  u64 fp = 0;
+#if defined(__x86_64__)
+  pc = static_cast<u64>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<u64>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  pc = static_cast<u64>(uc->uc_mcontext.pc);
+  fp = static_cast<u64>(uc->uc_mcontext.regs[29]);
+#else
+  (void)uc;
+#endif
+  Sample s;
+  struct timespec now {};
+  clock_gettime(CLOCK_MONOTONIC, &now);
+  s.time_ns = static_cast<u64>(now.tv_sec) * 1000000000ull +
+              static_cast<u64>(now.tv_nsec);
+  s.cost_center = internal::g_cost_center;
+  s.nframes = static_cast<u32>(
+      pc == 0 ? 0
+              : unwind_frame_pointers(pc, fp, ts->stack_lo, ts->stack_hi,
+                                      s.frames.data(), kMaxFrames));
+  if (s.nframes == 0) return;
+  ts->ring->push(s);
+  ts->samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Capture the calling thread's stack bounds for the unwinder's bounds
+/// checks. Failure degrades to leaf-only samples, never to wild reads.
+void stack_bounds(u64* lo, u64* hi) {
+  *lo = 0;
+  *hi = 0;
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+  void* addr = nullptr;
+  std::size_t size = 0;
+  if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+    *lo = reinterpret_cast<u64>(addr);
+    *hi = *lo + size;
+  }
+  pthread_attr_destroy(&attr);
+}
+
+#endif  // OAF_PROF_SAMPLER
+
+/// Best-effort symbolization: exact symbol via dladdr (needs -rdynamic for
+/// non-exported functions), demangled when possible, else module+offset,
+/// else raw hex. Offline path — allocation is fine here.
+std::string symbolize(u64 pc) {
+#if OAF_PROF_SAMPLER
+  Dl_info info{};
+  // Return addresses point one past the call; back up so a call that ends a
+  // function does not get attributed to the next symbol.
+  if (dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = -1;
+    char* dem =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string out = (status == 0 && dem != nullptr) ? dem : info.dli_sname;
+    std::free(dem);
+    // Collapsed format is ';'-separated; scrub the separator from names.
+    std::replace(out.begin(), out.end(), ';', ',');
+    return out;
+  }
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+}  // namespace
+
+CpuProfiler::CpuProfiler() = default;
+
+CpuProfiler::~CpuProfiler() {
+  stop();
+  // ThreadStates are leaked by design (see header): a SIGPROF already in
+  // flight when we tear down must never dereference freed memory.
+}
+
+Status CpuProfiler::register_this_thread(const std::string& name) {
+#if OAF_PROF_SAMPLER
+  if (t_self != nullptr) return Status::ok();  // idempotent per thread
+  // Touch the cost-center TLS now so its slot exists before the first
+  // signal-context read.
+  set_cost_center(current_cost_center());
+  auto* ts = new ThreadState;
+  ts->name = name.empty() ? "thread" : name;
+  ts->tid = static_cast<u64>(::syscall(SYS_gettid));
+  ts->pthread = pthread_self();
+  stack_bounds(&ts->stack_lo, &ts->stack_hi);
+  {
+    MutexLock lock(mu_);
+    ts->ring = std::make_unique<SampleRing>(
+        opts_.ring_slots != 0 ? opts_.ring_slots : ProfilerOptions{}.ring_slots);
+    threads_.push_back(ts);
+    t_self = ts;
+    if (running_) return arm_locked(ts);
+  }
+  return Status::ok();
+#else
+  (void)name;
+  return make_error(StatusCode::kUnimplemented,
+                    "sampling profiler requires linux");
+#endif
+}
+
+#if OAF_PROF_SAMPLER
+Status CpuProfiler::arm_locked(ThreadState* ts) {
+  if (ts->timer_armed) return Status::ok();
+  clockid_t clk;
+  if (pthread_getcpuclockid(ts->pthread, &clk) != 0) {
+    return make_error(StatusCode::kInternal, "pthread_getcpuclockid failed");
+  }
+  struct sigevent sev {};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+#if defined(sigev_notify_thread_id)
+  sev.sigev_notify_thread_id = static_cast<pid_t>(ts->tid);
+#else
+  sev._sigev_un._tid = static_cast<pid_t>(ts->tid);
+#endif
+  if (timer_create(clk, &sev, &ts->timer) != 0) {
+    return make_error(StatusCode::kInternal, "timer_create failed");
+  }
+  const long period_ns =
+      static_cast<long>(1000000000ull / (opts_.sample_hz ? opts_.sample_hz : 1));
+  struct itimerspec its {};
+  its.it_interval.tv_sec = 0;
+  its.it_interval.tv_nsec = period_ns;
+  its.it_value = its.it_interval;
+  if (timer_settime(ts->timer, 0, &its, nullptr) != 0) {
+    timer_delete(ts->timer);
+    return make_error(StatusCode::kInternal, "timer_settime failed");
+  }
+  ts->timer_armed = true;
+  return Status::ok();
+}
+#else
+Status CpuProfiler::arm_locked(ThreadState*) {
+  return make_error(StatusCode::kUnimplemented,
+                    "sampling profiler requires linux");
+}
+#endif
+
+Status CpuProfiler::start(const ProfilerOptions& opts) {
+#if OAF_PROF_SAMPLER
+  MutexLock lock(mu_);
+  if (running_) {
+    return make_error(StatusCode::kFailedPrecondition, "already running");
+  }
+  if (threads_.empty()) {
+    return make_error(StatusCode::kFailedPrecondition,
+                      "no thread registered; call register_this_thread()");
+  }
+  if (opts.sample_hz == 0) {
+    return make_error(StatusCode::kInvalidArgument, "sample_hz must be > 0");
+  }
+  opts_ = opts;
+  struct sigaction sa {};
+  sa.sa_sigaction = sigprof_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+    return make_error(StatusCode::kInternal, "sigaction(SIGPROF) failed");
+  }
+  for (ThreadState* ts : threads_) {
+    if (Status s = arm_locked(ts); !s.is_ok()) return s;
+  }
+  running_ = true;
+  return Status::ok();
+#else
+  (void)opts;
+  return make_error(StatusCode::kUnimplemented,
+                    "sampling profiler requires linux");
+#endif
+}
+
+void CpuProfiler::stop() {
+#if OAF_PROF_SAMPLER
+  MutexLock lock(mu_);
+  if (!running_) return;
+  for (ThreadState* ts : threads_) {
+    if (ts->timer_armed) {
+      timer_delete(ts->timer);
+      ts->timer_armed = false;
+    }
+  }
+  running_ = false;
+#endif
+}
+
+bool CpuProfiler::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+u64 CpuProfiler::samples_total() const {
+  MutexLock lock(mu_);
+  u64 n = 0;
+  for (const ThreadState* ts : threads_) {
+    n += ts->samples.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+u64 CpuProfiler::dropped_total() const {
+  MutexLock lock(mu_);
+  u64 n = 0;
+  for (const ThreadState* ts : threads_) {
+    if (ts->ring) n += ts->ring->dropped();
+  }
+  return n;
+}
+
+std::string CpuProfiler::collapsed() {
+  MutexLock lock(mu_);
+  std::map<u64, std::string> symcache;
+  auto sym = [&symcache](u64 pc) -> const std::string& {
+    auto it = symcache.find(pc);
+    if (it == symcache.end()) {
+      it = symcache.emplace(pc, symbolize(pc)).first;
+    }
+    return it->second;
+  };
+  std::map<std::string, u64> agg;
+  Sample s;
+  for (ThreadState* ts : threads_) {
+    if (!ts->ring) continue;
+    while (ts->ring->pop(&s)) {
+      std::string line = ts->name;
+      line += ";cc:";
+      line += to_string(clamp_cost_center(s.cost_center));
+      // Root-to-leaf order, the collapsed-stack convention.
+      for (u32 i = s.nframes; i-- > 0;) {
+        line += ';';
+        line += sym(s.frames[i]);
+      }
+      ++agg[line];
+    }
+  }
+  std::string out;
+  for (const auto& [stack, count] : agg) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+bool CpuProfiler::write_collapsed(const std::string& path) {
+  const std::string text = collapsed();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string CpuProfiler::stats_json() const {
+  MutexLock lock(mu_);
+  std::ostringstream os;
+  os << "{\"running\":" << (running_ ? "true" : "false")
+     << ",\"sample_hz\":" << opts_.sample_hz << ",\"threads\":[";
+  bool first = true;
+  u64 samples = 0;
+  u64 dropped = 0;
+  u64 pending = 0;
+  for (const ThreadState* ts : threads_) {
+    if (!first) os << ',';
+    first = false;
+    const u64 tsamples = ts->samples.load(std::memory_order_relaxed);
+    const u64 tdropped = ts->ring ? ts->ring->dropped() : 0;
+    os << "{\"name\":\"" << ts->name << "\",\"tid\":" << ts->tid
+       << ",\"samples\":" << tsamples << ",\"dropped\":" << tdropped << "}";
+    samples += tsamples;
+    dropped += tdropped;
+    pending += ts->ring ? ts->ring->size() : 0;
+  }
+  os << "],\"samples_total\":" << samples << ",\"dropped_total\":" << dropped
+     << ",\"pending\":" << pending << "}";
+  return os.str();
+}
+
+CpuProfiler& profiler() {
+  static CpuProfiler* p = new CpuProfiler;  // never destroyed: see dtor note
+  return *p;
+}
+
+}  // namespace oaf::telemetry::prof

@@ -1,0 +1,89 @@
+// Signal-based sampling CPU profiler (DESIGN.md §15).
+//
+// Each registered thread gets a POSIX per-thread CPU-time timer
+// (timer_create + pthread_getcpuclockid) that delivers SIGPROF to that
+// thread at the configured rate. The handler — the only code that runs in
+// signal context — reads PC/FP out of the ucontext, walks the frame-pointer
+// chain (unwind.h), stamps the sample with the thread's cost-center token,
+// and pushes it into the thread's wait-free SPSC ring. Everything heavy
+// (symbolization via dladdr/__cxa_demangle, aggregation, file output)
+// happens offline on the draining thread.
+//
+// Contract:
+//   * register_this_thread() from each thread to be profiled, before or
+//     after start() — late registrations are armed immediately.
+//   * threads must outlive stop(); register only long-lived threads
+//     (main, reactor), not transient pool workers.
+//   * full stacks need -fno-omit-frame-pointer (the OAF_PROF build adds
+//     it); without it samples degrade to leaf-PC-only, never to garbage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "telemetry/prof/sample_ring.h"
+
+namespace oaf::telemetry::prof {
+
+struct ProfilerOptions {
+  /// Prime by default so the sampler cannot phase-lock with millisecond-
+  /// periodic work (timers, keepalives) and systematically miss or
+  /// over-count it.
+  u32 sample_hz = 997;
+  std::size_t ring_slots = 8192;  ///< per thread, rounded up to a power of 2
+};
+
+/// Per-thread sampler state (ring, timer, stack bounds). Defined in the
+/// .cpp; heap-allocated at registration and intentionally never freed, so a
+/// signal in flight during stop() can never touch dead memory.
+struct ThreadState;
+
+class CpuProfiler {
+ public:
+  CpuProfiler();
+  ~CpuProfiler();
+
+  /// Register the calling thread for sampling under the given display name.
+  /// Allocates the ring and captures stack bounds here (never in the
+  /// handler). Idempotent per thread.
+  Status register_this_thread(const std::string& name);
+
+  /// Install the SIGPROF handler and arm one CPU-time timer per registered
+  /// thread. Fails if already running or no thread is registered.
+  Status start(const ProfilerOptions& opts);
+
+  /// Disarm all timers. In-flight signals may still land; rings stay alive
+  /// forever so a straggler sample is stored, not lost to a use-after-free.
+  void stop();
+
+  bool running() const;
+  u64 samples_total() const;
+  u64 dropped_total() const;
+
+  /// Drain every ring, symbolize, and aggregate into collapsed-stack text:
+  ///   thread;cc:center;outer;...;leaf <count>\n
+  /// sorted lexicographically (deterministic for a given sample multiset).
+  std::string collapsed();
+
+  /// collapsed() to a file. Returns false on I/O failure.
+  bool write_collapsed(const std::string& path);
+
+  /// Sampler status for the `oaf_stat prof` verb.
+  std::string stats_json() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<ThreadState*> threads_ OAF_GUARDED_BY(mu_);
+  bool running_ OAF_GUARDED_BY(mu_) = false;
+  ProfilerOptions opts_ OAF_GUARDED_BY(mu_);
+
+  Status arm_locked(ThreadState* ts) OAF_REQUIRES(mu_);
+};
+
+/// Process-global profiler instance.
+CpuProfiler& profiler();
+
+}  // namespace oaf::telemetry::prof

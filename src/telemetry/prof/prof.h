@@ -1,0 +1,26 @@
+// Profiling plane facade (DESIGN.md §15).
+//
+// Single include for consumers (tools, benches) and the one-call JSON
+// aggregation behind the `oaf_stat prof` verb. Everything prof_json() reads
+// is atomics or registry handles — no executor state — so stat-server
+// threads may call it without marshalling onto a reactor.
+#pragma once
+
+#include <string>
+
+#include "telemetry/prof/alloc_ledger.h"
+#include "telemetry/prof/cost_center.h"
+#include "telemetry/prof/cpu_profiler.h"
+#include "telemetry/prof/reactor_health.h"
+
+namespace oaf::telemetry::prof {
+
+/// Live profiling snapshot:
+///   {"reactor":{...},            // busy/idle split, runq, task quantiles
+///    "cycles":{...},             // per-cost-center TSC cycles + cycles/IO
+///    "allocs":{...},             // alloc ledger (zeros unless interposed)
+///    "sampler":{...},            // CPU sampler status
+///    "busy_poll":{...}}          // governor budget utilization
+std::string prof_json();
+
+}  // namespace oaf::telemetry::prof

@@ -1,0 +1,108 @@
+#include "telemetry/prof/reactor_health.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/telemetry.h"
+
+namespace oaf::telemetry::prof {
+
+ReactorHealth::ReactorHealth() {
+  auto& m = metrics();
+  m_tasks_ = m.counter("oaf_reactor_tasks_total",
+                       "Tasks executed by reactor event loops");
+  m_idles_ = m.counter("oaf_reactor_idle_waits_total",
+                       "Times a reactor loop went to sleep empty");
+  m_busy_ns_ = m.counter("oaf_reactor_busy_ns_total",
+                         "Wall nanoseconds reactors spent running tasks");
+  m_idle_ns_ = m.counter("oaf_reactor_idle_ns_total",
+                         "Wall nanoseconds reactors spent asleep");
+  m_poll_ns_ = m.histogram("oaf_reactor_poll_ns",
+                           "Per-task reactor dispatch duration");
+  m_runq_depth_ = m.gauge("oaf_reactor_runq_depth",
+                          "Run-queue depth at the last task dispatch");
+  m_runq_peak_ = m.gauge("oaf_reactor_runq_peak",
+                         "Highest run-queue depth observed");
+}
+
+void ReactorHealth::on_task(DurNs task_ns, u64 runq_depth) {
+  const u64 ns = task_ns > 0 ? static_cast<u64>(task_ns) : 0;
+  tasks_.fetch_add(1, std::memory_order_relaxed);
+  busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+  runq_last_.store(runq_depth, std::memory_order_relaxed);
+  u64 peak = runq_peak_.load(std::memory_order_relaxed);
+  while (runq_depth > peak &&
+         !runq_peak_.compare_exchange_weak(peak, runq_depth,
+                                           std::memory_order_relaxed)) {
+  }
+  {
+    MutexLock lock(hist_mu_);
+    task_ns_hist_.record(static_cast<i64>(ns));
+  }
+  m_tasks_->inc();
+  m_busy_ns_->inc(ns);
+  m_poll_ns_->record(static_cast<i64>(ns));
+  m_runq_depth_->set(static_cast<i64>(runq_depth));
+  m_runq_peak_->set(
+      static_cast<i64>(runq_peak_.load(std::memory_order_relaxed)));
+}
+
+void ReactorHealth::on_idle(DurNs idle_ns) {
+  const u64 ns = idle_ns > 0 ? static_cast<u64>(idle_ns) : 0;
+  idles_.fetch_add(1, std::memory_order_relaxed);
+  idle_ns_.fetch_add(ns, std::memory_order_relaxed);
+  m_idles_->inc();
+  m_idle_ns_->inc(ns);
+}
+
+ReactorHealth::Snapshot ReactorHealth::snapshot() const {
+  Snapshot s;
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.idles = idles_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+  s.runq_peak = runq_peak_.load(std::memory_order_relaxed);
+  s.runq_last = runq_last_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ReactorHealth::json() const {
+  const Snapshot s = snapshot();
+  Histogram h;
+  {
+    MutexLock lock(hist_mu_);
+    h = task_ns_hist_;
+  }
+  const u64 total = s.busy_ns + s.idle_ns;
+  const u64 busy_permille = total > 0 ? s.busy_ns * 1000 / total : 0;
+  std::ostringstream os;
+  os << "{\"tasks\":" << s.tasks << ",\"idle_waits\":" << s.idles
+     << ",\"busy_ns\":" << s.busy_ns << ",\"idle_ns\":" << s.idle_ns
+     << ",\"busy_permille\":" << busy_permille
+     << ",\"runq_depth\":" << s.runq_last << ",\"runq_peak\":" << s.runq_peak
+     << ",\"task_ns\":{\"count\":" << h.count();
+  if (h.count() > 0) {
+    os << ",\"p50\":" << h.quantile(0.50) << ",\"p99\":" << h.quantile(0.99)
+       << ",\"max\":" << h.max();
+  }
+  os << "}}";
+  return os.str();
+}
+
+void ReactorHealth::reset_for_test() {
+  tasks_.store(0, std::memory_order_relaxed);
+  idles_.store(0, std::memory_order_relaxed);
+  busy_ns_.store(0, std::memory_order_relaxed);
+  idle_ns_.store(0, std::memory_order_relaxed);
+  runq_peak_.store(0, std::memory_order_relaxed);
+  runq_last_.store(0, std::memory_order_relaxed);
+  MutexLock lock(hist_mu_);
+  task_ns_hist_.reset();
+}
+
+ReactorHealth& reactor_health() {
+  static ReactorHealth* h = new ReactorHealth;  // registry handles: immortal
+  return *h;
+}
+
+}  // namespace oaf::telemetry::prof

@@ -1,0 +1,81 @@
+// Reactor health plane: where does the event loop's wall time go?
+//
+// RealExecutor reports two event kinds — a task execution (with the
+// run-queue depth observed when it was popped) and an idle wait. From those
+// the plane derives the busy/idle split, a task-duration histogram, and
+// run-queue depth peaks, exported two ways:
+//
+//   * metrics registry (oaf_reactor_* instruments) for Prometheus-style
+//     scraping alongside every other oaf_ metric;
+//   * prof_json() / `oaf_stat prof`, which adds derived values (busy
+//     fraction, p50/p99 task duration) that a scrape-side query would
+//     otherwise have to compute.
+//
+// One process-global instance aggregates across executors, matching how the
+// busy-poll governor aggregates across connections. Recording is one
+// histogram record + a handful of relaxed atomics per *task batch*, far off
+// the per-I/O fast path.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/types.h"
+#include "telemetry/metrics.h"
+
+namespace oaf::telemetry::prof {
+
+class ReactorHealth {
+ public:
+  ReactorHealth();
+
+  /// One executor task ran for task_ns; runq_depth tasks were waiting when
+  /// it was popped (including itself).
+  void on_task(DurNs task_ns, u64 runq_depth);
+
+  /// The loop slept (cv wait) for idle_ns before new work arrived.
+  void on_idle(DurNs idle_ns);
+
+  struct Snapshot {
+    u64 tasks = 0;
+    u64 idles = 0;
+    u64 busy_ns = 0;
+    u64 idle_ns = 0;
+    u64 runq_peak = 0;
+    u64 runq_last = 0;
+  };
+  Snapshot snapshot() const;
+
+  /// Health JSON for `oaf_stat prof`: snapshot + busy fraction + task
+  /// duration quantiles.
+  std::string json() const;
+
+  void reset_for_test();
+
+ private:
+  std::atomic<u64> tasks_{0};
+  std::atomic<u64> idles_{0};
+  std::atomic<u64> busy_ns_{0};
+  std::atomic<u64> idle_ns_{0};
+  std::atomic<u64> runq_peak_{0};
+  std::atomic<u64> runq_last_{0};
+
+  mutable Mutex hist_mu_;
+  Histogram task_ns_hist_ OAF_GUARDED_BY(hist_mu_);
+
+  // Cached registry handles (stable for process lifetime).
+  Counter* m_tasks_;
+  Counter* m_idles_;
+  Counter* m_busy_ns_;
+  Counter* m_idle_ns_;
+  HistogramMetric* m_poll_ns_;
+  Gauge* m_runq_depth_;
+  Gauge* m_runq_peak_;
+};
+
+/// Process-global health plane shared by all executors.
+ReactorHealth& reactor_health();
+
+}  // namespace oaf::telemetry::prof

@@ -1,0 +1,83 @@
+// Wait-free SPSC ring for CPU profile samples.
+//
+// The producer is the SIGPROF handler running ON the sampled thread; the
+// consumer is the profiler's drain (collapse/stop), running on whichever
+// thread asks for output. push() is async-signal-safe: plain loads/stores
+// and relaxed/acquire-release atomics, no allocation, no locks, and a full
+// ring drops the sample (counted) rather than waiting.
+//
+// Same discipline as the shm trace ring: single producer, single consumer,
+// monotonically increasing head/tail, capacity a power of two.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oaf::telemetry::prof {
+
+/// Deepest stack the sampler records. Frames beyond this are truncated at
+/// the root end — the leaf (where the cycles actually burn) is always kept.
+inline constexpr std::size_t kMaxFrames = 24;
+
+struct Sample {
+  u64 time_ns = 0;      ///< CLOCK_MONOTONIC at sample time
+  u32 cost_center = 0;  ///< raw thread-local token (clamped at decode)
+  u32 nframes = 0;
+  std::array<u64, kMaxFrames> frames{};  ///< frames[0] is the leaf PC
+};
+
+class SampleRing {
+ public:
+  /// Capacity is rounded up to a power of two. Slots are allocated here, at
+  /// registration time, never from the signal handler.
+  explicit SampleRing(std::size_t min_slots) {
+    std::size_t cap = 1;
+    while (cap < min_slots) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side (signal handler). Never blocks; returns false on drop.
+  bool push(const Sample& s) {
+    const u64 h = head_.load(std::memory_order_relaxed);
+    const u64 t = tail_.load(std::memory_order_acquire);
+    if (h - t > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[static_cast<std::size_t>(h) & mask_] = s;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(Sample* out) {
+    const u64 t = tail_.load(std::memory_order_relaxed);
+    const u64 h = head_.load(std::memory_order_acquire);
+    if (t == h) return false;
+    *out = slots_[static_cast<std::size_t>(t) & mask_];
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const {
+    const u64 t = tail_.load(std::memory_order_acquire);
+    const u64 h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(h - t);
+  }
+  std::size_t capacity() const { return mask_ + 1; }
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<Sample> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<u64> head_{0};
+  std::atomic<u64> tail_{0};
+  std::atomic<u64> dropped_{0};
+};
+
+}  // namespace oaf::telemetry::prof

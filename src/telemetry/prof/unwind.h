@@ -1,0 +1,51 @@
+// Async-signal-safe frame-pointer unwinding.
+//
+// Walks the classic frame-pointer chain (SysV x86-64 / AAPCS64 with
+// -fno-omit-frame-pointer):
+//
+//       fp -> [ caller's fp ][ return address ]
+//
+// The walk is pure and bounded — no allocation, no libc, every dereference
+// checked against the thread's stack bounds — so the SIGPROF handler can
+// call it on whatever register state it interrupted, including a thread
+// mid-way through a function prologue or running frameless leaf code. In
+// those cases the sanity checks fail fast and the sample keeps only the
+// leaf PC, which is still a valid (if shallow) profile datum.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace oaf::telemetry::prof {
+
+/// Walk the frame chain starting at (pc, fp) within [stack_lo, stack_hi).
+/// Writes up to max_frames PCs to out, leaf first; returns the count
+/// (>= 1 whenever max_frames >= 1: the interrupted PC itself is frame 0).
+/// Stops on: null, misaligned, or out-of-bounds fp; a chain that fails to
+/// grow strictly toward stack_hi (cycle guard); a null return address.
+inline std::size_t unwind_frame_pointers(u64 pc, u64 fp, u64 stack_lo,
+                                         u64 stack_hi, u64* out,
+                                         std::size_t max_frames) {
+  std::size_t n = 0;
+  if (max_frames == 0) return 0;
+  out[n++] = pc;
+  u64 cur = fp;
+  while (n < max_frames) {
+    if (cur == 0 || (cur & (sizeof(u64) - 1)) != 0) break;
+    if (stack_hi < 2 * sizeof(u64) || cur < stack_lo ||
+        cur > stack_hi - 2 * sizeof(u64)) {
+      break;
+    }
+    const u64* frame = reinterpret_cast<const u64*>(cur);
+    const u64 next_fp = frame[0];
+    const u64 ret = frame[1];
+    if (ret == 0) break;
+    out[n++] = ret;
+    if (next_fp <= cur) break;  // frames must move strictly toward the base
+    cur = next_fp;
+  }
+  return n;
+}
+
+}  // namespace oaf::telemetry::prof

@@ -8,3 +8,13 @@ void hot_path() {
   erased();
   delete leak;
 }
+
+#include <cstdlib>
+
+void raw_allocators() {
+  void* a = std::malloc(64);
+  void* b = std::calloc(4, 16);
+  a = std::realloc(a, 128);
+  std::free(a);  // free alone is NOT flagged: only acquisition is banned
+  std::free(b);
+}

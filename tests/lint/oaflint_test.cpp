@@ -96,6 +96,15 @@ TEST(OafLint, FixtureViolationsAllDiagnosed) {
   EXPECT_NE(r.output.find("initiator.cpp:7: hot-path-hygiene: "
                           "std::function"),
             std::string::npos);
+  EXPECT_NE(r.output.find("initiator.cpp:15: hot-path-hygiene: raw `malloc`"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("initiator.cpp:16: hot-path-hygiene: raw `calloc`"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("initiator.cpp:17: hot-path-hygiene: raw `realloc`"),
+            std::string::npos);
+  // std::free is deliberately NOT a violation (see check_hot_path).
+  EXPECT_EQ(r.output.find("raw `free`"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("noguard.h:1: header-hygiene: header is missing "
                           "#pragma once"),
             std::string::npos);
@@ -111,7 +120,7 @@ TEST(OafLint, ReportFileMirrorsDiagnostics) {
                                   " --report " + report.string());
   EXPECT_EQ(r.exit_code, 1);
   const std::string body = slurp(report);
-  EXPECT_NE(body.find("violations: 10"), std::string::npos) << body;
+  EXPECT_NE(body.find("violations: 13"), std::string::npos) << body;
   EXPECT_NE(body.find("tel-span-pairing"), std::string::npos);
 }
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Render collapsed-stack text (oaf_perf/oaf_target --profile-out) as an SVG
+flame graph. Stdlib only — no external dependencies.
+
+Usage:
+    oaf_flamegraph.py profile.collapsed [-o flamegraph.svg] [--title TITLE]
+
+Input format (one stack per line, root-to-leaf, semicolon-separated):
+    thread;cc:center;outer;...;leaf 42
+
+The SVG is self-contained: hover shows frame name, sample count, and share
+of total; colors are deterministic (hash of frame name) so recompiles that
+keep the same symbols keep the same palette.
+"""
+import argparse
+import hashlib
+import html
+import sys
+
+FRAME_H = 17       # px per stack level
+MIN_W = 0.3        # px; frames narrower than this are elided
+FONT_SIZE = 11
+PAD = 10
+
+
+class Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.children = {}
+
+    def child(self, name):
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = Node(name)
+        return node
+
+    def depth(self):
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children.values())
+
+
+def parse_collapsed(lines):
+    root = Node("all")
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        stack, sep, count = line.rpartition(" ")
+        if not sep:
+            continue
+        try:
+            n = int(count)
+        except ValueError:
+            continue
+        root.value += n
+        node = root
+        for frame in stack.split(";"):
+            node = node.child(frame)
+            node.value += n
+    return root
+
+
+def color_for(name):
+    """Deterministic warm color from the frame name."""
+    h = hashlib.md5(name.encode("utf-8", "replace")).digest()
+    r = 205 + h[0] % 50
+    g = 60 + h[1] % 130
+    b = h[2] % 60
+    if name.startswith("cc:"):       # cost-center frames: cool palette
+        r, g, b = h[0] % 60, 100 + h[1] % 100, 190 + h[2] % 60
+    return "rgb(%d,%d,%d)" % (r, g, b)
+
+
+def render(root, width, title):
+    total = root.value
+    if total == 0:
+        raise SystemExit("oaf_flamegraph: no samples in input")
+    depth = root.depth()
+    height = depth * FRAME_H + 2 * PAD + 2 * FONT_SIZE
+    px_per = (width - 2 * PAD) / total
+    out = []
+    out.append(
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'font-family="monospace" font-size="%d">' % (width, height, FONT_SIZE))
+    out.append(
+        '<style>rect:hover{stroke:black;stroke-width:1}</style>')
+    out.append(
+        '<text x="%d" y="%d" font-size="%d">%s — %d samples</text>'
+        % (PAD, PAD + FONT_SIZE, FONT_SIZE + 2, html.escape(title), total))
+
+    def emit(node, x, level):
+        w = node.value * px_per
+        if w < MIN_W:
+            return
+        y = height - PAD - (level + 1) * FRAME_H
+        pct = 100.0 * node.value / total
+        label = html.escape(node.name)
+        out.append('<g><title>%s (%d samples, %.2f%%)</title>'
+                   % (label, node.value, pct))
+        out.append(
+            '<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" '
+            'rx="1"/>' % (x, y, w, FRAME_H - 1, color_for(node.name)))
+        # ~7px per glyph at 11px monospace; clip label to the box.
+        max_chars = int(w / 7)
+        if max_chars >= 3:
+            text = node.name
+            if len(text) > max_chars:
+                text = text[: max_chars - 2] + ".."
+            out.append('<text x="%.2f" y="%d">%s</text>'
+                       % (x + 2, y + FRAME_H - 5, html.escape(text)))
+        out.append("</g>")
+        cx = x
+        for child in sorted(node.children.values(), key=lambda c: c.name):
+            emit(child, cx, level + 1)
+            cx += child.value * px_per
+
+    emit(root, PAD, 0)
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="collapsed-stack text -> SVG flame graph")
+    ap.add_argument("input", help="collapsed profile (use - for stdin)")
+    ap.add_argument("-o", "--output", default="flamegraph.svg")
+    ap.add_argument("--width", type=int, default=1200)
+    ap.add_argument("--title", default="oaf cpu profile")
+    args = ap.parse_args()
+
+    if args.input == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.input, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    root = parse_collapsed(lines)
+    svg = render(root, args.width, args.title)
+    with open(args.output, "w", encoding="utf-8") as f:
+        f.write(svg)
+    print("oaf_flamegraph: %s (%d samples, depth %d)"
+          % (args.output, root.value, root.depth() - 1))
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@
 #include "telemetry/anomaly.h"
 #include "telemetry/attribution.h"
 #include "telemetry/flight.h"
+#include "telemetry/prof/prof.h"
 #include "telemetry/stat_server.h"
 #include "telemetry/telemetry.h"
 
@@ -76,6 +77,9 @@ struct Options {
   std::string anomaly_dir;     // arm retroactive anomaly capture into DIR
   u64 inject_delay_us = 0;     // one-shot stall on path 0 mid-run; 0 = off
   u64 inject_after_ms = 500;   // when the stall arms, relative to run start
+  // continuous profiling (DESIGN.md §15)
+  std::string profile_out;     // collapsed-stack output path; "" = sampler off
+  u32 profile_hz = 997;        // sampling rate (prime: avoids phase lock)
 };
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -162,6 +166,10 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.slo_write_us = std::strtoull(v, nullptr, 10);
     } else if (arg == "--anomaly-dir" && (v = next())) {
       o.anomaly_dir = v;
+    } else if (arg == "--profile-out" && (v = next())) {
+      o.profile_out = v;
+    } else if (arg == "--profile-hz" && (v = next())) {
+      o.profile_hz = static_cast<u32>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--inject-delay-us" && (v = next())) {
       o.inject_delay_us = std::strtoull(v, nullptr, 10);
     } else if (arg == "--inject-after-ms" && (v = next())) {
@@ -182,7 +190,8 @@ bool parse_args(int argc, char** argv, Options& o) {
           "                [--stat-port N] [--flight-dir DIR]\n"
           "                [--slo-read-us US] [--slo-write-us US]\n"
           "                [--anomaly-dir DIR]\n"
-          "                [--inject-delay-us US] [--inject-after-ms MS]\n");
+          "                [--inject-delay-us US] [--inject-after-ms MS]\n"
+          "                [--profile-out FILE] [--profile-hz HZ]\n");
       return false;
     }
   }
@@ -322,9 +331,39 @@ int main(int argc, char** argv) {
     telemetry::anomaly().configure(an);
   }
 
+  // Cycle accounting is always on in this tool: the per-scope cost is a TSC
+  // read + relaxed adds, and it is what makes `oaf_stat prof` report live
+  // cycles/IO. The sampling profiler is opt-in via --profile-out.
+  telemetry::prof::cycle_ledger().set_enabled(true);
+
   sim::RealExecutor exec;
   net::InlineCopier copier;
   af::ShmBroker broker(opts.token, af::ShmBroker::Backing::kPosixShm);
+
+  if (!opts.profile_out.empty()) {
+    auto& prof = telemetry::prof::profiler();
+    if (auto st = prof.register_this_thread("main"); !st) {
+      std::fprintf(stderr, "oaf_perf: profiler: %s\n",
+                   st.to_string().c_str());
+    }
+    std::atomic<bool> registered{false};
+    exec.post([&] {
+      (void)prof.register_this_thread("reactor");
+      registered = true;
+    });
+    while (!registered.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    telemetry::prof::ProfilerOptions popts;
+    popts.sample_hz = opts.profile_hz;
+    if (auto st = prof.start(popts); !st) {
+      std::fprintf(stderr, "oaf_perf: profiler: %s\n",
+                   st.to_string().c_str());
+    } else {
+      std::fprintf(stderr, "oaf_perf: sampling at %u Hz -> %s\n",
+                   opts.profile_hz, opts.profile_out.c_str());
+    }
+  }
 
   auto channel_res = net::tcp_connect(opts.host, opts.port, exec);
   if (!channel_res) {
@@ -457,6 +496,8 @@ int main(int argc, char** argv) {
     stat.handle("metrics",
                 [] { return telemetry::metrics().to_prometheus(); });
     stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
+    // prof_json reads only atomics/registry handles — safe off-executor.
+    stat.handle("prof", [] { return telemetry::prof::prof_json(); });
     stat.handle("heat", on_executor([&exec]() -> std::string {
                   return telemetry::attribution().heat_json(exec.now());
                 }));
@@ -546,6 +587,22 @@ int main(int argc, char** argv) {
   });
   while (!done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  if (!opts.profile_out.empty()) {
+    auto& prof = telemetry::prof::profiler();
+    prof.stop();
+    if (prof.write_collapsed(opts.profile_out)) {
+      std::fprintf(
+          stderr,
+          "oaf_perf: profile written to %s (%llu samples, %llu dropped)\n",
+          opts.profile_out.c_str(),
+          static_cast<unsigned long long>(prof.samples_total()),
+          static_cast<unsigned long long>(prof.dropped_total()));
+    } else {
+      std::fprintf(stderr, "oaf_perf: failed to write profile to %s\n",
+                   opts.profile_out.c_str());
+    }
   }
 
   if (!opts.trace_out.empty()) {

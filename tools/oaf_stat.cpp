@@ -6,7 +6,8 @@
 // prints the response. Standard commands: metrics (Prometheus text), conns
 // (per-connection JSON), trace (Chrome trace JSON snapshot), heat (windowed
 // per-stage latency heatmap), top (slowest I/Os per window with stage
-// breakdowns), help.
+// breakdowns), prof (profiling plane: reactor health, cycles/IO by cost
+// center, allocation ledger, sampler status), help.
 #include <cstdio>
 #include <cstdlib>
 #include <string>

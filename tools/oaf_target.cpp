@@ -31,6 +31,7 @@
 #include "telemetry/anomaly.h"
 #include "telemetry/attribution.h"
 #include "telemetry/flight.h"
+#include "telemetry/prof/prof.h"
 #include "telemetry/stat_server.h"
 #include "telemetry/telemetry.h"
 
@@ -65,6 +66,9 @@ struct Options {
   u64 slo_read_us = 0;        // read residency SLO; 0 = off
   u64 slo_write_us = 0;       // write residency SLO; 0 = off
   std::string anomaly_dir;    // arm retroactive anomaly capture into DIR
+  // Continuous profiling (DESIGN.md §15).
+  std::string profile_out;    // collapsed-stack output path; "" = sampler off
+  u32 profile_hz = 997;       // sampling rate (prime: avoids phase lock)
 };
 
 /// Set by SIGUSR1; the serve loop picks it up on its next tick so the dump
@@ -171,6 +175,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.anomaly_dir = v;
+    } else if (arg == "--profile-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts.profile_out = v;
+    } else if (arg == "--profile-hz") {
+      const char* v = next();
+      if (!v) return false;
+      opts.profile_hz = static_cast<u32>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -194,6 +206,7 @@ void usage() {
       "                  [--stall-timeout-ms MS]\n"
       "                  [--slo-read-us US] [--slo-write-us US]\n"
       "                  [--anomaly-dir DIR]\n"
+      "                  [--profile-out FILE] [--profile-hz HZ]\n"
       "Serves an in-memory NVMe namespace over NVMe-oAF; exits when all K\n"
       "associations have closed or expired their keep-alive timeout.\n"
       "SIGUSR1 dumps the metrics registry to stderr.\n");
@@ -226,9 +239,38 @@ int main(int argc, char** argv) {
     telemetry::anomaly().configure(an);
   }
 
+  // Cycle accounting is always on (it is what makes `oaf_stat prof` report
+  // live cycles/IO); the sampling profiler is opt-in via --profile-out.
+  telemetry::prof::cycle_ledger().set_enabled(true);
+
   sim::RealExecutor exec;
   net::InlineCopier copier;
   af::ShmBroker broker(opts.token, af::ShmBroker::Backing::kPosixShm);
+
+  if (!opts.profile_out.empty()) {
+    auto& prof = telemetry::prof::profiler();
+    if (auto st = prof.register_this_thread("main"); !st) {
+      std::fprintf(stderr, "oaf_target: profiler: %s\n",
+                   st.to_string().c_str());
+    }
+    std::atomic<bool> registered{false};
+    exec.post([&] {
+      (void)prof.register_this_thread("reactor");
+      registered = true;
+    });
+    while (!registered.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    telemetry::prof::ProfilerOptions popts;
+    popts.sample_hz = opts.profile_hz;
+    if (auto st = prof.start(popts); !st) {
+      std::fprintf(stderr, "oaf_target: profiler: %s\n",
+                   st.to_string().c_str());
+    } else {
+      std::fprintf(stderr, "oaf_target: sampling at %u Hz -> %s\n",
+                   opts.profile_hz, opts.profile_out.c_str());
+    }
+  }
 
   ssd::RealDevice device(exec, 512, opts.capacity_mb * kMiB / 512);
   ssd::Subsystem subsystem("nqn.2026-07.io.oaf:target");
@@ -292,6 +334,8 @@ int main(int argc, char** argv) {
   if (opts.stat_port >= 0) {
     stat.handle("metrics", [] { return telemetry::metrics().to_prometheus(); });
     stat.handle("trace", [] { return telemetry::tracer().to_chrome_json(); });
+    // prof_json reads only atomics/registry handles — safe off-executor.
+    stat.handle("prof", [] { return telemetry::prof::prof_json(); });
     stat.handle("heat", [&exec] {
       return telemetry::attribution().heat_json(exec.now());
     });
@@ -352,6 +396,22 @@ int main(int argc, char** argv) {
     }
     if (active == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (!opts.profile_out.empty()) {
+    auto& prof = telemetry::prof::profiler();
+    prof.stop();
+    if (prof.write_collapsed(opts.profile_out)) {
+      std::fprintf(
+          stderr,
+          "oaf_target: profile written to %s (%llu samples, %llu dropped)\n",
+          opts.profile_out.c_str(),
+          static_cast<unsigned long long>(prof.samples_total()),
+          static_cast<unsigned long long>(prof.dropped_total()));
+    } else {
+      std::fprintf(stderr, "oaf_target: failed to write profile to %s\n",
+                   opts.profile_out.c_str());
+    }
   }
 
   if (!opts.trace_out.empty()) {

@@ -532,6 +532,20 @@ void check_hot_path(const fs::path& file, const std::string& raw) {
          "std::function on the data path — completions are linear "
          "af::OnceCallback, generic callables are oaf::MoveFunc");
   }
+  // Raw C allocators dodge both the operator-new rule above and the
+  // OAF_PROF allocation ledger's typed accounting; they have no place on
+  // the data path. (free() is not flagged: releasing setup-time buffers
+  // from a teardown path is fine — it is acquisition that must not happen.)
+  for (const char* fn : {"malloc", "calloc", "realloc"}) {
+    for (size_t pos = find_token(code, fn, 0); pos != std::string::npos;
+         pos = find_token(code, fn, pos + 1)) {
+      diag(file, line_of(code, pos), "hot-path-hygiene",
+           std::string("raw `") + fn +
+               "` on the data path — use value members or pool "
+               "allocation; the allocation ledger cannot attribute "
+               "untyped C buffers");
+    }
+  }
 }
 
 // --- rule: header-hygiene -------------------------------------------------
